@@ -1,0 +1,74 @@
+//! Criterion micro-benchmarks of the approximate-arithmetic kernels:
+//! uniform FPMA, mpFPMA (with/without SNC), and the exact reference.
+
+use axcore_fpma::snc::SncPolicy;
+use axcore_fpma::uniform::fpma_mul;
+use axcore_fpma::MpFpma;
+use axcore_softfloat::{FP16, FP4_E2M1};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let a_bits: Vec<u32> = (0..1024u32)
+        .map(|i| FP16.encode((i as f64 * 0.37).sin() * 3.0 + 3.5))
+        .collect();
+    let w_bits: Vec<u32> = (0..1024u32).map(|i| (i * 7 + 3) % 15 + 1).collect();
+
+    let mut g = c.benchmark_group("multiply_kernels");
+    g.bench_function("exact_f64_mul", |b| {
+        let av: Vec<f64> = a_bits.iter().map(|&x| FP16.decode(x)).collect();
+        let wv: Vec<f64> = w_bits.iter().map(|&x| FP4_E2M1.decode(x)).collect();
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for i in 0..1024 {
+                acc += av[i] * wv[i];
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("uniform_fpma", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for i in 0..1024 {
+                acc ^= fpma_mul(FP16, a_bits[i], a_bits[(i + 7) % 1024], 0);
+            }
+            black_box(acc)
+        })
+    });
+    let unit = MpFpma::new(FP16, FP4_E2M1);
+    g.bench_function("mpfpma_snc_stochastic", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for i in 0..1024 {
+                acc ^= unit.mul(a_bits[i], w_bits[i]);
+            }
+            black_box(acc)
+        })
+    });
+    let naive = MpFpma::new(FP16, FP4_E2M1)
+        .without_snc()
+        .with_compensation(false);
+    g.bench_function("mpfpma_naive", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for i in 0..1024 {
+                acc ^= naive.mul(a_bits[i], w_bits[i]);
+            }
+            black_box(acc)
+        })
+    });
+    let snc_unit = axcore_fpma::SncUnit::new(FP4_E2M1, SncPolicy::Stochastic);
+    g.bench_function("snc_convert", |b| {
+        b.iter(|| {
+            let mut acc = 0i32;
+            for i in 0..1024 {
+                acc ^= snc_unit.convert(w_bits[i], i & 1 == 1).exp;
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

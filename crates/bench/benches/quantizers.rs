@@ -1,0 +1,40 @@
+//! Criterion benchmarks of the quantization stack: fixed-format RTN,
+//! adaptive format-aware selection, MX blocks, and packing.
+
+use axcore_quant::mx::MxQuantizer;
+use axcore_quant::packing::pack;
+use axcore_quant::{GroupQuantizer, QuantFormat};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_quantizers(c: &mut Criterion) {
+    let (k, n) = (512usize, 128usize);
+    let w: Vec<f32> = (0..k * n)
+        .map(|i| ((i * 2654435761usize % 9973) as f32 / 4986.5 - 1.0) * 0.4)
+        .collect();
+
+    let mut g = c.benchmark_group("quantize_512x128");
+    g.bench_function("fixed_e2m1_g64", |b| {
+        let q = GroupQuantizer::fixed(QuantFormat::E2M1, 64);
+        b.iter(|| black_box(q.quantize(&w, k, n)))
+    });
+    g.bench_function("fixed_int4_g64", |b| {
+        let q = GroupQuantizer::fixed(QuantFormat::INT4, 64);
+        b.iter(|| black_box(q.quantize(&w, k, n)))
+    });
+    g.bench_function("adaptive_fp4_g64_b32", |b| {
+        let q = GroupQuantizer::adaptive_fp4(64, 32, None);
+        b.iter(|| black_box(q.quantize(&w, k, n)))
+    });
+    g.bench_function("mxfp4_b32", |b| {
+        let q = MxQuantizer::mxfp4();
+        b.iter(|| black_box(q.quantize(&w, k, n)))
+    });
+    let qm = GroupQuantizer::fixed(QuantFormat::E2M1, 64).quantize(&w, k, n);
+    g.bench_function("pack_4bit", |b| b.iter(|| black_box(pack(&qm))));
+    g.bench_function("dequant_all", |b| b.iter(|| black_box(qm.dequant_all())));
+    g.finish();
+}
+
+criterion_group!(benches, bench_quantizers);
+criterion_main!(benches);

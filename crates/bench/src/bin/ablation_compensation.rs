@@ -1,0 +1,67 @@
+//! Ablation (beyond the paper's tables): mean-based constant compensation
+//! vs the per-pair fine-grained compensation of prior work, and the cost
+//! of the storage each needs.
+//!
+//! §4.3.1 argues per-pair tables become impractical as activation
+//! precision grows (E5M10 needs 2^10 × 2^Nm_w entries); this ablation
+//! quantifies how much accuracy the single constant gives up.
+
+use axcore_bench::report::{f, Table};
+use axcore_fpma::compensation::pair_error;
+use axcore_fpma::snc::SncPolicy;
+use axcore_fpma::{CompensationTable, MpFpma};
+use axcore_softfloat::{all_fp4_formats, FP16};
+
+fn main() {
+    let mut t = Table::new(
+        "Ablation: constant (mean) compensation vs per-pair table",
+        &[
+            "weight fmt",
+            "none: rms rel err",
+            "constant: rms",
+            "per-pair: rms",
+            "table entries",
+        ],
+    );
+    for wf in all_fp4_formats() {
+        let raw = MpFpma::new(FP16, wf)
+            .with_compensation(false)
+            .with_snc(SncPolicy::RoundDown);
+        let constant = MpFpma::new(FP16, wf).with_snc(SncPolicy::RoundDown);
+        let nm_w = wf.man_bits;
+        let entries = (1u64 << FP16.man_bits) * (1u64 << nm_w);
+        let (mut se_raw, mut se_const, mut se_pair, mut n) = (0.0, 0.0, 0.0, 0u64);
+        for i in 0..256u32 {
+            let ma = i * 4; // subsample the activation mantissa grid
+            let a_bits = FP16.compose(false, FP16.bias() as u32, ma);
+            let va = FP16.decode(a_bits);
+            for mw in 0..(1u32 << nm_w).max(1) {
+                let w_bits = wf.compose(false, 1, mw);
+                let vw = wf.decode(w_bits);
+                let exact = va * vw;
+                let rel = |r: u32| (FP16.decode(r) - exact) / exact;
+                se_raw += rel(raw.mul(a_bits, w_bits)).powi(2);
+                se_const += rel(constant.mul(a_bits, w_bits)).powi(2);
+                // Per-pair: apply this (ma, mw) pair's own exact error.
+                let c = pair_error(FP16, wf, ma, mw) as i32;
+                let per_pair = raw.with_c1(c).mul(a_bits, w_bits);
+                se_pair += rel(per_pair).powi(2);
+                n += 1;
+            }
+        }
+        t.row(vec![
+            wf.name.to_string(),
+            format!("{:.3e}", (se_raw / n as f64).sqrt()),
+            format!("{:.3e}", (se_const / n as f64).sqrt()),
+            format!("{:.3e}", (se_pair / n as f64).sqrt()),
+            entries.to_string(),
+        ]);
+    }
+    t.emit("ablation_compensation");
+    let c2 = CompensationTable::global().c2(FP16);
+    println!(
+        "constant compensation costs one precomputed value per format pair (e.g. C2(FP16) = {c2} LSB);\n\
+         a per-pair table needs the listed entry count of on-chip storage per pair (§4.3.1)."
+    );
+    println!("{}", f(c2 as f64, 0));
+}

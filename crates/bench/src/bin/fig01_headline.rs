@@ -1,0 +1,47 @@
+//! Fig. 1 — the paper's headline: compute density of AxCore vs the FP core
+//! and FIGNA (a), and perplexity on the larger proxies (b).
+
+use axcore_bench::fixtures::{opt_ladder, EVAL_SEQ};
+use axcore_bench::report::{f, Table};
+use axcore_hwmodel::config::{ActFormat, WeightFormat};
+use axcore_hwmodel::density::density_vs_fpc_same_act;
+use axcore_hwmodel::{DataConfig, Design};
+use axcore_nn::{eval_perplexity, quantize_model, Scheme};
+
+fn main() {
+    let mut a = Table::new(
+        "Figure 1a: normalized compute density (FPC of the same activation format = 1.0)",
+        &["activation", "FPC (FP4)", "FIGNA (INT4)", "AxCore (FP4)"],
+    );
+    for act in [ActFormat::Fp16, ActFormat::Bf16] {
+        let cfg = DataConfig::new(WeightFormat::Fp4, act);
+        a.row(vec![
+            act.name().to_string(),
+            f(1.0, 2),
+            f(density_vs_fpc_same_act(Design::Figna, &cfg), 2),
+            f(density_vs_fpc_same_act(Design::AxCore, &cfg), 2),
+        ]);
+    }
+    a.emit("fig01a_density");
+    println!("paper points: FP16 — FIGNA 4.0x, AxCore 6.7x; BF16 — AxCore 5.3x.\n");
+
+    let proxies = opt_ladder();
+    let mut b = Table::new(
+        "Figure 1b: perplexity on the larger proxies (paper: OPT-13B/30B/66B)",
+        &["model", "FPC (FP4)", "FIGNA (INT4)", "AxCore (FP4)"],
+    );
+    for p in &proxies[2..] {
+        let ppl = |s: Scheme| {
+            let calib = &p.corpus.train[..64];
+            let q = quantize_model(&p.model, s, p.group, Some(calib));
+            eval_perplexity(&q, &p.corpus.val, EVAL_SEQ)
+        };
+        b.row(vec![
+            p.name.to_string(),
+            f(ppl(Scheme::Fp4), 3),
+            f(ppl(Scheme::Figna), 3),
+            f(ppl(Scheme::AxCore), 3),
+        ]);
+    }
+    b.emit("fig01b_accuracy");
+}

@@ -1,0 +1,29 @@
+//! Fig. 2 — Relative share of operations in attention vs. linear layers of
+//! OPT-175B and LLaMA-3.1-405B across sequence lengths (batch 32; the
+//! relative share is batch-independent).
+
+use axcore_bench::report::{f, Table};
+use axcore_nn::profile::LlmArch;
+
+fn main() {
+    let mut t = Table::new(
+        "Figure 2: relative OPs share, attention vs linear layers",
+        &["model", "seq len", "attention", "linear"],
+    );
+    for arch in [LlmArch::opt_175b(), LlmArch::llama31_405b()] {
+        for s in [1024usize, 2048, 4096, 8192, 10_000, 16_384, 20_000, 32_768] {
+            let lin = arch.linear_fraction(s);
+            t.row(vec![
+                arch.name.to_string(),
+                s.to_string(),
+                f(1.0 - lin, 3),
+                f(lin, 3),
+            ]);
+        }
+    }
+    t.emit("fig02_ops_breakdown");
+    println!(
+        "paper claim (§2.1): linear layers dominate with 69–99 % of operations at practical\n\
+         sequence lengths (10k–20k tokens); attention share grows with sequence length."
+    );
+}

@@ -1,0 +1,34 @@
+//! Fig. 4 — perplexity degradation of FPMA variants across model sizes:
+//! FPC(FP16) vs FPC(FP4) vs FPMA(FP4) vs naive mpFPMA(FP4). Shows that
+//! unmitigated FPMA — and especially unhandled subnormals — costs
+//! significant accuracy, motivating AxCore's SNC + compensation.
+
+use axcore_bench::fixtures::{opt_ladder, EVAL_SEQ};
+use axcore_bench::report::{f, Table};
+use axcore_nn::{eval_perplexity, quantize_model, Scheme};
+
+fn main() {
+    let proxies = opt_ladder();
+    let mut t = Table::new(
+        "Figure 4: perplexity of FPMA variants across proxy sizes (FP16 activations)",
+        &["model", "FPC (FP16)", "FPC (FP4)", "FPMA (FP4)", "naive mpFPMA (FP4)"],
+    );
+    for p in &proxies {
+        let ppl = |s: Scheme| {
+            let q = quantize_model(&p.model, s, p.group, None);
+            eval_perplexity(&q, &p.corpus.val, EVAL_SEQ)
+        };
+        t.row(vec![
+            p.name.to_string(),
+            f(ppl(Scheme::Fp16), 3),
+            f(ppl(Scheme::Fp4), 3),
+            f(ppl(Scheme::Fpma), 3),
+            f(ppl(Scheme::MpFpma), 3),
+        ]);
+    }
+    t.emit("fig04_fpma_degradation");
+    println!(
+        "paper shape: FP4 adds moderate loss over FP16; FPMA adds more; naive mpFPMA (no\n\
+         subnormal handling) is worst."
+    );
+}

@@ -1,0 +1,55 @@
+//! Fig. 6 — squared-error distribution of mpFPMA over the
+//! (activation-mantissa, weight-mantissa) space, before and after
+//! mean-based constant compensation, for the three FP4 formats.
+
+use axcore_bench::report::{f, Table};
+use axcore_fpma::error::{error_stats, error_surface};
+use axcore_fpma::snc::SncPolicy;
+use axcore_fpma::MpFpma;
+use axcore_softfloat::{all_fp4_formats, FP16};
+
+fn main() {
+    let mut t = Table::new(
+        "Figure 6: mpFPMA squared relative error over the mantissa space (FP16 activations)",
+        &["weight fmt", "compensated", "mean sq err", "max sq err", "mean signed err"],
+    );
+    for wf in all_fp4_formats() {
+        for comp in [false, true] {
+            let unit = MpFpma::new(FP16, wf)
+                .with_compensation(comp)
+                .with_snc(SncPolicy::RoundDown);
+            let s = error_stats(&unit, 256);
+            t.row(vec![
+                wf.name.to_string(),
+                comp.to_string(),
+                format!("{:.3e}", s.mean_sq),
+                format!("{:.3e}", s.max_sq),
+                format!("{:+.5}", s.mean_signed),
+            ]);
+        }
+    }
+    t.emit("fig06_error_stats");
+
+    // The surface itself (densely sampled) for external plotting,
+    // mirroring the paper's heat maps: x = activation mantissa,
+    // y = weight mantissa, z = squared error.
+    let mut surf = Table::new(
+        "Figure 6 surface samples (E1M2, uncompensated vs compensated)",
+        &["ma", "mw", "sq_err_raw", "sq_err_comp"],
+    );
+    let raw = MpFpma::new(FP16, axcore_softfloat::FP4_E1M2)
+        .with_compensation(false)
+        .with_snc(SncPolicy::RoundDown);
+    let comp = MpFpma::new(FP16, axcore_softfloat::FP4_E1M2).with_snc(SncPolicy::RoundDown);
+    let a = error_surface(&raw, 64);
+    let b = error_surface(&comp, 64);
+    for (ca, cb) in a.iter().zip(&b) {
+        surf.row(vec![f(ca.ma, 4), f(ca.mw, 2), format!("{:.3e}", ca.sq_err), format!("{:.3e}", cb.sq_err)]);
+    }
+    surf.emit("fig06_error_surface");
+    println!(
+        "paper shape: the uncompensated surface peaks near mid-mantissa pairs (~0.012–0.03 sq\n\
+         rel err) and is strongly negative-biased; compensation flattens it by ~an order of\n\
+         magnitude and removes the bias (Fig. 6b)."
+    );
+}

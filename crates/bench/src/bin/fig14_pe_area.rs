@@ -1,0 +1,46 @@
+//! Fig. 14 — Normalized PE area breakdown (Mul / Add / SNC / Others) for
+//! every design under the six weight × activation configurations.
+
+use axcore_bench::report::{f, Table};
+use axcore_hwmodel::{pe_area, DataConfig, Design};
+
+fn main() {
+    let mut t = Table::new(
+        "Figure 14: normalized PE area breakdown (per configuration, FPC = 1.0)",
+        &["config", "design", "mul", "add", "snc", "other", "total"],
+    );
+    for cfg in DataConfig::paper_scenarios() {
+        let fpc_total = pe_area(Design::Fpc, &cfg).total();
+        for design in Design::figure_designs() {
+            let pe = pe_area(design, &cfg);
+            t.row(vec![
+                cfg.label(),
+                design.name().to_string(),
+                f(pe.mul / fpc_total, 3),
+                f(pe.add / fpc_total, 3),
+                f(pe.snc / fpc_total, 3),
+                f(pe.other / fpc_total, 3),
+                f(pe.total() / fpc_total, 3),
+            ]);
+        }
+    }
+    t.emit("fig14_pe_area");
+
+    // The paper's headline PE-area claims, recomputed.
+    let mut s = Table::new(
+        "Fig. 14 headline checks (paper: SNC ≈ 3.5% of PE; AxCore 32–39% below FIGNA at 4-bit, 43–56% at 8-bit)",
+        &["config", "snc share %", "vs FIGNA %", "vs FIGLUT %"],
+    );
+    for cfg in DataConfig::paper_scenarios() {
+        let ax = pe_area(Design::AxCore, &cfg);
+        let figna = pe_area(Design::Figna, &cfg).total();
+        let figlut = pe_area(Design::Figlut, &cfg).total();
+        s.row(vec![
+            cfg.label(),
+            f(100.0 * ax.snc / ax.total(), 1),
+            f(100.0 * (1.0 - ax.total() / figna), 1),
+            f(100.0 * (1.0 - ax.total() / figlut), 1),
+        ]);
+    }
+    s.emit("fig14_headline_checks");
+}

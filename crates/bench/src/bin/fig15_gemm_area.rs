@@ -1,0 +1,40 @@
+//! Fig. 15 — Normalized GEMM-unit area (PE array vs shared "Others") for
+//! every design under the six configurations (64×64 array).
+
+use axcore_bench::report::{f, Table};
+use axcore_hwmodel::{gemm_unit_area, DataConfig, Design};
+
+fn main() {
+    let mut t = Table::new(
+        "Figure 15: normalized GEMM-unit area (per configuration, FPC = 1.0)",
+        &["config", "design", "PEs", "others", "total"],
+    );
+    for cfg in DataConfig::paper_scenarios() {
+        let fpc = gemm_unit_area(Design::Fpc, &cfg).total();
+        for design in Design::figure_designs() {
+            let u = gemm_unit_area(design, &cfg);
+            t.row(vec![
+                cfg.label(),
+                design.name().to_string(),
+                f(u.pes / fpc, 3),
+                f(u.others / fpc, 3),
+                f(u.total() / fpc, 3),
+            ]);
+        }
+    }
+    t.emit("fig15_gemm_area");
+
+    let mut s = Table::new(
+        "Fig. 15 headline checks (paper: AxCore total below FIGLUT by 31/26/34 % and FIGNA by 37/36/29 % at W4)",
+        &["config", "vs FIGNA %", "vs FIGLUT %"],
+    );
+    for cfg in DataConfig::paper_scenarios() {
+        let ax = gemm_unit_area(Design::AxCore, &cfg).total();
+        s.row(vec![
+            cfg.label(),
+            f(100.0 * (1.0 - ax / gemm_unit_area(Design::Figna, &cfg).total()), 1),
+            f(100.0 * (1.0 - ax / gemm_unit_area(Design::Figlut, &cfg).total()), 1),
+        ]);
+    }
+    s.emit("fig15_headline_checks");
+}

@@ -1,0 +1,29 @@
+//! Fig. 16 — Normalized compute density (TOPS/mm²) of the GEMM array
+//! across the six configurations, relative to the FP32 FPC baseline.
+
+use axcore_bench::report::{f, Table};
+use axcore_hwmodel::density::{compute_density, density_vs_fpc_same_act};
+use axcore_hwmodel::{DataConfig, Design};
+
+fn main() {
+    let mut t = Table::new(
+        "Figure 16: normalized compute density (FPC-FP32 = 1.0)",
+        &["config", "FPC", "FPMA", "FIGNA", "FIGLUT", "AxCore", "AxCore vs same-act FPC"],
+    );
+    for cfg in DataConfig::paper_scenarios() {
+        t.row(vec![
+            cfg.label(),
+            f(compute_density(Design::Fpc, &cfg), 2),
+            f(compute_density(Design::Fpma, &cfg), 2),
+            f(compute_density(Design::Figna, &cfg), 2),
+            f(compute_density(Design::Figlut, &cfg), 2),
+            f(compute_density(Design::AxCore, &cfg), 2),
+            format!("{}x", f(density_vs_fpc_same_act(Design::AxCore, &cfg), 2)),
+        ]);
+    }
+    t.emit("fig16_compute_density");
+    println!(
+        "paper headline points: W4-FP16 AxCore 6.7x over FPC (FIGNA 4.0x, FIGLUT 4.3x); \
+         W4-FP32 12.5x; W4-BF16 5.3x; W8-FP16 6.2x; W8-FP32 10x"
+    );
+}

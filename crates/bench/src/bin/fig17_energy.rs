@@ -1,0 +1,84 @@
+//! Fig. 17 — Normalized energy breakdown (Core / Buffer / DRAM / Static)
+//! and TOPS/W of every design on OPT-13B / OPT-30B decode (batch 32, one
+//! output token), across the weight/activation format configurations.
+
+use axcore_bench::report::{f, Table};
+use axcore_hwmodel::config::{ActFormat, WeightFormat};
+use axcore_hwmodel::{DataConfig, Design};
+use axcore_nn::profile::LlmArch;
+use axcore_sim::{decode_workload, simulate, AccelConfig};
+
+fn main() {
+    let scenarios = [
+        DataConfig::new(WeightFormat::Fp4, ActFormat::Fp16),
+        DataConfig::new(WeightFormat::Fp4, ActFormat::Bf16),
+        DataConfig::new(WeightFormat::Fp4, ActFormat::Fp32),
+        DataConfig::new(WeightFormat::Fp8, ActFormat::Fp16),
+        DataConfig::new(WeightFormat::Fp8, ActFormat::Fp32),
+    ];
+    let accel = AccelConfig::default();
+    for arch in [LlmArch::opt_13b(), LlmArch::opt_30b()] {
+        let wl = decode_workload(&arch, 32);
+        let mut t = Table::new(
+            &format!(
+                "Figure 17 ({}, decode batch 32): energy breakdown (normalized to FPC total) and TOPS/W",
+                arch.name
+            ),
+            &[
+                "config", "design", "core", "buffer", "dram", "static", "total",
+                "TOPS/W(core)", "TOPS/W(total)",
+            ],
+        );
+        for cfg in scenarios {
+            let fpc_total = simulate(Design::Fpc, &cfg, &accel, &wl).total_j();
+            for design in Design::figure_designs() {
+                let r = simulate(design, &cfg, &accel, &wl);
+                t.row(vec![
+                    cfg.label(),
+                    design.name().to_string(),
+                    f(r.core_j / fpc_total, 3),
+                    f(r.buffer_j / fpc_total, 3),
+                    f(r.dram_j / fpc_total, 3),
+                    f(r.static_j / fpc_total, 3),
+                    f(r.total_j() / fpc_total, 3),
+                    f(r.tops_per_w_core(), 1),
+                    f(r.tops_per_w(), 1),
+                ]);
+            }
+        }
+        t.emit(&format!(
+            "fig17_energy_{}",
+            arch.name.to_lowercase().replace('-', "_")
+        ));
+    }
+
+    // Averages matching the §6.4 headline sentence.
+    let mut s = Table::new(
+        "Fig. 17 headline checks (paper: 2.2/1.5/1.1/1.3x total energy reduction; 6.4/3.1/1.4/2.0x core TOPS/W)",
+        &["baseline", "avg total-energy reduction", "avg core TOPS/W gain"],
+    );
+    let baselines = [Design::Fpc, Design::Fpma, Design::Figna, Design::Figlut];
+    let mut totals = [0f64; 4];
+    let mut cores = [0f64; 4];
+    let mut n = 0;
+    for arch in [LlmArch::opt_13b(), LlmArch::opt_30b()] {
+        let wl = decode_workload(&arch, 32);
+        for cfg in scenarios {
+            let ax = simulate(Design::AxCore, &cfg, &accel, &wl);
+            for (i, d) in baselines.iter().enumerate() {
+                let r = simulate(*d, &cfg, &accel, &wl);
+                totals[i] += r.total_j() / ax.total_j();
+                cores[i] += ax.tops_per_w_core() / r.tops_per_w_core();
+            }
+            n += 1;
+        }
+    }
+    for (i, d) in baselines.iter().enumerate() {
+        s.row(vec![
+            d.name().to_string(),
+            format!("{}x", f(totals[i] / n as f64, 2)),
+            format!("{}x", f(cores[i] / n as f64, 2)),
+        ]);
+    }
+    s.emit("fig17_headline_checks");
+}

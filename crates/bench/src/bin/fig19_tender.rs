@@ -1,0 +1,57 @@
+//! Fig. 19 — comparison with the integer-only, non-mixed-precision Tender
+//! accelerator: compute density (a) and perplexity (b).
+
+use axcore_bench::fixtures::{opt_ladder, EVAL_SEQ};
+use axcore_bench::report::{f, Table};
+use axcore_hwmodel::config::{ActFormat, WeightFormat};
+use axcore_hwmodel::density::density_raw;
+use axcore_hwmodel::{DataConfig, Design};
+use axcore_nn::{eval_perplexity, quantize_model, Scheme};
+
+fn main() {
+    // (a) Compute density: AxCore W4A16 vs Tender W8A8 and W4A4.
+    let mut a = Table::new(
+        "Figure 19a: compute density relative to Tender W8A8",
+        &["activation fmt", "Tender W8A8", "Tender W4A4", "AxCore W4A16"],
+    );
+    for act in [ActFormat::Fp16, ActFormat::Bf16] {
+        let tender8 = density_raw(Design::Tender, &DataConfig::new(WeightFormat::Int8, act));
+        let tender4 = density_raw(Design::Tender, &DataConfig::new(WeightFormat::Int4, act));
+        let ax = density_raw(Design::AxCore, &DataConfig::new(WeightFormat::Fp4, act));
+        a.row(vec![
+            act.name().to_string(),
+            f(1.0, 2),
+            f(tender4 / tender8, 2),
+            f(ax / tender8, 2),
+        ]);
+    }
+    a.emit("fig19a_density");
+    println!(
+        "paper points: AxCore 1.72x (FP16) / 1.86x (BF16) over Tender W8A8, and above W4A4.\n"
+    );
+
+    // (b) Accuracy on the two mid/large proxies (paper: OPT-6.7B/13B).
+    let proxies = opt_ladder();
+    let mut b = Table::new(
+        "Figure 19b: perplexity, AxCore (W4A16KV4) vs Tender",
+        &["model", "AxCore-KV", "Tender W8A8KV4", "Tender W4A4KV4"],
+    );
+    for p in &proxies[1..3] {
+        let ppl = |s: Scheme| {
+            let calib = &p.corpus.train[..64];
+            let q = quantize_model(&p.model, s, p.group, Some(calib));
+            eval_perplexity(&q, &p.corpus.val, EVAL_SEQ)
+        };
+        b.row(vec![
+            p.name.to_string(),
+            f(ppl(Scheme::AxCoreKv), 3),
+            f(ppl(Scheme::TenderW8A8Kv4), 3),
+            f(ppl(Scheme::TenderW4A4Kv4), 3),
+        ]);
+    }
+    b.emit("fig19b_accuracy");
+    println!(
+        "paper shape: AxCore delivers both higher density than Tender W8A8 and lower\n\
+         perplexity than either Tender configuration."
+    );
+}

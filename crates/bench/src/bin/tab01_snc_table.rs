@@ -1,0 +1,57 @@
+//! Table 1 / Fig. 5 — the subnormal-number-conversion tables for M1, M2
+//! and M3 mantissas, regenerated from the implementation (the unit tests
+//! assert them entry-by-entry; this binary prints them in the paper's
+//! layout).
+
+use axcore_bench::report::Table;
+use axcore_fpma::snc::{SncPolicy, SncUnit};
+use axcore_softfloat::{FpFormat, FP4_E1M2, FP4_E2M1, FP8_E4M3};
+
+fn dump(fmt: FpFormat, label: &str) {
+    let nm = fmt.man_bits;
+    let mut t = Table::new(
+        &format!("Table 1 ({label}: {nm}-bit mantissa, format {fmt})"),
+        &["subnormal", "value", "converted (down)", "converted (up)", "value"],
+    );
+    let sub_scale = 2f64.powi(1 - fmt.bias());
+    for m in 0..(1u32 << nm) {
+        let bits = fmt.compose(false, 0, m);
+        let down = SncUnit::new(fmt, SncPolicy::RoundDown).convert(bits, false);
+        let up = SncUnit::new(fmt, SncPolicy::RoundUp).convert(bits, false);
+        let significand = m as f64 / (1u64 << nm) as f64;
+        let show = |o: &axcore_fpma::SncOutput| {
+            if o.zero {
+                "0".to_string()
+            } else {
+                format!("(1).{:0w$b}", o.man, w = nm as usize)
+            }
+        };
+        let val = |o: &axcore_fpma::SncOutput| {
+            if o.zero {
+                "0".into()
+            } else {
+                format!("{}", o.value() / sub_scale)
+            }
+        };
+        let stochastic = down.value() != up.value();
+        t.row(vec![
+            format!("(0).{m:0w$b}", w = nm as usize),
+            format!("{significand}"),
+            show(&down) + if stochastic { " *" } else { "" },
+            show(&up) + if stochastic { " *" } else { "" },
+            if stochastic {
+                format!("{} / {}", val(&up), val(&down))
+            } else {
+                val(&down)
+            },
+        ]);
+    }
+    t.emit(&format!("tab01_snc_{}", label.to_lowercase()));
+}
+
+fn main() {
+    dump(FP4_E2M1, "M1");
+    dump(FP4_E1M2, "M2");
+    dump(FP8_E4M3, "M3");
+    println!("entries marked * require the stochastic rounding decision (paper's underlined rows)");
+}

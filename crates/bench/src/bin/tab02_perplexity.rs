@@ -1,0 +1,60 @@
+//! Table 2 — perplexity of every compute scheme across the proxy-model
+//! size ladder (OPT-style and LLaMA-style proxies; see DESIGN.md for the
+//! substitution).
+//!
+//! Expected shape (the paper's Table 2): FP16 best; FP4 ≤ INT4; the
+//! mpFPMA ablation ladder improves monotonically (base → +S → +S+C);
+//! AxCore matches or beats the exact-INT4 designs; AxCore-KV adds little;
+//! Tender (activation quantization) trails, W4A4 badly.
+
+use axcore_bench::fixtures::{llama_ladder, opt_ladder, EVAL_SEQ};
+use axcore_bench::report::{f, Table};
+use axcore_nn::{eval_perplexity, quantize_model, Scheme};
+
+fn main() {
+    let opts = opt_ladder();
+    let llamas = llama_ladder();
+    let mut headers = vec!["method".to_string()];
+    for p in opts.iter().chain(&llamas) {
+        headers.push(p.name.to_string());
+    }
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(
+        "Table 2: perplexity by compute scheme (proxy ladder; * = proxy model, see DESIGN.md)",
+        &header_refs,
+    );
+    for scheme in Scheme::table2_rows() {
+        let mut row = vec![scheme.name().to_string()];
+        for p in opts.iter().chain(&llamas) {
+            // LLaMA proxies use GELU FFNs: Tender rows are OPT-only in the
+            // paper's Table 2 as well.
+            let skip_llama = matches!(
+                scheme,
+                Scheme::TenderW8A8Kv4 | Scheme::TenderW4A4Kv4
+            ) && p.name.starts_with("LLaMA");
+            if skip_llama {
+                row.push("\\".into());
+                continue;
+            }
+            let calib = &p.corpus.train[..64.min(p.corpus.train.len())];
+            let q = quantize_model(&p.model, scheme, p.group, Some(calib));
+            let ppl = eval_perplexity(&q, &p.corpus.val, EVAL_SEQ);
+            row.push(f(ppl, 3));
+        }
+        t.row(row);
+    }
+    t.emit("tab02_perplexity");
+
+    let mut notes = Table::new(
+        "Table 2 reference points (exact f32 inference after training)",
+        &["model", "exact ppl", "params"],
+    );
+    for p in opts.iter().chain(&llamas) {
+        notes.row(vec![
+            p.name.to_string(),
+            f(p.fp32_ppl, 3),
+            p.model.cfg.param_count().to_string(),
+        ]);
+    }
+    notes.emit("tab02_reference");
+}

@@ -1,0 +1,120 @@
+//! Shared experiment fixtures: trained proxy models and their corpora.
+//!
+//! Training is deterministic (fixed seeds), so every binary regenerates
+//! identical models. The proxy ladder stands in for the paper's OPT /
+//! LLaMA-2 checkpoints per the substitution documented in DESIGN.md; after
+//! training, LLM-like outlier channels are induced function-preservingly
+//! (see `TransformerLm::induce_outlier_channels`) on the ReLU (OPT-style)
+//! proxies.
+
+use axcore_nn::corpus::{Corpus, MarkovSpec};
+use axcore_nn::layers::ActKind;
+use axcore_nn::model::{LmConfig, TransformerLm};
+use axcore_nn::serialize::{load_model, save_model};
+use axcore_nn::train::{train, TrainConfig};
+use std::path::PathBuf;
+
+/// A trained proxy model with its corpus and reporting name.
+pub struct TrainedProxy {
+    /// Stand-in name (which paper model this proxies).
+    pub name: &'static str,
+    /// The trained model.
+    pub model: TransformerLm,
+    /// Its corpus (train split = calibration source, val split = eval).
+    pub corpus: Corpus,
+    /// Weight-group size used when quantizing (paper: 128 for OPT, 64 for
+    /// LLaMA-2; scaled to 32 here so the proxies' layer widths hold several
+    /// groups, preserving the fine-grained-scale behaviour).
+    pub group: usize,
+    /// Exact-inference validation perplexity after training.
+    pub fp32_ppl: f64,
+}
+
+/// Evaluation sequence length for the proxies.
+pub const EVAL_SEQ: usize = 48;
+
+/// On-disk cache location for a trained proxy (under `target/`, so
+/// `cargo clean` clears it; seeds are deterministic, so the cache is
+/// equivalent to retraining).
+fn cache_path(name: &str, seed: u64, steps: usize) -> PathBuf {
+    PathBuf::from("target/proxy_cache").join(format!(
+        "{}_{seed}_{steps}_v2.bin",
+        name.replace(['*', '-', '.'], "_")
+    ))
+}
+
+fn build(
+    name: &'static str,
+    cfg: LmConfig,
+    steps: usize,
+    seed: u64,
+    group: usize,
+) -> TrainedProxy {
+    let mut corpus = Corpus::generate(MarkovSpec::default_language(), 30_000, 4_000);
+    corpus.val.truncate(1_500); // bit-level eval budget (single-core CPU)
+    let path = cache_path(name, seed, steps);
+    let (model, nll) = match load_model(cfg, &path) {
+        Ok(m) => {
+            let nll = m.nll_exact(&corpus.val, EVAL_SEQ);
+            (m, nll)
+        }
+        Err(_) => {
+            let mut m = TransformerLm::new(cfg, seed);
+            let tc = TrainConfig {
+                steps,
+                batch: 4,
+                seq_len: EVAL_SEQ,
+                ..Default::default()
+            };
+            let nll = train(&mut m, &corpus, &tc);
+            if cfg.act == ActKind::Relu {
+                m.induce_outlier_channels(cfg.d_ff / 12, 48.0);
+            }
+            if let Err(e) = save_model(&mut m, &path) {
+                eprintln!("warning: could not cache {name}: {e}");
+            }
+            (m, nll)
+        }
+    };
+    TrainedProxy {
+        name,
+        model,
+        corpus,
+        group,
+        fp32_ppl: nll.exp(),
+    }
+}
+
+/// The four OPT-proxy sizes of Table 2 (group size 128, capped by width).
+/// Larger proxies train longer, so perplexity improves down the ladder as
+/// it does across the paper's OPT sizes.
+pub fn opt_ladder() -> Vec<TrainedProxy> {
+    let cfgs = LmConfig::proxy_ladder();
+    let names = ["OPT-2.7B*", "OPT-6.7B*", "OPT-13B*", "OPT-30B*"];
+    let steps = [220, 280, 360, 440];
+    cfgs.iter()
+        .zip(names)
+        .zip(steps)
+        .enumerate()
+        .map(|(i, ((cfg, name), steps))| build(name, *cfg, steps, 1000 + i as u64, 32))
+        .collect()
+}
+
+/// The two LLaMA-proxy sizes of Table 2 (GELU FFN, group size 64 scaled).
+pub fn llama_ladder() -> Vec<TrainedProxy> {
+    let cfgs = LmConfig::llama_proxy_ladder();
+    let names = ["LLaMA2-7B*", "LLaMA2-70B*"];
+    let steps = [320, 440];
+    cfgs.iter()
+        .zip(names)
+        .zip(steps)
+        .enumerate()
+        .map(|(i, ((cfg, name), steps))| build(name, *cfg, steps, 2000 + i as u64, 32))
+        .collect()
+}
+
+/// A single mid-size proxy for quick experiments (the "OPT-6.7B*" point).
+pub fn single_proxy() -> TrainedProxy {
+    let cfg = LmConfig::proxy_ladder()[1];
+    build("OPT-6.7B*", cfg, 350, 1001, 32)
+}

@@ -1,0 +1,34 @@
+//! # axcore-bench
+//!
+//! The benchmark harness regenerating every table and figure of the
+//! paper's evaluation. Each target is a binary in `src/bin` named after
+//! the experiment it reproduces (run with
+//! `cargo run -p axcore-bench --release --bin <name>`); Criterion
+//! micro-benchmarks of the kernels live in `benches/`.
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `fig01_headline` | Fig. 1 (headline density + perplexity) |
+//! | `fig02_ops_breakdown` | Fig. 2 (attention vs linear OPs) |
+//! | `fig04_fpma_degradation` | Fig. 4 (FPMA perplexity degradation) |
+//! | `tab01_snc_table` | Table 1 / Fig. 5 (SNC conversion tables) |
+//! | `fig06_error_surface` | Fig. 6 (mpFPMA error surfaces) |
+//! | `fig07_format_distribution` | Fig. 7 (per-layer format selection) |
+//! | `fig14_pe_area` | Fig. 14 (PE area breakdown) |
+//! | `fig15_gemm_area` | Fig. 15 (GEMM-unit area breakdown) |
+//! | `fig16_compute_density` | Fig. 16 (normalized compute density) |
+//! | `fig17_energy` | Fig. 17 (energy breakdown + TOPS/W) |
+//! | `fig18_snr` | Fig. 18 (SNR vs fan-in) |
+//! | `fig19_tender` | Fig. 19 (vs Tender) |
+//! | `tab02_perplexity` | Table 2 (perplexity across schemes) |
+//! | `tab03_zeroshot` | Table 3 (zero-shot-style task accuracy) |
+//! | `ablation_compensation` | extra: per-pair vs mean compensation |
+//! | `ablation_blocksize` | extra: format-selection block-size sweep |
+//!
+//! Every binary prints an aligned text table and writes a CSV under
+//! `results/`.
+
+#![forbid(unsafe_code)]
+
+pub mod fixtures;
+pub mod report;

@@ -1,0 +1,304 @@
+//! Non-normalized partial-sum accumulation and the shared normalization
+//! unit — §5.3.2 of the paper (*Normalization Postponing*).
+//!
+//! Traditional FP GEMM PEs normalize after every addition (leading-zero
+//! detection, shifting, rounding — expensive per-PE logic). AxCore instead
+//! accumulates partial sums in a *raw* form — sign, maximum exponent seen,
+//! and a fixed-point significand with `N_m + 2` fraction bits plus integer
+//! guard bits — and defers the Abs → LZD → shift → round pipeline to one
+//! shared [`NormUnit`] per column group, cutting the logic by the array
+//! height.
+
+use axcore_softfloat::FpFormat;
+
+/// A partial sum in the PE's deferred-normalization representation.
+///
+/// The value is `sig · 2^(exp − bias − frac_bits)` where `exp` is the
+/// (biased) anchor exponent, `sig` is a signed fixed-point significand with
+/// `frac_bits = N_m + 2` fraction bits, and integer guard bits grow to the
+/// left (we carry them in an `i64`, which is sufficient for fan-ins beyond
+/// 2^40 — far past the 32 768 the paper evaluates).
+///
+/// Alignment behaviour is hardware-faithful: when a product with a larger
+/// exponent arrives, the accumulated significand is shifted right and its
+/// low bits are *dropped*, exactly as a fixed-width accumulator would.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartialAcc {
+    exp: i32,
+    sig: i64,
+    frac_bits: u32,
+    man_bits: u32,
+}
+
+impl PartialAcc {
+    /// Fresh accumulator for products in the given activation/result format.
+    pub fn new(act: FpFormat) -> Self {
+        PartialAcc {
+            exp: 0,
+            sig: 0,
+            frac_bits: act.man_bits + 2,
+            man_bits: act.man_bits,
+        }
+    }
+
+    /// True if nothing (or exact cancellation) has accumulated.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.sig == 0
+    }
+
+    /// The anchor (biased) exponent.
+    #[inline]
+    pub fn exponent(&self) -> i32 {
+        self.exp
+    }
+
+    /// The raw signed significand (fixed point, `frac_bits` fraction bits).
+    #[inline]
+    pub fn significand(&self) -> i64 {
+        self.sig
+    }
+
+    /// Add one product, given as a *normal* magnitude bit pattern in the
+    /// result format (exponent field ≥ 1 — the PE's multiply clamp
+    /// guarantees this) plus its sign. Zero products must be filtered by
+    /// the Guard unit before reaching the adder; passing `mag == 0` is a
+    /// no-op for convenience.
+    pub fn add_product(&mut self, mag: u32, sign: bool) {
+        if mag == 0 {
+            return;
+        }
+        let er = (mag >> self.man_bits) as i32;
+        let man = mag & ((1u32 << self.man_bits) - 1);
+        debug_assert!(er >= 1, "subnormal product reached the partial adder");
+        // Significand 1.M with frac_bits fraction bits (2 guard LSBs).
+        let mut inc = (((1u64 << self.man_bits) | man as u64) << (self.frac_bits - self.man_bits))
+            as i64;
+        if sign {
+            inc = -inc;
+        }
+        if self.sig == 0 {
+            self.exp = er;
+            self.sig = inc;
+            return;
+        }
+        if er > self.exp {
+            let shift = (er - self.exp).min(63) as u32;
+            self.sig >>= shift; // drop low bits: fixed-width alignment
+            self.exp = er;
+            self.sig += inc;
+        } else {
+            let shift = (self.exp - er).min(63) as u32;
+            self.sig += inc >> shift;
+        }
+    }
+
+    /// Merge another partial accumulator (used when chaining systolic
+    /// passes whose group spans several array loads).
+    pub fn merge(&mut self, other: &PartialAcc) {
+        debug_assert_eq!(self.frac_bits, other.frac_bits);
+        if other.sig == 0 {
+            return;
+        }
+        if self.sig == 0 {
+            *self = *other;
+            return;
+        }
+        if other.exp > self.exp {
+            let shift = (other.exp - self.exp).min(63) as u32;
+            self.sig = (self.sig >> shift) + other.sig;
+            self.exp = other.exp;
+        } else {
+            let shift = (self.exp - other.exp).min(63) as u32;
+            self.sig += other.sig >> shift;
+        }
+    }
+
+    /// Exact decoded value (for tests and diagnostics).
+    pub fn value(&self, act: FpFormat) -> f64 {
+        if self.sig == 0 {
+            return 0.0;
+        }
+        self.sig as f64 * 2f64.powi(self.exp - act.bias() - self.frac_bits as i32)
+    }
+}
+
+/// The shared normalization module (Fig. 11c): Abs → LZD → shift → round,
+/// producing a standard bit pattern in the result format.
+#[derive(Debug, Clone, Copy)]
+pub struct NormUnit {
+    act: FpFormat,
+}
+
+impl NormUnit {
+    /// A normalization unit for the given result format.
+    pub fn new(act: FpFormat) -> Self {
+        NormUnit { act }
+    }
+
+    /// Normalize a partial sum into a standard (sign, exponent, mantissa)
+    /// pattern, rounding to nearest-even; saturates on overflow and flushes
+    /// to zero below the normal range (the datapath convention).
+    pub fn normalize(&self, acc: &PartialAcc) -> u32 {
+        let f = &self.act;
+        if acc.sig == 0 {
+            return 0;
+        }
+        let sign = acc.sig < 0;
+        let a = acc.sig.unsigned_abs();
+        // Leading-one position relative to the fixed point.
+        let p = 63 - a.leading_zeros() as i32; // bit index of the MSB
+        let frac = acc.frac_bits as i32;
+        // The normalized value is a·2^(exp − bias − frac). We need the MSB
+        // at mantissa position man_bits: round away (p − man_bits) low bits.
+        let nm = f.man_bits as i32;
+        let drop = p - nm;
+        let (mut sig_r, carried) = if drop > 0 {
+            round_rne_u64(a, drop as u32)
+        } else {
+            ((a << (-drop) as u32), false)
+        };
+        let mut e_out = acc.exp + (p - frac) + if carried { 1 } else { 0 };
+        if carried {
+            sig_r >>= 1;
+        }
+        debug_assert!(sig_r >= (1 << nm) && sig_r < (1 << (nm + 1)));
+        let man = (sig_r as u32) & f.man_mask();
+        if e_out <= 0 {
+            // Below the normal range: flush (deferred-normalization
+            // accumulators do not produce subnormals).
+            return f.compose(sign, 0, 0);
+        }
+        if e_out > f.max_exp_field() as i32 {
+            return f.saturated(sign);
+        }
+        let _ = &mut e_out;
+        f.compose(sign, e_out as u32, man)
+    }
+}
+
+/// Round `v` right by `shift` bits, ties to even. Returns the rounded value
+/// and whether the rounding carried out of the original MSB position
+/// (i.e. the result needs one more exponent).
+fn round_rne_u64(v: u64, shift: u32) -> (u64, bool) {
+    if shift == 0 {
+        return (v, false);
+    }
+    if shift >= 64 {
+        return (0, false);
+    }
+    let floor = v >> shift;
+    let rem = v & ((1u64 << shift) - 1);
+    let half = 1u64 << (shift - 1);
+    let up = rem > half || (rem == half && floor & 1 == 1);
+    let r = floor + up as u64;
+    let msb_before = 63 - v.leading_zeros();
+    let msb_after = 63 - r.leading_zeros();
+    (r, msb_after > msb_before - shift)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axcore_softfloat::FP16;
+
+    fn acc_of(values: &[f64]) -> PartialAcc {
+        let mut acc = PartialAcc::new(FP16);
+        for &v in values {
+            let bits = FP16.encode(v);
+            acc.add_product(bits & FP16.magnitude_mask(), FP16.sign(bits));
+        }
+        acc
+    }
+
+    fn norm_val(values: &[f64]) -> f64 {
+        FP16.decode(NormUnit::new(FP16).normalize(&acc_of(values)))
+    }
+
+    #[test]
+    fn single_value_round_trips() {
+        for v in [1.0, -1.0, 0.5, 1.5, 65504.0, -3.140625, 6.103515625e-05] {
+            let q = FP16.quantize(v);
+            assert_eq!(norm_val(&[q]), q, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn empty_accumulator_is_zero() {
+        assert_eq!(norm_val(&[]), 0.0);
+        assert!(acc_of(&[]).is_zero());
+    }
+
+    #[test]
+    fn exact_cancellation() {
+        assert_eq!(norm_val(&[3.5, -3.5]), 0.0);
+        assert_eq!(norm_val(&[1.0, 2.0, -3.0]), 0.0);
+    }
+
+    #[test]
+    fn small_sums_exact() {
+        assert_eq!(norm_val(&[1.0, 1.0]), 2.0);
+        assert_eq!(norm_val(&[1.5, 2.5]), 4.0);
+        assert_eq!(norm_val(&[0.5, -0.25]), 0.25);
+        assert_eq!(norm_val(&[1.0, 2f64.powi(-10)]), 1.0 + 2f64.powi(-10));
+    }
+
+    #[test]
+    fn guard_bits_capture_two_extra_places() {
+        // 1.0 + 2^-12 is representable in the accumulator (Nm+2 = 12
+        // fraction bits) even though it rounds away in FP16.
+        let acc = acc_of(&[1.0, 2f64.powi(-12)]);
+        assert_eq!(acc.value(FP16), 1.0 + 2f64.powi(-12));
+        // Normalization rounds to nearest-even FP16: ties-to-even → 1.0.
+        assert_eq!(norm_val(&[1.0, 2f64.powi(-12)]), 1.0);
+    }
+
+    #[test]
+    fn alignment_drops_low_bits_like_hardware() {
+        // Adding a much larger value after a tiny one discards the tiny
+        // value's bits beyond the 12-bit window.
+        assert_eq!(norm_val(&[2f64.powi(-14), 1.0]), 1.0);
+        // But within the window it survives.
+        assert_eq!(norm_val(&[2f64.powi(-9), 1.0]), 1.0 + 2.0 * 2f64.powi(-10));
+    }
+
+    #[test]
+    fn long_accumulation_matches_f64_within_guard_precision() {
+        let vals: Vec<f64> = (0..256)
+            .map(|i| FP16.quantize(((i * 37) % 23) as f64 * 0.37 - 4.0))
+            .collect();
+        let exact: f64 = vals.iter().sum();
+        let got = norm_val(&vals);
+        let rel = (got - exact).abs() / exact.abs().max(1.0);
+        assert!(rel < 2e-3, "exact {exact} got {got}");
+    }
+
+    #[test]
+    fn overflow_saturates_underflow_flushes() {
+        assert_eq!(norm_val(&[65504.0, 65504.0]), 65504.0);
+        assert_eq!(norm_val(&[-65504.0, -65504.0]), -65504.0);
+        // Two minimum normals sum within range.
+        let mn = FP16.min_positive_normal();
+        assert_eq!(norm_val(&[mn, mn]), 2.0 * mn);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let mut a = acc_of(&[1.5, -0.75, 32.0]);
+        let b = acc_of(&[0.125, 4.0]);
+        a.merge(&b);
+        let direct = acc_of(&[1.5, -0.75, 32.0, 0.125, 4.0]);
+        let n = NormUnit::new(FP16);
+        assert_eq!(n.normalize(&a), n.normalize(&direct));
+    }
+
+    #[test]
+    fn rne_rounding_in_norm() {
+        // 2 + 2^-9 is exactly representable at binade [2,4) (ulp 2^-9).
+        assert_eq!(norm_val(&[2.0, 2f64.powi(-9)]), 2.0 + 2f64.powi(-9));
+        // 2 + 2^-10 is halfway between mantissa 0 and 1: tie → even (0).
+        assert_eq!(norm_val(&[2.0, 2f64.powi(-10)]), 2.0);
+        // 2 + 3·2^-10 is halfway between mantissa 1 and 2: tie → even (2).
+        assert_eq!(norm_val(&[2.0, 3.0 * 2f64.powi(-10)]), 2.0 + 2f64.powi(-8));
+    }
+}

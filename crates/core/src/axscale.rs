@@ -1,0 +1,109 @@
+//! The AxScale unit — §5.3.3 of the paper (*FPMA-based Dequantization*).
+//!
+//! Group-wise quantization requires every normalized group partial sum to
+//! be multiplied by its FP16 scale factor. Instead of a multiplier, AxCore
+//! applies Eq. 17 — `O = O_q + S − B + C₂` — two integer additions in the
+//! log domain, with `C₂` the uniform-FPMA compensation constant for the
+//! result format.
+
+use axcore_fpma::uniform::fpma_mul;
+use axcore_fpma::CompensationTable;
+use axcore_softfloat::{FpFormat, FP16};
+
+/// The FPMA dequantization/scaling unit.
+#[derive(Debug, Clone, Copy)]
+pub struct AxScale {
+    act: FpFormat,
+    c2: i32,
+}
+
+impl AxScale {
+    /// An AxScale unit for the given result format, with `C₂` from Eq. 11.
+    pub fn new(act: FpFormat) -> Self {
+        AxScale {
+            act,
+            c2: CompensationTable::global().c2(act),
+        }
+    }
+
+    /// Disable compensation (ablation variant).
+    pub fn without_compensation(mut self) -> Self {
+        self.c2 = 0;
+        self
+    }
+
+    /// The active `C₂` constant.
+    pub fn c2(&self) -> i32 {
+        self.c2
+    }
+
+    /// Scale a normalized output `o_bits` (result-format pattern) by an
+    /// FP16 scale factor, per Eq. 17.
+    pub fn apply(&self, o_bits: u32, scale_fp16_bits: u16) -> u32 {
+        // Re-encode the scale into the result format when they differ
+        // (exact for BF16/FP32 targets of FP16-representable scales up to
+        // their range).
+        let s_bits = if self.act == FP16 {
+            scale_fp16_bits as u32
+        } else {
+            self.act.encode(FP16.decode(scale_fp16_bits as u32))
+        };
+        fpma_mul(self.act, o_bits, s_bits, self.c2)
+    }
+
+    /// Convenience: apply and decode.
+    pub fn apply_f64(&self, o: f64, scale: f64) -> f64 {
+        let o_bits = self.act.encode(o);
+        let s_bits = FP16.encode(scale) as u16;
+        self.act.decode(self.apply(o_bits, s_bits))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_of_two_scales_with_compensation_overshoot_bounded() {
+        let ax = AxScale::new(FP16);
+        // Power-of-two scale on zero-mantissa output: FPMA itself is exact,
+        // so the only deviation is the mean compensation (≈ +4–6 %).
+        let r = ax.apply_f64(4.0, 0.25);
+        let rel = (r - 1.0f64).abs();
+        assert!(rel < 0.07, "rel {rel}");
+    }
+
+    #[test]
+    fn uncompensated_power_of_two_exact() {
+        let ax = AxScale::new(FP16).without_compensation();
+        assert_eq!(ax.apply_f64(4.0, 0.25), 1.0);
+        assert_eq!(ax.apply_f64(-12.0, 0.5), -6.0);
+        assert_eq!(ax.apply_f64(0.0, 0.125), 0.0);
+    }
+
+    #[test]
+    fn compensated_beats_uncompensated_on_average() {
+        let comp = AxScale::new(FP16);
+        let raw = AxScale::new(FP16).without_compensation();
+        let (mut e_comp, mut e_raw) = (0.0f64, 0.0f64);
+        let mut o = 1.01;
+        while o < 1000.0 {
+            let mut s = 0.011;
+            while s < 1.0 {
+                let exact = FP16.quantize(o) * FP16.quantize(s);
+                e_comp += ((comp.apply_f64(o, s) - exact) / exact).powi(2);
+                e_raw += ((raw.apply_f64(o, s) - exact) / exact).powi(2);
+                s *= 1.618;
+            }
+            o *= 1.618;
+        }
+        assert!(e_comp < e_raw * 0.7, "comp {e_comp} raw {e_raw}");
+    }
+
+    #[test]
+    fn bf16_target() {
+        use axcore_softfloat::BF16;
+        let ax = AxScale::new(BF16).without_compensation();
+        assert_eq!(ax.apply_f64(8.0, 0.5), 4.0);
+    }
+}

@@ -1,0 +1,419 @@
+//! The AxCore GEMM engine: direct mixed-precision GEMM on compressed FP
+//! weights through the full modelled datapath — PreAdd → PE (SNC + integer
+//! add + Guard + partial FP adder) → shared Norm → AxScale → FP32
+//! accumulator (Fig. 8).
+
+use crate::accum::{NormUnit, PartialAcc};
+use crate::axscale::AxScale;
+use crate::engines::{check_shapes, GemmEngine};
+use crate::pe::{Pe, WeightLane};
+use crate::preadd::PreAdd;
+use axcore_fpma::snc::SncPolicy;
+use axcore_fpma::MpFpma;
+use axcore_quant::{QuantFormat, QuantizedMatrix};
+use axcore_softfloat::FpFormat;
+use std::collections::HashMap;
+
+/// Datapath configuration, covering the paper's ablation ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AxCoreConfig {
+    /// Subnormal number conversion on weight ingestion (§4.2). Off = the
+    /// paper's naive *mpFPMA* baseline row.
+    pub snc: bool,
+    /// Tie policy when SNC is on (`Stochastic` = AxCore; `RoundUp` = the
+    /// paper's “-SR” ablation).
+    pub snc_policy: SncPolicy,
+    /// Mean-based constant compensation `C₁`/`C₂` (§4.3).
+    pub compensation: bool,
+    /// Dequantize group partial sums with the AxScale FPMA adder (true,
+    /// the paper's design) or an exact multiplier (ablation).
+    pub fpma_dequant: bool,
+}
+
+impl Default for AxCoreConfig {
+    fn default() -> Self {
+        AxCoreConfig {
+            snc: true,
+            snc_policy: SncPolicy::Stochastic,
+            compensation: true,
+            fpma_dequant: true,
+        }
+    }
+}
+
+impl AxCoreConfig {
+    /// The paper's base `mpFPMA` row: no SNC, no compensation.
+    pub fn mp_fpma_base() -> Self {
+        AxCoreConfig {
+            snc: false,
+            snc_policy: SncPolicy::RoundUp,
+            compensation: false,
+            fpma_dequant: true,
+        }
+    }
+
+    /// `mpFPMA+S`: SNC only.
+    pub fn with_snc_only() -> Self {
+        AxCoreConfig {
+            snc: true,
+            snc_policy: SncPolicy::Stochastic,
+            compensation: false,
+            fpma_dequant: true,
+        }
+    }
+
+    /// `mpFPMA+S+C`: SNC + compensation (= AxCore minus format-aware
+    /// quantization, which lives on the quantizer side).
+    pub fn with_snc_and_compensation() -> Self {
+        AxCoreConfig::default()
+    }
+
+    /// `mpFPMA+S(−SR)+C`: deterministic tie rounding (Fig. 18 ablation).
+    pub fn without_stochastic_rounding() -> Self {
+        AxCoreConfig {
+            snc_policy: SncPolicy::RoundUp,
+            ..AxCoreConfig::default()
+        }
+    }
+}
+
+/// The AxCore systolic GEMM unit (functional model).
+///
+/// ```
+/// use axcore::engines::{AxCoreEngine, GemmEngine};
+/// use axcore_quant::{GroupQuantizer, QuantFormat};
+/// use axcore_softfloat::FP16;
+///
+/// let w: Vec<f32> = (0..64 * 4).map(|i| ((i % 13) as f32 - 6.0) * 0.1).collect();
+/// let q = GroupQuantizer::fixed(QuantFormat::E2M1, 32).quantize(&w, 64, 4);
+/// let a = vec![0.5f32; 2 * 64];
+/// let mut out = vec![0f32; 2 * 4];
+/// AxCoreEngine::new(FP16).gemm(&a, 2, &q, &mut out);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AxCoreEngine {
+    act: FpFormat,
+    cfg: AxCoreConfig,
+}
+
+impl AxCoreEngine {
+    /// AxCore with the full default datapath (SNC + stochastic ties +
+    /// compensation + AxScale).
+    pub fn new(act: FpFormat) -> Self {
+        AxCoreEngine {
+            act,
+            cfg: AxCoreConfig::default(),
+        }
+    }
+
+    /// AxCore with an explicit configuration (ablation rows).
+    pub fn with_config(act: FpFormat, cfg: AxCoreConfig) -> Self {
+        AxCoreEngine { act, cfg }
+    }
+
+    /// The activation/result format.
+    pub fn act_format(&self) -> FpFormat {
+        self.act
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> AxCoreConfig {
+        self.cfg
+    }
+
+    /// Build the per-format mpFPMA unit for a block format.
+    fn unit_for(&self, wf: FpFormat) -> MpFpma {
+        let mut u = MpFpma::new(self.act, wf).with_compensation(self.cfg.compensation);
+        if self.cfg.snc {
+            u = u.with_snc(self.cfg.snc_policy);
+        } else {
+            u = u.without_snc();
+        }
+        u
+    }
+}
+
+impl GemmEngine for AxCoreEngine {
+    fn name(&self) -> String {
+        let c = &self.cfg;
+        match (c.snc, c.compensation) {
+            (false, false) => "mpFPMA".into(),
+            (true, false) => "mpFPMA+S".into(),
+            (false, true) => "mpFPMA+C".into(),
+            (true, true) => {
+                if c.snc_policy == SncPolicy::Stochastic {
+                    "AxCore".into()
+                } else {
+                    "mpFPMA+S(-SR)+C".into()
+                }
+            }
+        }
+    }
+
+    fn gemm(&self, a: &[f32], m: usize, w: &QuantizedMatrix, out: &mut [f32]) {
+        check_shapes(a, m, w, out);
+        let act = self.act;
+        let pe = Pe::new(act);
+        let norm = NormUnit::new(act);
+        let axscale = if self.cfg.compensation {
+            AxScale::new(act)
+        } else {
+            AxScale::new(act).without_compensation()
+        };
+
+        // Per distinct block format: an mpFPMA unit and its PreAdd.
+        let mut units: HashMap<&'static str, (MpFpma, PreAdd)> = HashMap::new();
+        for f in &w.formats {
+            let QuantFormat::Fp(wf) = f else {
+                panic!("AxCoreEngine requires FP-quantized weights, got {f}");
+            };
+            units
+                .entry(wf.name)
+                .or_insert_with(|| {
+                    let u = self.unit_for(*wf);
+                    let p = PreAdd::for_unit(&u);
+                    (u, p)
+                });
+        }
+
+        // Stationary weight lanes, preprocessed once per GEMM (the weight
+        // preload phase of the systolic schedule).
+        let mut lanes = vec![
+            WeightLane {
+                zero_down: true,
+                zero_up: true,
+                sign: false,
+                addend_down: 0,
+                addend_up: 0
+            };
+            w.k * w.n
+        ];
+        for k in 0..w.k {
+            for col in 0..w.n {
+                let QuantFormat::Fp(wf) = w.format(k, col) else {
+                    unreachable!()
+                };
+                let (unit, _) = &units[wf.name];
+                lanes[k * w.n + col] = WeightLane::new(unit, w.code(k, col));
+            }
+        }
+
+        // Activation bit patterns, encoded once per row sweep.
+        let gs = w.group_size;
+        let groups = w.num_groups();
+        let nbc = w.num_block_cols();
+        for i in 0..m {
+            let a_row: Vec<u32> = (0..w.k).map(|k| act.encode(a[i * w.k + k] as f64)).collect();
+            for col in 0..w.n {
+                let mut acc_out = 0f32;
+                for g in 0..groups {
+                    let QuantFormat::Fp(wf) =
+                        w.formats[g * nbc + col / w.block_cols]
+                    else {
+                        unreachable!()
+                    };
+                    let (_, preadd) = &units[wf.name];
+                    let mut pacc = PartialAcc::new(act);
+                    for k in g * gs..(g + 1) * gs {
+                        let term = preadd.term(a_row[k]);
+                        pe.mac(
+                            &mut pacc,
+                            term.t,
+                            term.sign,
+                            term.zero,
+                            term.stochastic_bit,
+                            &lanes[k * w.n + col],
+                        );
+                    }
+                    let o_bits = norm.normalize(&pacc);
+                    let scale_bits = w.scales[g * w.n + col];
+                    let scaled = if self.cfg.fpma_dequant {
+                        act.decode(axscale.apply(o_bits, scale_bits))
+                    } else {
+                        act.decode(o_bits) * w.scale(g * gs, col)
+                    };
+                    // FP32 final accumulator (Fig. 8, bottom).
+                    acc_out += scaled as f32;
+                }
+                out[i * w.n + col] = acc_out;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engines::reference_gemm;
+    use axcore_quant::GroupQuantizer;
+    use axcore_softfloat::FP16;
+
+    fn toy_weights(k: usize, n: usize) -> Vec<f32> {
+        (0..k * n)
+            .map(|i| ((i * 2654435761usize % 997) as f32 / 498.5 - 1.0) * 0.4)
+            .collect()
+    }
+
+    fn toy_acts(m: usize, k: usize) -> Vec<f32> {
+        (0..m * k)
+            .map(|i| ((i * 40503 % 65536) as f32 / 32768.0 - 1.0) * 1.3)
+            .collect()
+    }
+
+    #[test]
+    fn close_to_reference_on_random_gemm() {
+        let (m, k, n) = (4, 128, 8);
+        let wf = toy_weights(k, n);
+        let q = GroupQuantizer::adaptive_fp4(64, 4, None).quantize(&wf, k, n);
+        let a = toy_acts(m, k);
+        let mut out = vec![0f32; m * n];
+        AxCoreEngine::new(FP16).gemm(&a, m, &q, &mut out);
+
+        let wq = q.dequant_all();
+        let mut reference = vec![0f64; m * n];
+        reference_gemm(&a, m, &wq, k, n, &mut reference);
+        let sig: f64 = reference.iter().map(|x| x * x).sum();
+        let noise: f64 = reference
+            .iter()
+            .zip(&out)
+            .map(|(r, o)| (r - *o as f64).powi(2))
+            .sum();
+        let snr = 10.0 * (sig / noise).log10();
+        assert!(snr > 20.0, "SNR only {snr:.1} dB");
+    }
+
+    #[test]
+    fn ablation_ladder_on_e1m2() {
+        // The paper's Fig. 18 ordering — mpFPMA < mpFPMA+S < mpFPMA+S+C —
+        // on E1M2-quantized weights (the format with the most subnormal
+        // codes) and zero-mean data, at a sample size where the ordering is
+        // statistically stable.
+        let (m, k, n) = (16, 512, 32);
+        let wf: Vec<f32> = (0..k * n)
+            .map(|i| ((i * 2654435761usize % 9973) as f32 / 4986.5 - 1.0) * 0.4)
+            .collect();
+        let a: Vec<f32> = (0..m * k)
+            .map(|i| ((i * 48271 % 65521) as f32 / 32760.5 - 1.0) * 1.3)
+            .collect();
+        let q = GroupQuantizer::fixed(QuantFormat::E1M2, 64).quantize(&wf, k, n);
+        let wq = q.dequant_all();
+        let mut reference = vec![0f64; m * n];
+        reference_gemm(&a, m, &wq, k, n, &mut reference);
+        let sig: f64 = reference.iter().map(|x| x * x).sum();
+        let snr_of = |cfg: AxCoreConfig| {
+            let mut out = vec![0f32; m * n];
+            AxCoreEngine::with_config(FP16, cfg).gemm(&a, m, &q, &mut out);
+            let noise: f64 = reference
+                .iter()
+                .zip(&out)
+                .map(|(r, o)| (r - *o as f64).powi(2))
+                .sum();
+            10.0 * (sig / noise).log10()
+        };
+        let base = snr_of(AxCoreConfig::mp_fpma_base());
+        let s = snr_of(AxCoreConfig::with_snc_only());
+        let sc = snr_of(AxCoreConfig::default());
+        assert!(s > base + 0.5, "SNC gain: {base:.2} → {s:.2} dB");
+        assert!(sc > s + 0.5, "compensation gain: {s:.2} → {sc:.2} dB");
+    }
+
+    #[test]
+    fn compensation_removes_coherent_bias() {
+        // Positive (uniform) data, as in the paper's Fig. 18: systematic
+        // per-product errors accumulate *coherently* across the fan-in.
+        // Uncompensated mpFPMA carries the Mitchell bias in both the PE
+        // products and the AxScale dequantization; the C₁/C₂ constants
+        // cancel it, collapsing both the bias and the total error.
+        let (m, k, n) = (4, 256, 8);
+        let wf: Vec<f32> = toy_weights(k, n).iter().map(|w| w.abs() + 0.01).collect();
+        let q = GroupQuantizer::fixed(QuantFormat::E1M2, 64).quantize(&wf, k, n);
+        let a: Vec<f32> = toy_acts(m, k).iter().map(|a| a.abs()).collect();
+        let wq = q.dequant_all();
+        let mut reference = vec![0f64; m * n];
+        reference_gemm(&a, m, &wq, k, n, &mut reference);
+        let stats_of = |cfg: AxCoreConfig| {
+            let mut out = vec![0f32; m * n];
+            AxCoreEngine::with_config(FP16, cfg).gemm(&a, m, &q, &mut out);
+            let rels: Vec<f64> = reference
+                .iter()
+                .zip(&out)
+                .map(|(r, o)| (*o as f64 - r) / r)
+                .collect();
+            let bias = rels.iter().sum::<f64>() / rels.len() as f64;
+            let rms = (rels.iter().map(|x| x * x).sum::<f64>() / rels.len() as f64).sqrt();
+            (bias, rms)
+        };
+        let (bias_s, rms_s) = stats_of(AxCoreConfig::with_snc_only());
+        let (bias_sc, rms_sc) = stats_of(AxCoreConfig::default());
+        assert!(bias_s < -0.04, "uncompensated bias should be clearly negative: {bias_s}");
+        assert!(
+            bias_sc.abs() < bias_s.abs() / 3.0,
+            "compensation must collapse the bias: {bias_s:+.4} → {bias_sc:+.4}"
+        );
+        assert!(rms_sc < rms_s * 0.5, "total error: {rms_s:.4} → {rms_sc:.4}");
+    }
+
+    #[test]
+    fn zero_activations_give_zero_output() {
+        let (m, k, n) = (2, 64, 4);
+        let q = GroupQuantizer::fixed(QuantFormat::E2M1, 32).quantize(&toy_weights(k, n), k, n);
+        let a = vec![0f32; m * k];
+        let mut out = vec![1f32; m * n];
+        AxCoreEngine::new(FP16).gemm(&a, m, &q, &mut out);
+        assert!(out.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn zero_weights_give_zero_output() {
+        let (m, k, n) = (2, 64, 4);
+        let q = GroupQuantizer::fixed(QuantFormat::E2M1, 32).quantize(&vec![0f32; k * n], k, n);
+        let a = toy_acts(m, k);
+        let mut out = vec![1f32; m * n];
+        AxCoreEngine::new(FP16).gemm(&a, m, &q, &mut out);
+        assert!(out.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn linearity_in_activations() {
+        // Doubling A doubles O (the datapath is exponent-linear and the
+        // doubling is exact in FP16).
+        let (m, k, n) = (1, 64, 4);
+        let q = GroupQuantizer::fixed(QuantFormat::E2M1, 64).quantize(&toy_weights(k, n), k, n);
+        let a = toy_acts(m, k);
+        let a2: Vec<f32> = a.iter().map(|x| x * 2.0).collect();
+        let (mut o1, mut o2) = (vec![0f32; n], vec![0f32; n]);
+        let eng = AxCoreEngine::with_config(FP16, AxCoreConfig::without_stochastic_rounding());
+        eng.gemm(&a, m, &q, &mut o1);
+        eng.gemm(&a2, m, &q, &mut o2);
+        for j in 0..n {
+            let rel = (o2[j] - 2.0 * o1[j]).abs() / o1[j].abs().max(1e-6);
+            assert!(rel < 1e-3, "col {j}: {} vs 2×{}", o2[j], o1[j]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires FP-quantized weights")]
+    fn rejects_int_weights() {
+        let (k, n) = (32, 2);
+        let q = GroupQuantizer::fixed(QuantFormat::INT4, 32).quantize(&toy_weights(k, n), k, n);
+        let mut out = vec![0f32; n];
+        AxCoreEngine::new(FP16).gemm(&vec![1.0; k], 1, &q, &mut out);
+    }
+
+    #[test]
+    fn names_follow_ablation_ladder() {
+        assert_eq!(AxCoreEngine::new(FP16).name(), "AxCore");
+        assert_eq!(
+            AxCoreEngine::with_config(FP16, AxCoreConfig::mp_fpma_base()).name(),
+            "mpFPMA"
+        );
+        assert_eq!(
+            AxCoreEngine::with_config(FP16, AxCoreConfig::with_snc_only()).name(),
+            "mpFPMA+S"
+        );
+        assert_eq!(
+            AxCoreEngine::with_config(FP16, AxCoreConfig::without_stochastic_rounding()).name(),
+            "mpFPMA+S(-SR)+C"
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! The FPC baseline: a conventional floating-point GEMM core with exact
+//! fused-multiply-add PEs and FP32 accumulators (§6.1.3).
+//!
+//! With quantized weights the FPC executes *indirect* GEMM (Fig. 3b): codes
+//! are dequantized to the activation format first, then multiplied exactly.
+
+use crate::engines::{check_shapes, GemmEngine};
+use axcore_quant::QuantizedMatrix;
+use axcore_softfloat::FpFormat;
+
+/// Exact FMA GEMM core ("FPC" in the paper's figures).
+#[derive(Debug, Clone, Copy)]
+pub struct ExactEngine {
+    act: FpFormat,
+}
+
+impl ExactEngine {
+    /// An exact GEMM core for the given activation format.
+    pub fn new(act: FpFormat) -> Self {
+        ExactEngine { act }
+    }
+
+    /// The activation format.
+    pub fn act_format(&self) -> FpFormat {
+        self.act
+    }
+}
+
+impl GemmEngine for ExactEngine {
+    fn name(&self) -> String {
+        format!("FPC-{}", self.act.name)
+    }
+
+    fn gemm(&self, a: &[f32], m: usize, w: &QuantizedMatrix, out: &mut [f32]) {
+        check_shapes(a, m, w, out);
+        // Dequantize once into the activation format (indirect GEMM).
+        let mut wr = vec![0f64; w.k * w.n];
+        for k in 0..w.k {
+            for c in 0..w.n {
+                wr[k * w.n + c] = self.act.quantize(w.dequant(k, c));
+            }
+        }
+        for i in 0..m {
+            // Quantize the activation row to the core's input format.
+            let arow: Vec<f64> = (0..w.k)
+                .map(|k| self.act.quantize(a[i * w.k + k] as f64))
+                .collect();
+            for c in 0..w.n {
+                // Exact product (both operands ≤ 24 significand bits →
+                // exact in f64), FP32 accumulation per add.
+                let mut acc = 0f32;
+                for k in 0..w.k {
+                    acc += (arow[k] * wr[k * w.n + c]) as f32;
+                }
+                out[i * w.n + c] = acc;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axcore_quant::{GroupQuantizer, QuantFormat};
+    use axcore_softfloat::{FP16, FP32};
+
+    #[test]
+    fn exact_on_representable_data() {
+        let (m, k, n) = (2, 32, 2);
+        let w: Vec<f32> = (0..k * n).map(|i| [0.5f32, -1.0, 2.0, 1.5][i % 4]).collect();
+        let q = GroupQuantizer::fixed(QuantFormat::E2M1, 32).quantize(&w, k, n);
+        let a: Vec<f32> = (0..m * k).map(|i| [1.0f32, -0.5][i % 2]).collect();
+        let mut out = vec![0f32; m * n];
+        ExactEngine::new(FP16).gemm(&a, m, &q, &mut out);
+        // Reference in f64.
+        for i in 0..m {
+            for c in 0..n {
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += a[i * k + kk] as f64 * w[kk * n + c] as f64;
+                }
+                assert_eq!(out[i * n + c] as f64, acc);
+            }
+        }
+    }
+
+    #[test]
+    fn works_with_int_weights() {
+        let (k, n) = (32, 2);
+        let w: Vec<f32> = (0..k * n).map(|i| (i as f32 - 30.0) * 0.01).collect();
+        let q = GroupQuantizer::fixed(QuantFormat::INT4, 32).quantize(&w, k, n);
+        let mut out = vec![0f32; n];
+        ExactEngine::new(FP32).gemm(&vec![1.0f32; k], 1, &q, &mut out);
+        let col0: f64 = (0..k).map(|kk| q.dequant(kk, 0)).sum();
+        assert!((out[0] as f64 - col0).abs() < 1e-3);
+    }
+}

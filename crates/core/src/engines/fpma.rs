@@ -1,0 +1,99 @@
+//! The uniform-FPMA baseline (§6.1.3): an FPC whose multipliers are
+//! replaced by original (same-precision) FPMA adders.
+//!
+//! Weights are dequantized to the activation format first (indirect GEMM,
+//! Fig. 3b), each product is approximated with `R = X + Y − B`, and partial
+//! sums accumulate through activation-format adders — the configuration the
+//! paper describes for its FPMA baseline. No subnormal handling, no
+//! compensation.
+
+use crate::engines::{check_shapes, GemmEngine};
+use axcore_fpma::uniform::fpma_mul;
+use axcore_quant::QuantizedMatrix;
+use axcore_softfloat::{FpFormat, FP32};
+
+/// Uniform-precision FPMA GEMM core.
+#[derive(Debug, Clone, Copy)]
+pub struct FpmaEngine {
+    act: FpFormat,
+}
+
+impl FpmaEngine {
+    /// An FPMA core for the given activation format.
+    pub fn new(act: FpFormat) -> Self {
+        FpmaEngine { act }
+    }
+}
+
+impl GemmEngine for FpmaEngine {
+    fn name(&self) -> String {
+        format!("FPMA-{}", self.act.name)
+    }
+
+    fn gemm(&self, a: &[f32], m: usize, w: &QuantizedMatrix, out: &mut [f32]) {
+        check_shapes(a, m, w, out);
+        let act = self.act;
+        // Accumulation format: FP16/BF16 activations use same-width adders,
+        // FP32 activations use FP32 adders (paper §6.1.3).
+        let acc_fmt = if act == FP32 { FP32 } else { act };
+        let mut wr = vec![0u32; w.k * w.n];
+        for k in 0..w.k {
+            for c in 0..w.n {
+                wr[k * w.n + c] = act.encode(w.dequant(k, c));
+            }
+        }
+        for i in 0..m {
+            let arow: Vec<u32> = (0..w.k).map(|k| act.encode(a[i * w.k + k] as f64)).collect();
+            for c in 0..w.n {
+                // Accumulate with format-width adds (each partial sum is
+                // rounded back to the accumulation format, as the baseline's
+                // in-PE adders would).
+                let mut acc_bits = acc_fmt.encode(0.0);
+                for k in 0..w.k {
+                    let p = fpma_mul(act, arow[k], wr[k * w.n + c], 0);
+                    let sum = acc_fmt.decode(acc_bits) + act.decode(p);
+                    acc_bits = acc_fmt.encode(sum);
+                }
+                out[i * w.n + c] = acc_fmt.decode(acc_bits) as f32;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engines::ExactEngine;
+    use axcore_quant::{GroupQuantizer, QuantFormat};
+    use axcore_softfloat::FP16;
+
+    #[test]
+    fn approximates_exact_engine() {
+        let (m, k, n) = (2, 64, 4);
+        let w: Vec<f32> = (0..k * n)
+            .map(|i| ((i * 37 % 101) as f32 / 50.0 - 1.0) * 0.3)
+            .collect();
+        let q = GroupQuantizer::fixed(QuantFormat::E2M1, 64).quantize(&w, k, n);
+        let a: Vec<f32> = (0..m * k).map(|i| (i * 53 % 97) as f32 / 48.0 - 1.0).collect();
+        let (mut o_fpma, mut o_exact) = (vec![0f32; m * n], vec![0f32; m * n]);
+        FpmaEngine::new(FP16).gemm(&a, m, &q, &mut o_fpma);
+        ExactEngine::new(FP16).gemm(&a, m, &q, &mut o_exact);
+        for j in 0..m * n {
+            let rel = (o_fpma[j] - o_exact[j]).abs() / o_exact[j].abs().max(0.5);
+            assert!(rel < 0.2, "elem {j}: {} vs {}", o_fpma[j], o_exact[j]);
+        }
+        // And it is *not* exact (the approximation must show).
+        assert!(o_fpma.iter().zip(&o_exact).any(|(a, b)| a != b));
+    }
+
+    #[test]
+    fn exact_on_powers_of_two() {
+        let (k, n) = (32, 1);
+        let w = vec![0.5f32; k * n];
+        let q = GroupQuantizer::fixed(QuantFormat::E2M1, 32).quantize(&w, k, n);
+        let a = vec![2.0f32; k];
+        let mut out = vec![0f32; 1];
+        FpmaEngine::new(FP16).gemm(&a, 1, &q, &mut out);
+        assert_eq!(out[0], 32.0);
+    }
+}

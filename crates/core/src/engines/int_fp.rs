@@ -1,0 +1,137 @@
+//! FIGNA- and FIGLUT-style baselines (§6.1.3): exact FP-INT mixed-precision
+//! GEMM units for weight-only-quantized LLMs.
+//!
+//! Both designs compute the *numerically exact* sum
+//! `Σ a_k · code_k × scale_g` — FIGNA by converting the FP activation to
+//! fixed point and using integer multipliers, FIGLUT by precomputing lookup
+//! tables of activation sums and streaming weight bits serially. They
+//! differ in hardware cost (modelled in `axcore-hwmodel`), not numerics, so
+//! both share this implementation with different names.
+
+use crate::engines::{check_shapes, GemmEngine};
+use axcore_quant::{QuantFormat, QuantizedMatrix};
+use axcore_softfloat::FpFormat;
+
+/// Shared exact INT-FP mpGEMM implementation.
+fn int_fp_gemm(act: FpFormat, a: &[f32], m: usize, w: &QuantizedMatrix, out: &mut [f32]) {
+    for f in &w.formats {
+        assert!(
+            matches!(f, QuantFormat::Int { .. }),
+            "INT-FP engines require INT-quantized weights, got {f}"
+        );
+    }
+    let gs = w.group_size;
+    for i in 0..m {
+        let arow: Vec<f64> = (0..w.k).map(|k| act.quantize(a[i * w.k + k] as f64)).collect();
+        for c in 0..w.n {
+            let mut acc = 0f32; // FP32 accumulator across groups
+            for g in 0..w.num_groups() {
+                // Wide fixed-point accumulation inside the group is exact:
+                // activation (≤ 24 significand bits) × small integer code.
+                let fmt = w.format(g * gs, c);
+                let mut group_acc = 0f64;
+                for k in g * gs..(g + 1) * gs {
+                    let code = fmt.decode_int(w.code(k, c));
+                    group_acc += arow[k] * code as f64;
+                }
+                acc += (group_acc * w.scale(g * gs, c)) as f32;
+            }
+            out[i * w.n + c] = acc;
+        }
+    }
+}
+
+/// FIGNA: integer-unit FP-INT GEMM preserving numerical accuracy.
+#[derive(Debug, Clone, Copy)]
+pub struct FignaEngine {
+    act: FpFormat,
+}
+
+impl FignaEngine {
+    /// A FIGNA-style engine for the given activation format.
+    pub fn new(act: FpFormat) -> Self {
+        FignaEngine { act }
+    }
+}
+
+impl GemmEngine for FignaEngine {
+    fn name(&self) -> String {
+        format!("FIGNA-{}", self.act.name)
+    }
+
+    fn gemm(&self, a: &[f32], m: usize, w: &QuantizedMatrix, out: &mut [f32]) {
+        check_shapes(a, m, w, out);
+        int_fp_gemm(self.act, a, m, w, out);
+    }
+}
+
+/// FIGLUT: LUT-based FP-INT GEMM (numerically identical to FIGNA; the
+/// hardware differences live in `axcore-hwmodel`).
+#[derive(Debug, Clone, Copy)]
+pub struct FiglutEngine {
+    act: FpFormat,
+}
+
+impl FiglutEngine {
+    /// A FIGLUT-style engine for the given activation format.
+    pub fn new(act: FpFormat) -> Self {
+        FiglutEngine { act }
+    }
+}
+
+impl GemmEngine for FiglutEngine {
+    fn name(&self) -> String {
+        format!("FIGLUT-{}", self.act.name)
+    }
+
+    fn gemm(&self, a: &[f32], m: usize, w: &QuantizedMatrix, out: &mut [f32]) {
+        check_shapes(a, m, w, out);
+        int_fp_gemm(self.act, a, m, w, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engines::reference_gemm;
+    use axcore_quant::GroupQuantizer;
+    use axcore_softfloat::FP16;
+
+    #[test]
+    fn matches_dequantized_reference() {
+        let (m, k, n) = (3, 64, 4);
+        let w: Vec<f32> = (0..k * n).map(|i| ((i * 73 % 199) as f32 / 100.0 - 1.0) * 0.2).collect();
+        let q = GroupQuantizer::fixed(QuantFormat::INT4, 32).quantize(&w, k, n);
+        let a: Vec<f32> = (0..m * k).map(|i| FP16.quantize(((i * 29 % 83) as f32 / 40.0 - 1.0) as f64) as f32).collect();
+        let mut out = vec![0f32; m * n];
+        FignaEngine::new(FP16).gemm(&a, m, &q, &mut out);
+        let wq = q.dequant_all();
+        let mut reference = vec![0f64; m * n];
+        reference_gemm(&a, m, &wq, k, n, &mut reference);
+        for j in 0..m * n {
+            let rel = (out[j] as f64 - reference[j]).abs() / reference[j].abs().max(1e-3);
+            assert!(rel < 1e-4, "elem {j}");
+        }
+    }
+
+    #[test]
+    fn figlut_equals_figna() {
+        let (m, k, n) = (2, 32, 4);
+        let w: Vec<f32> = (0..k * n).map(|i| (i as f32).sin() * 0.3).collect();
+        let q = GroupQuantizer::fixed(QuantFormat::INT4, 32).quantize(&w, k, n);
+        let a: Vec<f32> = (0..m * k).map(|i| (i as f32 * 0.7).cos()).collect();
+        let (mut o1, mut o2) = (vec![0f32; m * n], vec![0f32; m * n]);
+        FignaEngine::new(FP16).gemm(&a, m, &q, &mut o1);
+        FiglutEngine::new(FP16).gemm(&a, m, &q, &mut o2);
+        assert_eq!(o1, o2);
+    }
+
+    #[test]
+    #[should_panic(expected = "require INT-quantized weights")]
+    fn rejects_fp_weights() {
+        let (k, n) = (32, 2);
+        let q = GroupQuantizer::fixed(QuantFormat::E2M1, 32).quantize(&vec![0.1; k * n], k, n);
+        let mut out = vec![0f32; n];
+        FignaEngine::new(FP16).gemm(&vec![1.0; k], 1, &q, &mut out);
+    }
+}

@@ -1,0 +1,66 @@
+//! GEMM engines: AxCore and every baseline the paper compares against
+//! (§6.1.3) behind one [`GemmEngine`] trait, so the accuracy-evaluation
+//! stack and the figure harnesses are generic over designs.
+//!
+//! | Engine | Paper baseline | Arithmetic |
+//! |---|---|---|
+//! | [`ExactEngine`] | FPC | FP act × dequantized FP weight, exact FMA, FP32 accumulate |
+//! | [`FpmaEngine`] | FPMA | indirect GEMM: dequantize, then uniform FPMA multiply, act-format accumulate |
+//! | [`AxCoreEngine`] | mpFPMA / +S / +S+C / AxCore | direct mpGEMM on compressed FP weights (this paper) |
+//! | [`FignaEngine`] | FIGNA | exact INT-FP mpGEMM (integer-unit, accuracy-preserving) |
+//! | [`FiglutEngine`] | FIGLUT | LUT-based exact INT-FP mpGEMM (numerically = FIGNA) |
+//! | [`TenderEngine`] | Tender | integer-only GEMM with per-token activation quantization |
+
+mod axcore;
+mod exact;
+mod fpma;
+mod int_fp;
+mod tender;
+
+pub use axcore::{AxCoreConfig, AxCoreEngine};
+pub use exact::ExactEngine;
+pub use fpma::FpmaEngine;
+pub use int_fp::{FignaEngine, FiglutEngine};
+pub use tender::TenderEngine;
+
+use axcore_quant::QuantizedMatrix;
+
+/// A matrix-multiply engine computing `O = A · W` with `A` an `m × k`
+/// row-major `f32` activation matrix and `W` a quantized `k × n` weight
+/// matrix. Results overwrite `out` (`m × n`, row-major).
+pub trait GemmEngine: std::fmt::Debug + Send + Sync {
+    /// Human-readable engine name (used in reports and figures).
+    fn name(&self) -> String;
+
+    /// Perform the multiplication.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `a.len() != m * w.k`,
+    /// `out.len() != m * w.n`, or the weight format kind is unsupported
+    /// (e.g. INT weights passed to an FP-only engine).
+    fn gemm(&self, a: &[f32], m: usize, w: &QuantizedMatrix, out: &mut [f32]);
+}
+
+/// Validate GEMM buffer shapes (shared by all engine implementations).
+pub(crate) fn check_shapes(a: &[f32], m: usize, w: &QuantizedMatrix, out: &[f32]) {
+    assert_eq!(a.len(), m * w.k, "activation shape mismatch");
+    assert_eq!(out.len(), m * w.n, "output shape mismatch");
+}
+
+/// Reference double-precision GEMM against a dense `f32` weight matrix
+/// (used by tests and the SNR harness).
+pub fn reference_gemm(a: &[f32], m: usize, w: &[f32], k: usize, n: usize, out: &mut [f64]) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(w.len(), k * n);
+    assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f64;
+            for kk in 0..k {
+                acc += a[i * k + kk] as f64 * w[kk * n + j] as f64;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Tender-style baseline (§6.6): an integer-only, *non*-mixed-precision
+//! GEMM that quantizes activations too.
+//!
+//! Tender decomposes activation tensors into chunks with per-chunk
+//! power-of-two-related scales to tame outliers before INT GEMM. We model
+//! the scheme's essential numerics: symmetric per-token (row) activation
+//! quantization with per-chunk scale refinement, exact integer MACs, and
+//! scale reconstruction. The accuracy gap the paper reports (Table 2:
+//! Tender's perplexity far above the weight-only designs) comes from
+//! quantizing the *activations*, which this model reproduces.
+
+use crate::engines::{check_shapes, GemmEngine};
+use axcore_quant::{QuantFormat, QuantizedMatrix};
+
+/// Integer-only GEMM with activation quantization (Tender-like).
+#[derive(Debug, Clone, Copy)]
+pub struct TenderEngine {
+    /// Activation integer bit width (8 for W8A8, 4 for W4A4).
+    pub act_bits: u32,
+    /// Number of chunks the activation row is split into (per-chunk scales;
+    /// Tender's decomposition). 1 = plain per-token quantization.
+    pub chunks: usize,
+}
+
+impl TenderEngine {
+    /// A Tender-style engine with the given activation width and chunking.
+    pub fn new(act_bits: u32, chunks: usize) -> Self {
+        assert!(chunks >= 1);
+        TenderEngine { act_bits, chunks }
+    }
+}
+
+impl GemmEngine for TenderEngine {
+    fn name(&self) -> String {
+        format!("Tender-A{}", self.act_bits)
+    }
+
+    fn gemm(&self, a: &[f32], m: usize, w: &QuantizedMatrix, out: &mut [f32]) {
+        check_shapes(a, m, w, out);
+        for f in &w.formats {
+            assert!(
+                matches!(f, QuantFormat::Int { .. }),
+                "TenderEngine requires INT-quantized weights, got {f}"
+            );
+        }
+        let qmax = ((1i64 << (self.act_bits - 1)) - 1) as f64;
+        let gs = w.group_size;
+        let k = w.k;
+        let chunk_len = k.div_ceil(self.chunks);
+        let mut acodes = vec![0i32; k];
+        let mut ascales = vec![0f64; self.chunks];
+        for i in 0..m {
+            // Per-token, per-chunk symmetric activation quantization.
+            for ch in 0..self.chunks {
+                let lo = ch * chunk_len;
+                let hi = ((ch + 1) * chunk_len).min(k);
+                let mut max_abs = 0f64;
+                for kk in lo..hi {
+                    max_abs = max_abs.max((a[i * k + kk] as f64).abs());
+                }
+                let s = if max_abs == 0.0 { 1.0 } else { max_abs / qmax };
+                ascales[ch] = s;
+                for kk in lo..hi {
+                    acodes[kk] =
+                        (a[i * k + kk] as f64 / s).round_ties_even().clamp(-qmax, qmax) as i32;
+                }
+            }
+            for c in 0..w.n {
+                let mut acc = 0f64;
+                for g in 0..w.num_groups() {
+                    let fmt = w.format(g * gs, c);
+                    let wscale = w.scale(g * gs, c);
+                    // Integer MACs are exact; requantization applies the
+                    // combined activation×weight scale per (chunk, group).
+                    let mut kk = g * gs;
+                    while kk < (g + 1) * gs {
+                        let ch = kk / chunk_len;
+                        let ch_end = (((ch + 1) * chunk_len).min((g + 1) * gs)).min(k);
+                        let mut int_acc = 0i64;
+                        for kkk in kk..ch_end {
+                            int_acc +=
+                                acodes[kkk] as i64 * fmt.decode_int(w.code(kkk, c)) as i64;
+                        }
+                        acc += int_acc as f64 * ascales[ch] * wscale;
+                        kk = ch_end;
+                    }
+                }
+                out[i * w.n + c] = acc as f32;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engines::reference_gemm;
+    use axcore_quant::GroupQuantizer;
+
+    fn setup(m: usize, k: usize, n: usize) -> (Vec<f32>, QuantizedMatrix, Vec<f64>) {
+        let w: Vec<f32> = (0..k * n).map(|i| ((i * 137 % 211) as f32 / 105.0 - 1.0) * 0.25).collect();
+        let q = GroupQuantizer::fixed(QuantFormat::INT8, 32).quantize(&w, k, n);
+        let a: Vec<f32> = (0..m * k).map(|i| ((i * 89 % 311) as f32 / 155.0 - 1.0) * 2.0).collect();
+        let wq = q.dequant_all();
+        let mut reference = vec![0f64; m * n];
+        reference_gemm(&a, m, &wq, k, n, &mut reference);
+        (a, q, reference)
+    }
+
+    #[test]
+    fn a8_close_to_reference() {
+        let (m, k, n) = (2, 64, 4);
+        let (a, q, reference) = setup(m, k, n);
+        let mut out = vec![0f32; m * n];
+        TenderEngine::new(8, 4).gemm(&a, m, &q, &mut out);
+        for j in 0..m * n {
+            let rel = (out[j] as f64 - reference[j]).abs() / reference[j].abs().max(0.5);
+            assert!(rel < 0.05, "elem {j}: {} vs {}", out[j], reference[j]);
+        }
+    }
+
+    #[test]
+    fn a4_noisier_than_a8() {
+        let (m, k, n) = (4, 128, 8);
+        let (a, q, reference) = setup(m, k, n);
+        let err_of = |bits: u32| {
+            let mut out = vec![0f32; m * n];
+            TenderEngine::new(bits, 4).gemm(&a, m, &q, &mut out);
+            reference
+                .iter()
+                .zip(&out)
+                .map(|(r, o)| (r - *o as f64).powi(2))
+                .sum::<f64>()
+        };
+        let e8 = err_of(8);
+        let e4 = err_of(4);
+        assert!(e4 > e8 * 10.0, "A4 err {e4} vs A8 err {e8}");
+    }
+
+    #[test]
+    fn outlier_hurts_unchunked_more() {
+        // One huge activation inflates the per-token scale; chunking
+        // contains the damage to its own chunk (Tender's core idea).
+        let (m, k, n) = (1, 128, 4);
+        let (mut a, q, _) = setup(m, k, n);
+        a[5] = 80.0;
+        let wq = q.dequant_all();
+        let mut reference = vec![0f64; m * n];
+        reference_gemm(&a, m, &wq, k, n, &mut reference);
+        let err_of = |chunks: usize| {
+            let mut out = vec![0f32; m * n];
+            TenderEngine::new(4, chunks).gemm(&a, m, &q, &mut out);
+            reference
+                .iter()
+                .zip(&out)
+                .map(|(r, o)| (r - *o as f64).powi(2))
+                .sum::<f64>()
+        };
+        assert!(err_of(8) < err_of(1), "chunking must help with outliers");
+    }
+}

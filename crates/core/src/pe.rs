@@ -1,0 +1,189 @@
+//! The mpFPMA processing element (§5.2 of the paper) and the preprocessed
+//! weight lane it consumes.
+//!
+//! A PE receives the pre-corrected activation term `T = A − B₁ + C₁` from
+//! the PreAdd unit and holds a stationary quantized weight. Its datapath is:
+//! SNC → mantissa alignment → one small integer adder (`R = T + Align(W_q)`)
+//! → Guard (force zero when either operand is zero) → partial FP adder.
+//!
+//! Because weights are stationary, everything about the weight that does
+//! not depend on the activation is precomputed once into a [`WeightLane`]:
+//! the aligned integer addends for both SNC tie-rounding directions, the
+//! zero flag, and the sign. Per MAC the PE then only selects a lane variant
+//! (by the activation's mantissa MSB — the stochastic bit of §5.2.2), adds,
+//! clamps, and feeds the partial adder. This mirrors the hardware's timing:
+//! SNC logic sits on the weight path, while the stochastic bit arrives with
+//! each activation.
+
+use crate::accum::PartialAcc;
+use axcore_fpma::uniform::clamp_magnitude;
+use axcore_fpma::MpFpma;
+use axcore_softfloat::FpFormat;
+
+/// A stationary weight, fully preprocessed for one activation format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WeightLane {
+    /// Guard-unit flag: the weight is zero (under round-down ties).
+    pub zero_down: bool,
+    /// Guard-unit flag under round-up ties (differs only for tie codes).
+    pub zero_up: bool,
+    /// Weight sign.
+    pub sign: bool,
+    /// Aligned integer addend when SNC ties round down.
+    pub addend_down: i64,
+    /// Aligned integer addend when SNC ties round up.
+    pub addend_up: i64,
+}
+
+impl WeightLane {
+    /// Preprocess a weight code through the given mpFPMA unit's SNC
+    /// configuration. The two variants capture both tie decisions; codes
+    /// without a tie produce identical variants.
+    pub fn new(unit: &MpFpma, code: u8) -> Self {
+        let down = unit.convert_weight(code as u32, false);
+        let up = unit.convert_weight(code as u32, true);
+        WeightLane {
+            zero_down: down.zero,
+            zero_up: up.zero,
+            sign: if down.zero { up.sign } else { down.sign },
+            addend_down: if down.zero { 0 } else { unit.weight_addend(&down) },
+            addend_up: if up.zero { 0 } else { unit.weight_addend(&up) },
+        }
+    }
+
+    /// True when both tie directions yield zero (a hard zero weight).
+    #[inline]
+    pub fn always_zero(&self) -> bool {
+        self.zero_down && self.zero_up
+    }
+}
+
+/// One processing element: Approx-Mult block + Guard + partial FP adder.
+#[derive(Debug, Clone, Copy)]
+pub struct Pe {
+    act: FpFormat,
+}
+
+impl Pe {
+    /// A PE for the given activation/result format.
+    pub fn new(act: FpFormat) -> Self {
+        Pe { act }
+    }
+
+    /// The Approx Mult + Guard stage: given the PreAdd term `t` (integer
+    /// magnitude domain, compensation already applied), the activation's
+    /// sign/zero/stochastic-bit metadata, and the stationary lane, produce
+    /// the product as (magnitude bits, sign), or `None` when the Guard
+    /// forces zero.
+    #[inline]
+    pub fn multiply(
+        &self,
+        t: i64,
+        a_sign: bool,
+        a_zero: bool,
+        stochastic_bit: bool,
+        lane: &WeightLane,
+    ) -> Option<(u32, bool)> {
+        let (zero, addend) = if stochastic_bit {
+            (lane.zero_up, lane.addend_up)
+        } else {
+            (lane.zero_down, lane.addend_down)
+        };
+        if a_zero || zero {
+            return None;
+        }
+        let mag = clamp_magnitude(self.act, t + addend);
+        if mag == 0 {
+            return None; // underflow flush
+        }
+        Some((mag, a_sign != lane.sign))
+    }
+
+    /// Full MAC: multiply and accumulate into the PE's partial sum.
+    #[inline]
+    pub fn mac(
+        &self,
+        acc: &mut PartialAcc,
+        t: i64,
+        a_sign: bool,
+        a_zero: bool,
+        stochastic_bit: bool,
+        lane: &WeightLane,
+    ) {
+        if let Some((mag, sign)) = self.multiply(t, a_sign, a_zero, stochastic_bit, lane) {
+            acc.add_product(mag, sign);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axcore_fpma::snc::SncPolicy;
+    use axcore_softfloat::{FP16, FP4_E1M2, FP4_E2M1};
+
+    fn unit() -> MpFpma {
+        MpFpma::new(FP16, FP4_E2M1)
+            .with_compensation(false)
+            .with_snc(SncPolicy::Stochastic)
+    }
+
+    #[test]
+    fn lane_matches_direct_mpfpma() {
+        let u = unit();
+        let pe = Pe::new(FP16);
+        for code in FP4_E2M1.all_patterns() {
+            let lane = WeightLane::new(&u, code as u8);
+            for a in [0.25f64, 1.0, 1.7, -3.2] {
+                let a_bits = FP16.encode(a);
+                let (a_sign, t) = (FP16.sign(a_bits), u.pre_add(a_bits).1);
+                let sb = u.act_mantissa_msb(a_bits);
+                let direct = u.mul(a_bits, code);
+                match pe.multiply(t, a_sign, FP16.is_zero(a_bits), sb, &lane) {
+                    None => assert!(FP16.is_zero(direct), "code {code:04b} a {a}"),
+                    Some((mag, sign)) => {
+                        let got = mag | if sign { FP16.sign_mask() } else { 0 };
+                        assert_eq!(got, direct, "code {code:04b} a {a}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tie_codes_have_two_variants() {
+        // E1M2 subnormal (0).01 is the tie case.
+        let u = MpFpma::new(FP16, FP4_E1M2)
+            .with_compensation(false)
+            .with_snc(SncPolicy::Stochastic);
+        let tie_code = FP4_E1M2.compose(false, 0, 1) as u8;
+        let lane = WeightLane::new(&u, tie_code);
+        assert!(lane.zero_down && !lane.zero_up);
+        assert!(!lane.always_zero());
+        // Hard zero.
+        let zero_lane = WeightLane::new(&u, 0);
+        assert!(zero_lane.always_zero());
+    }
+
+    #[test]
+    fn guard_forces_zero_for_zero_activation() {
+        let u = unit();
+        let pe = Pe::new(FP16);
+        let lane = WeightLane::new(&u, FP4_E2M1.encode(1.5) as u8);
+        assert!(pe.multiply(0, false, true, false, &lane).is_none());
+    }
+
+    #[test]
+    fn mac_accumulates() {
+        let u = unit();
+        let pe = Pe::new(FP16);
+        let mut acc = PartialAcc::new(FP16);
+        let lane = WeightLane::new(&u, FP4_E2M1.encode(2.0) as u8);
+        for a in [1.0f64, 2.0, -0.5] {
+            let ab = FP16.encode(a);
+            pe.mac(&mut acc, u.pre_add(ab).1, FP16.sign(ab), false, false, &lane);
+        }
+        // (1 + 2 − 0.5) · 2 = 5, exact because the weight is a power of two.
+        assert_eq!(acc.value(FP16), 5.0);
+    }
+}

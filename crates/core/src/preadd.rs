@@ -1,0 +1,93 @@
+//! The PreAdd unit — §5.3.1 of the paper (*Correction Advancing*).
+//!
+//! The bias correction `−B₁` and compensation `+C₁` of the mpFPMA formula
+//! are constant per GEMM pass, so computing them inside every PE would
+//! replicate a wide (15-bit for FP16) adder across the whole array. AxCore
+//! hoists this into one PreAdd module per row: it computes
+//! `T = A − B₁ + C₁` once and streams `T` across the row, leaving each PE
+//! with only the narrow `T + Align(W_q)` adder.
+//!
+//! In this model the `−B₁` half is algebraically folded into the unbiased
+//! weight exponent (see `axcore_fpma::mpfpma`), so PreAdd materializes the
+//! `A + C₁` term together with the activation's sign/zero/stochastic-bit
+//! sideband that travels with it.
+
+use axcore_fpma::MpFpma;
+use axcore_softfloat::FpFormat;
+
+/// The per-row term streamed to the PEs, plus its sideband metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PreAddTerm {
+    /// `A + C₁` in the activation's integer magnitude domain.
+    pub t: i64,
+    /// Activation sign.
+    pub sign: bool,
+    /// Activation-is-zero flag for the Guard units.
+    pub zero: bool,
+    /// Stochastic bit (activation mantissa MSB) for SNC tie rounding.
+    pub stochastic_bit: bool,
+}
+
+/// The PreAdd module for one activation format and compensation constant.
+#[derive(Debug, Clone, Copy)]
+pub struct PreAdd {
+    act: FpFormat,
+    c1: i64,
+}
+
+impl PreAdd {
+    /// Build from an activation format and a compensation constant (in
+    /// result-LSB units; pass 0 for uncompensated variants).
+    pub fn new(act: FpFormat, c1: i32) -> Self {
+        PreAdd { act, c1: c1 as i64 }
+    }
+
+    /// Build matching an [`MpFpma`] unit's configuration.
+    pub fn for_unit(unit: &MpFpma) -> Self {
+        PreAdd::new(unit.act_format(), unit.c1())
+    }
+
+    /// The compensation constant in use.
+    pub fn c1(&self) -> i32 {
+        self.c1 as i32
+    }
+
+    /// Compute the streamed term for one activation bit pattern.
+    #[inline]
+    pub fn term(&self, a_bits: u32) -> PreAddTerm {
+        PreAddTerm {
+            t: (a_bits & self.act.magnitude_mask()) as i64 + self.c1,
+            sign: self.act.sign(a_bits),
+            zero: self.act.is_zero(a_bits),
+            stochastic_bit: (a_bits >> (self.act.man_bits - 1)) & 1 == 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axcore_softfloat::{FP16, FP4_E2M1};
+
+    #[test]
+    fn term_matches_mpfpma_preadd() {
+        let unit = MpFpma::new(FP16, FP4_E2M1);
+        let pre = PreAdd::for_unit(&unit);
+        for a in [0.0f64, 0.5, -1.25, 42.0, -65504.0] {
+            let bits = FP16.encode(a);
+            let term = pre.term(bits);
+            let (sign, t) = unit.pre_add(bits);
+            assert_eq!(term.t, t);
+            assert_eq!(term.sign, sign);
+            assert_eq!(term.zero, a == 0.0);
+            assert_eq!(term.stochastic_bit, unit.act_mantissa_msb(bits));
+        }
+    }
+
+    #[test]
+    fn zero_compensation_passes_magnitude_through() {
+        let pre = PreAdd::new(FP16, 0);
+        let bits = FP16.encode(1.5);
+        assert_eq!(pre.term(bits).t, (bits & FP16.magnitude_mask()) as i64);
+    }
+}

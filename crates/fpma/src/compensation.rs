@@ -1,0 +1,228 @@
+//! Mean-based constant error compensation — §4.3 of the paper.
+//!
+//! FPMA's linearization `log₂(1 + M) ≈ M` systematically *under*-estimates
+//! products (Mitchell). The paper's fix (Eq. 11) is a single precomputed
+//! constant `C₁` per format pair: the average, over all representable
+//! mantissa combinations of the two operands, of the integer-domain
+//! discrepancy `ε(mₐ, m_w)` between the exactly-rounded product's bit
+//! pattern and the FPMA result.
+//!
+//! Because the compensation is *added where the approximation lives* — in
+//! the integer (log) domain — the constant depends only on the mantissa
+//! widths/value sets of the formats involved, never on exponents, models, or
+//! layers. We therefore compute each constant once by exhaustive enumeration
+//! (there are at most 2^10 × 2^3 pairs for FP16 × FP8) and cache it
+//! process-wide.
+
+use crate::snc::{SncPolicy, SncUnit};
+use axcore_softfloat::FpFormat;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Process-wide cache of compensation constants keyed by format pair.
+#[derive(Debug)]
+pub struct CompensationTable {
+    cache: Mutex<HashMap<(FpFormat, FpFormat), i32>>,
+}
+
+impl CompensationTable {
+    /// The global table (constants are pure functions of the formats, so a
+    /// single shared cache is sound).
+    pub fn global() -> &'static CompensationTable {
+        static TABLE: OnceLock<CompensationTable> = OnceLock::new();
+        TABLE.get_or_init(|| CompensationTable {
+            cache: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The mpFPMA compensation constant `C₁` for `act × weight` (result in
+    /// `act`), in result-LSB units. Computed per Eq. 11 on first use.
+    pub fn c1(&self, act: FpFormat, weight: FpFormat) -> i32 {
+        let key = (act, weight);
+        if let Some(&v) = self.cache.lock().unwrap().get(&key) {
+            return v;
+        }
+        let v = compute_c1(act, weight);
+        self.cache.lock().unwrap().insert(key, v);
+        v
+    }
+
+    /// The uniform-FPMA compensation constant (e.g. `C₂` for the AxScale
+    /// dequantization multiply, where both operands share the activation
+    /// format). Equivalent to `c1(fmt, fmt)` restricted to normal operands.
+    pub fn c2(&self, fmt: FpFormat) -> i32 {
+        self.c1(fmt, fmt)
+    }
+}
+
+/// Eq. 11: average integer-domain error over the mantissa pairs.
+///
+/// Exponents are pinned to the neutral binade (both operands in `[1, 2)`),
+/// which is exact because the FPMA error is invariant under exponent shifts
+/// (they add the same amount to both the exact and approximate patterns,
+/// absent clamping).
+///
+/// Low-bit weight formats are enumerated exhaustively. Wide mantissa grids
+/// (FP32 activations, FP32 × FP32 for `C₂`) are sampled on a stratified
+/// stride — at 2^12 samples per axis the mean is already converged far
+/// below one LSB, and the constant stays deterministic.
+fn compute_c1(act: FpFormat, weight: FpFormat) -> i32 {
+    const MAX_AXIS_SAMPLES: u32 = 1 << 12;
+    let nm_a = act.man_bits;
+    let nm_w = weight.man_bits.min(act.man_bits);
+    let shift = act.man_bits - nm_w;
+    let a_total = 1u32 << nm_a;
+    let w_total = (1u32 << nm_w).max(1);
+    let a_stride = (a_total / MAX_AXIS_SAMPLES).max(1);
+    let w_stride = (w_total / MAX_AXIS_SAMPLES).max(1);
+    // Result exponent is pinned well inside the normal range so that neither
+    // the exact encode nor the approximation clamps.
+    let ea = act.bias() as i64; // activation in [1, 2)
+    let mut total: i64 = 0;
+    let mut count: i64 = 0;
+    let mut ma = 0u32;
+    while ma < a_total {
+        let va = 1.0 + ma as f64 / (1u64 << nm_a) as f64;
+        let mut mw = 0u32;
+        while mw < w_total {
+            let vw = 1.0 + mw as f64 / (1u64 << nm_w) as f64;
+            // Exactly-rounded product, encoded in the activation format.
+            let exact_bits = act.encode(va * vw) & act.magnitude_mask();
+            // FPMA: A + Align(W) with unbiased weight exponent 0.
+            let approx = ((ea << nm_a) + ma as i64) + ((mw as i64) << shift);
+            total += exact_bits as i64 - approx;
+            count += 1;
+            mw += w_stride;
+        }
+        ma += a_stride;
+    }
+    // Round-half-away-from-zero to the nearest integer LSB.
+    let mean = total as f64 / count as f64;
+    mean.round() as i32
+}
+
+/// The per-pair error `ε(mₐ, m_w)` of Eq. 11 in result-LSB units, exposed
+/// for the error-surface analysis (Fig. 6) and ablation benches.
+pub fn pair_error(act: FpFormat, weight: FpFormat, ma: u32, mw: u32) -> i64 {
+    let nm_a = act.man_bits;
+    let nm_w = weight.man_bits.min(act.man_bits);
+    let shift = act.man_bits - nm_w;
+    let ea = act.bias() as i64;
+    let va = 1.0 + ma as f64 / (1u64 << nm_a) as f64;
+    let vw = 1.0 + mw as f64 / (1u64 << nm_w) as f64;
+    let exact_bits = (act.encode(va * vw) & act.magnitude_mask()) as i64;
+    let approx = ((ea << nm_a) + ma as i64) + ((mw as i64) << shift);
+    exact_bits - approx
+}
+
+/// Mean integer-domain error of the *weight-format-specific* value set, for
+/// formats whose SNC output does not cover the full mantissa grid (e.g.
+/// E3M0 always yields mantissa 0). This is the constant AxCore streams with
+/// a block quantized in `weight` format.
+pub fn c1_post_snc(act: FpFormat, weight: FpFormat) -> i32 {
+    // Enumerate the distinct normalized mantissas the SNC unit can emit for
+    // this weight format (normals bypass; subnormals convert).
+    let snc = SncUnit::new(weight, SncPolicy::RoundUp);
+    let mut mants: Vec<u32> = Vec::new();
+    for bits in weight.nonneg_finite_patterns() {
+        let out = snc.convert(bits, false);
+        if !out.zero && !mants.contains(&out.man) {
+            mants.push(out.man);
+        }
+    }
+    let nm_a = act.man_bits;
+    let mut total: i64 = 0;
+    let mut count: i64 = 0;
+    for ma in 0..(1u32 << nm_a) {
+        for &mw in &mants {
+            total += pair_error(act, weight, ma, mw);
+            count += 1;
+        }
+    }
+    (total as f64 / count as f64).round() as i32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axcore_softfloat::{BF16, FP16, FP4_E1M2, FP4_E2M1, FP4_E3M0, FP8_E4M3};
+
+    #[test]
+    fn c1_is_positive_when_both_mantissas_live() {
+        // Mitchell underestimates by the ma·mw cross term; the constant is
+        // strictly positive whenever both operands have nonzero mantissas.
+        let t = CompensationTable::global();
+        for wf in [FP4_E1M2, FP4_E2M1, FP8_E4M3] {
+            assert!(t.c1(FP16, wf) > 0, "{wf}");
+        }
+        assert!(t.c2(FP16) > 0);
+    }
+
+    #[test]
+    fn e3m0_needs_no_compensation() {
+        // E3M0 weights have zero mantissa bits, so the FPMA sum adds a pure
+        // exponent: the approximation is *exact* and C₁ = 0. This is why
+        // "power-of-two-like" formats are especially FPMA-friendly.
+        assert_eq!(CompensationTable::global().c1(FP16, FP4_E3M0), 0);
+    }
+
+    #[test]
+    fn c1_magnitude_matches_analytic_mean() {
+        // The integer-domain error is ma·mw·2^Nm below the carry boundary
+        // and (1−ma)(1−mw)/2·2^Nm above it; integrating over uniform
+        // mantissas gives 1/24 + 1/48 = 1/16 → ≈ 64 LSB for FP16. The
+        // discrete 2-bit weight grid of E1M2 lands slightly lower (54).
+        let c = CompensationTable::global().c1(FP16, FP4_E1M2);
+        assert!((c - 58).abs() <= 10, "c1 = {c}");
+        // FP16 × FP16 (the AxScale C₂ case) is close to the continuous 64.
+        let c2 = CompensationTable::global().c2(FP16);
+        assert!((c2 - 64).abs() <= 6, "c2 = {c2}");
+    }
+
+    #[test]
+    fn c1_scales_with_activation_mantissa_width() {
+        // BF16 has 7 mantissa bits: the constant shrinks by ~2^3.
+        let c16 = CompensationTable::global().c1(FP16, FP4_E1M2);
+        let cb = CompensationTable::global().c1(BF16, FP4_E1M2);
+        let ratio = c16 as f64 / cb as f64;
+        assert!((5.0..=11.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn cache_returns_same_value() {
+        let t = CompensationTable::global();
+        assert_eq!(t.c1(FP16, FP4_E2M1), t.c1(FP16, FP4_E2M1));
+    }
+
+    #[test]
+    fn pair_error_zero_when_both_mantissas_zero() {
+        for wf in [FP4_E1M2, FP4_E2M1, FP4_E3M0] {
+            assert_eq!(pair_error(FP16, wf, 0, 0), 0, "{wf}");
+        }
+    }
+
+    #[test]
+    fn pair_error_nonnegative() {
+        // Mitchell never overestimates, so the exact pattern ≥ approx,
+        // modulo ±1 LSB of rounding in the exact encode.
+        for ma in (0..1024).step_by(7) {
+            for mw in 0..4 {
+                assert!(pair_error(FP16, FP4_E1M2, ma, mw) >= -1);
+            }
+        }
+    }
+
+    #[test]
+    fn post_snc_constant_close_to_raw_constant() {
+        // For E1M2 the SNC-reachable mantissa set is the full grid, so the
+        // two constants agree; for E3M0 both collapse to the single-mantissa
+        // case.
+        let a = CompensationTable::global().c1(FP16, FP4_E1M2);
+        let b = c1_post_snc(FP16, FP4_E1M2);
+        assert!((a - b).abs() <= 2, "{a} vs {b}");
+        assert_eq!(
+            c1_post_snc(FP16, FP4_E3M0),
+            CompensationTable::global().c1(FP16, FP4_E3M0)
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! # axcore-fpma
+//!
+//! Floating-point multiplication approximation (FPMA) and its
+//! mixed-precision extension (mpFPMA) — the arithmetic core of the AxCore
+//! paper (§2.4, §4) — implemented bit-exactly on integer operations, the way
+//! the hardware computes it.
+//!
+//! ## The approximation
+//!
+//! Mitchell's logarithm approximation reads a normalized float
+//! `x = (1 + Mₓ)·2^(Eₓ − B)` as `log₂|x| ≈ Eₓ − B + Mₓ`, i.e. the raw
+//! magnitude bit pattern `X = Eₓ‖Mₓ` *is* (a fixed-point encoding of)
+//! `log₂|x| + B`. Multiplication then becomes integer addition
+//! (`R = X + Y − B`, paper Eq. 5), and the sum is already a valid float bit
+//! pattern — no reconversion needed.
+//!
+//! ## What this crate provides
+//!
+//! * [`uniform::fpma_mul`] — same-format FPMA (the paper's FPMA baseline).
+//! * [`mpfpma`] — mixed-precision FPMA between a high-precision activation
+//!   (FP16/BF16/FP32) and a low-bit weight (FP4/FP8 variants), with mantissa
+//!   alignment and bias correction `B₁` (Eqs. 6–9).
+//! * [`snc`] — the Subnormal Number Conversion unit (§4.2, Table 1),
+//!   including the stochastic rounding policy for inexactly-convertible
+//!   subnormals.
+//! * [`compensation`] — mean-based constant error compensation `C₁`/`C₂`
+//!   computed from Eq. 11 (no magic numbers: the constants are derived by
+//!   exhaustively averaging the integer-domain error).
+//! * [`error`] — error-surface and SNR analysis utilities behind Figures 6
+//!   and 18.
+//!
+//! ## Example
+//!
+//! ```
+//! use axcore_softfloat::{FP16, FP4_E2M1};
+//! use axcore_fpma::{mpfpma::MpFpma, snc::SncPolicy};
+//!
+//! let unit = MpFpma::new(FP16, FP4_E2M1)
+//!     .with_compensation(false)
+//!     .with_snc(SncPolicy::RoundDown);
+//!
+//! let a = FP16.encode(2.0);
+//! let w = FP4_E2M1.encode(1.5); // "0_01_1" in the paper's walk-through
+//! let r = unit.mul(a, w);
+//! assert_eq!(FP16.decode(r), 3.0); // 1.5 × 2 computed without a multiplier
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compensation;
+pub mod error;
+pub mod mpfpma;
+pub mod snc;
+pub mod uniform;
+
+pub use compensation::CompensationTable;
+pub use mpfpma::MpFpma;
+pub use snc::{SncOutput, SncPolicy, SncUnit};

@@ -1,0 +1,356 @@
+//! Mixed-precision FPMA (mpFPMA) — §4.1 of the paper.
+//!
+//! Multiplies a high-precision activation (FP16 / BF16 / FP32) by a low-bit
+//! quantized weight (FP4 / FP8 variants) with a single integer addition:
+//!
+//! ```text
+//! R = A + Align(W_q) − B₁ + C₁            (paper Eq. 9)
+//! ```
+//!
+//! * `Align` left-shifts the weight's mantissa into the activation's
+//!   fixed-point resolution (Eq. 6);
+//! * `B₁ = B_a + B_w − B_r` corrects the exponent-bias mismatch (Eq. 7) —
+//!   `= B_w` when activation and result share a format;
+//! * `C₁` is the mean-error compensation constant (Eq. 11, computed in
+//!   [`crate::compensation`]).
+//!
+//! Internally the weight arrives as an [`SncOutput`] in *unbiased-exponent*
+//! form, which folds the `−B₁` term into the weight addend — an algebraic
+//! identity with Eqs. 6–8 that [`bias_correction`] makes explicit and the
+//! tests verify against the paper's own worked example.
+
+use crate::compensation::CompensationTable;
+use crate::snc::{SncOutput, SncPolicy, SncUnit};
+use crate::uniform::clamp_magnitude;
+use axcore_softfloat::FpFormat;
+
+/// The format-aware bias correction `B₁ = B_a + B_wq − B_r` of Eq. 7.
+///
+/// For AxCore's typical configuration (result format = activation format)
+/// this reduces to the weight format's bias.
+pub fn bias_correction(act: FpFormat, weight: FpFormat, result: FpFormat) -> i32 {
+    act.bias() + weight.bias() - result.bias()
+}
+
+/// Mantissa alignment shift of Eq. 6: how far the weight mantissa must be
+/// left-shifted to sit in the activation's fixed-point domain.
+pub fn alignment_shift(act: FpFormat, weight_man_bits: u32) -> u32 {
+    debug_assert!(act.man_bits >= weight_man_bits);
+    act.man_bits - weight_man_bits
+}
+
+/// A configured mpFPMA multiplier for one (activation, weight) format pair.
+///
+/// This is the arithmetic contract of one AxCore PE (minus the systolic
+/// plumbing, which lives in the `axcore` crate): SNC on the weight, integer
+/// add against the pre-corrected activation term, zero guard.
+#[derive(Debug, Clone, Copy)]
+pub struct MpFpma {
+    act: FpFormat,
+    weight: FpFormat,
+    snc: SncUnit,
+    use_snc: bool,
+    c1: i32,
+}
+
+impl MpFpma {
+    /// Build an mpFPMA unit with SNC enabled (stochastic ties) and
+    /// compensation enabled — AxCore's default configuration.
+    pub fn new(act: FpFormat, weight: FpFormat) -> Self {
+        let mut unit = MpFpma {
+            act,
+            weight,
+            snc: SncUnit::new(weight, SncPolicy::Stochastic),
+            use_snc: true,
+            c1: 0,
+        };
+        unit.c1 = CompensationTable::global().c1(act, weight);
+        unit
+    }
+
+    /// Enable/disable the mean-error compensation constant `C₁`.
+    pub fn with_compensation(mut self, on: bool) -> Self {
+        self.c1 = if on {
+            CompensationTable::global().c1(self.act, self.weight)
+        } else {
+            0
+        };
+        self
+    }
+
+    /// Enable SNC with the given tie policy.
+    pub fn with_snc(mut self, policy: SncPolicy) -> Self {
+        self.snc = SncUnit::new(self.weight, policy);
+        self.use_snc = true;
+        self
+    }
+
+    /// Disable SNC entirely (the paper's *naive mpFPMA* baseline).
+    pub fn without_snc(mut self) -> Self {
+        self.use_snc = false;
+        self
+    }
+
+    /// Override the compensation constant (for ablations).
+    pub fn with_c1(mut self, c1: i32) -> Self {
+        self.c1 = c1;
+        self
+    }
+
+    /// The activation (= result) format.
+    pub fn act_format(&self) -> FpFormat {
+        self.act
+    }
+
+    /// The weight format.
+    pub fn weight_format(&self) -> FpFormat {
+        self.weight
+    }
+
+    /// The active compensation constant in result-LSB units.
+    pub fn c1(&self) -> i32 {
+        self.c1
+    }
+
+    /// The pre-added activation term `T = A − B₁ + C₁` of the PreAdd unit
+    /// (§5.3.1, correction advancing), as (sign, integer magnitude term).
+    ///
+    /// The returned magnitude term is in the activation's integer domain and
+    /// already carries `+C₁`; the weight-bias part of `−B₁` is folded into
+    /// the unbiased weight exponent at [`Self::mul_converted`].
+    pub fn pre_add(&self, a_bits: u32) -> (bool, i64) {
+        let sign = self.act.sign(a_bits);
+        let mag = (a_bits & self.act.magnitude_mask()) as i64 + self.c1 as i64;
+        (sign, mag)
+    }
+
+    /// Run SNC (or the naive decode) on a weight pattern. `stochastic_bit`
+    /// is the activation-mantissa MSB per §5.2.2.
+    pub fn convert_weight(&self, w_bits: u32, stochastic_bit: bool) -> SncOutput {
+        if self.use_snc {
+            self.snc.convert(w_bits, stochastic_bit)
+        } else {
+            self.snc.convert_naive(w_bits)
+        }
+    }
+
+    /// The weight addend `Align(W_q) − B_w` in activation-integer units:
+    /// the unbiased exponent lands in the exponent field and the mantissa is
+    /// left-shifted per Eq. 6.
+    pub fn weight_addend(&self, w: &SncOutput) -> i64 {
+        debug_assert!(!w.zero);
+        let shift = alignment_shift(self.act, w.man_bits);
+        ((w.exp as i64) << self.act.man_bits) + ((w.man as i64) << shift)
+    }
+
+    /// Multiply an activation pattern by an already-converted weight.
+    /// Returns the result as a bit pattern in the activation format.
+    pub fn mul_converted(&self, a_bits: u32, w: &SncOutput) -> u32 {
+        let sign_mask = self.act.sign_mask();
+        let sign = if self.act.sign(a_bits) != w.sign {
+            sign_mask
+        } else {
+            0
+        };
+        if self.act.is_zero(a_bits) || w.zero {
+            return sign; // Guard unit: forced zero
+        }
+        let (_, t) = self.pre_add(a_bits);
+        let r = t + self.weight_addend(w);
+        clamp_magnitude(self.act, r) | sign
+    }
+
+    /// Full PE arithmetic: SNC + approximate multiply.
+    ///
+    /// The stochastic bit for SNC ties is drawn from the activation's
+    /// mantissa MSB, exactly as the hardware samples it (§5.2.2).
+    pub fn mul(&self, a_bits: u32, w_bits: u32) -> u32 {
+        let stochastic_bit = self.act_mantissa_msb(a_bits);
+        let w = self.convert_weight(w_bits, stochastic_bit);
+        self.mul_converted(a_bits, &w)
+    }
+
+    /// The activation-mantissa MSB used as the SNC stochastic bit.
+    #[inline]
+    pub fn act_mantissa_msb(&self, a_bits: u32) -> bool {
+        (a_bits >> (self.act.man_bits - 1)) & 1 == 1
+    }
+
+    /// Convenience: multiply two `f64` values through the full bit-level
+    /// pipeline (encode → mpFPMA → decode).
+    pub fn mul_f64(&self, a: f64, w: f64) -> f64 {
+        let r = self.mul(self.act.encode(a), self.weight.encode(w));
+        self.act.decode(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axcore_softfloat::{all_fp4_formats, FP16, FP32, FP4_E1M2, FP4_E2M1, FP4_E3M0, FP8_E4M3};
+
+    fn plain(act: FpFormat, w: FpFormat) -> MpFpma {
+        MpFpma::new(act, w)
+            .with_compensation(false)
+            .with_snc(SncPolicy::RoundDown)
+    }
+
+    #[test]
+    fn paper_walkthrough_example() {
+        // §4.1: FP4 E2M1 "0_01_1" (= 1.5) times FP16 activation 2.0 gives 3.
+        let unit = plain(FP16, FP4_E2M1);
+        assert_eq!(unit.mul_f64(2.0, 1.5), 3.0);
+    }
+
+    #[test]
+    fn bias_correction_matches_paper() {
+        // Eq. 7 with act = result = FP16 reduces to the weight bias.
+        assert_eq!(bias_correction(FP16, FP4_E2M1, FP16), FP4_E2M1.bias());
+        assert_eq!(bias_correction(FP16, FP4_E1M2, FP16), 0);
+        assert_eq!(bias_correction(FP16, FP4_E3M0, FP16), 3);
+        // Cross-format result: FP32 result of FP16 × FP4.
+        assert_eq!(bias_correction(FP16, FP4_E2M1, FP32), 15 + 1 - 127);
+    }
+
+    #[test]
+    fn unbiased_form_equals_eq7_form() {
+        // The implementation folds −B₁ into the unbiased weight exponent.
+        // Verify against the explicit Eq. 6–8 computation for every FP4
+        // weight and a sweep of activations.
+        for wf in all_fp4_formats() {
+            let unit = plain(FP16, wf);
+            let b1 = bias_correction(FP16, wf, FP16) as i64;
+            let shift = alignment_shift(FP16, wf.man_bits);
+            for w_bits in wf.nonneg_finite_patterns() {
+                let w = unit.convert_weight(w_bits, false);
+                if w.zero {
+                    continue;
+                }
+                for a in [0.037, 0.5, 1.0, 1.7, 42.0] {
+                    let a_bits = FP16.encode(a);
+                    // Eq. 8: R = A + Align(Wq) − B₁ where Align(Wq) carries
+                    // the *biased* weight exponent field (post-SNC).
+                    let e_field = (w.exp + wf.bias()) as i64;
+                    let aligned = (e_field << FP16.man_bits) + ((w.man as i64) << shift);
+                    let expect =
+                        (a_bits & FP16.magnitude_mask()) as i64 + aligned - (b1 << FP16.man_bits);
+                    let got = unit.mul_converted(a_bits, &w) & FP16.magnitude_mask();
+                    assert_eq!(got as i64, expect, "{wf} w={w_bits:04b} a={a}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_for_power_of_two_weights() {
+        // Weights with zero mantissa contribute no Mitchell cross term:
+        // the product is exact (modulo FP16 rounding of the activation).
+        // Only *normal* encodings qualify — subnormal powers of two go
+        // through SNC, whose tie rounding is policy-dependent.
+        for wf in all_fp4_formats() {
+            let unit = plain(FP16, wf);
+            for w_bits in wf.nonneg_finite_patterns() {
+                let w = wf.decode(w_bits);
+                if w == 0.0 || wf.is_subnormal(w_bits) || wf.man_field(w_bits) != 0 {
+                    continue;
+                }
+                for a in [0.125, 0.75, 1.0, 3.1, 100.0] {
+                    let qa = FP16.quantize(a);
+                    assert_eq!(unit.mul_f64(a, w), qa * w, "{wf} {a}*{w}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_guard_and_signs() {
+        let unit = plain(FP16, FP4_E2M1);
+        assert_eq!(unit.mul_f64(0.0, 1.5), 0.0);
+        assert_eq!(unit.mul_f64(3.0, 0.0), 0.0);
+        assert_eq!(unit.mul_f64(-2.0, 1.5), -3.0);
+        assert_eq!(unit.mul_f64(-2.0, -1.5), 3.0);
+        assert_eq!(unit.mul_f64(2.0, -1.5), -3.0);
+    }
+
+    #[test]
+    fn subnormal_weight_handled_by_snc() {
+        // E2M1's 0.5 is subnormal; with SNC the product is exact.
+        let unit = plain(FP16, FP4_E2M1);
+        assert_eq!(unit.mul_f64(2.0, 0.5), 1.0);
+        assert_eq!(unit.mul_f64(-6.0, 0.5), -3.0);
+        // Without SNC the subnormal is misread as 0.75 (naive mpFPMA).
+        let naive = plain(FP16, FP4_E2M1).without_snc();
+        assert_eq!(naive.mul_f64(2.0, 0.5), 1.5);
+    }
+
+    #[test]
+    fn mitchell_error_bound_holds_mixed() {
+        // Relative error ≤ ~11.1% for all normal×normal products.
+        for wf in all_fp4_formats() {
+            let unit = plain(FP16, wf);
+            for w_bits in wf.nonneg_finite_patterns() {
+                let wv = wf.decode(w_bits);
+                if wv == 0.0 || wf.is_subnormal(w_bits) {
+                    continue;
+                }
+                let mut a = 0.01;
+                while a < 1000.0 {
+                    let qa = FP16.quantize(a);
+                    let exact = qa * wv;
+                    let approx = unit.mul_f64(a, wv);
+                    let rel = (approx - exact).abs() / exact.abs();
+                    assert!(rel <= 0.112, "{wf} a={qa} w={wv} rel={rel}");
+                    a *= 2.3;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fp8_weights_supported() {
+        let unit = plain(FP16, FP8_E4M3);
+        assert_eq!(unit.mul_f64(2.0, 1.5), 3.0);
+        assert_eq!(unit.mul_f64(4.0, 0.25), 1.0);
+        // FP8 subnormal (0).011 · 2^-6 = 0.375·2^-6 → SNC rounds to 0.5·2^-6.
+        let sub = FP8_E4M3.compose(false, 0, 3);
+        let v = unit.mul_f64(1.0, FP8_E4M3.decode(sub));
+        assert_eq!(v, 0.5 * 2f64.powi(-6));
+    }
+
+    #[test]
+    fn compensation_reduces_mean_error() {
+        // Restrict to *normal* weights so the comparison isolates the
+        // Mitchell error (subnormal ties are SNC's job, tested separately).
+        let base = plain(FP16, FP4_E1M2);
+        let comp = MpFpma::new(FP16, FP4_E1M2).with_snc(SncPolicy::RoundDown);
+        let (mut se_base, mut se_comp, mut n) = (0.0, 0.0, 0);
+        for w_bits in FP4_E1M2.nonneg_finite_patterns() {
+            let wv = FP4_E1M2.decode(w_bits);
+            if wv == 0.0 || FP4_E1M2.is_subnormal(w_bits) {
+                continue;
+            }
+            let mut a = 0.013;
+            while a < 300.0 {
+                let qa = FP16.quantize(a);
+                let exact = qa * wv;
+                se_base += ((base.mul_f64(a, wv) - exact) / exact).powi(2);
+                se_comp += ((comp.mul_f64(a, wv) - exact) / exact).powi(2);
+                n += 1;
+                a *= 1.37;
+            }
+        }
+        assert!(n > 50);
+        assert!(
+            se_comp < se_base * 0.75,
+            "compensated MSE {se_comp} not well below baseline {se_base}"
+        );
+    }
+
+    #[test]
+    fn underflow_flushes_overflow_saturates() {
+        let unit = plain(FP16, FP4_E2M1);
+        assert_eq!(unit.mul_f64(1e-6, 0.5), 0.0);
+        assert_eq!(unit.mul_f64(60000.0, 6.0), 65504.0);
+        assert_eq!(unit.mul_f64(-60000.0, 6.0), -65504.0);
+    }
+}

@@ -1,0 +1,391 @@
+//! Subnormal Number Conversion (SNC) — §4.2 and Table 1 of the paper.
+//!
+//! Low-bit FP formats encode a large share of their representable values as
+//! subnormals (no implicit leading 1), which breaks the FPMA identity
+//! `log₂(1+M) ≈ M`. The SNC unit remaps every subnormal encoding to the
+//! numerically-nearest *normalized* representation before the weight enters
+//! the approximate-multiply datapath.
+//!
+//! A subnormal holds the significand `0.M` at exponent `1 − B` (Eq. 10). The
+//! nearest normalized neighbours live one binade down, where significands
+//! span `[1, 2)`, i.e. values `1.M′ · 2^(−B)` — exactly half the subnormal
+//! significand scale. The conversion rule, matching Table 1 bit-for-bit for
+//! M1, M2 and M3 (and generalizing to any mantissa width):
+//!
+//! | subnormal significand `0.M`          | converted                      |
+//! |--------------------------------------|--------------------------------|
+//! | `M = 0`                              | zero                           |
+//! | `0.M ≥ 0.5`                          | exact: `1.M′` with `1.M′ = 2·(0.M)`, exponent − 1 |
+//! | `0.M = 0.25`                         | tie: `1.0` (exp − 1) **or** zero — stochastic |
+//! | `0.25 < 0.M < 0.5`                   | `1.0` at exponent − 1 (nearest) |
+//! | `0 < 0.M < 0.25`                     | zero (nearest)                 |
+//!
+//! Only the tie case needs a rounding decision; always rounding one way
+//! would bias large accumulations, so AxCore alternates directions with a
+//! *stochastic bit sampled from the activation mantissa MSB* (§5.2.2). E2M1
+//! has a single nonzero subnormal (`0.1` = 0.5) which converts exactly —
+//! which is why the paper reports stochastic rounding as ineffective for
+//! E2M1.
+
+use axcore_softfloat::{FpClass, FpFormat};
+
+/// Rounding policy for subnormal values with no exact normalized image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SncPolicy {
+    /// Always round ties down (to zero). Biases results low.
+    RoundDown,
+    /// Always round ties up (to the smallest normal image). Biases high.
+    RoundUp,
+    /// Alternate using a caller-supplied stochastic bit (AxCore's choice:
+    /// the MSB of the current activation's mantissa).
+    #[default]
+    Stochastic,
+}
+
+/// The SNC result: a *normalized* weight in unbiased-exponent form, or zero.
+///
+/// `value = (-1)^sign · (1 + man / 2^man_bits) · 2^exp` when `!zero`.
+///
+/// Keeping the exponent unbiased makes the result format-agnostic: the
+/// downstream adder re-biases into the activation's exponent domain, which
+/// is exactly the `−B₁` correction of Eq. 7 (see
+/// [`crate::mpfpma::bias_correction`] for the equivalence proof-by-test).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SncOutput {
+    /// True if the weight is (or rounded to) zero — drives the Guard unit.
+    pub zero: bool,
+    /// Sign bit of the weight.
+    pub sign: bool,
+    /// Unbiased exponent of the normalized value.
+    pub exp: i32,
+    /// Mantissa field (width `man_bits`), with the implicit leading 1.
+    pub man: u32,
+    /// Width of `man` in bits (the source format's mantissa width).
+    pub man_bits: u32,
+}
+
+impl SncOutput {
+    /// An explicit zero output.
+    pub fn zero(sign: bool, man_bits: u32) -> Self {
+        SncOutput {
+            zero: true,
+            sign,
+            exp: 0,
+            man: 0,
+            man_bits,
+        }
+    }
+
+    /// Decode to the exact value this output represents.
+    pub fn value(&self) -> f64 {
+        if self.zero {
+            return 0.0;
+        }
+        let m = 1.0 + self.man as f64 / (1u64 << self.man_bits) as f64;
+        let v = m * 2f64.powi(self.exp);
+        if self.sign {
+            -v
+        } else {
+            v
+        }
+    }
+
+    /// Re-encode into the unified internal format the hardware uses
+    /// (S1E3M2 for the FP4 family, Fig. 10c): returns
+    /// `(sign, exp_field, man_field)` with the given unified bias and
+    /// mantissa width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit the unified geometry (cannot happen
+    /// for FP4 sources in S1E3M2 with bias 3).
+    pub fn to_unified(&self, unified_bias: i32, unified_man_bits: u32) -> (bool, u32, u32) {
+        if self.zero {
+            return (self.sign, 0, 0);
+        }
+        let e = self.exp + unified_bias;
+        assert!(e >= 1, "unified exponent underflow: {e}");
+        assert!(
+            self.man_bits <= unified_man_bits,
+            "mantissa wider than unified format"
+        );
+        let m = self.man << (unified_man_bits - self.man_bits);
+        (self.sign, e as u32, m)
+    }
+}
+
+/// The SNC unit for one weight format.
+///
+/// Normal weights bypass conversion (their fields are simply unbiased);
+/// subnormal weights are remapped per Table 1.
+#[derive(Debug, Clone, Copy)]
+pub struct SncUnit {
+    format: FpFormat,
+    policy: SncPolicy,
+}
+
+impl SncUnit {
+    /// Build an SNC unit for `format` with the given tie policy.
+    pub fn new(format: FpFormat, policy: SncPolicy) -> Self {
+        SncUnit { format, policy }
+    }
+
+    /// The weight format this unit decodes.
+    pub fn format(&self) -> FpFormat {
+        self.format
+    }
+
+    /// The configured tie policy.
+    pub fn policy(&self) -> SncPolicy {
+        self.policy
+    }
+
+    /// Convert a weight bit pattern. `stochastic_bit` supplies the rounding
+    /// direction for tie cases under [`SncPolicy::Stochastic`] (AxCore feeds
+    /// the activation-mantissa MSB here); it is ignored otherwise.
+    pub fn convert(&self, bits: u32, stochastic_bit: bool) -> SncOutput {
+        let f = &self.format;
+        let sign = f.sign(bits);
+        let nm = f.man_bits;
+        match f.classify(bits) {
+            FpClass::Zero => SncOutput::zero(sign, nm),
+            FpClass::Normal => SncOutput {
+                zero: false,
+                sign,
+                exp: f.exp_field(bits) as i32 - f.bias(),
+                man: f.man_field(bits),
+                man_bits: nm,
+            },
+            FpClass::Subnormal => {
+                let m = f.man_field(bits);
+                let half = 1u32 << (nm - 1); // significand 0.5 in mantissa units
+                let quarter = half / 2; // 0.25 (0 when nm == 1: no tie case exists)
+                let sub_exp = 1 - f.bias(); // exponent of the subnormal binade
+                if m >= half {
+                    // Exact: 1.M' = 2 * 0.M  =>  M' = 2M - 2^nm.
+                    SncOutput {
+                        zero: false,
+                        sign,
+                        exp: sub_exp - 1,
+                        man: (m << 1) - (1 << nm),
+                        man_bits: nm,
+                    }
+                } else if nm >= 2 && m == quarter {
+                    // Tie between zero and the smallest normal image.
+                    let up = match self.policy {
+                        SncPolicy::RoundDown => false,
+                        SncPolicy::RoundUp => true,
+                        SncPolicy::Stochastic => stochastic_bit,
+                    };
+                    if up {
+                        SncOutput {
+                            zero: false,
+                            sign,
+                            exp: sub_exp - 1,
+                            man: 0,
+                            man_bits: nm,
+                        }
+                    } else {
+                        SncOutput::zero(sign, nm)
+                    }
+                } else if nm >= 2 && m > quarter {
+                    // Strictly nearer to significand 1.0 at exponent - 1.
+                    SncOutput {
+                        zero: false,
+                        sign,
+                        exp: sub_exp - 1,
+                        man: 0,
+                        man_bits: nm,
+                    }
+                } else {
+                    // Strictly nearer to zero.
+                    SncOutput::zero(sign, nm)
+                }
+            }
+            FpClass::Infinity | FpClass::Nan => {
+                // Low-bit weight formats are finite-only; IEEE weights with
+                // inf/NaN saturate to max finite (datapath convention).
+                SncOutput {
+                    zero: false,
+                    sign,
+                    exp: f.max_normal_exp(),
+                    man: f.man_mask(),
+                    man_bits: nm,
+                }
+            }
+        }
+    }
+
+    /// "Naive mpFPMA" decode — what happens *without* SNC (the paper's
+    /// `naive mpFPMA` baseline, Fig. 4): subnormal fields are pushed through
+    /// the normal-number formula unchanged, silently treating `0.M·2^(1−B)`
+    /// as `1.M·2^(0−B)` and corrupting small weights.
+    pub fn convert_naive(&self, bits: u32) -> SncOutput {
+        let f = &self.format;
+        let sign = f.sign(bits);
+        if f.is_zero(bits) {
+            return SncOutput::zero(sign, f.man_bits);
+        }
+        SncOutput {
+            zero: false,
+            sign,
+            exp: f.exp_field(bits) as i32 - f.bias(),
+            man: f.man_field(bits),
+            man_bits: f.man_bits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axcore_softfloat::{all_fp4_formats, FP4_E1M2, FP4_E2M1, FP4_E3M0, FP8_E4M3};
+
+    fn convert_value(fmt: FpFormat, v: f64, policy: SncPolicy, bit: bool) -> f64 {
+        let unit = SncUnit::new(fmt, policy);
+        unit.convert(fmt.encode(v), bit).value()
+    }
+
+    #[test]
+    fn table1_m1_e2m1() {
+        // M1 rows: (0).0 -> 0, (0).1 (0.5 significand) -> (1).0 exact.
+        // In E2M1 (bias 1) the subnormal binade is 2^0, so values are direct.
+        assert_eq!(convert_value(FP4_E2M1, 0.0, SncPolicy::RoundDown, false), 0.0);
+        assert_eq!(convert_value(FP4_E2M1, 0.5, SncPolicy::RoundDown, false), 0.5);
+        assert_eq!(convert_value(FP4_E2M1, 0.5, SncPolicy::RoundUp, true), 0.5);
+        // Exact conversion means the stochastic bit never matters for E2M1.
+        assert_eq!(convert_value(FP4_E2M1, 0.5, SncPolicy::Stochastic, false), 0.5);
+        assert_eq!(convert_value(FP4_E2M1, 0.5, SncPolicy::Stochastic, true), 0.5);
+    }
+
+    #[test]
+    fn table1_m2_e1m2() {
+        // E1M2: bias 0, subnormal binade 2^1; significand s has value 2s.
+        // (0).01: significand 0.25 -> tie: (1).00 (0.5) or 0.
+        let tie = FP4_E1M2.compose(false, 0, 1);
+        let unit_up = SncUnit::new(FP4_E1M2, SncPolicy::RoundUp);
+        let unit_dn = SncUnit::new(FP4_E1M2, SncPolicy::RoundDown);
+        let unit_st = SncUnit::new(FP4_E1M2, SncPolicy::Stochastic);
+        assert_eq!(unit_up.convert(tie, false).value(), 0.5 * 2.0);
+        assert_eq!(unit_dn.convert(tie, true).value(), 0.0);
+        assert_eq!(unit_st.convert(tie, true).value(), 1.0);
+        assert_eq!(unit_st.convert(tie, false).value(), 0.0);
+        // (0).10 (0.5) -> (1).00 exact; (0).11 (0.75) -> (1).10 exact.
+        assert_eq!(convert_value(FP4_E1M2, 1.0, SncPolicy::RoundDown, false), 1.0);
+        assert_eq!(convert_value(FP4_E1M2, 1.5, SncPolicy::RoundDown, false), 1.5);
+    }
+
+    #[test]
+    fn table1_m3_e4m3() {
+        // FP8 E4M3 (bias 7, subnormal binade 2^-6), M3 rows of Table 1.
+        let f = FP8_E4M3;
+        let unit = SncUnit::new(f, SncPolicy::RoundDown);
+        let unit_up = SncUnit::new(f, SncPolicy::RoundUp);
+        let sub = |m: u32| f.compose(false, 0, m);
+        let scale = 2f64.powi(1 - f.bias()); // subnormal binade
+        // (0).000 -> 0 ; (0).001 (0.125) -> 0 always.
+        assert_eq!(unit.convert(sub(0), true).value(), 0.0);
+        assert_eq!(unit.convert(sub(1), true).value(), 0.0);
+        assert_eq!(unit_up.convert(sub(1), true).value(), 0.0);
+        // (0).010 (0.25) -> tie: 0.5 / 0.
+        assert_eq!(unit_up.convert(sub(2), false).value(), 0.5 * scale);
+        assert_eq!(unit.convert(sub(2), true).value(), 0.0);
+        // (0).011 (0.375) -> (1).000 => 0.5, both policies.
+        assert_eq!(unit.convert(sub(3), false).value(), 0.5 * scale);
+        assert_eq!(unit_up.convert(sub(3), false).value(), 0.5 * scale);
+        // (0).100..(0).111 exact: 0.5, 0.625, 0.75, 0.875.
+        assert_eq!(unit.convert(sub(4), false).value(), 0.5 * scale);
+        assert_eq!(unit.convert(sub(5), false).value(), 0.625 * scale);
+        assert_eq!(unit.convert(sub(6), false).value(), 0.75 * scale);
+        assert_eq!(unit.convert(sub(7), false).value(), 0.875 * scale);
+    }
+
+    #[test]
+    fn normals_bypass_exactly() {
+        for fmt in all_fp4_formats() {
+            let unit = SncUnit::new(fmt, SncPolicy::Stochastic);
+            for bits in fmt.nonneg_finite_patterns() {
+                if matches!(fmt.classify(bits), FpClass::Normal) {
+                    let out = unit.convert(bits, false);
+                    assert!(!out.zero);
+                    assert_eq!(out.value(), fmt.decode(bits), "{fmt} {bits:04b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conversion_error_bounded_by_quarter_binade() {
+        // Every SNC output is within 0.25·2^(1−B) of the original value
+        // (the worst case is the tie rounding), for every FP4 pattern.
+        for fmt in all_fp4_formats() {
+            for policy in [SncPolicy::RoundDown, SncPolicy::RoundUp] {
+                let unit = SncUnit::new(fmt, policy);
+                let bound = 0.25 * 2f64.powi(1 - fmt.bias()) + 1e-12;
+                for bits in fmt.all_patterns() {
+                    let v = fmt.decode(bits);
+                    let c = unit.convert(bits, false).value();
+                    assert!(
+                        (c - v).abs() <= bound,
+                        "{fmt} {bits:04b}: {v} -> {c}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sign_preserved() {
+        for fmt in all_fp4_formats() {
+            let unit = SncUnit::new(fmt, SncPolicy::RoundUp);
+            for bits in fmt.all_patterns() {
+                let out = unit.convert(bits, true);
+                if !out.zero {
+                    assert_eq!(out.sign, fmt.sign(bits));
+                    assert_eq!(out.value() < 0.0, fmt.sign(bits));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn e3m0_has_no_subnormals_to_convert() {
+        // Zero mantissa bits: the only exp-field-0 pattern is zero itself.
+        let unit = SncUnit::new(FP4_E3M0, SncPolicy::Stochastic);
+        for bits in FP4_E3M0.nonneg_finite_patterns() {
+            let out = unit.convert(bits, false);
+            assert_eq!(out.value(), FP4_E3M0.decode(bits));
+        }
+    }
+
+    #[test]
+    fn unified_s1e3m2_covers_all_fp4() {
+        // Fig. 10c: every converted FP4 value fits S1E3M2 with bias 3.
+        for fmt in all_fp4_formats() {
+            let unit = SncUnit::new(fmt, SncPolicy::RoundUp);
+            for bits in fmt.all_patterns() {
+                let out = unit.convert(bits, false);
+                let (s, e, m) = out.to_unified(3, 2);
+                if !out.zero {
+                    assert!(e >= 1 && e <= 7, "{fmt}: e={e}");
+                    // Value must be preserved exactly by the unified encoding.
+                    let v = (1.0 + m as f64 / 4.0) * 2f64.powi(e as i32 - 3);
+                    let v = if s { -v } else { v };
+                    assert_eq!(v, out.value(), "{fmt} {bits:04b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn naive_conversion_misreads_subnormals() {
+        // E2M1 subnormal 0.5 is read as 1.5 * 2^-1 = 0.75? No: naive keeps
+        // fields, exp = 0 - bias = -1, man = 1 => (1 + 0.5)·2^-1 = 0.75.
+        let unit = SncUnit::new(FP4_E2M1, SncPolicy::Stochastic);
+        let sub = FP4_E2M1.encode(0.5);
+        let naive = unit.convert_naive(sub);
+        assert_eq!(naive.value(), 0.75); // wrong on purpose: 0.5 misread
+        let correct = unit.convert(sub, false);
+        assert_eq!(correct.value(), 0.5);
+    }
+}

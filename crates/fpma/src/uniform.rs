@@ -1,0 +1,159 @@
+//! Uniform-precision FPMA (both operands in the same format) — the paper's
+//! FPMA baseline (§2.4, Eq. 5): `R = X + Y − B` on raw magnitude bit
+//! patterns, sign handled by XOR.
+//!
+//! This is the *original* FPMA: it does not convert subnormals (they are
+//! pushed through the normal-number formula, which is exactly the weakness
+//! AxCore's SNC fixes) and applies no systematic-error compensation unless a
+//! constant is passed explicitly.
+
+use axcore_softfloat::FpFormat;
+
+/// Approximate `x · y` with both operands and the result in `fmt`.
+///
+/// `comp` is an additive correction in result-LSB units (0 for the plain
+/// baseline; a [`crate::CompensationTable`] constant for compensated FPMA).
+///
+/// Behaviour at the edges, matching a saturating hardware datapath:
+/// * either operand (±)0 → (±)0 (zero guard),
+/// * exponent overflow → ± max finite,
+/// * exponent underflow (result exponent field would be ≤ 0) → ±0 flush.
+pub fn fpma_mul(fmt: FpFormat, x: u32, y: u32, comp: i32) -> u32 {
+    let sign = (x ^ y) & fmt.sign_mask();
+    if fmt.is_zero(x) || fmt.is_zero(y) {
+        return sign;
+    }
+    let bias_units = (fmt.bias() as i64) << fmt.man_bits;
+    let xm = (x & fmt.magnitude_mask()) as i64;
+    let ym = (y & fmt.magnitude_mask()) as i64;
+    let r = xm + ym - bias_units + comp as i64;
+    clamp_magnitude(fmt, r) | sign
+}
+
+/// Approximate `x / y` (both in `fmt`) by integer subtraction in the log
+/// domain: `R = X − Y + B`. Used by FPMA-style quantization (paper Eq. 14).
+pub fn fpma_div(fmt: FpFormat, x: u32, y: u32, comp: i32) -> u32 {
+    let sign = (x ^ y) & fmt.sign_mask();
+    if fmt.is_zero(x) {
+        return sign;
+    }
+    debug_assert!(!fmt.is_zero(y), "fpma_div by zero");
+    let bias_units = (fmt.bias() as i64) << fmt.man_bits;
+    let xm = (x & fmt.magnitude_mask()) as i64;
+    let ym = (y & fmt.magnitude_mask()) as i64;
+    let r = xm - ym + bias_units + comp as i64;
+    clamp_magnitude(fmt, r) | sign
+}
+
+/// Clamp an integer-domain magnitude into the valid normal range of `fmt`:
+/// flush-to-zero below the first normal binade, saturate above max finite.
+pub fn clamp_magnitude(fmt: FpFormat, r: i64) -> u32 {
+    let min_normal = 1i64 << fmt.man_bits; // exponent field 1, mantissa 0
+    let max_mag = ((fmt.max_exp_field() as i64) << fmt.man_bits) | fmt.man_mask() as i64;
+    if r < min_normal {
+        0
+    } else if r > max_mag {
+        max_mag as u32
+    } else {
+        r as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axcore_softfloat::{BF16, FP16};
+
+    fn mul_f(x: f64, y: f64) -> f64 {
+        FP16.decode(fpma_mul(FP16, FP16.encode(x), FP16.encode(y), 0))
+    }
+
+    #[test]
+    fn exact_on_powers_of_two() {
+        // Zero mantissas → the log-domain identity is exact.
+        assert_eq!(mul_f(2.0, 4.0), 8.0);
+        assert_eq!(mul_f(0.5, 0.25), 0.125);
+        assert_eq!(mul_f(-2.0, 8.0), -16.0);
+        assert_eq!(mul_f(-0.5, -4.0), 2.0);
+    }
+
+    #[test]
+    fn exact_when_one_mantissa_zero() {
+        // x = 2^k: R = X + Y − B adds only an exponent offset.
+        assert_eq!(mul_f(2.0, 1.5), 3.0);
+        assert_eq!(mul_f(1.25, 4.0), 5.0);
+    }
+
+    #[test]
+    fn mitchell_underestimates() {
+        // 1.5 × 1.5 = 2.25 exactly; FPMA gives (1 + 0.5 + 0.5)·… with a
+        // mantissa carry: R = 1.0·2^1 = 2.0 (classic Mitchell worst zone).
+        assert_eq!(mul_f(1.5, 1.5), 2.0);
+        // Approximation never overestimates the exact product (Mitchell).
+        for &(x, y) in &[(1.1, 1.9), (1.7, 1.3), (5.5, 3.3), (0.7, 0.9)] {
+            let exact = FP16.decode(FP16.encode(x)) * FP16.decode(FP16.encode(y));
+            assert!(mul_f(x, y) <= exact + 1e-9, "{x}*{y}");
+        }
+    }
+
+    #[test]
+    fn relative_error_bounded() {
+        // Mitchell's bound: relative error < 1 − 2/(e·ln 2) ≈ 7.8 %…11.1 %.
+        let mut x = 0.01f64;
+        while x < 100.0 {
+            let mut y = 0.01f64;
+            while y < 100.0 {
+                let qx = FP16.quantize(x);
+                let qy = FP16.quantize(y);
+                let exact = qx * qy;
+                let approx = mul_f(x, y);
+                let rel = (approx - exact).abs() / exact;
+                assert!(rel <= 0.112, "x={x} y={y} rel={rel}");
+                y *= 1.7;
+            }
+            x *= 1.7;
+        }
+    }
+
+    #[test]
+    fn zero_guard() {
+        assert_eq!(mul_f(0.0, 123.0), 0.0);
+        assert_eq!(mul_f(55.0, 0.0), 0.0);
+        let nz = fpma_mul(FP16, FP16.encode(-0.0), FP16.encode(3.0), 0);
+        assert!(FP16.sign(nz) && FP16.is_zero(nz));
+    }
+
+    #[test]
+    fn saturates_and_flushes() {
+        assert_eq!(mul_f(60000.0, 60000.0), 65504.0);
+        assert_eq!(mul_f(-60000.0, 60000.0), -65504.0);
+        assert_eq!(mul_f(1e-7, 1e-7), 0.0);
+    }
+
+    #[test]
+    fn division_inverts_multiplication_in_log_domain() {
+        // (x·y)/y returns x exactly in the integer domain (adds then
+        // subtracts the same quantity) when no clamping occurs.
+        for &(x, y) in &[(3.0, 2.0), (1.5, 0.5), (7.25, 1.25)] {
+            let xb = FP16.encode(x);
+            let yb = FP16.encode(y);
+            let p = fpma_mul(FP16, xb, yb, 0);
+            let q = fpma_div(FP16, p, yb, 0);
+            assert_eq!(q, xb, "x={x} y={y}");
+        }
+    }
+
+    #[test]
+    fn bf16_works_identically() {
+        let r = fpma_mul(BF16, BF16.encode(2.0), BF16.encode(3.0), 0);
+        assert_eq!(BF16.decode(r), 6.0);
+    }
+
+    #[test]
+    fn compensation_shifts_result_up() {
+        let x = FP16.encode(1.5);
+        let plain = fpma_mul(FP16, x, x, 0);
+        let comp = fpma_mul(FP16, x, x, 90);
+        assert!(FP16.decode(comp) > FP16.decode(plain));
+    }
+}

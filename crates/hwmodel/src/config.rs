@@ -1,0 +1,203 @@
+//! Evaluation-scenario descriptors: weight/activation format pairs and the
+//! GEMM designs under comparison (§6.1.2–6.1.3).
+
+/// Activation (and result) format of a GEMM configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActFormat {
+    /// IEEE half precision (E5M10).
+    Fp16,
+    /// bfloat16 (E8M7).
+    Bf16,
+    /// IEEE single precision (E8M23).
+    Fp32,
+}
+
+impl ActFormat {
+    /// Mantissa (fraction) bits.
+    pub fn man_bits(&self) -> u32 {
+        match self {
+            ActFormat::Fp16 => 10,
+            ActFormat::Bf16 => 7,
+            ActFormat::Fp32 => 23,
+        }
+    }
+
+    /// Exponent bits.
+    pub fn exp_bits(&self) -> u32 {
+        match self {
+            ActFormat::Fp16 => 5,
+            ActFormat::Bf16 => 8,
+            ActFormat::Fp32 => 8,
+        }
+    }
+
+    /// Total storage width.
+    pub fn total_bits(&self) -> u32 {
+        1 + self.exp_bits() + self.man_bits()
+    }
+
+    /// Display name matching the paper's figure labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ActFormat::Fp16 => "FP16",
+            ActFormat::Bf16 => "BF16",
+            ActFormat::Fp32 => "FP32",
+        }
+    }
+}
+
+/// Weight format of a GEMM configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WeightFormat {
+    /// 4-bit signed integer.
+    Int4,
+    /// 4-bit floating point (E1M2/E2M1/E3M0 — identical storage cost).
+    Fp4,
+    /// 8-bit signed integer.
+    Int8,
+    /// 8-bit floating point.
+    Fp8,
+}
+
+impl WeightFormat {
+    /// Storage width in bits.
+    pub fn bits(&self) -> u32 {
+        match self {
+            WeightFormat::Int4 | WeightFormat::Fp4 => 4,
+            WeightFormat::Int8 | WeightFormat::Fp8 => 8,
+        }
+    }
+
+    /// Mantissa bits carried into the datapath after decode (FP formats:
+    /// the unified post-SNC mantissa width; INT: magnitude bits).
+    pub fn man_bits(&self) -> u32 {
+        match self {
+            WeightFormat::Int4 => 3,
+            WeightFormat::Fp4 => 2,  // unified S1E3M2
+            WeightFormat::Int8 => 7,
+            WeightFormat::Fp8 => 3, // unified S1E5M3
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WeightFormat::Int4 => "INT4",
+            WeightFormat::Fp4 => "FP4",
+            WeightFormat::Int8 => "INT8",
+            WeightFormat::Fp8 => "FP8",
+        }
+    }
+}
+
+/// A (weight, activation) evaluation scenario, e.g. `W4-FP16`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DataConfig {
+    /// Weight format.
+    pub weight: WeightFormat,
+    /// Activation format.
+    pub act: ActFormat,
+}
+
+impl DataConfig {
+    /// Construct a scenario.
+    pub const fn new(weight: WeightFormat, act: ActFormat) -> Self {
+        DataConfig { weight, act }
+    }
+
+    /// The six scenarios of Figs. 14–17, in the paper's order, using FP
+    /// weights for the FP-capable designs (INT designs substitute their
+    /// integer format of the same width at equal storage cost).
+    pub fn paper_scenarios() -> [DataConfig; 6] {
+        use ActFormat::*;
+        use WeightFormat::*;
+        [
+            DataConfig::new(Fp4, Fp16),
+            DataConfig::new(Fp4, Bf16),
+            DataConfig::new(Fp4, Fp32),
+            DataConfig::new(Fp8, Fp16),
+            DataConfig::new(Fp8, Bf16),
+            DataConfig::new(Fp8, Fp32),
+        ]
+    }
+
+    /// Figure-style label, e.g. `"W4-FP16"`.
+    pub fn label(&self) -> String {
+        format!("W{}-{}", self.weight.bits(), self.act.name())
+    }
+}
+
+/// The GEMM designs under comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Design {
+    /// Conventional floating-point core: FP FMA per PE, FP32 accumulation.
+    Fpc,
+    /// FPC with multipliers replaced by uniform FPMA adders.
+    Fpma,
+    /// FIGNA-style integer-unit FP-INT mpGEMM.
+    Figna,
+    /// FIGLUT-style LUT-based bit-serial FP-INT GEMM.
+    Figlut,
+    /// Tender-style integer-only GEMM (weights *and* activations INT).
+    Tender,
+    /// This paper's multiplier-free mpFPMA unit.
+    AxCore,
+}
+
+impl Design {
+    /// All designs in the paper's figure order.
+    pub fn all() -> [Design; 6] {
+        [
+            Design::Fpc,
+            Design::Fpma,
+            Design::Figna,
+            Design::Figlut,
+            Design::Tender,
+            Design::AxCore,
+        ]
+    }
+
+    /// The five designs appearing in Figs. 14–17.
+    pub fn figure_designs() -> [Design; 5] {
+        [
+            Design::Fpc,
+            Design::Fpma,
+            Design::Figna,
+            Design::Figlut,
+            Design::AxCore,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Design::Fpc => "FPC",
+            Design::Fpma => "FPMA",
+            Design::Figna => "FIGNA",
+            Design::Figlut => "FIGLUT",
+            Design::Tender => "Tender",
+            Design::AxCore => "AxCore",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(DataConfig::new(WeightFormat::Fp4, ActFormat::Fp16).label(), "W4-FP16");
+        assert_eq!(DataConfig::new(WeightFormat::Fp8, ActFormat::Fp32).label(), "W8-FP32");
+        assert_eq!(DataConfig::paper_scenarios().len(), 6);
+    }
+
+    #[test]
+    fn widths() {
+        assert_eq!(ActFormat::Fp16.total_bits(), 16);
+        assert_eq!(ActFormat::Bf16.total_bits(), 16);
+        assert_eq!(ActFormat::Fp32.total_bits(), 32);
+        assert_eq!(WeightFormat::Fp4.man_bits(), 2);
+        assert_eq!(WeightFormat::Int8.bits(), 8);
+    }
+}

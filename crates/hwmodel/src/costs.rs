@@ -1,0 +1,128 @@
+//! Primitive gate-cost functions, in NAND2-equivalent gates.
+//!
+//! The absolute constants are representative of a 28 nm standard-cell
+//! library (a full adder ≈ 6–7 NAND2, a scan flop ≈ 6–7 NAND2, a 2:1 mux
+//! ≈ 3); what the figures depend on is the *scaling*: linear for adders
+//! and registers, quadratic for array multipliers, `n·log n` for barrel
+//! shifters and leading-zero/comparison trees. One NAND2 ≈ 0.6 µm² at
+//! 28 nm when an absolute area is needed.
+
+/// Area of one NAND2-equivalent gate in µm² (28 nm-class library).
+pub const NAND2_UM2: f64 = 0.6;
+
+/// Ripple/parallel integer adder of width `n` (≈ one full adder per bit).
+pub fn adder(n: u32) -> f64 {
+    7.0 * n as f64
+}
+
+/// Array multiplier `n × m`: `n·m` partial-product AND gates plus `(n−1)`
+/// reduction rows of `m`-bit carry-save adders.
+pub fn multiplier(n: u32, m: u32) -> f64 {
+    let (n, m) = (n as f64, m as f64);
+    n * m + (n - 1.0).max(0.0) * m * 7.0
+}
+
+/// Barrel shifter over `n` data bits (log₂(n) mux stages).
+pub fn barrel_shifter(n: u32) -> f64 {
+    let stages = (n as f64).log2().ceil().max(1.0);
+    3.0 * n as f64 * stages
+}
+
+/// Leading-zero detector over `n` bits (tree of priority encoders).
+pub fn lzd(n: u32) -> f64 {
+    2.5 * n as f64
+}
+
+/// Edge-triggered register bits.
+pub fn register(n: u32) -> f64 {
+    6.5 * n as f64
+}
+
+/// 2:1 multiplexer over `n` bits.
+pub fn mux2(n: u32) -> f64 {
+    3.0 * n as f64
+}
+
+/// Equality/magnitude comparator over `n` bits.
+pub fn comparator(n: u32) -> f64 {
+    3.0 * n as f64
+}
+
+/// Rounding logic (guard/round/sticky plus increment) for an `n`-bit
+/// mantissa.
+pub fn rounder(n: u32) -> f64 {
+    adder(n) + 12.0
+}
+
+/// LUT storage: `words × bits` of single-port register-file storage plus
+/// the read mux tree (FIGLUT's table memories are modelled this way).
+pub fn lut(words: u32, bits: u32) -> f64 {
+    // ~2 gates per stored bit (latch-based table) + mux tree per output bit.
+    2.0 * (words * bits) as f64 + mux2(bits) * (words as f64).log2().ceil()
+}
+
+/// A complete floating-point adder datapath for `man` mantissa bits and
+/// `exp` exponent bits, *including* per-operation normalization: exponent
+/// compare, alignment shifter, mantissa adder, LZD, normalization shifter,
+/// rounding.
+pub fn fp_adder(exp: u32, man: u32) -> f64 {
+    let w = man + 4; // guard/round/sticky + carry
+    comparator(exp)
+        + adder(exp)
+        + barrel_shifter(w)
+        + adder(w)
+        + lzd(w)
+        + barrel_shifter(w)
+        + rounder(man)
+}
+
+/// A floating-point adder *without* normalization (AxCore's partial adder:
+/// exponent compare + align + add only; Norm is shared downstream).
+pub fn fp_partial_adder(exp: u32, man: u32, guard: u32) -> f64 {
+    let w = man + guard;
+    comparator(exp) + barrel_shifter(w) + adder(w)
+}
+
+/// The shared normalization pipeline (Abs, LZD, compare, shift, round) for
+/// a `man`-bit mantissa with `guard` extra bits (Fig. 11c).
+pub fn norm_unit(man: u32, guard: u32) -> f64 {
+    let w = man + guard + 8; // integer headroom bits kept before the norm
+    adder(w) + lzd(w) + barrel_shifter(w) + rounder(man) + comparator(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adders_scale_linearly() {
+        assert_eq!(adder(16), 2.0 * adder(8));
+    }
+
+    #[test]
+    fn multiplier_scales_quadratically() {
+        let r = multiplier(22, 22) / multiplier(11, 11);
+        assert!(r > 3.5 && r < 4.5, "ratio {r}");
+    }
+
+    #[test]
+    fn multiplier_dwarfs_adder_at_fp16_width() {
+        // The core premise of FPMA: an 11×11 multiplier costs ~10× a
+        // 16-bit adder.
+        let m = multiplier(11, 11);
+        let a = adder(16);
+        assert!(m / a > 5.0, "mult {m} vs add {a}");
+    }
+
+    #[test]
+    fn fp_adder_more_expensive_than_partial() {
+        assert!(fp_adder(5, 10) > 1.5 * fp_partial_adder(5, 10, 2));
+    }
+
+    #[test]
+    fn primitive_costs_positive() {
+        for f in [adder(1), barrel_shifter(2), lzd(4), register(1), lut(16, 8)] {
+            assert!(f > 0.0);
+        }
+    }
+}

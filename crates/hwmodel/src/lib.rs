@@ -1,0 +1,38 @@
+//! # axcore-hwmodel
+//!
+//! A gate-level area and energy cost model standing in for the paper's
+//! Synopsys Design Compiler + TSMC 28 nm synthesis flow (§6.1.2).
+//!
+//! Everything is expressed in **NAND2-equivalent gates**, built up from a
+//! small set of primitive costs ([`costs`]): adders scale linearly with
+//! width, array multipliers quadratically, shifters and leading-zero
+//! detectors as `n·log n`, registers linearly. Each GEMM design — FPC,
+//! FPMA, FIGNA, FIGLUT, Tender, AxCore — is then *composed structurally*
+//! from the primitives its datapath actually needs ([`pe`]), so the
+//! cross-design and cross-format ratios (the quantities every figure
+//! reports) follow from architecture, not from fitted curves. A single
+//! documented synthesis-efficiency factor per design family absorbs the
+//! layout/technology effects a real flow would add; the calibration
+//! procedure and residuals versus the paper are recorded in
+//! EXPERIMENTS.md.
+//!
+//! * [`pe`] — per-PE area breakdown (Mul / Add / SNC / Other), Fig. 14;
+//! * [`mod@unit`] — full GEMM-unit area (64×64 PEs + shared modules), Fig. 15;
+//! * [`density`] — normalized compute density (TOPS/mm²), Figs. 16 & 19a;
+//! * [`energy`] — per-event energy constants (core, SRAM, DRAM, static)
+//!   feeding the `axcore-sim` cycle-level simulator, Fig. 17.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod costs;
+pub mod density;
+pub mod energy;
+pub mod pe;
+pub mod unit;
+
+pub use config::{ActFormat, DataConfig, Design, WeightFormat};
+pub use density::compute_density;
+pub use pe::{pe_area, PeBreakdown};
+pub use unit::{gemm_unit_area, UnitBreakdown, ARRAY_COLS, ARRAY_ROWS};

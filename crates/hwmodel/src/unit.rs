@@ -1,0 +1,179 @@
+//! Full GEMM-unit area (Fig. 15): the 64×64 PE array plus the shared
+//! pre-/post-processing modules along the activation path ("Others").
+
+use crate::config::{ActFormat, DataConfig, Design};
+use crate::costs::*;
+use crate::pe::pe_area;
+
+/// Systolic array height (paper's evaluation configuration, §6.1.2).
+pub const ARRAY_ROWS: u32 = 64;
+/// Systolic array width.
+pub const ARRAY_COLS: u32 = 64;
+
+/// GEMM-unit area split the way Fig. 15 reports it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnitBreakdown {
+    /// The PE array (`rows × cols` PEs).
+    pub pes: f64,
+    /// Shared pre/post-processing ("Others"): per-row input conditioning,
+    /// per-column normalization/scaling/accumulation.
+    pub others: f64,
+}
+
+impl UnitBreakdown {
+    /// Total unit area.
+    pub fn total(&self) -> f64 {
+        self.pes + self.others
+    }
+}
+
+fn acc_format(act: ActFormat) -> (u32, u32) {
+    match act {
+        ActFormat::Fp32 => (8, 23),
+        a => (a.exp_bits(), a.man_bits()),
+    }
+}
+
+/// Compose the shared-module area for one design.
+fn others_area(design: Design, cfg: &DataConfig) -> f64 {
+    let a = cfg.act;
+    let w = cfg.weight;
+    let rows = ARRAY_ROWS as f64;
+    let cols = ARRAY_COLS as f64;
+    let (acc_e, acc_m) = acc_format(a);
+    // Common I/O staging: one activation register per row, one output
+    // register per column.
+    let io = rows * register(a.total_bits()) + cols * register(32);
+    match design {
+        Design::Fpc => {
+            // Indirect GEMM: a dequantization multiplier per row on the
+            // weight-load path, plus per-column FP32 accumulators.
+            let dequant = rows * (multiplier(w.bits(), a.man_bits() + 1) + adder(a.exp_bits()));
+            let acc = cols * (fp_adder(8, 23) + register(32));
+            io + dequant + acc
+        }
+        Design::Fpma => {
+            // Dequantization via FPMA adders on the load path.
+            let dequant = rows * adder(a.exp_bits() + a.man_bits());
+            let acc = cols * (fp_adder(acc_e, acc_m) + register(32));
+            io + dequant + acc
+        }
+        Design::Figna => {
+            // Per-row FP→fixed-point alignment (max-exponent tracking +
+            // shifter), per-column requantization: FP scale multiply +
+            // fixed→FP conversion + FP32 accumulate.
+            let align = rows * (barrel_shifter(a.man_bits() + 1) + comparator(a.exp_bits()) + register(a.man_bits() + 6));
+            let requant = cols
+                * (multiplier(a.man_bits() + 1, a.man_bits() + 1)
+                    + lzd(a.man_bits() + 12)
+                    + barrel_shifter(a.man_bits() + 12)
+                    + fp_adder(8, 23)
+                    + register(32));
+            io + align + requant
+        }
+        Design::Figlut => {
+            // Per-row LUT construction: a 16-entry table of 4-activation
+            // partial sums (built with a small adder tree) + table storage,
+            // shared by the row's PEs; per-column requant as FIGNA.
+            let word = a.man_bits() + 4;
+            let build = rows * (8.0 * adder(word) + lut(16, word));
+            let requant = cols
+                * (multiplier(a.man_bits() + 1, a.man_bits() + 1)
+                    + fp_adder(8, 23)
+                    + register(32));
+            io + build + requant
+        }
+        Design::Tender => {
+            // Per-row activation quantizers (max reduce + divide approx) and
+            // per-column requantization multipliers.
+            let ab = w.bits().max(4);
+            let quant = rows * (comparator(a.man_bits() + 1) + barrel_shifter(a.man_bits() + 1) + register(ab));
+            let requant = cols * (multiplier(16, 16) + adder(32) + register(32));
+            io + quant + requant
+        }
+        Design::AxCore => {
+            // PreAdd per row (T = A − B₁ + C₁: one 15-bit-class adder +
+            // register); per column: shared Norm, AxScale (two integer
+            // adds), FP32 accumulator (Fig. 8).
+            let preadd = rows * (adder(1 + a.exp_bits() + a.man_bits()) + register(1 + a.exp_bits() + a.man_bits()));
+            let post = cols
+                * (norm_unit(a.man_bits(), 2)
+                    + adder(a.exp_bits() + a.man_bits())
+                    + fp_adder(8, 23)
+                    + register(32));
+            io + preadd + post
+        }
+    }
+}
+
+/// Total GEMM-unit area for a design under a configuration, split into the
+/// PE array and shared modules.
+pub fn gemm_unit_area(design: Design, cfg: &DataConfig) -> UnitBreakdown {
+    let pes = pe_area(design, cfg).total() * (ARRAY_ROWS * ARRAY_COLS) as f64;
+    UnitBreakdown {
+        pes,
+        others: others_area(design, cfg),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ActFormat::*, WeightFormat::*};
+
+    #[test]
+    fn axcore_unit_smallest() {
+        for c in DataConfig::paper_scenarios() {
+            let ax = gemm_unit_area(Design::AxCore, &c).total();
+            for d in [Design::Fpc, Design::Fpma, Design::Figna, Design::Figlut] {
+                assert!(
+                    ax < gemm_unit_area(d, &c).total(),
+                    "{} under {}",
+                    d.name(),
+                    c.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pes_dominate_unit_area() {
+        // The array is 4096 PEs; shared modules are per-row/column (64 each),
+        // so the PE share must dominate for every design.
+        for c in DataConfig::paper_scenarios() {
+            for d in Design::figure_designs() {
+                let u = gemm_unit_area(d, &c);
+                assert!(
+                    u.pes / u.total() > 0.6,
+                    "{} {}: PE share {:.2}",
+                    d.name(),
+                    c.label(),
+                    u.pes / u.total()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn w4_fp16_reduction_vs_figna_in_paper_band() {
+        // §6.2.2: AxCore total area 37 % below FIGNA at W4-FP16.
+        let c = DataConfig::new(Fp4, Fp16);
+        let ax = gemm_unit_area(Design::AxCore, &c).total();
+        let fg = gemm_unit_area(Design::Figna, &c).total();
+        let red = 1.0 - ax / fg;
+        assert!((red - 0.37).abs() < 0.15, "reduction {red:.2}");
+    }
+
+    #[test]
+    fn normalization_sharing_pays_off() {
+        // AxCore's shared Norm (64 units) must be far cheaper than the
+        // per-PE normalizers FPC carries (embedded in its fp_adder): check
+        // the ratio of "others" to what 4096 in-PE normalizers would cost.
+        let c = DataConfig::new(Fp4, Fp16);
+        let shared = ARRAY_COLS as f64 * crate::costs::norm_unit(10, 2);
+        let per_pe = (ARRAY_ROWS * ARRAY_COLS) as f64
+            * (crate::costs::lzd(14) + crate::costs::barrel_shifter(14) + crate::costs::rounder(10));
+        assert!(shared < per_pe / 20.0);
+        let _ = c;
+    }
+}

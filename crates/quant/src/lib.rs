@@ -1,0 +1,39 @@
+//! # axcore-quant
+//!
+//! Weight-only quantization for the AxCore reproduction (§2.2, §4.4 of the
+//! paper):
+//!
+//! * [`QuantFormat`] — target code formats: FP4 variants (E1M2 / E2M1 /
+//!   E3M0), FP8, INT4, INT8.
+//! * [`GroupQuantizer`] — symmetric group-wise round-to-nearest
+//!   quantization with FP16 scales (the paper's baseline scheme, group size
+//!   128 for OPT-style models / 64 for LLaMA-style models).
+//! * [`format_select`] — block-wise **adaptive format-aware** selection
+//!   (Eq. 12): each `g × n` block picks the FP4 format minimizing the
+//!   activation-weighted reconstruction error on calibration statistics.
+//! * [`fpma_quant`] — FPMA-domain quantization/dequantization (Eqs. 14–15),
+//!   where scaling is integer addition in the log domain and the
+//!   compensation constants cancel by construction.
+//! * [`kv`] — KV-cache quantization (§6.5.2): 4-bit grouped along the
+//!   accumulation dimension with per-cache format choices.
+//! * [`QuantizedMatrix`] — the storage format every GEMM engine in the
+//!   `axcore` crate consumes: per-element codes, per-(group, column) FP16
+//!   scales, per-block formats.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod format_select;
+pub mod formats;
+pub mod fpma_quant;
+pub mod group;
+pub mod kv;
+pub mod matrix;
+pub mod mx;
+pub mod packing;
+
+pub use format_select::{CalibrationStats, FormatPolicy};
+pub use formats::QuantFormat;
+pub use group::GroupQuantizer;
+pub use kv::KvQuantConfig;
+pub use matrix::QuantizedMatrix;

@@ -1,0 +1,148 @@
+//! [`QuantizedMatrix`]: the quantized-weight container consumed by every
+//! GEMM engine.
+
+use crate::formats::QuantFormat;
+
+/// A `K × N` weight matrix quantized group-wise along the input-channel
+/// dimension `K`, matching the paper's layout:
+///
+/// * one code byte per element (`codes[k * n + col]`);
+/// * one FP16 scale per `(group, column)` pair
+///   (`scales[(k / group_size) * n + col]`, stored as raw FP16 bits);
+/// * one [`QuantFormat`] per block of `group_size` rows × `block_cols`
+///   columns — the unit of the paper's adaptive format-aware selection
+///   (§4.4.1; `block_cols == n` for fixed-format quantization).
+///
+/// The reconstructed weight is `decode(code) · scale`.
+#[derive(Debug, Clone)]
+pub struct QuantizedMatrix {
+    /// Input-channel (accumulation) dimension.
+    pub k: usize,
+    /// Output-channel dimension.
+    pub n: usize,
+    /// Group size along `k`; `k` must be a multiple.
+    pub group_size: usize,
+    /// Block width along `n` for format selection; `n` must be a multiple.
+    pub block_cols: usize,
+    /// One code per element, row-major (`k` rows of `n` codes).
+    pub codes: Vec<u8>,
+    /// FP16 bit patterns, one per (group, column), row-major.
+    pub scales: Vec<u16>,
+    /// One format per (group, block-column), row-major.
+    pub formats: Vec<QuantFormat>,
+}
+
+impl QuantizedMatrix {
+    /// Number of groups along `k`.
+    #[inline]
+    pub fn num_groups(&self) -> usize {
+        self.k / self.group_size
+    }
+
+    /// Number of format blocks along `n`.
+    #[inline]
+    pub fn num_block_cols(&self) -> usize {
+        self.n / self.block_cols
+    }
+
+    /// Code byte at `(k, col)`.
+    #[inline]
+    pub fn code(&self, k: usize, col: usize) -> u8 {
+        self.codes[k * self.n + col]
+    }
+
+    /// FP16 scale bits for the group containing row `k`, column `col`.
+    #[inline]
+    pub fn scale_bits(&self, k: usize, col: usize) -> u16 {
+        self.scales[(k / self.group_size) * self.n + col]
+    }
+
+    /// Decoded scale value.
+    #[inline]
+    pub fn scale(&self, k: usize, col: usize) -> f64 {
+        axcore_softfloat::FP16.decode(self.scale_bits(k, col) as u32)
+    }
+
+    /// Format of the block containing `(k, col)`.
+    #[inline]
+    pub fn format(&self, k: usize, col: usize) -> QuantFormat {
+        self.formats[(k / self.group_size) * self.num_block_cols() + col / self.block_cols]
+    }
+
+    /// Reconstruct (dequantize) a single weight.
+    pub fn dequant(&self, k: usize, col: usize) -> f64 {
+        self.format(k, col).decode(self.code(k, col)) * self.scale(k, col)
+    }
+
+    /// Reconstruct the full matrix as `f32`, row-major `k × n`.
+    pub fn dequant_all(&self) -> Vec<f32> {
+        let mut out = vec![0f32; self.k * self.n];
+        for k in 0..self.k {
+            for c in 0..self.n {
+                out[k * self.n + c] = self.dequant(k, c) as f32;
+            }
+        }
+        out
+    }
+
+    /// Total storage the quantized form needs in bits (codes + scales),
+    /// the quantity the memory-traffic model in `axcore-sim` charges DRAM
+    /// for. Format tags are 2 bits per block and counted too.
+    pub fn storage_bits(&self) -> u64 {
+        let mut code_bits = 0u64;
+        for g in 0..self.num_groups() {
+            for bc in 0..self.num_block_cols() {
+                let f = self.formats[g * self.num_block_cols() + bc];
+                code_bits += f.code_bits() as u64 * (self.group_size * self.block_cols) as u64;
+            }
+        }
+        let scale_bits = (self.scales.len() * 16) as u64;
+        let tag_bits = (self.formats.len() * 2) as u64;
+        code_bits + scale_bits + tag_bits
+    }
+
+    /// Mean squared reconstruction error against a reference matrix
+    /// (row-major `k × n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reference.len() != k * n`.
+    pub fn mse(&self, reference: &[f32]) -> f64 {
+        assert_eq!(reference.len(), self.k * self.n, "reference shape mismatch");
+        let mut acc = 0.0;
+        for k in 0..self.k {
+            for c in 0..self.n {
+                let e = self.dequant(k, c) - reference[k * self.n + c] as f64;
+                acc += e * e;
+            }
+        }
+        acc / (self.k * self.n) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::GroupQuantizer;
+
+    #[test]
+    fn storage_accounts_for_codes_scales_tags() {
+        let w: Vec<f32> = (0..64 * 8).map(|i| (i as f32 * 0.37).sin()).collect();
+        let q = GroupQuantizer::fixed(QuantFormat::E2M1, 32).quantize(&w, 64, 8);
+        // codes: 64*8*4 bits; scales: (64/32)*8*16; tags: 2 groups*1 block*2.
+        assert_eq!(q.storage_bits(), 64 * 8 * 4 + 2 * 8 * 16 + 2 * 2);
+    }
+
+    #[test]
+    fn indexing_roundtrip() {
+        let w: Vec<f32> = (0..32 * 4).map(|i| ((i * 7 % 13) as f32 - 6.0) * 0.1).collect();
+        let q = GroupQuantizer::fixed(QuantFormat::INT4, 16).quantize(&w, 32, 4);
+        assert_eq!(q.num_groups(), 2);
+        let d = q.dequant_all();
+        for k in 0..32 {
+            for c in 0..4 {
+                assert_eq!(d[k * 4 + c] as f64, q.dequant(k, c));
+            }
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Block-based shared-microexponent formats (MX-style) — the paper's
+//! stated future-work direction (§7: "extending it for … block-based
+//! formats remains a valuable future direction", citing shared
+//! microexponents).
+//!
+//! Instead of an FP16 scale per (group, column), an MX block carries one
+//! shared **power-of-two** scale (an 8-bit exponent) for a small block of
+//! codes. Two consequences for AxCore:
+//!
+//! * storage shrinks: an 8-bit exponent per block instead of a 16-bit FP
+//!   scale per group-column;
+//! * the AxScale dequantization degenerates from an FPMA add (`O_q + S −
+//!   B + C₂`) to a **pure exponent add** — exact, with no compensation
+//!   term at all, because a power-of-two scale has a zero mantissa.
+//!
+//! The cost is coarser scaling: the block maximum is rounded *up* to a
+//! power of two, wasting up to one bit of the code range. This module
+//! implements MX quantization on top of the existing [`QuantizedMatrix`]
+//! container (scales restricted to powers of two) so every engine works
+//! on MX blocks unchanged, plus the storage/error accounting the
+//! extension ablation reports.
+
+use crate::formats::QuantFormat;
+use crate::matrix::QuantizedMatrix;
+use axcore_softfloat::FP16;
+
+/// An MX-style quantizer: shared power-of-two scale per block of
+/// `block_len` elements along the input-channel dimension.
+#[derive(Debug, Clone, Copy)]
+pub struct MxQuantizer {
+    /// Element format of the codes (FP4 variant or INT).
+    pub format: QuantFormat,
+    /// Elements sharing one microexponent.
+    pub block_len: usize,
+}
+
+impl MxQuantizer {
+    /// MXFP4-like configuration: E2M1 codes, blocks of 32 (the OCP MXFP4
+    /// geometry).
+    pub fn mxfp4() -> Self {
+        MxQuantizer {
+            format: QuantFormat::E2M1,
+            block_len: 32,
+        }
+    }
+
+    /// Build a custom MX configuration.
+    pub fn new(format: QuantFormat, block_len: usize) -> Self {
+        MxQuantizer { format, block_len }
+    }
+
+    /// Quantize a row-major `k × n` matrix. The result is an ordinary
+    /// [`QuantizedMatrix`] whose scales are all powers of two (so the
+    /// existing engines run it as-is), with `group_size == block_len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not a multiple of the block length.
+    pub fn quantize(&self, weights: &[f32], k: usize, n: usize) -> QuantizedMatrix {
+        assert_eq!(weights.len(), k * n, "weight shape mismatch");
+        assert!(
+            k % self.block_len == 0,
+            "k = {k} not a multiple of MX block length {}",
+            self.block_len
+        );
+        let blocks = k / self.block_len;
+        let mut q = QuantizedMatrix {
+            k,
+            n,
+            group_size: self.block_len,
+            block_cols: n,
+            codes: vec![0u8; k * n],
+            scales: vec![0u16; blocks * n],
+            formats: vec![self.format; blocks],
+        };
+        for b in 0..blocks {
+            for col in 0..n {
+                let rows = b * self.block_len..(b + 1) * self.block_len;
+                let mut max_abs = 0f64;
+                for kk in rows.clone() {
+                    max_abs = max_abs.max((weights[kk * n + col] as f64).abs());
+                }
+                // Shared microexponent: the smallest power of two ≥
+                // max_abs / F_max (rounded *up*, so no code clamps).
+                let scale = if max_abs == 0.0 {
+                    1.0
+                } else {
+                    let raw = max_abs / self.format.max_abs();
+                    2f64.powi(raw.log2().ceil() as i32)
+                };
+                q.scales[b * n + col] = FP16.encode(scale) as u16;
+                for kk in rows {
+                    let w = weights[kk * n + col] as f64;
+                    q.codes[kk * n + col] = self.format.encode(w / scale);
+                }
+            }
+        }
+        q
+    }
+
+    /// Storage bits of the MX form: codes + one 8-bit shared exponent per
+    /// block-column (vs 16-bit FP scales for the baseline group scheme).
+    pub fn storage_bits(&self, k: usize, n: usize) -> u64 {
+        let blocks = (k / self.block_len) as u64 * n as u64;
+        (k * n) as u64 * self.format.code_bits() as u64 + blocks * 8
+    }
+}
+
+/// True if every scale in the matrix is a power of two (MX invariant —
+/// what makes AxScale exact on these blocks).
+pub fn scales_are_power_of_two(q: &QuantizedMatrix) -> bool {
+    q.scales.iter().all(|&s| {
+        let v = FP16.decode(s as u32);
+        v > 0.0 && FP16.man_field(s as u32) == 0 && !FP16.is_subnormal(s as u32)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::GroupQuantizer;
+
+    fn weights(k: usize, n: usize) -> Vec<f32> {
+        (0..k * n)
+            .map(|i| ((i * 2654435761usize % 997) as f32 / 498.5 - 1.0) * 0.4)
+            .collect()
+    }
+
+    #[test]
+    fn scales_are_powers_of_two() {
+        let (k, n) = (64, 8);
+        let q = MxQuantizer::mxfp4().quantize(&weights(k, n), k, n);
+        assert!(scales_are_power_of_two(&q));
+        // Baseline group quantization generally is not.
+        let g = GroupQuantizer::fixed(QuantFormat::E2M1, 32).quantize(&weights(k, n), k, n);
+        assert!(!scales_are_power_of_two(&g));
+    }
+
+    #[test]
+    fn no_code_clamps() {
+        // Rounding the scale up guarantees |w/scale| ≤ F_max.
+        let (k, n) = (64, 4);
+        let w = weights(k, n);
+        let q = MxQuantizer::mxfp4().quantize(&w, k, n);
+        for kk in 0..k {
+            for c in 0..n {
+                let code_val = q.format(kk, c).decode(q.code(kk, c)).abs();
+                assert!(code_val <= q.format(kk, c).max_abs());
+            }
+        }
+        // And the block max is reconstructed within one code step.
+        let q0max = (0..32).map(|kk| q.dequant(kk, 0).abs()).fold(0.0, f64::max);
+        let w0max = (0..32).map(|kk| (w[kk * n] as f64).abs()).fold(0.0, f64::max);
+        assert!((q0max - w0max).abs() / w0max < 0.2);
+    }
+
+    #[test]
+    fn mx_error_slightly_above_fp16_scales() {
+        // The power-of-two scale wastes up to one bit of range: MSE is
+        // somewhat higher than the FP16-scaled baseline, but bounded.
+        let (k, n) = (128, 8);
+        let w = weights(k, n);
+        let mx = MxQuantizer::mxfp4().quantize(&w, k, n);
+        let base = GroupQuantizer::fixed(QuantFormat::E2M1, 32).quantize(&w, k, n);
+        let (m_mse, b_mse) = (mx.mse(&w), base.mse(&w));
+        assert!(m_mse >= b_mse * 0.99, "mx {m_mse} vs base {b_mse}");
+        assert!(m_mse <= b_mse * 4.5, "mx penalty too large: {m_mse} vs {b_mse}");
+    }
+
+    #[test]
+    fn mx_storage_is_smaller() {
+        let (k, n) = (128, 64);
+        let mx_bits = MxQuantizer::mxfp4().storage_bits(k, n);
+        let base = GroupQuantizer::fixed(QuantFormat::E2M1, 32).quantize(&weights(k, n), k, n);
+        assert!(mx_bits < base.storage_bits(), "{mx_bits} vs {}", base.storage_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple of MX block length")]
+    fn rejects_ragged_blocks() {
+        MxQuantizer::mxfp4().quantize(&weights(48, 2), 48, 2);
+    }
+}

@@ -1,0 +1,195 @@
+//! Bit-packing of quantized weight codes into dense storage.
+//!
+//! [`crate::QuantizedMatrix`] keeps one code per byte for fast access; the
+//! memory system (DRAM traffic in `axcore-sim`, weight buffers) sees the
+//! *packed* form this module produces: two 4-bit codes per byte (or one
+//! 8-bit code), plus the FP16 scales and 2-bit per-block format tags, laid
+//! out group-major exactly as the weight-stationary loader streams them.
+
+use crate::formats::QuantFormat;
+use crate::matrix::QuantizedMatrix;
+
+/// A packed weight image: what actually crosses the memory interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedWeights {
+    /// Packed code bytes, column-within-group major.
+    pub codes: Vec<u8>,
+    /// FP16 scale bit patterns, one per (group, column).
+    pub scales: Vec<u16>,
+    /// 2-bit format tags, packed four per byte, one per (group, block).
+    pub format_tags: Vec<u8>,
+    /// Code width in bits (4 or 8).
+    pub code_bits: u32,
+    shape: (usize, usize, usize, usize), // k, n, group_size, block_cols
+}
+
+/// Encode a format as its 2-bit tag.
+fn tag_of(f: QuantFormat) -> u8 {
+    match f {
+        QuantFormat::Fp(fmt) if fmt.name == "E3M0" => 0,
+        QuantFormat::Fp(fmt) if fmt.name == "E2M1" => 1,
+        QuantFormat::Fp(fmt) if fmt.name == "E1M2" => 2,
+        _ => 3, // INT / FP8: single-format matrices only
+    }
+}
+
+fn format_from_tag(tag: u8, fallback: QuantFormat) -> QuantFormat {
+    match tag {
+        0 => QuantFormat::E3M0,
+        1 => QuantFormat::E2M1,
+        2 => QuantFormat::E1M2,
+        _ => fallback,
+    }
+}
+
+/// Pack a quantized matrix into its storage image.
+///
+/// # Panics
+///
+/// Panics if the matrix mixes code widths (cannot happen for matrices
+/// produced by [`crate::GroupQuantizer`]).
+pub fn pack(q: &QuantizedMatrix) -> PackedWeights {
+    let code_bits = q.formats[0].code_bits();
+    assert!(
+        q.formats.iter().all(|f| f.code_bits() == code_bits),
+        "mixed code widths"
+    );
+    let mut codes = Vec::with_capacity(q.codes.len() * code_bits as usize / 8 + 1);
+    if code_bits == 4 {
+        let mut half: Option<u8> = None;
+        for &c in &q.codes {
+            match half.take() {
+                None => half = Some(c & 0x0f),
+                Some(lo) => codes.push(lo | (c << 4)),
+            }
+        }
+        if let Some(lo) = half {
+            codes.push(lo);
+        }
+    } else {
+        codes.extend_from_slice(&q.codes);
+    }
+    let mut format_tags = vec![0u8; q.formats.len().div_ceil(4)];
+    for (i, &f) in q.formats.iter().enumerate() {
+        format_tags[i / 4] |= tag_of(f) << (2 * (i % 4));
+    }
+    PackedWeights {
+        codes,
+        scales: q.scales.clone(),
+        format_tags,
+        code_bits,
+        shape: (q.k, q.n, q.group_size, q.block_cols),
+    }
+}
+
+/// Unpack a storage image back into a [`QuantizedMatrix`].
+///
+/// `fallback` supplies the format for non-FP4 tags (INT4/INT8/FP8
+/// matrices carry a single format).
+pub fn unpack(p: &PackedWeights, fallback: QuantFormat) -> QuantizedMatrix {
+    let (k, n, group_size, block_cols) = p.shape;
+    let mut codes = Vec::with_capacity(k * n);
+    if p.code_bits == 4 {
+        for i in 0..k * n {
+            let byte = p.codes[i / 2];
+            codes.push(if i % 2 == 0 { byte & 0x0f } else { byte >> 4 });
+        }
+    } else {
+        codes.extend_from_slice(&p.codes[..k * n]);
+    }
+    let n_tags = (k / group_size) * (n / block_cols);
+    let formats = (0..n_tags)
+        .map(|i| {
+            let tag = (p.format_tags[i / 4] >> (2 * (i % 4))) & 0b11;
+            format_from_tag(tag, fallback)
+        })
+        .collect();
+    QuantizedMatrix {
+        k,
+        n,
+        group_size,
+        block_cols,
+        codes,
+        scales: p.scales.clone(),
+        formats,
+    }
+}
+
+impl PackedWeights {
+    /// Total packed size in bits — matches
+    /// [`QuantizedMatrix::storage_bits`] up to padding.
+    pub fn total_bits(&self) -> u64 {
+        (self.codes.len() * 8 + self.scales.len() * 16 + self.format_tags.len() * 8) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::GroupQuantizer;
+
+    fn sample(fmt: QuantFormat) -> QuantizedMatrix {
+        let (k, n) = (64, 8);
+        let w: Vec<f32> = (0..k * n)
+            .map(|i| ((i * 37 % 101) as f32 / 50.0 - 1.0) * 0.4)
+            .collect();
+        GroupQuantizer::fixed(fmt, 32).quantize(&w, k, n)
+    }
+
+    #[test]
+    fn roundtrip_fixed_formats() {
+        for fmt in [
+            QuantFormat::E1M2,
+            QuantFormat::E2M1,
+            QuantFormat::E3M0,
+            QuantFormat::INT8,
+        ] {
+            let q = sample(fmt);
+            let p = pack(&q);
+            let back = unpack(&p, fmt);
+            assert_eq!(q.codes, back.codes, "{fmt}");
+            assert_eq!(q.scales, back.scales);
+            assert_eq!(q.formats, back.formats);
+        }
+    }
+
+    #[test]
+    fn roundtrip_adaptive() {
+        let (k, n) = (64, 16);
+        let w: Vec<f32> = (0..k * n)
+            .map(|i| if i % 3 == 0 { 0.5 } else { (i % 17) as f32 * 0.05 - 0.4 })
+            .collect();
+        let q = GroupQuantizer::adaptive_fp4(32, 8, None).quantize(&w, k, n);
+        let p = pack(&q);
+        let back = unpack(&p, QuantFormat::E2M1);
+        assert_eq!(q.formats, back.formats);
+        for kk in 0..k {
+            for c in 0..n {
+                assert_eq!(q.dequant(kk, c), back.dequant(kk, c));
+            }
+        }
+    }
+
+    #[test]
+    fn four_bit_codes_pack_two_per_byte() {
+        let q = sample(QuantFormat::E2M1);
+        let p = pack(&q);
+        assert_eq!(p.codes.len(), q.codes.len() / 2);
+        assert_eq!(p.code_bits, 4);
+        // Packed image is within padding of the logical storage size.
+        let logical = q.storage_bits();
+        assert!(p.total_bits() >= logical);
+        assert!(p.total_bits() <= logical + 64);
+    }
+
+    #[test]
+    fn odd_element_count_pads() {
+        let (k, n) = (32, 3);
+        let w: Vec<f32> = (0..k * n).map(|i| (i as f32).sin() * 0.3).collect();
+        let q = GroupQuantizer::fixed(QuantFormat::E2M1, 32).quantize(&w, k, n);
+        let p = pack(&q);
+        assert_eq!(p.codes.len(), (k * n).div_ceil(2));
+        let back = unpack(&p, QuantFormat::E2M1);
+        assert_eq!(q.codes, back.codes);
+    }
+}

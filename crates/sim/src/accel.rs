@@ -1,0 +1,319 @@
+//! The accelerator model: dataflow scheduling, buffers, DRAM, and the
+//! energy integration that produces the Fig.-17 breakdown.
+
+use crate::workload::Workload;
+use axcore_hwmodel::energy::{
+    mac_energy_pj, post_energy_pj, sram_access_pj, unit_leakage_w, CLOCK_HZ, DRAM_PJ_PER_BIT,
+    LEAK_NW_PER_GATE,
+};
+use axcore_hwmodel::{DataConfig, Design, ARRAY_COLS, ARRAY_ROWS};
+
+/// Accelerator configuration (paper's evaluation setup, §6.1.2: 64×64
+/// array, identical SRAM sizes across designs, adequate DRAM bandwidth).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccelConfig {
+    /// Weight buffer capacity, bits.
+    pub weight_buffer_bits: u64,
+    /// Unified (activation) buffer capacity, bits.
+    pub unified_buffer_bits: u64,
+    /// Accumulator buffer capacity, bits.
+    pub accum_buffer_bits: u64,
+    /// DRAM bandwidth, bits per second.
+    pub dram_bits_per_s: f64,
+}
+
+impl Default for AccelConfig {
+    fn default() -> Self {
+        AccelConfig {
+            weight_buffer_bits: 4 * 1024 * 1024 * 8, // 4 MiB
+            unified_buffer_bits: 2 * 1024 * 1024 * 8,
+            accum_buffer_bits: 1024 * 1024 * 8,
+            // "Adequate bandwidth" (§6.4): generous enough that decode at
+            // batch 32 stays compute-bound on every design.
+            dram_bits_per_s: 2.0e12,
+        }
+    }
+}
+
+/// Simulation result: cycles, time, and the Fig.-17 energy decomposition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyReport {
+    /// Total compute cycles.
+    pub cycles: u64,
+    /// Wall-clock seconds (max of compute and DRAM streaming time).
+    pub seconds: f64,
+    /// PE-array dynamic energy, joules.
+    pub core_j: f64,
+    /// On-chip buffer access energy, joules.
+    pub buffer_j: f64,
+    /// DRAM access energy, joules.
+    pub dram_j: f64,
+    /// Leakage energy over the run, joules.
+    pub static_j: f64,
+    /// Total MACs executed.
+    pub macs: u64,
+}
+
+impl EnergyReport {
+    /// Total energy, joules.
+    pub fn total_j(&self) -> f64 {
+        self.core_j + self.buffer_j + self.dram_j + self.static_j
+    }
+
+    /// Achieved tera-operations (2·MAC) per second.
+    pub fn tops(&self) -> f64 {
+        2.0 * self.macs as f64 / self.seconds / 1e12
+    }
+
+    /// Energy efficiency in TOPS/W over the *total* energy (core + memory
+    /// + static).
+    pub fn tops_per_w(&self) -> f64 {
+        self.tops() / (self.total_j() / self.seconds)
+    }
+
+    /// Compute-core TOPS/W (core dynamic energy only) — the quantity the
+    /// paper's Fig.-17 TOPS/W chart compares, where the memory system is
+    /// identical across designs and only the GEMM unit differs.
+    pub fn tops_per_w_core(&self) -> f64 {
+        self.tops() / (self.core_j / self.seconds)
+    }
+}
+
+/// Cycles one `M×K×N` GEMM occupies on the weight-stationary array.
+///
+/// The array processes `⌈K/rows⌉ · ⌈N/cols⌉` weight tiles. With double
+/// buffering, each tile's occupancy is the larger of the activation stream
+/// (`M` cycles) and the stationary-weight reload (`rows` cycles, one row
+/// per cycle); the pipeline drains once per pass sequence. FIGLUT's
+/// bit-serial lanes hold throughput by construction (§6.1.2 normalizes
+/// peak TOPS), so the schedule is design-independent.
+pub fn gemm_cycles(m: usize, k: usize, n: usize) -> u64 {
+    let rows = ARRAY_ROWS as usize;
+    let cols = ARRAY_COLS as usize;
+    let tiles = k.div_ceil(rows) as u64 * n.div_ceil(cols) as u64;
+    let occupancy = m.max(rows) as u64;
+    tiles * occupancy + (rows + cols + m) as u64 // one pipeline fill/drain
+}
+
+/// Simulate a workload on one design × data configuration.
+pub fn simulate(
+    design: Design,
+    cfg: &DataConfig,
+    accel: &AccelConfig,
+    workload: &Workload,
+) -> EnergyReport {
+    let act_bits = cfg.act.total_bits() as u64;
+    // Tender quantizes activations to the weight width class.
+    let act_stream_bits = if design == Design::Tender {
+        cfg.weight.bits().max(4) as u64
+    } else {
+        act_bits
+    };
+    // Weight storage: quantized designs stream codes + FP16 group scales
+    // (group 128); FP designs (FPC/FPMA) consume *dequantized* storage only
+    // on-chip — DRAM traffic is the quantized form for all (weight-only
+    // quantization is a memory-format property, §2.2).
+    let wbits = cfg.weight.bits() as u64;
+    let scale_overhead_num = 16u64; // 16-bit scale per 128 weights
+    let scale_overhead_den = 128u64;
+
+    let mut cycles = 0u64;
+    let mut macs = 0u64;
+    let mut weight_bits_moved = 0u64;
+    let mut act_sram_bits = 0u64;
+    let mut out_elems = 0u64;
+    for op in &workload.ops {
+        cycles += gemm_cycles(op.m, op.k, op.n) * op.count as u64;
+        macs += op.macs();
+        weight_bits_moved += op.weights() * (wbits + scale_overhead_num / scale_overhead_den);
+        weight_bits_moved += op.weights() * scale_overhead_num / scale_overhead_den;
+        // Activations re-streamed once per column-tile pass.
+        let passes = op.n.div_ceil(ARRAY_COLS as usize) as u64;
+        act_sram_bits += (op.m * op.k * op.count) as u64 * act_stream_bits * passes;
+        out_elems += (op.m * op.n * op.count) as u64;
+    }
+
+    let compute_s = cycles as f64 / CLOCK_HZ;
+    let dram_s = weight_bits_moved as f64 / accel.dram_bits_per_s;
+    let seconds = compute_s.max(dram_s);
+
+    // Core energy: MACs through the PE array + per-output post-processing.
+    let core_j = macs as f64 * mac_energy_pj(design, cfg) * 1e-12
+        + out_elems as f64 * post_energy_pj(design, cfg) * 1e-12;
+
+    // Buffers: weights pass through the weight buffer once (write + read);
+    // activations read from the unified buffer per pass; outputs written to
+    // the accumulator buffer.
+    let buffer_j = (2.0 * sram_access_pj(accel.weight_buffer_bits, weight_bits_moved)
+        + sram_access_pj(accel.unified_buffer_bits, act_sram_bits)
+        + 2.0 * sram_access_pj(accel.accum_buffer_bits, out_elems * 32))
+        * 1e-12;
+
+    let dram_j = weight_bits_moved as f64 * DRAM_PJ_PER_BIT * 1e-12;
+
+    // Leakage: GEMM unit + SRAM macros (≈ 1 gate-equivalent per 2 bits).
+    let sram_gates = (accel.weight_buffer_bits + accel.unified_buffer_bits + accel.accum_buffer_bits)
+        as f64
+        * 0.5;
+    let static_w = unit_leakage_w(design, cfg) + sram_gates * LEAK_NW_PER_GATE * 1e-9;
+    let static_j = static_w * seconds;
+
+    EnergyReport {
+        cycles,
+        seconds,
+        core_j,
+        buffer_j,
+        dram_j,
+        static_j,
+        macs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::decode_workload;
+    use axcore_hwmodel::config::{ActFormat, WeightFormat};
+    use axcore_nn::profile::LlmArch;
+
+    fn w4fp16() -> DataConfig {
+        DataConfig::new(WeightFormat::Fp4, ActFormat::Fp16)
+    }
+
+    fn report(design: Design, cfg: DataConfig) -> EnergyReport {
+        let wl = decode_workload(&LlmArch::opt_13b(), 32);
+        simulate(design, &cfg, &AccelConfig::default(), &wl)
+    }
+
+    #[test]
+    fn energy_components_positive_and_sum() {
+        let r = report(Design::AxCore, w4fp16());
+        for v in [r.core_j, r.buffer_j, r.dram_j, r.static_j] {
+            assert!(v > 0.0);
+        }
+        assert!((r.total_j() - (r.core_j + r.buffer_j + r.dram_j + r.static_j)).abs() < 1e-15);
+        assert!(r.tops() > 0.0 && r.tops_per_w() > 0.0);
+    }
+
+    #[test]
+    fn axcore_most_efficient_w4_fp16() {
+        let ax = report(Design::AxCore, w4fp16());
+        for d in [Design::Fpc, Design::Fpma, Design::Figna, Design::Figlut] {
+            let r = report(d, w4fp16());
+            assert!(
+                ax.tops_per_w() > r.tops_per_w(),
+                "{}: {} vs AxCore {}",
+                d.name(),
+                r.tops_per_w(),
+                ax.tops_per_w()
+            );
+            assert!(ax.total_j() < r.total_j(), "{}", d.name());
+        }
+    }
+
+    #[test]
+    fn headline_core_efficiency_ratios_in_band() {
+        // §6.4: averaged over configurations, AxCore improves TOPS/W by
+        // 6.4× / 3.1× / 1.4× / 2.0× over FPC / FPMA / FIGNA / FIGLUT —
+        // these are compute-core ratios (the memory system is identical
+        // across designs). Check the six-scenario average lands near those
+        // factors (±55 %: the gate-cost composition is structural, not
+        // fitted).
+        let mut ratios = [0f64; 4];
+        let baselines = [Design::Fpc, Design::Fpma, Design::Figna, Design::Figlut];
+        let scenarios = DataConfig::paper_scenarios();
+        for cfg in scenarios {
+            let ax = report(Design::AxCore, cfg).tops_per_w_core();
+            for (i, d) in baselines.iter().enumerate() {
+                ratios[i] += ax / report(*d, cfg).tops_per_w_core();
+            }
+        }
+        for r in ratios.iter_mut() {
+            *r /= scenarios.len() as f64;
+        }
+        let paper = [6.4, 3.1, 1.4, 2.0];
+        for i in 0..4 {
+            let rel = ratios[i] / paper[i];
+            assert!(
+                (0.45..2.2).contains(&rel),
+                "{}: ratio {:.2} vs paper {:.1}",
+                baselines[i].name(),
+                ratios[i],
+                paper[i]
+            );
+        }
+    }
+
+    #[test]
+    fn total_energy_reduction_in_band() {
+        // §6.4: 2.2× / 1.5× / 1.1× / 1.3× average *total* energy reduction
+        // vs FPC / FPMA / FIGNA / FIGLUT.
+        let baselines = [Design::Fpc, Design::Fpma, Design::Figna, Design::Figlut];
+        let paper = [2.2, 1.5, 1.1, 1.3];
+        let scenarios = DataConfig::paper_scenarios();
+        for (i, d) in baselines.iter().enumerate() {
+            let mut ratio = 0.0;
+            for cfg in scenarios {
+                ratio += report(*d, cfg).total_j() / report(Design::AxCore, cfg).total_j();
+            }
+            ratio /= scenarios.len() as f64;
+            assert!(
+                ratio > 1.0,
+                "{}: AxCore must reduce total energy (ratio {ratio:.2})",
+                d.name()
+            );
+            let rel = ratio / paper[i];
+            assert!(
+                (0.4..2.0).contains(&rel),
+                "{}: ratio {ratio:.2} vs paper {:.1}",
+                d.name(),
+                paper[i]
+            );
+        }
+    }
+
+    #[test]
+    fn decode_is_compute_bound_with_adequate_bandwidth() {
+        let r = report(Design::AxCore, w4fp16());
+        let wl = decode_workload(&LlmArch::opt_13b(), 32);
+        let dram_s =
+            wl.total_weights() as f64 * 4.2 / AccelConfig::default().dram_bits_per_s;
+        assert!(r.seconds >= dram_s * 0.9, "compute time should dominate");
+    }
+
+    #[test]
+    fn dram_share_significant_in_w4_decode() {
+        // Fig. 17: DRAM is a major component of decode energy.
+        let r = report(Design::AxCore, w4fp16());
+        let share = r.dram_j / r.total_j();
+        assert!((0.15..0.95).contains(&share), "DRAM share {share:.2}");
+    }
+
+    #[test]
+    fn opt30b_costs_more_than_opt13b() {
+        let wl13 = decode_workload(&LlmArch::opt_13b(), 32);
+        let wl30 = decode_workload(&LlmArch::opt_30b(), 32);
+        let cfg = w4fp16();
+        let r13 = simulate(Design::AxCore, &cfg, &AccelConfig::default(), &wl13);
+        let r30 = simulate(Design::AxCore, &cfg, &AccelConfig::default(), &wl30);
+        assert!(r30.total_j() > 1.5 * r13.total_j());
+        assert!(r30.cycles > r13.cycles);
+    }
+
+    #[test]
+    fn figna_energy_grows_faster_to_w8_than_axcore() {
+        // §6.4: FIGNA's multiplier energy scales quadratically with weight
+        // width; AxCore's adders barely grow.
+        let w8 = DataConfig::new(WeightFormat::Fp8, ActFormat::Fp16);
+        let g = |d: Design| report(d, w8).core_j / report(d, w4fp16()).core_j;
+        assert!(g(Design::Figna) > g(Design::AxCore) + 0.1);
+    }
+
+    #[test]
+    fn gemm_cycles_tile_math() {
+        // 64×64 array: a 128×128 weight needs 4 tiles; occupancy 64 at M=32.
+        assert_eq!(gemm_cycles(32, 128, 128), 4 * 64 + (64 + 64 + 32));
+        // M > rows: activation-stream bound.
+        assert_eq!(gemm_cycles(100, 64, 64), 100 + (64 + 64 + 100));
+    }
+}

@@ -1,0 +1,21 @@
+//! # axcore-sim
+//!
+//! A cycle-level simulator of the AxCore-based LLM inference accelerator
+//! (Fig. 13) standing in for the paper's DNNWeaver-derived simulator +
+//! CACTI (§6.1.2): weight-stationary dataflow scheduling over a 64×64 PE
+//! array, double-buffered SRAM, a DRAM interface, and the per-event energy
+//! constants of `axcore-hwmodel`.
+//!
+//! The Fig.-17 experiment runs the decoding phase (batch 32, one output
+//! token) of OPT-13B / OPT-30B through every design × data-format
+//! configuration and reports the energy breakdown (core / buffer / DRAM /
+//! static) plus TOPS/W.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accel;
+pub mod workload;
+
+pub use accel::{simulate, AccelConfig, EnergyReport};
+pub use workload::{decode_workload, GemmOp, Workload};

@@ -1,0 +1,139 @@
+//! Correctly-rounded software arithmetic on bit patterns of any supported
+//! format — the reference ALU behind the exact (FPC-style) baselines.
+//!
+//! Every supported format has ≤ 24 significand bits and a tiny exponent
+//! range, so products and quotients are exactly representable in `f64`
+//! before the final rounding; sums of two values are exact in `f64` as
+//! well. Computing in `f64` and encoding once with round-to-nearest-even
+//! is therefore *correct rounding* for `+`, `−`, `×`, and (for division,
+//! up to the double-rounding-free cases below) `÷`.
+
+use crate::format::FpFormat;
+
+/// Correctly-rounded addition: `encode(decode(x) + decode(y))`.
+pub fn fp_add(fmt: FpFormat, x: u32, y: u32) -> u32 {
+    fmt.encode(fmt.decode(x) + fmt.decode(y))
+}
+
+/// Correctly-rounded subtraction.
+pub fn fp_sub(fmt: FpFormat, x: u32, y: u32) -> u32 {
+    fmt.encode(fmt.decode(x) - fmt.decode(y))
+}
+
+/// Correctly-rounded multiplication. The `f64` product of two ≤ 24-bit
+/// significands is exact, so the single final rounding is correct.
+pub fn fp_mul(fmt: FpFormat, x: u32, y: u32) -> u32 {
+    fmt.encode(fmt.decode(x) * fmt.decode(y))
+}
+
+/// Division, correctly rounded for all the low-bit formats (≤ 11-bit
+/// significands: the `f64` quotient carries > 2× the significand width,
+/// which rules out double-rounding errors at these sizes).
+pub fn fp_div(fmt: FpFormat, x: u32, y: u32) -> u32 {
+    fmt.encode(fmt.decode(x) / fmt.decode(y))
+}
+
+/// Fused multiply-add `x·y + z` with a *single* rounding — the FPC PE's
+/// contract. Both the product and the sum are exact in `f64` for ≤ 24-bit
+/// significand formats when the exponent range is small (ours are), so
+/// one final encode realizes the fused rounding.
+pub fn fp_fma(fmt: FpFormat, x: u32, y: u32, z: u32) -> u32 {
+    let p = fmt.decode(x) * fmt.decode(y); // exact
+    fmt.encode(p + fmt.decode(z))
+}
+
+/// Compare magnitudes of two finite patterns (for sorting/maximum
+/// selection in hardware-model tests). Sign-magnitude comparison exactly
+/// as a hardware comparator would do it: on the raw fields.
+pub fn fp_abs_gt(fmt: FpFormat, x: u32, y: u32) -> bool {
+    (x & fmt.magnitude_mask()) > (y & fmt.magnitude_mask())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::named::{BF16, FP16, FP4_E1M2, FP4_E2M1};
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_identities() {
+        let one = FP16.encode(1.0);
+        let two = FP16.encode(2.0);
+        assert_eq!(FP16.decode(fp_add(FP16, one, one)), 2.0);
+        assert_eq!(FP16.decode(fp_sub(FP16, two, one)), 1.0);
+        assert_eq!(FP16.decode(fp_mul(FP16, two, two)), 4.0);
+        assert_eq!(FP16.decode(fp_div(FP16, one, two)), 0.5);
+        assert_eq!(FP16.decode(fp_fma(FP16, two, two, one)), 5.0);
+    }
+
+    #[test]
+    fn fma_single_rounding_differs_from_two_roundings() {
+        // x² = 1 + 2^-9 + 2^-20 exactly, with 1 + 2^-10 one ulp above 1.
+        // Subtracting z = 1 + 2^-9 leaves 2^-20 — representable, and only
+        // reachable when the product is *not* rounded before the add.
+        let x = FP16.encode(1.0 + 2f64.powi(-10));
+        let z = FP16.encode(-(1.0 + 2f64.powi(-9)));
+        let fused = fp_fma(FP16, x, x, z);
+        let two_step = fp_add(FP16, fp_mul(FP16, x, x), z);
+        assert_eq!(FP16.decode(fused), 2f64.powi(-20));
+        // two-step: x² rounds to 1 + 2^-9 first, losing the 2^-20 tail.
+        assert_eq!(FP16.decode(two_step), 0.0);
+    }
+
+    #[test]
+    fn magnitude_compare_matches_values() {
+        let a = FP16.encode(3.5);
+        let b = FP16.encode(-7.25);
+        assert!(fp_abs_gt(FP16, b, a));
+        assert!(!fp_abs_gt(FP16, a, b));
+    }
+
+    #[test]
+    fn fp4_closed_under_ops_with_saturation() {
+        for fmt in [FP4_E1M2, FP4_E2M1] {
+            for x in fmt.nonneg_finite_patterns() {
+                for y in fmt.nonneg_finite_patterns() {
+                    let r = fp_mul(fmt, x, y);
+                    let v = fmt.decode(r);
+                    assert!(v.is_finite() && v <= fmt.max_finite());
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn add_commutes(a in -1000.0f64..1000.0, b in -1000.0f64..1000.0) {
+            for fmt in [FP16, BF16] {
+                let (x, y) = (fmt.encode(a), fmt.encode(b));
+                prop_assert_eq!(fp_add(fmt, x, y), fp_add(fmt, y, x));
+                prop_assert_eq!(fp_mul(fmt, x, y), fp_mul(fmt, y, x));
+            }
+        }
+
+        #[test]
+        fn sub_is_add_of_negation(a in -100.0f64..100.0, b in -100.0f64..100.0) {
+            let (x, y) = (FP16.encode(a), FP16.encode(b));
+            let neg_y = y ^ FP16.sign_mask();
+            prop_assert_eq!(fp_sub(FP16, x, y), fp_add(FP16, x, neg_y));
+        }
+
+        #[test]
+        fn mul_error_within_half_ulp(a in 0.01f64..100.0, b in 0.01f64..100.0) {
+            let (x, y) = (FP16.encode(a), FP16.encode(b));
+            let exact = FP16.decode(x) * FP16.decode(y);
+            let got = FP16.decode(fp_mul(FP16, x, y));
+            prop_assert!((got - exact).abs() <= FP16.ulp_at(exact) * 0.5 + 1e-12);
+        }
+
+        #[test]
+        fn div_inverts_mul_for_powers_of_two(a in -100.0f64..100.0, k in -3i32..4) {
+            let s = 2f64.powi(k);
+            let x = FP16.encode(a);
+            let m = fp_mul(FP16, x, FP16.encode(s));
+            // Multiplying by a power of two is exact (within range), so
+            // dividing back recovers the original pattern.
+            prop_assert_eq!(fp_div(FP16, m, FP16.encode(s)), x);
+        }
+    }
+}

@@ -1,0 +1,406 @@
+//! The [`FpFormat`] descriptor: exponent/mantissa geometry, bias, field
+//! extraction, exact decode and correctly-rounded encode.
+
+use crate::rounding::Rounding;
+
+/// Classification of a bit pattern within a format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpClass {
+    /// Positive or negative zero (exponent field 0, mantissa field 0).
+    Zero,
+    /// Subnormal: exponent field 0, nonzero mantissa — no implicit leading 1.
+    Subnormal,
+    /// Normal: implicit leading 1.
+    Normal,
+    /// Infinity (IEEE formats only: max exponent field, zero mantissa).
+    Infinity,
+    /// Not-a-number (IEEE formats only: max exponent field, nonzero mantissa).
+    Nan,
+}
+
+/// A small floating-point format: `1` sign bit, `exp_bits` exponent bits,
+/// `man_bits` mantissa bits, with bias `2^(exp_bits-1) - 1`.
+///
+/// `finite_only` formats (the FP4 family and FP8 E4M3 here, following
+/// NVIDIA's FP4 and the LLM-FP4 convention cited by the paper) dedicate every
+/// bit pattern to a finite value: the all-ones exponent field encodes
+/// ordinary normal numbers instead of infinity/NaN. IEEE formats
+/// (`finite_only == false`) reserve the all-ones exponent field.
+///
+/// Bit patterns are carried in the low bits of a `u32`
+/// (`sign ‖ exponent ‖ mantissa`), matching the hardware layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FpFormat {
+    /// Number of exponent bits (≥ 1).
+    pub exp_bits: u32,
+    /// Number of mantissa (fraction) bits (may be 0, e.g. E3M0).
+    pub man_bits: u32,
+    /// If true, all bit patterns encode finite numbers (no inf/NaN).
+    pub finite_only: bool,
+    /// Short human-readable name, e.g. `"FP16"` or `"E2M1"`.
+    pub name: &'static str,
+}
+
+impl FpFormat {
+    /// Construct a format descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exp_bits == 0` or the total width exceeds 32 bits.
+    pub const fn new(exp_bits: u32, man_bits: u32, finite_only: bool, name: &'static str) -> Self {
+        assert!(exp_bits >= 1, "at least one exponent bit required");
+        assert!(1 + exp_bits + man_bits <= 32, "format wider than 32 bits");
+        FpFormat {
+            exp_bits,
+            man_bits,
+            finite_only,
+            name,
+        }
+    }
+
+    /// Total storage width in bits (sign + exponent + mantissa).
+    #[inline]
+    pub const fn total_bits(&self) -> u32 {
+        1 + self.exp_bits + self.man_bits
+    }
+
+    /// Exponent bias `B = 2^(exp_bits-1) - 1` (e.g. 15 for FP16, 1 for E2M1,
+    /// 0 for E1M2).
+    #[inline]
+    pub const fn bias(&self) -> i32 {
+        (1i32 << (self.exp_bits - 1)) - 1
+    }
+
+    /// Largest valid exponent *field* value for a normal number:
+    /// `2^exp_bits - 1` for finite-only formats, `2^exp_bits - 2` for IEEE
+    /// formats (the top code is reserved for inf/NaN).
+    #[inline]
+    pub const fn max_exp_field(&self) -> u32 {
+        let all = (1u32 << self.exp_bits) - 1;
+        if self.finite_only {
+            all
+        } else {
+            all - 1
+        }
+    }
+
+    /// Smallest unbiased exponent of a *normal* number: `1 - bias`.
+    #[inline]
+    pub const fn min_normal_exp(&self) -> i32 {
+        1 - self.bias()
+    }
+
+    /// Largest unbiased exponent of a normal number.
+    #[inline]
+    pub const fn max_normal_exp(&self) -> i32 {
+        self.max_exp_field() as i32 - self.bias()
+    }
+
+    /// Bit mask covering the mantissa field.
+    #[inline]
+    pub const fn man_mask(&self) -> u32 {
+        if self.man_bits == 0 {
+            0
+        } else {
+            (1u32 << self.man_bits) - 1
+        }
+    }
+
+    /// Bit mask covering the exponent field (in place).
+    #[inline]
+    pub const fn exp_mask(&self) -> u32 {
+        ((1u32 << self.exp_bits) - 1) << self.man_bits
+    }
+
+    /// Bit mask covering the sign bit.
+    #[inline]
+    pub const fn sign_mask(&self) -> u32 {
+        1u32 << (self.exp_bits + self.man_bits)
+    }
+
+    /// Bit mask covering the magnitude (exponent ‖ mantissa) fields.
+    #[inline]
+    pub const fn magnitude_mask(&self) -> u32 {
+        self.exp_mask() | self.man_mask()
+    }
+
+    /// Extract the sign bit (`true` = negative).
+    #[inline]
+    pub const fn sign(&self, bits: u32) -> bool {
+        bits & self.sign_mask() != 0
+    }
+
+    /// Extract the raw exponent field.
+    #[inline]
+    pub const fn exp_field(&self, bits: u32) -> u32 {
+        (bits >> self.man_bits) & ((1u32 << self.exp_bits) - 1)
+    }
+
+    /// Extract the raw mantissa field.
+    #[inline]
+    pub const fn man_field(&self, bits: u32) -> u32 {
+        bits & self.man_mask()
+    }
+
+    /// Compose a bit pattern from fields.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if a field exceeds its width.
+    #[inline]
+    pub fn compose(&self, sign: bool, exp_field: u32, man_field: u32) -> u32 {
+        debug_assert!(exp_field < (1 << self.exp_bits));
+        debug_assert!(man_field <= self.man_mask());
+        ((sign as u32) << (self.exp_bits + self.man_bits)) | (exp_field << self.man_bits) | man_field
+    }
+
+    /// Classify a bit pattern.
+    pub fn classify(&self, bits: u32) -> FpClass {
+        let e = self.exp_field(bits);
+        let m = self.man_field(bits);
+        if e == 0 {
+            if m == 0 {
+                FpClass::Zero
+            } else {
+                FpClass::Subnormal
+            }
+        } else if !self.finite_only && e == (1 << self.exp_bits) - 1 {
+            if m == 0 {
+                FpClass::Infinity
+            } else {
+                FpClass::Nan
+            }
+        } else {
+            FpClass::Normal
+        }
+    }
+
+    /// True if the pattern encodes (±) zero.
+    #[inline]
+    pub fn is_zero(&self, bits: u32) -> bool {
+        bits & self.magnitude_mask() == 0
+    }
+
+    /// True if the pattern is subnormal (exp field 0, mantissa ≠ 0).
+    #[inline]
+    pub fn is_subnormal(&self, bits: u32) -> bool {
+        self.exp_field(bits) == 0 && self.man_field(bits) != 0
+    }
+
+    /// Exact value of a bit pattern as `f64`.
+    ///
+    /// Infinities decode to `f64::INFINITY`, NaNs to `f64::NAN`. Negative
+    /// zero decodes to `-0.0`.
+    pub fn decode(&self, bits: u32) -> f64 {
+        let s = if self.sign(bits) { -1.0 } else { 1.0 };
+        match self.classify(bits) {
+            FpClass::Zero => s * 0.0,
+            FpClass::Subnormal => {
+                let m = self.man_field(bits) as f64 / (1u64 << self.man_bits) as f64;
+                s * m * exp2i(self.min_normal_exp())
+            }
+            FpClass::Normal => {
+                let m = 1.0 + self.man_field(bits) as f64 / (1u64 << self.man_bits) as f64;
+                s * m * exp2i(self.exp_field(bits) as i32 - self.bias())
+            }
+            FpClass::Infinity => s * f64::INFINITY,
+            FpClass::Nan => f64::NAN,
+        }
+    }
+
+    /// Magnitude (absolute value) of a bit pattern as `f64`; NaN for NaN.
+    #[inline]
+    pub fn decode_magnitude(&self, bits: u32) -> f64 {
+        self.decode(bits & !self.sign_mask())
+    }
+
+    /// Largest finite value representable in this format.
+    pub fn max_finite(&self) -> f64 {
+        let e = self.max_exp_field();
+        self.decode(self.compose(false, e, self.man_mask()))
+    }
+
+    /// Smallest positive normal value.
+    pub fn min_positive_normal(&self) -> f64 {
+        self.decode(self.compose(false, 1, 0))
+    }
+
+    /// Smallest positive (subnormal) value; equals the smallest normal for
+    /// formats with zero mantissa bits (which have no subnormals).
+    pub fn min_positive(&self) -> f64 {
+        if self.man_bits == 0 {
+            self.min_positive_normal()
+        } else {
+            self.decode(self.compose(false, 0, 1))
+        }
+    }
+
+    /// Encode `x` with round-to-nearest-even, saturating overflow to the
+    /// maximum finite value (the behaviour of saturating quantization and of
+    /// the modelled datapath). NaN inputs encode to the maximum finite value
+    /// with positive sign for finite-only formats, or to a canonical NaN for
+    /// IEEE formats.
+    pub fn encode(&self, x: f64) -> u32 {
+        self.encode_with(x, Rounding::NearestEven, &mut || false)
+    }
+
+    /// Encode with an explicit rounding mode.
+    ///
+    /// For [`Rounding::Stochastic`], `coin` supplies the random decision used
+    /// when the value falls strictly between two representable neighbours:
+    /// `true` rounds away from zero, `false` towards zero. The coin is only
+    /// consulted when actually needed, keeping deterministic replay simple.
+    pub fn encode_with(&self, x: f64, rounding: Rounding, coin: &mut dyn FnMut() -> bool) -> u32 {
+        if x.is_nan() {
+            return if self.finite_only {
+                self.compose(false, self.max_exp_field(), self.man_mask())
+            } else {
+                // Canonical quiet NaN: max exponent, MSB of mantissa set
+                // (or mantissa 1 when man_bits == 0 cannot happen for IEEE).
+                let m = if self.man_bits > 0 {
+                    1 << (self.man_bits - 1)
+                } else {
+                    0
+                };
+                self.compose(false, (1 << self.exp_bits) - 1, m)
+            };
+        }
+        let sign = x.is_sign_negative();
+        let a = x.abs();
+        if a == 0.0 {
+            return self.compose(sign, 0, 0);
+        }
+        if a.is_infinite() {
+            return self.saturated(sign);
+        }
+
+        // Scale into fixed-point "mantissa units" relative to the subnormal
+        // ulp 2^(min_normal_exp - man_bits); every representable magnitude is
+        // an integer number of such units up to the normal range, where the
+        // ulp grows — handle normals by exponent decomposition instead.
+        let e = ilog2_f64(a); // floor(log2(a))
+        let (exp_field, man_exact) = if e < self.min_normal_exp() {
+            // Subnormal (or rounds up into the first normal).
+            let units = a / exp2i(self.min_normal_exp() - self.man_bits as i32);
+            (0u32, units)
+        } else {
+            let frac = a / exp2i(e) - 1.0; // in [0, 1)
+            let units = frac * (1u64 << self.man_bits) as f64;
+            ((e + self.bias()) as u32, units)
+        };
+
+        let man_lo = man_exact.floor();
+        let frac = man_exact - man_lo;
+        let mut man = man_lo as u64;
+        let round_up = match rounding {
+            Rounding::NearestEven => {
+                frac > 0.5 || (frac == 0.5 && (man & 1) == 1)
+            }
+            Rounding::TowardZero => false,
+            Rounding::AwayFromZero => frac > 0.0,
+            Rounding::Stochastic => frac > 0.0 && coin(),
+        };
+        if round_up {
+            man += 1;
+        }
+
+        let (mut exp_field, mut man) = (exp_field, man);
+        // Mantissa overflow rolls into the next binade (and from the top
+        // subnormal into the first normal — the subnormal ulp equals the
+        // first-binade ulp, so the carry is seamless).
+        if man >= (1u64 << self.man_bits) {
+            if exp_field == 0 {
+                exp_field = 1;
+                man -= 1 << self.man_bits;
+            } else {
+                exp_field += 1;
+                man = 0;
+            }
+        }
+        if exp_field > self.max_exp_field() {
+            return self.saturated(sign);
+        }
+        self.compose(sign, exp_field, man as u32)
+    }
+
+    /// The saturated (overflow) encoding: maximum finite magnitude with the
+    /// given sign. Used instead of infinity throughout the datapath model.
+    pub fn saturated(&self, sign: bool) -> u32 {
+        self.compose(sign, self.max_exp_field(), self.man_mask())
+    }
+
+    /// Round-trip helper: the nearest representable value to `x` (RNE,
+    /// saturating).
+    #[inline]
+    pub fn quantize(&self, x: f64) -> f64 {
+        self.decode(self.encode(x))
+    }
+
+    /// Iterate over **all** bit patterns of the format (including negatives,
+    /// zeros, and — for IEEE formats — inf/NaN patterns).
+    pub fn all_patterns(&self) -> impl Iterator<Item = u32> + '_ {
+        0..(1u32 << self.total_bits())
+    }
+
+    /// Iterate over all *finite, non-negative* bit patterns in increasing
+    /// magnitude order (zero first).
+    pub fn nonneg_finite_patterns(&self) -> impl Iterator<Item = u32> + '_ {
+        let top = (self.max_exp_field() << self.man_bits) | self.man_mask();
+        (0..=top).filter(move |&b| {
+            !matches!(self.classify(b), FpClass::Infinity | FpClass::Nan)
+        })
+    }
+
+    /// All finite representable values (both signs, one zero), sorted
+    /// ascending. Useful for exhaustive low-bit format analysis.
+    pub fn all_finite_values(&self) -> Vec<f64> {
+        let mut vs: Vec<f64> = self
+            .nonneg_finite_patterns()
+            .map(|b| self.decode(b))
+            .collect();
+        let negs: Vec<f64> = vs.iter().skip(1).map(|v| -v).collect();
+        vs.extend(negs);
+        vs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        vs
+    }
+
+    /// Unit in the last place at value `x` (distance to the next
+    /// representable magnitude), for finite nonzero `x` within range.
+    pub fn ulp_at(&self, x: f64) -> f64 {
+        let a = x.abs();
+        if a < self.min_positive_normal() {
+            return exp2i(self.min_normal_exp() - self.man_bits as i32);
+        }
+        let e = ilog2_f64(a).min(self.max_normal_exp());
+        exp2i(e - self.man_bits as i32)
+    }
+}
+
+impl std::fmt::Display for FpFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// Exact `2^e` for the small exponent ranges used here.
+#[inline]
+pub(crate) fn exp2i(e: i32) -> f64 {
+    // Valid for |e| < 1023; our formats stay far inside this.
+    f64::from_bits(((1023 + e) as u64) << 52)
+}
+
+/// `floor(log2(|x|))` for finite positive `x`, exact (bit-level, no libm).
+#[inline]
+pub(crate) fn ilog2_f64(a: f64) -> i32 {
+    debug_assert!(a > 0.0 && a.is_finite());
+    let bits = a.to_bits();
+    let e = ((bits >> 52) & 0x7ff) as i32;
+    if e == 0 {
+        // Subnormal f64 — far below any of our formats' ranges, but handle
+        // exactly anyway.
+        let m = bits & ((1u64 << 52) - 1);
+        -1023 - 52 + 63 - m.leading_zeros() as i32 + 1 - 1
+    } else {
+        e - 1023
+    }
+}

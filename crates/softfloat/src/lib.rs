@@ -1,0 +1,57 @@
+//! # axcore-softfloat
+//!
+//! Bit-level software floating-point emulation for the AxCore reproduction.
+//!
+//! Every number that flows through the modelled AxCore datapath is a *bit
+//! pattern*, not a host float. This crate provides the format descriptors and
+//! the exact encode/decode/rounding machinery those bit patterns need:
+//!
+//! * [`FpFormat`] — a runtime descriptor of any small floating-point format
+//!   (exponent width, mantissa width, and whether *all* bit patterns encode
+//!   finite numbers, as in NVIDIA-style FP4).
+//! * Named formats: [`FP16`], [`BF16`], [`FP32`], [`FP8_E4M3`], [`FP8_E5M2`],
+//!   and the three FP4 variants the paper's adaptive format-aware
+//!   quantization selects between: [`FP4_E1M2`], [`FP4_E2M1`], [`FP4_E3M0`].
+//! * Exact [`FpFormat::decode`] to `f64` and correctly-rounded
+//!   [`FpFormat::encode`] from `f64` (round-to-nearest-even, plus stochastic
+//!   rounding for quantization experiments).
+//! * Field-level access (sign / exponent / mantissa) and classification
+//!   (zero, subnormal, normal, inf, NaN) — the AxCore subnormal-number
+//!   conversion unit is built directly on these.
+//!
+//! All magnitudes of every supported format are exactly representable in
+//! `f64` (≤ 24 significand bits, tiny exponent ranges), so `f64` serves as
+//! the *exact* reference domain.
+//!
+//! ## Example
+//!
+//! ```
+//! use axcore_softfloat::{FP16, FP4_E2M1};
+//!
+//! // Encode 1.5 into FP4 E2M1 and decode it back exactly.
+//! let bits = FP4_E2M1.encode(1.5);
+//! assert_eq!(FP4_E2M1.decode(bits), 1.5);
+//!
+//! // FP16 round-trips every value it can represent.
+//! let h = FP16.encode(0.333251953125);
+//! assert_eq!(FP16.decode(h), 0.333251953125);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arith;
+mod format;
+mod named;
+mod rounding;
+mod value;
+
+pub use format::{FpClass, FpFormat};
+pub use named::{
+    all_fp4_formats, BF16, FP16, FP32, FP4_E1M2, FP4_E2M1, FP4_E3M0, FP8_E4M3, FP8_E5M2,
+};
+pub use rounding::Rounding;
+pub use value::Fp;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,39 @@
+//! Named format constants used throughout the AxCore reproduction.
+
+use crate::format::FpFormat;
+
+/// IEEE 754 binary16 (half precision): 5 exponent bits, 10 mantissa bits,
+/// bias 15. The paper's default activation format.
+pub const FP16: FpFormat = FpFormat::new(5, 10, false, "FP16");
+
+/// bfloat16: 8 exponent bits, 7 mantissa bits, bias 127.
+pub const BF16: FpFormat = FpFormat::new(8, 7, false, "BF16");
+
+/// IEEE 754 binary32 (single precision): 8 exponent bits, 23 mantissa bits.
+pub const FP32: FpFormat = FpFormat::new(8, 23, false, "FP32");
+
+/// FP8 E4M3 (finite-only, per the OCP/NVIDIA convention adopted by the
+/// paper's FP-quantization formats): max finite value 480.
+pub const FP8_E4M3: FpFormat = FpFormat::new(4, 3, true, "E4M3");
+
+/// FP8 E5M2 (IEEE-style small float with inf/NaN): max finite value 57344.
+pub const FP8_E5M2: FpFormat = FpFormat::new(5, 2, false, "E5M2");
+
+/// FP4 E1M2 — the "uniform" 4-bit format: 1 exponent bit (bias 0), 2
+/// mantissa bits. Representable magnitudes: 0, 0.5, 1, 1.5 (subnormals),
+/// 2, 2.5, 3, 3.5 (normals). All bit patterns finite.
+pub const FP4_E1M2: FpFormat = FpFormat::new(1, 2, true, "E1M2");
+
+/// FP4 E2M1 — the "standard" 4-bit format: 2 exponent bits (bias 1), 1
+/// mantissa bit. Magnitudes: 0, 0.5 (subnormal), 1, 1.5, 2, 3, 4, 6.
+pub const FP4_E2M1: FpFormat = FpFormat::new(2, 1, true, "E2M1");
+
+/// FP4 E3M0 — the "power-of-two-like" 4-bit format: 3 exponent bits (bias
+/// 3), no mantissa. Magnitudes: 0, 0.25, 0.5, 1, 2, 4, 8, 16.
+pub const FP4_E3M0: FpFormat = FpFormat::new(3, 0, true, "E3M0");
+
+/// The three FP4 formats AxCore's adaptive format-aware quantization selects
+/// between, in the paper's order (E3M0, E2M1, E1M2).
+pub fn all_fp4_formats() -> [FpFormat; 3] {
+    [FP4_E3M0, FP4_E2M1, FP4_E1M2]
+}

@@ -1,0 +1,18 @@
+//! Rounding modes for [`crate::FpFormat::encode_with`].
+
+/// How to round a real value onto the representable grid of a format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Rounding {
+    /// Round to nearest, ties to even mantissa (IEEE default).
+    #[default]
+    NearestEven,
+    /// Truncate toward zero.
+    TowardZero,
+    /// Round away from zero whenever inexact.
+    AwayFromZero,
+    /// Stochastic rounding: round away from zero with the caller-supplied
+    /// coin, otherwise toward zero. Unbiased when the coin is fair *and*
+    /// weighted by the fractional distance; the simple fair-coin variant is
+    /// what small-format hardware (and AxCore's SNC unit) implements.
+    Stochastic,
+}

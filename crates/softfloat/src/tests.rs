@@ -1,0 +1,286 @@
+use crate::*;
+
+fn f16_via_host(x: f32) -> f64 {
+    // Reference FP16 rounding via Rust's native f16-like path: we don't have
+    // f16 on stable for all targets, so build a tiny independent reference
+    // using integer math on the f32 pattern (classic float->half algorithm).
+    let bits = x.to_bits();
+    let sign = (bits >> 16) & 0x8000;
+    let exp = ((bits >> 23) & 0xff) as i32 - 127 + 15;
+    let mut man = bits & 0x7f_ffff;
+    let half: u32;
+    if exp >= 0x1f {
+        half = sign | 0x7bff; // saturate (matches our saturating encode)
+    } else if exp <= 0 {
+        if exp < -10 {
+            half = sign; // underflow to zero
+        } else {
+            man |= 0x80_0000;
+            let shift = (14 - exp) as u32;
+            let rounded = round_shift_rne(man as u64, shift);
+            half = sign | rounded as u32;
+        }
+    } else {
+        let rounded = round_shift_rne(man as u64, 13);
+        let combined = ((exp as u32) << 10) + rounded as u32;
+        if combined >= 0x7c00 {
+            half = sign | 0x7bff;
+        } else {
+            half = sign | combined;
+        }
+    }
+    FP16.decode(half)
+}
+
+fn round_shift_rne(v: u64, shift: u32) -> u64 {
+    let floor = v >> shift;
+    let rem = v & ((1u64 << shift) - 1);
+    let halfway = 1u64 << (shift - 1);
+    if rem > halfway || (rem == halfway && floor & 1 == 1) {
+        floor + 1
+    } else {
+        floor
+    }
+}
+
+#[test]
+fn fp16_geometry() {
+    assert_eq!(FP16.total_bits(), 16);
+    assert_eq!(FP16.bias(), 15);
+    assert_eq!(FP16.max_exp_field(), 30);
+    assert_eq!(FP16.max_finite(), 65504.0);
+    assert_eq!(FP16.min_positive_normal(), 6.103515625e-05);
+}
+
+#[test]
+fn fp4_biases_match_paper() {
+    // §4.1: "differing exponent biases (e.g., 15 for FP16 vs 1 for FP4 E2M1)"
+    assert_eq!(FP16.bias(), 15);
+    assert_eq!(FP4_E2M1.bias(), 1);
+    assert_eq!(FP4_E1M2.bias(), 0);
+    assert_eq!(FP4_E3M0.bias(), 3);
+}
+
+#[test]
+fn e2m1_value_set() {
+    let vals: Vec<f64> = FP4_E2M1.nonneg_finite_patterns().map(|b| FP4_E2M1.decode(b)).collect();
+    assert_eq!(vals, vec![0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0]);
+}
+
+#[test]
+fn e1m2_value_set() {
+    let vals: Vec<f64> = FP4_E1M2.nonneg_finite_patterns().map(|b| FP4_E1M2.decode(b)).collect();
+    assert_eq!(vals, vec![0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5]);
+}
+
+#[test]
+fn e3m0_value_set() {
+    let vals: Vec<f64> = FP4_E3M0.nonneg_finite_patterns().map(|b| FP4_E3M0.decode(b)).collect();
+    assert_eq!(vals, vec![0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0]);
+}
+
+#[test]
+fn fp8_e4m3_max() {
+    assert_eq!(FP8_E4M3.max_finite(), 480.0);
+}
+
+#[test]
+fn decode_subnormal_fp16() {
+    // Smallest positive subnormal: 2^-24.
+    assert_eq!(FP16.decode(0x0001), 2f64.powi(-24));
+    assert!(FP16.is_subnormal(0x0001));
+    assert!(!FP16.is_subnormal(0x0400));
+}
+
+#[test]
+fn encode_decode_roundtrip_all_fp4() {
+    for fmt in all_fp4_formats() {
+        for b in fmt.nonneg_finite_patterns() {
+            let v = fmt.decode(b);
+            assert_eq!(fmt.encode(v), b, "{fmt} pattern {b:#06b} value {v}");
+            let nb = b | fmt.sign_mask();
+            if v != 0.0 {
+                assert_eq!(fmt.encode(-v), nb);
+            }
+        }
+    }
+}
+
+#[test]
+fn encode_roundtrip_exhaustive_fp16() {
+    for b in FP16.nonneg_finite_patterns() {
+        let v = FP16.decode(b);
+        assert_eq!(FP16.encode(v), b, "pattern {b:#06x}");
+    }
+}
+
+#[test]
+fn encode_matches_independent_half_reference() {
+    // Sweep a dense range of f32 values and compare our generic encode
+    // against the classic float→half conversion algorithm.
+    let mut x = -70000.0f32;
+    while x < 70000.0 {
+        let ours = FP16.decode(FP16.encode(x as f64));
+        let reference = f16_via_host(x);
+        assert_eq!(ours, reference, "x = {x}");
+        x = x.mul_add(1.0, 13.37);
+    }
+    for x in [1e-8f32, 3.0e-5, 6.1e-5, 6.2e-5, 1.5e-4, 0.1, 0.5, 1.0, 65504.0, 65520.0] {
+        assert_eq!(FP16.decode(FP16.encode(x as f64)), f16_via_host(x), "x = {x}");
+        assert_eq!(FP16.decode(FP16.encode(-x as f64)), f16_via_host(-x), "x = -{x}");
+    }
+}
+
+#[test]
+fn encode_ties_to_even() {
+    // 1 + 2^-11 is exactly halfway between 1.0 and 1 + 2^-10; RNE keeps 1.0.
+    let x = 1.0 + 2f64.powi(-11);
+    assert_eq!(FP16.decode(FP16.encode(x)), 1.0);
+    // 1 + 3·2^-11 is halfway between 1+2^-10 and 1+2^-9; even mantissa wins.
+    let x = 1.0 + 3.0 * 2f64.powi(-11);
+    assert_eq!(FP16.decode(FP16.encode(x)), 1.0 + 2.0 * 2f64.powi(-10));
+}
+
+#[test]
+fn encode_saturates() {
+    assert_eq!(FP16.decode(FP16.encode(1e9)), 65504.0);
+    assert_eq!(FP16.decode(FP16.encode(-1e9)), -65504.0);
+    assert_eq!(FP4_E2M1.decode(FP4_E2M1.encode(100.0)), 6.0);
+    assert_eq!(FP4_E3M0.decode(FP4_E3M0.encode(1e6)), 16.0);
+}
+
+#[test]
+fn encode_rounding_modes() {
+    use Rounding::*;
+    // 1.2 in E2M1 lies between 1.0 and 1.5.
+    let f = FP4_E2M1;
+    assert_eq!(f.decode(f.encode_with(1.2, TowardZero, &mut || false)), 1.0);
+    assert_eq!(f.decode(f.encode_with(1.2, AwayFromZero, &mut || false)), 1.5);
+    assert_eq!(f.decode(f.encode_with(1.2, NearestEven, &mut || false)), 1.0);
+    assert_eq!(f.decode(f.encode_with(1.2, Stochastic, &mut || true)), 1.5);
+    assert_eq!(f.decode(f.encode_with(1.2, Stochastic, &mut || false)), 1.0);
+    // Negative values mirror.
+    assert_eq!(f.decode(f.encode_with(-1.2, TowardZero, &mut || false)), -1.0);
+    assert_eq!(f.decode(f.encode_with(-1.2, AwayFromZero, &mut || false)), -1.5);
+}
+
+#[test]
+fn classify_ieee_specials() {
+    let inf = FP16.compose(false, 31, 0);
+    let nan = FP16.compose(false, 31, 1);
+    assert_eq!(FP16.classify(inf), FpClass::Infinity);
+    assert_eq!(FP16.classify(nan), FpClass::Nan);
+    assert_eq!(FP16.decode(inf), f64::INFINITY);
+    assert!(FP16.decode(nan).is_nan());
+    // Finite-only formats never produce inf/NaN classes.
+    for fmt in all_fp4_formats() {
+        for b in fmt.all_patterns() {
+            assert!(!matches!(
+                fmt.classify(b),
+                FpClass::Infinity | FpClass::Nan
+            ));
+        }
+    }
+}
+
+#[test]
+fn negative_zero() {
+    let nz = FP16.encode(-0.0);
+    assert!(FP16.sign(nz));
+    assert!(FP16.is_zero(nz));
+    assert_eq!(FP16.decode(nz), 0.0);
+    assert!(FP16.decode(nz).is_sign_negative());
+}
+
+#[test]
+fn ulp_values() {
+    assert_eq!(FP16.ulp_at(1.0), 2f64.powi(-10));
+    assert_eq!(FP16.ulp_at(2.0), 2f64.powi(-9));
+    assert_eq!(FP16.ulp_at(1e-6), 2f64.powi(-24)); // subnormal range
+    assert_eq!(FP4_E2M1.ulp_at(4.0), 2.0);
+}
+
+#[test]
+fn fp_wrapper_display_and_convert() {
+    let x = Fp::from_f64(FP4_E2M1, 1.4);
+    assert_eq!(x.to_f64(), 1.5);
+    assert_eq!(x.to_string(), "1.5 [E2M1 0b0011]");
+    let widened = x.convert(FP16);
+    assert_eq!(widened.to_f64(), 1.5);
+    assert_eq!(x.neg().to_f64(), -1.5);
+    assert!(x < Fp::from_f64(FP16, 2.0));
+    assert_eq!(x, Fp::from_f64(FP16, 1.5));
+}
+
+#[test]
+fn bf16_fp32_basic() {
+    assert_eq!(BF16.bias(), 127);
+    assert_eq!(BF16.decode(BF16.encode(1.0)), 1.0);
+    assert_eq!(FP32.decode(FP32.encode(std::f64::consts::PI)), std::f64::consts::PI as f32 as f64);
+    // BF16 keeps f32 range but only 8 significand bits.
+    assert_eq!(BF16.decode(BF16.encode(3.14159)), 3.140625);
+}
+
+#[test]
+fn all_finite_values_sorted_and_complete() {
+    let vs = FP4_E2M1.all_finite_values();
+    assert_eq!(vs.len(), 15); // 8 nonneg + 7 negatives
+    assert!(vs.windows(2).all(|w| w[0] <= w[1]));
+    assert_eq!(vs[0], -6.0);
+    assert_eq!(vs[14], 6.0);
+}
+
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn encode_is_nearest_fp16(x in -65504.0f64..65504.0) {
+            let q = FP16.quantize(x);
+            let err = (q - x).abs();
+            // Nearest: error bounded by half an ulp at x (within finite range).
+            prop_assert!(err <= FP16.ulp_at(x.abs().max(q.abs())) * 0.5 + 1e-300,
+                "x={x} q={q} err={err}");
+        }
+
+        #[test]
+        fn quantize_idempotent(x in -1e5f64..1e5) {
+            for fmt in [FP16, BF16, FP8_E4M3, FP4_E2M1, FP4_E1M2, FP4_E3M0] {
+                let q = fmt.quantize(x);
+                prop_assert_eq!(fmt.quantize(q), q, "{}", fmt);
+            }
+        }
+
+        #[test]
+        fn encode_sign_symmetric(x in 0.0f64..1e5) {
+            for fmt in [FP16, FP8_E4M3, FP4_E2M1, FP4_E1M2, FP4_E3M0] {
+                prop_assert_eq!(fmt.quantize(-x), -fmt.quantize(x));
+            }
+        }
+
+        #[test]
+        fn toward_zero_never_grows(x in -100.0f64..100.0) {
+            for fmt in [FP16, FP4_E2M1, FP4_E1M2] {
+                let q = fmt.decode(fmt.encode_with(x, Rounding::TowardZero, &mut || false));
+                prop_assert!(q.abs() <= x.abs());
+            }
+        }
+
+        #[test]
+        fn away_from_zero_never_shrinks_in_range(x in -3.0f64..3.0) {
+            // Within E1M2's finite range, away-from-zero magnitude ≥ |x|.
+            let fmt = FP4_E1M2;
+            let q = fmt.decode(fmt.encode_with(x, Rounding::AwayFromZero, &mut || false));
+            prop_assert!(q.abs() + 1e-12 >= x.abs());
+        }
+
+        #[test]
+        fn decode_encode_identity_on_patterns(b in 0u32..0x7fff) {
+            // Finite FP16 magnitudes round-trip bit-exactly.
+            if !matches!(FP16.classify(b), FpClass::Infinity | FpClass::Nan) {
+                prop_assert_eq!(FP16.encode(FP16.decode(b)), b);
+            }
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! [`Fp`]: a convenience wrapper pairing a bit pattern with its format.
+
+use crate::format::{FpClass, FpFormat};
+
+/// A floating-point value carried as a bit pattern together with its format.
+///
+/// The datapath model works on raw `u32` patterns for speed; `Fp` exists for
+/// ergonomics in tests, examples, and tooling.
+///
+/// ```
+/// use axcore_softfloat::{Fp, FP4_E2M1};
+///
+/// let x = Fp::from_f64(FP4_E2M1, 1.4);
+/// assert_eq!(x.to_f64(), 1.5); // nearest representable E2M1 value
+/// assert_eq!(x.to_string(), "1.5 [E2M1 0b0011]");
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Fp {
+    bits: u32,
+    format: FpFormat,
+}
+
+impl Fp {
+    /// Wrap an existing bit pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` has bits set above the format's total width.
+    pub fn from_bits(format: FpFormat, bits: u32) -> Self {
+        assert!(
+            bits < (1u32 << format.total_bits()) || format.total_bits() == 32,
+            "bit pattern {bits:#x} wider than {format}"
+        );
+        Fp { bits, format }
+    }
+
+    /// Encode the nearest representable value (RNE, saturating).
+    pub fn from_f64(format: FpFormat, x: f64) -> Self {
+        Fp {
+            bits: format.encode(x),
+            format,
+        }
+    }
+
+    /// The raw bit pattern.
+    #[inline]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// The format descriptor.
+    #[inline]
+    pub fn format(&self) -> FpFormat {
+        self.format
+    }
+
+    /// Exact decoded value.
+    #[inline]
+    pub fn to_f64(&self) -> f64 {
+        self.format.decode(self.bits)
+    }
+
+    /// Classification of this value.
+    #[inline]
+    pub fn class(&self) -> FpClass {
+        self.format.classify(self.bits)
+    }
+
+    /// Sign bit (`true` = negative).
+    #[inline]
+    pub fn sign(&self) -> bool {
+        self.format.sign(self.bits)
+    }
+
+    /// Negated value (sign bit flipped).
+    #[inline]
+    pub fn neg(&self) -> Fp {
+        Fp {
+            bits: self.bits ^ self.format.sign_mask(),
+            format: self.format,
+        }
+    }
+
+    /// Re-encode this value into another format (RNE, saturating).
+    pub fn convert(&self, to: FpFormat) -> Fp {
+        Fp::from_f64(to, self.to_f64())
+    }
+}
+
+impl PartialEq for Fp {
+    fn eq(&self, other: &Self) -> bool {
+        // Value equality (so +0 == -0 and cross-format comparisons work);
+        // NaN != NaN as usual.
+        self.to_f64() == other.to_f64()
+    }
+}
+
+impl PartialOrd for Fp {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        self.to_f64().partial_cmp(&other.to_f64())
+    }
+}
+
+impl std::fmt::Display for Fp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} [{} {:#0width$b}]",
+            self.to_f64(),
+            self.format,
+            self.bits,
+            width = self.format.total_bits() as usize + 2
+        )
+    }
+}

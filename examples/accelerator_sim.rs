@@ -1,0 +1,59 @@
+//! Simulate LLM decode on the AxCore accelerator and its baselines:
+//! cycles, wall-clock, and the energy breakdown of Fig. 17 — for a model
+//! and batch size of your choosing.
+//!
+//! Run with: `cargo run --release -p axcore-sim --example accelerator_sim`
+
+use axcore_hwmodel::config::{ActFormat, WeightFormat};
+use axcore_hwmodel::{DataConfig, Design};
+use axcore_nn::profile::LlmArch;
+use axcore_sim::{decode_workload, simulate, AccelConfig};
+
+fn main() {
+    let arch = LlmArch::opt_13b();
+    let batch = 32;
+    let wl = decode_workload(&arch, batch);
+    println!(
+        "workload: {} decode step, batch {batch}: {:.1} GMACs over {} GEMMs, {:.1} M weights",
+        arch.name,
+        wl.total_macs() as f64 / 1e9,
+        wl.ops.len(),
+        wl.total_weights() as f64 / 1e6,
+    );
+
+    let cfg = DataConfig::new(WeightFormat::Fp4, ActFormat::Fp16);
+    let accel = AccelConfig::default();
+    println!("\nper-design results (W4-FP16, 64x64 array @ 1 GHz):");
+    println!(
+        "{:>8} {:>12} {:>10} {:>9} {:>9} {:>9} {:>9} {:>12}",
+        "design", "cycles", "time (ms)", "core mJ", "buf mJ", "dram mJ", "stat mJ", "TOPS/W(core)"
+    );
+    for design in Design::figure_designs() {
+        let r = simulate(design, &cfg, &accel, &wl);
+        println!(
+            "{:>8} {:>12} {:>10.3} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>12.1}",
+            design.name(),
+            r.cycles,
+            r.seconds * 1e3,
+            r.core_j * 1e3,
+            r.buffer_j * 1e3,
+            r.dram_j * 1e3,
+            r.static_j * 1e3,
+            r.tops_per_w_core(),
+        );
+    }
+
+    // Batch sweep: decode becomes steadily more compute-efficient as the
+    // weight traffic amortizes.
+    println!("\nAxCore energy vs batch size (same model):");
+    for b in [1usize, 4, 16, 32, 64] {
+        let wl = decode_workload(&arch, b);
+        let r = simulate(Design::AxCore, &cfg, &accel, &wl);
+        println!(
+            "  batch {b:>3}: {:.2} mJ total, {:.1}% DRAM, {:.2} uJ/token",
+            r.total_j() * 1e3,
+            100.0 * r.dram_j / r.total_j(),
+            r.total_j() * 1e6 / b as f64,
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Adaptive format-aware quantization in action: how the per-block FP4
+//! format choice (E3M0 / E2M1 / E1M2) follows the local weight
+//! distribution, and what it buys in reconstruction error — the §4.4
+//! mechanism behind the paper's Fig. 7.
+//!
+//! Run with: `cargo run --release -p axcore --example format_selection`
+
+use axcore_quant::{CalibrationStats, FormatPolicy, GroupQuantizer, QuantFormat};
+
+fn mse_of(q: &axcore_quant::QuantizedMatrix, w: &[f32]) -> f64 {
+    q.mse(w)
+}
+
+fn describe(name: &str, w: &[f32], k: usize, n: usize) {
+    println!("--- {name} ({k}x{n}) ---");
+    let adaptive = GroupQuantizer::adaptive_fp4(32, 16, None).quantize(w, k, n);
+    let mut counts = std::collections::BTreeMap::new();
+    for f in &adaptive.formats {
+        *counts.entry(f.name()).or_insert(0usize) += 1;
+    }
+    println!("  blocks selected: {counts:?}");
+    println!("  adaptive MSE: {:.3e}", mse_of(&adaptive, w));
+    for fmt in FormatPolicy::fp4_candidates() {
+        let fixed = GroupQuantizer::fixed(fmt, 32).quantize(w, k, n);
+        println!("  fixed {:5} MSE: {:.3e}", fmt.name(), mse_of(&fixed, w));
+    }
+}
+
+fn main() {
+    let (k, n) = (64usize, 64usize);
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f32 / (1u64 << 53) as f32
+    };
+
+    // Sharp power-of-two peaks (the paper's layer-0-style distribution).
+    let pow2: Vec<f32> = (0..k * n)
+        .map(|_| {
+            let mags = [0.125f32, 0.25, 0.5, 1.0, 2.0];
+            let m = mags[(next() * 5.0) as usize % 5];
+            if next() > 0.5 {
+                -m
+            } else {
+                m
+            }
+        })
+        .collect();
+    describe("power-of-two peaks", &pow2, k, n);
+
+    // Wide uniform distribution (layer-29-style).
+    let uniform: Vec<f32> = (0..k * n).map(|_| next() * 2.0 - 1.0).collect();
+    describe("uniform", &uniform, k, n);
+
+    // Gaussian-ish weights (the common LLM case).
+    let gauss: Vec<f32> = (0..k * n)
+        .map(|_| (0..8).map(|_| next() - 0.5).sum::<f32>() * 0.35)
+        .collect();
+    describe("gaussian", &gauss, k, n);
+
+    // A mixed tensor: half peaked, half uniform — adaptive selection
+    // switches formats block by block.
+    let mut mixed = pow2[..k * n / 2].to_vec();
+    mixed.extend_from_slice(&uniform[..k * n / 2]);
+    describe("mixed (peaked rows + uniform rows)", &mixed, k, n);
+
+    // Calibration-weighted selection (Eq. 12): emphasize the first
+    // channels and watch the choice follow the important rows.
+    println!("--- calibration-weighted selection ---");
+    let mut energy = vec![0.05f32; k];
+    for e in energy.iter_mut().take(8) {
+        *e = 10.0;
+    }
+    let calib = CalibrationStats {
+        channel_energy: energy,
+    };
+    let q = GroupQuantizer::adaptive_fp4(32, 16, Some(calib)).quantize(&mixed, k, n);
+    let mut counts = std::collections::BTreeMap::new();
+    for f in &q.formats {
+        *counts.entry(f.name()).or_insert(0usize) += 1;
+    }
+    println!("  blocks selected with calibration: {counts:?}");
+    let _ = QuantFormat::E2M1;
+}

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Regenerate every table and figure of the paper (text to stdout, CSVs in
+# results/). Trained proxy models are cached under target/proxy_cache.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+BINS=(
+  fig01_headline
+  fig02_ops_breakdown
+  fig04_fpma_degradation
+  tab01_snc_table
+  fig06_error_surface
+  fig07_format_distribution
+  fig14_pe_area
+  fig15_gemm_area
+  fig16_compute_density
+  fig17_energy
+  fig18_snr
+  fig19_tender
+  tab02_perplexity
+  tab03_zeroshot
+  ablation_compensation
+  ablation_blocksize
+  ablation_prefill
+  extension_mx
+)
+
+cargo build --release -p axcore-bench
+for b in "${BINS[@]}"; do
+  echo "=============================== $b ==============================="
+  cargo run -q --release -p axcore-bench --bin "$b"
+done
+echo "all experiments regenerated; CSVs in results/"

@@ -1,0 +1,135 @@
+//! Cross-crate integration of the arithmetic pipeline: softfloat encode →
+//! SNC → mpFPMA → partial accumulation → normalization → AxScale, checked
+//! against first-principles references.
+
+use axcore::accum::{NormUnit, PartialAcc};
+use axcore::axscale::AxScale;
+use axcore::pe::{Pe, WeightLane};
+use axcore::preadd::PreAdd;
+use axcore_fpma::snc::SncPolicy;
+use axcore_fpma::MpFpma;
+use axcore_quant::fpma_quant::{fpma_dequantize, fpma_quantize};
+use axcore_softfloat::{all_fp4_formats, FP16, FP4_E2M1};
+use proptest::prelude::*;
+
+/// A full Fig.-8 pipeline dot product computed module-by-module.
+fn pipeline_dot(acts: &[f64], codes: &[u8], scale: f64) -> f64 {
+    let unit = MpFpma::new(FP16, FP4_E2M1).with_snc(SncPolicy::Stochastic);
+    let preadd = PreAdd::for_unit(&unit);
+    let pe = Pe::new(FP16);
+    let mut acc = PartialAcc::new(FP16);
+    for (&a, &c) in acts.iter().zip(codes) {
+        let term = preadd.term(FP16.encode(a));
+        let lane = WeightLane::new(&unit, c);
+        pe.mac(&mut acc, term.t, term.sign, term.zero, term.stochastic_bit, &lane);
+    }
+    let o_bits = NormUnit::new(FP16).normalize(&acc);
+    let scaled = AxScale::new(FP16).apply(o_bits, FP16.encode(scale) as u16);
+    FP16.decode(scaled)
+}
+
+#[test]
+fn pipeline_matches_reference_within_fpma_error() {
+    let acts: Vec<f64> = (0..64).map(|i| ((i * 37 % 23) as f64 - 11.0) * 0.17).collect();
+    let codes: Vec<u8> = (0..64).map(|i| ((i * 7 + 2) % 15 + 1) as u8).collect();
+    let scale = 0.125;
+    let got = pipeline_dot(&acts, &codes, scale);
+    let reference: f64 = acts
+        .iter()
+        .zip(&codes)
+        .map(|(&a, &c)| FP16.quantize(a) * FP4_E2M1.decode(c as u32) * scale)
+        .sum();
+    // The meaningful error scale for an approximate dot product is the
+    // total term mass, not the (possibly self-cancelling) exact sum.
+    let mass: f64 = acts
+        .iter()
+        .zip(&codes)
+        .map(|(&a, &c)| (FP16.quantize(a) * FP4_E2M1.decode(c as u32) * scale).abs())
+        .sum();
+    let rel = (got - reference).abs() / mass;
+    assert!(rel < 0.03, "pipeline {got:.5} vs reference {reference:.5} (mass {mass:.2})");
+}
+
+#[test]
+fn pipeline_zero_cases() {
+    assert_eq!(pipeline_dot(&[0.0; 8], &[5u8; 8], 0.5), 0.0);
+    assert_eq!(pipeline_dot(&[1.0; 8], &[0u8; 8], 0.5), 0.0);
+    assert_eq!(pipeline_dot(&[], &[], 0.5), 0.0);
+}
+
+#[test]
+fn quant_roundtrip_through_engine_grid() {
+    // axcore-quant's FPMA-domain quantization must agree with the SNC-based
+    // decode used by the engines: every code survives quantize→dequantize
+    // with bounded drift for every FP4 format.
+    for fmt in all_fp4_formats() {
+        let scale_bits = FP16.encode(0.5);
+        for code in fmt.nonneg_finite_patterns() {
+            let v = fmt.decode(code);
+            if v == 0.0 {
+                continue;
+            }
+            let w = FP16.encode(v * 0.5);
+            let q = fpma_quantize(w, scale_bits, fmt);
+            let r = FP16.decode(fpma_dequantize(q, fmt, scale_bits));
+            let rel = (r - v * 0.5).abs() / (v * 0.5);
+            assert!(rel < 0.15, "{fmt} code {code:04b}: rel {rel}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn pipeline_sign_near_symmetry(seed in 0u64..400) {
+        // Negating every activation nearly negates the result. It is not
+        // bit-exact: the partial accumulator's two's-complement arithmetic
+        // right shifts round toward −∞ (exactly as hardware alignment
+        // does), which is sign-asymmetric by one LSB per alignment. The
+        // residual is bounded by a few ulps of the term mass.
+        let unit = MpFpma::new(FP16, FP4_E2M1).with_snc(SncPolicy::RoundUp);
+        let preadd = PreAdd::for_unit(&unit);
+        let pe = Pe::new(FP16);
+        let mut mass = 0.0f64;
+        let mut dot = |sign: f64| {
+            let mut acc = PartialAcc::new(FP16);
+            for i in 0..32u64 {
+                let a = sign * ((((i + seed) * 2654435761) % 997) as f64 / 498.5 - 1.0);
+                let code = (((i * 7 + seed) % 15) + 1) as u8;
+                mass += a.abs() * FP4_E2M1.decode(code as u32).abs();
+                let term = preadd.term(FP16.encode(a));
+                let lane = WeightLane::new(&unit, code);
+                pe.mac(&mut acc, term.t, term.sign, term.zero, term.stochastic_bit, &lane);
+            }
+            FP16.decode(NormUnit::new(FP16).normalize(&acc))
+        };
+        let fwd = dot(1.0);
+        let bwd = dot(-1.0);
+        prop_assert!((fwd + bwd).abs() <= (mass / 2.0) * 2f64.powi(-9),
+            "dot(+) {fwd} vs -dot(-) {}", -bwd);
+    }
+
+    #[test]
+    fn partial_acc_permutation_bounded(seed in 0u64..200) {
+        // Accumulation order may change low-order bits (hardware truncates
+        // on alignment) but never the result's magnitude class.
+        let values: Vec<f64> = (0..24u64)
+            .map(|i| ((((i + seed) * 48271) % 997) as f64 / 498.5 - 1.0) * 3.0)
+            .collect();
+        let acc_of = |vals: &[f64]| {
+            let mut acc = PartialAcc::new(FP16);
+            for &v in vals {
+                let b = FP16.encode(v);
+                acc.add_product(b & FP16.magnitude_mask(), FP16.sign(b));
+            }
+            FP16.decode(NormUnit::new(FP16).normalize(&acc))
+        };
+        let fwd = acc_of(&values);
+        let mut rev = values.clone();
+        rev.reverse();
+        let bwd = acc_of(&rev);
+        let scale = values.iter().map(|v| v.abs()).sum::<f64>().max(1.0);
+        prop_assert!((fwd - bwd).abs() <= scale * 0.01, "{fwd} vs {bwd}");
+    }
+}

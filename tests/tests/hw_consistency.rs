@@ -1,0 +1,108 @@
+//! Cross-crate integration: the hardware model and the simulator must
+//! tell one consistent story — densities are inverse areas, energies
+//! integrate the per-event constants, and the Fig.-16/17 headline
+//! orderings agree.
+
+use axcore_hwmodel::config::{ActFormat, WeightFormat};
+use axcore_hwmodel::density::{compute_density, density_raw, peak_ops_per_cycle};
+use axcore_hwmodel::energy::mac_energy_pj;
+use axcore_hwmodel::{gemm_unit_area, pe_area, DataConfig, Design, ARRAY_COLS, ARRAY_ROWS};
+use axcore_nn::profile::LlmArch;
+use axcore_sim::{decode_workload, simulate, AccelConfig};
+
+#[test]
+fn density_is_inverse_pe_area() {
+    for cfg in DataConfig::paper_scenarios() {
+        for d in Design::figure_designs() {
+            let density = density_raw(d, &cfg);
+            let area = pe_area(d, &cfg).total() * (ARRAY_ROWS * ARRAY_COLS) as f64;
+            let expect = peak_ops_per_cycle() / area;
+            assert!((density - expect).abs() / expect < 1e-12);
+        }
+    }
+}
+
+#[test]
+fn unit_area_at_least_pe_array() {
+    for cfg in DataConfig::paper_scenarios() {
+        for d in Design::figure_designs() {
+            let pes = pe_area(d, &cfg).total() * (ARRAY_ROWS * ARRAY_COLS) as f64;
+            let unit = gemm_unit_area(d, &cfg);
+            assert!(unit.total() >= pes);
+            assert!((unit.pes - pes).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn sim_core_energy_integrates_mac_energy() {
+    let cfg = DataConfig::new(WeightFormat::Fp4, ActFormat::Fp16);
+    let wl = decode_workload(&LlmArch::opt_13b(), 32);
+    let r = simulate(Design::AxCore, &cfg, &AccelConfig::default(), &wl);
+    let mac_part = r.macs as f64 * mac_energy_pj(Design::AxCore, &cfg) * 1e-12;
+    // Core energy = MAC part + per-output post-processing (≥ MAC part).
+    assert!(r.core_j >= mac_part);
+    assert!(r.core_j < mac_part * 1.5, "post-processing should be a small add-on");
+}
+
+#[test]
+fn density_and_energy_orderings_agree() {
+    // A design with higher compute density (smaller PEs) must also have
+    // lower core energy per MAC (both derive from gate counts).
+    for cfg in DataConfig::paper_scenarios() {
+        let mut designs = Design::figure_designs();
+        designs.sort_by(|a, b| {
+            compute_density(*a, &cfg)
+                .partial_cmp(&compute_density(*b, &cfg))
+                .unwrap()
+        });
+        for pair in designs.windows(2) {
+            assert!(
+                mac_energy_pj(pair[0], &cfg) >= mac_energy_pj(pair[1], &cfg),
+                "{}: {} vs {}",
+                cfg.label(),
+                pair[0].name(),
+                pair[1].name()
+            );
+        }
+    }
+}
+
+#[test]
+fn batch_amortizes_weight_traffic() {
+    let cfg = DataConfig::new(WeightFormat::Fp4, ActFormat::Fp16);
+    let accel = AccelConfig::default();
+    let arch = LlmArch::opt_13b();
+    let per_token = |batch: usize| {
+        let wl = decode_workload(&arch, batch);
+        simulate(Design::AxCore, &cfg, &accel, &wl).total_j() / batch as f64
+    };
+    let e1 = per_token(1);
+    let e32 = per_token(32);
+    assert!(
+        e32 < e1 * 0.6,
+        "batching must amortize weight energy: {e1:.4} -> {e32:.4} J/token"
+    );
+}
+
+#[test]
+fn w4_moves_a_quarter_of_w16_weight_bits() {
+    // Storage-side sanity across quant + sim: the DRAM-side advantage of
+    // 4-bit weights shows up as proportionally less DRAM energy.
+    let accel = AccelConfig::default();
+    let wl = decode_workload(&LlmArch::opt_13b(), 32);
+    let w4 = simulate(
+        Design::AxCore,
+        &DataConfig::new(WeightFormat::Fp4, ActFormat::Fp16),
+        &accel,
+        &wl,
+    );
+    let w8 = simulate(
+        Design::AxCore,
+        &DataConfig::new(WeightFormat::Fp8, ActFormat::Fp16),
+        &accel,
+        &wl,
+    );
+    let ratio = w8.dram_j / w4.dram_j;
+    assert!((1.6..2.2).contains(&ratio), "W8/W4 DRAM ratio {ratio:.2}");
+}

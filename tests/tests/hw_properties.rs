@@ -1,0 +1,114 @@
+//! Property tests over the hardware model: scaling laws and structural
+//! monotonicity that must hold for *any* configuration, not just the six
+//! the paper evaluates.
+
+use axcore_hwmodel::config::{ActFormat, WeightFormat};
+use axcore_hwmodel::costs;
+use axcore_hwmodel::energy::{mac_energy_pj, sram_access_pj};
+use axcore_hwmodel::{gemm_unit_area, pe_area, DataConfig, Design};
+use proptest::prelude::*;
+
+fn acts() -> impl Strategy<Value = ActFormat> {
+    prop_oneof![
+        Just(ActFormat::Fp16),
+        Just(ActFormat::Bf16),
+        Just(ActFormat::Fp32)
+    ]
+}
+
+fn weights() -> impl Strategy<Value = WeightFormat> {
+    prop_oneof![
+        Just(WeightFormat::Int4),
+        Just(WeightFormat::Fp4),
+        Just(WeightFormat::Int8),
+        Just(WeightFormat::Fp8)
+    ]
+}
+
+proptest! {
+    #[test]
+    fn all_areas_positive_and_breakdowns_sum(a in acts(), w in weights()) {
+        let cfg = DataConfig::new(w, a);
+        for d in Design::all() {
+            let pe = pe_area(d, &cfg);
+            prop_assert!(pe.total() > 0.0);
+            prop_assert!((pe.mul + pe.add + pe.snc + pe.other - pe.total()).abs() < 1e-9);
+            prop_assert!(pe.mul >= 0.0 && pe.add >= 0.0 && pe.snc >= 0.0 && pe.other >= 0.0);
+            let u = gemm_unit_area(d, &cfg);
+            prop_assert!(u.others > 0.0 && u.pes > 0.0);
+        }
+    }
+
+    #[test]
+    fn only_axcore_has_snc_and_only_mult_designs_have_mul(a in acts(), w in weights()) {
+        let cfg = DataConfig::new(w, a);
+        for d in Design::all() {
+            let pe = pe_area(d, &cfg);
+            match d {
+                Design::AxCore => {
+                    prop_assert!(pe.mul == 0.0);
+                    prop_assert!(pe.snc > 0.0, "AxCore always decodes weights");
+                }
+                Design::Fpma | Design::Figlut => {
+                    prop_assert!(pe.mul == 0.0 && pe.snc == 0.0);
+                }
+                Design::Fpc | Design::Figna | Design::Tender => {
+                    prop_assert!(pe.mul > 0.0 && pe.snc == 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wider_activations_never_shrink_fp_designs(w in weights()) {
+        // FP32 activations cost at least as much as FP16 for every design
+        // whose datapath carries the activation mantissa.
+        for d in [Design::Fpc, Design::Fpma, Design::Figna, Design::Figlut, Design::AxCore] {
+            let a16 = pe_area(d, &DataConfig::new(w, ActFormat::Fp16)).total();
+            let a32 = pe_area(d, &DataConfig::new(w, ActFormat::Fp32)).total();
+            prop_assert!(a32 >= a16, "{}", d.name());
+        }
+    }
+
+    #[test]
+    fn wider_weights_never_shrink_weight_coupled_designs(a in acts()) {
+        for d in [Design::Figna, Design::Figlut, Design::Tender, Design::AxCore] {
+            let w4 = pe_area(d, &DataConfig::new(WeightFormat::Fp4, a)).total();
+            let w8 = pe_area(d, &DataConfig::new(WeightFormat::Fp8, a)).total();
+            prop_assert!(w8 >= w4, "{}", d.name());
+        }
+    }
+
+    #[test]
+    fn energy_tracks_area(a in acts(), w in weights()) {
+        // mac energy is proportional to PE area by construction; verify
+        // the invariant stays true as the model evolves.
+        let cfg = DataConfig::new(w, a);
+        for d in Design::all() {
+            let ratio = mac_energy_pj(d, &cfg) / pe_area(d, &cfg).total();
+            let reference = mac_energy_pj(Design::Fpc, &cfg) / pe_area(Design::Fpc, &cfg).total();
+            prop_assert!((ratio - reference).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sram_energy_monotone_in_both_arguments(
+        cap_kib in 16u64..16384,
+        bits in 1u64..4096,
+    ) {
+        let e = sram_access_pj(cap_kib * 1024 * 8, bits);
+        prop_assert!(e > 0.0);
+        prop_assert!(sram_access_pj(cap_kib * 1024 * 8 * 2, bits) >= e);
+        prop_assert!(sram_access_pj(cap_kib * 1024 * 8, bits * 2) >= e);
+    }
+
+    #[test]
+    fn adder_cheaper_than_same_width_multiplier(n in 2u32..32) {
+        prop_assert!(costs::adder(n) < costs::multiplier(n, n));
+    }
+
+    #[test]
+    fn partial_adder_cheaper_than_full_fp_adder(e in 2u32..9, m in 2u32..24) {
+        prop_assert!(costs::fp_partial_adder(e, m, 2) < costs::fp_adder(e, m));
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests over the quantization stack as a whole.
+
+use axcore_quant::mx::MxQuantizer;
+use axcore_quant::packing::{pack, unpack};
+use axcore_quant::{FormatPolicy, GroupQuantizer, QuantFormat};
+use proptest::prelude::*;
+
+fn weight_matrix(seed: u64, k: usize, n: usize, scale: f32) -> Vec<f32> {
+    (0..k * n)
+        .map(|i| {
+            let x = (i as u64).wrapping_add(seed).wrapping_mul(2654435761) % 9973;
+            (x as f32 / 4986.5 - 1.0) * scale
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn adaptive_beats_every_fixed_format_in_mse(seed in 0u64..500, scale in 0.01f32..10.0) {
+        let (k, n) = (64usize, 16usize);
+        let w = weight_matrix(seed, k, n, scale);
+        let adaptive = GroupQuantizer::adaptive_fp4(32, 8, None).quantize(&w, k, n);
+        for fmt in FormatPolicy::fp4_candidates() {
+            let fixed = GroupQuantizer::fixed(fmt, 32).quantize(&w, k, n);
+            prop_assert!(
+                adaptive.mse(&w) <= fixed.mse(&w) + 1e-12,
+                "{fmt}: adaptive {} vs fixed {}",
+                adaptive.mse(&w),
+                fixed.mse(&w)
+            );
+        }
+    }
+
+    #[test]
+    fn pack_unpack_identity(seed in 0u64..500, fmt_idx in 0usize..4) {
+        let fmt = [QuantFormat::E1M2, QuantFormat::E2M1, QuantFormat::E3M0, QuantFormat::INT4][fmt_idx];
+        let (k, n) = (64usize, 8usize);
+        let w = weight_matrix(seed, k, n, 0.5);
+        let q = GroupQuantizer::fixed(fmt, 32).quantize(&w, k, n);
+        let back = unpack(&pack(&q), fmt);
+        prop_assert_eq!(&q.codes, &back.codes);
+        prop_assert_eq!(&q.scales, &back.scales);
+        prop_assert_eq!(&q.formats, &back.formats);
+    }
+
+    #[test]
+    fn quantization_is_scale_equivariant(seed in 0u64..300, shift in -3i32..4) {
+        // Scaling weights by a power of two scales the reconstruction by
+        // exactly the same factor (FP16 scales absorb powers of two
+        // losslessly within range).
+        let (k, n) = (32usize, 4usize);
+        let w = weight_matrix(seed, k, n, 0.5);
+        let s = 2f32.powi(shift);
+        let ws: Vec<f32> = w.iter().map(|x| x * s).collect();
+        let q1 = GroupQuantizer::fixed(QuantFormat::E2M1, 32).quantize(&w, k, n);
+        let q2 = GroupQuantizer::fixed(QuantFormat::E2M1, 32).quantize(&ws, k, n);
+        for kk in 0..k {
+            for c in 0..n {
+                let r1 = q1.dequant(kk, c) * s as f64;
+                let r2 = q2.dequant(kk, c);
+                prop_assert!((r1 - r2).abs() <= r1.abs() * 1e-9 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn mx_never_clamps_codes(seed in 0u64..300, scale in 0.001f32..100.0) {
+        let (k, n) = (64usize, 4usize);
+        let w = weight_matrix(seed, k, n, scale);
+        let q = MxQuantizer::mxfp4().quantize(&w, k, n);
+        // Power-of-two scales rounded up: every |code| strictly below the
+        // format max unless the block max hits the grid exactly.
+        for kk in 0..k {
+            for c in 0..n {
+                let code_val = q.format(kk, c).decode(q.code(kk, c)).abs();
+                prop_assert!(code_val <= q.format(kk, c).max_abs());
+            }
+        }
+    }
+
+    #[test]
+    fn group_scales_reflect_group_maxima(seed in 0u64..300) {
+        let (k, n) = (64usize, 4usize);
+        let w = weight_matrix(seed, k, n, 1.0);
+        let q = GroupQuantizer::fixed(QuantFormat::E2M1, 32).quantize(&w, k, n);
+        for g in 0..2 {
+            for c in 0..n {
+                let gmax = (g * 32..(g + 1) * 32)
+                    .map(|kk| w[kk * n + c].abs())
+                    .fold(0f32, f32::max) as f64;
+                let scale = q.scale(g * 32, c);
+                // scale ≈ gmax / F_max (within FP16 rounding).
+                prop_assert!((scale * 6.0 - gmax).abs() <= gmax * 0.001 + 1e-9);
+            }
+        }
+    }
+}
