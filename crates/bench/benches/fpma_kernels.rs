@@ -61,8 +61,8 @@ fn bench_kernels(c: &mut Criterion) {
     g.bench_function("snc_convert", |b| {
         b.iter(|| {
             let mut acc = 0i32;
-            for i in 0..1024 {
-                acc ^= snc_unit.convert(w_bits[i], i & 1 == 1).exp;
+            for (i, &w) in w_bits.iter().enumerate().take(1024) {
+                acc ^= snc_unit.convert(w, i & 1 == 1).exp;
             }
             black_box(acc)
         })

@@ -1,0 +1,205 @@
+//! GEMM execution-layer benchmark: prepared-weight caching and row/tile
+//! parallelism vs the naive per-call path.
+//!
+//! Measures the two LLM inference shapes on an AxCore adaptive-FP4 matrix:
+//!
+//! * **prefill** — one `m = 128` GEMM (row-parallel split);
+//! * **decode** — `m = 1` repeated 64× against the *same* quantized matrix
+//!   (the shape where per-call weight preload dominates and prepared
+//!   weights pay off; wide rows use the column-tile split).
+//!
+//! Each shape runs in three configurations:
+//!
+//! * `seed_per_call` — a faithful reproduction of the engine *before* the
+//!   execution layer existed: weight lanes rebuilt every call, per-MAC
+//!   `PreAdd::term` recomputation, per-(column, group) format lookup
+//!   through a `HashMap`, and a fresh activation `Vec` per row;
+//! * `serial_per_call` — today's `gemm` on one worker (prepares internally
+//!   per call, but with cached PreAdd terms and flat format indices);
+//! * `parallel_prepared` — `prepare()` once, `gemm_prepared` on all
+//!   workers.
+//!
+//! Results go to `BENCH_gemm.json` as rows/s plus the speedup ratios.
+
+use axcore::accum::{NormUnit, PartialAcc};
+use axcore::axscale::AxScale;
+use axcore::engines::{AxCoreEngine, GemmEngine};
+use axcore::pe::{Pe, WeightLane};
+use axcore::preadd::PreAdd;
+use axcore_fpma::snc::SncPolicy;
+use axcore_fpma::MpFpma;
+use axcore_quant::{GroupQuantizer, QuantFormat, QuantizedMatrix};
+use axcore_softfloat::{FpFormat, FP16};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// The AxCore GEMM exactly as the seed implemented it (commit 9779f77):
+/// per-call lane preload, `HashMap` unit dispatch keyed by format name,
+/// and `PreAdd::term` recomputed for every MAC. Numerically identical to
+/// today's engine — this is the performance baseline the execution layer
+/// replaced.
+fn seed_gemm(act: FpFormat, a: &[f32], m: usize, w: &QuantizedMatrix, out: &mut [f32]) {
+    let pe = Pe::new(act);
+    let norm = NormUnit::new(act);
+    let axscale = AxScale::new(act);
+    let mut units: HashMap<&'static str, (MpFpma, PreAdd)> = HashMap::new();
+    for f in &w.formats {
+        let QuantFormat::Fp(wf) = f else { panic!("FP weights required") };
+        units.entry(wf.name).or_insert_with(|| {
+            let u = MpFpma::new(act, *wf).with_compensation(true).with_snc(SncPolicy::Stochastic);
+            let p = PreAdd::for_unit(&u);
+            (u, p)
+        });
+    }
+    let mut lanes = vec![
+        WeightLane { zero_down: true, zero_up: true, sign: false, addend_down: 0, addend_up: 0 };
+        w.k * w.n
+    ];
+    for k in 0..w.k {
+        for col in 0..w.n {
+            let QuantFormat::Fp(wf) = w.format(k, col) else { unreachable!() };
+            let (unit, _) = &units[wf.name];
+            lanes[k * w.n + col] = WeightLane::new(unit, w.code(k, col));
+        }
+    }
+    let gs = w.group_size;
+    let groups = w.num_groups();
+    let nbc = w.num_block_cols();
+    for i in 0..m {
+        let a_row: Vec<u32> = (0..w.k).map(|k| act.encode(a[i * w.k + k] as f64)).collect();
+        for col in 0..w.n {
+            let mut acc_out = 0f32;
+            for g in 0..groups {
+                let QuantFormat::Fp(wf) = w.formats[g * nbc + col / w.block_cols] else {
+                    unreachable!()
+                };
+                let (_, preadd) = &units[wf.name];
+                let mut pacc = PartialAcc::new(act);
+                for k in g * gs..(g + 1) * gs {
+                    let term = preadd.term(a_row[k]);
+                    pe.mac(
+                        &mut pacc,
+                        term.t,
+                        term.sign,
+                        term.zero,
+                        term.stochastic_bit,
+                        &lanes[k * w.n + col],
+                    );
+                }
+                let o_bits = norm.normalize(&pacc);
+                let scale_bits = w.scales[g * w.n + col];
+                acc_out += act.decode(axscale.apply(o_bits, scale_bits)) as f32;
+            }
+            out[i * w.n + col] = acc_out;
+        }
+    }
+}
+
+const K: usize = 512;
+const N: usize = 512;
+const PREFILL_M: usize = 128;
+const DECODE_CALLS: usize = 64;
+
+/// Median-of-reps wall time for `f`, in seconds.
+fn time_it(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let w: Vec<f32> = (0..K * N)
+        .map(|i| (((i as u64 * 7 + 11) * 2654435761 % 1009) as f32 / 504.5 - 1.0) * 0.3)
+        .collect();
+    let q = GroupQuantizer::adaptive_fp4(64, 4, None).quantize(&w, K, N);
+    let engine = AxCoreEngine::new(FP16);
+    let threads = axcore_parallel::max_threads();
+
+    let a_prefill: Vec<f32> = (0..PREFILL_M * K)
+        .map(|i| ((i as u64 * 31 + 3) * 48271 % 65521) as f32 / 32760.5 - 1.0)
+        .collect();
+    let a_decode = &a_prefill[..K];
+
+    let mut out = vec![0f32; PREFILL_M * N];
+
+    // Sanity: the seed reproduction must be bit-identical to today's engine.
+    let mut seed_out = vec![0f32; N];
+    seed_gemm(FP16, a_decode, 1, &q, &mut seed_out);
+    engine.gemm(a_decode, 1, &q, &mut out[..N]);
+    assert_eq!(
+        seed_out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        out[..N].iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "seed baseline diverged from current engine"
+    );
+
+    // Prefill, seed: weights preloaded and terms recomputed inside the call.
+    let prefill_seed = time_it(3, || {
+        seed_gemm(FP16, &a_prefill, PREFILL_M, &q, &mut out);
+    });
+    // Prefill, naive current: one worker, weights preloaded per call.
+    let prefill_serial = time_it(5, || {
+        axcore_parallel::with_threads(1, || engine.gemm(&a_prefill, PREFILL_M, &q, &mut out));
+    });
+    // Prefill, execution layer: prepared once, all workers.
+    let prepared = engine.prepare(&q);
+    let prefill_parallel = time_it(5, || {
+        engine.gemm_prepared(&*prepared, &a_prefill, PREFILL_M, &mut out);
+    });
+
+    // Decode: 64 single-token calls against the same matrix.
+    let decode_seed = time_it(3, || {
+        for _ in 0..DECODE_CALLS {
+            seed_gemm(FP16, a_decode, 1, &q, &mut out[..N]);
+        }
+    });
+    let decode_serial = time_it(3, || {
+        axcore_parallel::with_threads(1, || {
+            for _ in 0..DECODE_CALLS {
+                engine.gemm(a_decode, 1, &q, &mut out[..N]);
+            }
+        });
+    });
+    let decode_parallel = time_it(3, || {
+        for _ in 0..DECODE_CALLS {
+            engine.gemm_prepared(&*prepared, a_decode, 1, &mut out[..N]);
+        }
+    });
+
+    let prefill_rows = PREFILL_M as f64;
+    let decode_rows = DECODE_CALLS as f64;
+    let results = [
+        ("prefill_m128_seed_per_call", prefill_rows / prefill_seed, prefill_seed),
+        ("prefill_m128_serial_per_call", prefill_rows / prefill_serial, prefill_serial),
+        ("prefill_m128_parallel_prepared", prefill_rows / prefill_parallel, prefill_parallel),
+        ("decode_m1x64_seed_per_call", decode_rows / decode_seed, decode_seed),
+        ("decode_m1x64_serial_per_call", decode_rows / decode_serial, decode_serial),
+        ("decode_m1x64_parallel_prepared", decode_rows / decode_parallel, decode_parallel),
+    ];
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"k\": {K},\n  \"n\": {N},\n  \"threads\": {threads},\n"));
+    for (name, rows_per_s, secs) in &results {
+        json.push_str(&format!(
+            "  \"{name}\": {{ \"rows_per_s\": {rows_per_s:.1}, \"seconds\": {secs:.6} }},\n"
+        ));
+    }
+    json.push_str(&format!(
+        "  \"prefill_speedup_vs_seed\": {:.2},\n  \"decode_speedup_vs_seed\": {:.2}\n}}\n",
+        prefill_seed / prefill_parallel,
+        decode_seed / decode_parallel,
+    ));
+    std::fs::write("BENCH_gemm.json", &json).expect("write BENCH_gemm.json");
+    print!("{json}");
+    println!(
+        "prefill {:.1}x, decode {:.1}x vs the seed per-call gemm ({} threads)",
+        prefill_seed / prefill_parallel,
+        decode_seed / decode_parallel,
+        threads
+    );
+}

@@ -116,6 +116,6 @@ mod tests {
 
     #[test]
     fn float_formatting() {
-        assert_eq!(f(3.14159, 2), "3.14");
+        assert_eq!(f(3.75159, 2), "3.75");
     }
 }

@@ -5,14 +5,14 @@
 
 use crate::accum::{NormUnit, PartialAcc};
 use crate::axscale::AxScale;
-use crate::engines::{check_shapes, GemmEngine};
+use crate::engines::prepared::{check_prepared_shapes, drive};
+use crate::engines::{check_shapes, GemmEngine, PreparedGemm};
 use crate::pe::{Pe, WeightLane};
-use crate::preadd::PreAdd;
+use crate::preadd::{PreAdd, PreAddTerm};
 use axcore_fpma::snc::SncPolicy;
 use axcore_fpma::MpFpma;
 use axcore_quant::{QuantFormat, QuantizedMatrix};
 use axcore_softfloat::FpFormat;
-use std::collections::HashMap;
 
 /// Datapath configuration, covering the paper's ablation ladder.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -152,92 +152,184 @@ impl GemmEngine for AxCoreEngine {
 
     fn gemm(&self, a: &[f32], m: usize, w: &QuantizedMatrix, out: &mut [f32]) {
         check_shapes(a, m, w, out);
-        let act = self.act;
-        let pe = Pe::new(act);
-        let norm = NormUnit::new(act);
-        let axscale = if self.cfg.compensation {
-            AxScale::new(act)
-        } else {
-            AxScale::new(act).without_compensation()
-        };
+        self.preload(w).gemm(a, m, out);
+    }
 
-        // Per distinct block format: an mpFPMA unit and its PreAdd.
-        let mut units: HashMap<&'static str, (MpFpma, PreAdd)> = HashMap::new();
+    fn clone_box(&self) -> Box<dyn GemmEngine> {
+        Box::new(self.clone())
+    }
+
+    fn prepare(&self, w: &QuantizedMatrix) -> Box<dyn PreparedGemm> {
+        Box::new(self.preload(w))
+    }
+}
+
+impl AxCoreEngine {
+    /// Build the prepared (weight-stationary) form of a matrix: per-format
+    /// mpFPMA units, the flat block→unit index, and all decoded weight
+    /// lanes — the weight preload phase of the systolic schedule.
+    fn preload(&self, w: &QuantizedMatrix) -> AxCorePrepared {
+        let act = self.act;
+        // Per distinct block format: an mpFPMA unit and its PreAdd,
+        // referenced by a flat per-block index (formats repeat heavily, so
+        // `units` stays tiny — at most the number of distinct FP4 formats).
+        let mut unit_fmts: Vec<&'static str> = Vec::new();
+        let mut units: Vec<(MpFpma, PreAdd)> = Vec::new();
+        let mut block_unit = Vec::with_capacity(w.formats.len());
         for f in &w.formats {
             let QuantFormat::Fp(wf) = f else {
                 panic!("AxCoreEngine requires FP-quantized weights, got {f}");
             };
-            units
-                .entry(wf.name)
-                .or_insert_with(|| {
-                    let u = self.unit_for(*wf);
-                    let p = PreAdd::for_unit(&u);
-                    (u, p)
-                });
+            let idx = unit_fmts.iter().position(|n| *n == wf.name).unwrap_or_else(|| {
+                let u = self.unit_for(*wf);
+                let p = PreAdd::for_unit(&u);
+                unit_fmts.push(wf.name);
+                units.push((u, p));
+                units.len() - 1
+            });
+            block_unit.push(idx as u16);
         }
 
-        // Stationary weight lanes, preprocessed once per GEMM (the weight
-        // preload phase of the systolic schedule).
-        let mut lanes = vec![
-            WeightLane {
-                zero_down: true,
-                zero_up: true,
-                sign: false,
-                addend_down: 0,
-                addend_up: 0
-            };
-            w.k * w.n
-        ];
-        for k in 0..w.k {
-            for col in 0..w.n {
-                let QuantFormat::Fp(wf) = w.format(k, col) else {
-                    unreachable!()
-                };
-                let (unit, _) = &units[wf.name];
-                lanes[k * w.n + col] = WeightLane::new(unit, w.code(k, col));
+        // Stationary weight lanes, decoded once per prepared matrix.
+        // Stored column-major (`col * k + k`) so the MAC loop over `k`
+        // walks contiguous memory.
+        let nbc = w.num_block_cols();
+        let mut lanes = Vec::with_capacity(w.k * w.n);
+        for col in 0..w.n {
+            let bc = col / w.block_cols;
+            for k in 0..w.k {
+                let unit_idx = block_unit[(k / w.group_size) * nbc + bc] as usize;
+                lanes.push(WeightLane::new(&units[unit_idx].0, w.code(k, col)));
             }
         }
 
-        // Activation bit patterns, encoded once per row sweep.
-        let gs = w.group_size;
-        let groups = w.num_groups();
-        let nbc = w.num_block_cols();
-        for i in 0..m {
-            let a_row: Vec<u32> = (0..w.k).map(|k| act.encode(a[i * w.k + k] as f64)).collect();
-            for col in 0..w.n {
+        // Decoded scale values for the exact-dequant ablation path.
+        let scale_vals = w
+            .scales
+            .iter()
+            .map(|&s| axcore_softfloat::FP16.decode(s as u32))
+            .collect();
+
+        AxCorePrepared {
+            act,
+            fpma_dequant: self.cfg.fpma_dequant,
+            pe: Pe::new(act),
+            norm: NormUnit::new(act),
+            axscale: if self.cfg.compensation {
+                AxScale::new(act)
+            } else {
+                AxScale::new(act).without_compensation()
+            },
+            units,
+            block_unit,
+            lanes,
+            scales: w.scales.clone(),
+            scale_vals,
+            k: w.k,
+            n: w.n,
+            group_size: w.group_size,
+            block_cols: w.block_cols,
+        }
+    }
+}
+
+/// AxCore weights preloaded into the array: per-format mpFPMA/PreAdd
+/// units, the flat `(group, block-column) → unit` index, and every
+/// element's decoded [`WeightLane`].
+#[derive(Debug)]
+pub struct AxCorePrepared {
+    act: FpFormat,
+    fpma_dequant: bool,
+    pe: Pe,
+    norm: NormUnit,
+    axscale: AxScale,
+    units: Vec<(MpFpma, PreAdd)>,
+    /// Unit index per (group, block-column), replacing the per-element
+    /// format-name hash lookup of the unprepared path.
+    block_unit: Vec<u16>,
+    /// Decoded weight lanes, column-major (`col * k + k`).
+    lanes: Vec<WeightLane>,
+    /// Raw FP16 scale bits per (group, column).
+    scales: Vec<u16>,
+    /// Decoded scales (exact-dequant ablation path only).
+    scale_vals: Vec<f64>,
+    k: usize,
+    n: usize,
+    group_size: usize,
+    block_cols: usize,
+}
+
+/// Per-worker scratch: the current row's encoded activations and its
+/// precomputed PreAdd terms, one run per mpFPMA unit.
+struct AxScratch {
+    row: usize,
+    terms: Vec<PreAddTerm>,
+}
+
+impl PreparedGemm for AxCorePrepared {
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn gemm(&self, a: &[f32], m: usize, out: &mut [f32]) {
+        check_prepared_shapes(a, m, self.k, self.n, out);
+        let (k, n) = (self.k, self.n);
+        let gs = self.group_size;
+        let groups = k / gs;
+        let nbc = n / self.block_cols;
+        let zero_term = PreAddTerm { t: 0, sign: false, zero: true, stochastic_bit: false };
+        let mk_scratch = || AxScratch {
+            row: usize::MAX,
+            terms: vec![zero_term; self.units.len() * k],
+        };
+        drive(m, k, n, out, mk_scratch, |s: &mut AxScratch, i, col0, cols| {
+            if s.row != i {
+                // Encode the activation row once and advance it through
+                // every unit's PreAdd once — not once per output column.
+                for (kk, &av) in a[i * k..(i + 1) * k].iter().enumerate() {
+                    let bits = self.act.encode(av as f64);
+                    for (u, (_, preadd)) in self.units.iter().enumerate() {
+                        s.terms[u * k + kk] = preadd.term(bits);
+                    }
+                }
+                s.row = i;
+            }
+            for (j, o) in cols.iter_mut().enumerate() {
+                let col = col0 + j;
+                let bc = col / self.block_cols;
+                let col_lanes = &self.lanes[col * k..(col + 1) * k];
                 let mut acc_out = 0f32;
                 for g in 0..groups {
-                    let QuantFormat::Fp(wf) =
-                        w.formats[g * nbc + col / w.block_cols]
-                    else {
-                        unreachable!()
-                    };
-                    let (_, preadd) = &units[wf.name];
-                    let mut pacc = PartialAcc::new(act);
-                    for k in g * gs..(g + 1) * gs {
-                        let term = preadd.term(a_row[k]);
-                        pe.mac(
+                    let u = self.block_unit[g * nbc + bc] as usize;
+                    let terms = &s.terms[u * k..(u + 1) * k];
+                    let mut pacc = PartialAcc::new(self.act);
+                    for kk in g * gs..(g + 1) * gs {
+                        let term = terms[kk];
+                        self.pe.mac(
                             &mut pacc,
                             term.t,
                             term.sign,
                             term.zero,
                             term.stochastic_bit,
-                            &lanes[k * w.n + col],
+                            &col_lanes[kk],
                         );
                     }
-                    let o_bits = norm.normalize(&pacc);
-                    let scale_bits = w.scales[g * w.n + col];
-                    let scaled = if self.cfg.fpma_dequant {
-                        act.decode(axscale.apply(o_bits, scale_bits))
+                    let o_bits = self.norm.normalize(&pacc);
+                    let scaled = if self.fpma_dequant {
+                        self.act.decode(self.axscale.apply(o_bits, self.scales[g * n + col]))
                     } else {
-                        act.decode(o_bits) * w.scale(g * gs, col)
+                        self.act.decode(o_bits) * self.scale_vals[g * n + col]
                     };
                     // FP32 final accumulator (Fig. 8, bottom).
                     acc_out += scaled as f32;
                 }
-                out[i * w.n + col] = acc_out;
+                *o = acc_out;
             }
-        }
+        });
     }
 }
 

@@ -4,7 +4,8 @@
 //! With quantized weights the FPC executes *indirect* GEMM (Fig. 3b): codes
 //! are dequantized to the activation format first, then multiplied exactly.
 
-use crate::engines::{check_shapes, GemmEngine};
+use crate::engines::prepared::{check_prepared_shapes, drive};
+use crate::engines::{check_shapes, GemmEngine, PreparedGemm};
 use axcore_quant::QuantizedMatrix;
 use axcore_softfloat::FpFormat;
 
@@ -33,28 +34,81 @@ impl GemmEngine for ExactEngine {
 
     fn gemm(&self, a: &[f32], m: usize, w: &QuantizedMatrix, out: &mut [f32]) {
         check_shapes(a, m, w, out);
-        // Dequantize once into the activation format (indirect GEMM).
+        self.preload(w).gemm(a, m, out);
+    }
+
+    fn clone_box(&self) -> Box<dyn GemmEngine> {
+        Box::new(*self)
+    }
+
+    fn prepare(&self, w: &QuantizedMatrix) -> Box<dyn PreparedGemm> {
+        Box::new(self.preload(w))
+    }
+}
+
+impl ExactEngine {
+    /// Dequantize once into the activation format (indirect GEMM). The
+    /// result is stored column-major so the MAC loop walks contiguously.
+    fn preload(&self, w: &QuantizedMatrix) -> ExactPrepared {
         let mut wr = vec![0f64; w.k * w.n];
-        for k in 0..w.k {
-            for c in 0..w.n {
-                wr[k * w.n + c] = self.act.quantize(w.dequant(k, c));
+        for c in 0..w.n {
+            for k in 0..w.k {
+                wr[c * w.k + k] = self.act.quantize(w.dequant(k, c));
             }
         }
-        for i in 0..m {
-            // Quantize the activation row to the core's input format.
-            let arow: Vec<f64> = (0..w.k)
-                .map(|k| self.act.quantize(a[i * w.k + k] as f64))
-                .collect();
-            for c in 0..w.n {
+        ExactPrepared { act: self.act, wr, k: w.k, n: w.n }
+    }
+}
+
+/// Exact-engine prepared weights: the matrix dequantized to the
+/// activation format, ready for exact FMA streaming.
+#[derive(Debug)]
+pub struct ExactPrepared {
+    act: FpFormat,
+    wr: Vec<f64>,
+    k: usize,
+    n: usize,
+}
+
+struct ExactScratch {
+    row: usize,
+    arow: Vec<f64>,
+}
+
+impl PreparedGemm for ExactPrepared {
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn gemm(&self, a: &[f32], m: usize, out: &mut [f32]) {
+        check_prepared_shapes(a, m, self.k, self.n, out);
+        let (k, n) = (self.k, self.n);
+        let mk = || ExactScratch { row: usize::MAX, arow: vec![0f64; k] };
+        drive(m, k, n, out, mk, |s: &mut ExactScratch, i, col0, cols| {
+            if s.row != i {
+                // Quantize the activation row to the core's input format,
+                // once per row per worker.
+                for (kk, &av) in a[i * k..(i + 1) * k].iter().enumerate() {
+                    s.arow[kk] = self.act.quantize(av as f64);
+                }
+                s.row = i;
+            }
+            for (j, o) in cols.iter_mut().enumerate() {
+                let c = col0 + j;
+                let wcol = &self.wr[c * k..(c + 1) * k];
                 // Exact product (both operands ≤ 24 significand bits →
                 // exact in f64), FP32 accumulation per add.
                 let mut acc = 0f32;
-                for k in 0..w.k {
-                    acc += (arow[k] * wr[k * w.n + c]) as f32;
+                for (av, wv) in s.arow.iter().zip(wcol) {
+                    acc += (av * wv) as f32;
                 }
-                out[i * w.n + c] = acc;
+                *o = acc;
             }
-        }
+        });
     }
 }
 

@@ -7,7 +7,8 @@
 //! paper describes for its FPMA baseline. No subnormal handling, no
 //! compensation.
 
-use crate::engines::{check_shapes, GemmEngine};
+use crate::engines::prepared::{check_prepared_shapes, drive};
+use crate::engines::{check_shapes, GemmEngine, PreparedGemm};
 use axcore_fpma::uniform::fpma_mul;
 use axcore_quant::QuantizedMatrix;
 use axcore_softfloat::{FpFormat, FP32};
@@ -32,31 +33,92 @@ impl GemmEngine for FpmaEngine {
 
     fn gemm(&self, a: &[f32], m: usize, w: &QuantizedMatrix, out: &mut [f32]) {
         check_shapes(a, m, w, out);
+        self.preload(w).gemm(a, m, out);
+    }
+
+    fn clone_box(&self) -> Box<dyn GemmEngine> {
+        Box::new(*self)
+    }
+
+    fn prepare(&self, w: &QuantizedMatrix) -> Box<dyn PreparedGemm> {
+        Box::new(self.preload(w))
+    }
+}
+
+impl FpmaEngine {
+    /// Dequantize into activation-format bit patterns (indirect GEMM),
+    /// stored column-major so the MAC loop walks contiguously.
+    fn preload(&self, w: &QuantizedMatrix) -> FpmaPrepared {
         let act = self.act;
-        // Accumulation format: FP16/BF16 activations use same-width adders,
-        // FP32 activations use FP32 adders (paper §6.1.3).
-        let acc_fmt = if act == FP32 { FP32 } else { act };
         let mut wr = vec![0u32; w.k * w.n];
-        for k in 0..w.k {
-            for c in 0..w.n {
-                wr[k * w.n + c] = act.encode(w.dequant(k, c));
+        for c in 0..w.n {
+            for k in 0..w.k {
+                wr[c * w.k + k] = act.encode(w.dequant(k, c));
             }
         }
-        for i in 0..m {
-            let arow: Vec<u32> = (0..w.k).map(|k| act.encode(a[i * w.k + k] as f64)).collect();
-            for c in 0..w.n {
+        FpmaPrepared {
+            act,
+            // Accumulation format: FP16/BF16 activations use same-width
+            // adders, FP32 activations use FP32 adders (paper §6.1.3).
+            acc_fmt: if act == FP32 { FP32 } else { act },
+            wr,
+            k: w.k,
+            n: w.n,
+        }
+    }
+}
+
+/// FPMA-engine prepared weights: activation-format bit patterns of the
+/// dequantized matrix.
+#[derive(Debug)]
+pub struct FpmaPrepared {
+    act: FpFormat,
+    acc_fmt: FpFormat,
+    wr: Vec<u32>,
+    k: usize,
+    n: usize,
+}
+
+struct FpmaScratch {
+    row: usize,
+    arow: Vec<u32>,
+}
+
+impl PreparedGemm for FpmaPrepared {
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn gemm(&self, a: &[f32], m: usize, out: &mut [f32]) {
+        check_prepared_shapes(a, m, self.k, self.n, out);
+        let (k, n) = (self.k, self.n);
+        let mk = || FpmaScratch { row: usize::MAX, arow: vec![0u32; k] };
+        drive(m, k, n, out, mk, |s: &mut FpmaScratch, i, col0, cols| {
+            if s.row != i {
+                for (kk, &av) in a[i * k..(i + 1) * k].iter().enumerate() {
+                    s.arow[kk] = self.act.encode(av as f64);
+                }
+                s.row = i;
+            }
+            for (j, o) in cols.iter_mut().enumerate() {
+                let c = col0 + j;
+                let wcol = &self.wr[c * k..(c + 1) * k];
                 // Accumulate with format-width adds (each partial sum is
                 // rounded back to the accumulation format, as the baseline's
                 // in-PE adders would).
-                let mut acc_bits = acc_fmt.encode(0.0);
-                for k in 0..w.k {
-                    let p = fpma_mul(act, arow[k], wr[k * w.n + c], 0);
-                    let sum = acc_fmt.decode(acc_bits) + act.decode(p);
-                    acc_bits = acc_fmt.encode(sum);
+                let mut acc_bits = self.acc_fmt.encode(0.0);
+                for (&av, &wv) in s.arow.iter().zip(wcol) {
+                    let p = fpma_mul(self.act, av, wv, 0);
+                    let sum = self.acc_fmt.decode(acc_bits) + self.act.decode(p);
+                    acc_bits = self.acc_fmt.encode(sum);
                 }
-                out[i * w.n + c] = acc_fmt.decode(acc_bits) as f32;
+                *o = self.acc_fmt.decode(acc_bits) as f32;
             }
-        }
+        });
     }
 }
 

@@ -8,36 +8,95 @@
 //! differ in hardware cost (modelled in `axcore-hwmodel`), not numerics, so
 //! both share this implementation with different names.
 
-use crate::engines::{check_shapes, GemmEngine};
+use crate::engines::prepared::{check_prepared_shapes, drive};
+use crate::engines::{check_shapes, GemmEngine, PreparedGemm};
 use axcore_quant::{QuantFormat, QuantizedMatrix};
 use axcore_softfloat::FpFormat;
 
-/// Shared exact INT-FP mpGEMM implementation.
-fn int_fp_gemm(act: FpFormat, a: &[f32], m: usize, w: &QuantizedMatrix, out: &mut [f32]) {
+/// Shared prepared state for the exact INT-FP engines: integer codes
+/// decoded once, plus the per-(group, column) scales.
+#[derive(Debug)]
+pub struct IntFpPrepared {
+    act: FpFormat,
+    /// Decoded integer code per element (`k × n`, row-major).
+    dec: Vec<i32>,
+    /// Decoded scale per (group, column).
+    scales: Vec<f64>,
+    k: usize,
+    n: usize,
+    group_size: usize,
+}
+
+/// Shared weight preload for the exact INT-FP engines.
+fn int_fp_preload(act: FpFormat, w: &QuantizedMatrix) -> IntFpPrepared {
     for f in &w.formats {
         assert!(
             matches!(f, QuantFormat::Int { .. }),
             "INT-FP engines require INT-quantized weights, got {f}"
         );
     }
-    let gs = w.group_size;
-    for i in 0..m {
-        let arow: Vec<f64> = (0..w.k).map(|k| act.quantize(a[i * w.k + k] as f64)).collect();
-        for c in 0..w.n {
-            let mut acc = 0f32; // FP32 accumulator across groups
-            for g in 0..w.num_groups() {
-                // Wide fixed-point accumulation inside the group is exact:
-                // activation (≤ 24 significand bits) × small integer code.
-                let fmt = w.format(g * gs, c);
-                let mut group_acc = 0f64;
-                for k in g * gs..(g + 1) * gs {
-                    let code = fmt.decode_int(w.code(k, c));
-                    group_acc += arow[k] * code as f64;
-                }
-                acc += (group_acc * w.scale(g * gs, c)) as f32;
-            }
-            out[i * w.n + c] = acc;
+    // Column-major (`col * k + k`) so the group MAC loop is contiguous.
+    let mut dec = vec![0i32; w.k * w.n];
+    for c in 0..w.n {
+        for k in 0..w.k {
+            dec[c * w.k + k] = w.format(k, c).decode_int(w.code(k, c));
         }
+    }
+    let groups = w.num_groups();
+    let mut scales = vec![0f64; groups * w.n];
+    for g in 0..groups {
+        for c in 0..w.n {
+            scales[g * w.n + c] = w.scale(g * w.group_size, c);
+        }
+    }
+    IntFpPrepared { act, dec, scales, k: w.k, n: w.n, group_size: w.group_size }
+}
+
+struct IntFpScratch {
+    row: usize,
+    arow: Vec<f64>,
+}
+
+impl PreparedGemm for IntFpPrepared {
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn gemm(&self, a: &[f32], m: usize, out: &mut [f32]) {
+        check_prepared_shapes(a, m, self.k, self.n, out);
+        let (k, n) = (self.k, self.n);
+        let gs = self.group_size;
+        let groups = k / gs;
+        let mk = || IntFpScratch { row: usize::MAX, arow: vec![0f64; k] };
+        drive(m, k, n, out, mk, |s: &mut IntFpScratch, i, col0, cols| {
+            if s.row != i {
+                for (kk, &av) in a[i * k..(i + 1) * k].iter().enumerate() {
+                    s.arow[kk] = self.act.quantize(av as f64);
+                }
+                s.row = i;
+            }
+            for (j, o) in cols.iter_mut().enumerate() {
+                let c = col0 + j;
+                let wcol = &self.dec[c * k..(c + 1) * k];
+                let mut acc = 0f32; // FP32 accumulator across groups
+                for g in 0..groups {
+                    // Wide fixed-point accumulation inside the group is
+                    // exact: activation (≤ 24 significand bits) × small
+                    // integer code.
+                    let mut group_acc = 0f64;
+                    let r = g * gs..(g + 1) * gs;
+                    for (av, &wv) in s.arow[r.clone()].iter().zip(&wcol[r]) {
+                        group_acc += av * wv as f64;
+                    }
+                    acc += (group_acc * self.scales[g * n + c]) as f32;
+                }
+                *o = acc;
+            }
+        });
     }
 }
 
@@ -61,7 +120,15 @@ impl GemmEngine for FignaEngine {
 
     fn gemm(&self, a: &[f32], m: usize, w: &QuantizedMatrix, out: &mut [f32]) {
         check_shapes(a, m, w, out);
-        int_fp_gemm(self.act, a, m, w, out);
+        int_fp_preload(self.act, w).gemm(a, m, out);
+    }
+
+    fn clone_box(&self) -> Box<dyn GemmEngine> {
+        Box::new(*self)
+    }
+
+    fn prepare(&self, w: &QuantizedMatrix) -> Box<dyn PreparedGemm> {
+        Box::new(int_fp_preload(self.act, w))
     }
 }
 
@@ -86,7 +153,15 @@ impl GemmEngine for FiglutEngine {
 
     fn gemm(&self, a: &[f32], m: usize, w: &QuantizedMatrix, out: &mut [f32]) {
         check_shapes(a, m, w, out);
-        int_fp_gemm(self.act, a, m, w, out);
+        int_fp_preload(self.act, w).gemm(a, m, out);
+    }
+
+    fn clone_box(&self) -> Box<dyn GemmEngine> {
+        Box::new(*self)
+    }
+
+    fn prepare(&self, w: &QuantizedMatrix) -> Box<dyn PreparedGemm> {
+        Box::new(int_fp_preload(self.act, w))
     }
 }
 

@@ -15,12 +15,14 @@ mod axcore;
 mod exact;
 mod fpma;
 mod int_fp;
+mod prepared;
 mod tender;
 
 pub use axcore::{AxCoreConfig, AxCoreEngine};
 pub use exact::ExactEngine;
 pub use fpma::FpmaEngine;
 pub use int_fp::{FignaEngine, FiglutEngine};
+pub use prepared::{FallbackPrepared, PreparedGemm};
 pub use tender::TenderEngine;
 
 use axcore_quant::QuantizedMatrix;
@@ -28,6 +30,11 @@ use axcore_quant::QuantizedMatrix;
 /// A matrix-multiply engine computing `O = A · W` with `A` an `m × k`
 /// row-major `f32` activation matrix and `W` a quantized `k × n` weight
 /// matrix. Results overwrite `out` (`m × n`, row-major).
+///
+/// Callers that reuse a weight matrix across calls (every linear layer
+/// during inference) should [`prepare`](GemmEngine::prepare) it once and
+/// run [`PreparedGemm::gemm`] per activation tile; `gemm` itself rebuilds
+/// the prepared state on every call.
 pub trait GemmEngine: std::fmt::Debug + Send + Sync {
     /// Human-readable engine name (used in reports and figures).
     fn name(&self) -> String;
@@ -40,6 +47,29 @@ pub trait GemmEngine: std::fmt::Debug + Send + Sync {
     /// `out.len() != m * w.n`, or the weight format kind is unsupported
     /// (e.g. INT weights passed to an FP-only engine).
     fn gemm(&self, a: &[f32], m: usize, w: &QuantizedMatrix, out: &mut [f32]);
+
+    /// Clone this engine behind the trait object (used by the default
+    /// [`prepare`](GemmEngine::prepare) implementation).
+    fn clone_box(&self) -> Box<dyn GemmEngine>;
+
+    /// Preload a weight matrix into this engine's stationary form — the
+    /// systolic weight-preload phase. The default implementation falls
+    /// back to re-running [`gemm`](GemmEngine::gemm) per call; every
+    /// engine in this crate overrides it with a real prepared state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight format kind is unsupported by this engine.
+    fn prepare(&self, w: &QuantizedMatrix) -> Box<dyn PreparedGemm> {
+        Box::new(FallbackPrepared::new(self.clone_box(), w.clone()))
+    }
+
+    /// Multiply against previously [`prepare`](GemmEngine::prepare)d
+    /// weights. Equivalent to `p.gemm(a, m, out)`; provided for callers
+    /// generic over the engine.
+    fn gemm_prepared(&self, p: &dyn PreparedGemm, a: &[f32], m: usize, out: &mut [f32]) {
+        p.gemm(a, m, out);
+    }
 }
 
 /// Validate GEMM buffer shapes (shared by all engine implementations).

@@ -1,0 +1,158 @@
+//! Prepared-weight GEMM execution: the weight-preload phase of the
+//! systolic schedule, factored out of [`GemmEngine::gemm`] so it runs
+//! once per weight matrix instead of once per call.
+//!
+//! In the hardware, weights are loaded into the array once and stay
+//! stationary while many activation tiles stream past (prefill batches,
+//! or thousands of single-row decode steps). The functional engines
+//! previously rebuilt all weight-derived state — mpFPMA units, decoded
+//! [`WeightLane`]s, dequantized weight copies — inside every `gemm`
+//! call, which dominates the cost of decode-shaped (`m = 1`) GEMMs.
+//! [`GemmEngine::prepare`] now returns a [`PreparedGemm`] object holding
+//! exactly that state; callers that reuse a weight matrix hold on to it
+//! and call [`PreparedGemm::gemm`] per activation tile.
+//!
+//! # Parallel execution and determinism
+//!
+//! Prepared GEMMs execute their output tiles on a scoped thread pool
+//! (see [`axcore_parallel`]): large-`m` calls split over row chunks,
+//! decode-shaped calls split each row over column tiles. Every engine in
+//! this crate computes each output element `(i, col)` independently —
+//! including AxCore's stochastic SNC tie bit, which is a deterministic
+//! function of the activation mantissa MSB (§5.2.2), not of any shared
+//! RNG state — and each chunk's placement in the output buffer is a
+//! function of its chunk index alone. Results are therefore
+//! **bit-identical at any thread count**, which
+//! `tests/parallel_exactness.rs` locks in property-tests.
+//!
+//! [`WeightLane`]: crate::pe::WeightLane
+//! [`GemmEngine::gemm`]: crate::engines::GemmEngine::gemm
+//! [`GemmEngine::prepare`]: crate::engines::GemmEngine::prepare
+
+use crate::engines::GemmEngine;
+use axcore_quant::QuantizedMatrix;
+
+/// A weight matrix preloaded into one engine's stationary form.
+///
+/// Created by [`GemmEngine::prepare`]; all weight-only preprocessing
+/// (format-unit construction, lane decoding, dequantization) happened at
+/// creation time, so [`PreparedGemm::gemm`] only streams activations.
+///
+/// [`GemmEngine::prepare`]: crate::engines::GemmEngine::prepare
+pub trait PreparedGemm: std::fmt::Debug + Send + Sync {
+    /// Input-channel (accumulation) dimension of the prepared weights.
+    fn k(&self) -> usize;
+
+    /// Output-channel dimension of the prepared weights.
+    fn n(&self) -> usize;
+
+    /// Multiply an `m × k` activation tile against the prepared weights,
+    /// overwriting `out` (`m × n`, row-major). Bit-identical to the
+    /// owning engine's [`GemmEngine::gemm`] on the same matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != m * self.k()` or `out.len() != m * self.n()`.
+    ///
+    /// [`GemmEngine::gemm`]: crate::engines::GemmEngine::gemm
+    fn gemm(&self, a: &[f32], m: usize, out: &mut [f32]);
+}
+
+/// Shape check shared by the prepared implementations.
+pub(crate) fn check_prepared_shapes(a: &[f32], m: usize, k: usize, n: usize, out: &[f32]) {
+    assert_eq!(a.len(), m * k, "activation shape mismatch");
+    assert_eq!(out.len(), m * n, "output shape mismatch");
+}
+
+/// Drive a per-element GEMM kernel over the output in parallel.
+///
+/// `kernel(scratch, row, col0, cols)` fills `cols` with output columns
+/// `col0 .. col0 + cols.len()` of activation row `row`; `mk_scratch`
+/// builds one per-worker scratch (activation-encode buffers) that is
+/// reused across every tile the worker processes.
+///
+/// Tiling: with enough rows to feed the pool, whole-row chunks are
+/// distributed (each worker encodes each of its rows exactly once);
+/// with fewer rows than threads — the decode shape, `m = 1` — each row
+/// is split over column tiles instead. Both splits place results by
+/// chunk index, so scheduling never affects output bits.
+///
+/// `k` is the accumulation depth, used only to size the work estimate:
+/// GEMMs too small to amortize thread spawns run serially (bit-identical
+/// either way, so the cutover is purely a scheduling decision).
+pub(crate) fn drive<S, MkS, F>(
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+    mk_scratch: MkS,
+    kernel: F,
+) where
+    MkS: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, usize, &mut [f32]) + Sync,
+{
+    if m == 0 || n == 0 {
+        return;
+    }
+    const MIN_PARALLEL_MACS: usize = 32 * 1024;
+    let threads = if (m * n).saturating_mul(k) < MIN_PARALLEL_MACS {
+        1
+    } else {
+        axcore_parallel::current_threads()
+    };
+    if threads <= 1 {
+        let mut s = mk_scratch();
+        for (i, row_out) in out.chunks_mut(n).enumerate() {
+            kernel(&mut s, i, 0, row_out);
+        }
+    } else if m >= threads {
+        // Row-chunk split: ~4 chunks per worker for load balance.
+        let rows_per = m.div_ceil(threads * 4).max(1);
+        axcore_parallel::par_chunks_mut_with(out, rows_per * n, &mk_scratch, |s, ci, chunk| {
+            let row0 = ci * rows_per;
+            for (r, row_out) in chunk.chunks_mut(n).enumerate() {
+                kernel(s, row0 + r, 0, row_out);
+            }
+        });
+    } else {
+        // Few rows (decode shape): tile each row's columns instead.
+        let col_tile = n.div_ceil(threads * 4).max(1);
+        for (i, row_out) in out.chunks_mut(n).enumerate() {
+            axcore_parallel::par_chunks_mut_with(row_out, col_tile, &mk_scratch, |s, ci, cols| {
+                kernel(s, i, ci * col_tile, cols);
+            });
+        }
+    }
+}
+
+/// The default [`GemmEngine::prepare`] result for engines without a
+/// specialized prepared form: owns a clone of the engine and the weight
+/// matrix and routes every call through the plain `gemm` path.
+///
+/// [`GemmEngine::prepare`]: crate::engines::GemmEngine::prepare
+#[derive(Debug)]
+pub struct FallbackPrepared {
+    engine: Box<dyn GemmEngine>,
+    w: QuantizedMatrix,
+}
+
+impl FallbackPrepared {
+    /// Wrap an engine and a weight matrix.
+    pub fn new(engine: Box<dyn GemmEngine>, w: QuantizedMatrix) -> Self {
+        FallbackPrepared { engine, w }
+    }
+}
+
+impl PreparedGemm for FallbackPrepared {
+    fn k(&self) -> usize {
+        self.w.k
+    }
+
+    fn n(&self) -> usize {
+        self.w.n
+    }
+
+    fn gemm(&self, a: &[f32], m: usize, out: &mut [f32]) {
+        self.engine.gemm(a, m, &self.w, out);
+    }
+}

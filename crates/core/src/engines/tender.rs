@@ -9,7 +9,8 @@
 //! Tender's perplexity far above the weight-only designs) comes from
 //! quantizing the *activations*, which this model reproduces.
 
-use crate::engines::{check_shapes, GemmEngine};
+use crate::engines::prepared::{check_prepared_shapes, drive};
+use crate::engines::{check_shapes, GemmEngine, PreparedGemm};
 use axcore_quant::{QuantFormat, QuantizedMatrix};
 
 /// Integer-only GEMM with activation quantization (Tender-like).
@@ -37,39 +38,118 @@ impl GemmEngine for TenderEngine {
 
     fn gemm(&self, a: &[f32], m: usize, w: &QuantizedMatrix, out: &mut [f32]) {
         check_shapes(a, m, w, out);
+        self.preload(w).gemm(a, m, out);
+    }
+
+    fn clone_box(&self) -> Box<dyn GemmEngine> {
+        Box::new(*self)
+    }
+
+    fn prepare(&self, w: &QuantizedMatrix) -> Box<dyn PreparedGemm> {
+        Box::new(self.preload(w))
+    }
+}
+
+impl TenderEngine {
+    /// Decode the integer weight codes and scales once.
+    fn preload(&self, w: &QuantizedMatrix) -> TenderPrepared {
         for f in &w.formats {
             assert!(
                 matches!(f, QuantFormat::Int { .. }),
                 "TenderEngine requires INT-quantized weights, got {f}"
             );
         }
-        let qmax = ((1i64 << (self.act_bits - 1)) - 1) as f64;
-        let gs = w.group_size;
-        let k = w.k;
-        let chunk_len = k.div_ceil(self.chunks);
-        let mut acodes = vec![0i32; k];
-        let mut ascales = vec![0f64; self.chunks];
-        for i in 0..m {
-            // Per-token, per-chunk symmetric activation quantization.
-            for ch in 0..self.chunks {
-                let lo = ch * chunk_len;
-                let hi = ((ch + 1) * chunk_len).min(k);
-                let mut max_abs = 0f64;
-                for kk in lo..hi {
-                    max_abs = max_abs.max((a[i * k + kk] as f64).abs());
-                }
-                let s = if max_abs == 0.0 { 1.0 } else { max_abs / qmax };
-                ascales[ch] = s;
-                for kk in lo..hi {
-                    acodes[kk] =
-                        (a[i * k + kk] as f64 / s).round_ties_even().clamp(-qmax, qmax) as i32;
-                }
+        // Column-major (`col * k + k`) so the chunked MAC loop is contiguous.
+        let mut dec = vec![0i32; w.k * w.n];
+        for c in 0..w.n {
+            for k in 0..w.k {
+                dec[c * w.k + k] = w.format(k, c).decode_int(w.code(k, c));
             }
+        }
+        let groups = w.num_groups();
+        let mut wscales = vec![0f64; groups * w.n];
+        for g in 0..groups {
             for c in 0..w.n {
+                wscales[g * w.n + c] = w.scale(g * w.group_size, c);
+            }
+        }
+        TenderPrepared {
+            qmax: ((1i64 << (self.act_bits - 1)) - 1) as f64,
+            chunks: self.chunks,
+            dec,
+            wscales,
+            k: w.k,
+            n: w.n,
+            group_size: w.group_size,
+        }
+    }
+}
+
+/// Tender prepared weights: decoded integer codes plus per-group scales.
+#[derive(Debug)]
+pub struct TenderPrepared {
+    qmax: f64,
+    chunks: usize,
+    dec: Vec<i32>,
+    wscales: Vec<f64>,
+    k: usize,
+    n: usize,
+    group_size: usize,
+}
+
+/// Per-worker scratch: the current row's activation codes and chunk scales.
+struct TenderScratch {
+    row: usize,
+    acodes: Vec<i32>,
+    ascales: Vec<f64>,
+}
+
+impl PreparedGemm for TenderPrepared {
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn gemm(&self, a: &[f32], m: usize, out: &mut [f32]) {
+        check_prepared_shapes(a, m, self.k, self.n, out);
+        let (k, n) = (self.k, self.n);
+        let gs = self.group_size;
+        let groups = k / gs;
+        let chunk_len = k.div_ceil(self.chunks);
+        let mk = || TenderScratch {
+            row: usize::MAX,
+            acodes: vec![0i32; k],
+            ascales: vec![0f64; self.chunks],
+        };
+        drive(m, k, n, out, mk, |s: &mut TenderScratch, i, col0, cols| {
+            if s.row != i {
+                // Per-token, per-chunk symmetric activation quantization.
+                for ch in 0..self.chunks {
+                    let lo = ch * chunk_len;
+                    let hi = ((ch + 1) * chunk_len).min(k);
+                    let mut max_abs = 0f64;
+                    for kk in lo..hi {
+                        max_abs = max_abs.max((a[i * k + kk] as f64).abs());
+                    }
+                    let sc = if max_abs == 0.0 { 1.0 } else { max_abs / self.qmax };
+                    s.ascales[ch] = sc;
+                    for kk in lo..hi {
+                        s.acodes[kk] = (a[i * k + kk] as f64 / sc)
+                            .round_ties_even()
+                            .clamp(-self.qmax, self.qmax) as i32;
+                    }
+                }
+                s.row = i;
+            }
+            for (j, o) in cols.iter_mut().enumerate() {
+                let c = col0 + j;
+                let wcol = &self.dec[c * k..(c + 1) * k];
                 let mut acc = 0f64;
-                for g in 0..w.num_groups() {
-                    let fmt = w.format(g * gs, c);
-                    let wscale = w.scale(g * gs, c);
+                for g in 0..groups {
+                    let wscale = self.wscales[g * n + c];
                     // Integer MACs are exact; requantization applies the
                     // combined activation×weight scale per (chunk, group).
                     let mut kk = g * gs;
@@ -77,17 +157,16 @@ impl GemmEngine for TenderEngine {
                         let ch = kk / chunk_len;
                         let ch_end = (((ch + 1) * chunk_len).min((g + 1) * gs)).min(k);
                         let mut int_acc = 0i64;
-                        for kkk in kk..ch_end {
-                            int_acc +=
-                                acodes[kkk] as i64 * fmt.decode_int(w.code(kkk, c)) as i64;
+                        for (&ac, &wv) in s.acodes[kk..ch_end].iter().zip(&wcol[kk..ch_end]) {
+                            int_acc += ac as i64 * wv as i64;
                         }
-                        acc += int_acc as f64 * ascales[ch] * wscale;
+                        acc += int_acc as f64 * s.ascales[ch] * wscale;
                         kk = ch_end;
                     }
                 }
-                out[i * w.n + c] = acc as f32;
+                *o = acc as f32;
             }
-        }
+        });
     }
 }
 

@@ -59,5 +59,5 @@ pub mod tile;
 
 pub use engines::{
     AxCoreConfig, AxCoreEngine, ExactEngine, FignaEngine, FiglutEngine, FpmaEngine, GemmEngine,
-    TenderEngine,
+    PreparedGemm, TenderEngine,
 };

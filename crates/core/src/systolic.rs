@@ -252,6 +252,7 @@ pub fn run_tile_chained(
 /// Requirements (structural model only; the functional engine is general):
 /// the weight group size must equal the array height, every block must use
 /// one FP format, and `n` must be a multiple of the array width.
+#[allow(clippy::too_many_arguments)]
 pub fn systolic_gemm(
     act: FpFormat,
     array_rows: usize,

@@ -38,7 +38,7 @@ impl TileGrid {
     ///
     /// Panics unless tiles evenly cover the array.
     pub fn new(act: FpFormat, rows: usize, cols: usize, tile_rows: usize, tile_cols: usize) -> Self {
-        assert!(rows % tile_rows == 0 && cols % tile_cols == 0, "tiles must cover the array");
+        assert!(rows.is_multiple_of(tile_rows) && cols.is_multiple_of(tile_cols), "tiles must cover the array");
         TileGrid { act, rows, cols, tile_rows, tile_cols }
     }
 

@@ -367,7 +367,7 @@ mod tests {
                 let out = unit.convert(bits, false);
                 let (s, e, m) = out.to_unified(3, 2);
                 if !out.zero {
-                    assert!(e >= 1 && e <= 7, "{fmt}: e={e}");
+                    assert!((1..=7).contains(&e), "{fmt}: e={e}");
                     // Value must be preserved exactly by the unified encoding.
                     let v = (1.0 + m as f64 / 4.0) * 2f64.powi(e as i32 - 3);
                     let v = if s { -v } else { v };

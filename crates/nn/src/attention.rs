@@ -38,7 +38,7 @@ impl MultiHeadAttention {
     ///
     /// Panics if `d_model` is not divisible by `n_heads`.
     pub fn new(d_model: usize, n_heads: usize, rng: &mut StdRng) -> Self {
-        assert!(d_model % n_heads == 0, "d_model must divide into heads");
+        assert!(d_model.is_multiple_of(n_heads), "d_model must divide into heads");
         MultiHeadAttention {
             wq: Linear::new(d_model, d_model, rng),
             wk: Linear::new(d_model, d_model, rng),
@@ -313,8 +313,8 @@ mod tests {
         let ctx = attention_context(&q, &k, &v, s, d, h, dh);
         // Row i is the average of v rows 0..=i.
         assert_eq!(ctx[0], 1.0);
-        assert!((ctx[s * 0 + 1] - 0.0).abs() < 1e-6);
-        assert!((ctx[1 * d + 0] - 0.5).abs() < 1e-6);
-        assert!((ctx[1 * d + 1] - 0.5).abs() < 1e-6);
+        assert!((ctx[1] - 0.0).abs() < 1e-6);
+        assert!((ctx[d] - 0.5).abs() < 1e-6);
+        assert!((ctx[d + 1] - 0.5).abs() < 1e-6);
     }
 }

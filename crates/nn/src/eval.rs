@@ -17,11 +17,9 @@ use crate::model::TransformerLm;
 use crate::ops::softmax_rows;
 use axcore::engines::{
     AxCoreConfig, AxCoreEngine, ExactEngine, FignaEngine, FiglutEngine, FpmaEngine, GemmEngine,
-    TenderEngine,
+    PreparedGemm, TenderEngine,
 };
-use axcore_quant::{
-    CalibrationStats, GroupQuantizer, KvQuantConfig, QuantFormat, QuantizedMatrix,
-};
+use axcore_quant::{CalibrationStats, GroupQuantizer, KvQuantConfig, QuantFormat};
 use axcore_softfloat::FP16;
 
 /// A compute scheme from Table 2.
@@ -149,16 +147,19 @@ impl Scheme {
     }
 }
 
-/// A linear layer prepared for a scheme: either quantized codes + engine
-/// input, or FP16-rounded dense weights for the unquantized baseline.
-#[derive(Debug, Clone)]
+/// A linear layer prepared for a scheme: either weights preloaded into
+/// the engine's stationary form (quantize once, [`GemmEngine::prepare`]
+/// once — every subsequent forward pass streams activations against the
+/// cached [`PreparedGemm`]), or FP16-rounded dense weights for the
+/// unquantized baseline.
+#[derive(Debug)]
 enum PreparedWeights {
     Dense(Vec<f32>),
-    Quantized(QuantizedMatrix),
+    Quantized(Box<dyn PreparedGemm>),
 }
 
 /// A prepared (weights, bias) pair.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 struct QuantLinear {
     w: PreparedWeights,
     b: Vec<f32>,
@@ -172,6 +173,10 @@ pub struct QuantizedLm {
     pub scheme: Scheme,
     src: TransformerLm,
     engine: Box<dyn GemmEngine>,
+    /// Engine for KV-cache GEMMs, built once (KV matrices change every
+    /// forward pass, so they are quantized per call but the engine is
+    /// cached).
+    kv_engine: Box<dyn GemmEngine>,
     blocks: Vec<QuantBlock>,
     kv: Option<KvQuantConfig>,
 }
@@ -202,11 +207,12 @@ fn to_fp16_dense(w: &[f32]) -> Vec<f32> {
 /// Largest group size ≤ `group` that divides `dim` (layer widths are not
 /// always multiples of the nominal group size on small proxies).
 fn fit_group(dim: usize, group: usize) -> usize {
-    (1..=group.min(dim)).rev().find(|g| dim % g == 0).unwrap_or(1)
+    (1..=group.min(dim)).rev().find(|g| dim.is_multiple_of(*g)).unwrap_or(1)
 }
 
 fn prepare_linear(
     lin: &crate::layers::Linear,
+    engine: &dyn GemmEngine,
     scheme: Scheme,
     group: usize,
     block_cols: usize,
@@ -218,7 +224,9 @@ fn prepare_linear(
         calib,
     ) {
         None => PreparedWeights::Dense(to_fp16_dense(&lin.w)),
-        Some(q) => PreparedWeights::Quantized(q.quantize(&lin.w, lin.in_dim, lin.out_dim)),
+        Some(q) => PreparedWeights::Quantized(
+            engine.prepare(&q.quantize(&lin.w, lin.in_dim, lin.out_dim)),
+        ),
     };
     QuantLinear {
         w,
@@ -245,24 +253,32 @@ pub fn quantize_model(
     // Calibration: per-layer input-channel energies from an exact forward
     // pass over the calibration stream.
     let calib = calib_tokens.map(|toks| collect_calibration(model, toks));
+    let engine = scheme.engine();
     let mut blocks = Vec::new();
     for (li, b) in model.blocks.iter().enumerate() {
         let stats = |tag: usize| -> Option<CalibrationStats> {
             calib.as_ref().map(|c| c[li * 3 + tag].clone())
         };
+        let e = &*engine;
         blocks.push(QuantBlock {
-            wq: prepare_linear(&b.attn.wq, scheme, group, block_cols, stats(0)),
-            wk: prepare_linear(&b.attn.wk, scheme, group, block_cols, stats(0)),
-            wv: prepare_linear(&b.attn.wv, scheme, group, block_cols, stats(0)),
-            wo: prepare_linear(&b.attn.wo, scheme, group, block_cols, None),
-            fc1: prepare_linear(&b.fc1, scheme, group, block_cols, stats(1)),
-            fc2: prepare_linear(&b.fc2, scheme, group, block_cols, stats(2)),
+            wq: prepare_linear(&b.attn.wq, e, scheme, group, block_cols, stats(0)),
+            wk: prepare_linear(&b.attn.wk, e, scheme, group, block_cols, stats(0)),
+            wv: prepare_linear(&b.attn.wv, e, scheme, group, block_cols, stats(0)),
+            wo: prepare_linear(&b.attn.wo, e, scheme, group, block_cols, None),
+            fc1: prepare_linear(&b.fc1, e, scheme, group, block_cols, stats(1)),
+            fc2: prepare_linear(&b.fc2, e, scheme, group, block_cols, stats(2)),
         });
     }
     QuantizedLm {
         scheme,
         src: model.clone(),
-        engine: scheme.engine(),
+        // KV caches are re-quantized per forward pass, so the KV engine is
+        // cached here rather than rebuilt per attention head.
+        kv_engine: match scheme {
+            Scheme::TenderW8A8Kv4 | Scheme::TenderW4A4Kv4 => scheme.engine(),
+            _ => Box::new(AxCoreEngine::new(FP16)),
+        },
+        engine,
         blocks,
         kv: scheme.kv_config(),
     }
@@ -325,8 +341,8 @@ impl QuantizedLm {
                     }
                 }
             }
-            PreparedWeights::Quantized(q) => {
-                self.engine.gemm(x, rows, q, &mut y);
+            PreparedWeights::Quantized(prep) => {
+                self.engine.gemm_prepared(&**prep, x, rows, &mut y);
             }
         }
         for r in 0..rows {
@@ -386,15 +402,10 @@ impl QuantizedLm {
     }
 
     /// The engine used for KV-cache GEMMs: AxCore's own datapath for
-    /// AxCore-KV; Tender uses its integer engine with INT KV formats.
-    fn engine_for_kv(&self) -> Box<dyn GemmEngine> {
-        match self.scheme {
-            Scheme::TenderW8A8Kv4 | Scheme::TenderW4A4Kv4 => {
-                // Tender KV caches are INT4 (KV4): reuse its integer GEMM.
-                self.scheme.engine()
-            }
-            _ => Box::new(AxCoreEngine::new(FP16)),
-        }
+    /// AxCore-KV; Tender uses its integer engine with INT KV formats
+    /// (KV4). Built once at [`quantize_model`] time.
+    fn engine_for_kv(&self) -> &dyn GemmEngine {
+        &*self.kv_engine
     }
 
     /// Forward one window to logits under the scheme.
@@ -424,7 +435,7 @@ impl QuantizedLm {
         let v = self.src.cfg.vocab;
         let (mut hits, mut count) = (0usize, 0usize);
         let mut start = 0;
-        while start + seq_len + 1 <= tokens.len() {
+        while start + seq_len < tokens.len() {
             let window = &tokens[start..start + seq_len + 1];
             let logits = self.forward(&window[..seq_len]);
             for i in 0..seq_len {
@@ -452,7 +463,7 @@ pub fn eval_perplexity(qlm: &QuantizedLm, tokens: &[usize], seq_len: usize) -> f
     let mut total = 0f64;
     let mut count = 0usize;
     let mut start = 0;
-    while start + seq_len + 1 <= tokens.len() {
+    while start + seq_len < tokens.len() {
         let window = &tokens[start..start + seq_len + 1];
         let logits = qlm.forward(&window[..seq_len]);
         let mut probs = logits;

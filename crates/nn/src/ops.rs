@@ -1,5 +1,24 @@
 //! Exact `f32` matrix kernels used by the training path (inference under
 //! the approximate datapaths lives in [`crate::eval`]).
+//!
+//! The kernels run on the scoped-thread pool from [`axcore_parallel`],
+//! split over disjoint output rows. Each output element's accumulation
+//! order is identical to the serial loops, so results are bit-identical
+//! at any thread count.
+
+use axcore_parallel::par_chunks_mut;
+
+/// Run `f` serially when the kernel's MAC count is too small to amortize
+/// thread spawns (results are bit-identical either way — this is purely a
+/// scheduling decision).
+fn with_pool_if_worthwhile(macs: usize, f: impl FnOnce()) {
+    const MIN_PARALLEL_MACS: usize = 32 * 1024;
+    if macs < MIN_PARALLEL_MACS {
+        axcore_parallel::with_threads(1, f);
+    } else {
+        f();
+    }
+}
 
 /// `out = a · b` with `a: m×k`, `b: k×n`, all row-major.
 ///
@@ -10,20 +29,24 @@ pub fn matmul(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32
     assert_eq!(a.len(), m * k, "lhs shape");
     assert_eq!(b.len(), k * n, "rhs shape");
     assert_eq!(out.len(), m * n, "out shape");
-    out.fill(0.0);
-    for i in 0..m {
-        for kk in 0..k {
-            let av = a[i * k + kk];
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &b[kk * n..kk * n + n];
-            let orow = &mut out[i * n..i * n + n];
-            for j in 0..n {
-                orow[j] += av * brow[j];
-            }
-        }
+    if n == 0 {
+        return;
     }
+    with_pool_if_worthwhile(m * k * n, || {
+        par_chunks_mut(out, n, |i, orow| {
+            orow.fill(0.0);
+            for kk in 0..k {
+                let av = a[i * k + kk];
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[kk * n..kk * n + n];
+                for j in 0..n {
+                    orow[j] += av * brow[j];
+                }
+            }
+        });
+    });
 }
 
 /// `out = a · bᵀ` with `a: m×n`, `b: k×n` (row-major), producing `m×k`.
@@ -32,55 +55,71 @@ pub fn matmul_bt(a: &[f32], m: usize, n: usize, b: &[f32], k: usize, out: &mut [
     assert_eq!(a.len(), m * n);
     assert_eq!(b.len(), k * n);
     assert_eq!(out.len(), m * k);
-    for i in 0..m {
-        let arow = &a[i * n..i * n + n];
-        for kk in 0..k {
-            let brow = &b[kk * n..kk * n + n];
-            let mut acc = 0f32;
-            for j in 0..n {
-                acc += arow[j] * brow[j];
-            }
-            out[i * k + kk] = acc;
-        }
+    if k == 0 {
+        return;
     }
+    with_pool_if_worthwhile(m * n * k, || {
+        par_chunks_mut(out, k, |i, orow| {
+            let arow = &a[i * n..i * n + n];
+            for (kk, o) in orow.iter_mut().enumerate() {
+                let brow = &b[kk * n..kk * n + n];
+                let mut acc = 0f32;
+                for j in 0..n {
+                    acc += arow[j] * brow[j];
+                }
+                *o = acc;
+            }
+        });
+    });
 }
 
 /// `out += aᵀ · b` with `a: m×k`, `b: m×n`, producing `k×n`.
 /// This is the `dW += Xᵀ · dY` shape; note the accumulation.
+///
+/// Parallelized over output rows (one row per input channel `kk`); for
+/// each output element the `i` summation order matches the serial loop.
 pub fn matmul_at_acc(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
     assert_eq!(a.len(), m * k);
     assert_eq!(b.len(), m * n);
     assert_eq!(out.len(), k * n);
-    for i in 0..m {
-        for kk in 0..k {
-            let av = a[i * k + kk];
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &b[i * n..i * n + n];
-            let orow = &mut out[kk * n..kk * n + n];
-            for j in 0..n {
-                orow[j] += av * brow[j];
-            }
-        }
+    if n == 0 {
+        return;
     }
+    with_pool_if_worthwhile(m * k * n, || {
+        par_chunks_mut(out, n, |kk, orow| {
+            for i in 0..m {
+                let av = a[i * k + kk];
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[i * n..i * n + n];
+                for j in 0..n {
+                    orow[j] += av * brow[j];
+                }
+            }
+        });
+    });
 }
 
 /// Numerically-stable softmax over each row of an `m×n` matrix, in place.
 pub fn softmax_rows(x: &mut [f32], m: usize, n: usize) {
     assert_eq!(x.len(), m * n);
-    for i in 0..m {
-        let row = &mut x[i * n..i * n + n];
-        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let mut sum = 0f32;
-        for v in row.iter_mut() {
-            *v = (*v - max).exp();
-            sum += *v;
-        }
-        for v in row.iter_mut() {
-            *v /= sum;
-        }
+    if n == 0 {
+        return;
     }
+    with_pool_if_worthwhile(m * n * 16, || {
+        par_chunks_mut(x, n, |_, row| {
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0f32;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        });
+    });
 }
 
 #[cfg(test)]

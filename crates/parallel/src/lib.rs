@@ -1,0 +1,202 @@
+//! # axcore-parallel
+//!
+//! Data parallelism for the GEMM engines: rayon-style `par_chunks_mut`
+//! over disjoint output slices, built on `std::thread::scope` so the
+//! workspace stays dependency-free (the build environment has no
+//! registry access, so rayon itself cannot be pulled in; this crate
+//! provides the small slice-parallel subset the engines need).
+//!
+//! Guarantees:
+//!
+//! * **Determinism** — each chunk's output location is a function of its
+//!   chunk index alone, never of thread scheduling; callers that compute
+//!   each output element independently of iteration order get
+//!   bit-identical results at any thread count.
+//! * **No nesting blowup** — a worker thread that itself calls into the
+//!   parallel API runs serially, so parallel GEMMs inside parallel row
+//!   sweeps do not oversubscribe the machine.
+//! * **Control** — [`with_threads`] scopes an explicit thread count (1 =
+//!   force serial, used by benches and the bit-exactness tests); the
+//!   `AXCORE_THREADS` environment variable caps the default.
+
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+use std::sync::{Mutex, OnceLock};
+
+thread_local! {
+    /// Per-thread override installed by [`with_threads`].
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Set inside pool workers: nested parallel calls run serial.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The machine-level default thread count: `AXCORE_THREADS` if set,
+/// otherwise the available hardware parallelism.
+pub fn max_threads() -> usize {
+    static MAX: OnceLock<usize> = OnceLock::new();
+    *MAX.get_or_init(|| {
+        if let Ok(v) = std::env::var("AXCORE_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    })
+}
+
+/// The thread count parallel calls on this thread will use right now:
+/// 1 inside a worker, the [`with_threads`] override if one is active,
+/// otherwise [`max_threads`].
+pub fn current_threads() -> usize {
+    if IN_WORKER.with(|w| w.get()) {
+        return 1;
+    }
+    THREAD_OVERRIDE.with(|o| o.get()).unwrap_or_else(max_threads)
+}
+
+/// Run `f` with parallel calls on this thread capped at `n` threads
+/// (`1` forces the serial path). The previous setting is restored on
+/// exit, including on panic.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let prev = THREAD_OVERRIDE.with(|o| o.replace(Some(n.max(1))));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Split `data` into contiguous chunks of `chunk_len` elements and call
+/// `f(chunk_index, chunk)` for every chunk, distributing chunks over up
+/// to [`current_threads`] workers. Equivalent to
+/// `data.chunks_mut(chunk_len).enumerate().for_each(...)` in any order.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    par_chunks_mut_with(data, chunk_len, || (), |(), i, c| f(i, c));
+}
+
+/// [`par_chunks_mut`] with per-worker scratch state: each worker thread
+/// builds one `S` via `mk_scratch` and reuses it across all the chunks
+/// it processes — the hook GEMM kernels use to amortize row-encode
+/// buffers instead of allocating per chunk.
+pub fn par_chunks_mut_with<T, S, MkS, F>(data: &mut [T], chunk_len: usize, mk_scratch: MkS, f: F)
+where
+    T: Send,
+    MkS: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let num_chunks = data.len().div_ceil(chunk_len);
+    let threads = current_threads().min(num_chunks.max(1));
+    if threads <= 1 {
+        let mut scratch = mk_scratch();
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(&mut scratch, i, chunk);
+        }
+        return;
+    }
+
+    // Dynamic scheduling: workers pop chunks from a shared queue, which
+    // balances load when chunks differ in cost. Output placement is by
+    // chunk index, so scheduling cannot affect results.
+    let queue: Mutex<Vec<(usize, &mut [T])>> =
+        Mutex::new(data.chunks_mut(chunk_len).enumerate().collect());
+    let (queue, f, mk_scratch) = (&queue, &f, &mk_scratch);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(move || {
+                IN_WORKER.with(|w| w.set(true));
+                let mut scratch = mk_scratch();
+                loop {
+                    let item = queue.lock().expect("queue poisoned").pop();
+                    match item {
+                        Some((i, chunk)) => f(&mut scratch, i, chunk),
+                        None => break,
+                    }
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn covers_every_chunk_exactly_once() {
+        let mut data = vec![0u32; 1003];
+        par_chunks_mut(&mut data, 10, |i, chunk| {
+            for v in chunk.iter_mut() {
+                *v += i as u32 + 1;
+            }
+        });
+        for (j, &v) in data.iter().enumerate() {
+            assert_eq!(v, (j / 10) as u32 + 1, "elem {j}");
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let work = |i: usize, chunk: &mut [f32]| {
+            for (j, v) in chunk.iter_mut().enumerate() {
+                *v = ((i * 31 + j) as f32).sin();
+            }
+        };
+        let mut serial = vec![0f32; 500];
+        with_threads(1, || par_chunks_mut(&mut serial, 7, work));
+        let mut parallel = vec![0f32; 500];
+        with_threads(8, || par_chunks_mut(&mut parallel, 7, work));
+        assert_eq!(
+            serial.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            parallel.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn with_threads_restores_previous_setting() {
+        let before = current_threads();
+        with_threads(3, || {
+            assert_eq!(current_threads(), 3);
+            with_threads(1, || assert_eq!(current_threads(), 1));
+            assert_eq!(current_threads(), 3);
+        });
+        assert_eq!(current_threads(), before);
+    }
+
+    #[test]
+    fn nested_calls_run_serially_in_workers() {
+        let nested_threads = AtomicUsize::new(usize::MAX);
+        let mut data = vec![0u8; 64];
+        with_threads(4, || {
+            par_chunks_mut(&mut data, 1, |_, _| {
+                nested_threads.fetch_min(current_threads(), Ordering::Relaxed);
+            });
+        });
+        assert_eq!(nested_threads.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn scratch_is_reused_within_a_worker() {
+        let builds = AtomicUsize::new(0);
+        let mut data = vec![0u8; 100];
+        with_threads(2, || {
+            par_chunks_mut_with(
+                &mut data,
+                1,
+                || builds.fetch_add(1, Ordering::Relaxed),
+                |_, _, _| {},
+            );
+        });
+        // One scratch per worker, not per chunk.
+        assert!(builds.load(Ordering::Relaxed) <= 2);
+    }
+}

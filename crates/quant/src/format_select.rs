@@ -26,7 +26,7 @@ impl CalibrationStats {
     ///
     /// Panics if `acts.len()` is not a multiple of `k` or is empty.
     pub fn from_activations(acts: &[f32], k: usize) -> Self {
-        assert!(k > 0 && !acts.is_empty() && acts.len() % k == 0, "bad calibration shape");
+        assert!(k > 0 && !acts.is_empty() && acts.len().is_multiple_of(k), "bad calibration shape");
         let samples = acts.len() / k;
         let mut energy = vec![0f32; k];
         for s in 0..samples {
@@ -84,7 +84,7 @@ impl FormatPolicy {
         match self {
             FormatPolicy::Fixed(f) => *f,
             FormatPolicy::AdaptiveFp4 { calib, .. } => {
-                debug_assert!(k % group_size == 0 && n % block_cols == 0);
+                debug_assert!(k.is_multiple_of(group_size) && n.is_multiple_of(block_cols));
                 let mut best = QuantFormat::E2M1;
                 let mut best_err = f64::INFINITY;
                 for cand in Self::fp4_candidates() {
@@ -103,6 +103,7 @@ impl FormatPolicy {
 /// Activation-weighted squared reconstruction error of quantizing one block
 /// with `format` (the inner term of Eq. 12 under the diagonal-covariance
 /// expansion).
+#[allow(clippy::too_many_arguments)]
 fn block_error(
     weights: &[f32],
     n: usize,

@@ -59,7 +59,7 @@ impl GroupQuantizer {
     pub fn quantize(&self, weights: &[f32], k: usize, n: usize) -> QuantizedMatrix {
         assert_eq!(weights.len(), k * n, "weight shape mismatch");
         assert!(
-            k % self.group_size == 0,
+            k.is_multiple_of(self.group_size),
             "k = {k} not a multiple of group size {}",
             self.group_size
         );
@@ -67,7 +67,7 @@ impl GroupQuantizer {
             FormatPolicy::Fixed(_) => n,
             FormatPolicy::AdaptiveFp4 { block_cols, .. } => {
                 assert!(
-                    n % block_cols == 0,
+                    n.is_multiple_of(*block_cols),
                     "n = {n} not a multiple of block width {block_cols}"
                 );
                 *block_cols
@@ -100,6 +100,7 @@ impl GroupQuantizer {
 
     /// Quantize one (group, column) slice: compute the FP16 scale from the
     /// group maximum and encode every element.
+    #[allow(clippy::too_many_arguments)]
     fn quantize_group(
         &self,
         weights: &[f32],
@@ -204,9 +205,7 @@ mod tests {
     fn per_group_scales_differ() {
         let (k, n) = (64, 1);
         let mut w = vec![0.01f32; k * n];
-        for kk in 32..64 {
-            w[kk] = 5.0;
-        }
+        w[32..64].fill(5.0);
         let q = GroupQuantizer::fixed(QuantFormat::E2M1, 32).quantize(&w, k, n);
         assert!(q.scale(0, 0) < q.scale(32, 0) / 100.0);
         // Fine-grained scale keeps the small group accurate.

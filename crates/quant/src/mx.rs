@@ -59,7 +59,7 @@ impl MxQuantizer {
     pub fn quantize(&self, weights: &[f32], k: usize, n: usize) -> QuantizedMatrix {
         assert_eq!(weights.len(), k * n, "weight shape mismatch");
         assert!(
-            k % self.block_len == 0,
+            k.is_multiple_of(self.block_len),
             "k = {k} not a multiple of MX block length {}",
             self.block_len
         );

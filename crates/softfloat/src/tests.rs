@@ -213,6 +213,7 @@ fn fp_wrapper_display_and_convert() {
 }
 
 #[test]
+#[allow(clippy::approx_constant)]
 fn bf16_fp32_basic() {
     assert_eq!(BF16.bias(), 127);
     assert_eq!(BF16.decode(BF16.encode(1.0)), 1.0);

@@ -1,0 +1,111 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the `Criterion` / `benchmark_group` / `bench_function` /
+//! `Bencher::iter` API shape plus the `criterion_group!` and
+//! `criterion_main!` macros, backed by a plain wall-clock timer: each
+//! benchmark is warmed up briefly, then timed over an adaptively chosen
+//! iteration count, and the mean time per iteration is printed. No
+//! statistics, plots, or baselines — enough to compare kernels locally
+//! and to keep `cargo bench` compiling offline.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (upstream deprecated it in
+/// favour of `std::hint::black_box`, which the benches here use anyway).
+pub use std::hint::black_box;
+
+/// The benchmark context handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup { _c: self }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, &mut f);
+        self
+    }
+
+    /// End the group (upstream emits summary statistics here).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; `iter` times the hot loop.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over this run's iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, f: &mut F) {
+    // Warm-up: find an iteration count that runs ≥ ~50 ms.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(50) || iters >= 1 << 24 {
+            let per_iter = b.elapsed.as_nanos() as f64 / iters as f64;
+            println!("  {name:40} {:>12.1} ns/iter ({} iters)", per_iter, iters);
+            return;
+        }
+        // Aim past the threshold with headroom.
+        let target = Duration::from_millis(80).as_nanos() as f64;
+        let measured = b.elapsed.as_nanos().max(1) as f64;
+        iters = ((iters as f64 * target / measured).ceil() as u64).clamp(iters * 2, 1 << 24);
+    }
+}
+
+/// Collect benchmark functions into a runnable group, as upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups (for `harness = false` benches).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

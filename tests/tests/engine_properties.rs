@@ -32,7 +32,7 @@ proptest! {
             .map(|i| (((i as u64 + seed) * 2654435761 % 997) as f32 / 498.5 - 1.0) * scale)
             .collect();
         let a: Vec<f32> = (0..m * k)
-            .map(|i| (((i as u64 * 31 + seed) * 48271 % 65521) as f32 / 32760.5 - 1.0))
+            .map(|i| ((i as u64 * 31 + seed) * 48271 % 65521) as f32 / 32760.5 - 1.0)
             .collect();
         let q = quantized(&w, k, n, QuantFormat::E2M1, 32);
         let mut out = vec![0f32; m * n];
@@ -51,7 +51,7 @@ proptest! {
             .map(|i| (((i as u64 * 7 + seed) * 2654435761 % 1009) as f32 / 504.5 - 1.0) * 0.5)
             .collect();
         let a: Vec<f32> = (0..m * k)
-            .map(|i| (((i as u64 * 13 + seed) * 48271 % 65521) as f32 / 32760.5 - 1.0))
+            .map(|i| ((i as u64 * 13 + seed) * 48271 % 65521) as f32 / 32760.5 - 1.0)
             .collect();
         let q = quantized(&w, k, n, QuantFormat::E2M1, 64);
         let wq = q.dequant_all();
@@ -131,7 +131,7 @@ proptest! {
         let fmt = [QuantFormat::E1M2, QuantFormat::E2M1, QuantFormat::E3M0, QuantFormat::INT4][fmt_idx];
         let (k, n) = (32usize, 4usize);
         let w: Vec<f32> = (0..k * n)
-            .map(|i| (((i as u64 + seed * 11) * 2654435761 % 997) as f32 / 498.5 - 1.0))
+            .map(|i| ((i as u64 + seed * 11) * 2654435761 % 997) as f32 / 498.5 - 1.0)
             .collect();
         let q = quantized(&w, k, n, fmt, 32);
         // Worst-case relative-to-group-max error per format.

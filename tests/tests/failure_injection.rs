@@ -5,7 +5,7 @@
 //! valid shapes.
 
 use axcore::engines::{
-    AxCoreEngine, ExactEngine, FignaEngine, FpmaEngine, GemmEngine, TenderEngine,
+    AxCoreEngine, ExactEngine, FpmaEngine, GemmEngine, TenderEngine,
 };
 use axcore_quant::{GroupQuantizer, QuantFormat};
 use axcore_softfloat::{FP16, FP4_E2M1};
@@ -161,7 +161,7 @@ fn shape_validation_panics_are_clean() {
     let q = fp4_weights(32, 4);
     let result = std::panic::catch_unwind(|| {
         let mut out = vec![0f32; 4];
-        AxCoreEngine::new(FP16).gemm(&vec![1.0f32; 31], 1, &q, &mut out); // wrong K
+        AxCoreEngine::new(FP16).gemm(&[1.0f32; 31], 1, &q, &mut out); // wrong K
     });
     assert!(result.is_err(), "shape mismatch must be rejected");
 }

@@ -51,7 +51,7 @@ fn mx_accuracy_cost_through_engine_is_bounded() {
     let (m, k, n) = (8, 128, 16);
     let w = weights(k, n);
     let a: Vec<f32> = (0..m * k)
-        .map(|i| ((i * 48271 % 65521) as f32 / 32760.5 - 1.0))
+        .map(|i| (i * 48271 % 65521) as f32 / 32760.5 - 1.0)
         .collect();
     let snr_of = |q: &axcore_quant::QuantizedMatrix| {
         let mut out = vec![0f32; m * n];
