@@ -1,0 +1,88 @@
+//! Criterion micro-benchmarks of the LUT execution tier's primitives
+//! against the direct per-MAC pipeline they replace:
+//!
+//! * `direct_mul` — one `MpFpma::mul` per MAC (the per-element cost of
+//!   the direct kernel's multiply stage);
+//! * `table_build` — `mul_all_codes` product tables, amortized once per
+//!   activation element over the whole code space;
+//! * `lut_gather` — pre-split [`PreparedProduct`] entries gathered by
+//!   code byte and folded with `PartialAcc::add_prepared` (the LUT
+//!   kernel's entire per-MAC cost).
+//!
+//! Per-iteration work is `K_DEPTH` MACs for the direct/gather cases and
+//! `K_DEPTH × code_space` multiplies for the build, so the build numbers
+//! show the cost a column gather must amortize.
+
+use axcore::accum::{PartialAcc, PreparedProduct};
+use axcore_fpma::MpFpma;
+use axcore_softfloat::{FpFormat, FP16, FP4_E1M2, FP4_E2M1, FP4_E3M0, FP8_E4M3};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const K_DEPTH: usize = 1024;
+
+fn acts(act: FpFormat) -> Vec<u32> {
+    (0..K_DEPTH)
+        .map(|i| act.encode((i as f64 * 0.37).sin() * 2.0 + 0.01 * i as f64))
+        .collect()
+}
+
+fn codes(space: usize) -> Vec<u8> {
+    (0..K_DEPTH).map(|i| ((i * 11 + 5) % space) as u8).collect()
+}
+
+fn bench_lut_kernels(c: &mut Criterion) {
+    for wf in [FP4_E1M2, FP4_E2M1, FP4_E3M0, FP8_E4M3] {
+        let unit = MpFpma::new(FP16, wf);
+        let cs = unit.code_space();
+        let a_bits = acts(FP16);
+        let w_codes = codes(cs);
+        let group_name = format!("lut_kernels/{}", wf.name);
+        let mut g = c.benchmark_group(&group_name);
+
+        g.bench_function("direct_mul", |b| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for (&ab, &wc) in a_bits.iter().zip(&w_codes) {
+                    acc ^= unit.mul(ab, wc as u32);
+                }
+                black_box(acc)
+            })
+        });
+
+        g.bench_function("table_build", |b| {
+            let mut tbl = vec![0u32; K_DEPTH * cs];
+            b.iter(|| {
+                for (ab, row) in a_bits.iter().zip(tbl.chunks_mut(cs)) {
+                    unit.mul_all_codes(*ab, row);
+                }
+                black_box(tbl[0])
+            })
+        });
+
+        g.bench_function("lut_gather", |b| {
+            // Pre-split products, as the AxCore LUT kernel stores them.
+            let mut tbl = vec![PreparedProduct::ZERO; K_DEPTH * cs];
+            let mut raw = vec![0u32; cs];
+            for (ab, row) in a_bits.iter().zip(tbl.chunks_mut(cs)) {
+                unit.mul_all_codes(*ab, &mut raw);
+                for (slot, &bits) in row.iter_mut().zip(&raw) {
+                    let mag = bits & FP16.magnitude_mask();
+                    *slot = PreparedProduct::new(FP16, mag, FP16.sign(bits));
+                }
+            }
+            b.iter(|| {
+                let mut pacc = PartialAcc::new(FP16);
+                for (entries, &wc) in tbl.chunks_exact(cs).zip(&w_codes) {
+                    pacc.add_prepared(entries[wc as usize & (cs - 1)]);
+                }
+                black_box(pacc.significand())
+            })
+        });
+
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_lut_kernels);
+criterion_main!(benches);

@@ -93,6 +93,57 @@ impl PartialAcc {
         }
     }
 
+    /// Add a product pre-split into `(exponent, increment)` form — the
+    /// LUT-tier fast path. Bit-identical to
+    /// [`add_product`](Self::add_product) on the `(mag, sign)` pair the
+    /// entry was [prepared](PreparedProduct::new) from, but without the
+    /// per-MAC field extraction.
+    #[inline]
+    pub fn add_prepared(&mut self, p: PreparedProduct) {
+        if self.sig == 0 {
+            // Covers both the fresh/cancelled accumulator (re-anchor on
+            // the incoming exponent) and the no-op zero entry.
+            if p.inc != 0 {
+                self.exp = p.exp;
+                self.sig = p.inc;
+            }
+            return;
+        }
+        // Branchless form of `add_product`'s alignment: both shift
+        // distances are measured from the max anchor (at most one is
+        // non-zero), so this computes the same larger-anchor result
+        // without a data-dependent branch in the MAC loop. Zero entries
+        // carry `exp == 0`, below any live anchor (biased exponents are
+        // ≥ 1), so they fall through as `sig += 0 >> d` — a no-op,
+        // exactly like `add_product(0, _)`.
+        let anchor = self.exp.max(p.exp);
+        let d_acc = (anchor - self.exp).min(63) as u32;
+        let d_inc = (anchor - p.exp).min(63) as u32;
+        self.sig = (self.sig >> d_acc) + (p.inc >> d_inc);
+        self.exp = anchor;
+    }
+
+    /// [`add_prepared`](Self::add_prepared) without the shift-distance
+    /// saturation — bit-identical whenever every anchor/entry exponent
+    /// gap is under 64, i.e. whenever the result format's biased
+    /// exponent field fits in 6 bits. Callers gate on
+    /// `FpFormat::max_exp_field() < 64` (true for FP16 and narrower);
+    /// the two dropped clamps matter in the LUT gather's MAC loop.
+    #[inline]
+    pub fn add_prepared_unclamped(&mut self, p: PreparedProduct) {
+        if self.sig == 0 {
+            if p.inc != 0 {
+                self.exp = p.exp;
+                self.sig = p.inc;
+            }
+            return;
+        }
+        let anchor = self.exp.max(p.exp);
+        debug_assert!(anchor - self.exp < 64 && anchor - p.exp < 64);
+        self.sig = (self.sig >> (anchor - self.exp)) + (p.inc >> (anchor - p.exp));
+        self.exp = anchor;
+    }
+
     /// Merge another partial accumulator (used when chaining systolic
     /// passes whose group spans several array loads).
     pub fn merge(&mut self, other: &PartialAcc) {
@@ -120,6 +171,50 @@ impl PartialAcc {
             return 0.0;
         }
         self.sig as f64 * 2f64.powi(self.exp - act.bias() - self.frac_bits as i32)
+    }
+}
+
+/// A product pre-split into the partial adder's internal operands: the
+/// biased anchor exponent and the signed fixed-point significand
+/// increment. The LUT execution tier stores one of these per
+/// (activation element, weight code), so the gather loop's accumulate
+/// skips the exponent/mantissa extraction [`PartialAcc::add_product`]
+/// performs per MAC.
+///
+/// `inc == 0` encodes "no contribution" (Guard zero or underflow flush);
+/// [`PartialAcc::add_prepared`] treats it as the same no-op that
+/// `add_product` applies to `mag == 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PreparedProduct {
+    /// Biased result exponent — the accumulator alignment anchor.
+    pub exp: i32,
+    /// Signed significand increment with `man_bits + 2` fraction bits.
+    pub inc: i64,
+}
+
+impl PreparedProduct {
+    /// The no-contribution entry (Guard zero / underflow flush).
+    pub const ZERO: PreparedProduct = PreparedProduct { exp: 0, inc: 0 };
+
+    /// Pre-split a normal product magnitude + sign for accumulation in
+    /// `act`: exactly the `(exponent, increment)` pair
+    /// [`PartialAcc::add_product`] derives per MAC.
+    #[inline]
+    pub fn new(act: FpFormat, mag: u32, sign: bool) -> Self {
+        if mag == 0 {
+            return PreparedProduct::ZERO;
+        }
+        let man_bits = act.man_bits;
+        let er = (mag >> man_bits) as i32;
+        debug_assert!(er >= 1, "subnormal product prepared for the partial adder");
+        let man = mag & ((1u32 << man_bits) - 1);
+        // Significand 1.M with man_bits + 2 fraction bits (2 guard LSBs),
+        // matching `PartialAcc::add_product`.
+        let mut inc = (((1u64 << man_bits) | man as u64) << 2) as i64;
+        if sign {
+            inc = -inc;
+        }
+        PreparedProduct { exp: er, inc }
     }
 }
 
@@ -290,6 +385,30 @@ mod tests {
         let direct = acc_of(&[1.5, -0.75, 32.0, 0.125, 4.0]);
         let n = NormUnit::new(FP16);
         assert_eq!(n.normalize(&a), n.normalize(&direct));
+    }
+
+    #[test]
+    fn add_prepared_equals_add_product() {
+        // The LUT tier's pre-split entries must drive the accumulator
+        // through the exact same state sequence as the per-MAC path, for
+        // magnitudes spanning the full exponent range and both signs.
+        let mags: Vec<(u32, bool)> = (0..200u32)
+            .map(|i| {
+                let e = 1 + (i * 7) % (FP16.max_exp_field() - 1);
+                let m = (i * 397) & FP16.man_mask();
+                (FP16.compose(false, e, m), i % 3 == 0)
+            })
+            .chain([(0u32, false), (0u32, true)]) // guard-zero entries
+            .collect();
+        let mut direct = PartialAcc::new(FP16);
+        let mut prepared = PartialAcc::new(FP16);
+        for &(mag, sign) in &mags {
+            direct.add_product(mag, sign);
+            prepared.add_prepared(PreparedProduct::new(FP16, mag, sign));
+            assert_eq!(direct, prepared, "diverged at mag {mag:#06x} sign {sign}");
+        }
+        let n = NormUnit::new(FP16);
+        assert_eq!(n.normalize(&direct), n.normalize(&prepared));
     }
 
     #[test]

@@ -3,16 +3,25 @@
 //! add + Guard + partial FP adder) → shared Norm → AxScale → FP32
 //! accumulator (Fig. 8).
 
-use crate::accum::{NormUnit, PartialAcc};
+use crate::accum::{NormUnit, PartialAcc, PreparedProduct};
 use crate::axscale::AxScale;
-use crate::engines::prepared::{check_prepared_shapes, drive};
-use crate::engines::{check_shapes, GemmEngine, PreparedGemm};
+use crate::engines::prepared::{check_prepared_shapes, drive, drive_lut};
+use crate::engines::{check_shapes, lut, GemmEngine, PreparedGemm};
 use crate::pe::{Pe, WeightLane};
 use crate::preadd::{PreAdd, PreAddTerm};
 use axcore_fpma::snc::SncPolicy;
 use axcore_fpma::MpFpma;
-use axcore_quant::{QuantFormat, QuantizedMatrix};
+use axcore_quant::{CodePlanes, QuantFormat, QuantizedMatrix};
 use axcore_softfloat::FpFormat;
+
+/// Stand-in addend for a [`WeightLane`] variant whose product is zero
+/// (Guard zero / SNC tie rounding a subnormal away): so negative that
+/// `t + addend` always lands below the clamp's first normal binade, which
+/// flushes the magnitude — and with it the table entry — to zero without
+/// a per-code branch in the LUT build. PreAdd terms are at most a few
+/// magnitude-mask widths (≪ 2⁶⁰), so the sum can neither overflow nor
+/// come back positive.
+const ZERO_ADDEND: i64 = i64::MIN / 4;
 
 /// Datapath configuration, covering the paper's ablation ladder.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -203,6 +212,46 @@ impl AxCoreEngine {
             }
         }
 
+        // LUT-tier state (§: Execution model / LUT tier): per-unit code
+        // spaces, flattened SNC lane constants over each unit's whole
+        // code space, the per-column code planes the gather walks, and a
+        // per-group bitmask of the units its blocks select (also used by
+        // the direct path's term fill).
+        //
+        // The lane constants are stored as straight-line-math operands so
+        // the table build needs no per-code branches: `code_addends`
+        // holds each [`WeightLane`] tie variant's integer addend
+        // (`[unit][variant][code]`), with zero variants replaced by
+        // [`ZERO_ADDEND`] — so negative the clamp is guaranteed to flush
+        // the product; `code_signs` holds the weight sign as an all-ones
+        // XOR/subtract mask.
+        let unit_cs: Vec<usize> = units.iter().map(|(u, _)| u.code_space()).collect();
+        let code_space = unit_cs.iter().copied().max().unwrap_or(0);
+        let mut code_addends = Vec::with_capacity(units.len() * 2 * code_space);
+        let mut code_signs = Vec::with_capacity(units.len() * code_space);
+        for ((u, _), &ucs) in units.iter().zip(&unit_cs) {
+            // Codes at or above a unit's own space are never emitted for
+            // its blocks; pad those slots with the zero code.
+            let lanes: Vec<WeightLane> = (0..code_space)
+                .map(|code| WeightLane::new(u, if code < ucs { code as u8 } else { 0 }))
+                .collect();
+            for lane in &lanes {
+                code_addends.push(if lane.zero_down { ZERO_ADDEND } else { lane.addend_down });
+            }
+            for lane in &lanes {
+                code_addends.push(if lane.zero_up { ZERO_ADDEND } else { lane.addend_up });
+            }
+            code_signs.extend(lanes.iter().map(|lane| -(lane.sign as i64)));
+        }
+        assert!(units.len() <= 32, "group unit mask is a u32");
+        let groups = w.num_groups();
+        let mut group_unit_masks = vec![0u32; groups];
+        for g in 0..groups {
+            for bc in 0..nbc {
+                group_unit_masks[g] |= 1 << block_unit[g * nbc + bc];
+            }
+        }
+
         // Decoded scale values for the exact-dequant ablation path.
         let scale_vals = w
             .scales
@@ -223,6 +272,12 @@ impl AxCoreEngine {
             units,
             block_unit,
             lanes,
+            code_addends,
+            code_signs,
+            unit_cs,
+            code_space,
+            planes: CodePlanes::new(w),
+            group_unit_masks,
             scales: w.scales.clone(),
             scale_vals,
             k: w.k,
@@ -249,6 +304,20 @@ pub struct AxCorePrepared {
     block_unit: Vec<u16>,
     /// Decoded weight lanes, column-major (`col * k + k`).
     lanes: Vec<WeightLane>,
+    /// Lane addends flattened for the LUT build, laid out
+    /// `(unit * 2 + variant) * code_space + code` with variant 0 = SNC
+    /// ties down, 1 = ties up; zero variants hold [`ZERO_ADDEND`].
+    code_addends: Vec<i64>,
+    /// Weight sign per (unit, code) as a 0 / −1 mask.
+    code_signs: Vec<i64>,
+    /// Each unit's own code space (`2^code_bits` of its weight format).
+    unit_cs: Vec<usize>,
+    /// Table stride per activation element: the widest unit code space.
+    code_space: usize,
+    /// Per-column contiguous code planes for the LUT gather.
+    planes: CodePlanes,
+    /// Bit `u` set ⇔ some block column of group `g` uses unit `u`.
+    group_unit_masks: Vec<u32>,
     /// Raw FP16 scale bits per (group, column).
     scales: Vec<u16>,
     /// Decoded scales (exact-dequant ablation path only).
@@ -259,11 +328,30 @@ pub struct AxCorePrepared {
     block_cols: usize,
 }
 
-/// Per-worker scratch: the current row's encoded activations and its
-/// precomputed PreAdd terms, one run per mpFPMA unit.
+/// Per-worker scratch for the direct path: the current row's encoded
+/// activation bits and its precomputed PreAdd terms, one run per unit.
 struct AxScratch {
     row: usize,
+    bits: Vec<u32>,
     terms: Vec<PreAddTerm>,
+}
+
+/// Per-worker LUT-tier table: encoded activation bits plus one pre-split
+/// product per (unit, activation element, weight code), laid out
+/// `(unit * k + kk) * code_space + code`. Each entry packs
+/// [`PreparedProduct`] into a single word — `exp` in the high 32 bits,
+/// `inc` in the low 32 (it fits: `|inc| < 2^(man_bits + 3)` and every
+/// activation format has `man_bits ≤ 28`) — so the gather issues one
+/// 8-byte load per MAC and a group's live segments stay L1-resident.
+struct AxLutTable {
+    bits: Vec<u32>,
+    tbl: Vec<i64>,
+}
+
+/// Unpack one packed LUT entry back into the partial adder's operands.
+#[inline(always)]
+fn unpack_entry(e: i64) -> PreparedProduct {
+    PreparedProduct { exp: (e >> 32) as i32, inc: e as i32 as i64 }
 }
 
 impl PreparedGemm for AxCorePrepared {
@@ -277,6 +365,19 @@ impl PreparedGemm for AxCorePrepared {
 
     fn gemm(&self, a: &[f32], m: usize, out: &mut [f32]) {
         check_prepared_shapes(a, m, self.k, self.n, out);
+        // Per-element table width: every unit × its padded code space.
+        if lut::use_lut(self.n, self.units.len() * self.code_space) {
+            self.gemm_lut(a, m, out);
+        } else {
+            self.gemm_direct(a, m, out);
+        }
+    }
+}
+
+impl AxCorePrepared {
+    /// Direct per-MAC path: every (element, column) product runs the
+    /// PreAdd → PE pipeline against the element's stationary lane.
+    fn gemm_direct(&self, a: &[f32], m: usize, out: &mut [f32]) {
         let (k, n) = (self.k, self.n);
         let gs = self.group_size;
         let groups = k / gs;
@@ -284,16 +385,28 @@ impl PreparedGemm for AxCorePrepared {
         let zero_term = PreAddTerm { t: 0, sign: false, zero: true, stochastic_bit: false };
         let mk_scratch = || AxScratch {
             row: usize::MAX,
+            bits: vec![0u32; k],
             terms: vec![zero_term; self.units.len() * k],
         };
         drive(m, k, n, out, mk_scratch, |s: &mut AxScratch, i, col0, cols| {
             if s.row != i {
-                // Encode the activation row once and advance it through
-                // every unit's PreAdd once — not once per output column.
+                // Encode the activation row once, then advance each group
+                // slice through the PreAdds of only the units that group's
+                // block columns select (the per-group unit mask) — not
+                // every unit per element. Terms for units a group never
+                // uses stay stale and are never read below.
                 for (kk, &av) in a[i * k..(i + 1) * k].iter().enumerate() {
-                    let bits = self.act.encode(av as f64);
-                    for (u, (_, preadd)) in self.units.iter().enumerate() {
-                        s.terms[u * k + kk] = preadd.term(bits);
+                    s.bits[kk] = self.act.encode(av as f64);
+                }
+                for g in 0..groups {
+                    let mut mask = self.group_unit_masks[g];
+                    while mask != 0 {
+                        let u = mask.trailing_zeros() as usize;
+                        mask &= mask - 1;
+                        let preadd = &self.units[u].1;
+                        for kk in g * gs..(g + 1) * gs {
+                            s.terms[u * k + kk] = preadd.term(s.bits[kk]);
+                        }
                     }
                 }
                 s.row = i;
@@ -330,6 +443,199 @@ impl PreparedGemm for AxCorePrepared {
                 *o = acc_out;
             }
         });
+    }
+
+    /// LUT-tier path: per activation element, push the product against
+    /// *every* weight code through the PreAdd → PE pipeline once, store
+    /// it pre-split for the partial adder, and turn the column loop into
+    /// a code-plane gather. Entries come from the same units and lane
+    /// constants as the direct path and the gather accumulates in the
+    /// same ascending-k order per group, so results are bit-identical by
+    /// construction.
+    fn gemm_lut(&self, a: &[f32], m: usize, out: &mut [f32]) {
+        let (k, n) = (self.k, self.n);
+        let gs = self.group_size;
+        let groups = k / gs;
+        let cs = self.code_space;
+        let nu = self.units.len();
+        // The PE's clamp bounds in the activation's integer domain.
+        let min_normal = 1i64 << self.act.man_bits;
+        let max_mag =
+            ((self.act.max_exp_field() as i64) << self.act.man_bits) | self.act.man_mask() as i64;
+        let man_bits = self.act.man_bits;
+        let man_mask = self.act.man_mask() as i64;
+        let mk_table = || AxLutTable {
+            bits: vec![0u32; k],
+            tbl: vec![0i64; nu * k * cs],
+        };
+        let build = |t: &mut AxLutTable, i: usize| {
+            for (kk, &av) in a[i * k..(i + 1) * k].iter().enumerate() {
+                t.bits[kk] = self.act.encode(av as f64);
+            }
+            for g in 0..groups {
+                let mut mask = self.group_unit_masks[g];
+                while mask != 0 {
+                    let u = mask.trailing_zeros() as usize;
+                    mask &= mask - 1;
+                    let preadd = &self.units[u].1;
+                    let ucs = self.unit_cs[u];
+                    let signs = &self.code_signs[u * cs..u * cs + ucs];
+                    for kk in g * gs..(g + 1) * gs {
+                        let term = preadd.term(t.bits[kk]);
+                        let base = (u * k + kk) * cs;
+                        let row = &mut t.tbl[base..base + ucs];
+                        if term.zero {
+                            // Guard zero: every code's product is zero.
+                            row.fill(0);
+                            continue;
+                        }
+                        // Tie variant selected once per element by the
+                        // activation's stochastic bit, as in the PE.
+                        let v = (u * 2 + term.stochastic_bit as usize) * cs;
+                        let addends = &self.code_addends[v..v + ucs];
+                        let tsign = -(term.sign as i64);
+                        // Straight-line clamp + split per code: exactly
+                        // `Pe::multiply` + `PreparedProduct::new`, with
+                        // zero products falling out of the clamp (the
+                        // `nz` mask) instead of branching.
+                        for ((slot, &addend), &wsign) in
+                            row.iter_mut().zip(addends).zip(signs)
+                        {
+                            let r = (term.t + addend).min(max_mag);
+                            let mag = if r < min_normal { 0 } else { r };
+                            let nz = -((mag != 0) as i64);
+                            let s = tsign ^ wsign;
+                            let val = ((mag & man_mask) | min_normal) << 2;
+                            let inc = ((val ^ s) - s) & nz;
+                            *slot = ((mag >> man_bits) << 32) | (inc & 0xFFFF_FFFF);
+                        }
+                    }
+                }
+            }
+        };
+        // The gather is instantiated with the unclamped partial adder
+        // whenever the activation format's exponent gaps are provably
+        // under 64 (FP16 and narrower), and with the saturating one
+        // otherwise — bit-identical either way.
+        if self.act.max_exp_field() < 64 {
+            let gather = |t: &AxLutTable, _i: usize, col0: usize, cols: &mut [f32]| {
+                self.lut_gather_cols(t, col0, cols, |acc, e| {
+                    acc.add_prepared_unclamped(unpack_entry(e))
+                });
+            };
+            drive_lut(m, k, n, out, mk_table, build, gather);
+        } else {
+            let gather = |t: &AxLutTable, _i: usize, col0: usize, cols: &mut [f32]| {
+                self.lut_gather_cols(t, col0, cols, |acc, e| acc.add_prepared(unpack_entry(e)));
+            };
+            drive_lut(m, k, n, out, mk_table, build, gather);
+        }
+    }
+
+    /// One LUT-tier column-tile gather: fold every group's table
+    /// segments into `cols`, in the direct path's exact accumulation
+    /// order. `add` folds one packed table entry into a partial
+    /// accumulator.
+    ///
+    /// Group-major sweep: for one group at a time, only that group's
+    /// table segments (one per unit its blocks use) are live, so they
+    /// stay cache-hot across the whole column pass. Column outputs
+    /// accumulate group partials in ascending-g order, same as the
+    /// direct path's inner loop.
+    ///
+    /// Columns are walked four at a time: the partial adder is a short
+    /// serial dependency chain, so interleaving independent per-column
+    /// accumulators lets the core overlap the chains. Each column still
+    /// folds its group's entries in ascending-k order, so the interleave
+    /// does not change any result bit.
+    fn lut_gather_cols(
+        &self,
+        t: &AxLutTable,
+        col0: usize,
+        cols: &mut [f32],
+        add: impl Fn(&mut PartialAcc, i64) + Copy,
+    ) {
+        const LANES: usize = 4;
+        let (k, n) = (self.k, self.n);
+        let gs = self.group_size;
+        let groups = k / gs;
+        let nbc = n / self.block_cols;
+        let cs = self.code_space;
+        let finish = |pacc: &PartialAcc, g: usize, col: usize| -> f32 {
+            let o_bits = self.norm.normalize(pacc);
+            let scaled = if self.fpma_dequant {
+                self.act.decode(self.axscale.apply(o_bits, self.scales[g * n + col]))
+            } else {
+                self.act.decode(o_bits) * self.scale_vals[g * n + col]
+            };
+            scaled as f32
+        };
+        let seg_of = |g: usize, col: usize| {
+            let u = self.block_unit[g * nbc + col / self.block_cols] as usize;
+            let r = (u * k + g * gs) * cs..(u * k + (g + 1) * gs) * cs;
+            (&t.tbl[r], &self.planes.col(col)[g * gs..(g + 1) * gs])
+        };
+        cols.fill(0.0);
+        for g in 0..groups {
+            let mut j = 0;
+            while j + LANES <= cols.len() {
+                let (es0, cd0) = seg_of(g, col0 + j);
+                let (es1, cd1) = seg_of(g, col0 + j + 1);
+                let (es2, cd2) = seg_of(g, col0 + j + 2);
+                let (es3, cd3) = seg_of(g, col0 + j + 3);
+                // Named accumulators (not an array) so each lane's
+                // `(sig, exp)` pair stays in registers across the whole
+                // k-loop; `chunks_exact` rows indexed by the masked code
+                // keep every access provably in bounds.
+                let mut a0 = PartialAcc::new(self.act);
+                let mut a1 = PartialAcc::new(self.act);
+                let mut a2 = PartialAcc::new(self.act);
+                let mut a3 = PartialAcc::new(self.act);
+                // Two k-steps per iteration: per-lane order is still
+                // ascending k, the unroll just halves the iterator
+                // bookkeeping per MAC.
+                let pair = 2 * cs;
+                let it01 = es0
+                    .chunks_exact(pair)
+                    .zip(cd0.chunks_exact(2))
+                    .zip(es1.chunks_exact(pair).zip(cd1.chunks_exact(2)));
+                let it23 = es2
+                    .chunks_exact(pair)
+                    .zip(cd2.chunks_exact(2))
+                    .zip(es3.chunks_exact(pair).zip(cd3.chunks_exact(2)));
+                for (((r0, c0), (r1, c1)), ((r2, c2), (r3, c3))) in it01.zip(it23) {
+                    add(&mut a0, r0[c0[0] as usize & (cs - 1)]);
+                    add(&mut a1, r1[c1[0] as usize & (cs - 1)]);
+                    add(&mut a2, r2[c2[0] as usize & (cs - 1)]);
+                    add(&mut a3, r3[c3[0] as usize & (cs - 1)]);
+                    add(&mut a0, r0[cs + (c0[1] as usize & (cs - 1))]);
+                    add(&mut a1, r1[cs + (c1[1] as usize & (cs - 1))]);
+                    add(&mut a2, r2[cs + (c2[1] as usize & (cs - 1))]);
+                    add(&mut a3, r3[cs + (c3[1] as usize & (cs - 1))]);
+                }
+                if gs % 2 == 1 {
+                    // Odd group depth: one trailing k-step per lane.
+                    let off = (gs - 1) * cs;
+                    add(&mut a0, es0[off + (cd0[gs - 1] as usize & (cs - 1))]);
+                    add(&mut a1, es1[off + (cd1[gs - 1] as usize & (cs - 1))]);
+                    add(&mut a2, es2[off + (cd2[gs - 1] as usize & (cs - 1))]);
+                    add(&mut a3, es3[off + (cd3[gs - 1] as usize & (cs - 1))]);
+                }
+                for (l, acc) in [a0, a1, a2, a3].iter().enumerate() {
+                    cols[j + l] += finish(acc, g, col0 + j + l);
+                }
+                j += LANES;
+            }
+            // Remainder columns (< LANES) run the scalar chain.
+            for (jj, o) in cols.iter_mut().enumerate().skip(j) {
+                let (es, cd) = seg_of(g, col0 + jj);
+                let mut pacc = PartialAcc::new(self.act);
+                for (row, &c) in es.chunks_exact(cs).zip(cd) {
+                    add(&mut pacc, row[c as usize & (cs - 1)]);
+                }
+                *o += finish(&pacc, g, col0 + jj);
+            }
+        }
     }
 }
 
@@ -481,6 +787,26 @@ mod tests {
             let rel = (o2[j] - 2.0 * o1[j]).abs() / o1[j].abs().max(1e-6);
             assert!(rel < 1e-3, "col {j}: {} vs 2×{}", o2[j], o1[j]);
         }
+    }
+
+    #[test]
+    fn lut_tier_is_bit_identical_to_direct() {
+        use crate::engines::{with_lut_policy, LutPolicy};
+        // Adaptive FP4 mixes per-block formats, so the LUT table spans
+        // several units with distinct code spaces and tie behaviour.
+        let (m, k, n) = (3, 128, 16);
+        let q = GroupQuantizer::adaptive_fp4(64, 4, None).quantize(&toy_weights(k, n), k, n);
+        let mut a = toy_acts(m, k);
+        a[5] = 0.0; // Guard-zero activations must hit the table fill path
+        a[k + 9] = 6.1e-5; // FP16 subnormal range
+        let p = AxCoreEngine::new(FP16).preload(&q);
+        let (mut direct, mut via_lut) = (vec![0f32; m * n], vec![0f32; m * n]);
+        with_lut_policy(LutPolicy::Never, || p.gemm(&a, m, &mut direct));
+        with_lut_policy(LutPolicy::Always, || p.gemm(&a, m, &mut via_lut));
+        assert_eq!(
+            direct.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            via_lut.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        );
     }
 
     #[test]

@@ -7,11 +7,12 @@
 //! paper describes for its FPMA baseline. No subnormal handling, no
 //! compensation.
 
-use crate::engines::prepared::{check_prepared_shapes, drive};
-use crate::engines::{check_shapes, GemmEngine, PreparedGemm};
+use crate::engines::prepared::{check_prepared_shapes, drive, drive_lut};
+use crate::engines::{check_shapes, lut, GemmEngine, PreparedGemm};
 use axcore_fpma::uniform::fpma_mul;
 use axcore_quant::QuantizedMatrix;
 use axcore_softfloat::{FpFormat, FP32};
+use std::collections::HashMap;
 
 /// Uniform-precision FPMA GEMM core.
 #[derive(Debug, Clone, Copy)]
@@ -56,12 +57,30 @@ impl FpmaEngine {
                 wr[c * w.k + k] = act.encode(w.dequant(k, c));
             }
         }
+        // LUT-tier palette: scales are baked into the dequantized bit
+        // patterns, so the table cannot key on raw codes — but group
+        // quantization reuses scale values heavily, so the set of
+        // *distinct* patterns stays small. Dedup it and keep a per-element
+        // palette index alongside the patterns.
+        let mut palette: Vec<u32> = Vec::new();
+        let mut seen: HashMap<u32, u32> = HashMap::new();
+        let pidx = wr
+            .iter()
+            .map(|&bits| {
+                *seen.entry(bits).or_insert_with(|| {
+                    palette.push(bits);
+                    palette.len() as u32 - 1
+                })
+            })
+            .collect();
         FpmaPrepared {
             act,
             // Accumulation format: FP16/BF16 activations use same-width
             // adders, FP32 activations use FP32 adders (paper §6.1.3).
             acc_fmt: if act == FP32 { FP32 } else { act },
             wr,
+            palette,
+            pidx,
             k: w.k,
             n: w.n,
         }
@@ -69,12 +88,16 @@ impl FpmaEngine {
 }
 
 /// FPMA-engine prepared weights: activation-format bit patterns of the
-/// dequantized matrix.
+/// dequantized matrix, plus their deduplicated palette for the LUT tier.
 #[derive(Debug)]
 pub struct FpmaPrepared {
     act: FpFormat,
     acc_fmt: FpFormat,
     wr: Vec<u32>,
+    /// Distinct dequantized bit patterns.
+    palette: Vec<u32>,
+    /// Palette index per element, same column-major layout as `wr`.
+    pidx: Vec<u32>,
     k: usize,
     n: usize,
 }
@@ -82,6 +105,13 @@ pub struct FpmaPrepared {
 struct FpmaScratch {
     row: usize,
     arow: Vec<u32>,
+}
+
+/// LUT-tier table: the encoded activation row and one product per
+/// (activation element, palette entry), laid out `kk * palette_len + p`.
+struct FpmaLutTable {
+    arow: Vec<u32>,
+    tbl: Vec<u32>,
 }
 
 impl PreparedGemm for FpmaPrepared {
@@ -95,6 +125,16 @@ impl PreparedGemm for FpmaPrepared {
 
     fn gemm(&self, a: &[f32], m: usize, out: &mut [f32]) {
         check_prepared_shapes(a, m, self.k, self.n, out);
+        if lut::use_lut(self.n, self.palette.len()) {
+            self.gemm_lut(a, m, out);
+        } else {
+            self.gemm_direct(a, m, out);
+        }
+    }
+}
+
+impl FpmaPrepared {
+    fn gemm_direct(&self, a: &[f32], m: usize, out: &mut [f32]) {
         let (k, n) = (self.k, self.n);
         let mk = || FpmaScratch { row: usize::MAX, arow: vec![0u32; k] };
         drive(m, k, n, out, mk, |s: &mut FpmaScratch, i, col0, cols| {
@@ -119,6 +159,41 @@ impl PreparedGemm for FpmaPrepared {
                 *o = self.acc_fmt.decode(acc_bits) as f32;
             }
         });
+    }
+
+    /// LUT-tier path: one `fpma_mul` per (element, distinct weight
+    /// pattern) instead of per (element, column); the column loop gathers
+    /// products by palette index and runs the identical format-width add
+    /// chain, so results are bit-identical to the direct path.
+    fn gemm_lut(&self, a: &[f32], m: usize, out: &mut [f32]) {
+        let (k, n) = (self.k, self.n);
+        let np = self.palette.len();
+        let mk_table = || FpmaLutTable { arow: vec![0u32; k], tbl: vec![0u32; k * np] };
+        let build = |t: &mut FpmaLutTable, i: usize| {
+            for (kk, &av) in a[i * k..(i + 1) * k].iter().enumerate() {
+                t.arow[kk] = self.act.encode(av as f64);
+            }
+            for (kk, &ab) in t.arow.iter().enumerate() {
+                let row = &mut t.tbl[kk * np..(kk + 1) * np];
+                for (slot, &wv) in row.iter_mut().zip(&self.palette) {
+                    *slot = fpma_mul(self.act, ab, wv, 0);
+                }
+            }
+        };
+        let gather = |t: &FpmaLutTable, _i: usize, col0: usize, cols: &mut [f32]| {
+            for (j, o) in cols.iter_mut().enumerate() {
+                let c = col0 + j;
+                let idxs = &self.pidx[c * k..(c + 1) * k];
+                let mut acc_bits = self.acc_fmt.encode(0.0);
+                for (kk, &p) in idxs.iter().enumerate() {
+                    let prod = t.tbl[kk * np + p as usize];
+                    let sum = self.acc_fmt.decode(acc_bits) + self.act.decode(prod);
+                    acc_bits = self.acc_fmt.encode(sum);
+                }
+                *o = self.acc_fmt.decode(acc_bits) as f32;
+            }
+        };
+        drive_lut(m, k, n, out, mk_table, build, gather);
     }
 }
 
@@ -146,6 +221,27 @@ mod tests {
         }
         // And it is *not* exact (the approximation must show).
         assert!(o_fpma.iter().zip(&o_exact).any(|(a, b)| a != b));
+    }
+
+    #[test]
+    fn lut_tier_is_bit_identical_to_direct() {
+        use crate::engines::{with_lut_policy, LutPolicy};
+        let (m, k, n) = (2, 96, 8);
+        let w: Vec<f32> = (0..k * n)
+            .map(|i| ((i * 41 % 113) as f32 / 56.0 - 1.0) * 0.4)
+            .collect();
+        let q = GroupQuantizer::fixed(QuantFormat::E2M1, 32).quantize(&w, k, n);
+        let mut a: Vec<f32> = (0..m * k).map(|i| (i * 59 % 89) as f32 / 44.0 - 1.0).collect();
+        let mut out_d = vec![0f32; m * n];
+        let mut out_l = vec![0f32; m * n];
+        a[3] = 0.0;
+        let p = FpmaEngine::new(FP16).preload(&q);
+        with_lut_policy(LutPolicy::Never, || p.gemm(&a, m, &mut out_d));
+        with_lut_policy(LutPolicy::Always, || p.gemm(&a, m, &mut out_l));
+        assert_eq!(
+            out_d.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            out_l.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        );
     }
 
     #[test]

@@ -8,8 +8,8 @@
 //! differ in hardware cost (modelled in `axcore-hwmodel`), not numerics, so
 //! both share this implementation with different names.
 
-use crate::engines::prepared::{check_prepared_shapes, drive};
-use crate::engines::{check_shapes, GemmEngine, PreparedGemm};
+use crate::engines::prepared::{check_prepared_shapes, drive, drive_lut};
+use crate::engines::{check_shapes, lut, GemmEngine, PreparedGemm};
 use axcore_quant::{QuantFormat, QuantizedMatrix};
 use axcore_softfloat::FpFormat;
 
@@ -18,10 +18,15 @@ use axcore_softfloat::FpFormat;
 #[derive(Debug)]
 pub struct IntFpPrepared {
     act: FpFormat,
-    /// Decoded integer code per element (`k × n`, row-major).
+    /// Decoded integer code per element (`k × n`, column-major).
     dec: Vec<i32>,
     /// Decoded scale per (group, column).
     scales: Vec<f64>,
+    /// Largest *positive* decoded value over all block formats. The
+    /// two's-complement minimum is `-(vmax + 1)` (a symmetric quantizer
+    /// never emits it, but hand-built matrices may), so LUT entries
+    /// cover decoded values `-(vmax + 1) ..= vmax`.
+    vmax: i32,
     k: usize,
     n: usize,
     group_size: usize,
@@ -49,12 +54,24 @@ fn int_fp_preload(act: FpFormat, w: &QuantizedMatrix) -> IntFpPrepared {
             scales[g * w.n + c] = w.scale(g * w.group_size, c);
         }
     }
-    IntFpPrepared { act, dec, scales, k: w.k, n: w.n, group_size: w.group_size }
+    let vmax = w.formats.iter().map(|f| f.max_abs() as i32).max().unwrap_or(0);
+    IntFpPrepared { act, dec, scales, vmax, k: w.k, n: w.n, group_size: w.group_size }
 }
 
 struct IntFpScratch {
     row: usize,
     arow: Vec<f64>,
+}
+
+/// LUT-tier table: the quantized activation row and one product per
+/// (activation element, decoded code value), laid out
+/// `kk * span + (value + vmax + 1)` with `span = 2 * vmax + 2` (the
+/// extra slot is the two's-complement minimum `-(vmax + 1)`). Keying on
+/// the decoded value (not the raw code) keeps the table format-agnostic
+/// even across mixed-width blocks.
+struct IntFpLutTable {
+    arow: Vec<f64>,
+    tbl: Vec<f64>,
 }
 
 impl PreparedGemm for IntFpPrepared {
@@ -68,6 +85,17 @@ impl PreparedGemm for IntFpPrepared {
 
     fn gemm(&self, a: &[f32], m: usize, out: &mut [f32]) {
         check_prepared_shapes(a, m, self.k, self.n, out);
+        let span = 2 * self.vmax as usize + 2;
+        if lut::use_lut(self.n, span) {
+            self.gemm_lut(a, m, out);
+        } else {
+            self.gemm_direct(a, m, out);
+        }
+    }
+}
+
+impl IntFpPrepared {
+    fn gemm_direct(&self, a: &[f32], m: usize, out: &mut [f32]) {
         let (k, n) = (self.k, self.n);
         let gs = self.group_size;
         let groups = k / gs;
@@ -97,6 +125,48 @@ impl PreparedGemm for IntFpPrepared {
                 *o = acc;
             }
         });
+    }
+
+    /// LUT-tier path: one multiply per (element, decoded code value)
+    /// instead of per (element, column). The gathered entries are the
+    /// exact `f64` products the direct path multiplies out, added in the
+    /// same order, so results are bit-identical.
+    fn gemm_lut(&self, a: &[f32], m: usize, out: &mut [f32]) {
+        let (k, n) = (self.k, self.n);
+        let gs = self.group_size;
+        let groups = k / gs;
+        let vmax = self.vmax;
+        let span = 2 * vmax as usize + 2;
+        let vlo = vmax + 1;
+        let mk_table = || IntFpLutTable { arow: vec![0f64; k], tbl: vec![0f64; k * span] };
+        let build = |t: &mut IntFpLutTable, i: usize| {
+            for (kk, &av) in a[i * k..(i + 1) * k].iter().enumerate() {
+                t.arow[kk] = self.act.quantize(av as f64);
+            }
+            for (kk, &aq) in t.arow.iter().enumerate() {
+                let row = &mut t.tbl[kk * span..(kk + 1) * span];
+                for (off, slot) in row.iter_mut().enumerate() {
+                    *slot = aq * (off as i32 - vlo) as f64;
+                }
+            }
+        };
+        let gather = |t: &IntFpLutTable, _i: usize, col0: usize, cols: &mut [f32]| {
+            for (j, o) in cols.iter_mut().enumerate() {
+                let c = col0 + j;
+                let wcol = &self.dec[c * k..(c + 1) * k];
+                let mut acc = 0f32;
+                for g in 0..groups {
+                    let rows = t.tbl[g * gs * span..(g + 1) * gs * span].chunks_exact(span);
+                    let mut group_acc = 0f64;
+                    for (row, &wv) in rows.zip(&wcol[g * gs..(g + 1) * gs]) {
+                        group_acc += row[(wv + vlo) as usize];
+                    }
+                    acc += (group_acc * self.scales[g * n + c]) as f32;
+                }
+                *o = acc;
+            }
+        };
+        drive_lut(m, k, n, out, mk_table, build, gather);
     }
 }
 
@@ -199,6 +269,28 @@ mod tests {
         FignaEngine::new(FP16).gemm(&a, m, &q, &mut o1);
         FiglutEngine::new(FP16).gemm(&a, m, &q, &mut o2);
         assert_eq!(o1, o2);
+    }
+
+    #[test]
+    fn lut_tier_is_bit_identical_to_direct() {
+        use crate::engines::{with_lut_policy, LutPolicy};
+        for fmt in [QuantFormat::INT4, QuantFormat::INT8] {
+            let (m, k, n) = (2, 64, 8);
+            let w: Vec<f32> = (0..k * n).map(|i| ((i * 91 % 181) as f32 / 90.0 - 1.0) * 0.3).collect();
+            let q = GroupQuantizer::fixed(fmt, 32).quantize(&w, k, n);
+            let mut a: Vec<f32> = (0..m * k).map(|i| (i * 47 % 71) as f32 / 35.0 - 1.0).collect();
+            a[7] = 0.0;
+            let p = int_fp_preload(FP16, &q);
+            let mut out_d = vec![0f32; m * n];
+            let mut out_l = vec![0f32; m * n];
+            with_lut_policy(LutPolicy::Never, || p.gemm(&a, m, &mut out_d));
+            with_lut_policy(LutPolicy::Always, || p.gemm(&a, m, &mut out_l));
+            assert_eq!(
+                out_d.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                out_l.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{fmt}"
+            );
+        }
     }
 
     #[test]

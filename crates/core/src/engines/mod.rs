@@ -15,6 +15,7 @@ mod axcore;
 mod exact;
 mod fpma;
 mod int_fp;
+mod lut;
 mod prepared;
 mod tender;
 
@@ -22,6 +23,7 @@ pub use axcore::{AxCoreConfig, AxCoreEngine};
 pub use exact::ExactEngine;
 pub use fpma::FpmaEngine;
 pub use int_fp::{FignaEngine, FiglutEngine};
+pub use lut::{current_lut_policy, with_lut_policy, LutPolicy};
 pub use prepared::{FallbackPrepared, PreparedGemm};
 pub use tender::TenderEngine;
 

@@ -64,6 +64,11 @@ pub(crate) fn check_prepared_shapes(a: &[f32], m: usize, k: usize, n: usize, out
     assert_eq!(out.len(), m * n, "output shape mismatch");
 }
 
+/// GEMMs below this many MACs run serially: thread spawns would dominate.
+/// The cutover is purely a scheduling decision — results are bit-identical
+/// either way.
+const MIN_PARALLEL_MACS: usize = 32 * 1024;
+
 /// Drive a per-element GEMM kernel over the output in parallel.
 ///
 /// `kernel(scratch, row, col0, cols)` fills `cols` with output columns
@@ -94,7 +99,6 @@ pub(crate) fn drive<S, MkS, F>(
     if m == 0 || n == 0 {
         return;
     }
-    const MIN_PARALLEL_MACS: usize = 32 * 1024;
     let threads = if (m * n).saturating_mul(k) < MIN_PARALLEL_MACS {
         1
     } else {
@@ -120,6 +124,72 @@ pub(crate) fn drive<S, MkS, F>(
         for (i, row_out) in out.chunks_mut(n).enumerate() {
             axcore_parallel::par_chunks_mut_with(row_out, col_tile, &mk_scratch, |s, ci, cols| {
                 kernel(s, i, ci * col_tile, cols);
+            });
+        }
+    }
+}
+
+/// Drive a LUT-tier GEMM kernel over the output in parallel.
+///
+/// Like [`drive`], but each row's work is split into a table **build**
+/// (`build(table, row)` — the per-activation-element product tables,
+/// amortized over every column of the row) and a column **gather**
+/// (`gather(table, row, col0, cols)` — pure table lookups + accumulate).
+///
+/// Tiling mirrors [`drive`], with one twist on the decode shape: with
+/// fewer rows than threads, the row table is built **once on the calling
+/// thread** and shared read-only across the column-tile workers.
+/// Duplicating the build per worker would erase the amortization the tier
+/// exists for (on the decode shape the build is a sizable fraction of one
+/// worker's gather share). With enough rows, each worker owns whole rows
+/// and builds tables in its own scratch, once per row.
+pub(crate) fn drive_lut<T, MkT, B, G>(
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+    mk_table: MkT,
+    build: B,
+    gather: G,
+) where
+    T: Send + Sync,
+    MkT: Fn() -> T + Sync,
+    B: Fn(&mut T, usize) + Sync,
+    G: Fn(&T, usize, usize, &mut [f32]) + Sync,
+{
+    if m == 0 || n == 0 {
+        return;
+    }
+    let threads = if (m * n).saturating_mul(k) < MIN_PARALLEL_MACS {
+        1
+    } else {
+        axcore_parallel::current_threads()
+    };
+    if threads <= 1 {
+        let mut table = mk_table();
+        for (i, row_out) in out.chunks_mut(n).enumerate() {
+            build(&mut table, i);
+            gather(&table, i, 0, row_out);
+        }
+    } else if m >= threads {
+        // Row-chunk split: per-worker table scratch, built once per row.
+        let rows_per = m.div_ceil(threads * 4).max(1);
+        axcore_parallel::par_chunks_mut_with(out, rows_per * n, &mk_table, |t, ci, chunk| {
+            let row0 = ci * rows_per;
+            for (r, row_out) in chunk.chunks_mut(n).enumerate() {
+                build(t, row0 + r);
+                gather(t, row0 + r, 0, row_out);
+            }
+        });
+    } else {
+        // Decode shape: shared row table, column tiles gather from it.
+        let mut table = mk_table();
+        let col_tile = n.div_ceil(threads * 4).max(1);
+        for (i, row_out) in out.chunks_mut(n).enumerate() {
+            build(&mut table, i);
+            let table_ref = &table;
+            axcore_parallel::par_chunks_mut(row_out, col_tile, |ci, cols| {
+                gather(table_ref, i, ci * col_tile, cols);
             });
         }
     }

@@ -176,6 +176,30 @@ impl MpFpma {
         (a_bits >> (self.act.man_bits - 1)) & 1 == 1
     }
 
+    /// Number of distinct weight bit codes (`2^bits`) — the width of a
+    /// LUT-tier product table over this unit's weight format.
+    #[inline]
+    pub fn code_space(&self) -> usize {
+        1usize << self.weight.total_bits()
+    }
+
+    /// Fill `out[code]` with the full-pipeline product `A × code` for
+    /// every weight code. One call per activation element amortizes the
+    /// SNC → alignment → integer-add → guard pipeline over the whole code
+    /// space; with the table built, a GEMM's inner column loop reduces to
+    /// `out[w_code]` lookups (the LUT execution tier).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than [`Self::code_space`].
+    pub fn mul_all_codes(&self, a_bits: u32, out: &mut [u32]) {
+        let cs = self.code_space();
+        assert!(out.len() >= cs, "product table shorter than the code space");
+        for (code, slot) in out[..cs].iter_mut().enumerate() {
+            *slot = self.mul(a_bits, code as u32);
+        }
+    }
+
     /// Convenience: multiply two `f64` values through the full bit-level
     /// pipeline (encode → mpFPMA → decode).
     pub fn mul_f64(&self, a: f64, w: f64) -> f64 {
@@ -344,6 +368,24 @@ mod tests {
             se_comp < se_base * 0.75,
             "compensated MSE {se_comp} not well below baseline {se_base}"
         );
+    }
+
+    #[test]
+    fn code_table_matches_per_code_mul() {
+        // The LUT-tier table must be the pipeline's own products, code for
+        // code, for every FP4 format and FP8 — including tie codes, whose
+        // result depends on the activation's stochastic bit.
+        for wf in [FP4_E1M2, FP4_E2M1, FP4_E3M0, FP8_E4M3] {
+            let unit = MpFpma::new(FP16, wf).with_snc(SncPolicy::Stochastic);
+            let mut table = vec![0u32; unit.code_space()];
+            for a in [0.0f64, 0.31, -1.7, 42.0, 6.1e-5] {
+                let a_bits = FP16.encode(a);
+                unit.mul_all_codes(a_bits, &mut table);
+                for (code, &got) in table.iter().enumerate() {
+                    assert_eq!(got, unit.mul(a_bits, code as u32), "{wf} code {code}");
+                }
+            }
+        }
     }
 
     #[test]

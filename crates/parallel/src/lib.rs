@@ -45,6 +45,22 @@ pub fn max_threads() -> usize {
     })
 }
 
+/// Thread counts worth sweeping in benchmarks: powers of two up to and
+/// always including [`max_threads`] (so `1` on a single-core runner and
+/// e.g. `1, 2, 4, 6` on a 6-way machine). Respects the `AXCORE_THREADS`
+/// override, since that caps what [`current_threads`] will ever return.
+pub fn thread_sweep() -> Vec<usize> {
+    let max = max_threads();
+    let mut counts = Vec::new();
+    let mut t = 1;
+    while t < max {
+        counts.push(t);
+        t *= 2;
+    }
+    counts.push(max);
+    counts
+}
+
 /// The thread count parallel calls on this thread will use right now:
 /// 1 inside a worker, the [`with_threads`] override if one is active,
 /// otherwise [`max_threads`].
@@ -159,6 +175,14 @@ mod tests {
             serial.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
             parallel.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
         );
+    }
+
+    #[test]
+    fn thread_sweep_is_increasing_and_ends_at_max() {
+        let sweep = thread_sweep();
+        assert_eq!(sweep[0], 1);
+        assert_eq!(*sweep.last().unwrap(), max_threads());
+        assert!(sweep.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

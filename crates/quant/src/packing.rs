@@ -123,6 +123,56 @@ impl PackedWeights {
     }
 }
 
+/// Column-major code planes: every weight code unpacked to one byte,
+/// laid out `codes[col * k + kk]`.
+///
+/// This is the gather-side layout of the LUT execution tier. The
+/// [`QuantizedMatrix`] stores codes row-major (`k` rows of `n` codes), so
+/// a GEMM inner loop walking one output column over `k` strides by `n`
+/// bytes per MAC; the packed image interleaves two 4-bit codes per byte,
+/// which would add a shift/mask per MAC. The plane layout makes the
+/// per-column code stream a contiguous byte read, so `table[code]`
+/// lookups are the only per-MAC work left.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodePlanes {
+    codes: Vec<u8>,
+    k: usize,
+    n: usize,
+}
+
+impl CodePlanes {
+    /// Transpose a matrix's codes into per-column planes.
+    pub fn new(q: &QuantizedMatrix) -> Self {
+        let (k, n) = (q.k, q.n);
+        let mut codes = vec![0u8; k * n];
+        for kk in 0..k {
+            let row = &q.codes[kk * n..(kk + 1) * n];
+            for (col, &c) in row.iter().enumerate() {
+                codes[col * k + kk] = c;
+            }
+        }
+        CodePlanes { codes, k, n }
+    }
+
+    /// The contiguous code plane of one output column (`k` bytes).
+    #[inline]
+    pub fn col(&self, col: usize) -> &[u8] {
+        &self.codes[col * self.k..(col + 1) * self.k]
+    }
+
+    /// Accumulation depth (bytes per plane).
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of column planes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,6 +230,20 @@ mod tests {
         let logical = q.storage_bits();
         assert!(p.total_bits() >= logical);
         assert!(p.total_bits() <= logical + 64);
+    }
+
+    #[test]
+    fn code_planes_are_transposed_codes() {
+        let q = sample(QuantFormat::E1M2);
+        let p = CodePlanes::new(&q);
+        assert_eq!((p.k(), p.n()), (q.k, q.n));
+        for col in 0..q.n {
+            let plane = p.col(col);
+            assert_eq!(plane.len(), q.k);
+            for (kk, &code) in plane.iter().enumerate() {
+                assert_eq!(code, q.code(kk, col), "({kk}, {col})");
+            }
+        }
     }
 
     #[test]
