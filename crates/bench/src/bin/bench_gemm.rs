@@ -8,7 +8,7 @@
 //!   (the shape where per-call weight preload dominates and prepared
 //!   weights pay off; wide rows use the column-tile split).
 //!
-//! Each shape runs in four configurations:
+//! Each shape runs in five configurations:
 //!
 //! * `seed_per_call` — a faithful reproduction of the engine *before* the
 //!   execution layer existed: weight lanes rebuilt every call, per-MAC
@@ -18,8 +18,18 @@
 //!   per call, but with cached PreAdd terms and flat format indices);
 //! * `parallel_prepared` — `prepare()` once, `gemm_prepared` with the
 //!   direct per-MAC kernel pinned (`LutPolicy::Never`);
-//! * `lut` — `prepare()` once, the LUT tier pinned (`LutPolicy::Always`):
-//!   per-row product tables over the weight code space, column gathers.
+//! * `lut` — `prepare()` once, the LUT tier pinned (`LutPolicy::Always`),
+//!   run exactly as every pre-runtime `BENCH_gemm.json` measured it:
+//!   scoped (per-call) thread spawns, per-call table allocation, byte
+//!   code planes;
+//! * `pooled` (decode only) — the LUT tier on the persistent-pool
+//!   runtime: parked workers, arena-recycled tables, nibble-packed SWAR
+//!   code-plane gathers. `pooled / lut` at equal thread count is the
+//!   runtime's win over the previous execution layer.
+//!
+//! A `spawn_overhead_us` entry reports the per-dispatch cost of one
+//! trivial two-chunk fan-out at two workers in each mode — the scoped
+//! number is the thread-spawn tax the pool deletes.
 //!
 //! The prepared/LUT configurations are swept over
 //! [`axcore_parallel::thread_sweep`] worker counts; `BENCH_gemm.json`
@@ -27,8 +37,9 @@
 //! (including any `AXCORE_THREADS` cap), one sweep row per count.
 //!
 //! With `AXCORE_BENCH_STRICT=1`, the binary exits non-zero if
-//! `decode_m1x64_lut` rows/s regresses more than 20% against the
-//! committed `BENCH_gemm.json` baseline (the CI regression gate).
+//! `decode_m1x64_lut` or `decode_m1x64_pooled` rows/s regresses more
+//! than 20% against the committed `BENCH_gemm.json` baseline (the CI
+//! regression gate).
 
 use axcore::accum::{NormUnit, PartialAcc};
 use axcore::axscale::AxScale;
@@ -37,6 +48,7 @@ use axcore::pe::{Pe, WeightLane};
 use axcore::preadd::PreAdd;
 use axcore_fpma::snc::SncPolicy;
 use axcore_fpma::MpFpma;
+use axcore_parallel::ExecMode;
 use axcore_quant::{GroupQuantizer, QuantFormat, QuantizedMatrix};
 use axcore_softfloat::{FpFormat, FP16};
 use std::collections::HashMap;
@@ -133,6 +145,34 @@ fn baseline_rows_per_s(text: &str, key: &str) -> Option<f64> {
     after[..end].trim().parse().ok()
 }
 
+/// Per-dispatch overhead of one `par_chunks_mut` fan-out over two chunks
+/// of trivial work at two workers, in microseconds. In `Scoped` mode
+/// every dispatch spawns and joins OS threads; in `Pooled` mode it wakes
+/// parked workers — the difference is the tax the persistent pool
+/// deletes from every parallel GEMM call.
+fn spawn_overhead_us(mode: ExecMode) -> f64 {
+    let mut buf = [0f32; 8];
+    let dispatch = |buf: &mut [f32]| {
+        axcore_parallel::par_chunks_mut(buf, 4, |ci, chunk| {
+            for v in chunk.iter_mut() {
+                *v += ci as f32 + 1.0;
+            }
+        });
+    };
+    axcore_parallel::with_threads(2, || {
+        axcore_parallel::with_exec_mode(mode, || {
+            dispatch(&mut buf); // warm the pool / fault in the machinery
+            let iters = 500;
+            let secs = time_it(3, || {
+                for _ in 0..iters {
+                    dispatch(&mut buf);
+                }
+            });
+            secs * 1e6 / iters as f64
+        })
+    })
+}
+
 /// One swept configuration's measurement.
 struct Entry {
     rows_per_s: f64,
@@ -155,16 +195,21 @@ fn main() {
         .collect();
     let q = GroupQuantizer::adaptive_fp4(64, 4, None).quantize(&w, K, N);
     let engine = AxCoreEngine::new(FP16);
+    // Legacy-faithful engine for the scoped baseline entries: byte code
+    // planes, as every pre-runtime `BENCH_gemm.json` run gathered them.
+    let legacy = AxCoreEngine::new(FP16).with_packed_planes(false);
     // The worker count actually available to the sweep, including any
     // `AXCORE_THREADS` cap — what every entry below reports.
     let max_threads = axcore_parallel::max_threads();
     let sweep = axcore_parallel::thread_sweep();
 
-    // Committed baseline for the strict regression gate, read before the
-    // file is overwritten.
-    let baseline_decode_lut = std::fs::read_to_string("BENCH_gemm.json")
-        .ok()
-        .and_then(|t| baseline_rows_per_s(&t, "decode_m1x64_lut"));
+    // Committed baselines for the strict regression gate, read before
+    // the file is overwritten.
+    let baseline_text = std::fs::read_to_string("BENCH_gemm.json").ok();
+    let baseline_decode_lut =
+        baseline_text.as_deref().and_then(|t| baseline_rows_per_s(t, "decode_m1x64_lut"));
+    let baseline_decode_pooled =
+        baseline_text.as_deref().and_then(|t| baseline_rows_per_s(t, "decode_m1x64_pooled"));
 
     let a_prefill: Vec<f32> = (0..PREFILL_M * K)
         .map(|i| ((i as u64 * 31 + 3) * 48271 % 65521) as f32 / 32760.5 - 1.0)
@@ -178,13 +223,19 @@ fn main() {
     let mut seed_out = vec![0f32; N];
     seed_gemm(FP16, a_decode, 1, &q, &mut seed_out);
     let seed_bits: Vec<u32> = seed_out.iter().map(|v| v.to_bits()).collect();
-    for policy in [LutPolicy::Never, LutPolicy::Always] {
-        with_lut_policy(policy, || engine.gemm(a_decode, 1, &q, &mut out[..N]));
-        assert_eq!(
-            seed_bits,
-            out[..N].iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
-            "seed baseline diverged from current engine ({policy:?})"
-        );
+    for mode in [ExecMode::Pooled, ExecMode::Scoped] {
+        for policy in [LutPolicy::Never, LutPolicy::Always] {
+            for eng in [&engine, &legacy] {
+                axcore_parallel::with_exec_mode(mode, || {
+                    with_lut_policy(policy, || eng.gemm(a_decode, 1, &q, &mut out[..N]))
+                });
+                assert_eq!(
+                    seed_bits,
+                    out[..N].iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "seed baseline diverged from current engine ({mode:?}, {policy:?})"
+                );
+            }
+        }
     }
 
     // Serial-by-construction configurations, measured once.
@@ -216,40 +267,62 @@ fn main() {
     // Prepared-weight configurations, swept over worker counts. The LUT
     // policy is pinned per entry so `parallel_prepared` keeps measuring
     // the direct kernel now that the Auto heuristic prefers the LUT tier
-    // on these shapes.
+    // on these shapes. The four trajectory entries run in `Scoped` mode
+    // against the byte-plane weights — exactly what every earlier
+    // `BENCH_gemm.json` measured — while `pooled` runs the persistent
+    // runtime (arena scratch + packed SWAR gathers) on the same shapes.
     let prepared = engine.prepare(&q);
-    let mut rows: Vec<(usize, Entry, Entry, Entry, Entry)> = Vec::new();
+    let prepared_legacy = legacy.prepare(&q);
+    let mut rows: Vec<(usize, Entry, Entry, Entry, Entry, Entry)> = Vec::new();
     for &t in &sweep {
         axcore_parallel::with_threads(t, || {
-            // The four configurations are measured in alternating
-            // rounds (one rep of each per round, minima kept) so slow
-            // drift — thermal throttling, a co-tenant waking up —
-            // lands on every configuration equally instead of biasing
-            // whichever one happens to run later.
-            let (mut pp, mut pl, mut dp, mut dl) = (f64::MAX, f64::MAX, f64::MAX, f64::MAX);
+            // The configurations are measured in alternating rounds
+            // (one rep of each per round, minima kept) so slow drift —
+            // thermal throttling, a co-tenant waking up — lands on
+            // every configuration equally instead of biasing whichever
+            // one happens to run later.
+            let (mut pp, mut pl, mut dp, mut dl, mut dpo) =
+                (f64::MAX, f64::MAX, f64::MAX, f64::MAX, f64::MAX);
             for _ in 0..5 {
                 pp = pp.min(time_it(1, || {
-                    with_lut_policy(LutPolicy::Never, || {
-                        engine.gemm_prepared(&*prepared, &a_prefill, PREFILL_M, &mut out)
+                    axcore_parallel::with_exec_mode(ExecMode::Scoped, || {
+                        with_lut_policy(LutPolicy::Never, || {
+                            engine.gemm_prepared(&*prepared_legacy, &a_prefill, PREFILL_M, &mut out)
+                        })
                     });
                 }));
                 pl = pl.min(time_it(1, || {
-                    with_lut_policy(LutPolicy::Always, || {
-                        engine.gemm_prepared(&*prepared, &a_prefill, PREFILL_M, &mut out)
+                    axcore_parallel::with_exec_mode(ExecMode::Scoped, || {
+                        with_lut_policy(LutPolicy::Always, || {
+                            engine.gemm_prepared(&*prepared_legacy, &a_prefill, PREFILL_M, &mut out)
+                        })
                     });
                 }));
                 dp = dp.min(time_it(1, || {
-                    with_lut_policy(LutPolicy::Never, || {
-                        for _ in 0..DECODE_CALLS {
-                            engine.gemm_prepared(&*prepared, a_decode, 1, &mut out[..N]);
-                        }
+                    axcore_parallel::with_exec_mode(ExecMode::Scoped, || {
+                        with_lut_policy(LutPolicy::Never, || {
+                            for _ in 0..DECODE_CALLS {
+                                engine.gemm_prepared(&*prepared_legacy, a_decode, 1, &mut out[..N]);
+                            }
+                        })
                     });
                 }));
                 dl = dl.min(time_it(1, || {
-                    with_lut_policy(LutPolicy::Always, || {
-                        for _ in 0..DECODE_CALLS {
-                            engine.gemm_prepared(&*prepared, a_decode, 1, &mut out[..N]);
-                        }
+                    axcore_parallel::with_exec_mode(ExecMode::Scoped, || {
+                        with_lut_policy(LutPolicy::Always, || {
+                            for _ in 0..DECODE_CALLS {
+                                engine.gemm_prepared(&*prepared_legacy, a_decode, 1, &mut out[..N]);
+                            }
+                        })
+                    });
+                }));
+                dpo = dpo.min(time_it(1, || {
+                    axcore_parallel::with_exec_mode(ExecMode::Pooled, || {
+                        with_lut_policy(LutPolicy::Always, || {
+                            for _ in 0..DECODE_CALLS {
+                                engine.gemm_prepared(&*prepared, a_decode, 1, &mut out[..N]);
+                            }
+                        })
                     });
                 }));
             }
@@ -259,11 +332,15 @@ fn main() {
                 Entry { rows_per_s: prefill_rows / pl, seconds: pl, threads: t },
                 Entry { rows_per_s: decode_rows / dp, seconds: dp, threads: t },
                 Entry { rows_per_s: decode_rows / dl, seconds: dl, threads: t },
+                Entry { rows_per_s: decode_rows / dpo, seconds: dpo, threads: t },
             ));
         });
     }
-    let (_, prefill_parallel, prefill_lut, decode_parallel, decode_lut) =
+    let (_, prefill_parallel, prefill_lut, decode_parallel, decode_lut, decode_pooled) =
         rows.last().expect("thread sweep is never empty");
+
+    let spawn_scoped_us = spawn_overhead_us(ExecMode::Scoped);
+    let spawn_pooled_us = spawn_overhead_us(ExecMode::Pooled);
 
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"k\": {K},\n  \"n\": {N},\n  \"threads\": {max_threads},\n"));
@@ -282,51 +359,62 @@ fn main() {
         ("prefill_m128_lut", prefill_lut),
         ("decode_m1x64_parallel_prepared", decode_parallel),
         ("decode_m1x64_lut", decode_lut),
+        ("decode_m1x64_pooled", decode_pooled),
     ] {
         json.push_str(&format!("  \"{name}\": {},\n", e.json()));
     }
+    json.push_str(&format!(
+        "  \"spawn_overhead_us\": {{ \"scoped\": {spawn_scoped_us:.2}, \"pooled\": {spawn_pooled_us:.2} }},\n"
+    ));
     json.push_str("  \"thread_sweep\": [\n");
-    for (i, (t, pp, pl, dp, dl)) in rows.iter().enumerate() {
+    for (i, (t, pp, pl, dp, dl, dpo)) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{ \"threads\": {t}, \"prefill_m128_parallel_prepared\": {}, \"prefill_m128_lut\": {}, \"decode_m1x64_parallel_prepared\": {}, \"decode_m1x64_lut\": {} }}{}\n",
+            "    {{ \"threads\": {t}, \"prefill_m128_parallel_prepared\": {}, \"prefill_m128_lut\": {}, \"decode_m1x64_parallel_prepared\": {}, \"decode_m1x64_lut\": {}, \"decode_m1x64_pooled\": {} }}{}\n",
             pp.json(),
             pl.json(),
             dp.json(),
             dl.json(),
+            dpo.json(),
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
     json.push_str("  ],\n");
     json.push_str(&format!(
-        "  \"prefill_speedup_vs_seed\": {:.2},\n  \"decode_speedup_vs_seed\": {:.2},\n  \"decode_lut_speedup_vs_prepared\": {:.2}\n}}\n",
+        "  \"prefill_speedup_vs_seed\": {:.2},\n  \"decode_speedup_vs_seed\": {:.2},\n  \"decode_lut_speedup_vs_prepared\": {:.2},\n  \"decode_pooled_speedup_vs_lut\": {:.2}\n}}\n",
         prefill_seed / prefill_parallel.seconds,
         decode_seed / decode_parallel.seconds,
         decode_parallel.seconds / decode_lut.seconds,
+        decode_lut.seconds / decode_pooled.seconds,
     ));
     std::fs::write("BENCH_gemm.json", &json).expect("write BENCH_gemm.json");
     print!("{json}");
     println!(
-        "prefill {:.1}x, decode {:.1}x vs the seed per-call gemm; LUT tier {:.1}x over direct prepared decode ({} threads)",
+        "prefill {:.1}x, decode {:.1}x vs the seed per-call gemm; LUT tier {:.1}x over direct prepared decode; pooled runtime {:.2}x over scoped LUT decode ({} threads)",
         prefill_seed / prefill_parallel.seconds,
         decode_seed / decode_parallel.seconds,
         decode_parallel.seconds / decode_lut.seconds,
+        decode_lut.seconds / decode_pooled.seconds,
         max_threads
     );
 
-    // CI regression gate: compare against the committed baseline (read
+    // CI regression gate: compare against the committed baselines (read
     // before this run overwrote the file), only when explicitly armed.
     if std::env::var("AXCORE_BENCH_STRICT").as_deref() == Ok("1") {
-        if let Some(base) = baseline_decode_lut {
-            let now = decode_lut.rows_per_s;
+        for (key, base, now) in [
+            ("decode_m1x64_lut", baseline_decode_lut, decode_lut.rows_per_s),
+            ("decode_m1x64_pooled", baseline_decode_pooled, decode_pooled.rows_per_s),
+        ] {
+            let Some(base) = base else {
+                println!("strict gate skipped: no committed {key} baseline");
+                continue;
+            };
             if now < 0.8 * base {
                 eprintln!(
-                    "FAIL: decode_m1x64_lut regressed more than 20%: {now:.1} rows/s vs baseline {base:.1}"
+                    "FAIL: {key} regressed more than 20%: {now:.1} rows/s vs baseline {base:.1}"
                 );
                 std::process::exit(1);
             }
-            println!("strict gate ok: decode_m1x64_lut {now:.1} rows/s vs baseline {base:.1}");
-        } else {
-            println!("strict gate skipped: no committed decode_m1x64_lut baseline");
+            println!("strict gate ok: {key} {now:.1} rows/s vs baseline {base:.1}");
         }
     }
 }

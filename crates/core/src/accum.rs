@@ -41,6 +41,14 @@ impl PartialAcc {
         }
     }
 
+    /// Reassemble an accumulator from raw `(exp, sig)` state — the SIMD
+    /// gather keeps accumulator lanes in vector registers and rebuilds
+    /// the struct only to normalize.
+    #[inline]
+    pub(crate) fn from_parts(exp: i32, sig: i64, act: FpFormat) -> Self {
+        PartialAcc { exp, sig, frac_bits: act.man_bits + 2, man_bits: act.man_bits }
+    }
+
     /// True if nothing (or exact cancellation) has accumulated.
     #[inline]
     pub fn is_zero(&self) -> bool {
@@ -142,6 +150,37 @@ impl PartialAcc {
         debug_assert!(anchor - self.exp < 64 && anchor - p.exp < 64);
         self.sig = (self.sig >> (anchor - self.exp)) + (p.inc >> (anchor - p.exp));
         self.exp = anchor;
+    }
+
+    /// Bit-identical to
+    /// [`add_prepared_unclamped`](Self::add_prepared_unclamped), but
+    /// branching on which operand needs alignment instead of computing
+    /// both shift distances from the max anchor. At most one distance is
+    /// ever non-zero, so this issues a single data-dependent shift per
+    /// MAC (instead of two plus a max), and the branch — "is the running
+    /// anchor still the maximum?" — is almost always taken once the
+    /// accumulator has seen a group's largest product. The packed SWAR
+    /// gather uses this form; the byte-plane gather keeps the branchless
+    /// one, and `accum::tests` pin the two bit-equal on random streams.
+    #[inline]
+    pub fn add_prepared_unclamped_seq(&mut self, p: PreparedProduct) {
+        if self.sig == 0 {
+            if p.inc != 0 {
+                self.exp = p.exp;
+                self.sig = p.inc;
+            }
+            return;
+        }
+        if p.exp <= self.exp {
+            // Covers zero entries too: they carry `exp == 0`, below any
+            // live anchor, and `inc == 0` shifts to a no-op.
+            debug_assert!(self.exp - p.exp < 64);
+            self.sig += p.inc >> (self.exp - p.exp);
+        } else {
+            debug_assert!(p.exp - self.exp < 64);
+            self.sig = (self.sig >> (p.exp - self.exp)) + p.inc;
+            self.exp = p.exp;
+        }
     }
 
     /// Merge another partial accumulator (used when chaining systolic
@@ -409,6 +448,43 @@ mod tests {
         }
         let n = NormUnit::new(FP16);
         assert_eq!(n.normalize(&direct), n.normalize(&prepared));
+    }
+
+    #[test]
+    fn unclamped_adder_variants_are_bit_equal() {
+        // `add_prepared_unclamped` and `add_prepared_unclamped_seq`
+        // promise bit-identity with `add_prepared` whenever exponent
+        // gaps stay under 64 (always true for FP16 entries): drive all
+        // three through long pseudo-random streams — guard zeros,
+        // mixed signs (so cancellation can strike), full exponent
+        // range — asserting identical accumulator state at every step.
+        let mut state = 0x243f6a8885a308d3u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..20 {
+            let mut clamped = PartialAcc::new(FP16);
+            let mut branchless = PartialAcc::new(FP16);
+            let mut seq = PartialAcc::new(FP16);
+            for step in 0..300 {
+                let r = next();
+                let p = if r % 7 == 0 {
+                    PreparedProduct::new(FP16, 0, false) // guard zero
+                } else {
+                    let e = 1 + ((r >> 8) as u32) % (FP16.max_exp_field() - 1);
+                    let m = ((r >> 24) as u32) & FP16.man_mask();
+                    PreparedProduct::new(FP16, FP16.compose(false, e, m), r & 1 == 0)
+                };
+                clamped.add_prepared(p);
+                branchless.add_prepared_unclamped(p);
+                seq.add_prepared_unclamped_seq(p);
+                assert_eq!(clamped, branchless, "trial {trial} step {step}");
+                assert_eq!(clamped, seq, "trial {trial} step {step}");
+            }
+        }
     }
 
     #[test]

@@ -11,6 +11,7 @@ use crate::pe::{Pe, WeightLane};
 use crate::preadd::{PreAdd, PreAddTerm};
 use axcore_fpma::snc::SncPolicy;
 use axcore_fpma::MpFpma;
+use axcore_parallel::arena;
 use axcore_quant::{CodePlanes, QuantFormat, QuantizedMatrix};
 use axcore_softfloat::FpFormat;
 
@@ -103,6 +104,7 @@ impl AxCoreConfig {
 pub struct AxCoreEngine {
     act: FpFormat,
     cfg: AxCoreConfig,
+    packed_planes: bool,
 }
 
 impl AxCoreEngine {
@@ -112,12 +114,26 @@ impl AxCoreEngine {
         AxCoreEngine {
             act,
             cfg: AxCoreConfig::default(),
+            packed_planes: true,
         }
     }
 
     /// AxCore with an explicit configuration (ablation rows).
     pub fn with_config(act: FpFormat, cfg: AxCoreConfig) -> Self {
-        AxCoreEngine { act, cfg }
+        AxCoreEngine {
+            act,
+            cfg,
+            packed_planes: true,
+        }
+    }
+
+    /// Control nibble-packing of the LUT gather's code planes (on by
+    /// default; FP8 matrices fall back to byte planes regardless).
+    /// `false` forces byte planes — the pre-SWAR layout, kept for A/B
+    /// benchmarking and plane-equivalence tests.
+    pub fn with_packed_planes(mut self, on: bool) -> Self {
+        self.packed_planes = on;
+        self
     }
 
     /// The activation/result format.
@@ -276,7 +292,17 @@ impl AxCoreEngine {
             code_signs,
             unit_cs,
             code_space,
-            planes: CodePlanes::new(w),
+            // Packed planes additionally require the activation format
+            // to fit the combined i32 LUT entry: exponent field ≤ 255
+            // and `man_bits ≤ 12` so the increment fits i16 — true for
+            // FP16 (30, 10) and BF16 (254, 7); wider formats (FP32
+            // activations, hypothetical >8-exp-bit formats) take byte
+            // planes instead.
+            planes: if self.packed_planes && act.max_exp_field() <= 0xff && act.man_bits <= 12 {
+                CodePlanes::new(w)
+            } else {
+                CodePlanes::with_width(w, 8)
+            },
             group_unit_masks,
             scales: w.scales.clone(),
             scale_vals,
@@ -330,10 +356,14 @@ pub struct AxCorePrepared {
 
 /// Per-worker scratch for the direct path: the current row's encoded
 /// activation bits and its precomputed PreAdd terms, one run per unit.
+/// Buffers come from the worker's recycled arena: `bits` is fully
+/// rewritten per row, and stale `terms` are never read (a term is only
+/// read for groups whose unit mask selected it, after being written for
+/// the current row), so recycled contents are harmless.
 struct AxScratch {
     row: usize,
-    bits: Vec<u32>,
-    terms: Vec<PreAddTerm>,
+    bits: arena::ArenaVec<u32>,
+    terms: arena::ArenaVec<PreAddTerm>,
 }
 
 /// Per-worker LUT-tier table: encoded activation bits plus one pre-split
@@ -343,15 +373,39 @@ struct AxScratch {
 /// `inc` in the low 32 (it fits: `|inc| < 2^(man_bits + 3)` and every
 /// activation format has `man_bits ≤ 28`) — so the gather issues one
 /// 8-byte load per MAC and a group's live segments stay L1-resident.
+///
+/// Arena-recycled like [`AxScratch`]: the build rewrites, per element,
+/// the first `unit_cs[u]` codes of every (group-selected unit, element)
+/// row, and the gather reads only those slots (codes are validated
+/// against each unit's space at quantization/plane-build time), so stale
+/// entries from a previous call are never observed. The one exception —
+/// units with a narrower code space than the table stride — is handled
+/// at take time with an explicit zero fill.
 struct AxLutTable {
-    bits: Vec<u32>,
-    tbl: Vec<i64>,
+    bits: arena::ArenaVec<u32>,
+    /// Byte-plane gather entries, `(exp << 32) | inc` packed — empty for
+    /// packed-plane engines.
+    tbl: arena::ArenaVec<i64>,
+    /// Packed-plane gather entries, `(exp << 16) | (inc as u16)` in one
+    /// i32 — packed planes are only selected when the activation format
+    /// guarantees both fields fit (exponent field ≤ 255, `man_bits ≤ 12`
+    /// so `|inc| < 2^15`). Quarter the bytes of the i64 layout: a unit's
+    /// per-group segment drops to 4 KB (L1-resident), and the 8-lane
+    /// AVX2 gather reads whole entries with one `vpgatherdd`. Empty for
+    /// byte-plane engines.
+    tcomb: arena::ArenaVec<i32>,
 }
 
 /// Unpack one packed LUT entry back into the partial adder's operands.
 #[inline(always)]
 fn unpack_entry(e: i64) -> PreparedProduct {
     PreparedProduct { exp: (e >> 32) as i32, inc: e as i32 as i64 }
+}
+
+/// Rebuild the partial adder's operands from one combined i32 entry.
+#[inline(always)]
+fn split_entry(e: i32) -> PreparedProduct {
+    PreparedProduct { exp: e >> 16, inc: (e as i16) as i64 }
 }
 
 impl PreparedGemm for AxCorePrepared {
@@ -385,8 +439,8 @@ impl AxCorePrepared {
         let zero_term = PreAddTerm { t: 0, sign: false, zero: true, stochastic_bit: false };
         let mk_scratch = || AxScratch {
             row: usize::MAX,
-            bits: vec![0u32; k],
-            terms: vec![zero_term; self.units.len() * k],
+            bits: arena::take(k, 0u32),
+            terms: arena::take(self.units.len() * k, zero_term),
         };
         drive(m, k, n, out, mk_scratch, |s: &mut AxScratch, i, col0, cols| {
             if s.row != i {
@@ -464,9 +518,23 @@ impl AxCorePrepared {
             ((self.act.max_exp_field() as i64) << self.act.man_bits) | self.act.man_mask() as i64;
         let man_bits = self.act.man_bits;
         let man_mask = self.act.man_mask() as i64;
+        // Stale recycled entries are only reachable when a unit's code
+        // space is narrower than the table stride (mixed-width matrices,
+        // which the quantizer never produces); zero-fill in that case.
+        let needs_zero_fill = self.unit_cs.iter().any(|&ucs| ucs < cs);
+        let packed = self.planes.is_packed();
         let mk_table = || AxLutTable {
-            bits: vec![0u32; k],
-            tbl: vec![0i64; nu * k * cs],
+            bits: arena::take(k, 0u32),
+            tbl: match (packed, needs_zero_fill) {
+                (true, _) => arena::take(0, 0i64),
+                (false, true) => arena::take_filled(nu * k * cs, 0i64),
+                (false, false) => arena::take(nu * k * cs, 0i64),
+            },
+            tcomb: match (packed, needs_zero_fill) {
+                (false, _) => arena::take(0, 0i32),
+                (true, true) => arena::take_filled(nu * k * cs, 0i32),
+                (true, false) => arena::take(nu * k * cs, 0i32),
+            },
         };
         let build = |t: &mut AxLutTable, i: usize| {
             for (kk, &av) in a[i * k..(i + 1) * k].iter().enumerate() {
@@ -483,6 +551,34 @@ impl AxCorePrepared {
                     for kk in g * gs..(g + 1) * gs {
                         let term = preadd.term(t.bits[kk]);
                         let base = (u * k + kk) * cs;
+                        if packed {
+                            // Combined i32 entries: `(exp << 16) | inc`
+                            // as u16 halves — both fit by the packed-
+                            // plane selection gate (exp field ≤ 255,
+                            // `|inc| < 2^15` for `man_bits ≤ 12`).
+                            let crow = &mut t.tcomb[base..base + ucs];
+                            if term.zero {
+                                // Guard zero: every code's product is zero.
+                                crow.fill(0);
+                                continue;
+                            }
+                            let v = (u * 2 + term.stochastic_bit as usize) * cs;
+                            let addends = &self.code_addends[v..v + ucs];
+                            let tsign = -(term.sign as i64);
+                            for ((slot, &addend), &wsign) in
+                                crow.iter_mut().zip(addends).zip(signs)
+                            {
+                                let r = (term.t + addend).min(max_mag);
+                                let mag = if r < min_normal { 0 } else { r };
+                                let nz = -((mag != 0) as i64);
+                                let s = tsign ^ wsign;
+                                let val = ((mag & man_mask) | min_normal) << 2;
+                                let inc = ((val ^ s) - s) & nz;
+                                *slot = (((mag >> man_bits) as i32) << 16)
+                                    | ((inc as i32) & 0xffff);
+                            }
+                            continue;
+                        }
                         let row = &mut t.tbl[base..base + ucs];
                         if term.zero {
                             // Guard zero: every code's product is zero.
@@ -516,26 +612,46 @@ impl AxCorePrepared {
         // The gather is instantiated with the unclamped partial adder
         // whenever the activation format's exponent gaps are provably
         // under 64 (FP16 and narrower), and with the saturating one
-        // otherwise — bit-identical either way.
+        // otherwise — bit-identical either way. The packed path takes
+        // the sequential-shift unclamped form (one data-dependent shift
+        // per MAC instead of two); `add_prepared_unclamped_seq` is
+        // bit-identical by construction and the packed-vs-byte gather
+        // test pins it.
         if self.act.max_exp_field() < 64 {
             let gather = |t: &AxLutTable, _i: usize, col0: usize, cols: &mut [f32]| {
-                self.lut_gather_cols(t, col0, cols, |acc, e| {
-                    acc.add_prepared_unclamped(unpack_entry(e))
-                });
+                if self.planes.is_packed() {
+                    if self.avx2_gather_eligible() {
+                        self.lut_gather_cols_packed_avx2(t, col0, cols);
+                        return;
+                    }
+                    self.lut_gather_cols_packed(t, col0, cols, |acc, e| {
+                        acc.add_prepared_unclamped_seq(split_entry(e))
+                    });
+                } else {
+                    self.lut_gather_cols_bytes(t, col0, cols, |acc, e| {
+                        acc.add_prepared_unclamped(unpack_entry(e))
+                    });
+                }
             };
             drive_lut(m, k, n, out, mk_table, build, gather);
         } else {
             let gather = |t: &AxLutTable, _i: usize, col0: usize, cols: &mut [f32]| {
-                self.lut_gather_cols(t, col0, cols, |acc, e| acc.add_prepared(unpack_entry(e)));
+                if self.planes.is_packed() {
+                    self.lut_gather_cols_packed(t, col0, cols, |acc, e| {
+                        acc.add_prepared(split_entry(e))
+                    });
+                } else {
+                    self.lut_gather_cols_bytes(t, col0, cols, |acc, e| {
+                        acc.add_prepared(unpack_entry(e))
+                    });
+                }
             };
             drive_lut(m, k, n, out, mk_table, build, gather);
         }
     }
 
-    /// One LUT-tier column-tile gather: fold every group's table
-    /// segments into `cols`, in the direct path's exact accumulation
-    /// order. `add` folds one packed table entry into a partial
-    /// accumulator.
+    /// Byte-plane gather: fold every group's table segments into `cols`,
+    /// in the direct path's exact accumulation order.
     ///
     /// Group-major sweep: for one group at a time, only that group's
     /// table segments (one per unit its blocks use) are live, so they
@@ -548,7 +664,7 @@ impl AxCorePrepared {
     /// accumulators lets the core overlap the chains. Each column still
     /// folds its group's entries in ascending-k order, so the interleave
     /// does not change any result bit.
-    fn lut_gather_cols(
+    fn lut_gather_cols_bytes(
         &self,
         t: &AxLutTable,
         col0: usize,
@@ -634,6 +750,240 @@ impl AxCorePrepared {
                     add(&mut pacc, row[c as usize & (cs - 1)]);
                 }
                 *o += finish(&pacc, g, col0 + jj);
+            }
+        }
+    }
+
+    /// Nibble-packed gather: same group-major, 4-column-interleaved
+    /// sweep as [`Self::lut_gather_cols_bytes`], but the code stream
+    /// carries two 4-bit codes per byte, so each lane expands **16
+    /// codes from one u64 SWAR load** (low nibble = even k, matching the
+    /// plane layout), and the table is read from the combined i32 entry
+    /// plane (4 bytes per entry instead of 8 — a unit's per-group
+    /// segment drops to 4 KB and stays L1-resident). Weight-side
+    /// traffic halves; per-lane accumulation order is still ascending
+    /// k, so results are bit-identical to the byte-plane gather.
+    ///
+    /// This is the portable scalar form; on x86-64 with AVX2 the decode
+    /// hot path takes [`Self::lut_gather_cols_packed_avx2`] instead.
+    fn lut_gather_cols_packed(
+        &self,
+        t: &AxLutTable,
+        col0: usize,
+        cols: &mut [f32],
+        add: impl Fn(&mut PartialAcc, i32) + Copy,
+    ) {
+        const LANES: usize = 4;
+        let (k, n) = (self.k, self.n);
+        let gs = self.group_size;
+        let groups = k / gs;
+        let nbc = n / self.block_cols;
+        let cs = self.code_space;
+        let cmask = cs - 1;
+        // Packed planes exist only for ≤ 4-bit formats, whose mpFPMA
+        // code space is exactly 16 — so a nibble can never index past a
+        // table row.
+        debug_assert!(cs >= 16, "packed planes imply a 16-entry code space");
+        let finish = |pacc: &PartialAcc, g: usize, col: usize| -> f32 {
+            let o_bits = self.norm.normalize(pacc);
+            let scaled = if self.fpma_dequant {
+                self.act.decode(self.axscale.apply(o_bits, self.scales[g * n + col]))
+            } else {
+                self.act.decode(o_bits) * self.scale_vals[g * n + col]
+            };
+            scaled as f32
+        };
+        // A group's table segment (gs rows of cs entries) and its packed
+        // code bytes (gs/2: plane construction guarantees gs is even).
+        let seg_of = |g: usize, col: usize| {
+            let u = self.block_unit[g * nbc + col / self.block_cols] as usize;
+            let r = (u * k + g * gs) * cs..(u * k + (g + 1) * gs) * cs;
+            (&t.tcomb[r], &self.planes.plane(col)[g * gs / 2..(g + 1) * gs / 2])
+        };
+        // One 4-lane tile of one group: 16 k-steps per u64 code load.
+        let do_tile = |g: usize, j: usize, cols: &mut [f32]| {
+            let (es0, cd0) = seg_of(g, col0 + j);
+            let (es1, cd1) = seg_of(g, col0 + j + 1);
+            let (es2, cd2) = seg_of(g, col0 + j + 2);
+            let (es3, cd3) = seg_of(g, col0 + j + 3);
+            let mut a0 = PartialAcc::new(self.act);
+            let mut a1 = PartialAcc::new(self.act);
+            let mut a2 = PartialAcc::new(self.act);
+            let mut a3 = PartialAcc::new(self.act);
+            let full = cd0.len() / 8;
+            if cs == 16 {
+                // The only width packed planes produce in practice.
+                // Fixed-size block refs let the compiler prove every
+                // index in bounds (`step * 16 + nibble ≤ 255`), so the
+                // unrolled chain carries no bounds checks.
+                for blk in 0..full {
+                    let b = blk * 8;
+                    let w0 = u64::from_le_bytes(cd0[b..b + 8].try_into().unwrap());
+                    let w1 = u64::from_le_bytes(cd1[b..b + 8].try_into().unwrap());
+                    let w2 = u64::from_le_bytes(cd2[b..b + 8].try_into().unwrap());
+                    let w3 = u64::from_le_bytes(cd3[b..b + 8].try_into().unwrap());
+                    let e = blk * 256;
+                    let t0: &[i32; 256] = es0[e..e + 256].try_into().unwrap();
+                    let t1: &[i32; 256] = es1[e..e + 256].try_into().unwrap();
+                    let t2: &[i32; 256] = es2[e..e + 256].try_into().unwrap();
+                    let t3: &[i32; 256] = es3[e..e + 256].try_into().unwrap();
+                    for step in 0..16 {
+                        let row = step * 16;
+                        let sh = 4 * step;
+                        add(&mut a0, t0[row + ((w0 >> sh) as usize & 0xf)]);
+                        add(&mut a1, t1[row + ((w1 >> sh) as usize & 0xf)]);
+                        add(&mut a2, t2[row + ((w2 >> sh) as usize & 0xf)]);
+                        add(&mut a3, t3[row + ((w3 >> sh) as usize & 0xf)]);
+                    }
+                }
+            } else {
+                for blk in 0..full {
+                    let b = blk * 8;
+                    let w0 = u64::from_le_bytes(cd0[b..b + 8].try_into().unwrap());
+                    let w1 = u64::from_le_bytes(cd1[b..b + 8].try_into().unwrap());
+                    let w2 = u64::from_le_bytes(cd2[b..b + 8].try_into().unwrap());
+                    let w3 = u64::from_le_bytes(cd3[b..b + 8].try_into().unwrap());
+                    let ebase = blk * 16 * cs;
+                    for step in 0..16 {
+                        let row = ebase + step * cs;
+                        let sh = 4 * step;
+                        add(&mut a0, es0[row + ((w0 >> sh) as usize & 0xf & cmask)]);
+                        add(&mut a1, es1[row + ((w1 >> sh) as usize & 0xf & cmask)]);
+                        add(&mut a2, es2[row + ((w2 >> sh) as usize & 0xf & cmask)]);
+                        add(&mut a3, es3[row + ((w3 >> sh) as usize & 0xf & cmask)]);
+                    }
+                }
+            }
+            // Leftover packed bytes (gs % 16 != 0): two k-steps each.
+            for bi in full * 8..cd0.len() {
+                let row = 2 * bi * cs;
+                let (b0, b1) = (cd0[bi] as usize, cd1[bi] as usize);
+                let (b2, b3) = (cd2[bi] as usize, cd3[bi] as usize);
+                add(&mut a0, es0[row + (b0 & 0xf & cmask)]);
+                add(&mut a1, es1[row + (b1 & 0xf & cmask)]);
+                add(&mut a2, es2[row + (b2 & 0xf & cmask)]);
+                add(&mut a3, es3[row + (b3 & 0xf & cmask)]);
+                add(&mut a0, es0[row + cs + ((b0 >> 4) & cmask)]);
+                add(&mut a1, es1[row + cs + ((b1 >> 4) & cmask)]);
+                add(&mut a2, es2[row + cs + ((b2 >> 4) & cmask)]);
+                add(&mut a3, es3[row + cs + ((b3 >> 4) & cmask)]);
+            }
+            for (l, acc) in [a0, a1, a2, a3].iter().enumerate() {
+                cols[j + l] += finish(acc, g, col0 + j + l);
+            }
+        };
+        cols.fill(0.0);
+        let full_tiles = cols.len() / LANES;
+        for g in 0..groups {
+            // Tile visit order: grouped by the unit of each tile's first
+            // column, so one unit's table segment (`gs × cs` entries —
+            // 8 KB for FP4) stays L1-hot across every column that reads
+            // it, instead of ping-ponging between units as adjacent
+            // blocks alternate formats. Column order within a group is
+            // free: each column gets exactly one `+=` per group, still
+            // in ascending-g order, so the reorder changes no result
+            // bit (the gather loads are latency-bound, making this the
+            // dominant lever on wide decode rows).
+            if self.units.len() > 1 {
+                for u_pass in 0..self.units.len() {
+                    for tile in 0..full_tiles {
+                        let j = tile * LANES;
+                        let u0 =
+                            self.block_unit[g * nbc + (col0 + j) / self.block_cols] as usize;
+                        if u0 == u_pass {
+                            do_tile(g, j, cols);
+                        }
+                    }
+                }
+            } else {
+                for tile in 0..full_tiles {
+                    do_tile(g, tile * LANES, cols);
+                }
+            }
+            // Remainder columns (< LANES) run the scalar chain.
+            for (jj, col) in cols.iter_mut().enumerate().skip(full_tiles * LANES) {
+                let (es, cd) = seg_of(g, col0 + jj);
+                let mut pacc = PartialAcc::new(self.act);
+                for (bi, &byte) in cd.iter().enumerate() {
+                    let row = 2 * bi * cs;
+                    add(&mut pacc, es[row + (byte as usize & 0xf & cmask)]);
+                    add(&mut pacc, es[row + cs + ((byte as usize >> 4) & cmask)]);
+                }
+                *col += finish(&pacc, g, col0 + jj);
+            }
+        }
+    }
+
+    /// Whether the decode hot path can take the 8-lane AVX2 gather in
+    /// [`axcore_simd`]: requires the standard 16-entry code space, a
+    /// group depth that fills whole u64 code words, accumulator
+    /// significands that provably fit the kernel's i32 lanes
+    /// (`gs · 2^(man_bits+3)` bounds the running sum), and runtime AVX2
+    /// support.
+    fn avx2_gather_eligible(&self) -> bool {
+        self.code_space == 16
+            && self.group_size.is_multiple_of(16)
+            && (self.group_size as u64) << (self.act.man_bits + 3) <= 1 << 31
+            && axcore_simd::avx2_available()
+    }
+
+    /// AVX2 form of [`Self::lut_gather_cols_packed`]: eight columns per
+    /// tile, with the per-step table lookups fused into one
+    /// `vpgatherdd` over the combined i32 entry plane and the partial
+    /// adder run branchlessly in 8 × i32 vector lanes (see
+    /// [`axcore_simd::gather_group`] for the bit-identity argument).
+    /// Tiles sweep in plain ascending order: at 4 bytes per entry all
+    /// units' segments for one group fit L1 together, so the scalar
+    /// path's unit-ordered visit is unnecessary here.
+    fn lut_gather_cols_packed_avx2(&self, t: &AxLutTable, col0: usize, cols: &mut [f32]) {
+        const LANES: usize = 8;
+        let (k, n) = (self.k, self.n);
+        let gs = self.group_size;
+        let groups = k / gs;
+        let nbc = n / self.block_cols;
+        let cs = self.code_space;
+        debug_assert!(cs == 16 && gs.is_multiple_of(16));
+        let finish = |pacc: &PartialAcc, g: usize, col: usize| -> f32 {
+            let o_bits = self.norm.normalize(pacc);
+            let scaled = if self.fpma_dequant {
+                self.act.decode(self.axscale.apply(o_bits, self.scales[g * n + col]))
+            } else {
+                self.act.decode(o_bits) * self.scale_vals[g * n + col]
+            };
+            scaled as f32
+        };
+        cols.fill(0.0);
+        let full_tiles = cols.len() / LANES;
+        for g in 0..groups {
+            for tile in 0..full_tiles {
+                let j = tile * LANES;
+                let mut bases = [0i32; LANES];
+                let mut codes: [&[u8]; LANES] = [&[]; LANES];
+                for (l, base) in bases.iter_mut().enumerate() {
+                    let col = col0 + j + l;
+                    let u = self.block_unit[g * nbc + col / self.block_cols] as usize;
+                    *base = ((u * k + g * gs) * cs) as i32;
+                    codes[l] = &self.planes.plane(col)[g * gs / 2..(g + 1) * gs / 2];
+                }
+                let (sig, exp) = axcore_simd::gather_group(&t.tcomb, &bases, &codes);
+                for l in 0..LANES {
+                    let acc = PartialAcc::from_parts(exp[l], sig[l] as i64, self.act);
+                    cols[j + l] += finish(&acc, g, col0 + j + l);
+                }
+            }
+            // Remainder columns (< LANES) run the scalar seq chain on
+            // the same entries.
+            for (jj, col) in cols.iter_mut().enumerate().skip(full_tiles * LANES) {
+                let u = self.block_unit[g * nbc + (col0 + jj) / self.block_cols] as usize;
+                let es = &t.tcomb[(u * k + g * gs) * cs..(u * k + (g + 1) * gs) * cs];
+                let cd = &self.planes.plane(col0 + jj)[g * gs / 2..(g + 1) * gs / 2];
+                let mut pacc = PartialAcc::new(self.act);
+                for (bi, &byte) in cd.iter().enumerate() {
+                    let row = 2 * bi * cs;
+                    pacc.add_prepared_unclamped_seq(split_entry(es[row + (byte as usize & 0xf)]));
+                    pacc.add_prepared_unclamped_seq(split_entry(es[row + cs + (byte as usize >> 4)]));
+                }
+                *col += finish(&pacc, g, col0 + jj);
             }
         }
     }
@@ -806,6 +1156,27 @@ mod tests {
         assert_eq!(
             direct.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
             via_lut.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn packed_and_byte_plane_gathers_are_bit_identical() {
+        use crate::engines::{with_lut_policy, LutPolicy};
+        let (m, k, n) = (2, 128, 16);
+        let q = GroupQuantizer::adaptive_fp4(64, 4, None).quantize(&toy_weights(k, n), k, n);
+        let a = toy_acts(m, k);
+        let packed = AxCoreEngine::new(FP16).preload(&q);
+        let bytes = AxCoreEngine::new(FP16).with_packed_planes(false).preload(&q);
+        assert!(packed.planes.is_packed());
+        assert!(!bytes.planes.is_packed());
+        let (mut o1, mut o2) = (vec![0f32; m * n], vec![0f32; m * n]);
+        with_lut_policy(LutPolicy::Always, || {
+            packed.gemm(&a, m, &mut o1);
+            bytes.gemm(&a, m, &mut o2);
+        });
+        assert_eq!(
+            o1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            o2.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
         );
     }
 

@@ -6,6 +6,7 @@
 
 use crate::engines::prepared::{check_prepared_shapes, drive};
 use crate::engines::{check_shapes, GemmEngine, PreparedGemm};
+use axcore_parallel::arena;
 use axcore_quant::QuantizedMatrix;
 use axcore_softfloat::FpFormat;
 
@@ -72,7 +73,9 @@ pub struct ExactPrepared {
 
 struct ExactScratch {
     row: usize,
-    arow: Vec<f64>,
+    /// Stale-safe: every element is rewritten when `row` changes, before
+    /// any read.
+    arow: arena::ArenaVec<f64>,
 }
 
 impl PreparedGemm for ExactPrepared {
@@ -87,7 +90,7 @@ impl PreparedGemm for ExactPrepared {
     fn gemm(&self, a: &[f32], m: usize, out: &mut [f32]) {
         check_prepared_shapes(a, m, self.k, self.n, out);
         let (k, n) = (self.k, self.n);
-        let mk = || ExactScratch { row: usize::MAX, arow: vec![0f64; k] };
+        let mk = || ExactScratch { row: usize::MAX, arow: arena::take(k, 0f64) };
         drive(m, k, n, out, mk, |s: &mut ExactScratch, i, col0, cols| {
             if s.row != i {
                 // Quantize the activation row to the core's input format,

@@ -10,6 +10,7 @@
 use crate::engines::prepared::{check_prepared_shapes, drive, drive_lut};
 use crate::engines::{check_shapes, lut, GemmEngine, PreparedGemm};
 use axcore_fpma::uniform::fpma_mul;
+use axcore_parallel::arena;
 use axcore_quant::QuantizedMatrix;
 use axcore_softfloat::{FpFormat, FP32};
 use std::collections::HashMap;
@@ -102,16 +103,18 @@ pub struct FpmaPrepared {
     n: usize,
 }
 
+/// Arena-recycled: `arow` is fully rewritten for each new row.
 struct FpmaScratch {
     row: usize,
-    arow: Vec<u32>,
+    arow: arena::ArenaVec<u32>,
 }
 
 /// LUT-tier table: the encoded activation row and one product per
 /// (activation element, palette entry), laid out `kk * palette_len + p`.
+/// Arena-recycled: the build rewrites every `(element, palette)` slot.
 struct FpmaLutTable {
-    arow: Vec<u32>,
-    tbl: Vec<u32>,
+    arow: arena::ArenaVec<u32>,
+    tbl: arena::ArenaVec<u32>,
 }
 
 impl PreparedGemm for FpmaPrepared {
@@ -136,7 +139,7 @@ impl PreparedGemm for FpmaPrepared {
 impl FpmaPrepared {
     fn gemm_direct(&self, a: &[f32], m: usize, out: &mut [f32]) {
         let (k, n) = (self.k, self.n);
-        let mk = || FpmaScratch { row: usize::MAX, arow: vec![0u32; k] };
+        let mk = || FpmaScratch { row: usize::MAX, arow: arena::take(k, 0u32) };
         drive(m, k, n, out, mk, |s: &mut FpmaScratch, i, col0, cols| {
             if s.row != i {
                 for (kk, &av) in a[i * k..(i + 1) * k].iter().enumerate() {
@@ -168,7 +171,8 @@ impl FpmaPrepared {
     fn gemm_lut(&self, a: &[f32], m: usize, out: &mut [f32]) {
         let (k, n) = (self.k, self.n);
         let np = self.palette.len();
-        let mk_table = || FpmaLutTable { arow: vec![0u32; k], tbl: vec![0u32; k * np] };
+        let mk_table =
+            || FpmaLutTable { arow: arena::take(k, 0u32), tbl: arena::take(k * np, 0u32) };
         let build = |t: &mut FpmaLutTable, i: usize| {
             for (kk, &av) in a[i * k..(i + 1) * k].iter().enumerate() {
                 t.arow[kk] = self.act.encode(av as f64);

@@ -10,7 +10,8 @@
 
 use crate::engines::prepared::{check_prepared_shapes, drive, drive_lut};
 use crate::engines::{check_shapes, lut, GemmEngine, PreparedGemm};
-use axcore_quant::{QuantFormat, QuantizedMatrix};
+use axcore_parallel::arena;
+use axcore_quant::{CodePlanes, QuantFormat, QuantizedMatrix};
 use axcore_softfloat::FpFormat;
 
 /// Shared prepared state for the exact INT-FP engines: integer codes
@@ -27,6 +28,11 @@ pub struct IntFpPrepared {
     /// never emits it, but hand-built matrices may), so LUT entries
     /// cover decoded values `-(vmax + 1) ..= vmax`.
     vmax: i32,
+    /// Per-column planes of LUT offsets (`dec + vmax + 1`): the gather's
+    /// weight stream. Nibble-packed (two offsets per byte, SWAR-expanded)
+    /// when the offset span fits 4 bits and the shape allows it; byte
+    /// planes otherwise.
+    planes: CodePlanes,
     k: usize,
     n: usize,
     group_size: usize,
@@ -55,12 +61,23 @@ fn int_fp_preload(act: FpFormat, w: &QuantizedMatrix) -> IntFpPrepared {
         }
     }
     let vmax = w.formats.iter().map(|f| f.max_abs() as i32).max().unwrap_or(0);
-    IntFpPrepared { act, dec, scales, vmax, k: w.k, n: w.n, group_size: w.group_size }
+    // Plane the gather offsets (`dec + vlo`, always in `0..span` with
+    // `span = 2 * vmax + 2`) once at preload. INT4 spans 16 values, so
+    // its offsets nibble-pack; INT8 falls back to byte planes — either
+    // way the weight stream shrinks 4–8× versus re-reading `dec`.
+    let span = 2 * vmax as usize + 2;
+    let vlo = vmax + 1;
+    let width = if span <= 16 && w.k.is_multiple_of(2) && w.group_size.is_multiple_of(2) { 4 } else { 8 };
+    let planes = CodePlanes::from_fn(w.k, w.n, w.group_size, width, |kk, col| {
+        (dec[col * w.k + kk] + vlo) as u8
+    });
+    IntFpPrepared { act, dec, scales, vmax, planes, k: w.k, n: w.n, group_size: w.group_size }
 }
 
+/// Arena-recycled: `arow` is fully rewritten for each new row.
 struct IntFpScratch {
     row: usize,
-    arow: Vec<f64>,
+    arow: arena::ArenaVec<f64>,
 }
 
 /// LUT-tier table: the quantized activation row and one product per
@@ -69,9 +86,10 @@ struct IntFpScratch {
 /// extra slot is the two's-complement minimum `-(vmax + 1)`). Keying on
 /// the decoded value (not the raw code) keeps the table format-agnostic
 /// even across mixed-width blocks.
+/// Arena-recycled: the build rewrites every `(element, value)` slot.
 struct IntFpLutTable {
-    arow: Vec<f64>,
-    tbl: Vec<f64>,
+    arow: arena::ArenaVec<f64>,
+    tbl: arena::ArenaVec<f64>,
 }
 
 impl PreparedGemm for IntFpPrepared {
@@ -99,7 +117,7 @@ impl IntFpPrepared {
         let (k, n) = (self.k, self.n);
         let gs = self.group_size;
         let groups = k / gs;
-        let mk = || IntFpScratch { row: usize::MAX, arow: vec![0f64; k] };
+        let mk = || IntFpScratch { row: usize::MAX, arow: arena::take(k, 0f64) };
         drive(m, k, n, out, mk, |s: &mut IntFpScratch, i, col0, cols| {
             if s.row != i {
                 for (kk, &av) in a[i * k..(i + 1) * k].iter().enumerate() {
@@ -138,7 +156,8 @@ impl IntFpPrepared {
         let vmax = self.vmax;
         let span = 2 * vmax as usize + 2;
         let vlo = vmax + 1;
-        let mk_table = || IntFpLutTable { arow: vec![0f64; k], tbl: vec![0f64; k * span] };
+        let mk_table =
+            || IntFpLutTable { arow: arena::take(k, 0f64), tbl: arena::take(k * span, 0f64) };
         let build = |t: &mut IntFpLutTable, i: usize| {
             for (kk, &av) in a[i * k..(i + 1) * k].iter().enumerate() {
                 t.arow[kk] = self.act.quantize(av as f64);
@@ -150,16 +169,43 @@ impl IntFpPrepared {
                 }
             }
         };
+        // The weight stream is the preplaned offset plane: one byte (or
+        // packed nibble pair) per element instead of a 4-byte `dec` read.
+        // Either plane width indexes the same table rows in the same
+        // ascending-k order, so results stay bit-identical.
+        let packed = self.planes.is_packed();
         let gather = |t: &IntFpLutTable, _i: usize, col0: usize, cols: &mut [f32]| {
             for (j, o) in cols.iter_mut().enumerate() {
                 let c = col0 + j;
-                let wcol = &self.dec[c * k..(c + 1) * k];
+                let pl = self.planes.plane(c);
                 let mut acc = 0f32;
                 for g in 0..groups {
-                    let rows = t.tbl[g * gs * span..(g + 1) * gs * span].chunks_exact(span);
+                    let es = &t.tbl[g * gs * span..(g + 1) * gs * span];
                     let mut group_acc = 0f64;
-                    for (row, &wv) in rows.zip(&wcol[g * gs..(g + 1) * gs]) {
-                        group_acc += row[(wv + vlo) as usize];
+                    if packed {
+                        // u64 SWAR expansion: 16 offsets per 8-byte load.
+                        let cd = &pl[g * gs / 2..(g + 1) * gs / 2];
+                        let full = cd.len() / 8;
+                        for blk in 0..full {
+                            let b = blk * 8;
+                            let w = u64::from_le_bytes(cd[b..b + 8].try_into().unwrap());
+                            let ebase = blk * 16 * span;
+                            for step in 0..16 {
+                                let off = (w >> (4 * step)) as usize & 0xf;
+                                group_acc += es[ebase + step * span + off];
+                            }
+                        }
+                        for (bi, &byte) in cd.iter().enumerate().skip(full * 8) {
+                            let b = byte as usize;
+                            let row = 2 * bi * span;
+                            group_acc += es[row + (b & 0xf)];
+                            group_acc += es[row + span + (b >> 4)];
+                        }
+                    } else {
+                        let cd = &pl[g * gs..(g + 1) * gs];
+                        for (row, &off) in es.chunks_exact(span).zip(cd) {
+                            group_acc += row[off as usize];
+                        }
                     }
                     acc += (group_acc * self.scales[g * n + c]) as f32;
                 }

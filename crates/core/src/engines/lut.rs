@@ -11,7 +11,14 @@
 //! The decision is made **once per `gemm` call on the calling thread**,
 //! from the output shape and the per-element table width alone — never
 //! from the thread count — so the chosen path (and therefore all observed
-//! behaviour) is reproducible at any parallelism.
+//! behaviour) is reproducible at any parallelism. Pool workers never read
+//! this module's thread-local override: the caller resolves the policy
+//! before fanning out, and the workers only see the already-chosen kernel.
+//!
+//! The tables themselves live in [`axcore_parallel::arena`] buffers, so in
+//! pooled steady state a decode call pays only the table *build* cost —
+//! the (re)allocation and zeroing of the table storage happen once per
+//! thread per shape, not once per call.
 
 use std::cell::Cell;
 use std::sync::OnceLock;

@@ -14,9 +14,13 @@
 //!
 //! # Parallel execution and determinism
 //!
-//! Prepared GEMMs execute their output tiles on a scoped thread pool
-//! (see [`axcore_parallel`]): large-`m` calls split over row chunks,
-//! decode-shaped calls split each row over column tiles. Every engine in
+//! Prepared GEMMs execute their output tiles on the persistent worker
+//! pool (see [`axcore_parallel`]; the legacy per-call scoped spawn
+//! survives as [`axcore_parallel::ExecMode::Scoped`] for A/B runs):
+//! large-`m` calls split over row chunks, decode-shaped calls split each
+//! row over column tiles. Per-worker scratch (activation encodes, LUT
+//! tables) is drawn from the thread-local [`axcore_parallel::arena`], so
+//! steady-state decode calls allocate nothing. Every engine in
 //! this crate computes each output element `(i, col)` independently —
 //! including AxCore's stochastic SNC tie bit, which is a deterministic
 //! function of the activation mantissa MSB (§5.2.2), not of any shared

@@ -11,6 +11,7 @@
 
 use crate::engines::prepared::{check_prepared_shapes, drive};
 use crate::engines::{check_shapes, GemmEngine, PreparedGemm};
+use axcore_parallel::arena;
 use axcore_quant::{QuantFormat, QuantizedMatrix};
 
 /// Integer-only GEMM with activation quantization (Tender-like).
@@ -98,10 +99,12 @@ pub struct TenderPrepared {
 }
 
 /// Per-worker scratch: the current row's activation codes and chunk scales.
+/// Stale-safe: both buffers are fully rewritten when `row` changes (the
+/// chunk loop covers `0..k` and every chunk scale), before any read.
 struct TenderScratch {
     row: usize,
-    acodes: Vec<i32>,
-    ascales: Vec<f64>,
+    acodes: arena::ArenaVec<i32>,
+    ascales: arena::ArenaVec<f64>,
 }
 
 impl PreparedGemm for TenderPrepared {
@@ -121,8 +124,8 @@ impl PreparedGemm for TenderPrepared {
         let chunk_len = k.div_ceil(self.chunks);
         let mk = || TenderScratch {
             row: usize::MAX,
-            acodes: vec![0i32; k],
-            ascales: vec![0f64; self.chunks],
+            acodes: arena::take(k, 0i32),
+            ascales: arena::take(self.chunks, 0f64),
         };
         drive(m, k, n, out, mk, |s: &mut TenderScratch, i, col0, cols| {
             if s.row != i {

@@ -1,27 +1,44 @@
 //! # axcore-parallel
 //!
-//! Data parallelism for the GEMM engines: rayon-style `par_chunks_mut`
-//! over disjoint output slices, built on `std::thread::scope` so the
-//! workspace stays dependency-free (the build environment has no
-//! registry access, so rayon itself cannot be pulled in; this crate
-//! provides the small slice-parallel subset the engines need).
+//! The execution runtime for the GEMM engines: rayon-style
+//! `par_chunks_mut` over disjoint output slices plus the scratch arena,
+//! built with no dependencies (the build environment has no registry
+//! access, so rayon itself cannot be pulled in; this crate provides the
+//! small slice-parallel subset the engines need).
+//!
+//! Work is dispatched to a lazily-started **persistent worker pool**
+//! ([`pool`]): workers park on a condvar between calls, so the
+//! steady-state decode path pays one wake/park round-trip instead of
+//! re-spawning OS threads on every `gemm` call, and dispatch itself
+//! performs no heap allocation (chunks are claimed off an atomic
+//! counter). The pre-pool `std::thread::scope` implementation is kept
+//! selectable as [`ExecMode::Scoped`] — it is the A/B baseline for the
+//! pool-equivalence proptests and the benchmark's legacy rows.
 //!
 //! Guarantees:
 //!
 //! * **Determinism** — each chunk's output location is a function of its
 //!   chunk index alone, never of thread scheduling; callers that compute
 //!   each output element independently of iteration order get
-//!   bit-identical results at any thread count.
+//!   bit-identical results at any thread count in either mode.
 //! * **No nesting blowup** — a worker thread that itself calls into the
 //!   parallel API runs serially, so parallel GEMMs inside parallel row
 //!   sweeps do not oversubscribe the machine.
 //! * **Control** — [`with_threads`] scopes an explicit thread count (1 =
 //!   force serial, used by benches and the bit-exactness tests); the
-//!   `AXCORE_THREADS` environment variable caps the default.
+//!   `AXCORE_THREADS` environment variable caps the default, and
+//!   `AXCORE_POOL=scoped` (or `0`/`off`) falls back to per-call scoped
+//!   threads.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)] // narrowly allowed in the pool dispatch path only
+
+pub mod arena;
+pub mod pool;
+
+pub use pool::{shutdown as shutdown_pool, spawned_workers};
 
 use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 thread_local! {
@@ -29,6 +46,18 @@ thread_local! {
     static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
     /// Set inside pool workers: nested parallel calls run serial.
     static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+    /// Per-thread override installed by [`with_exec_mode`].
+    static MODE_OVERRIDE: Cell<Option<ExecMode>> = const { Cell::new(None) };
+}
+
+/// How parallel work is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Persistent worker pool + recycled scratch arena (the default).
+    Pooled,
+    /// Per-call `std::thread::scope` spawning and per-call scratch
+    /// allocation — the pre-pool runtime, kept as the A/B baseline.
+    Scoped,
 }
 
 /// The machine-level default thread count: `AXCORE_THREADS` if set,
@@ -43,6 +72,38 @@ pub fn max_threads() -> usize {
         }
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     })
+}
+
+/// The process-default execution mode: `AXCORE_POOL=scoped|off|0` picks
+/// the legacy scoped runtime, anything else (or unset) the pool.
+fn default_exec_mode() -> ExecMode {
+    static MODE: OnceLock<ExecMode> = OnceLock::new();
+    *MODE.get_or_init(|| match std::env::var("AXCORE_POOL") {
+        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+            "scoped" | "off" | "0" => ExecMode::Scoped,
+            _ => ExecMode::Pooled,
+        },
+        Err(_) => ExecMode::Pooled,
+    })
+}
+
+/// The execution mode parallel calls on this thread will use right now.
+pub fn current_exec_mode() -> ExecMode {
+    MODE_OVERRIDE.with(|m| m.get()).unwrap_or_else(default_exec_mode)
+}
+
+/// Run `f` with the execution mode on this thread forced to `mode`. The
+/// previous setting is restored on exit, including on panic.
+pub fn with_exec_mode<R>(mode: ExecMode, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<ExecMode>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            MODE_OVERRIDE.with(|m| m.set(self.0));
+        }
+    }
+    let prev = MODE_OVERRIDE.with(|m| m.replace(Some(mode)));
+    let _restore = Restore(prev);
+    f()
 }
 
 /// Thread counts worth sweeping in benchmarks: powers of two up to and
@@ -86,6 +147,27 @@ pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
     f()
 }
 
+/// Mark the current thread as a pool worker for its whole lifetime.
+pub(crate) fn mark_worker_thread() {
+    IN_WORKER.with(|w| w.set(true));
+}
+
+/// Run `f` with this thread temporarily marked as a worker (nested
+/// parallel calls inside `f` take the serial path), restoring the
+/// previous state afterwards — used when the submitting thread
+/// participates in its own pooled job.
+pub(crate) fn enter_worker<R>(f: impl FnOnce() -> R) -> R {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            IN_WORKER.with(|w| w.set(self.0));
+        }
+    }
+    let prev = IN_WORKER.with(|w| w.replace(true));
+    let _restore = Restore(prev);
+    f()
+}
+
 /// Split `data` into contiguous chunks of `chunk_len` elements and call
 /// `f(chunk_index, chunk)` for every chunk, distributing chunks over up
 /// to [`current_threads`] workers. Equivalent to
@@ -118,13 +200,89 @@ where
         }
         return;
     }
+    match current_exec_mode() {
+        ExecMode::Pooled => pooled_chunks(data, chunk_len, num_chunks, threads, &mk_scratch, &f),
+        ExecMode::Scoped => scoped_chunks(data, chunk_len, threads, &mk_scratch, &f),
+    }
+}
 
+/// Pool dispatch: all participants (caller + `threads - 1` pool workers)
+/// claim chunk indices off one atomic counter. Claiming is dynamic (load
+/// balances uneven chunks) but output placement is by chunk index, so
+/// scheduling cannot affect results. No allocation happens on this path.
+fn pooled_chunks<T, S, MkS, F>(
+    data: &mut [T],
+    chunk_len: usize,
+    num_chunks: usize,
+    threads: usize,
+    mk_scratch: &MkS,
+    f: &F,
+) where
+    T: Send,
+    MkS: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &mut [T]) + Sync,
+{
+    /// The output slice as a shareable base pointer. Participants carve
+    /// disjoint sub-slices out of it by claimed chunk index.
+    struct RawChunks<T> {
+        base: *mut T,
+        len: usize,
+    }
+    // SAFETY: shared only for the duration of `pool::run`; every access
+    // goes through a uniquely claimed chunk index, so no two threads
+    // ever touch the same element (`T: Send` moves element access to
+    // the claiming thread).
+    #[allow(unsafe_code)]
+    unsafe impl<T: Send> Sync for RawChunks<T> {}
+
+    let raw = RawChunks {
+        base: data.as_mut_ptr(),
+        len: data.len(),
+    };
+    // Capture the Sync wrapper by reference (closure field-capture would
+    // otherwise grab the raw pointer itself, which is not Sync).
+    let raw = &raw;
+    let next = AtomicUsize::new(0);
+    let body = || {
+        let mut i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= num_chunks {
+            return; // late participant: all chunks already claimed
+        }
+        let mut scratch = mk_scratch();
+        loop {
+            let start = i * chunk_len;
+            let len = chunk_len.min(raw.len - start);
+            // SAFETY: `i` was claimed exactly once via fetch_add, so the
+            // [start, start + len) ranges handed out are pairwise
+            // disjoint sub-slices of the caller's exclusive borrow, which
+            // outlives `pool::run` (it blocks until all participants
+            // finish).
+            #[allow(unsafe_code)]
+            let chunk = unsafe { std::slice::from_raw_parts_mut(raw.base.add(start), len) };
+            f(&mut scratch, i, chunk);
+            i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= num_chunks {
+                return;
+            }
+        }
+    };
+    pool::run(threads - 1, &body);
+}
+
+/// Legacy dispatch: per-call `std::thread::scope` spawning with a shared
+/// chunk queue — the pre-pool runtime, kept for A/B comparison.
+fn scoped_chunks<T, S, MkS, F>(data: &mut [T], chunk_len: usize, threads: usize, mk_scratch: &MkS, f: &F)
+where
+    T: Send,
+    MkS: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &mut [T]) + Sync,
+{
     // Dynamic scheduling: workers pop chunks from a shared queue, which
     // balances load when chunks differ in cost. Output placement is by
     // chunk index, so scheduling cannot affect results.
     let queue: Mutex<Vec<(usize, &mut [T])>> =
         Mutex::new(data.chunks_mut(chunk_len).enumerate().collect());
-    let (queue, f, mk_scratch) = (&queue, &f, &mk_scratch);
+    let queue = &queue;
     std::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(move || {
@@ -157,6 +315,25 @@ mod tests {
         });
         for (j, &v) in data.iter().enumerate() {
             assert_eq!(v, (j / 10) as u32 + 1, "elem {j}");
+        }
+    }
+
+    #[test]
+    fn covers_every_chunk_in_both_modes() {
+        for mode in [ExecMode::Pooled, ExecMode::Scoped] {
+            with_exec_mode(mode, || {
+                with_threads(4, || {
+                    let mut data = vec![0u32; 777];
+                    par_chunks_mut(&mut data, 13, |i, chunk| {
+                        for v in chunk.iter_mut() {
+                            *v += i as u32 + 1;
+                        }
+                    });
+                    for (j, &v) in data.iter().enumerate() {
+                        assert_eq!(v, (j / 13) as u32 + 1, "{mode:?} elem {j}");
+                    }
+                });
+            });
         }
     }
 
@@ -197,15 +374,32 @@ mod tests {
     }
 
     #[test]
-    fn nested_calls_run_serially_in_workers() {
-        let nested_threads = AtomicUsize::new(usize::MAX);
-        let mut data = vec![0u8; 64];
-        with_threads(4, || {
-            par_chunks_mut(&mut data, 1, |_, _| {
-                nested_threads.fetch_min(current_threads(), Ordering::Relaxed);
+    fn with_exec_mode_restores_previous_setting() {
+        let before = current_exec_mode();
+        with_exec_mode(ExecMode::Scoped, || {
+            assert_eq!(current_exec_mode(), ExecMode::Scoped);
+            with_exec_mode(ExecMode::Pooled, || {
+                assert_eq!(current_exec_mode(), ExecMode::Pooled);
             });
+            assert_eq!(current_exec_mode(), ExecMode::Scoped);
         });
-        assert_eq!(nested_threads.load(Ordering::Relaxed), 1);
+        assert_eq!(current_exec_mode(), before);
+    }
+
+    #[test]
+    fn nested_calls_run_serially_in_workers() {
+        for mode in [ExecMode::Pooled, ExecMode::Scoped] {
+            let nested_threads = AtomicUsize::new(usize::MAX);
+            let mut data = vec![0u8; 64];
+            with_exec_mode(mode, || {
+                with_threads(4, || {
+                    par_chunks_mut(&mut data, 1, |_, _| {
+                        nested_threads.fetch_min(current_threads(), Ordering::Relaxed);
+                    });
+                });
+            });
+            assert_eq!(nested_threads.load(Ordering::Relaxed), 1, "{mode:?}");
+        }
     }
 
     #[test]
@@ -222,5 +416,95 @@ mod tests {
         });
         // One scratch per worker, not per chunk.
         assert!(builds.load(Ordering::Relaxed) <= 2);
+    }
+
+    #[test]
+    fn pool_workers_persist_across_calls() {
+        with_exec_mode(ExecMode::Pooled, || {
+            with_threads(3, || {
+                let mut data = vec![0u8; 96];
+                par_chunks_mut(&mut data, 4, |_, c| c.fill(1));
+                let after_first = spawned_workers();
+                assert!(after_first >= 2, "pool should have started helpers");
+                for _ in 0..5 {
+                    par_chunks_mut(&mut data, 4, |_, c| c.fill(2));
+                }
+                assert_eq!(spawned_workers(), after_first, "no re-spawning per call");
+                assert!(data.iter().all(|&v| v == 2));
+            });
+        });
+    }
+
+    #[test]
+    fn panicking_task_propagates_and_pool_stays_usable() {
+        with_exec_mode(ExecMode::Pooled, || {
+            with_threads(2, || {
+                let mut data = vec![0u32; 32];
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let mut poisoned = vec![0u32; 32];
+                    par_chunks_mut(&mut poisoned, 1, |i, _| {
+                        if i == 17 {
+                            panic!("task 17 failed");
+                        }
+                    });
+                }));
+                let err = result.expect_err("panic must propagate to the caller");
+                let msg = err
+                    .downcast_ref::<&str>()
+                    .copied()
+                    .map(String::from)
+                    .or_else(|| err.downcast_ref::<String>().cloned())
+                    .unwrap_or_default();
+                assert!(msg.contains("task 17 failed"), "payload preserved: {msg}");
+                // The pool must be parked and reusable after the panic.
+                par_chunks_mut(&mut data, 1, |i, c| c[0] = i as u32 + 1);
+                for (i, &v) in data.iter().enumerate() {
+                    assert_eq!(v, i as u32 + 1);
+                }
+            });
+        });
+    }
+
+    #[test]
+    fn shutdown_joins_workers_and_pool_restarts() {
+        with_exec_mode(ExecMode::Pooled, || {
+            with_threads(2, || {
+                let mut data = vec![0u8; 64];
+                par_chunks_mut(&mut data, 2, |_, c| c.fill(1));
+            });
+        });
+        // Serialize with other tests' pool use: shutdown takes the submit
+        // lock, so in-flight jobs finish first.
+        shutdown_pool();
+        assert_eq!(spawned_workers(), 0);
+        with_exec_mode(ExecMode::Pooled, || {
+            with_threads(2, || {
+                let mut data = vec![0u8; 64];
+                par_chunks_mut(&mut data, 2, |_, c| c.fill(3));
+                assert!(data.iter().all(|&v| v == 3));
+            });
+        });
+        assert!(spawned_workers() >= 1);
+    }
+
+    #[test]
+    fn pooled_and_scoped_agree_bitwise() {
+        let work = |i: usize, chunk: &mut [f64]| {
+            for (j, v) in chunk.iter_mut().enumerate() {
+                *v = ((i * 17 + j) as f64).cos() * 0.5;
+            }
+        };
+        let mut pooled = vec![0f64; 300];
+        with_exec_mode(ExecMode::Pooled, || {
+            with_threads(4, || par_chunks_mut(&mut pooled, 9, work));
+        });
+        let mut scoped = vec![0f64; 300];
+        with_exec_mode(ExecMode::Scoped, || {
+            with_threads(4, || par_chunks_mut(&mut scoped, 9, work));
+        });
+        assert_eq!(
+            pooled.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            scoped.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        );
     }
 }

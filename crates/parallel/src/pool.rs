@@ -1,0 +1,212 @@
+//! The persistent worker pool behind [`crate::par_chunks_mut`].
+//!
+//! Workers are OS threads spawned lazily on first parallel dispatch and
+//! then parked on a condvar between jobs, so the steady-state cost of a
+//! parallel call is one mutex/condvar round-trip instead of `threads - 1`
+//! `clone(2)` + `join(2)` pairs per call. A *job* is a type-erased
+//! `&(dyn Fn() + Sync)` body that every participant (the submitting
+//! thread plus `helpers` pool threads) runs concurrently; the body itself
+//! claims work items off a shared atomic counter, so dispatch allocates
+//! nothing.
+//!
+//! Guarantees:
+//!
+//! * **Borrow safety** — [`run`] does not return until every participant
+//!   has finished the body, so the erased pointer never outlives the
+//!   caller's borrows (enforced by the completion wait, including on
+//!   panic).
+//! * **Panic propagation** — a panic in the body on any thread is caught,
+//!   carried back, and re-thrown on the submitting thread; the pool
+//!   itself stays parked and reusable afterwards.
+//! * **Graceful shutdown** — [`shutdown`] wakes and joins every worker;
+//!   the next dispatch restarts the pool from scratch.
+
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::thread::JoinHandle;
+
+/// Type-erased job body. The `'static` on the trait object is a lie told
+/// through [`run`]'s transmute; the completion wait makes it safe.
+type Body = *const (dyn Fn() + Sync);
+
+/// Wrapper so the raw body pointer can live inside the state mutex.
+struct Job(Body);
+// SAFETY: the pointer is only dereferenced between job submission and the
+// submitter's completion wait, during which the pointee is alive and the
+// `Sync` bound makes concurrent calls sound.
+#[allow(unsafe_code)]
+unsafe impl Send for Job {}
+
+#[derive(Default)]
+struct State {
+    /// The active job, if any. Present from submission until completion.
+    job: Option<Job>,
+    /// Helpers that should still pick up the active job.
+    starts_left: usize,
+    /// Helpers that have not yet finished the active job.
+    running: usize,
+    /// First panic payload caught from the active job.
+    panic: Option<Box<dyn Any + Send>>,
+    /// Worker threads currently spawned.
+    spawned: usize,
+    /// Set by [`shutdown`]; workers exit their loop when they see it.
+    shutting_down: bool,
+    handles: Vec<JoinHandle<()>>,
+}
+
+struct Pool {
+    /// Serializes whole jobs: the pool has a single job slot, so two
+    /// top-level parallel calls from different threads queue up here.
+    submit: Mutex<()>,
+    state: Mutex<State>,
+    /// Workers park here waiting for `starts_left > 0` or shutdown.
+    work_cv: Condvar,
+    /// The submitter parks here waiting for `running == 0`.
+    done_cv: Condvar,
+}
+
+/// Poison-proof lock: a panic payload is already being propagated by the
+/// catch/rethrow protocol, so a poisoned mutex carries no extra danger.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn global() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        submit: Mutex::new(()),
+        state: Mutex::new(State::default()),
+        work_cv: Condvar::new(),
+        done_cv: Condvar::new(),
+    })
+}
+
+fn worker_loop(pool: &'static Pool) {
+    // Pool threads are workers for life: nested parallel calls made by
+    // engine code running on them must take the serial path.
+    crate::mark_worker_thread();
+    let mut st = lock(&pool.state);
+    loop {
+        if st.shutting_down {
+            return;
+        }
+        if st.starts_left > 0 {
+            st.starts_left -= 1;
+            let body = st.job.as_ref().expect("job present while starts pending").0;
+            drop(st);
+            // SAFETY: the submitter keeps the body alive until `running`
+            // reaches zero, which cannot happen before this call returns.
+            #[allow(unsafe_code)]
+            let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*body)() }));
+            st = lock(&pool.state);
+            if let Err(payload) = result {
+                if st.panic.is_none() {
+                    st.panic = Some(payload);
+                }
+            }
+            st.running -= 1;
+            if st.running == 0 {
+                pool.done_cv.notify_one();
+            }
+        } else {
+            st = pool
+                .work_cv
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// Spawn workers until at least `want` exist. Called with the submit
+/// lock held, so the count cannot race with another submitter.
+fn ensure_workers(pool: &'static Pool, want: usize) {
+    let mut st = lock(&pool.state);
+    while st.spawned < want {
+        let idx = st.spawned;
+        let handle = std::thread::Builder::new()
+            .name(format!("axcore-pool-{idx}"))
+            .spawn(|| worker_loop(global()))
+            .expect("failed to spawn pool worker");
+        st.handles.push(handle);
+        st.spawned += 1;
+    }
+}
+
+/// Run `body` concurrently on this thread plus `helpers` pool workers,
+/// returning once every participant has finished. Panics from any
+/// participant are re-thrown here after all of them are done.
+pub(crate) fn run(helpers: usize, body: &(dyn Fn() + Sync)) {
+    debug_assert!(helpers >= 1, "run() needs at least one helper");
+    let pool = global();
+    let submit = lock(&pool.submit);
+    ensure_workers(pool, helpers);
+    {
+        let mut st = lock(&pool.state);
+        debug_assert!(st.job.is_none() && st.running == 0 && st.starts_left == 0);
+        // SAFETY (lifetime erasure): `body` lives for the whole of this
+        // function, and this function does not return before the
+        // completion wait below observes `running == 0` — after which no
+        // worker can still dereference the pointer.
+        #[allow(unsafe_code)]
+        let erased = unsafe {
+            std::mem::transmute::<&(dyn Fn() + Sync), Body>(body)
+        };
+        st.job = Some(Job(erased));
+        st.starts_left = helpers;
+        st.running = helpers;
+        pool.work_cv.notify_all();
+    }
+    // The submitting thread participates as one worker. Even if the body
+    // panics here, the completion wait below must still happen before the
+    // borrows behind `body` can be invalidated.
+    let caller_result = catch_unwind(AssertUnwindSafe(|| crate::enter_worker(body)));
+    let worker_panic = {
+        let mut st = lock(&pool.state);
+        while st.running > 0 {
+            st = pool
+                .done_cv
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        st.job = None;
+        st.panic.take()
+    };
+    drop(submit);
+    if let Err(payload) = caller_result {
+        resume_unwind(payload);
+    }
+    if let Some(payload) = worker_panic {
+        resume_unwind(payload);
+    }
+}
+
+/// Number of pool workers currently spawned (0 before first parallel
+/// dispatch and after [`shutdown`]).
+pub fn spawned_workers() -> usize {
+    lock(&global().state).spawned
+}
+
+/// Gracefully stop and join every pool worker. Blocks until all workers
+/// have exited; the next parallel dispatch restarts the pool lazily.
+/// Safe to call at any time from a non-worker thread — in-flight jobs
+/// finish first because shutdown takes the submission lock.
+pub fn shutdown() {
+    let pool = global();
+    let _submit = lock(&pool.submit);
+    let handles = {
+        let mut st = lock(&pool.state);
+        if st.spawned == 0 {
+            return;
+        }
+        st.shutting_down = true;
+        pool.work_cv.notify_all();
+        std::mem::take(&mut st.handles)
+    };
+    for handle in handles {
+        let _ = handle.join();
+    }
+    let mut st = lock(&pool.state);
+    st.spawned = 0;
+    st.shutting_down = false;
+}

@@ -123,44 +123,194 @@ impl PackedWeights {
     }
 }
 
-/// Column-major code planes: every weight code unpacked to one byte,
-/// laid out `codes[col * k + kk]`.
+/// Column-major code planes: the gather-side layout of the LUT execution
+/// tier.
 ///
-/// This is the gather-side layout of the LUT execution tier. The
-/// [`QuantizedMatrix`] stores codes row-major (`k` rows of `n` codes), so
-/// a GEMM inner loop walking one output column over `k` strides by `n`
-/// bytes per MAC; the packed image interleaves two 4-bit codes per byte,
-/// which would add a shift/mask per MAC. The plane layout makes the
-/// per-column code stream a contiguous byte read, so `table[code]`
-/// lookups are the only per-MAC work left.
+/// The [`QuantizedMatrix`] stores codes row-major (`k` rows of `n`
+/// codes), so a GEMM inner loop walking one output column over `k`
+/// strides by `n` bytes per MAC. The plane layout makes the per-column
+/// code stream one contiguous read instead.
+///
+/// Two plane widths exist:
+///
+/// * **Byte planes** (`code_bits == 8`): one code per byte, laid out
+///   `codes[col * k + kk]`. Works for every format.
+/// * **Nibble-packed planes** (`code_bits == 4`): two 4-bit codes per
+///   byte along `k` (low nibble = even `kk`, matching the
+///   [`PackedWeights`] convention), laid out
+///   `codes[col * k/2 + kk/2]`. Halves weight-side memory traffic for
+///   FP4/INT4 blocks; gather kernels expand eight bytes (16 codes) at a
+///   time via one u64 SWAR load. Requires `k` and `group_size` even so
+///   group segments stay byte-aligned.
+///
+/// Construction validates that every block format's `code_bits` — and
+/// every stored code value — fits the plane width, so an out-of-range
+/// code is a loud panic at prepare time, never a silent mis-gather.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CodePlanes {
     codes: Vec<u8>,
     k: usize,
     n: usize,
+    code_bits: u32,
 }
 
 impl CodePlanes {
-    /// Transpose a matrix's codes into per-column planes.
+    /// Transpose a matrix's codes into per-column planes, choosing the
+    /// narrowest plane width the matrix supports: nibble-packed when all
+    /// block formats are ≤ 4-bit and the shape allows it, byte planes
+    /// otherwise (8-bit formats fall back automatically).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stored code does not fit its block format's declared
+    /// `code_bits` (a malformed hand-built matrix would otherwise be
+    /// silently truncated into the packed plane).
     pub fn new(q: &QuantizedMatrix) -> Self {
+        let width = q.formats.iter().map(|f| f.code_bits()).max().unwrap_or(8);
+        let width = if width <= 4 && q.k.is_multiple_of(2) && q.group_size.is_multiple_of(2) {
+            4
+        } else {
+            8
+        };
+        Self::with_width(q, width)
+    }
+
+    /// Build planes at an explicit width (4 = nibble-packed, 8 = byte).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any block format's `code_bits` exceeds `width`, if any
+    /// stored code value does not fit in `width` bits, or if `width == 4`
+    /// and `k` or `group_size` is odd (group segments would straddle
+    /// packed bytes).
+    pub fn with_width(q: &QuantizedMatrix, width: u32) -> Self {
+        assert!(width == 4 || width == 8, "plane width must be 4 or 8 bits");
+        let wide = q.formats.iter().map(|f| f.code_bits()).max().unwrap_or(0);
+        assert!(
+            wide <= width,
+            "code_bits {wide} exceeds the {width}-bit plane width"
+        );
         let (k, n) = (q.k, q.n);
-        let mut codes = vec![0u8; k * n];
+        if width == 8 {
+            let mut codes = vec![0u8; k * n];
+            for kk in 0..k {
+                let row = &q.codes[kk * n..(kk + 1) * n];
+                for (col, &c) in row.iter().enumerate() {
+                    codes[col * k + kk] = c;
+                }
+            }
+            return CodePlanes { codes, k, n, code_bits: 8 };
+        }
+        assert!(
+            k % 2 == 0 && q.group_size.is_multiple_of(2),
+            "nibble-packed planes need even k and group_size (k={k}, group_size={})",
+            q.group_size
+        );
+        let mut codes = vec![0u8; k / 2 * n];
         for kk in 0..k {
             let row = &q.codes[kk * n..(kk + 1) * n];
             for (col, &c) in row.iter().enumerate() {
-                codes[col * k + kk] = c;
+                assert!(
+                    c < 16,
+                    "code {c:#x} at (kk={kk}, col={col}) does not fit a 4-bit plane"
+                );
+                let slot = &mut codes[col * (k / 2) + kk / 2];
+                *slot |= if kk % 2 == 0 { c } else { c << 4 };
             }
         }
-        CodePlanes { codes, k, n }
+        CodePlanes { codes, k, n, code_bits: 4 }
+    }
+
+    /// Byte planes built from arbitrary per-element values (used by the
+    /// integer engines to plane their decoded-offset tables). `width`
+    /// follows the same rules as [`CodePlanes::with_width`]; `f(kk, col)`
+    /// supplies the value. `group_size` guards packed-plane alignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a produced value does not fit in `width` bits, or if
+    /// `width == 4` and `k` or `group_size` is odd.
+    pub fn from_fn(
+        k: usize,
+        n: usize,
+        group_size: usize,
+        width: u32,
+        mut f: impl FnMut(usize, usize) -> u8,
+    ) -> Self {
+        assert!(width == 4 || width == 8, "plane width must be 4 or 8 bits");
+        if width == 8 {
+            let mut codes = vec![0u8; k * n];
+            for col in 0..n {
+                for kk in 0..k {
+                    codes[col * k + kk] = f(kk, col);
+                }
+            }
+            return CodePlanes { codes, k, n, code_bits: 8 };
+        }
+        assert!(
+            k.is_multiple_of(2) && group_size.is_multiple_of(2),
+            "nibble-packed planes need even k and group_size (k={k}, group_size={group_size})"
+        );
+        let mut codes = vec![0u8; k / 2 * n];
+        for col in 0..n {
+            for kk in 0..k {
+                let v = f(kk, col);
+                assert!(
+                    v < 16,
+                    "value {v:#x} at (kk={kk}, col={col}) does not fit a 4-bit plane"
+                );
+                codes[col * (k / 2) + kk / 2] |= if kk % 2 == 0 { v } else { v << 4 };
+            }
+        }
+        CodePlanes { codes, k, n, code_bits: 4 }
     }
 
     /// The contiguous code plane of one output column (`k` bytes).
+    /// Byte planes only — packed planes are read via [`CodePlanes::plane`].
     #[inline]
     pub fn col(&self, col: usize) -> &[u8] {
+        assert!(self.code_bits == 8, "col() reads byte planes; use plane()");
         &self.codes[col * self.k..(col + 1) * self.k]
     }
 
-    /// Accumulation depth (bytes per plane).
+    /// The raw plane bytes of one output column: `k` bytes for byte
+    /// planes, `k / 2` for nibble-packed planes.
+    #[inline]
+    pub fn plane(&self, col: usize) -> &[u8] {
+        let stride = self.plane_stride();
+        &self.codes[col * stride..(col + 1) * stride]
+    }
+
+    /// Bytes per column plane.
+    #[inline]
+    pub fn plane_stride(&self) -> usize {
+        if self.code_bits == 4 { self.k / 2 } else { self.k }
+    }
+
+    /// The code at `(kk, col)` regardless of plane width.
+    #[inline]
+    pub fn code(&self, kk: usize, col: usize) -> u8 {
+        if self.code_bits == 4 {
+            let byte = self.codes[col * (self.k / 2) + kk / 2];
+            if kk.is_multiple_of(2) { byte & 0x0f } else { byte >> 4 }
+        } else {
+            self.codes[col * self.k + kk]
+        }
+    }
+
+    /// Plane width in bits (4 = nibble-packed, 8 = byte).
+    #[inline]
+    pub fn code_bits(&self) -> u32 {
+        self.code_bits
+    }
+
+    /// Whether two codes share each byte.
+    #[inline]
+    pub fn is_packed(&self) -> bool {
+        self.code_bits == 4
+    }
+
+    /// Accumulation depth (codes per plane).
     #[inline]
     pub fn k(&self) -> usize {
         self.k
@@ -234,14 +384,81 @@ mod tests {
 
     #[test]
     fn code_planes_are_transposed_codes() {
-        let q = sample(QuantFormat::E1M2);
-        let p = CodePlanes::new(&q);
-        assert_eq!((p.k(), p.n()), (q.k, q.n));
+        // 4-bit formats auto-pack; 8-bit formats fall back to byte planes.
+        for (fmt, want_packed) in [(QuantFormat::E1M2, true), (QuantFormat::INT8, false)] {
+            let q = sample(fmt);
+            let p = CodePlanes::new(&q);
+            assert_eq!((p.k(), p.n()), (q.k, q.n));
+            assert_eq!(p.is_packed(), want_packed, "{fmt}");
+            for col in 0..q.n {
+                let plane = p.plane(col);
+                assert_eq!(plane.len(), if want_packed { q.k / 2 } else { q.k });
+                for kk in 0..q.k {
+                    assert_eq!(p.code(kk, col), q.code(kk, col), "{fmt} ({kk}, {col})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_and_byte_planes_hold_identical_codes() {
+        let q = sample(QuantFormat::E2M1);
+        let packed = CodePlanes::with_width(&q, 4);
+        let bytes = CodePlanes::with_width(&q, 8);
+        assert_eq!(packed.plane_stride() * 2, bytes.plane_stride());
         for col in 0..q.n {
-            let plane = p.col(col);
-            assert_eq!(plane.len(), q.k);
-            for (kk, &code) in plane.iter().enumerate() {
-                assert_eq!(code, q.code(kk, col), "({kk}, {col})");
+            for kk in 0..q.k {
+                assert_eq!(packed.code(kk, col), bytes.code(kk, col));
+            }
+            assert_eq!(bytes.col(col), bytes.plane(col));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 4-bit plane width")]
+    fn packed_planes_reject_wide_codes() {
+        // Hand-built 8-bit-code matrix: packing its codes into nibble
+        // planes would silently drop the high nibble, so construction
+        // must refuse.
+        let q = sample(QuantFormat::INT8);
+        let _ = CodePlanes::with_width(&q, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit a 4-bit plane")]
+    fn packed_planes_reject_out_of_range_code_values() {
+        // A matrix whose formats *claim* 4-bit codes but whose stored
+        // codes lie outside them must be rejected, not mis-gathered.
+        let mut q = sample(QuantFormat::E2M1);
+        q.codes[5] = 0xab;
+        let _ = CodePlanes::new(&q);
+    }
+
+    #[test]
+    fn odd_shapes_fall_back_to_byte_planes() {
+        let (k, n) = (33, 4);
+        let w: Vec<f32> = (0..k * n).map(|i| (i as f32).cos() * 0.3).collect();
+        let q = GroupQuantizer::fixed(QuantFormat::E2M1, 11).quantize(&w, k, n);
+        let p = CodePlanes::new(&q);
+        assert!(!p.is_packed(), "odd k cannot pack");
+        for col in 0..n {
+            for kk in 0..k {
+                assert_eq!(p.code(kk, col), q.code(kk, col));
+            }
+        }
+    }
+
+    #[test]
+    fn from_fn_planes_match_generator() {
+        let (k, n, gs) = (16, 3, 8);
+        let gen = |kk: usize, col: usize| ((kk * 5 + col * 3) % 16) as u8;
+        for width in [4u32, 8] {
+            let p = CodePlanes::from_fn(k, n, gs, width, gen);
+            assert_eq!(p.code_bits(), width);
+            for col in 0..n {
+                for kk in 0..k {
+                    assert_eq!(p.code(kk, col), gen(kk, col), "w{width} ({kk},{col})");
+                }
             }
         }
     }

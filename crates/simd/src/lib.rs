@@ -1,0 +1,303 @@
+//! The one unsafe corner of the workspace: an AVX2 kernel for the
+//! packed-plane LUT gather (the decode hot loop in
+//! `axcore::engines::AxCoreEngine`'s prepared path).
+//!
+//! Everything else in the workspace builds under
+//! `#![forbid(unsafe_code)]`; quarantining the vector kernel here keeps
+//! that guarantee intact while still letting the decode path use
+//! `vpgatherdd`. The kernel is semantically tiny — one group × eight
+//! columns of "look up a table entry per 4-bit code and fold it into a
+//! per-column `(exp, sig)` accumulator" — and this crate carries its own
+//! scalar reference implementation plus exhaustive-ish randomized tests
+//! pinning the two bit-equal, so the unsafe surface is auditable in
+//! isolation from the engine it accelerates.
+//!
+//! # Table entry layout
+//!
+//! Each i32 entry is `(exp << 16) | (inc as u16)`: a biased exponent in
+//! the high half (≤ 255 by the caller's format gate) and a signed
+//! significand increment in the low half (`|inc| < 2^15`). A zero entry
+//! (`exp == 0`, `inc == 0`) is a no-op of the fold.
+//!
+//! # The fold
+//!
+//! The accumulator is the branchless max-anchor form of AxCore's
+//! partial FP adder (`PartialAcc::add_prepared_unclamped`): align the
+//! smaller-exponent operand by shifting its significand right, add, and
+//! keep the larger anchor; a zero significand re-anchors on the
+//! incoming entry. Fixed-width alignment *drops* the shifted-out bits,
+//! exactly like the hardware adder — that's the approximation being
+//! modeled, so bit-identity with the scalar engine is the correctness
+//! bar, not closeness to an exact dot product.
+
+#![warn(missing_docs)]
+// Safety posture: `unsafe` appears only in `avx2_gather_group` (the
+// `target_feature` declaration and the pointer-offset gather), with the
+// obligations documented on the function and discharged by
+// `gather_group`'s bounds checks.
+
+/// True when the running CPU can execute [`gather_group`]'s vector path.
+///
+/// Callers may use this to predict which path runs (benchmark labels),
+/// but they don't have to gate on it: [`gather_group`] dispatches
+/// internally and always produces the same bits either way.
+pub fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Fold one group × eight columns of packed 4-bit codes through the
+/// entry table into eight `(sig, exp)` accumulator lanes.
+///
+/// For lane `l`, the fold visits `codes[l]` byte by byte (low nibble =
+/// even k-step, high nibble = odd, matching the packed plane layout)
+/// and for byte `bi` with nibble `c` looks up
+/// `table[bases[l] + (2 * bi + half) * 16 + c]`, folding entries in
+/// ascending k order. Lanes are independent columns; `bases[l]` points
+/// at the lane's unit segment, laid out as 16-entry rows.
+///
+/// Dispatches to the AVX2 kernel when the CPU supports it and every
+/// lane's code slice fills whole u64 words, and to the scalar reference
+/// otherwise — results are bit-identical (the in-crate tests pin this).
+///
+/// # Panics
+///
+/// Panics if some `codes[l].len()` differs from `codes[0].len()`, or if
+/// any lane's highest index (`bases[l] + codes[l].len() * 32 - 1`)
+/// reaches past `table.len()` — the bounds that make the vector path's
+/// raw gather sound.
+pub fn gather_group(
+    table: &[i32],
+    bases: &[i32; 8],
+    codes: &[&[u8]; 8],
+) -> ([i32; 8], [i32; 8]) {
+    let nb = codes[0].len();
+    for l in 0..8 {
+        assert_eq!(codes[l].len(), nb, "ragged code slices");
+        let end = bases[l] as usize + nb * 32;
+        assert!(
+            bases[l] >= 0 && end <= table.len(),
+            "lane {l} segment [{}, {end}) escapes table of {}",
+            bases[l],
+            table.len()
+        );
+    }
+    #[cfg(target_arch = "x86_64")]
+    if nb.is_multiple_of(8) && avx2_available() {
+        // SAFETY: AVX2 confirmed at runtime; index bounds asserted above.
+        return unsafe { avx2_gather_group(table, bases, codes) };
+    }
+    scalar_gather_group(table, bases, codes)
+}
+
+/// Scalar reference for [`gather_group`]: the sequential-branch form of
+/// the fold, one lane at a time. Public so the engine's non-AVX2 tests
+/// and this crate's equivalence tests can call it directly.
+pub fn scalar_gather_group(
+    table: &[i32],
+    bases: &[i32; 8],
+    codes: &[&[u8]; 8],
+) -> ([i32; 8], [i32; 8]) {
+    let mut sig = [0i32; 8];
+    let mut exp = [0i32; 8];
+    for l in 0..8 {
+        let base = bases[l] as usize;
+        for (bi, &byte) in codes[l].iter().enumerate() {
+            for (half, c) in [(0, byte as usize & 0xf), (1, byte as usize >> 4)] {
+                let e = table[base + (2 * bi + half) * 16 + c];
+                let (pexp, pinc) = (e >> 16, (e as i16) as i32);
+                if sig[l] == 0 {
+                    if pinc != 0 {
+                        exp[l] = pexp;
+                        sig[l] = pinc;
+                    }
+                    continue;
+                }
+                if pexp <= exp[l] {
+                    // Entry exponents are < 256, so gaps fit a u32
+                    // shift only after clamping like the wide fold.
+                    sig[l] += pinc >> (exp[l] - pexp).min(31);
+                } else {
+                    sig[l] = (sig[l] >> (pexp - exp[l]).min(31)) + pinc;
+                    exp[l] = pexp;
+                }
+            }
+        }
+    }
+    (sig, exp)
+}
+
+/// One group × eight columns in AVX2: per k-step, extract each lane's
+/// nibble code from its u64 code word, gather the eight combined i32
+/// entries with `vpgatherdd`, and fold them into eight `(exp, sig)`
+/// accumulator lanes held in vector registers.
+///
+/// Bit-identity with [`scalar_gather_group`]: the fold is the
+/// branchless max-anchor form of the same adder, with the `sig == 0`
+/// re-anchor expressed as a lane blend. i32 significand lanes are exact
+/// because the engine bounds the running sum below 2^31
+/// (`gs · 2^(man_bits+3)` gate), and `vpsravd` fills with sign bits for
+/// shift counts ≥ 32 — the same result the `.min(31)` clamp gives for
+/// i32 values. Blending `exp = pexp` on zero-significand lanes can
+/// leave a different anchor than the scalar path's untouched `exp`, but
+/// only while `sig == 0`, a state whose anchor the engine never
+/// observes: the next non-zero add re-anchors, and normalization
+/// returns 0 without reading it.
+///
+/// # Safety
+///
+/// Caller must guarantee AVX2 is available, `codes[l].len()` is equal
+/// across lanes and a multiple of 8, and for every lane
+/// `bases[l] >= 0 && bases[l] as usize + codes[l].len() * 32 <=
+/// table.len()` (each code byte addresses two 16-entry rows).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn avx2_gather_group(
+    table: &[i32],
+    bases: &[i32; 8],
+    codes: &[&[u8]; 8],
+) -> ([i32; 8], [i32; 8]) {
+    use std::arch::x86_64::*;
+    let mut sig = _mm256_setzero_si256();
+    let mut exp = _mm256_setzero_si256();
+    let base_v = _mm256_loadu_si256(bases.as_ptr() as *const __m256i);
+    let mask0f = _mm256_set1_epi64x(0xf);
+    // Lane compaction: nibbles live in the low dword of each u64 lane;
+    // this picks dwords 0,2,4,6 of each half into its low 128 bits.
+    let even = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+    let sixteen = _mm256_set1_epi32(16);
+    let tp = table.as_ptr();
+    let nb = codes[0].len();
+    for blk in 0..nb / 8 {
+        let b = blk * 8;
+        let mut w = [0u64; 8];
+        for (l, wl) in w.iter_mut().enumerate() {
+            *wl = u64::from_le_bytes(codes[l][b..b + 8].try_into().unwrap());
+        }
+        let mut wlo = _mm256_loadu_si256(w.as_ptr() as *const __m256i);
+        let mut whi = _mm256_loadu_si256(w.as_ptr().add(4) as *const __m256i);
+        let mut row = _mm256_add_epi32(base_v, _mm256_set1_epi32((blk * 256) as i32));
+        for _step in 0..16 {
+            let nlo = _mm256_and_si256(wlo, mask0f);
+            let nhi = _mm256_and_si256(whi, mask0f);
+            wlo = _mm256_srli_epi64::<4>(wlo);
+            whi = _mm256_srli_epi64::<4>(whi);
+            let clo = _mm256_permutevar8x32_epi32(nlo, even);
+            let chi = _mm256_permutevar8x32_epi32(nhi, even);
+            let nib = _mm256_permute2x128_si256::<0x20>(clo, chi);
+            let idx = _mm256_add_epi32(row, nib);
+            row = _mm256_add_epi32(row, sixteen);
+            let e = _mm256_i32gather_epi32::<4>(tp, idx);
+            // Entry split: high half = biased exponent (≤ 255, so the
+            // arithmetic shift is exact), low half = signed increment.
+            let pexp = _mm256_srai_epi32::<16>(e);
+            let pinc = _mm256_srai_epi32::<16>(_mm256_slli_epi32::<16>(e));
+            let z = _mm256_cmpeq_epi32(sig, _mm256_setzero_si256());
+            let anchor = _mm256_max_epi32(exp, pexp);
+            let ssh = _mm256_srav_epi32(sig, _mm256_sub_epi32(anchor, exp));
+            let ish = _mm256_srav_epi32(pinc, _mm256_sub_epi32(anchor, pexp));
+            let sum = _mm256_add_epi32(ssh, ish);
+            sig = _mm256_blendv_epi8(sum, pinc, z);
+            exp = _mm256_blendv_epi8(anchor, pexp, z);
+        }
+    }
+    let mut so = [0i32; 8];
+    let mut eo = [0i32; 8];
+    _mm256_storeu_si256(so.as_mut_ptr() as *mut __m256i, sig);
+    _mm256_storeu_si256(eo.as_mut_ptr() as *mut __m256i, exp);
+    (so, eo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic xorshift so the tests need no external RNG crate.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+    }
+
+    /// Build a table whose entries look like real prepared products:
+    /// FP16-ish exponents (0..=30), increments that fit 13 bits, with a
+    /// sprinkling of exact-zero entries to exercise the re-anchor path.
+    fn random_table(rng: &mut Rng, len: usize) -> Vec<i32> {
+        (0..len)
+            .map(|_| {
+                let r = rng.next();
+                if r.is_multiple_of(5) {
+                    return 0;
+                }
+                let exp = (r >> 8) % 31;
+                let inc = ((r >> 16) % 8191) as i32 - 4095;
+                ((exp as i32) << 16) | (inc & 0xffff)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn vector_and_scalar_folds_are_bit_identical() {
+        if !avx2_available() {
+            return;
+        }
+        let mut rng = Rng(0x9e3779b97f4a7c15);
+        for trial in 0..50 {
+            let nb = 8 * (1 + trial % 4); // 16..64 k-steps per lane
+            let units = 1 + (trial % 3) as i32;
+            let table = random_table(&mut rng, (units as usize) * nb * 32);
+            let mut bases = [0i32; 8];
+            let mut code_store = [[0u8; 64]; 8];
+            for l in 0..8 {
+                bases[l] = (rng.next() as i32).rem_euclid(units) * (nb as i32) * 32;
+                for b in code_store[l].iter_mut().take(nb) {
+                    *b = rng.next() as u8;
+                }
+            }
+            let codes: [&[u8]; 8] = std::array::from_fn(|l| &code_store[l][..nb]);
+            let scalar = scalar_gather_group(&table, &bases, &codes);
+            let vector = gather_group(&table, &bases, &codes);
+            // Compare observable state: (sig, exp) pairs, except exp on
+            // dead (sig == 0) lanes, which nothing downstream reads.
+            for l in 0..8 {
+                assert_eq!(scalar.0[l], vector.0[l], "sig lane {l} trial {trial}");
+                if scalar.0[l] != 0 {
+                    assert_eq!(scalar.1[l], vector.1[l], "exp lane {l} trial {trial}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_codes_on_zero_table_stay_zero() {
+        let table = vec![0i32; 32 * 8];
+        let bases = [0i32; 8];
+        let store = [[0u8; 8]; 8];
+        let codes: [&[u8]; 8] = std::array::from_fn(|l| &store[l][..]);
+        let (sig, _) = gather_group(&table, &bases, &codes);
+        assert_eq!(sig, [0; 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "escapes table")]
+    fn out_of_bounds_base_panics() {
+        let table = vec![0i32; 64];
+        let mut bases = [0i32; 8];
+        bases[3] = 64;
+        let store = [[0u8; 8]; 8];
+        let codes: [&[u8]; 8] = std::array::from_fn(|l| &store[l][..]);
+        gather_group(&table, &bases, &codes);
+    }
+}

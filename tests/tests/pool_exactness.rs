@@ -1,0 +1,143 @@
+//! Bit-exactness of the persistent worker pool (proptest).
+//!
+//! The pooled runtime (`ExecMode::Pooled`, the default) must be a pure
+//! scheduling change relative to the legacy per-call scoped spawn
+//! (`ExecMode::Scoped`): same tiles, same per-tile accumulation order,
+//! same output placement — so every engine must produce byte-identical
+//! `f32` outputs under both modes at any worker count. These properties
+//! pin that down for all five prepared engines at 1, 2 and 4 workers,
+//! plus the decode shape whose column-tile split is the hot path.
+//!
+//! (Panic propagation — a worker panic resurfaces on the caller and the
+//! pool stays usable — is covered by `axcore-parallel`'s own
+//! `panicking_task_propagates_and_pool_stays_usable` test.)
+
+use axcore::engines::{
+    AxCoreEngine, ExactEngine, FignaEngine, FiglutEngine, FpmaEngine, GemmEngine, TenderEngine,
+};
+use axcore_parallel::ExecMode;
+use axcore_quant::{GroupQuantizer, QuantFormat, QuantizedMatrix};
+use axcore_softfloat::FP16;
+use proptest::prelude::*;
+
+/// Same shape as `parallel_exactness.rs`: big enough to clear the
+/// 32Ki-MAC serial threshold so the modes genuinely dispatch workers.
+const M: usize = 8;
+const K: usize = 192;
+const N: usize = 32;
+
+fn activations(seed: u64) -> Vec<f32> {
+    (0..M * K)
+        .map(|i| ((i as u64 * 31 + seed) * 48271 % 65521) as f32 / 32760.5 - 1.0)
+        .collect()
+}
+
+fn weights(seed: u64, scale: f32) -> Vec<f32> {
+    (0..K * N)
+        .map(|i| (((i as u64 * 7 + seed) * 2654435761 % 1009) as f32 / 504.5 - 1.0) * scale)
+        .collect()
+}
+
+/// Prepare once, then run scoped vs pooled at 1/2/4 workers and assert
+/// byte identity of every output element.
+fn assert_pool_bit_exact(engine: &dyn GemmEngine, a: &[f32], w: &QuantizedMatrix) {
+    let prepared = engine.prepare(w);
+    for threads in [1usize, 2, 4] {
+        let mut scoped = vec![0f32; M * N];
+        let mut pooled = vec![0f32; M * N];
+        axcore_parallel::with_threads(threads, || {
+            axcore_parallel::with_exec_mode(ExecMode::Scoped, || {
+                engine.gemm_prepared(&*prepared, a, M, &mut scoped);
+            });
+            axcore_parallel::with_exec_mode(ExecMode::Pooled, || {
+                engine.gemm_prepared(&*prepared, a, M, &mut pooled);
+            });
+        });
+        for (j, (s, p)) in scoped.iter().zip(&pooled).enumerate() {
+            assert_eq!(
+                s.to_bits(),
+                p.to_bits(),
+                "engine {} elem {j} at {threads} workers: scoped {s} != pooled {p}",
+                engine.name()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// AxCore over mixed-format adaptive FP4 (packed planes + the SWAR
+    /// LUT gather on eligible hosts).
+    #[test]
+    fn axcore_pooled_equals_scoped(seed in 0u64..500, scale in 0.05f32..2.0) {
+        let q = GroupQuantizer::adaptive_fp4(32, 4, None)
+            .quantize(&weights(seed, scale), K, N);
+        assert_pool_bit_exact(&AxCoreEngine::new(FP16), &activations(seed), &q);
+    }
+
+    /// Exact FPC engine.
+    #[test]
+    fn exact_pooled_equals_scoped(seed in 0u64..500) {
+        let q = GroupQuantizer::fixed(QuantFormat::E2M1, 32)
+            .quantize(&weights(seed, 0.4), K, N);
+        assert_pool_bit_exact(&ExactEngine::new(FP16), &activations(seed), &q);
+    }
+
+    /// Uniform-FPMA engine.
+    #[test]
+    fn fpma_pooled_equals_scoped(seed in 0u64..500) {
+        let q = GroupQuantizer::fixed(QuantFormat::E2M1, 32)
+            .quantize(&weights(seed, 0.4), K, N);
+        assert_pool_bit_exact(&FpmaEngine::new(FP16), &activations(seed), &q);
+    }
+
+    /// FIGNA and FIGLUT over INT4/INT8 weights.
+    #[test]
+    fn int_fp_pooled_equals_scoped(seed in 0u64..500) {
+        let a = activations(seed);
+        let q4 = GroupQuantizer::fixed(QuantFormat::INT4, 32)
+            .quantize(&weights(seed, 0.3), K, N);
+        assert_pool_bit_exact(&FignaEngine::new(FP16), &a, &q4);
+        let q8 = GroupQuantizer::fixed(QuantFormat::INT8, 32)
+            .quantize(&weights(seed.wrapping_add(1), 0.3), K, N);
+        assert_pool_bit_exact(&FiglutEngine::new(FP16), &a, &q8);
+    }
+
+    /// Tender (per-worker requantization scratch).
+    #[test]
+    fn tender_pooled_equals_scoped(seed in 0u64..500) {
+        let q8 = GroupQuantizer::fixed(QuantFormat::INT8, 32)
+            .quantize(&weights(seed, 0.3), K, N);
+        assert_pool_bit_exact(&TenderEngine::new(8, 4), &activations(seed), &q8);
+    }
+
+    /// Decode shape (m = 1, wide n): the shared-table column-tile path,
+    /// including the packed-plane LUT gather, under both modes.
+    #[test]
+    fn decode_shape_pooled_equals_scoped(seed in 0u64..200) {
+        let (k, n) = (512usize, 128usize);
+        let w: Vec<f32> = (0..k * n)
+            .map(|i| (((i as u64 * 7 + seed) * 2654435761 % 1009) as f32 / 504.5 - 1.0) * 0.4)
+            .collect();
+        let q = GroupQuantizer::adaptive_fp4(32, 4, None).quantize(&w, k, n);
+        let a: Vec<f32> = (0..k)
+            .map(|i| ((i as u64 * 31 + seed) * 48271 % 65521) as f32 / 32760.5 - 1.0)
+            .collect();
+        let prepared = AxCoreEngine::new(FP16).prepare(&q);
+        for threads in [1usize, 2, 4] {
+            let (mut scoped, mut pooled) = (vec![0f32; n], vec![0f32; n]);
+            axcore_parallel::with_threads(threads, || {
+                axcore_parallel::with_exec_mode(ExecMode::Scoped, || {
+                    prepared.gemm(&a, 1, &mut scoped);
+                });
+                axcore_parallel::with_exec_mode(ExecMode::Pooled, || {
+                    prepared.gemm(&a, 1, &mut pooled);
+                });
+            });
+            for (j, (s, p)) in scoped.iter().zip(&pooled).enumerate() {
+                prop_assert_eq!(s.to_bits(), p.to_bits(), "col {} at {} workers", j, threads);
+            }
+        }
+    }
+}

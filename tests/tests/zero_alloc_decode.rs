@@ -1,0 +1,111 @@
+//! Counting-allocator proof that steady-state decode allocates nothing.
+//!
+//! A `#[global_allocator]` wrapper around `System` counts every
+//! `alloc`/`alloc_zeroed`/`realloc` while armed. The test prepares an
+//! AxCore decode engine, runs a few warmup calls so the per-thread
+//! scratch arena and the prepared-LUT cache are populated, then arms
+//! the counter and asserts that repeated `m = 1` decode calls perform
+//! **zero** heap allocations — both on the LUT gather tier
+//! (`LutPolicy::Always`, packed planes + SWAR/AVX2 gather) and on the
+//! direct per-MAC tier (`LutPolicy::Never`).
+//!
+//! Scope: the assertion targets the serial dispatch (`threads = 1`),
+//! which is how decode actually runs on this machine's 1-core config
+//! and below the 32Ki-MAC parallel threshold in general. Multi-worker
+//! dispatch builds a per-call work queue in `par_chunks_mut` and is
+//! deliberately out of scope here.
+//!
+//! The whole test binary is one `#[test]` so no other test can race
+//! the global armed flag.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use axcore::engines::{with_lut_policy, AxCoreEngine, GemmEngine, LutPolicy};
+use axcore_parallel::ExecMode;
+use axcore_quant::GroupQuantizer;
+use axcore_softfloat::FP16;
+
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Run `f` with the counter armed and return how many allocations it made.
+fn allocations_during(f: impl FnOnce()) -> u64 {
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    f();
+    ARMED.store(false, Ordering::SeqCst);
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+#[test]
+fn steady_state_decode_allocates_nothing() {
+    let (k, n) = (512usize, 512usize);
+    let w: Vec<f32> = (0..k * n)
+        .map(|i| ((i as u64 * 2654435761 % 1009) as f32 / 504.5 - 1.0) * 0.4)
+        .collect();
+    let q = GroupQuantizer::adaptive_fp4(32, 4, None).quantize(&w, k, n);
+    let a: Vec<f32> = (0..k)
+        .map(|i| (i as u64 * 48271 % 65521) as f32 / 32760.5 - 1.0)
+        .collect();
+
+    let engine = AxCoreEngine::new(FP16);
+    let prepared = engine.prepare(&q);
+    let mut out = vec![0f32; n];
+
+    axcore_parallel::with_threads(1, || {
+        axcore_parallel::with_exec_mode(ExecMode::Pooled, || {
+            for policy in [LutPolicy::Always, LutPolicy::Never] {
+                with_lut_policy(policy, || {
+                    // Warmup: populate the prepared-LUT cache and grow
+                    // the per-thread scratch arena to steady-state size.
+                    for _ in 0..3 {
+                        prepared.gemm(&a, 1, &mut out);
+                    }
+                    let count = allocations_during(|| {
+                        for _ in 0..50 {
+                            prepared.gemm(&a, 1, &mut out);
+                        }
+                    });
+                    assert_eq!(
+                        count, 0,
+                        "steady-state decode under {policy:?} made {count} heap \
+                         allocations across 50 calls; expected zero"
+                    );
+                });
+            }
+        });
+    });
+}
