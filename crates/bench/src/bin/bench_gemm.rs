@@ -342,6 +342,34 @@ fn main() {
     let spawn_scoped_us = spawn_overhead_us(ExecMode::Scoped);
     let spawn_pooled_us = spawn_overhead_us(ExecMode::Pooled);
 
+    // Verification overhead on the steady-state decode path: the same
+    // pooled decode loop under `Sample(16)` (the ABFT row check on one
+    // call in 16) vs `Off`. Alternating-round minima like the sweep;
+    // `verify_overhead_pct` is the relative cost the sampling mode adds,
+    // gated < 10% in strict mode.
+    let (mut dv_off, mut dv_sample) = (f64::MAX, f64::MAX);
+    axcore_parallel::with_threads(max_threads, || {
+        for _ in 0..5 {
+            for (slot, policy) in [
+                (&mut dv_off, axcore::VerifyPolicy::Off),
+                (&mut dv_sample, axcore::VerifyPolicy::Sample(16)),
+            ] {
+                *slot = slot.min(time_it(1, || {
+                    axcore_parallel::with_exec_mode(ExecMode::Pooled, || {
+                        with_lut_policy(LutPolicy::Always, || {
+                            axcore::with_verify_policy(policy, || {
+                                for _ in 0..DECODE_CALLS {
+                                    engine.gemm_prepared(&*prepared, a_decode, 1, &mut out[..N]);
+                                }
+                            })
+                        })
+                    });
+                }));
+            }
+        }
+    });
+    let verify_overhead_pct = (dv_sample / dv_off - 1.0) * 100.0;
+
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"k\": {K},\n  \"n\": {N},\n  \"threads\": {max_threads},\n"));
     for (name, rows_per_s, secs) in [
@@ -365,6 +393,9 @@ fn main() {
     }
     json.push_str(&format!(
         "  \"spawn_overhead_us\": {{ \"scoped\": {spawn_scoped_us:.2}, \"pooled\": {spawn_pooled_us:.2} }},\n"
+    ));
+    json.push_str(&format!(
+        "  \"verify_overhead_pct\": {{ \"decode_m1x64_sample16_vs_off\": {verify_overhead_pct:.2}, \"threads\": {max_threads} }},\n"
     ));
     json.push_str("  \"thread_sweep\": [\n");
     for (i, (t, pp, pl, dp, dl, dpo)) in rows.iter().enumerate() {
@@ -416,5 +447,12 @@ fn main() {
             }
             println!("strict gate ok: {key} {now:.1} rows/s vs baseline {base:.1}");
         }
+        if verify_overhead_pct >= 10.0 {
+            eprintln!(
+                "FAIL: Sample(16) verification overhead {verify_overhead_pct:.2}% exceeds the 10% budget"
+            );
+            std::process::exit(1);
+        }
+        println!("strict gate ok: verify overhead {verify_overhead_pct:.2}% < 10%");
     }
 }

@@ -1,0 +1,130 @@
+//! Fault-injection campaign driver: sweeps single-bit faults over every
+//! prepared engine's at-rest state and over the transient datapath taps,
+//! classifies each injection against a fault-free reference, and emits
+//! `RESULTS_faults.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! fault_campaign [--smoke] [--check] [--seed N] [--out PATH]
+//! ```
+//!
+//! * `--smoke` — the reduced CI sweep (seconds);
+//! * `--check` — exit non-zero unless every at-rest fault in a
+//!   checksummed region was detected-and-corrected or masked, with zero
+//!   silent corruptions and ≥ 99% detection (the acceptance gate);
+//! * `--seed N` — override the injection-stream seed;
+//! * `--out PATH` — where to write the JSON (default
+//!   `RESULTS_faults.json`).
+
+use axcore_faults::{run_campaign, CampaignConfig, SiteTally};
+use std::fs;
+use std::process::ExitCode;
+
+/// Default seed: fixed so the checked-in `RESULTS_faults.json` is exactly
+/// reproducible.
+const DEFAULT_SEED: u64 = 20260806;
+
+fn print_section(title: &str, tallies: &[SiteTally], transient: bool) {
+    println!("== {title} ==");
+    println!(
+        "{:<24} {:<12} {:>6} {:>9} {:>7} {:>7} {:>9}{}",
+        "engine",
+        "site",
+        "inj",
+        "det+corr",
+        "masked",
+        "silent",
+        "det+unc",
+        if transient { "  not_hit" } else { "" }
+    );
+    for t in tallies {
+        println!(
+            "{:<24} {:<12} {:>6} {:>9} {:>7} {:>7} {:>9}{}",
+            t.engine,
+            t.site,
+            t.injections,
+            t.detected_corrected,
+            t.masked,
+            t.silent_corruption,
+            t.detected_uncorrected,
+            if transient { format!("  {:>7}", t.not_hit) } else { String::new() }
+        );
+    }
+    println!();
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut check = false;
+    let mut seed = DEFAULT_SEED;
+    let mut out_path = "RESULTS_faults.json".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--check" => check = true,
+            "--seed" => match it.next().map(|s| s.parse::<u64>()) {
+                Some(Ok(s)) => seed = s,
+                _ => {
+                    eprintln!("--seed requires an integer argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => {
+                    eprintln!("--out requires a path argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: fault_campaign [--smoke] [--check] [--seed N] [--out PATH]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let cfg = if smoke { CampaignConfig::smoke(seed) } else { CampaignConfig::full(seed) };
+    println!(
+        "fault campaign: seed={} m={} k={} n={} samples/site={} transient/site={}\n",
+        cfg.seed, cfg.m, cfg.k, cfg.n, cfg.samples_per_site, cfg.transient_samples
+    );
+    let report = run_campaign(&cfg);
+
+    print_section("at-rest faults (checksummed regions, VerifyPolicy::Full)", &report.at_rest, false);
+    print_section("transient faults (in-flight upsets)", &report.transient, true);
+    let ar = report.at_rest_totals();
+    let tr = report.transient_totals();
+    println!(
+        "at-rest:   {} injections, detection rate {:.4}, {} silent",
+        ar.injections,
+        ar.detection_rate(),
+        ar.silent_corruption
+    );
+    println!(
+        "transient: {} injections, detection rate {:.4}, {} silent (SDC characterization)",
+        tr.injections,
+        tr.detection_rate(),
+        tr.silent_corruption
+    );
+
+    match fs::write(&out_path, report.to_json()) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => {
+            eprintln!("failed to write {out_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if check {
+        if let Err(e) = report.check() {
+            eprintln!("FAULT CAMPAIGN GATE FAILED: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("fault campaign gate passed");
+    }
+    ExitCode::SUCCESS
+}

@@ -275,11 +275,14 @@ impl NormUnit {
     /// to zero below the normal range (the datapath convention).
     pub fn normalize(&self, acc: &PartialAcc) -> u32 {
         let f = &self.act;
-        if acc.sig == 0 {
+        // SEU tap on the accumulator significand (no-op unless a fault
+        // plan is armed; see `reliability::faults`).
+        let sig = crate::reliability::faults::tap_acc(acc.sig);
+        if sig == 0 {
             return 0;
         }
-        let sign = acc.sig < 0;
-        let a = acc.sig.unsigned_abs();
+        let sign = sig < 0;
+        let a = sig.unsigned_abs();
         // Leading-one position relative to the fixed point.
         let p = 63 - a.leading_zeros() as i32; // bit index of the MSB
         let frac = acc.frac_bits as i32;

@@ -7,8 +7,10 @@ use crate::accum::{NormUnit, PartialAcc, PreparedProduct};
 use crate::axscale::AxScale;
 use crate::engines::prepared::{check_prepared_shapes, drive, drive_lut};
 use crate::engines::{check_shapes, lut, GemmEngine, PreparedGemm};
+use crate::error::GemmError;
 use crate::pe::{Pe, WeightLane};
 use crate::preadd::{PreAdd, PreAddTerm};
+use crate::reliability::{self, Verifier};
 use axcore_fpma::snc::SncPolicy;
 use axcore_fpma::MpFpma;
 use axcore_parallel::arena;
@@ -23,6 +25,11 @@ use axcore_softfloat::FpFormat;
 /// magnitude-mask widths (≪ 2⁶⁰), so the sum can neither overflow nor
 /// come back positive.
 const ZERO_ADDEND: i64 = i64::MIN / 4;
+
+/// ABFT relative tolerance: the approximate datapath (Mitchell products,
+/// partial FP adds, AxScale dequantization) carries a few percent of
+/// relative error per group partial; the row sum is looser still.
+const ABFT_REL: f64 = 0.5;
 
 /// Datapath configuration, covering the paper's ablation ladder.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -175,25 +182,38 @@ impl GemmEngine for AxCoreEngine {
         }
     }
 
-    fn gemm(&self, a: &[f32], m: usize, w: &QuantizedMatrix, out: &mut [f32]) {
-        check_shapes(a, m, w, out);
-        self.preload(w).gemm(a, m, out);
+    fn try_gemm(
+        &self,
+        a: &[f32],
+        m: usize,
+        w: &QuantizedMatrix,
+        out: &mut [f32],
+    ) -> Result<(), GemmError> {
+        check_shapes(a, m, w, out)?;
+        self.try_preload(w)?.try_gemm(a, m, out)
     }
 
     fn clone_box(&self) -> Box<dyn GemmEngine> {
         Box::new(self.clone())
     }
 
-    fn prepare(&self, w: &QuantizedMatrix) -> Box<dyn PreparedGemm> {
-        Box::new(self.preload(w))
+    fn try_prepare(&self, w: &QuantizedMatrix) -> Result<Box<dyn PreparedGemm>, GemmError> {
+        Ok(Box::new(self.try_preload(w)?))
     }
 }
 
 impl AxCoreEngine {
+    /// Panicking shim over [`AxCoreEngine::try_preload`] (exercised by
+    /// the in-module tier-equivalence tests).
+    #[cfg_attr(not(test), allow(dead_code))]
+    fn preload(&self, w: &QuantizedMatrix) -> AxCorePrepared {
+        self.try_preload(w).unwrap_or_else(|e| panic!("{e}"))
+    }
+
     /// Build the prepared (weight-stationary) form of a matrix: per-format
     /// mpFPMA units, the flat block→unit index, and all decoded weight
     /// lanes — the weight preload phase of the systolic schedule.
-    fn preload(&self, w: &QuantizedMatrix) -> AxCorePrepared {
+    fn try_preload(&self, w: &QuantizedMatrix) -> Result<AxCorePrepared, GemmError> {
         let act = self.act;
         // Per distinct block format: an mpFPMA unit and its PreAdd,
         // referenced by a flat per-block index (formats repeat heavily, so
@@ -203,7 +223,11 @@ impl AxCoreEngine {
         let mut block_unit = Vec::with_capacity(w.formats.len());
         for f in &w.formats {
             let QuantFormat::Fp(wf) = f else {
-                panic!("AxCoreEngine requires FP-quantized weights, got {f}");
+                return Err(GemmError::FormatOverflow {
+                    engine: "AxCoreEngine",
+                    requirement: "requires FP-quantized weights",
+                    got: f.to_string(),
+                });
             };
             let idx = unit_fmts.iter().position(|n| *n == wf.name).unwrap_or_else(|| {
                 let u = self.unit_for(*wf);
@@ -275,7 +299,8 @@ impl AxCoreEngine {
             .map(|&s| axcore_softfloat::FP16.decode(s as u32))
             .collect();
 
-        AxCorePrepared {
+        let mut p = AxCorePrepared {
+            src_engine: self.clone(),
             act,
             fpma_dequant: self.cfg.fpma_dequant,
             pe: Pe::new(act),
@@ -310,7 +335,13 @@ impl AxCoreEngine {
             n: w.n,
             group_size: w.group_size,
             block_cols: w.block_cols,
-        }
+            lut_sum: 0,
+            direct_sum: 0,
+            verifier: Verifier::new(w, ABFT_REL),
+        };
+        p.lut_sum = p.lut_region_checksum();
+        p.direct_sum = p.direct_region_checksum();
+        Ok(p)
     }
 }
 
@@ -319,6 +350,9 @@ impl AxCoreEngine {
 /// element's decoded [`WeightLane`].
 #[derive(Debug)]
 pub struct AxCorePrepared {
+    /// Owning engine configuration — the recovery path re-prepares from
+    /// it after an unrecoverable state corruption.
+    src_engine: AxCoreEngine,
     act: FpFormat,
     fpma_dequant: bool,
     pe: Pe,
@@ -352,6 +386,13 @@ pub struct AxCorePrepared {
     n: usize,
     group_size: usize,
     block_cols: usize,
+    /// Integrity checksum over the LUT tiers' prepared state, recorded at
+    /// preload (planes + lane constants + scales).
+    lut_sum: u64,
+    /// Integrity checksum over the direct tier's prepared state, recorded
+    /// at preload (weight lanes + scales).
+    direct_sum: u64,
+    verifier: Verifier,
 }
 
 /// Per-worker scratch for the direct path: the current row's encoded
@@ -417,18 +458,190 @@ impl PreparedGemm for AxCorePrepared {
         self.n
     }
 
-    fn gemm(&self, a: &[f32], m: usize, out: &mut [f32]) {
-        check_prepared_shapes(a, m, self.k, self.n, out);
+    /// The graceful-degradation ladder: try the fastest eligible tier,
+    /// and on a caught panic or a failed check fall through to the next
+    /// (AVX2-LUT → SWAR-LUT → direct), quarantining tiers whose *state*
+    /// proved corrupt. If every tier fails, re-prepare from the pristine
+    /// quantized matrix and run the direct path serially. Healthy calls
+    /// run exactly the old single-dispatch path (the ladder's first rung)
+    /// and stay bit-identical and allocation-free.
+    fn try_gemm(&self, a: &[f32], m: usize, out: &mut [f32]) -> Result<(), GemmError> {
+        use axcore_parallel::{health, FailReason, Tier};
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        check_prepared_shapes(a, m, self.k, self.n, out)?;
+        let plan = self.verifier.plan();
         // Per-element table width: every unit × its padded code space.
-        if lut::use_lut(self.n, self.units.len() * self.code_space) {
-            self.gemm_lut(a, m, out);
-        } else {
-            self.gemm_direct(a, m, out);
+        let use_lut = lut::use_lut(self.n, self.units.len() * self.code_space);
+        let mut ladder = [Tier::Direct; 3];
+        let mut len = 0;
+        if use_lut {
+            if self.planes.is_packed()
+                && self.avx2_gather_eligible()
+                && !health::is_quarantined(Tier::Avx2Lut)
+            {
+                ladder[len] = Tier::Avx2Lut;
+                len += 1;
+            }
+            if !health::is_quarantined(Tier::SwarLut) {
+                ladder[len] = Tier::SwarLut;
+                len += 1;
+            }
+        }
+        ladder[len] = Tier::Direct;
+        len += 1;
+
+        let mut report = health::ExecReport::new(ladder[0]);
+        for idx in 0..len {
+            let tier = ladder[idx];
+            let next = if idx + 1 < len { ladder[idx + 1] } else { Tier::Direct };
+            // At `Full`, prove the tier's at-rest state before spending
+            // the GEMM on it.
+            if plan.integrity && !self.integrity_ok(tier) {
+                health::quarantine(tier);
+                report.push_downgrade(tier, next, FailReason::ChecksumMismatch);
+                continue;
+            }
+            // The panic guard runs at every policy (it costs nothing on
+            // the success path): a corrupted code plane can drive a
+            // gather index out of bounds, and that must degrade, not
+            // take the process down.
+            let ran = catch_unwind(AssertUnwindSafe(|| self.run_tier(tier, a, m, out)));
+            if ran.is_err() {
+                health::quarantine(tier);
+                report.push_downgrade(tier, next, FailReason::Panic);
+                continue;
+            }
+            if plan.abft && !self.verifier.abft_ok(a, m, self.n, out) {
+                // An ABFT miss alone may be transient (or a tolerance
+                // false positive): quarantine only if the tier's state
+                // is provably corrupt.
+                if !self.integrity_ok(tier) {
+                    health::quarantine(tier);
+                }
+                report.push_downgrade(tier, next, FailReason::AbftMismatch);
+                continue;
+            }
+            report.tier = tier;
+            report.verified = plan.any();
+            if plan.any() || report.n_downgrades() > 0 {
+                health::publish_report(report);
+            }
+            return Ok(());
+        }
+
+        // Every tier failed: the prepared state itself is suspect.
+        // Re-prepare from the pristine quantized weights and run the
+        // direct path serially.
+        let rerun = catch_unwind(AssertUnwindSafe(|| {
+            axcore_parallel::with_threads(1, || {
+                self.src_engine
+                    .try_preload(self.verifier.pristine())
+                    .map(|fresh| fresh.gemm_direct(a, m, out))
+            })
+        }));
+        match rerun {
+            Ok(Ok(())) => {
+                report.tier = Tier::Direct;
+                report.verified = plan.any();
+                report.recovered = true;
+                health::publish_report(report);
+                Ok(())
+            }
+            Ok(Err(e)) => Err(e),
+            Err(_) => Err(GemmError::PoolPanicked { context: "axcore prepared gemm" }),
+        }
+    }
+
+    fn fault_sites(&self) -> &'static [&'static str] {
+        &["lanes", "lut-addends", "planes", "scales"]
+    }
+
+    fn fault_surface(&self, site: &str) -> (usize, u32) {
+        match site {
+            "lanes" => (self.lanes.len(), 64),
+            "lut-addends" => (self.code_addends.len(), 64),
+            "planes" => (self.planes.raw_bytes(), 8),
+            "scales" => (self.scales.len(), 16),
+            _ => (0, 0),
+        }
+    }
+
+    fn inject_fault(&mut self, site: &str, word: usize, bit: u32) -> bool {
+        match site {
+            "lanes" => {
+                self.lanes[word].addend_down ^= 1 << (bit % 64);
+                true
+            }
+            "lut-addends" => {
+                self.code_addends[word] ^= 1 << (bit % 64);
+                true
+            }
+            "planes" => {
+                self.planes.flip_bit(word, bit);
+                true
+            }
+            "scales" => {
+                self.scales[word] ^= 1 << (bit % 16);
+                true
+            }
+            _ => false,
         }
     }
 }
 
+/// One checksum word per stationary [`WeightLane`]; any single-bit change
+/// to any field changes the word (the fields occupy disjoint ranges).
+fn lane_word(l: WeightLane) -> u64 {
+    (l.addend_down as u64)
+        ^ (l.addend_up as u64).rotate_left(21)
+        ^ ((l.sign as u64) | (l.zero_down as u64) << 1 | (l.zero_up as u64) << 2).rotate_left(42)
+}
+
 impl AxCorePrepared {
+    /// Integrity checksum over the state the LUT tiers read: the code
+    /// planes, the flattened lane constants, and the shared scales.
+    fn lut_region_checksum(&self) -> u64 {
+        let h = reliability::mix(reliability::CHECKSUM_SEED, self.planes.checksum());
+        let h = reliability::fold(h, &self.code_addends, |v| v as u64);
+        let h = reliability::fold(h, &self.code_signs, |v| v as u64);
+        self.shared_state_checksum(h)
+    }
+
+    /// Integrity checksum over the state the direct tier reads: the
+    /// stationary weight lanes and the shared scales.
+    fn direct_region_checksum(&self) -> u64 {
+        let h = reliability::fold(reliability::CHECKSUM_SEED, &self.lanes, lane_word);
+        self.shared_state_checksum(h)
+    }
+
+    /// Fold the state every tier shares (scales, block→unit index, group
+    /// unit masks) into a running checksum.
+    fn shared_state_checksum(&self, h: u64) -> u64 {
+        let h = reliability::fold(h, &self.scales, |v| v as u64);
+        let h = reliability::fold(h, &self.scale_vals, f64::to_bits);
+        let h = reliability::fold(h, &self.block_unit, |v| v as u64);
+        reliability::fold(h, &self.group_unit_masks, |v| v as u64)
+    }
+
+    /// Whether `tier`'s at-rest state still matches its preload checksum.
+    fn integrity_ok(&self, tier: axcore_parallel::Tier) -> bool {
+        use axcore_parallel::Tier;
+        match tier {
+            Tier::Avx2Lut | Tier::SwarLut => self.lut_region_checksum() == self.lut_sum,
+            Tier::Direct => self.direct_region_checksum() == self.direct_sum,
+        }
+    }
+
+    /// Execute one ladder rung.
+    fn run_tier(&self, tier: axcore_parallel::Tier, a: &[f32], m: usize, out: &mut [f32]) {
+        use axcore_parallel::Tier;
+        match tier {
+            Tier::Avx2Lut => self.gemm_lut(a, m, out, true),
+            Tier::SwarLut => self.gemm_lut(a, m, out, false),
+            Tier::Direct => self.gemm_direct(a, m, out),
+        }
+    }
     /// Direct per-MAC path: every (element, column) product runs the
     /// PreAdd → PE pipeline against the element's stationary lane.
     fn gemm_direct(&self, a: &[f32], m: usize, out: &mut [f32]) {
@@ -506,7 +719,11 @@ impl AxCorePrepared {
     /// constants as the direct path and the gather accumulates in the
     /// same ascending-k order per group, so results are bit-identical by
     /// construction.
-    fn gemm_lut(&self, a: &[f32], m: usize, out: &mut [f32]) {
+    ///
+    /// `allow_avx2` gates the AVX2 gather kernel so the tier ladder can
+    /// address the SWAR fallback explicitly (a quarantined AVX2 tier must
+    /// not be re-entered through the generic dispatch).
+    fn gemm_lut(&self, a: &[f32], m: usize, out: &mut [f32], allow_avx2: bool) {
         let (k, n) = (self.k, self.n);
         let gs = self.group_size;
         let groups = k / gs;
@@ -620,7 +837,7 @@ impl AxCorePrepared {
         if self.act.max_exp_field() < 64 {
             let gather = |t: &AxLutTable, _i: usize, col0: usize, cols: &mut [f32]| {
                 if self.planes.is_packed() {
-                    if self.avx2_gather_eligible() {
+                    if allow_avx2 && self.avx2_gather_eligible() {
                         self.lut_gather_cols_packed_avx2(t, col0, cols);
                         return;
                     }
@@ -801,6 +1018,10 @@ impl AxCorePrepared {
             (&t.tcomb[r], &self.planes.plane(col)[g * gs / 2..(g + 1) * gs / 2])
         };
         // One 4-lane tile of one group: 16 k-steps per u64 code load.
+        // Every `try_into().unwrap()` below converts a slice whose length
+        // is fixed by the enclosing loop bounds (8 bytes / 256 entries),
+        // so the conversions cannot fail.
+        #[allow(clippy::unwrap_used)]
         let do_tile = |g: usize, j: usize, cols: &mut [f32]| {
             let (es0, cd0) = seg_of(g, col0 + j);
             let (es1, cd1) = seg_of(g, col0 + j + 1);
@@ -918,13 +1139,15 @@ impl AxCorePrepared {
     /// [`axcore_simd`]: requires the standard 16-entry code space, a
     /// group depth that fills whole u64 code words, accumulator
     /// significands that provably fit the kernel's i32 lanes
-    /// (`gs · 2^(man_bits+3)` bounds the running sum), and runtime AVX2
-    /// support.
+    /// (`gs · 2^(man_bits+3)` bounds the running sum), runtime AVX2
+    /// support, and a passing one-shot kernel self-test (a faulty vector
+    /// unit demotes the tier instead of corrupting silently).
     fn avx2_gather_eligible(&self) -> bool {
         self.code_space == 16
             && self.group_size.is_multiple_of(16)
             && (self.group_size as u64) << (self.act.man_bits + 3) <= 1 << 31
             && axcore_simd::avx2_available()
+            && axcore_simd::self_test()
     }
 
     /// AVX2 form of [`Self::lut_gather_cols_packed`]: eight columns per

@@ -4,11 +4,18 @@
 //! With quantized weights the FPC executes *indirect* GEMM (Fig. 3b): codes
 //! are dequantized to the activation format first, then multiplied exactly.
 
-use crate::engines::prepared::{check_prepared_shapes, drive};
+use crate::engines::prepared::{check_prepared_shapes, drive, verified_single_tier};
 use crate::engines::{check_shapes, GemmEngine, PreparedGemm};
+use crate::error::GemmError;
+use crate::reliability::{self, Verifier};
 use axcore_parallel::arena;
 use axcore_quant::QuantizedMatrix;
 use axcore_softfloat::FpFormat;
+
+/// ABFT relative tolerance: activation/weight quantization to the core's
+/// input format dominates (≈ 2⁻¹⁰ per product for FP16, wider for FP8
+/// activation formats).
+const ABFT_REL: f64 = 0.1;
 
 /// Exact FMA GEMM core ("FPC" in the paper's figures).
 #[derive(Debug, Clone, Copy)]
@@ -33,17 +40,23 @@ impl GemmEngine for ExactEngine {
         format!("FPC-{}", self.act.name)
     }
 
-    fn gemm(&self, a: &[f32], m: usize, w: &QuantizedMatrix, out: &mut [f32]) {
-        check_shapes(a, m, w, out);
-        self.preload(w).gemm(a, m, out);
+    fn try_gemm(
+        &self,
+        a: &[f32],
+        m: usize,
+        w: &QuantizedMatrix,
+        out: &mut [f32],
+    ) -> Result<(), GemmError> {
+        check_shapes(a, m, w, out)?;
+        self.preload(w).try_gemm(a, m, out)
     }
 
     fn clone_box(&self) -> Box<dyn GemmEngine> {
         Box::new(*self)
     }
 
-    fn prepare(&self, w: &QuantizedMatrix) -> Box<dyn PreparedGemm> {
-        Box::new(self.preload(w))
+    fn try_prepare(&self, w: &QuantizedMatrix) -> Result<Box<dyn PreparedGemm>, GemmError> {
+        Ok(Box::new(self.preload(w)))
     }
 }
 
@@ -57,8 +70,21 @@ impl ExactEngine {
                 wr[c * w.k + k] = self.act.quantize(w.dequant(k, c));
             }
         }
-        ExactPrepared { act: self.act, wr, k: w.k, n: w.n }
+        let state_sum = state_checksum(&wr);
+        ExactPrepared {
+            act: self.act,
+            wr,
+            k: w.k,
+            n: w.n,
+            state_sum,
+            verifier: Verifier::new(w, ABFT_REL),
+        }
     }
+}
+
+/// Integrity checksum over the dequantized weight image.
+fn state_checksum(wr: &[f64]) -> u64 {
+    reliability::fold(reliability::CHECKSUM_SEED, wr, f64::to_bits)
 }
 
 /// Exact-engine prepared weights: the matrix dequantized to the
@@ -69,6 +95,9 @@ pub struct ExactPrepared {
     wr: Vec<f64>,
     k: usize,
     n: usize,
+    /// Integrity checksum of `wr`, recorded at preload.
+    state_sum: u64,
+    verifier: Verifier,
 }
 
 struct ExactScratch {
@@ -87,8 +116,48 @@ impl PreparedGemm for ExactPrepared {
         self.n
     }
 
-    fn gemm(&self, a: &[f32], m: usize, out: &mut [f32]) {
-        check_prepared_shapes(a, m, self.k, self.n, out);
+    fn try_gemm(&self, a: &[f32], m: usize, out: &mut [f32]) -> Result<(), GemmError> {
+        check_prepared_shapes(a, m, self.k, self.n, out)?;
+        verified_single_tier(
+            &self.verifier,
+            axcore_parallel::Tier::Direct,
+            "exact prepared gemm",
+            a,
+            m,
+            self.n,
+            out,
+            |o| self.run(a, m, o),
+            || state_checksum(&self.wr) == self.state_sum,
+            |o| ExactEngine::new(self.act).preload(self.verifier.pristine()).run(a, m, o),
+        )
+    }
+
+    fn fault_sites(&self) -> &'static [&'static str] {
+        &["weights"]
+    }
+
+    fn fault_surface(&self, site: &str) -> (usize, u32) {
+        match site {
+            "weights" => (self.wr.len(), 64),
+            _ => (0, 0),
+        }
+    }
+
+    fn inject_fault(&mut self, site: &str, word: usize, bit: u32) -> bool {
+        match site {
+            "weights" => {
+                self.wr[word] = f64::from_bits(self.wr[word].to_bits() ^ (1 << (bit % 64)));
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+impl ExactPrepared {
+    /// The unverified execution path (shared by normal calls and the
+    /// recovery re-execution).
+    fn run(&self, a: &[f32], m: usize, out: &mut [f32]) {
         let (k, n) = (self.k, self.n);
         let mk = || ExactScratch { row: usize::MAX, arow: arena::take(k, 0f64) };
         drive(m, k, n, out, mk, |s: &mut ExactScratch, i, col0, cols| {

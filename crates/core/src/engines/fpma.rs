@@ -7,13 +7,19 @@
 //! paper describes for its FPMA baseline. No subnormal handling, no
 //! compensation.
 
-use crate::engines::prepared::{check_prepared_shapes, drive, drive_lut};
+use crate::engines::prepared::{check_prepared_shapes, drive, drive_lut, verified_single_tier};
 use crate::engines::{check_shapes, lut, GemmEngine, PreparedGemm};
+use crate::error::GemmError;
+use crate::reliability::{self, Verifier};
 use axcore_fpma::uniform::fpma_mul;
 use axcore_parallel::arena;
 use axcore_quant::QuantizedMatrix;
 use axcore_softfloat::{FpFormat, FP32};
 use std::collections::HashMap;
+
+/// ABFT relative tolerance: the FPMA product approximation (`X + Y − B`)
+/// carries up to ~11% per-product error on top of quantization.
+const ABFT_REL: f64 = 0.5;
 
 /// Uniform-precision FPMA GEMM core.
 #[derive(Debug, Clone, Copy)]
@@ -33,17 +39,23 @@ impl GemmEngine for FpmaEngine {
         format!("FPMA-{}", self.act.name)
     }
 
-    fn gemm(&self, a: &[f32], m: usize, w: &QuantizedMatrix, out: &mut [f32]) {
-        check_shapes(a, m, w, out);
-        self.preload(w).gemm(a, m, out);
+    fn try_gemm(
+        &self,
+        a: &[f32],
+        m: usize,
+        w: &QuantizedMatrix,
+        out: &mut [f32],
+    ) -> Result<(), GemmError> {
+        check_shapes(a, m, w, out)?;
+        self.preload(w).try_gemm(a, m, out)
     }
 
     fn clone_box(&self) -> Box<dyn GemmEngine> {
         Box::new(*self)
     }
 
-    fn prepare(&self, w: &QuantizedMatrix) -> Box<dyn PreparedGemm> {
-        Box::new(self.preload(w))
+    fn try_prepare(&self, w: &QuantizedMatrix) -> Result<Box<dyn PreparedGemm>, GemmError> {
+        Ok(Box::new(self.preload(w)))
     }
 }
 
@@ -65,7 +77,7 @@ impl FpmaEngine {
         // palette index alongside the patterns.
         let mut palette: Vec<u32> = Vec::new();
         let mut seen: HashMap<u32, u32> = HashMap::new();
-        let pidx = wr
+        let pidx: Vec<u32> = wr
             .iter()
             .map(|&bits| {
                 *seen.entry(bits).or_insert_with(|| {
@@ -74,6 +86,7 @@ impl FpmaEngine {
                 })
             })
             .collect();
+        let state_sum = state_checksum(&wr, &palette, &pidx);
         FpmaPrepared {
             act,
             // Accumulation format: FP16/BF16 activations use same-width
@@ -84,8 +97,18 @@ impl FpmaEngine {
             pidx,
             k: w.k,
             n: w.n,
+            state_sum,
+            verifier: Verifier::new(w, ABFT_REL),
         }
     }
+}
+
+/// Integrity checksum over every weight-derived table the two execution
+/// paths read (direct: `wr`; LUT: `palette` + `pidx`).
+fn state_checksum(wr: &[u32], palette: &[u32], pidx: &[u32]) -> u64 {
+    let h = reliability::fold(reliability::CHECKSUM_SEED, wr, |v| v as u64);
+    let h = reliability::fold(h, palette, |v| v as u64);
+    reliability::fold(h, pidx, |v| v as u64)
 }
 
 /// FPMA-engine prepared weights: activation-format bit patterns of the
@@ -101,6 +124,9 @@ pub struct FpmaPrepared {
     pidx: Vec<u32>,
     k: usize,
     n: usize,
+    /// Integrity checksum of `wr` + `palette` + `pidx` at preload.
+    state_sum: u64,
+    verifier: Verifier,
 }
 
 /// Arena-recycled: `arow` is fully rewritten for each new row.
@@ -126,17 +152,67 @@ impl PreparedGemm for FpmaPrepared {
         self.n
     }
 
-    fn gemm(&self, a: &[f32], m: usize, out: &mut [f32]) {
-        check_prepared_shapes(a, m, self.k, self.n, out);
+    fn try_gemm(&self, a: &[f32], m: usize, out: &mut [f32]) -> Result<(), GemmError> {
+        check_prepared_shapes(a, m, self.k, self.n, out)?;
+        verified_single_tier(
+            &self.verifier,
+            if lut::use_lut(self.n, self.palette.len()) {
+                axcore_parallel::Tier::SwarLut
+            } else {
+                axcore_parallel::Tier::Direct
+            },
+            "fpma prepared gemm",
+            a,
+            m,
+            self.n,
+            out,
+            |o| self.run(a, m, o),
+            || state_checksum(&self.wr, &self.palette, &self.pidx) == self.state_sum,
+            |o| {
+                FpmaEngine::new(self.act)
+                    .preload(self.verifier.pristine())
+                    .gemm_direct(a, m, o)
+            },
+        )
+    }
+
+    fn fault_sites(&self) -> &'static [&'static str] {
+        &["weights", "palette"]
+    }
+
+    fn fault_surface(&self, site: &str) -> (usize, u32) {
+        match site {
+            "weights" => (self.wr.len(), 32),
+            "palette" => (self.palette.len(), 32),
+            _ => (0, 0),
+        }
+    }
+
+    fn inject_fault(&mut self, site: &str, word: usize, bit: u32) -> bool {
+        match site {
+            "weights" => {
+                self.wr[word] ^= 1 << (bit % 32);
+                true
+            }
+            "palette" => {
+                self.palette[word] ^= 1 << (bit % 32);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+impl FpmaPrepared {
+    /// The unverified execution path (LUT/direct dispatch).
+    fn run(&self, a: &[f32], m: usize, out: &mut [f32]) {
         if lut::use_lut(self.n, self.palette.len()) {
             self.gemm_lut(a, m, out);
         } else {
             self.gemm_direct(a, m, out);
         }
     }
-}
 
-impl FpmaPrepared {
     fn gemm_direct(&self, a: &[f32], m: usize, out: &mut [f32]) {
         let (k, n) = (self.k, self.n);
         let mk = || FpmaScratch { row: usize::MAX, arow: arena::take(k, 0u32) };

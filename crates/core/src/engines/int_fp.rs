@@ -8,11 +8,17 @@
 //! differ in hardware cost (modelled in `axcore-hwmodel`), not numerics, so
 //! both share this implementation with different names.
 
-use crate::engines::prepared::{check_prepared_shapes, drive, drive_lut};
+use crate::engines::prepared::{check_prepared_shapes, drive, drive_lut, verified_single_tier};
 use crate::engines::{check_shapes, lut, GemmEngine, PreparedGemm};
+use crate::error::GemmError;
+use crate::reliability::{self, Verifier};
 use axcore_parallel::arena;
 use axcore_quant::{CodePlanes, QuantFormat, QuantizedMatrix};
 use axcore_softfloat::FpFormat;
+
+/// ABFT relative tolerance: the INT-FP datapath is numerically exact up
+/// to activation quantization and FP32 group accumulation.
+const ABFT_REL: f64 = 0.1;
 
 /// Shared prepared state for the exact INT-FP engines: integer codes
 /// decoded once, plus the per-(group, column) scales.
@@ -36,15 +42,35 @@ pub struct IntFpPrepared {
     k: usize,
     n: usize,
     group_size: usize,
+    /// Integrity checksum of `dec` + `scales` + `planes` at preload.
+    state_sum: u64,
+    verifier: Verifier,
+}
+
+/// Shared weight preload for the exact INT-FP engines (panicking shim
+/// over [`try_int_fp_preload`], kept for tests and legacy call sites).
+fn int_fp_preload(act: FpFormat, w: &QuantizedMatrix) -> IntFpPrepared {
+    try_int_fp_preload(act, w).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Integrity checksum over every weight-derived table the two execution
+/// paths read (direct: `dec` + `scales`; LUT: `planes` + `scales`).
+fn state_checksum(dec: &[i32], scales: &[f64], planes: &CodePlanes) -> u64 {
+    let h = reliability::fold(reliability::CHECKSUM_SEED, dec, |v| v as u32 as u64);
+    let h = reliability::fold(h, scales, f64::to_bits);
+    reliability::mix(h, planes.checksum())
 }
 
 /// Shared weight preload for the exact INT-FP engines.
-fn int_fp_preload(act: FpFormat, w: &QuantizedMatrix) -> IntFpPrepared {
+fn try_int_fp_preload(act: FpFormat, w: &QuantizedMatrix) -> Result<IntFpPrepared, GemmError> {
     for f in &w.formats {
-        assert!(
-            matches!(f, QuantFormat::Int { .. }),
-            "INT-FP engines require INT-quantized weights, got {f}"
-        );
+        if !matches!(f, QuantFormat::Int { .. }) {
+            return Err(GemmError::FormatOverflow {
+                engine: "INT-FP engines",
+                requirement: "require INT-quantized weights",
+                got: f.to_string(),
+            });
+        }
     }
     // Column-major (`col * k + k`) so the group MAC loop is contiguous.
     let mut dec = vec![0i32; w.k * w.n];
@@ -71,7 +97,19 @@ fn int_fp_preload(act: FpFormat, w: &QuantizedMatrix) -> IntFpPrepared {
     let planes = CodePlanes::from_fn(w.k, w.n, w.group_size, width, |kk, col| {
         (dec[col * w.k + kk] + vlo) as u8
     });
-    IntFpPrepared { act, dec, scales, vmax, planes, k: w.k, n: w.n, group_size: w.group_size }
+    let state_sum = state_checksum(&dec, &scales, &planes);
+    Ok(IntFpPrepared {
+        act,
+        dec,
+        scales,
+        vmax,
+        planes,
+        k: w.k,
+        n: w.n,
+        group_size: w.group_size,
+        state_sum,
+        verifier: Verifier::new(w, ABFT_REL),
+    })
 }
 
 /// Arena-recycled: `arow` is fully rewritten for each new row.
@@ -101,8 +139,65 @@ impl PreparedGemm for IntFpPrepared {
         self.n
     }
 
-    fn gemm(&self, a: &[f32], m: usize, out: &mut [f32]) {
-        check_prepared_shapes(a, m, self.k, self.n, out);
+    fn try_gemm(&self, a: &[f32], m: usize, out: &mut [f32]) -> Result<(), GemmError> {
+        check_prepared_shapes(a, m, self.k, self.n, out)?;
+        let span = 2 * self.vmax as usize + 2;
+        verified_single_tier(
+            &self.verifier,
+            if lut::use_lut(self.n, span) {
+                axcore_parallel::Tier::SwarLut
+            } else {
+                axcore_parallel::Tier::Direct
+            },
+            "int-fp prepared gemm",
+            a,
+            m,
+            self.n,
+            out,
+            |o| self.run(a, m, o),
+            || state_checksum(&self.dec, &self.scales, &self.planes) == self.state_sum,
+            |o| {
+                int_fp_preload(self.act, self.verifier.pristine()).gemm_direct(a, m, o);
+            },
+        )
+    }
+
+    fn fault_sites(&self) -> &'static [&'static str] {
+        &["dec", "scales", "planes"]
+    }
+
+    fn fault_surface(&self, site: &str) -> (usize, u32) {
+        match site {
+            "dec" => (self.dec.len(), 32),
+            "scales" => (self.scales.len(), 64),
+            "planes" => (self.planes.raw_bytes(), 8),
+            _ => (0, 0),
+        }
+    }
+
+    fn inject_fault(&mut self, site: &str, word: usize, bit: u32) -> bool {
+        match site {
+            "dec" => {
+                self.dec[word] ^= 1 << (bit % 32);
+                true
+            }
+            "scales" => {
+                self.scales[word] =
+                    f64::from_bits(self.scales[word].to_bits() ^ (1 << (bit % 64)));
+                true
+            }
+            "planes" => {
+                self.planes.flip_bit(word, bit);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+impl IntFpPrepared {
+    /// The unverified execution path (LUT/direct dispatch).
+    fn run(&self, a: &[f32], m: usize, out: &mut [f32]) {
         let span = 2 * self.vmax as usize + 2;
         if lut::use_lut(self.n, span) {
             self.gemm_lut(a, m, out);
@@ -110,9 +205,7 @@ impl PreparedGemm for IntFpPrepared {
             self.gemm_direct(a, m, out);
         }
     }
-}
 
-impl IntFpPrepared {
     fn gemm_direct(&self, a: &[f32], m: usize, out: &mut [f32]) {
         let (k, n) = (self.k, self.n);
         let gs = self.group_size;
@@ -174,6 +267,9 @@ impl IntFpPrepared {
         // Either plane width indexes the same table rows in the same
         // ascending-k order, so results stay bit-identical.
         let packed = self.planes.is_packed();
+        // The `try_into().unwrap()` below converts an exactly-8-byte
+        // slice, so it cannot fail.
+        #[allow(clippy::unwrap_used)]
         let gather = |t: &IntFpLutTable, _i: usize, col0: usize, cols: &mut [f32]| {
             for (j, o) in cols.iter_mut().enumerate() {
                 let c = col0 + j;
@@ -234,17 +330,23 @@ impl GemmEngine for FignaEngine {
         format!("FIGNA-{}", self.act.name)
     }
 
-    fn gemm(&self, a: &[f32], m: usize, w: &QuantizedMatrix, out: &mut [f32]) {
-        check_shapes(a, m, w, out);
-        int_fp_preload(self.act, w).gemm(a, m, out);
+    fn try_gemm(
+        &self,
+        a: &[f32],
+        m: usize,
+        w: &QuantizedMatrix,
+        out: &mut [f32],
+    ) -> Result<(), GemmError> {
+        check_shapes(a, m, w, out)?;
+        try_int_fp_preload(self.act, w)?.try_gemm(a, m, out)
     }
 
     fn clone_box(&self) -> Box<dyn GemmEngine> {
         Box::new(*self)
     }
 
-    fn prepare(&self, w: &QuantizedMatrix) -> Box<dyn PreparedGemm> {
-        Box::new(int_fp_preload(self.act, w))
+    fn try_prepare(&self, w: &QuantizedMatrix) -> Result<Box<dyn PreparedGemm>, GemmError> {
+        Ok(Box::new(try_int_fp_preload(self.act, w)?))
     }
 }
 
@@ -267,17 +369,23 @@ impl GemmEngine for FiglutEngine {
         format!("FIGLUT-{}", self.act.name)
     }
 
-    fn gemm(&self, a: &[f32], m: usize, w: &QuantizedMatrix, out: &mut [f32]) {
-        check_shapes(a, m, w, out);
-        int_fp_preload(self.act, w).gemm(a, m, out);
+    fn try_gemm(
+        &self,
+        a: &[f32],
+        m: usize,
+        w: &QuantizedMatrix,
+        out: &mut [f32],
+    ) -> Result<(), GemmError> {
+        check_shapes(a, m, w, out)?;
+        try_int_fp_preload(self.act, w)?.try_gemm(a, m, out)
     }
 
     fn clone_box(&self) -> Box<dyn GemmEngine> {
         Box::new(*self)
     }
 
-    fn prepare(&self, w: &QuantizedMatrix) -> Box<dyn PreparedGemm> {
-        Box::new(int_fp_preload(self.act, w))
+    fn try_prepare(&self, w: &QuantizedMatrix) -> Result<Box<dyn PreparedGemm>, GemmError> {
+        Ok(Box::new(try_int_fp_preload(self.act, w)?))
     }
 }
 

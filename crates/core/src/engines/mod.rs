@@ -27,6 +27,7 @@ pub use lut::{current_lut_policy, with_lut_policy, LutPolicy};
 pub use prepared::{FallbackPrepared, PreparedGemm};
 pub use tender::TenderEngine;
 
+use crate::error::GemmError;
 use axcore_quant::QuantizedMatrix;
 
 /// A matrix-multiply engine computing `O = A · W` with `A` an `m × k`
@@ -41,29 +42,51 @@ pub trait GemmEngine: std::fmt::Debug + Send + Sync {
     /// Human-readable engine name (used in reports and figures).
     fn name(&self) -> String;
 
+    /// Perform the multiplication, reporting shape and weight-format
+    /// problems as a [`GemmError`] instead of panicking.
+    fn try_gemm(
+        &self,
+        a: &[f32],
+        m: usize,
+        w: &QuantizedMatrix,
+        out: &mut [f32],
+    ) -> Result<(), GemmError>;
+
     /// Perform the multiplication.
     ///
     /// # Panics
     ///
-    /// Implementations panic if `a.len() != m * w.k`,
-    /// `out.len() != m * w.n`, or the weight format kind is unsupported
-    /// (e.g. INT weights passed to an FP-only engine).
-    fn gemm(&self, a: &[f32], m: usize, w: &QuantizedMatrix, out: &mut [f32]);
+    /// Panics if `a.len() != m * w.k`, `out.len() != m * w.n`, or the
+    /// weight format kind is unsupported (e.g. INT weights passed to an
+    /// FP-only engine). This is a thin shim over
+    /// [`try_gemm`](GemmEngine::try_gemm) that panics with the error's
+    /// `Display` text; new call sites should prefer `try_gemm`.
+    fn gemm(&self, a: &[f32], m: usize, w: &QuantizedMatrix, out: &mut [f32]) {
+        self.try_gemm(a, m, w, out).unwrap_or_else(|e| panic!("{e}"))
+    }
 
     /// Clone this engine behind the trait object (used by the default
     /// [`prepare`](GemmEngine::prepare) implementation).
     fn clone_box(&self) -> Box<dyn GemmEngine>;
 
+    /// Preload a weight matrix into this engine's stationary form,
+    /// reporting weight-format problems as a [`GemmError`]. The default
+    /// implementation falls back to re-running
+    /// [`gemm`](GemmEngine::gemm) per call; every engine in this crate
+    /// overrides it with a real prepared state.
+    fn try_prepare(&self, w: &QuantizedMatrix) -> Result<Box<dyn PreparedGemm>, GemmError> {
+        Ok(Box::new(FallbackPrepared::new(self.clone_box(), w.clone())))
+    }
+
     /// Preload a weight matrix into this engine's stationary form — the
-    /// systolic weight-preload phase. The default implementation falls
-    /// back to re-running [`gemm`](GemmEngine::gemm) per call; every
-    /// engine in this crate overrides it with a real prepared state.
+    /// systolic weight-preload phase.
     ///
     /// # Panics
     ///
-    /// Panics if the weight format kind is unsupported by this engine.
+    /// Panics if the weight format kind is unsupported by this engine
+    /// (shim over [`try_prepare`](GemmEngine::try_prepare)).
     fn prepare(&self, w: &QuantizedMatrix) -> Box<dyn PreparedGemm> {
-        Box::new(FallbackPrepared::new(self.clone_box(), w.clone()))
+        self.try_prepare(w).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Multiply against previously [`prepare`](GemmEngine::prepare)d
@@ -75,9 +98,27 @@ pub trait GemmEngine: std::fmt::Debug + Send + Sync {
 }
 
 /// Validate GEMM buffer shapes (shared by all engine implementations).
-pub(crate) fn check_shapes(a: &[f32], m: usize, w: &QuantizedMatrix, out: &[f32]) {
-    assert_eq!(a.len(), m * w.k, "activation shape mismatch");
-    assert_eq!(out.len(), m * w.n, "output shape mismatch");
+pub(crate) fn check_shapes(
+    a: &[f32],
+    m: usize,
+    w: &QuantizedMatrix,
+    out: &[f32],
+) -> Result<(), GemmError> {
+    if a.len() != m * w.k {
+        return Err(GemmError::DimMismatch {
+            what: "activation shape mismatch",
+            expected: m * w.k,
+            got: a.len(),
+        });
+    }
+    if out.len() != m * w.n {
+        return Err(GemmError::DimMismatch {
+            what: "output shape mismatch",
+            expected: m * w.n,
+            got: out.len(),
+        });
+    }
+    Ok(())
 }
 
 /// Reference double-precision GEMM against a dense `f32` weight matrix

@@ -34,6 +34,7 @@
 //! [`GemmEngine::prepare`]: crate::engines::GemmEngine::prepare
 
 use crate::engines::GemmEngine;
+use crate::error::GemmError;
 use axcore_quant::QuantizedMatrix;
 
 /// A weight matrix preloaded into one engine's stationary form.
@@ -51,21 +52,72 @@ pub trait PreparedGemm: std::fmt::Debug + Send + Sync {
     fn n(&self) -> usize;
 
     /// Multiply an `m × k` activation tile against the prepared weights,
+    /// overwriting `out` (`m × n`, row-major), reporting shape problems
+    /// (and unrecoverable execution failures) as a [`GemmError`]. When
+    /// verification is active (see [`crate::reliability::VerifyPolicy`]),
+    /// a healthy call's output stays bit-identical to the owning
+    /// engine's [`GemmEngine::gemm`] on the same matrix.
+    ///
+    /// [`GemmEngine::gemm`]: crate::engines::GemmEngine::gemm
+    fn try_gemm(&self, a: &[f32], m: usize, out: &mut [f32]) -> Result<(), GemmError>;
+
+    /// Multiply an `m × k` activation tile against the prepared weights,
     /// overwriting `out` (`m × n`, row-major). Bit-identical to the
     /// owning engine's [`GemmEngine::gemm`] on the same matrix.
     ///
     /// # Panics
     ///
-    /// Panics if `a.len() != m * self.k()` or `out.len() != m * self.n()`.
+    /// Panics if `a.len() != m * self.k()` or `out.len() != m * self.n()`
+    /// (shim over [`try_gemm`](PreparedGemm::try_gemm)).
     ///
     /// [`GemmEngine::gemm`]: crate::engines::GemmEngine::gemm
-    fn gemm(&self, a: &[f32], m: usize, out: &mut [f32]);
+    fn gemm(&self, a: &[f32], m: usize, out: &mut [f32]) {
+        self.try_gemm(a, m, out).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Named at-rest fault-injection surfaces of this prepared state
+    /// (empty when the engine exposes none).
+    fn fault_sites(&self) -> &'static [&'static str] {
+        &[]
+    }
+
+    /// Size of one fault surface as `(words, bits_per_word)`; `(0, 0)`
+    /// for unknown sites.
+    fn fault_surface(&self, _site: &str) -> (usize, u32) {
+        (0, 0)
+    }
+
+    /// Flip one bit of one word of an at-rest fault surface (stored
+    /// integrity checksums deliberately go stale). Returns whether the
+    /// site exists and the flip was applied.
+    fn inject_fault(&mut self, _site: &str, _word: usize, _bit: u32) -> bool {
+        false
+    }
 }
 
 /// Shape check shared by the prepared implementations.
-pub(crate) fn check_prepared_shapes(a: &[f32], m: usize, k: usize, n: usize, out: &[f32]) {
-    assert_eq!(a.len(), m * k, "activation shape mismatch");
-    assert_eq!(out.len(), m * n, "output shape mismatch");
+pub(crate) fn check_prepared_shapes(
+    a: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &[f32],
+) -> Result<(), GemmError> {
+    if a.len() != m * k {
+        return Err(GemmError::DimMismatch {
+            what: "activation shape mismatch",
+            expected: m * k,
+            got: a.len(),
+        });
+    }
+    if out.len() != m * n {
+        return Err(GemmError::DimMismatch {
+            what: "output shape mismatch",
+            expected: m * n,
+            got: out.len(),
+        });
+    }
+    Ok(())
 }
 
 /// GEMMs below this many MACs run serially: thread spawns would dominate.
@@ -199,6 +251,72 @@ pub(crate) fn drive_lut<T, MkT, B, G>(
     }
 }
 
+/// Shared verified-execution wrapper for the single-ladder engines
+/// (everything except AxCore, which walks a three-tier ladder instead).
+///
+/// Runs `run(out)` under a panic guard, then applies the active
+/// [`VerifyPlan`]: `state_ok()` recomputes the engine's integrity
+/// checksum at `Full`, the ABFT row check runs per the plan. On any
+/// failure the call **recovers**: `recover(out)` re-executes from
+/// pristine weight state, serially, and the downgrade is published as an
+/// [`axcore_parallel::ExecReport`]. The caller gets `Ok` with a correct
+/// output unless even the recovery re-execution panics.
+///
+/// [`VerifyPlan`]: crate::reliability::VerifyPlan
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn verified_single_tier<Run, StateOk, Recover>(
+    verifier: &crate::reliability::Verifier,
+    tier: axcore_parallel::Tier,
+    context: &'static str,
+    a: &[f32],
+    m: usize,
+    n: usize,
+    out: &mut [f32],
+    run: Run,
+    state_ok: StateOk,
+    recover: Recover,
+) -> Result<(), GemmError>
+where
+    Run: Fn(&mut [f32]),
+    StateOk: Fn() -> bool,
+    Recover: FnOnce(&mut [f32]),
+{
+    use axcore_parallel::{health, FailReason, Tier};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    let plan = verifier.plan();
+    let ran = catch_unwind(AssertUnwindSafe(|| run(out)));
+    let integ_ok = !plan.integrity || state_ok();
+    let abft_ok = ran.is_ok() && (!plan.abft || verifier.abft_ok(a, m, n, out));
+    if ran.is_ok() && integ_ok && abft_ok {
+        if plan.any() {
+            let mut report = health::ExecReport::new(tier);
+            report.verified = true;
+            health::publish_report(report);
+        }
+        return Ok(());
+    }
+    let reason = if ran.is_err() {
+        FailReason::Panic
+    } else if !integ_ok {
+        FailReason::ChecksumMismatch
+    } else {
+        FailReason::AbftMismatch
+    };
+    let rerun = catch_unwind(AssertUnwindSafe(|| {
+        axcore_parallel::with_threads(1, || recover(out))
+    }));
+    if rerun.is_err() {
+        return Err(GemmError::PoolPanicked { context });
+    }
+    let mut report = health::ExecReport::new(tier);
+    report.push_downgrade(tier, Tier::Direct, reason);
+    report.verified = plan.any();
+    report.recovered = true;
+    health::publish_report(report);
+    Ok(())
+}
+
 /// The default [`GemmEngine::prepare`] result for engines without a
 /// specialized prepared form: owns a clone of the engine and the weight
 /// matrix and routes every call through the plain `gemm` path.
@@ -226,7 +344,7 @@ impl PreparedGemm for FallbackPrepared {
         self.w.n
     }
 
-    fn gemm(&self, a: &[f32], m: usize, out: &mut [f32]) {
-        self.engine.gemm(a, m, &self.w, out);
+    fn try_gemm(&self, a: &[f32], m: usize, out: &mut [f32]) -> Result<(), GemmError> {
+        self.engine.try_gemm(a, m, &self.w, out)
     }
 }

@@ -9,10 +9,16 @@
 //! Tender's perplexity far above the weight-only designs) comes from
 //! quantizing the *activations*, which this model reproduces.
 
-use crate::engines::prepared::{check_prepared_shapes, drive};
+use crate::engines::prepared::{check_prepared_shapes, drive, verified_single_tier};
 use crate::engines::{check_shapes, GemmEngine, PreparedGemm};
+use crate::error::GemmError;
+use crate::reliability::{self, Verifier};
 use axcore_parallel::arena;
 use axcore_quant::{QuantFormat, QuantizedMatrix};
+
+/// ABFT relative tolerance: activation quantization dominates — A4
+/// per-chunk codes carry up to ~1/7 relative error each.
+const ABFT_REL: f64 = 0.75;
 
 /// Integer-only GEMM with activation quantization (Tender-like).
 #[derive(Debug, Clone, Copy)]
@@ -37,28 +43,43 @@ impl GemmEngine for TenderEngine {
         format!("Tender-A{}", self.act_bits)
     }
 
-    fn gemm(&self, a: &[f32], m: usize, w: &QuantizedMatrix, out: &mut [f32]) {
-        check_shapes(a, m, w, out);
-        self.preload(w).gemm(a, m, out);
+    fn try_gemm(
+        &self,
+        a: &[f32],
+        m: usize,
+        w: &QuantizedMatrix,
+        out: &mut [f32],
+    ) -> Result<(), GemmError> {
+        check_shapes(a, m, w, out)?;
+        self.try_preload(w)?.try_gemm(a, m, out)
     }
 
     fn clone_box(&self) -> Box<dyn GemmEngine> {
         Box::new(*self)
     }
 
-    fn prepare(&self, w: &QuantizedMatrix) -> Box<dyn PreparedGemm> {
-        Box::new(self.preload(w))
+    fn try_prepare(&self, w: &QuantizedMatrix) -> Result<Box<dyn PreparedGemm>, GemmError> {
+        Ok(Box::new(self.try_preload(w)?))
     }
+}
+
+/// Integrity checksum over the decoded codes and scales.
+fn state_checksum(dec: &[i32], wscales: &[f64]) -> u64 {
+    let h = reliability::fold(reliability::CHECKSUM_SEED, dec, |v| v as u32 as u64);
+    reliability::fold(h, wscales, f64::to_bits)
 }
 
 impl TenderEngine {
     /// Decode the integer weight codes and scales once.
-    fn preload(&self, w: &QuantizedMatrix) -> TenderPrepared {
+    fn try_preload(&self, w: &QuantizedMatrix) -> Result<TenderPrepared, GemmError> {
         for f in &w.formats {
-            assert!(
-                matches!(f, QuantFormat::Int { .. }),
-                "TenderEngine requires INT-quantized weights, got {f}"
-            );
+            if !matches!(f, QuantFormat::Int { .. }) {
+                return Err(GemmError::FormatOverflow {
+                    engine: "TenderEngine",
+                    requirement: "requires INT-quantized weights",
+                    got: f.to_string(),
+                });
+            }
         }
         // Column-major (`col * k + k`) so the chunked MAC loop is contiguous.
         let mut dec = vec![0i32; w.k * w.n];
@@ -74,7 +95,9 @@ impl TenderEngine {
                 wscales[g * w.n + c] = w.scale(g * w.group_size, c);
             }
         }
-        TenderPrepared {
+        let state_sum = state_checksum(&dec, &wscales);
+        Ok(TenderPrepared {
+            engine: *self,
             qmax: ((1i64 << (self.act_bits - 1)) - 1) as f64,
             chunks: self.chunks,
             dec,
@@ -82,13 +105,17 @@ impl TenderEngine {
             k: w.k,
             n: w.n,
             group_size: w.group_size,
-        }
+            state_sum,
+            verifier: Verifier::new(w, ABFT_REL),
+        })
     }
 }
 
 /// Tender prepared weights: decoded integer codes plus per-group scales.
 #[derive(Debug)]
 pub struct TenderPrepared {
+    /// Owning engine configuration (recovery re-preparation source).
+    engine: TenderEngine,
     qmax: f64,
     chunks: usize,
     dec: Vec<i32>,
@@ -96,6 +123,9 @@ pub struct TenderPrepared {
     k: usize,
     n: usize,
     group_size: usize,
+    /// Integrity checksum of `dec` + `wscales` at preload.
+    state_sum: u64,
+    verifier: Verifier,
 }
 
 /// Per-worker scratch: the current row's activation codes and chunk scales.
@@ -116,8 +146,58 @@ impl PreparedGemm for TenderPrepared {
         self.n
     }
 
-    fn gemm(&self, a: &[f32], m: usize, out: &mut [f32]) {
-        check_prepared_shapes(a, m, self.k, self.n, out);
+    fn try_gemm(&self, a: &[f32], m: usize, out: &mut [f32]) -> Result<(), GemmError> {
+        check_prepared_shapes(a, m, self.k, self.n, out)?;
+        verified_single_tier(
+            &self.verifier,
+            axcore_parallel::Tier::Direct,
+            "tender prepared gemm",
+            a,
+            m,
+            self.n,
+            out,
+            |o| self.run(a, m, o),
+            || state_checksum(&self.dec, &self.wscales) == self.state_sum,
+            |o| {
+                if let Ok(fresh) = self.engine.try_preload(self.verifier.pristine()) {
+                    fresh.run(a, m, o);
+                }
+            },
+        )
+    }
+
+    fn fault_sites(&self) -> &'static [&'static str] {
+        &["dec", "wscales"]
+    }
+
+    fn fault_surface(&self, site: &str) -> (usize, u32) {
+        match site {
+            "dec" => (self.dec.len(), 32),
+            "wscales" => (self.wscales.len(), 64),
+            _ => (0, 0),
+        }
+    }
+
+    fn inject_fault(&mut self, site: &str, word: usize, bit: u32) -> bool {
+        match site {
+            "dec" => {
+                self.dec[word] ^= 1 << (bit % 32);
+                true
+            }
+            "wscales" => {
+                self.wscales[word] =
+                    f64::from_bits(self.wscales[word].to_bits() ^ (1 << (bit % 64)));
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+impl TenderPrepared {
+    /// The unverified execution path (shared by normal calls and the
+    /// recovery re-execution).
+    fn run(&self, a: &[f32], m: usize, out: &mut [f32]) {
         let (k, n) = (self.k, self.n);
         let gs = self.group_size;
         let groups = k / gs;

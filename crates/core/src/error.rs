@@ -1,0 +1,90 @@
+//! Error type for the GEMM entry points.
+//!
+//! The engines historically validated shapes and weight formats with
+//! `assert!`/`panic!`. Those checks now return [`GemmError`] through the
+//! `try_*` entry points ([`GemmEngine::try_gemm`],
+//! [`GemmEngine::try_prepare`], [`PreparedGemm::try_gemm`],
+//! [`TileGrid::try_new`]); the original panicking signatures survive as
+//! thin shims over them, panicking with the error's `Display` text — which
+//! keeps every historical panic-message substring intact for callers (and
+//! tests) that pinned them.
+//!
+//! [`GemmEngine::try_gemm`]: crate::engines::GemmEngine::try_gemm
+//! [`GemmEngine::try_prepare`]: crate::engines::GemmEngine::try_prepare
+//! [`PreparedGemm::try_gemm`]: crate::engines::PreparedGemm::try_gemm
+//! [`TileGrid::try_new`]: crate::tile::TileGrid::try_new
+
+use std::fmt;
+
+/// Why a GEMM entry point refused to run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GemmError {
+    /// A buffer length or tiling dimension disagrees with the call shape.
+    DimMismatch {
+        /// Which check failed (stable, human-readable — e.g.
+        /// `"activation shape mismatch"`).
+        what: &'static str,
+        /// The length/divisibility the shape required.
+        expected: usize,
+        /// What the caller supplied.
+        got: usize,
+    },
+    /// The weight format kind does not fit this engine's datapath (e.g.
+    /// INT codes handed to an FP-only engine).
+    FormatOverflow {
+        /// Engine (or engine family) that rejected the weights.
+        engine: &'static str,
+        /// The requirement, phrased as the engine states it (e.g.
+        /// `"requires FP-quantized weights"`).
+        requirement: &'static str,
+        /// Display form of the offending format.
+        got: String,
+    },
+    /// A worker panicked during pooled dispatch and every recovery rung
+    /// (tier downgrades, pristine re-preparation) also failed.
+    PoolPanicked {
+        /// What was being dispatched when the panic escaped.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for GemmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GemmError::DimMismatch { what, expected, got } => {
+                write!(f, "{what} (expected {expected}, got {got})")
+            }
+            GemmError::FormatOverflow { engine, requirement, got } => {
+                write!(f, "{engine} {requirement}, got {got}")
+            }
+            GemmError::PoolPanicked { context } => {
+                write!(f, "GEMM worker pool panicked during {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GemmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_preserves_pinned_substrings() {
+        let e = GemmError::DimMismatch {
+            what: "activation shape mismatch",
+            expected: 64,
+            got: 32,
+        };
+        assert!(e.to_string().contains("activation shape mismatch"));
+        let e = GemmError::FormatOverflow {
+            engine: "AxCoreEngine",
+            requirement: "requires FP-quantized weights",
+            got: "INT4".into(),
+        };
+        assert!(e.to_string().contains("requires FP-quantized weights"));
+        let e = GemmError::PoolPanicked { context: "prepared gemm" };
+        assert!(e.to_string().contains("panicked"));
+    }
+}

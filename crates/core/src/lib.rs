@@ -52,8 +52,10 @@
 pub mod accum;
 pub mod axscale;
 pub mod engines;
+pub mod error;
 pub mod pe;
 pub mod preadd;
+pub mod reliability;
 pub mod systolic;
 pub mod tile;
 
@@ -61,3 +63,5 @@ pub use engines::{
     AxCoreConfig, AxCoreEngine, ExactEngine, FignaEngine, FiglutEngine, FpmaEngine, GemmEngine,
     PreparedGemm, TenderEngine,
 };
+pub use error::GemmError;
+pub use reliability::{current_verify_policy, with_verify_policy, VerifyPolicy};

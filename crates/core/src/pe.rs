@@ -92,7 +92,9 @@ impl Pe {
         if a_zero || zero {
             return None;
         }
-        let mag = clamp_magnitude(self.act, t + addend);
+        // SEU tap on the PE product magnitude (no-op unless a fault plan
+        // is armed; see `reliability::faults`).
+        let mag = crate::reliability::faults::tap_pe(clamp_magnitude(self.act, t + addend));
         if mag == 0 {
             return None; // underflow flush
         }

@@ -238,7 +238,12 @@ pub fn run_tile_chained(
         .into_iter()
         .map(|row| {
             row.into_iter()
-                .map(|o| o.expect("every output must emerge on schedule"))
+                // The drain loop above runs the full output schedule, so
+                // every slot is filled; an empty one is a model bug.
+                .map(|o| {
+                    #[allow(clippy::expect_used)]
+                    o.expect("every output must emerge on schedule")
+                })
                 .collect()
         })
         .collect();
@@ -313,7 +318,9 @@ pub fn systolic_gemm(
             cycles += tile_cycles;
             for (i, row) in results.iter().enumerate() {
                 for (c, acc) in row.iter().enumerate() {
-                    let o_bits = norm.normalize(acc);
+                    // SEU tap on the array's normalized output bits (no-op
+                    // unless a fault plan is armed).
+                    let o_bits = crate::reliability::faults::tap_systolic(norm.normalize(acc));
                     let scale_bits = w.scales[g * w.n + col0 + c];
                     let scaled = if engine_cfg.fpma_dequant {
                         act.decode(axscale.apply(o_bits, scale_bits))

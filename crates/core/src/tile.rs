@@ -14,6 +14,7 @@
 use crate::accum::{NormUnit, PartialAcc};
 use crate::axscale::AxScale;
 use crate::engines::AxCoreConfig;
+use crate::error::GemmError;
 use crate::preadd::{PreAdd, PreAddTerm};
 use crate::systolic::{run_tile_chained, SystolicArray};
 use axcore_fpma::MpFpma;
@@ -36,10 +37,29 @@ impl TileGrid {
     ///
     /// # Panics
     ///
-    /// Panics unless tiles evenly cover the array.
+    /// Panics unless tiles evenly cover the array (shim over
+    /// [`TileGrid::try_new`]).
     pub fn new(act: FpFormat, rows: usize, cols: usize, tile_rows: usize, tile_cols: usize) -> Self {
-        assert!(rows.is_multiple_of(tile_rows) && cols.is_multiple_of(tile_cols), "tiles must cover the array");
-        TileGrid { act, rows, cols, tile_rows, tile_cols }
+        Self::try_new(act, rows, cols, tile_rows, tile_cols).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Build a grid description, reporting non-covering tilings as a
+    /// [`GemmError::DimMismatch`].
+    pub fn try_new(
+        act: FpFormat,
+        rows: usize,
+        cols: usize,
+        tile_rows: usize,
+        tile_cols: usize,
+    ) -> Result<Self, GemmError> {
+        if !rows.is_multiple_of(tile_rows) || !cols.is_multiple_of(tile_cols) {
+            return Err(GemmError::DimMismatch {
+                what: "tiles must cover the array",
+                expected: rows * cols,
+                got: tile_rows * tile_cols,
+            });
+        }
+        Ok(TileGrid { act, rows, cols, tile_rows, tile_cols })
     }
 
     /// Number of tiles in each direction `(vertical, horizontal)`.
@@ -112,6 +132,9 @@ impl TileGrid {
                 let (results, _) = run_tile_chained(&mut array, &terms, chain.as_deref());
                 chain = Some(results);
             }
+            // The vertical-tile loop runs at least once (`groups >= 1`),
+            // so the chain is always populated here.
+            #[allow(clippy::expect_used)]
             let col_accs = chain.expect("at least one tile row");
             for (i, accs) in col_accs.iter().enumerate() {
                 for (c, acc) in accs.iter().enumerate() {

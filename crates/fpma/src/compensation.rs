@@ -17,7 +17,7 @@
 use crate::snc::{SncPolicy, SncUnit};
 use axcore_softfloat::FpFormat;
 use std::collections::HashMap;
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, OnceLock, PoisonError};
 
 /// Process-wide cache of compensation constants keyed by format pair.
 #[derive(Debug)]
@@ -39,11 +39,13 @@ impl CompensationTable {
     /// `act`), in result-LSB units. Computed per Eq. 11 on first use.
     pub fn c1(&self, act: FpFormat, weight: FpFormat) -> i32 {
         let key = (act, weight);
-        if let Some(&v) = self.cache.lock().unwrap().get(&key) {
+        // Poisoning is harmless here: the cache only memoizes pure
+        // recomputable constants.
+        if let Some(&v) = self.cache.lock().unwrap_or_else(PoisonError::into_inner).get(&key) {
             return v;
         }
         let v = compute_c1(act, weight);
-        self.cache.lock().unwrap().insert(key, v);
+        self.cache.lock().unwrap_or_else(PoisonError::into_inner).insert(key, v);
         v
     }
 

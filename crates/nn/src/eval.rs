@@ -167,6 +167,45 @@ struct QuantLinear {
     out_dim: usize,
 }
 
+/// Aggregated reliability telemetry from the verified GEMM layer (see
+/// `axcore::reliability`): a snapshot of what the model's linear layers
+/// observed since the last [`QuantizedLm::take_exec_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Prepared-GEMM calls on which verification (ABFT or integrity) ran.
+    pub verified_calls: u64,
+    /// Total tier-downgrade steps across those calls.
+    pub downgrades: u64,
+    /// Calls whose output came from a pristine-weight recovery
+    /// re-execution.
+    pub recoveries: u64,
+}
+
+/// Interior-mutable accumulator behind [`ExecStats`] (`linear` takes
+/// `&self`).
+#[derive(Debug, Default)]
+struct ExecCounters {
+    verified: std::sync::atomic::AtomicU64,
+    downgrades: std::sync::atomic::AtomicU64,
+    recoveries: std::sync::atomic::AtomicU64,
+    /// Most recent report that recorded a downgrade or recovery.
+    last_degraded: std::sync::Mutex<Option<axcore_parallel::ExecReport>>,
+}
+
+impl ExecCounters {
+    fn absorb(&self, r: axcore_parallel::ExecReport) {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.verified.fetch_add(r.verified as u64, Relaxed);
+        self.downgrades.fetch_add(r.n_downgrades() as u64, Relaxed);
+        self.recoveries.fetch_add(r.recovered as u64, Relaxed);
+        if r.n_downgrades() > 0 || r.recovered {
+            if let Ok(mut slot) = self.last_degraded.lock() {
+                *slot = Some(r);
+            }
+        }
+    }
+}
+
 /// A model lowered onto one compute scheme.
 pub struct QuantizedLm {
     /// The scheme this model executes.
@@ -179,6 +218,7 @@ pub struct QuantizedLm {
     kv_engine: Box<dyn GemmEngine>,
     blocks: Vec<QuantBlock>,
     kv: Option<KvQuantConfig>,
+    exec: ExecCounters,
 }
 
 struct QuantBlock {
@@ -281,6 +321,7 @@ pub fn quantize_model(
         engine,
         blocks,
         kv: scheme.kv_config(),
+        exec: ExecCounters::default(),
     }
 }
 
@@ -321,6 +362,24 @@ impl QuantizedLm {
         self.src.cfg.max_seq
     }
 
+    /// Snapshot and reset the reliability telemetry accumulated by this
+    /// model's linear layers (verified calls, tier downgrades, pristine
+    /// recoveries).
+    pub fn take_exec_stats(&self) -> ExecStats {
+        use std::sync::atomic::Ordering::Relaxed;
+        ExecStats {
+            verified_calls: self.exec.verified.swap(0, Relaxed),
+            downgrades: self.exec.downgrades.swap(0, Relaxed),
+            recoveries: self.exec.recoveries.swap(0, Relaxed),
+        }
+    }
+
+    /// The most recent execution report that recorded a downgrade or a
+    /// recovery, if any linear layer degraded since quantization.
+    pub fn last_degraded_report(&self) -> Option<axcore_parallel::ExecReport> {
+        self.exec.last_degraded.lock().ok().and_then(|s| *s)
+    }
+
     fn linear(&self, ql: &QuantLinear, x: &[f32], rows: usize) -> Vec<f32> {
         let mut y = vec![0f32; rows * ql.out_dim];
         match &ql.w {
@@ -343,6 +402,11 @@ impl QuantizedLm {
             }
             PreparedWeights::Quantized(prep) => {
                 self.engine.gemm_prepared(&**prep, x, rows, &mut y);
+                // The verified GEMM layer publishes a per-call report on
+                // this thread; fold it into the model's telemetry.
+                if let Some(r) = axcore_parallel::health::take_report() {
+                    self.exec.absorb(r);
+                }
             }
         }
         for r in 0..rows {
@@ -586,6 +650,25 @@ mod tests {
         );
         assert!(kv >= ax * 0.98);
         assert!(kv < ax * 1.35, "KV quant blew up: {ax:.3} -> {kv:.3}");
+    }
+
+    #[test]
+    fn verified_inference_is_bit_identical_and_reports() {
+        let f = fixture();
+        let q = quantize_model(&f.model, Scheme::AxCore, 32, None);
+        let tokens: Vec<usize> = f.corpus.val[..8].to_vec();
+        let base = q.forward(&tokens);
+        let _ = q.take_exec_stats();
+        let verified =
+            axcore::with_verify_policy(axcore::VerifyPolicy::Full, || q.forward(&tokens));
+        let stats = q.take_exec_stats();
+        assert!(stats.verified_calls > 0, "verification must have run: {stats:?}");
+        assert_eq!(stats.recoveries, 0, "healthy run must not recover: {stats:?}");
+        assert_eq!(
+            base.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            verified.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "verification must not change output bits"
+        );
     }
 
     #[test]

@@ -7,7 +7,16 @@
 //! element's accumulation order is identical to the serial loops, so
 //! results are bit-identical at any thread count and either mode.
 
+use axcore::GemmError;
 use axcore_parallel::par_chunks_mut;
+
+/// Check one buffer length, reporting mismatches as [`GemmError`].
+fn check_len(what: &'static str, got: usize, expected: usize) -> Result<(), GemmError> {
+    if got != expected {
+        return Err(GemmError::DimMismatch { what, expected, got });
+    }
+    Ok(())
+}
 
 /// Run `f` serially when the kernel's MAC count is too small to amortize
 /// thread spawns (results are bit-identical either way — this is purely a
@@ -25,13 +34,25 @@ fn with_pool_if_worthwhile(macs: usize, f: impl FnOnce()) {
 ///
 /// # Panics
 ///
-/// Panics on shape mismatches.
+/// Panics on shape mismatches (shim over [`try_matmul`]).
 pub fn matmul(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
-    assert_eq!(a.len(), m * k, "lhs shape");
-    assert_eq!(b.len(), k * n, "rhs shape");
-    assert_eq!(out.len(), m * n, "out shape");
+    try_matmul(a, m, k, b, n, out).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// `out = a · b`, reporting shape mismatches as a [`GemmError`].
+pub fn try_matmul(
+    a: &[f32],
+    m: usize,
+    k: usize,
+    b: &[f32],
+    n: usize,
+    out: &mut [f32],
+) -> Result<(), GemmError> {
+    check_len("lhs shape mismatch", a.len(), m * k)?;
+    check_len("rhs shape mismatch", b.len(), k * n)?;
+    check_len("output shape mismatch", out.len(), m * n)?;
     if n == 0 {
-        return;
+        return Ok(());
     }
     with_pool_if_worthwhile(m * k * n, || {
         par_chunks_mut(out, n, |i, orow| {
@@ -48,16 +69,33 @@ pub fn matmul(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32
             }
         });
     });
+    Ok(())
 }
 
 /// `out = a · bᵀ` with `a: m×n`, `b: k×n` (row-major), producing `m×k`.
 /// This is the `dX = dY · Wᵀ` shape of a linear layer's backward pass.
+///
+/// # Panics
+///
+/// Panics on shape mismatches (shim over [`try_matmul_bt`]).
 pub fn matmul_bt(a: &[f32], m: usize, n: usize, b: &[f32], k: usize, out: &mut [f32]) {
-    assert_eq!(a.len(), m * n);
-    assert_eq!(b.len(), k * n);
-    assert_eq!(out.len(), m * k);
+    try_matmul_bt(a, m, n, b, k, out).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// `out = a · bᵀ`, reporting shape mismatches as a [`GemmError`].
+pub fn try_matmul_bt(
+    a: &[f32],
+    m: usize,
+    n: usize,
+    b: &[f32],
+    k: usize,
+    out: &mut [f32],
+) -> Result<(), GemmError> {
+    check_len("lhs shape mismatch", a.len(), m * n)?;
+    check_len("rhs shape mismatch", b.len(), k * n)?;
+    check_len("output shape mismatch", out.len(), m * k)?;
     if k == 0 {
-        return;
+        return Ok(());
     }
     with_pool_if_worthwhile(m * n * k, || {
         par_chunks_mut(out, k, |i, orow| {
@@ -72,6 +110,7 @@ pub fn matmul_bt(a: &[f32], m: usize, n: usize, b: &[f32], k: usize, out: &mut [
             }
         });
     });
+    Ok(())
 }
 
 /// `out += aᵀ · b` with `a: m×k`, `b: m×n`, producing `k×n`.
@@ -79,12 +118,28 @@ pub fn matmul_bt(a: &[f32], m: usize, n: usize, b: &[f32], k: usize, out: &mut [
 ///
 /// Parallelized over output rows (one row per input channel `kk`); for
 /// each output element the `i` summation order matches the serial loop.
+///
+/// # Panics
+///
+/// Panics on shape mismatches (shim over [`try_matmul_at_acc`]).
 pub fn matmul_at_acc(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
-    assert_eq!(a.len(), m * k);
-    assert_eq!(b.len(), m * n);
-    assert_eq!(out.len(), k * n);
+    try_matmul_at_acc(a, m, k, b, n, out).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// `out += aᵀ · b`, reporting shape mismatches as a [`GemmError`].
+pub fn try_matmul_at_acc(
+    a: &[f32],
+    m: usize,
+    k: usize,
+    b: &[f32],
+    n: usize,
+    out: &mut [f32],
+) -> Result<(), GemmError> {
+    check_len("lhs shape mismatch", a.len(), m * k)?;
+    check_len("rhs shape mismatch", b.len(), m * n)?;
+    check_len("output shape mismatch", out.len(), k * n)?;
     if n == 0 {
-        return;
+        return Ok(());
     }
     with_pool_if_worthwhile(m * k * n, || {
         par_chunks_mut(out, n, |kk, orow| {
@@ -100,6 +155,7 @@ pub fn matmul_at_acc(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &m
             }
         });
     });
+    Ok(())
 }
 
 /// Numerically-stable softmax over each row of an `m×n` matrix, in place.
@@ -165,6 +221,19 @@ mod tests {
         let mut out = vec![1f32; 4];
         matmul_at_acc(&a, 2, 2, &b, 2, &mut out);
         assert_eq!(out, vec![4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn try_variants_report_shape_errors() {
+        let a = [1.0f32; 4];
+        let b = [1.0f32; 4];
+        let mut bad = [0f32; 3];
+        let e = try_matmul(&a, 2, 2, &b, 2, &mut bad).unwrap_err();
+        assert!(e.to_string().contains("output shape mismatch"), "{e}");
+        let e = try_matmul_bt(&a, 2, 2, &b, 3, &mut bad).unwrap_err();
+        assert!(e.to_string().contains("rhs shape mismatch"), "{e}");
+        let e = try_matmul_at_acc(&a[..3], 2, 2, &b, 2, &mut bad).unwrap_err();
+        assert!(e.to_string().contains("lhs shape mismatch"), "{e}");
     }
 
     #[test]

@@ -56,6 +56,9 @@ pub fn take<T: Clone + 'static>(len: usize, fill: T) -> ArenaVec<T> {
             recycle: false,
         };
     }
+    // Buckets are keyed by `TypeId::of::<Vec<T>>`, so the downcast to
+    // `Vec<Vec<T>>` cannot fail.
+    #[allow(clippy::expect_used)]
     let mut buf: Vec<T> = CACHE
         .with(|c| {
             c.borrow_mut()
@@ -95,6 +98,8 @@ impl<T: 'static> Drop for ArenaVec<T> {
         // `try_with`: if the thread is being torn down, just free.
         let _ = CACHE.try_with(|c| {
             let mut map = c.borrow_mut();
+            // Same `TypeId` keying as `take`: the downcast cannot fail.
+            #[allow(clippy::expect_used)]
             let bucket = map
                 .entry(TypeId::of::<Vec<T>>())
                 .or_insert_with(|| Box::new(Vec::<Vec<T>>::new()) as Box<dyn Any>)

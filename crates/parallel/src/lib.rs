@@ -33,13 +33,15 @@
 #![deny(unsafe_code)] // narrowly allowed in the pool dispatch path only
 
 pub mod arena;
+pub mod health;
 pub mod pool;
 
+pub use health::{ExecReport, FailReason, Tier};
 pub use pool::{shutdown as shutdown_pool, spawned_workers};
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, OnceLock, PoisonError};
 
 thread_local! {
     /// Per-thread override installed by [`with_threads`].
@@ -243,11 +245,31 @@ fn pooled_chunks<T, S, MkS, F>(
     // otherwise grab the raw pointer itself, which is not Sync).
     let raw = &raw;
     let next = AtomicUsize::new(0);
+    /// Fail-fast drain: if a participant unwinds out of `f`, exhaust the
+    /// claim counter so no other participant claims further chunks. The
+    /// panicking chunk's claim is thereby never "leaked" into a counter
+    /// state other threads keep working past — the dispatch converges and
+    /// the panic propagates from `pool::run` with the pool reusable.
+    struct DrainOnUnwind<'a> {
+        next: &'a AtomicUsize,
+        num_chunks: usize,
+    }
+    impl Drop for DrainOnUnwind<'_> {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                self.next.store(self.num_chunks, Ordering::Relaxed);
+            }
+        }
+    }
     let body = || {
         let mut i = next.fetch_add(1, Ordering::Relaxed);
         if i >= num_chunks {
             return; // late participant: all chunks already claimed
         }
+        let _drain = DrainOnUnwind {
+            next: &next,
+            num_chunks,
+        };
         let mut scratch = mk_scratch();
         loop {
             let start = i * chunk_len;
@@ -283,13 +305,34 @@ where
     let queue: Mutex<Vec<(usize, &mut [T])>> =
         Mutex::new(data.chunks_mut(chunk_len).enumerate().collect());
     let queue = &queue;
+    /// On unwind, empty the queue so surviving workers stop claiming
+    /// chunks instead of grinding through work whose result the caller
+    /// will never see (the panic is about to propagate out of the scope).
+    struct DrainQueue<'q, 'd, T>(&'q Mutex<Vec<(usize, &'d mut [T])>>);
+    impl<T> Drop for DrainQueue<'_, '_, T> {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                self.0
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .clear();
+            }
+        }
+    }
     std::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(move || {
                 IN_WORKER.with(|w| w.set(true));
+                let _drain = DrainQueue(queue);
                 let mut scratch = mk_scratch();
                 loop {
-                    let item = queue.lock().expect("queue poisoned").pop();
+                    // A panicking sibling poisons the mutex; the payload
+                    // already propagates via the scope, so keep popping
+                    // from the (drained) queue rather than double-panic.
+                    let item = queue
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .pop();
                     match item {
                         Some((i, chunk)) => f(&mut scratch, i, chunk),
                         None => break,
@@ -463,6 +506,41 @@ mod tests {
                 }
             });
         });
+    }
+
+    #[test]
+    fn panic_in_first_worker_drains_claims_and_pool_is_reusable() {
+        for mode in [ExecMode::Pooled, ExecMode::Scoped] {
+            with_exec_mode(mode, || {
+                with_threads(4, || {
+                    let processed = AtomicUsize::new(0);
+                    let claims = AtomicUsize::new(0);
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let mut data = vec![0u8; 256];
+                        par_chunks_mut(&mut data, 1, |_, _| {
+                            // The very first chunk claimed (worker 0's
+                            // first pick in either dispatch mode) dies.
+                            if claims.fetch_add(1, Ordering::Relaxed) == 0 {
+                                panic!("worker 0 failed");
+                            }
+                            std::thread::sleep(std::time::Duration::from_millis(1));
+                            processed.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }));
+                    assert!(result.is_err(), "{mode:?}: panic must propagate");
+                    // Fail-fast drain: once chunk 0 panicked, the claim
+                    // counter/queue was exhausted so the survivors stopped
+                    // claiming instead of grinding through all 255
+                    // remaining chunks.
+                    let done = processed.load(Ordering::Relaxed);
+                    assert!(done < 200, "{mode:?}: drained on unwind (processed {done})");
+                    // The dispatcher serves subsequent calls normally.
+                    let mut again = vec![0u8; 64];
+                    par_chunks_mut(&mut again, 4, |_, c| c.fill(7));
+                    assert!(again.iter().all(|&v| v == 7), "{mode:?}: reusable");
+                });
+            });
+        }
     }
 
     #[test]

@@ -93,6 +93,9 @@ fn worker_loop(pool: &'static Pool) {
         }
         if st.starts_left > 0 {
             st.starts_left -= 1;
+            // Invariant: `starts_left > 0` only while a submitted job is
+            // installed, so `job` is always `Some` here.
+            #[allow(clippy::expect_used)]
             let body = st.job.as_ref().expect("job present while starts pending").0;
             drop(st);
             // SAFETY: the submitter keeps the body alive until `running`
@@ -124,6 +127,9 @@ fn ensure_workers(pool: &'static Pool, want: usize) {
     let mut st = lock(&pool.state);
     while st.spawned < want {
         let idx = st.spawned;
+        // OS-level spawn failure (resource exhaustion) has no recovery
+        // path that preserves the pool contract; fail loudly.
+        #[allow(clippy::expect_used)]
         let handle = std::thread::Builder::new()
             .name(format!("axcore-pool-{idx}"))
             .spawn(|| worker_loop(global()))

@@ -304,6 +304,36 @@ impl CodePlanes {
         self.code_bits
     }
 
+    /// Fold every raw plane byte (and the shape header) into a 64-bit
+    /// integrity checksum. Each step of the fold is a bijection of the
+    /// running state, so any single-bit change to any plane byte is
+    /// guaranteed to change the result — the reliability layer records
+    /// this value at `prepare()` time and recomputes it to detect at-rest
+    /// corruption of the gather planes.
+    pub fn checksum(&self) -> u64 {
+        let mut h = 0xA076_1D64_78BD_642Fu64
+            ^ (self.k as u64)
+            ^ ((self.n as u64) << 20)
+            ^ ((self.code_bits as u64) << 40);
+        for &b in &self.codes {
+            h = (h ^ b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(31);
+        }
+        h
+    }
+
+    /// Number of raw plane bytes (the single-event-upset fault surface
+    /// exposed to the fault-injection harness).
+    #[inline]
+    pub fn raw_bytes(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Flip one bit of one raw plane byte in place (fault injection; the
+    /// stored checksum deliberately goes stale).
+    pub fn flip_bit(&mut self, byte: usize, bit: u32) {
+        self.codes[byte] ^= 1 << (bit % 8);
+    }
+
     /// Whether two codes share each byte.
     #[inline]
     pub fn is_packed(&self) -> bool {

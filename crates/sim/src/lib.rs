@@ -15,7 +15,9 @@
 #![warn(missing_docs)]
 
 pub mod accel;
+pub mod reliability;
 pub mod workload;
 
 pub use accel::{simulate, AccelConfig, EnergyReport};
+pub use reliability::{estimate as estimate_verify_cost, ReliabilityEstimate, VerifyMode};
 pub use workload::{decode_workload, GemmOp, Workload};

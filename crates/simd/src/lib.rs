@@ -52,6 +52,52 @@ pub fn avx2_available() -> bool {
     }
 }
 
+/// One-shot power-on self test of the vector kernel: fold a small
+/// deterministic code pattern through both the AVX2 path and the scalar
+/// reference and compare the observable `(sig, exp)` state. Returns
+/// `true` when they agree bit-for-bit (or when the CPU has no AVX2, in
+/// which case the vector path can never run). Cached after the first
+/// call; the reliability ladder consults it before trusting the AVX2
+/// tier, so a machine with a faulty vector unit degrades instead of
+/// silently corrupting.
+pub fn self_test() -> bool {
+    use std::sync::OnceLock;
+    static RESULT: OnceLock<bool> = OnceLock::new();
+    *RESULT.get_or_init(|| {
+        if !avx2_available() {
+            return true;
+        }
+        // 2 "units" × 16 k-steps × 32 entries, filled with a fixed
+        // mixed pattern: FP16-range exponents, signed increments, and
+        // periodic zero entries to exercise the re-anchor blend.
+        let nb = 8usize;
+        let table: Vec<i32> = (0..2 * nb * 32)
+            .map(|i| {
+                if i % 7 == 0 {
+                    return 0;
+                }
+                let exp = (i * 11 % 31) as i32;
+                let inc = ((i * 2654435761usize % 8191) as i32) - 4095;
+                (exp << 16) | (inc & 0xffff)
+            })
+            .collect();
+        let mut bases = [0i32; 8];
+        let mut store = [[0u8; 8]; 8];
+        for l in 0..8 {
+            bases[l] = ((l % 2) * nb * 32) as i32;
+            for (b, slot) in store[l].iter_mut().enumerate() {
+                *slot = (l * 37 + b * 101) as u8;
+            }
+        }
+        let codes: [&[u8]; 8] = std::array::from_fn(|l| &store[l][..]);
+        let scalar = scalar_gather_group(&table, &bases, &codes);
+        let vector = gather_group(&table, &bases, &codes);
+        (0..8).all(|l| {
+            scalar.0[l] == vector.0[l] && (scalar.0[l] == 0 || scalar.1[l] == vector.1[l])
+        })
+    })
+}
+
 /// Fold one group × eight columns of packed 4-bit codes through the
 /// entry table into eight `(sig, exp)` accumulator lanes.
 ///
@@ -178,7 +224,12 @@ unsafe fn avx2_gather_group(
         let b = blk * 8;
         let mut w = [0u64; 8];
         for (l, wl) in w.iter_mut().enumerate() {
-            *wl = u64::from_le_bytes(codes[l][b..b + 8].try_into().unwrap());
+            // The slice is exactly 8 bytes, so the array conversion
+            // cannot fail.
+            #[allow(clippy::unwrap_used)]
+            {
+                *wl = u64::from_le_bytes(codes[l][b..b + 8].try_into().unwrap());
+            }
         }
         let mut wlo = _mm256_loadu_si256(w.as_ptr() as *const __m256i);
         let mut whi = _mm256_loadu_si256(w.as_ptr().add(4) as *const __m256i);
@@ -288,6 +339,12 @@ mod tests {
         let codes: [&[u8]; 8] = std::array::from_fn(|l| &store[l][..]);
         let (sig, _) = gather_group(&table, &bases, &codes);
         assert_eq!(sig, [0; 8]);
+    }
+
+    #[test]
+    fn self_test_passes_on_healthy_hardware() {
+        assert!(self_test());
+        assert!(self_test(), "cached result stays true");
     }
 
     #[test]

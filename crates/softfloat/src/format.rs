@@ -360,6 +360,8 @@ impl FpFormat {
             .collect();
         let negs: Vec<f64> = vs.iter().skip(1).map(|v| -v).collect();
         vs.extend(negs);
+        // Finite-only by construction, so partial_cmp cannot return None.
+        #[allow(clippy::unwrap_used)]
         vs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         vs
     }

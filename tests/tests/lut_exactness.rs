@@ -17,7 +17,8 @@
 //! FP16 entirely (the PreAdd Guard-zero path).
 
 use axcore::engines::{
-    with_lut_policy, AxCoreEngine, FignaEngine, FiglutEngine, FpmaEngine, GemmEngine, LutPolicy,
+    with_lut_policy, AxCoreEngine, ExactEngine, FignaEngine, FiglutEngine, FpmaEngine, GemmEngine,
+    LutPolicy, TenderEngine,
 };
 use axcore_quant::{GroupQuantizer, QuantFormat, QuantizedMatrix};
 use axcore_softfloat::FP16;
@@ -201,5 +202,80 @@ proptest! {
             .quantize(&weights(k * n, seed, 0.4), k, n);
         let a = activations(k, seed);
         assert_lut_bit_exact(&AxCoreEngine::new(FP16), &a, 1, &q);
+    }
+}
+
+/// Activation rows built to stress the encode/Guard/normalize paths:
+/// NaN, ±∞, a row of negative zeros, a row of f32 subnormals (below
+/// even FP16's subnormal range — the Guard-zero path), and a row of
+/// FP16-subnormal magnitudes. One pathological value or row each, the
+/// rest pseudo-random.
+fn pathological_activations() -> Vec<f32> {
+    let mut a = activations(M * K, 97);
+    a[0] = f32::NAN;
+    a[K + 1] = f32::INFINITY;
+    a[2 * K + 2] = f32::NEG_INFINITY;
+    for v in a[3 * K..4 * K].iter_mut() {
+        *v = -0.0;
+    }
+    for (i, v) in a[4 * K..5 * K].iter_mut().enumerate() {
+        *v = f32::from_bits(1 + (i as u32 % 127)); // f32 subnormals
+    }
+    for (i, v) in a[5 * K..6 * K].iter_mut().enumerate() {
+        *v = 3.0e-5 + i as f32 * 1.0e-7; // FP16 subnormal magnitudes
+    }
+    a
+}
+
+/// Pathological rows through every engine: no panics on any tier, and
+/// the LUT tiers stay byte-identical to the direct kernel even when the
+/// outputs are NaN/∞ (compared as bits, so NaN payloads count too).
+#[test]
+fn pathological_activations_bit_identical_across_tiers() {
+    let a = pathological_activations();
+    let q_ax = GroupQuantizer::adaptive_fp4(32, 4, None).quantize(&weights(K * N, 3, 0.4), K, N);
+    assert_lut_bit_exact(&AxCoreEngine::new(FP16), &a, M, &q_ax);
+    let q_fp4 = GroupQuantizer::fixed(QuantFormat::E2M1, 32).quantize(&weights(K * N, 3, 0.4), K, N);
+    assert_lut_bit_exact(&ExactEngine::new(FP16), &a, M, &q_fp4);
+    assert_lut_bit_exact(&FpmaEngine::new(FP16), &a, M, &q_fp4);
+    let q_i4 = GroupQuantizer::fixed(QuantFormat::INT4, 32).quantize(&weights(K * N, 3, 0.3), K, N);
+    assert_lut_bit_exact(&FignaEngine::new(FP16), &a, M, &q_i4);
+    let q_i8 = GroupQuantizer::fixed(QuantFormat::INT8, 32).quantize(&weights(K * N, 3, 0.3), K, N);
+    assert_lut_bit_exact(&FiglutEngine::new(FP16), &a, M, &q_i8);
+    assert_lut_bit_exact(&TenderEngine::new(8, 4), &a, M, &q_i8);
+}
+
+/// The same pathological rows must also survive `Full` verification
+/// without spurious degradation: the ABFT row check is NaN/∞-tolerant
+/// (a non-finite checksum discrepancy never *exceeds* the tolerance
+/// comparison), so a healthy engine must not downgrade or recover.
+#[test]
+fn pathological_activations_survive_full_verification() {
+    use axcore::{with_verify_policy, VerifyPolicy};
+    let a = pathological_activations();
+    let q = GroupQuantizer::adaptive_fp4(32, 4, None).quantize(&weights(K * N, 3, 0.4), K, N);
+    let engine = AxCoreEngine::new(FP16);
+    let prepared = engine.prepare(&q);
+    let mut reference = vec![0f32; M * N];
+    axcore_parallel::with_threads(1, || {
+        with_lut_policy(LutPolicy::Never, || prepared.gemm(&a, M, &mut reference))
+    });
+    for policy in [LutPolicy::Never, LutPolicy::Always] {
+        let mut out = vec![f32::NAN; M * N];
+        axcore_parallel::with_threads(1, || {
+            with_lut_policy(policy, || {
+                with_verify_policy(VerifyPolicy::Full, || {
+                    prepared.try_gemm(&a, M, &mut out).unwrap_or_else(|e| panic!("{e}"));
+                })
+            })
+        });
+        let report = axcore_parallel::health::take_report();
+        if let Some(r) = report {
+            assert_eq!(r.n_downgrades(), 0, "healthy call must not degrade: {r:?}");
+            assert!(!r.recovered, "healthy call must not recover: {r:?}");
+        }
+        for (j, (r, o)) in reference.iter().zip(&out).enumerate() {
+            assert_eq!(r.to_bits(), o.to_bits(), "policy {policy:?} elem {j}");
+        }
     }
 }

@@ -141,3 +141,34 @@ proptest! {
         }
     }
 }
+
+/// Pathological activation rows — NaN, ±∞, negative zeros, f32
+/// subnormals, FP16-subnormal magnitudes — through every engine under
+/// both execution modes at 1/2/4 workers: no panics, and pooled output
+/// stays byte-identical to scoped (NaN payloads compared as bits).
+#[test]
+fn pathological_activations_pooled_equals_scoped() {
+    let mut a = activations(41);
+    a[0] = f32::NAN;
+    a[K + 1] = f32::INFINITY;
+    a[2 * K + 2] = f32::NEG_INFINITY;
+    for v in a[3 * K..4 * K].iter_mut() {
+        *v = -0.0;
+    }
+    for (i, v) in a[4 * K..5 * K].iter_mut().enumerate() {
+        *v = f32::from_bits(1 + (i as u32 % 127));
+    }
+    for (i, v) in a[5 * K..6 * K].iter_mut().enumerate() {
+        *v = 3.0e-5 + i as f32 * 1.0e-7;
+    }
+    let q_fp4 = GroupQuantizer::adaptive_fp4(32, 4, None).quantize(&weights(41, 0.4), K, N);
+    assert_pool_bit_exact(&AxCoreEngine::new(FP16), &a, &q_fp4);
+    let q_e2m1 = GroupQuantizer::fixed(QuantFormat::E2M1, 32).quantize(&weights(41, 0.4), K, N);
+    assert_pool_bit_exact(&ExactEngine::new(FP16), &a, &q_e2m1);
+    assert_pool_bit_exact(&FpmaEngine::new(FP16), &a, &q_e2m1);
+    let q_i4 = GroupQuantizer::fixed(QuantFormat::INT4, 32).quantize(&weights(41, 0.3), K, N);
+    assert_pool_bit_exact(&FignaEngine::new(FP16), &a, &q_i4);
+    let q_i8 = GroupQuantizer::fixed(QuantFormat::INT8, 32).quantize(&weights(41, 0.3), K, N);
+    assert_pool_bit_exact(&FiglutEngine::new(FP16), &a, &q_i8);
+    assert_pool_bit_exact(&TenderEngine::new(8, 4), &a, &q_i8);
+}
