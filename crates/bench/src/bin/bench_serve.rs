@@ -1,0 +1,350 @@
+//! Serving-runtime benchmark: the deadline-aware runtime under nominal
+//! load, sustained overload, and post-overload recovery.
+//!
+//! Three phases against one `axcore-serve` server over a small quantized
+//! proxy model:
+//!
+//! * **nominal** — closed-loop sequential requests (one in flight).
+//!   Nothing should shed and p99 must sit far under the deadline; this
+//!   also calibrates the sustainable per-request service time.
+//! * **overload** — several submitter threads blast roughly 4× the
+//!   sustainable rate at a bounded queue. The runtime must answer every
+//!   ticket (served, deadline-missed, or typed shed — never a hang), the
+//!   queue must stay within its configured bound, and the overload
+//!   controller is expected to escalate.
+//! * **recovery** — load stops; the controller must walk the degradation
+//!   ladder back to nominal (hysteretic restore) and a final burst of
+//!   sequential requests must all complete bit-exactly.
+//!
+//! Results land in `BENCH_serve.json`. With `AXCORE_BENCH_STRICT=1` the
+//! binary exits non-zero if any phase invariant fails (the CI gate):
+//! nominal sheds nothing and stays under deadline, overload sheds with
+//! types instead of collapsing, recovery restores level 0 and serves.
+
+use axcore_nn::eval::{quantize_model, QuantizedLm, Scheme};
+use axcore_nn::generate::{try_generate, Decoding};
+use axcore_nn::layers::ActKind;
+use axcore_nn::model::{LmConfig, TransformerLm};
+use axcore_serve::{ServeConfig, ServeError, Server, SubmitError};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const NOMINAL_REQUESTS: usize = 24;
+const OVERLOAD_SUBMITTERS: usize = 4;
+const OVERLOAD_PER_THREAD: usize = 48;
+const RECOVERY_REQUESTS: usize = 8;
+const NEW_TOKENS: usize = 4;
+
+fn proxy_qlm() -> Arc<QuantizedLm> {
+    let cfg = LmConfig {
+        vocab: 32,
+        d_model: 32,
+        n_layers: 2,
+        n_heads: 2,
+        d_ff: 64,
+        max_seq: 48,
+        act: ActKind::Relu,
+    };
+    let model = TransformerLm::new(cfg, 23);
+    Arc::new(quantize_model(&model, Scheme::AxCore, 8, None))
+}
+
+fn prompt_for(i: usize) -> Vec<usize> {
+    vec![1 + (i % 29), 2 + (i % 7), 3]
+}
+
+struct Phase {
+    name: &'static str,
+    submitted: u64,
+    completed: u64,
+    shed: u64,
+    deadline_missed: u64,
+    errors: u64,
+    p50_ms: f64,
+    p99_ms: f64,
+    throughput_rps: f64,
+    seconds: f64,
+}
+
+impl Phase {
+    fn json(&self) -> String {
+        format!(
+            "{{ \"submitted\": {}, \"completed\": {}, \"shed\": {}, \"deadline_missed\": {}, \"errors\": {}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"throughput_rps\": {:.1}, \"seconds\": {:.3} }}",
+            self.submitted,
+            self.completed,
+            self.shed,
+            self.deadline_missed,
+            self.errors,
+            self.p50_ms,
+            self.p99_ms,
+            self.throughput_rps,
+            self.seconds
+        )
+    }
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let qlm = proxy_qlm();
+    let cfg = ServeConfig {
+        queue_depth: 32,
+        max_batch: 8,
+        batch_window: Duration::from_millis(1),
+        default_deadline: Duration::from_millis(2000),
+        watchdog_interval: Duration::from_millis(5),
+        hysteresis_ticks: 3,
+        ..ServeConfig::default()
+    };
+    let deadline_ms = cfg.default_deadline.as_secs_f64() * 1e3;
+    let server = Arc::new(Server::start(Arc::clone(&qlm), cfg));
+
+    // ---- Phase 1: nominal (closed loop, one in flight) ----
+    let mut lat = Vec::with_capacity(NOMINAL_REQUESTS);
+    let t0 = Instant::now();
+    let mut nominal_completed = 0u64;
+    for i in 0..NOMINAL_REQUESTS {
+        let p = prompt_for(i);
+        let s = Instant::now();
+        match server.submit(&p, NEW_TOKENS, None) {
+            Ok(t) => match t.wait() {
+                Ok(c) => {
+                    lat.push(s.elapsed().as_secs_f64() * 1e3);
+                    nominal_completed += 1;
+                    // Bit-exactness spot check against the serial path.
+                    let want = try_generate(&qlm, &p, NEW_TOKENS, Decoding::Greedy)
+                        .expect("serial reference");
+                    assert_eq!(c.tokens, want, "served output diverged from serial");
+                }
+                Err(e) => panic!("nominal request failed: {e}"),
+            },
+            Err(e) => panic!("nominal request rejected: {e}"),
+        }
+    }
+    let nominal_secs = t0.elapsed().as_secs_f64();
+    lat.sort_by(|a, b| a.total_cmp(b));
+    let svc_ms = percentile(&lat, 0.5).max(0.1);
+    let nominal = Phase {
+        name: "nominal",
+        submitted: NOMINAL_REQUESTS as u64,
+        completed: nominal_completed,
+        shed: 0,
+        deadline_missed: 0,
+        errors: 0,
+        p50_ms: percentile(&lat, 0.5),
+        p99_ms: percentile(&lat, 0.99),
+        throughput_rps: nominal_completed as f64 / nominal_secs.max(1e-9),
+        seconds: nominal_secs,
+    };
+
+    // ---- Phase 2: overload at ~4x the sustainable rate ----
+    // The nominal phase put the single-stream service time at ~svc_ms,
+    // i.e. a sustainable rate of 1/svc per stream. Four open-loop
+    // submitters each pacing at svc_ms offer 4x that aggregate —
+    // tickets are collected and redeemed only after the burst, so the
+    // queue actually backs up instead of the submitters self-throttling.
+    let pace = Duration::from_secs_f64((svc_ms / 1e3).max(0.0005));
+    let shed = Arc::new(AtomicU64::new(0));
+    let completed = Arc::new(AtomicU64::new(0));
+    let missed = Arc::new(AtomicU64::new(0));
+    let errors = Arc::new(AtomicU64::new(0));
+    let wedged = Arc::new(AtomicU64::new(0));
+    let over_lat = Arc::new(std::sync::Mutex::new(Vec::new()));
+    let t1 = Instant::now();
+    let mut handles = Vec::new();
+    for th in 0..OVERLOAD_SUBMITTERS {
+        let server = Arc::clone(&server);
+        let (shed, completed, missed, errors, wedged, over_lat) = (
+            Arc::clone(&shed),
+            Arc::clone(&completed),
+            Arc::clone(&missed),
+            Arc::clone(&errors),
+            Arc::clone(&wedged),
+            Arc::clone(&over_lat),
+        );
+        handles.push(std::thread::spawn(move || {
+            let mut tickets = Vec::new();
+            for i in 0..OVERLOAD_PER_THREAD {
+                let p = prompt_for(th * OVERLOAD_PER_THREAD + i);
+                match server.submit(&p, NEW_TOKENS, Some(Duration::from_millis(500))) {
+                    Ok(t) => tickets.push((Instant::now(), t)),
+                    Err(SubmitError::QueueFull { .. }) | Err(SubmitError::Overloaded { .. }) => {
+                        shed.fetch_add(1, Relaxed);
+                    }
+                    Err(SubmitError::Draining) => break,
+                }
+                std::thread::sleep(pace);
+            }
+            for (s, t) in tickets {
+                match t.wait() {
+                    Ok(_) => {
+                        completed.fetch_add(1, Relaxed);
+                        if let Ok(mut v) = over_lat.lock() {
+                            v.push(s.elapsed().as_secs_f64() * 1e3);
+                        }
+                    }
+                    Err(ServeError::DeadlineExceeded) => {
+                        missed.fetch_add(1, Relaxed);
+                    }
+                    Err(ServeError::Wedged) => {
+                        wedged.fetch_add(1, Relaxed);
+                    }
+                    Err(_) => {
+                        errors.fetch_add(1, Relaxed);
+                    }
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("submitter thread never panics");
+    }
+    let overload_secs = t1.elapsed().as_secs_f64();
+    let mut ol = over_lat.lock().map(|v| v.clone()).unwrap_or_default();
+    ol.sort_by(|a, b| a.total_cmp(b));
+    let overload = Phase {
+        name: "overload",
+        submitted: (OVERLOAD_SUBMITTERS * OVERLOAD_PER_THREAD) as u64,
+        completed: completed.load(Relaxed),
+        shed: shed.load(Relaxed),
+        deadline_missed: missed.load(Relaxed),
+        errors: errors.load(Relaxed) + wedged.load(Relaxed),
+        p50_ms: percentile(&ol, 0.5),
+        p99_ms: percentile(&ol, 0.99),
+        throughput_rps: completed.load(Relaxed) as f64 / overload_secs.max(1e-9),
+        seconds: overload_secs,
+    };
+    let level_after_overload = server.report().level;
+
+    // ---- Phase 3: recovery (hysteretic restore, then serve again) ----
+    let t2 = Instant::now();
+    let restore_timeout = Duration::from_secs(10);
+    while server.report().level > 0 && t2.elapsed() < restore_timeout {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let restored_level = server.report().level;
+    let mut rec_lat = Vec::new();
+    let mut rec_completed = 0u64;
+    for i in 0..RECOVERY_REQUESTS {
+        let p = prompt_for(1000 + i);
+        let s = Instant::now();
+        if let Ok(t) = server.submit(&p, NEW_TOKENS, None) {
+            if t.wait().is_ok() {
+                rec_completed += 1;
+                rec_lat.push(s.elapsed().as_secs_f64() * 1e3);
+            }
+        }
+    }
+    let recovery_secs = t2.elapsed().as_secs_f64();
+    rec_lat.sort_by(|a, b| a.total_cmp(b));
+    let recovery = Phase {
+        name: "recovery",
+        submitted: RECOVERY_REQUESTS as u64,
+        completed: rec_completed,
+        shed: 0,
+        deadline_missed: 0,
+        errors: 0,
+        p50_ms: percentile(&rec_lat, 0.5),
+        p99_ms: percentile(&rec_lat, 0.99),
+        throughput_rps: rec_completed as f64 / recovery_secs.max(1e-9),
+        seconds: recovery_secs,
+    };
+
+    let server = Arc::try_unwrap(server).expect("all submitter threads joined");
+    let report = server.shutdown();
+
+    let mut json = String::from("{\n");
+    for p in [&nominal, &overload, &recovery] {
+        json.push_str(&format!("  \"{}\": {},\n", p.name, p.json()));
+    }
+    json.push_str(&format!(
+        "  \"controller\": {{ \"escalations\": {}, \"restores\": {}, \"peak_level\": {}, \"level_at_overload_end\": {}, \"final_level\": {}, \"restored_level_after_overload\": {} }},\n",
+        report.escalations,
+        report.restores,
+        report.peak_level,
+        level_after_overload,
+        report.level,
+        restored_level
+    ));
+    json.push_str(&format!(
+        "  \"queue\": {{ \"depth\": 32, \"max_observed\": {} }},\n",
+        report.max_queue_depth
+    ));
+    json.push_str(&format!(
+        "  \"totals\": {{ \"submitted\": {}, \"completed\": {}, \"shed_rate\": {:.4}, \"mean_batch\": {:.2}, \"batches\": {}, \"pool_restarts\": {}, \"incidents\": {} }}\n",
+        report.submitted,
+        report.completed,
+        report.shed_rate(),
+        report.mean_batch,
+        report.batches,
+        report.pool_restarts,
+        report.incidents.len()
+    ));
+    json.push_str("}\n");
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    print!("{json}");
+    println!(
+        "nominal p50 {:.1} ms / p99 {:.1} ms; overload shed {} of {} (level peaked {}); recovery level {} with {}/{} served",
+        nominal.p50_ms,
+        nominal.p99_ms,
+        overload.shed,
+        overload.submitted,
+        report.peak_level,
+        restored_level,
+        rec_completed,
+        RECOVERY_REQUESTS
+    );
+
+    if std::env::var("AXCORE_BENCH_STRICT").as_deref() == Ok("1") {
+        let fail = |msg: String| {
+            eprintln!("FAIL: {msg}");
+            std::process::exit(1);
+        };
+        if nominal.completed != nominal.submitted {
+            fail(format!(
+                "nominal phase dropped requests: {}/{}",
+                nominal.completed, nominal.submitted
+            ));
+        }
+        if nominal.p99_ms >= deadline_ms {
+            fail(format!(
+                "nominal p99 {:.1} ms not under the {deadline_ms:.0} ms deadline",
+                nominal.p99_ms
+            ));
+        }
+        let answered = overload.completed + overload.shed + overload.deadline_missed + overload.errors;
+        if answered != overload.submitted {
+            fail(format!(
+                "overload phase lost tickets: {answered} answered of {} offered",
+                overload.submitted
+            ));
+        }
+        if overload.shed + overload.deadline_missed == 0 {
+            fail("overload phase shed nothing at 4x load — backpressure not engaging".into());
+        }
+        if report.max_queue_depth > 32 {
+            fail(format!(
+                "queue exceeded its bound: {} > 32",
+                report.max_queue_depth
+            ));
+        }
+        if restored_level != 0 {
+            fail(format!(
+                "controller stuck at level {restored_level} after overload cleared"
+            ));
+        }
+        if rec_completed != RECOVERY_REQUESTS as u64 {
+            fail(format!(
+                "recovery phase failed requests: {rec_completed}/{RECOVERY_REQUESTS}"
+            ));
+        }
+        println!("strict gate ok: nominal under deadline, overload shed typed, recovery restored");
+    }
+}

@@ -95,6 +95,20 @@ pub trait GemmEngine: std::fmt::Debug + Send + Sync {
     fn gemm_prepared(&self, p: &dyn PreparedGemm, a: &[f32], m: usize, out: &mut [f32]) {
         p.gemm(a, m, out);
     }
+
+    /// Multiply against prepared weights, reporting shape problems and
+    /// pool failures as a [`GemmError`]. Equivalent to
+    /// `p.try_gemm(a, m, out)`; provided for callers generic over the
+    /// engine.
+    fn try_gemm_prepared(
+        &self,
+        p: &dyn PreparedGemm,
+        a: &[f32],
+        m: usize,
+        out: &mut [f32],
+    ) -> Result<(), GemmError> {
+        p.try_gemm(a, m, out)
+    }
 }
 
 /// Validate GEMM buffer shapes (shared by all engine implementations).

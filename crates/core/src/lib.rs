@@ -64,4 +64,7 @@ pub use engines::{
     PreparedGemm, TenderEngine,
 };
 pub use error::GemmError;
-pub use reliability::{current_verify_policy, with_verify_policy, VerifyPolicy};
+pub use reliability::{
+    current_verify_policy, runtime_verify_policy, set_runtime_verify_policy, with_verify_policy,
+    VerifyPolicy,
+};

@@ -80,11 +80,57 @@ fn env_policy() -> VerifyPolicy {
     })
 }
 
+/// Process-wide *runtime* policy override, encoded into one atomic so
+/// readers on the decode hot path pay a single relaxed load:
+/// `0` = unset, `1` = Off, `2` = Full, `3 + p` = Sample(p).
+static RUNTIME_POLICY: AtomicU64 = AtomicU64::new(0);
+
+fn encode_policy(p: Option<VerifyPolicy>) -> u64 {
+    match p {
+        None => 0,
+        Some(VerifyPolicy::Off) => 1,
+        Some(VerifyPolicy::Full) => 2,
+        Some(VerifyPolicy::Sample(n)) => 3u64 + u64::from(n),
+    }
+}
+
+fn decode_policy(bits: u64) -> Option<VerifyPolicy> {
+    match bits {
+        0 => None,
+        1 => Some(VerifyPolicy::Off),
+        2 => Some(VerifyPolicy::Full),
+        n => Some(VerifyPolicy::Sample((n - 3).min(u64::from(u32::MAX)) as u32)),
+    }
+}
+
+/// Install (or with `None`, clear) a process-wide verification policy
+/// override that outranks the `AXCORE_VERIFY` environment setting but is
+/// still outranked by a thread's [`with_verify_policy`] scope.
+///
+/// This is the overload controller's knob: a serving runtime under
+/// pressure steps `Full → Sample → Off` across *all* request threads at
+/// once, then restores the previous rung when the queue drains —
+/// something neither the thread-scoped override (wrong extent) nor the
+/// environment variable (read once) can express. Takes effect on the
+/// next GEMM call; in-flight calls keep the policy they started with.
+pub fn set_runtime_verify_policy(policy: Option<VerifyPolicy>) {
+    RUNTIME_POLICY.store(encode_policy(policy), Ordering::Relaxed);
+}
+
+/// The currently installed runtime override, if any.
+pub fn runtime_verify_policy() -> Option<VerifyPolicy> {
+    decode_policy(RUNTIME_POLICY.load(Ordering::Relaxed))
+}
+
 /// The verification policy in effect on this thread: the
 /// [`with_verify_policy`] override if one is installed, else the
+/// [`set_runtime_verify_policy`] process-wide override, else the
 /// `AXCORE_VERIFY` environment setting, else [`VerifyPolicy::Off`].
 pub fn current_verify_policy() -> VerifyPolicy {
-    OVERRIDE.with(|c| c.get()).unwrap_or_else(env_policy)
+    OVERRIDE
+        .with(|c| c.get())
+        .or_else(runtime_verify_policy)
+        .unwrap_or_else(env_policy)
 }
 
 /// Run `f` with the thread's verification policy overridden to `policy`,
@@ -413,6 +459,20 @@ mod tests {
     use axcore_quant::{GroupQuantizer, QuantFormat};
 
     #[test]
+    fn runtime_policy_encoding_round_trips() {
+        for p in [
+            None,
+            Some(VerifyPolicy::Off),
+            Some(VerifyPolicy::Full),
+            Some(VerifyPolicy::Sample(1)),
+            Some(VerifyPolicy::Sample(16)),
+            Some(VerifyPolicy::Sample(u32::MAX)),
+        ] {
+            assert_eq!(decode_policy(encode_policy(p)), p);
+        }
+    }
+
+    #[test]
     fn policy_parses_every_form() {
         assert_eq!(parse_policy("off"), Some(VerifyPolicy::Off));
         assert_eq!(parse_policy("full"), Some(VerifyPolicy::Full));
@@ -422,6 +482,9 @@ mod tests {
         assert_eq!(parse_policy("nonsense"), None);
     }
 
+    // The runtime-override assertions live inside this same test because
+    // they mutate a process-global slot the surrounding assertions also
+    // observe; the parallel test runner would otherwise interleave them.
     #[test]
     fn override_restores_on_unwind() {
         assert_eq!(current_verify_policy(), VerifyPolicy::Off);
@@ -433,6 +496,17 @@ mod tests {
             with_verify_policy(VerifyPolicy::Full, || panic!("boom"));
         });
         assert!(r.is_err());
+        assert_eq!(current_verify_policy(), VerifyPolicy::Off);
+
+        // Runtime override outranks env (Off here) but not the
+        // thread-scoped override.
+        set_runtime_verify_policy(Some(VerifyPolicy::Sample(4)));
+        assert_eq!(current_verify_policy(), VerifyPolicy::Sample(4));
+        with_verify_policy(VerifyPolicy::Full, || {
+            assert_eq!(current_verify_policy(), VerifyPolicy::Full);
+        });
+        set_runtime_verify_policy(None);
+        assert_eq!(runtime_verify_policy(), None);
         assert_eq!(current_verify_policy(), VerifyPolicy::Off);
     }
 

@@ -2,6 +2,7 @@
 
 use crate::layers::Linear;
 use crate::ops::softmax_rows;
+use axcore::GemmError;
 use rand::rngs::StdRng;
 
 /// Multi-head causal self-attention over a single sequence of length `s`.
@@ -168,14 +169,25 @@ impl MultiHeadAttention {
     /// Inference-only forward returning `(output, q, k, v)` — the eval
     /// stack reuses the projections it computed through its own engine, so
     /// this exact-path variant exists for parity testing.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches (shim over
+    /// [`MultiHeadAttention::try_forward_infer`]).
     pub fn forward_infer(&self, x: &[f32], s: usize) -> Vec<f32> {
+        self.try_forward_infer(x, s).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Inference-only forward; shape mismatches in the four projection
+    /// GEMMs surface as a typed [`GemmError`].
+    pub fn try_forward_infer(&self, x: &[f32], s: usize) -> Result<Vec<f32>, GemmError> {
         let d = self.d_model;
         let dh = self.head_dim();
-        let q = self.wq.forward_infer(x, s);
-        let k = self.wk.forward_infer(x, s);
-        let v = self.wv.forward_infer(x, s);
+        let q = self.wq.try_forward_infer(x, s)?;
+        let k = self.wk.try_forward_infer(x, s)?;
+        let v = self.wv.try_forward_infer(x, s)?;
         let ctx = attention_context(&q, &k, &v, s, d, self.n_heads, dh);
-        self.wo.forward_infer(&ctx, s)
+        self.wo.try_forward_infer(&ctx, s)
     }
 
     /// Visit (param, grad) pairs.

@@ -19,6 +19,7 @@ use axcore::engines::{
     AxCoreConfig, AxCoreEngine, ExactEngine, FignaEngine, FiglutEngine, FpmaEngine, GemmEngine,
     PreparedGemm, TenderEngine,
 };
+use axcore::GemmError;
 use axcore_quant::{CalibrationStats, GroupQuantizer, KvQuantConfig, QuantFormat};
 use axcore_softfloat::FP16;
 
@@ -380,10 +381,17 @@ impl QuantizedLm {
         self.exec.last_degraded.lock().ok().and_then(|s| *s)
     }
 
-    fn linear(&self, ql: &QuantLinear, x: &[f32], rows: usize) -> Vec<f32> {
+    fn try_linear(&self, ql: &QuantLinear, x: &[f32], rows: usize) -> Result<Vec<f32>, GemmError> {
         let mut y = vec![0f32; rows * ql.out_dim];
         match &ql.w {
             PreparedWeights::Dense(w) => {
+                if x.len() != rows * ql.in_dim {
+                    return Err(GemmError::DimMismatch {
+                        what: "activation shape mismatch",
+                        expected: rows * ql.in_dim,
+                        got: x.len(),
+                    });
+                }
                 // FP16 storage, exact arithmetic with FP16-rounded
                 // activations (the FPC-FP16 baseline path).
                 for r in 0..rows {
@@ -401,12 +409,18 @@ impl QuantizedLm {
                 }
             }
             PreparedWeights::Quantized(prep) => {
-                self.engine.gemm_prepared(&**prep, x, rows, &mut y);
-                // The verified GEMM layer publishes a per-call report on
-                // this thread; fold it into the model's telemetry.
-                if let Some(r) = axcore_parallel::health::take_report() {
+                // Capture the verified layer's per-call report in a
+                // scoped slot: with back-to-back linear calls (or
+                // engine-internal nesting) the bare publish/take pair is
+                // last-writer-wins and reports can be swallowed or
+                // misattributed across calls.
+                let (result, report) = axcore_parallel::health::capture_report(|| {
+                    self.engine.try_gemm_prepared(&**prep, x, rows, &mut y)
+                });
+                if let Some(r) = report {
                     self.exec.absorb(r);
                 }
+                result?;
             }
         }
         for r in 0..rows {
@@ -414,18 +428,18 @@ impl QuantizedLm {
                 y[r * ql.out_dim + j] += ql.b[j];
             }
         }
-        y
+        Ok(y)
     }
 
     /// Attention with optional KV-cache quantization.
-    fn attention(&self, qb: &QuantBlock, h: &[f32], s: usize) -> Vec<f32> {
+    fn try_attention(&self, qb: &QuantBlock, h: &[f32], s: usize) -> Result<Vec<f32>, GemmError> {
         let cfg = &self.src.cfg;
         let d = cfg.d_model;
         let nh = cfg.n_heads;
         let dh = d / nh;
-        let q = self.linear(&qb.wq, h, s);
-        let k = self.linear(&qb.wk, h, s);
-        let v = self.linear(&qb.wv, h, s);
+        let q = self.try_linear(&qb.wq, h, s)?;
+        let k = self.try_linear(&qb.wk, h, s)?;
+        let v = self.try_linear(&qb.wv, h, s)?;
         let ctx = match &self.kv {
             None => crate::attention::attention_context(&q, &k, &v, s, d, nh, dh),
             Some(kvcfg) => {
@@ -446,13 +460,13 @@ impl QuantizedLm {
                     let kq = kvcfg.quantize_k(&kc, dh, s);
                     let vq = kvcfg.quantize_v(&vc, s, dh);
                     let mut scores = vec![0f32; s * s];
-                    self.engine_for_kv().gemm(&qh, s, &kq, &mut scores);
+                    self.engine_for_kv().try_gemm(&qh, s, &kq, &mut scores)?;
                     for sc in scores.iter_mut() {
                         *sc *= scale;
                     }
                     causal_softmax(&mut scores, s);
                     let mut hctx = vec![0f32; s * dh];
-                    self.engine_for_kv().gemm(&scores, s, &vq, &mut hctx);
+                    self.engine_for_kv().try_gemm(&scores, s, &vq, &mut hctx)?;
                     for i in 0..s {
                         for e in 0..dh {
                             ctx[i * d + hd * dh + e] = hctx[i * dh + e];
@@ -462,7 +476,7 @@ impl QuantizedLm {
                 ctx
             }
         };
-        self.linear(&qb.wo, &ctx, s)
+        self.try_linear(&qb.wo, &ctx, s)
     }
 
     /// The engine used for KV-cache GEMMs: AxCore's own datapath for
@@ -473,7 +487,21 @@ impl QuantizedLm {
     }
 
     /// Forward one window to logits under the scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches or an unrecoverable engine failure
+    /// (shim over [`QuantizedLm::try_forward`]).
     pub fn forward(&self, tokens: &[usize]) -> Vec<f32> {
+        self.try_forward(tokens).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Forward one window to logits under the scheme, with every GEMM
+    /// routed through the fallible layer: shape mismatches and
+    /// unrecoverable engine failures (e.g. a pool panic that exhausted
+    /// the whole degradation ladder) surface as a typed [`GemmError`]
+    /// instead of unwinding through the serving stack.
+    pub fn try_forward(&self, tokens: &[usize]) -> Result<Vec<f32>, GemmError> {
         let cfg = &self.src.cfg;
         let s = tokens.len();
         let pos: Vec<usize> = (0..s).collect();
@@ -482,16 +510,16 @@ impl QuantizedLm {
         let mut x: Vec<f32> = te.iter().zip(&pe).map(|(a, b)| a + b).collect();
         for (b, qb) in self.src.blocks.iter().zip(&self.blocks) {
             let h = b.ln1.forward_infer(&x, s);
-            let a = self.attention(qb, &h, s);
+            let a = self.try_attention(qb, &h, s)?;
             let x1: Vec<f32> = x.iter().zip(&a).map(|(p, q)| p + q).collect();
             let h2 = b.ln2.forward_infer(&x1, s);
-            let f = self.linear(&qb.fc1, &h2, s);
+            let f = self.try_linear(&qb.fc1, &h2, s)?;
             let g: Vec<f32> = f.iter().map(|&v| apply_act(cfg.act, v)).collect();
-            let o = self.linear(&qb.fc2, &g, s);
+            let o = self.try_linear(&qb.fc2, &g, s)?;
             x = x1.iter().zip(&o).map(|(p, q)| p + q).collect();
         }
         let h = self.src.ln_f.forward_infer(&x, s);
-        self.src.head.forward_infer(&h, s)
+        self.src.head.try_forward_infer(&h, s)
     }
 
     /// Top-1 next-token accuracy over a token stream (Table-3 metric).

@@ -4,7 +4,8 @@
 //! accumulates parameter gradients on `backward`. The gradients are
 //! finite-difference-checked in this module's tests.
 
-use crate::ops::{matmul, matmul_at_acc, matmul_bt};
+use crate::ops::{try_matmul, try_matmul_at_acc, try_matmul_bt};
+use axcore::GemmError;
 use rand::rngs::StdRng;
 use rand::RngExt;
 
@@ -46,10 +47,19 @@ impl Linear {
     }
 
     /// Forward for `rows` row-vectors, caching the input.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches (shim over [`Linear::try_forward`]).
     pub fn forward(&mut self, x: &[f32], rows: usize) -> Vec<f32> {
-        assert_eq!(x.len(), rows * self.in_dim);
+        self.try_forward(x, rows).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Forward for `rows` row-vectors, caching the input; shape
+    /// mismatches surface as a typed [`GemmError`].
+    pub fn try_forward(&mut self, x: &[f32], rows: usize) -> Result<Vec<f32>, GemmError> {
         let mut y = vec![0f32; rows * self.out_dim];
-        matmul(x, rows, self.in_dim, &self.w, self.out_dim, &mut y);
+        try_matmul(x, rows, self.in_dim, &self.w, self.out_dim, &mut y)?;
         for r in 0..rows {
             for j in 0..self.out_dim {
                 y[r * self.out_dim + j] += self.b[j];
@@ -57,34 +67,54 @@ impl Linear {
         }
         self.cache_x = x.to_vec();
         self.cache_rows = rows;
-        y
+        Ok(y)
     }
 
     /// Inference-only forward (no caching).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches (shim over
+    /// [`Linear::try_forward_infer`]).
     pub fn forward_infer(&self, x: &[f32], rows: usize) -> Vec<f32> {
+        self.try_forward_infer(x, rows).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Inference-only forward (no caching); shape mismatches surface as
+    /// a typed [`GemmError`].
+    pub fn try_forward_infer(&self, x: &[f32], rows: usize) -> Result<Vec<f32>, GemmError> {
         let mut y = vec![0f32; rows * self.out_dim];
-        matmul(x, rows, self.in_dim, &self.w, self.out_dim, &mut y);
+        try_matmul(x, rows, self.in_dim, &self.w, self.out_dim, &mut y)?;
         for r in 0..rows {
             for j in 0..self.out_dim {
                 y[r * self.out_dim + j] += self.b[j];
             }
         }
-        y
+        Ok(y)
     }
 
     /// Backward: accumulate `gw`, `gb` and return `dx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches (shim over [`Linear::try_backward`]).
     pub fn backward(&mut self, dy: &[f32]) -> Vec<f32> {
+        self.try_backward(dy).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Backward: accumulate `gw`, `gb` and return `dx`; shape mismatches
+    /// surface as a typed [`GemmError`].
+    pub fn try_backward(&mut self, dy: &[f32]) -> Result<Vec<f32>, GemmError> {
         let rows = self.cache_rows;
-        assert_eq!(dy.len(), rows * self.out_dim);
-        matmul_at_acc(&self.cache_x, rows, self.in_dim, dy, self.out_dim, &mut self.gw);
+        try_matmul_at_acc(&self.cache_x, rows, self.in_dim, dy, self.out_dim, &mut self.gw)?;
         for r in 0..rows {
             for j in 0..self.out_dim {
                 self.gb[j] += dy[r * self.out_dim + j];
             }
         }
         let mut dx = vec![0f32; rows * self.in_dim];
-        matmul_bt(dy, rows, self.out_dim, &self.w, self.in_dim, &mut dx);
-        dx
+        try_matmul_bt(dy, rows, self.out_dim, &self.w, self.in_dim, &mut dx)?;
+        Ok(dx)
     }
 
     /// Visit (param, grad) pairs.

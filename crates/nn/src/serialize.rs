@@ -2,15 +2,86 @@
 //! binaries can reuse one training run (deterministic seeds make the
 //! cached weights equivalent to retraining).
 //!
-//! Format: magic, a config fingerprint, then each parameter tensor in the
-//! model's fixed visitation order as `len: u64` + little-endian `f32`s.
+//! Format (v2): a 24-byte header — 4-byte magic `AXLM`, `version: u32`,
+//! `fingerprint: u64` (structural hash of the config), `checksum: u64`
+//! (FNV-1a over the payload bytes) — followed by each parameter tensor
+//! in the model's fixed visitation order as `len: u64` + little-endian
+//! `f32`s. Every failure mode surfaces as a typed [`LoadError`] instead
+//! of a panic: a corrupt or truncated checkpoint on a serving host must
+//! fail the *load*, cleanly, not the process.
+//!
+//! v1 files (8-byte magic `AXLM0001`, no checksum) share the first four
+//! magic bytes, so they are reported as [`LoadError::VersionMismatch`]
+//! rather than `BadMagic` — the caller's usual response (retrain and
+//! overwrite) is the right one for both.
 
 use crate::model::{LmConfig, TransformerLm};
+use std::fmt;
 use std::fs;
 use std::io::{self, Read, Write};
 use std::path::Path;
 
-const MAGIC: &[u8; 8] = b"AXLM0001";
+const MAGIC: &[u8; 4] = b"AXLM";
+const VERSION: u32 = 2;
+/// Header: magic (4) + version (4) + fingerprint (8) + checksum (8).
+const HEADER_LEN: usize = 24;
+
+/// Why a checkpoint failed to load.
+#[derive(Debug)]
+pub enum LoadError {
+    /// The file could not be opened or read.
+    Io(io::Error),
+    /// The file is shorter than its own framing claims (header cut off,
+    /// or a tensor's data runs past end-of-file), or has trailing bytes.
+    Truncated,
+    /// The leading magic bytes are not `AXLM` — not a checkpoint at all.
+    BadMagic,
+    /// The file is a checkpoint, but of a different format version
+    /// (v1 files land here via their `0001` magic suffix).
+    VersionMismatch {
+        /// Version the file claims.
+        found: u32,
+    },
+    /// The payload bytes do not hash to the stored checksum: at-rest
+    /// corruption between save and load.
+    ChecksumMismatch,
+    /// The config fingerprint differs — the checkpoint belongs to a
+    /// model with a different architecture.
+    ConfigMismatch,
+    /// A tensor's stored length disagrees with the model's shape.
+    ShapeMismatch,
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            LoadError::Truncated => write!(f, "checkpoint truncated"),
+            LoadError::BadMagic => write!(f, "bad checkpoint magic"),
+            LoadError::VersionMismatch { found } => {
+                write!(f, "checkpoint version mismatch (found {found}, expected {VERSION})")
+            }
+            LoadError::ChecksumMismatch => write!(f, "checkpoint checksum mismatch"),
+            LoadError::ConfigMismatch => write!(f, "checkpoint config fingerprint mismatch"),
+            LoadError::ShapeMismatch => write!(f, "checkpoint tensor shape mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for LoadError {
+    fn from(e: io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
 
 fn fingerprint(cfg: &LmConfig) -> u64 {
     // A simple structural hash of the config.
@@ -34,6 +105,27 @@ fn fingerprint(cfg: &LmConfig) -> u64 {
     h
 }
 
+/// FNV-1a over raw bytes — the content checksum. Any single-bit change
+/// to the payload changes the digest (each step is a bijection of the
+/// running state for fixed input, and XOR injects every input bit).
+fn checksum(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Little-endian u64 at `buf[off..off + 8]`, or `Truncated`.
+fn read_u64(buf: &[u8], off: usize) -> Result<u64, LoadError> {
+    let bytes = buf
+        .get(off..off + 8)
+        .and_then(|s| <[u8; 8]>::try_from(s).ok())
+        .ok_or(LoadError::Truncated)?;
+    Ok(u64::from_le_bytes(bytes))
+}
+
 /// Save a model's parameters to `path`.
 ///
 /// # Errors
@@ -43,15 +135,19 @@ pub fn save_model(model: &mut TransformerLm, path: &Path) -> io::Result<()> {
     if let Some(dir) = path.parent() {
         fs::create_dir_all(dir)?;
     }
-    let mut buf: Vec<u8> = Vec::new();
-    buf.extend_from_slice(MAGIC);
-    buf.extend_from_slice(&fingerprint(&model.cfg).to_le_bytes());
+    let mut payload: Vec<u8> = Vec::new();
     model.for_each_param(&mut |p, _| {
-        buf.extend_from_slice(&(p.len() as u64).to_le_bytes());
+        payload.extend_from_slice(&(p.len() as u64).to_le_bytes());
         for v in p.iter() {
-            buf.extend_from_slice(&v.to_le_bytes());
+            payload.extend_from_slice(&v.to_le_bytes());
         }
     });
+    let mut buf: Vec<u8> = Vec::with_capacity(HEADER_LEN + payload.len());
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&fingerprint(&model.cfg).to_le_bytes());
+    buf.extend_from_slice(&checksum(&payload).to_le_bytes());
+    buf.extend_from_slice(&payload);
     let mut f = fs::File::create(path)?;
     f.write_all(&buf)
 }
@@ -60,44 +156,69 @@ pub fn save_model(model: &mut TransformerLm, path: &Path) -> io::Result<()> {
 ///
 /// # Errors
 ///
-/// Returns an error if the file is missing, the magic or config
-/// fingerprint mismatches, or tensor shapes differ.
-pub fn load_model(cfg: LmConfig, path: &Path) -> io::Result<TransformerLm> {
+/// Every failure mode is a typed [`LoadError`]: I/O, truncation, wrong
+/// magic, format-version mismatch (v1 files land here), payload
+/// checksum mismatch, config-fingerprint mismatch, or a tensor shape
+/// that disagrees with the model.
+pub fn load_model(cfg: LmConfig, path: &Path) -> Result<TransformerLm, LoadError> {
     let mut f = fs::File::open(path)?;
     let mut buf = Vec::new();
     f.read_to_end(&mut buf)?;
-    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
-    if buf.len() < 16 || &buf[..8] != MAGIC {
-        return Err(bad("bad magic"));
+    if buf.len() < 4 {
+        return Err(LoadError::Truncated);
     }
-    let fp = u64::from_le_bytes(buf[8..16].try_into().unwrap());
-    if fp != fingerprint(&cfg) {
-        return Err(bad("config fingerprint mismatch"));
+    if &buf[..4] != MAGIC {
+        return Err(LoadError::BadMagic);
+    }
+    if buf.len() < HEADER_LEN {
+        return Err(LoadError::Truncated);
+    }
+    let version = u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]);
+    if version != VERSION {
+        return Err(LoadError::VersionMismatch { found: version });
+    }
+    if read_u64(&buf, 8)? != fingerprint(&cfg) {
+        return Err(LoadError::ConfigMismatch);
+    }
+    let payload = &buf[HEADER_LEN..];
+    if read_u64(&buf, 16)? != checksum(payload) {
+        return Err(LoadError::ChecksumMismatch);
     }
     let mut model = TransformerLm::new(cfg, 0);
-    let mut off = 16usize;
-    let mut failed = false;
+    let mut off = 0usize;
+    let mut failure: Option<LoadError> = None;
     model.for_each_param(&mut |p, _| {
-        if failed {
+        if failure.is_some() {
             return;
         }
-        if off + 8 > buf.len() {
-            failed = true;
-            return;
-        }
-        let len = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap()) as usize;
+        let len = match read_u64(payload, off) {
+            Ok(v) => v as usize,
+            Err(e) => {
+                failure = Some(e);
+                return;
+            }
+        };
         off += 8;
-        if len != p.len() || off + 4 * len > buf.len() {
-            failed = true;
+        if len != p.len() {
+            failure = Some(LoadError::ShapeMismatch);
             return;
         }
-        for (i, v) in p.iter_mut().enumerate() {
-            *v = f32::from_le_bytes(buf[off + 4 * i..off + 4 * i + 4].try_into().unwrap());
+        let Some(data) = payload.get(off..off + 4 * len) else {
+            failure = Some(LoadError::Truncated);
+            return;
+        };
+        for (v, bytes) in p.iter_mut().zip(data.chunks_exact(4)) {
+            *v = f32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
         }
         off += 4 * len;
     });
-    if failed || off != buf.len() {
-        return Err(bad("tensor layout mismatch"));
+    if let Some(e) = failure {
+        return Err(e);
+    }
+    if off != payload.len() {
+        // Trailing bytes mean the file and the model disagree about the
+        // parameter list — treat like any other framing mismatch.
+        return Err(LoadError::ShapeMismatch);
     }
     Ok(model)
 }
@@ -133,7 +254,10 @@ mod tests {
         save_model(&mut m, &path).unwrap();
         let mut other = cfg();
         other.d_ff = 32;
-        assert!(load_model(other, &path).is_err());
+        assert!(matches!(
+            load_model(other, &path),
+            Err(LoadError::ConfigMismatch)
+        ));
         let _ = fs::remove_file(path);
     }
 
@@ -143,8 +267,59 @@ mod tests {
         let path = tmp("trunc");
         save_model(&mut m, &path).unwrap();
         let data = fs::read(&path).unwrap();
+        // Cutting the payload breaks the checksum before the framing.
         fs::write(&path, &data[..data.len() / 2]).unwrap();
-        assert!(load_model(cfg(), &path).is_err());
+        assert!(matches!(
+            load_model(cfg(), &path),
+            Err(LoadError::ChecksumMismatch | LoadError::Truncated)
+        ));
+        // Cutting inside the header is reported as truncation.
+        fs::write(&path, &data[..10]).unwrap();
+        assert!(matches!(load_model(cfg(), &path), Err(LoadError::Truncated)));
         let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_old_version() {
+        let mut m = TransformerLm::new(cfg(), 5);
+        let path = tmp("magic");
+        save_model(&mut m, &path).unwrap();
+        let mut data = fs::read(&path).unwrap();
+        data[0] = b'Z';
+        fs::write(&path, &data).unwrap();
+        assert!(matches!(load_model(cfg(), &path), Err(LoadError::BadMagic)));
+        // A v1 file starts with b"AXLM0001": same 4-byte magic, bytes
+        // 4..8 parse as a (huge) version number.
+        data[0] = b'A';
+        data[4..8].copy_from_slice(b"0001");
+        fs::write(&path, &data).unwrap();
+        assert!(matches!(
+            load_model(cfg(), &path),
+            Err(LoadError::VersionMismatch { .. })
+        ));
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn detects_payload_bit_flip() {
+        let mut m = TransformerLm::new(cfg(), 5);
+        let path = tmp("bitflip");
+        save_model(&mut m, &path).unwrap();
+        let mut data = fs::read(&path).unwrap();
+        let mid = HEADER_LEN + (data.len() - HEADER_LEN) / 2;
+        data[mid] ^= 0x10;
+        fs::write(&path, &data).unwrap();
+        assert!(matches!(
+            load_model(cfg(), &path),
+            Err(LoadError::ChecksumMismatch)
+        ));
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let path = tmp("definitely-not-there");
+        let _ = fs::remove_file(&path);
+        assert!(matches!(load_model(cfg(), &path), Err(LoadError::Io(_))));
     }
 }

@@ -173,6 +173,15 @@ pub fn is_quarantined(tier: Tier) -> bool {
     QUARANTINED[tier.idx()].load(Ordering::Relaxed)
 }
 
+/// Lift the quarantine on a single `tier`, leaving the other flags and
+/// the aggregate downgrade counter untouched. The serving runtime's
+/// overload controller uses this to *restore* a tier it quarantined for
+/// load-shedding reasons (as opposed to integrity failures, where
+/// leaving the flag set is the right call).
+pub fn clear_quarantine(tier: Tier) {
+    QUARANTINED[tier.idx()].store(false, Ordering::Relaxed);
+}
+
 /// Clear all quarantine flags and the downgrade counter. Intended for
 /// fault-injection campaigns and tests; a production process would
 /// normally leave a genuinely bad tier quarantined.
@@ -202,6 +211,35 @@ pub fn downgrades_recorded() -> u64 {
     DOWNGRADE_COUNT.load(Ordering::Relaxed)
 }
 
+/// Run `f` and return its result together with the [`ExecReport`] (if
+/// any) that `f` published, scoped to this call.
+///
+/// The bare [`publish_report`]/[`take_report`] pair is a thread-local
+/// *last-writer-wins* slot: back-to-back or nested GEMM calls on one
+/// thread can swallow or overwrite each other's reports, and a report
+/// published inside call A can be taken by the bookkeeping of call B.
+/// This wrapper removes the race for its extent: the slot is saved and
+/// cleared on entry and restored on exit, so the report returned here is
+/// exactly the one published by `f` — not a predecessor's leftovers —
+/// and `f` cannot disturb reports belonging to an enclosing scope. The
+/// aggregate [`downgrades_recorded`] counter is unaffected.
+pub fn capture_report<R>(f: impl FnOnce() -> R) -> (R, Option<ExecReport>) {
+    let saved = LAST_REPORT.with(|r| r.take());
+    // Restore on unwind too, so a panicking call cannot leak its report
+    // into the enclosing scope's slot.
+    struct Restore(Option<ExecReport>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            LAST_REPORT.with(|r| r.set(self.0));
+        }
+    }
+    let restore = Restore(saved);
+    let out = f();
+    let captured = LAST_REPORT.with(|r| r.take());
+    drop(restore);
+    (out, captured)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,6 +265,36 @@ mod tests {
         let steps: Vec<_> = r.downgrades().collect();
         assert_eq!(steps[0].from, Tier::Avx2Lut);
         assert_eq!(steps[1].to, Tier::Direct);
+    }
+
+    #[test]
+    fn capture_report_is_scoped_per_call() {
+        // An enclosing call's report survives a nested captured call,
+        // and the nested capture sees only its own report.
+        let mut outer = ExecReport::new(Tier::Avx2Lut);
+        outer.verified = true;
+        publish_report(outer);
+        let ((), inner) = capture_report(|| {
+            assert!(
+                take_report().is_none(),
+                "capture starts with a clean slot"
+            );
+            publish_report(ExecReport::new(Tier::Direct));
+        });
+        assert_eq!(inner.expect("inner report captured").tier, Tier::Direct);
+        let restored = take_report().expect("outer report restored");
+        assert_eq!(restored.tier, Tier::Avx2Lut);
+    }
+
+    #[test]
+    fn clear_quarantine_lifts_a_single_tier() {
+        reset();
+        quarantine(Tier::Avx2Lut);
+        quarantine(Tier::SwarLut);
+        clear_quarantine(Tier::Avx2Lut);
+        assert!(!is_quarantined(Tier::Avx2Lut));
+        assert!(is_quarantined(Tier::SwarLut), "other flags untouched");
+        reset();
     }
 
     #[test]

@@ -37,7 +37,10 @@ pub mod health;
 pub mod pool;
 
 pub use health::{ExecReport, FailReason, Tier};
-pub use pool::{shutdown as shutdown_pool, spawned_workers};
+pub use pool::{
+    cancel_requested, clear_cancel, force_restart as force_restart_pool, request_cancel,
+    restarts as pool_restarts, shutdown as shutdown_pool, spawned_workers,
+};
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -272,6 +275,12 @@ fn pooled_chunks<T, S, MkS, F>(
         };
         let mut scratch = mk_scratch();
         loop {
+            // Cooperative cancellation: stop claiming further chunks.
+            // The output is partial — only callers that will discard the
+            // result ever request this (see `pool::request_cancel`).
+            if pool::cancel_requested() {
+                return;
+            }
             let start = i * chunk_len;
             let len = chunk_len.min(raw.len - start);
             // SAFETY: `i` was claimed exactly once via fetch_add, so the
@@ -326,6 +335,10 @@ where
                 let _drain = DrainQueue(queue);
                 let mut scratch = mk_scratch();
                 loop {
+                    // Cooperative cancellation, mirroring the pooled path.
+                    if pool::cancel_requested() {
+                        break;
+                    }
                     // A panicking sibling poisons the mutex; the payload
                     // already propagates via the scope, so keep popping
                     // from the (drained) queue rather than double-panic.

@@ -20,10 +20,34 @@
 //!   itself stays parked and reusable afterwards.
 //! * **Graceful shutdown** — [`shutdown`] wakes and joins every worker;
 //!   the next dispatch restarts the pool from scratch.
+//!
+//! # Cancellation and forced restart (the watchdog hooks)
+//!
+//! Two additional, deliberately blunt instruments exist for a serving
+//! runtime that must never wedge forever behind one poisoned request:
+//!
+//! * **Cancellation** ([`request_cancel`]): a process-global flag the
+//!   chunk-claim loops poll between chunks. Setting it makes an
+//!   in-flight dispatch stop claiming further chunks and converge, so
+//!   [`run`] returns to the submitter. The output of a cancelled
+//!   dispatch is partial — callers must only cancel work whose result
+//!   they will discard. The flag is cleared automatically when the next
+//!   job is submitted (and explicitly via [`clear_cancel`]). The serial
+//!   path does not poll it: cancellation is a parallel-dispatch escape
+//!   hatch, not a general abort.
+//! * **Forced restart** ([`force_restart`]): abandons the *current* pool
+//!   instance — workers are detached, not joined — and installs a fresh
+//!   one, so later dispatches run on healthy threads even if a worker is
+//!   stuck inside a chunk that never returns. The abandoned submitter
+//!   (if any) keeps waiting on its own completion condition and keeps
+//!   its borrows alive, so memory safety is unaffected; the stuck
+//!   threads leak until (unless) their chunk finishes. This is the
+//!   watchdog's last rung, after cancellation has been given a chance.
 
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::{Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 
 /// Type-erased job body. The `'static` on the trait object is a lie told
@@ -66,23 +90,43 @@ struct Pool {
     done_cv: Condvar,
 }
 
+impl Pool {
+    fn new() -> Pool {
+        Pool {
+            submit: Mutex::new(()),
+            state: Mutex::new(State::default()),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        }
+    }
+}
+
 /// Poison-proof lock: a panic payload is already being propagated by the
 /// catch/rethrow protocol, so a poisoned mutex carries no extra danger.
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-fn global() -> &'static Pool {
-    static POOL: OnceLock<Pool> = OnceLock::new();
-    POOL.get_or_init(|| Pool {
-        submit: Mutex::new(()),
-        state: Mutex::new(State::default()),
-        work_cv: Condvar::new(),
-        done_cv: Condvar::new(),
-    })
+/// Best-effort cancellation flag polled by the chunk-claim loops.
+static CANCEL: AtomicBool = AtomicBool::new(false);
+
+/// Number of [`force_restart`] calls since process start.
+static RESTARTS: AtomicU64 = AtomicU64::new(0);
+
+/// The registry holding the *current* pool instance. [`force_restart`]
+/// swaps in a fresh [`Pool`]; abandoned instances stay alive only as long
+/// as their (possibly stuck) participants hold `Arc` clones.
+fn registry() -> &'static Mutex<Arc<Pool>> {
+    static REGISTRY: OnceLock<Mutex<Arc<Pool>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Arc::new(Pool::new())))
 }
 
-fn worker_loop(pool: &'static Pool) {
+/// The current pool instance.
+fn current() -> Arc<Pool> {
+    Arc::clone(&lock(registry()))
+}
+
+fn worker_loop(pool: Arc<Pool>) {
     // Pool threads are workers for life: nested parallel calls made by
     // engine code running on them must take the serial path.
     crate::mark_worker_thread();
@@ -123,16 +167,17 @@ fn worker_loop(pool: &'static Pool) {
 
 /// Spawn workers until at least `want` exist. Called with the submit
 /// lock held, so the count cannot race with another submitter.
-fn ensure_workers(pool: &'static Pool, want: usize) {
+fn ensure_workers(pool: &Arc<Pool>, want: usize) {
     let mut st = lock(&pool.state);
     while st.spawned < want {
         let idx = st.spawned;
+        let worker_pool = Arc::clone(pool);
         // OS-level spawn failure (resource exhaustion) has no recovery
         // path that preserves the pool contract; fail loudly.
         #[allow(clippy::expect_used)]
         let handle = std::thread::Builder::new()
             .name(format!("axcore-pool-{idx}"))
-            .spawn(|| worker_loop(global()))
+            .spawn(move || worker_loop(worker_pool))
             .expect("failed to spawn pool worker");
         st.handles.push(handle);
         st.spawned += 1;
@@ -144,9 +189,13 @@ fn ensure_workers(pool: &'static Pool, want: usize) {
 /// participant are re-thrown here after all of them are done.
 pub(crate) fn run(helpers: usize, body: &(dyn Fn() + Sync)) {
     debug_assert!(helpers >= 1, "run() needs at least one helper");
-    let pool = global();
+    let pool = current();
     let submit = lock(&pool.submit);
-    ensure_workers(pool, helpers);
+    ensure_workers(&pool, helpers);
+    // A new job must never inherit a stale cancellation aimed at its
+    // predecessor; the submit lock orders this clear before the job's
+    // own chunk claims begin.
+    CANCEL.store(false, Ordering::Release);
     {
         let mut st = lock(&pool.state);
         debug_assert!(st.job.is_none() && st.running == 0 && st.starts_left == 0);
@@ -190,15 +239,17 @@ pub(crate) fn run(helpers: usize, body: &(dyn Fn() + Sync)) {
 /// Number of pool workers currently spawned (0 before first parallel
 /// dispatch and after [`shutdown`]).
 pub fn spawned_workers() -> usize {
-    lock(&global().state).spawned
+    lock(&current().state).spawned
 }
 
 /// Gracefully stop and join every pool worker. Blocks until all workers
 /// have exited; the next parallel dispatch restarts the pool lazily.
 /// Safe to call at any time from a non-worker thread — in-flight jobs
-/// finish first because shutdown takes the submission lock.
+/// finish first because shutdown takes the submission lock. For a pool
+/// that may be wedged behind a stuck job, use [`force_restart`] instead:
+/// this function would block behind the same job.
 pub fn shutdown() {
-    let pool = global();
+    let pool = current();
     let _submit = lock(&pool.submit);
     let handles = {
         let mut st = lock(&pool.state);
@@ -215,4 +266,104 @@ pub fn shutdown() {
     let mut st = lock(&pool.state);
     st.spawned = 0;
     st.shutting_down = false;
+}
+
+/// Request cancellation of the in-flight parallel dispatch: its
+/// chunk-claim loops stop claiming further chunks and the dispatch
+/// converges, returning control to the submitter with a **partial**
+/// output. Only cancel work whose result will be discarded. The flag is
+/// sticky until [`clear_cancel`] or the next pooled job submission.
+pub fn request_cancel() {
+    CANCEL.store(true, Ordering::Release);
+}
+
+/// Clear a pending cancellation request (also happens automatically when
+/// the next pooled job is submitted).
+pub fn clear_cancel() {
+    CANCEL.store(false, Ordering::Release);
+}
+
+/// Whether a cancellation request is pending. Polled by the dispatch
+/// loops between chunk claims; long-running custom bodies may poll it
+/// too.
+pub fn cancel_requested() -> bool {
+    CANCEL.load(Ordering::Acquire)
+}
+
+/// Number of [`force_restart`] abandonments since process start — a
+/// health signal for long-running services (each one leaked at least the
+/// abandoned pool's threads).
+pub fn restarts() -> u64 {
+    RESTARTS.load(Ordering::Relaxed)
+}
+
+/// Abandon the current pool instance and install a fresh one, without
+/// joining (or waiting for) the old workers. Returns `true` if a pool
+/// with spawned workers was abandoned.
+///
+/// This is the watchdog's last-resort recovery for a pool wedged behind
+/// a chunk that never returns: [`shutdown`] would block behind the stuck
+/// job, while this call lets *future* dispatches proceed on new threads
+/// immediately. The abandoned instance is marked shutting-down so its
+/// healthy workers exit as soon as they finish (or are parked); a truly
+/// stuck worker — and the submitter blocked waiting for it — leak. The
+/// submitter's completion wait is what keeps the job's borrows alive, so
+/// abandonment never invalidates memory; it only stops *new* work from
+/// queueing behind the wedge.
+pub fn force_restart() -> bool {
+    // Also raise the cancel flag: if the wedge is many chunks rather
+    // than one stuck chunk, this lets the old job converge on its own.
+    CANCEL.store(true, Ordering::Release);
+    let old = {
+        let mut slot = lock(registry());
+        std::mem::replace(&mut *slot, Arc::new(Pool::new()))
+    };
+    RESTARTS.fetch_add(1, Ordering::Relaxed);
+    let mut st = lock(&old.state);
+    let had_workers = st.spawned > 0;
+    st.shutting_down = true;
+    // Detach: dropping the handles leaks nothing extra — the threads
+    // exit via shutting_down when parked or on job completion.
+    st.handles.clear();
+    old.work_cv.notify_all();
+    had_workers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn force_restart_on_idle_pool_swaps_instance() {
+        // Spin the pool up, force-restart, and prove later dispatches
+        // run on the fresh instance.
+        crate::with_exec_mode(crate::ExecMode::Pooled, || {
+            crate::with_threads(2, || {
+                let mut data = vec![0u8; 64];
+                crate::par_chunks_mut(&mut data, 2, |_, c| c.fill(1));
+            });
+        });
+        let before = restarts();
+        force_restart();
+        clear_cancel();
+        assert_eq!(restarts(), before + 1);
+        // Fresh instance: no workers yet, and dispatch works again.
+        crate::with_exec_mode(crate::ExecMode::Pooled, || {
+            crate::with_threads(2, || {
+                let mut data = vec![0u8; 64];
+                crate::par_chunks_mut(&mut data, 2, |_, c| c.fill(9));
+                assert!(data.iter().all(|&v| v == 9));
+            });
+        });
+    }
+
+    #[test]
+    fn cancel_flag_round_trip() {
+        clear_cancel();
+        assert!(!cancel_requested());
+        request_cancel();
+        assert!(cancel_requested());
+        clear_cancel();
+        assert!(!cancel_requested());
+    }
 }

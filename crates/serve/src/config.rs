@@ -1,0 +1,113 @@
+//! Serving-runtime configuration and its environment-variable knobs.
+
+use axcore_nn::generate::Decoding;
+use std::time::Duration;
+
+/// Test-only fault hook: makes the runtime misbehave on purpose so the
+/// watchdog paths can be exercised deterministically. Not part of the
+/// stable API.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeFault {
+    /// The first batch executed after startup stalls for `hold` before
+    /// decoding, simulating a kernel that stopped making progress. The
+    /// watchdog must detect the over-deadline batch, fail its tickets,
+    /// restart the pool, and hand the queue to a replacement batcher.
+    WedgeFirstBatch {
+        /// How long the executor thread stalls.
+        hold: Duration,
+    },
+}
+
+/// Tunables of the serving runtime. `Default` is sized for the test
+/// proxies on a small machine; production-shaped deployments override
+/// via [`ServeConfig::from_env`] or struct update syntax.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Admission-queue capacity; submits beyond it get
+    /// `SubmitError::QueueFull` (`AXCORE_QUEUE_DEPTH`).
+    pub queue_depth: usize,
+    /// Most decode requests coalesced into one batch (`AXCORE_BATCH`).
+    pub max_batch: usize,
+    /// How long the batcher waits for more requests to coalesce once it
+    /// has at least one (cut short under deadline pressure).
+    pub batch_window: Duration,
+    /// Deadline applied to requests that don't carry their own
+    /// (`AXCORE_DEADLINE_MS`).
+    pub default_deadline: Duration,
+    /// Decoding strategy for every request.
+    pub decoding: Decoding,
+    /// Whether the overload controller may walk the degradation ladder
+    /// and shed (`AXCORE_SHED`; `off`/`0` disables — queue-full
+    /// backpressure still applies).
+    pub shed_enabled: bool,
+    /// How often the watchdog samples the in-flight batch.
+    pub watchdog_interval: Duration,
+    /// Extra time past a batch's hard deadline (and past the cooperative
+    /// cancel attempt) before the watchdog declares it wedged and
+    /// force-restarts the pool.
+    pub wedge_grace: Duration,
+    /// Consecutive calm controller ticks required before one degradation
+    /// level is restored (the hysteresis that stops level flapping).
+    pub hysteresis_ticks: u32,
+    /// Test-only fault injection; `None` in production.
+    #[doc(hidden)]
+    pub fault: Option<ServeFault>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_depth: 64,
+            max_batch: 8,
+            batch_window: Duration::from_millis(2),
+            default_deadline: Duration::from_millis(1000),
+            decoding: Decoding::Greedy,
+            shed_enabled: true,
+            watchdog_interval: Duration::from_millis(20),
+            wedge_grace: Duration::from_millis(100),
+            hysteresis_ticks: 3,
+            fault: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Defaults overridden by the environment: `AXCORE_QUEUE_DEPTH`,
+    /// `AXCORE_BATCH`, `AXCORE_DEADLINE_MS`, and `AXCORE_SHED`
+    /// (`off`/`0` disables the degradation ladder). Unset or unparsable
+    /// variables keep the default.
+    pub fn from_env() -> Self {
+        let mut cfg = ServeConfig::default();
+        if let Some(n) = env_usize("AXCORE_QUEUE_DEPTH") {
+            cfg.queue_depth = n.max(1);
+        }
+        if let Some(n) = env_usize("AXCORE_BATCH") {
+            cfg.max_batch = n.max(1);
+        }
+        if let Some(ms) = env_usize("AXCORE_DEADLINE_MS") {
+            cfg.default_deadline = Duration::from_millis(ms.max(1) as u64);
+        }
+        if let Ok(v) = std::env::var("AXCORE_SHED") {
+            cfg.shed_enabled = !matches!(v.trim().to_ascii_lowercase().as_str(), "off" | "0");
+        }
+        cfg
+    }
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = ServeConfig::default();
+        assert!(c.queue_depth >= 1 && c.max_batch >= 1);
+        assert!(c.wedge_grace > c.watchdog_interval / 2);
+        assert!(c.shed_enabled && c.fault.is_none());
+    }
+}

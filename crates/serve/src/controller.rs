@@ -1,0 +1,254 @@
+//! The overload controller: a hysteretic ladder that trades verification
+//! coverage, execution tier, and batch size for headroom before it ever
+//! rejects a request.
+//!
+//! Levels, in the order they are applied (and undone in reverse):
+//!
+//! | level | action |
+//! |-------|--------|
+//! | 0 | nominal — whatever the process had configured |
+//! | 1 | runtime verify policy → `Sample(16)` |
+//! | 2 | runtime verify policy → `Off` |
+//! | 3 | quarantine the LUT tiers (forces the direct datapath, whose working set skips the per-call LUT gather bookkeeping and frees the verify budget entirely) |
+//! | 4 | halve the batch ceiling (shorter batches → finer deadline granularity) |
+//! | 5 | shed: new submissions get `SubmitError::Overloaded` |
+//!
+//! Every tier/policy mutation remembers what it found so restore puts
+//! back the *pre-existing* state — a tier quarantined for an integrity
+//! failure before the controller touched it stays quarantined after the
+//! overload clears.
+//!
+//! Escalation is immediate (queue ≥ 3/4 capacity at a tick); restoration
+//! requires `hysteresis_ticks` consecutive calm ticks (queue ≤ 1/4), so
+//! a load oscillating around the threshold cannot flap the ladder.
+
+use crate::report::{Incident, Metrics};
+use axcore::VerifyPolicy;
+use axcore_parallel::health::{self, Tier};
+use std::sync::atomic::Ordering::Relaxed;
+
+/// Highest ladder rung: admission shedding.
+pub(crate) const SHED_LEVEL: u8 = 5;
+
+/// Sampling denominator installed at level 1 (ABFT on one call in 16).
+const SAMPLE_P: u32 = 16;
+
+#[derive(Debug)]
+pub(crate) struct Controller {
+    enabled: bool,
+    queue_depth: usize,
+    max_batch: usize,
+    hysteresis_ticks: u32,
+    level: u8,
+    peak: u8,
+    calm: u32,
+    /// Runtime verify policy observed before level 1 was applied.
+    saved_policy: Option<Option<VerifyPolicy>>,
+    /// Which LUT tiers level 3 quarantined itself (`[Avx2Lut, SwarLut]`);
+    /// tiers already quarantined by the reliability layer are left alone
+    /// on restore.
+    quarantined_by_us: [bool; 2],
+}
+
+impl Controller {
+    pub fn new(enabled: bool, queue_depth: usize, max_batch: usize, hysteresis_ticks: u32) -> Self {
+        Controller {
+            enabled,
+            queue_depth: queue_depth.max(1),
+            max_batch: max_batch.max(1),
+            hysteresis_ticks: hysteresis_ticks.max(1),
+            level: 0,
+            peak: 0,
+            calm: 0,
+            saved_policy: None,
+            quarantined_by_us: [false; 2],
+        }
+    }
+
+    pub fn level(&self) -> u8 {
+        self.level
+    }
+
+    pub fn peak(&self) -> u8 {
+        self.peak
+    }
+
+    /// Whether new submissions should be rejected outright.
+    pub fn shedding(&self) -> bool {
+        self.level >= SHED_LEVEL
+    }
+
+    /// Batch ceiling under the current level (halved at level ≥ 4).
+    pub fn effective_max_batch(&self) -> usize {
+        if self.level >= 4 {
+            (self.max_batch / 2).max(1)
+        } else {
+            self.max_batch
+        }
+    }
+
+    /// One control decision from the current queue depth. Called
+    /// periodically (the watchdog tick) and after each batch gather.
+    pub fn tick(&mut self, queue_len: usize, metrics: &Metrics) {
+        if !self.enabled {
+            return;
+        }
+        let hot = queue_len * 4 >= self.queue_depth * 3;
+        let calm = queue_len * 4 <= self.queue_depth;
+        if hot && self.level < SHED_LEVEL {
+            self.calm = 0;
+            self.escalate(metrics);
+        } else if calm && self.level > 0 {
+            self.calm += 1;
+            if self.calm >= self.hysteresis_ticks {
+                self.calm = 0;
+                self.restore(metrics);
+            }
+        } else {
+            self.calm = 0;
+        }
+    }
+
+    fn escalate(&mut self, metrics: &Metrics) {
+        let to = self.level + 1;
+        match to {
+            1 => {
+                self.saved_policy = Some(axcore::runtime_verify_policy());
+                axcore::set_runtime_verify_policy(Some(VerifyPolicy::Sample(SAMPLE_P)));
+            }
+            2 => axcore::set_runtime_verify_policy(Some(VerifyPolicy::Off)),
+            3 => {
+                for (i, tier) in [Tier::Avx2Lut, Tier::SwarLut].into_iter().enumerate() {
+                    if !health::is_quarantined(tier) {
+                        health::quarantine(tier);
+                        self.quarantined_by_us[i] = true;
+                    }
+                }
+            }
+            // 4 (batch halving) and 5 (shedding) are pure controller
+            // state, read through `effective_max_batch` / `shedding`.
+            _ => {}
+        }
+        self.level = to;
+        self.peak = self.peak.max(to);
+        metrics.escalations.fetch_add(1, Relaxed);
+        metrics.note_incident(Incident::Escalated { level: to });
+    }
+
+    fn restore(&mut self, metrics: &Metrics) {
+        let from = self.level;
+        match from {
+            3 => {
+                for (i, tier) in [Tier::Avx2Lut, Tier::SwarLut].into_iter().enumerate() {
+                    if self.quarantined_by_us[i] {
+                        health::clear_quarantine(tier);
+                        self.quarantined_by_us[i] = false;
+                    }
+                }
+            }
+            2 => axcore::set_runtime_verify_policy(Some(VerifyPolicy::Sample(SAMPLE_P))),
+            1 => {
+                axcore::set_runtime_verify_policy(self.saved_policy.take().unwrap_or(None));
+            }
+            _ => {}
+        }
+        self.level = from - 1;
+        metrics.restores.fetch_add(1, Relaxed);
+        metrics.note_incident(Incident::Restored { level: self.level });
+    }
+
+    /// Walk the ladder back to nominal, undoing every side effect. Used
+    /// at shutdown so the process-global policy/quarantine state the
+    /// controller installed does not outlive the server.
+    pub fn unwind(&mut self, metrics: &Metrics) {
+        while self.level > 0 {
+            self.restore(metrics);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Global-state test: runtime verify policy and quarantine flags are
+    /// process-wide, so all ladder behaviour is exercised in one test to
+    /// avoid parallel-runner interference (same approach as the
+    /// reliability-layer tests).
+    #[test]
+    fn ladder_escalates_applies_side_effects_and_restores_preexisting_state() {
+        let metrics = Metrics::default();
+        health::reset();
+        // Pre-existing state the controller must preserve: SwarLut is
+        // already quarantined (say, by an earlier integrity failure).
+        health::quarantine(Tier::SwarLut);
+        axcore::set_runtime_verify_policy(Some(VerifyPolicy::Full));
+
+        let mut c = Controller::new(true, 16, 8, 2);
+        assert_eq!(c.effective_max_batch(), 8);
+        assert!(!c.shedding());
+
+        // Queue at capacity: every tick escalates one level.
+        for expect in 1..=SHED_LEVEL {
+            c.tick(16, &metrics);
+            assert_eq!(c.level(), expect);
+        }
+        c.tick(16, &metrics);
+        assert_eq!(c.level(), SHED_LEVEL, "ladder is capped");
+        assert!(c.shedding());
+        assert_eq!(c.effective_max_batch(), 4, "batch halved at level 4+");
+        assert_eq!(
+            axcore::runtime_verify_policy(),
+            Some(VerifyPolicy::Off),
+            "level 2 turned verification off"
+        );
+        assert!(health::is_quarantined(Tier::Avx2Lut), "level 3 forced direct");
+        assert!(health::is_quarantined(Tier::SwarLut));
+
+        // Calm queue: needs hysteresis_ticks (2) consecutive calm ticks
+        // per restored level.
+        c.tick(0, &metrics);
+        assert_eq!(c.level(), SHED_LEVEL, "one calm tick is not enough");
+        c.tick(16, &metrics); // a hot blip resets the calm streak
+        assert_eq!(c.level(), SHED_LEVEL);
+        c.tick(0, &metrics);
+        c.tick(0, &metrics);
+        assert_eq!(c.level(), SHED_LEVEL - 1, "restored after streak");
+
+        for _ in 0..(2 * SHED_LEVEL as usize) {
+            c.tick(0, &metrics);
+        }
+        assert_eq!(c.level(), 0, "fully restored");
+        assert_eq!(c.peak(), SHED_LEVEL);
+        assert_eq!(
+            axcore::runtime_verify_policy(),
+            Some(VerifyPolicy::Full),
+            "pre-existing runtime policy restored"
+        );
+        assert!(
+            !health::is_quarantined(Tier::Avx2Lut),
+            "controller-set quarantine lifted"
+        );
+        assert!(
+            health::is_quarantined(Tier::SwarLut),
+            "pre-existing quarantine (integrity failure) preserved"
+        );
+
+        // unwind() from a partially degraded state also restores.
+        c.tick(16, &metrics);
+        c.tick(16, &metrics);
+        assert_eq!(c.level(), 2);
+        c.unwind(&metrics);
+        assert_eq!(c.level(), 0);
+        assert_eq!(axcore::runtime_verify_policy(), Some(VerifyPolicy::Full));
+
+        // Disabled controller never moves.
+        let mut off = Controller::new(false, 16, 8, 2);
+        off.tick(16, &metrics);
+        assert_eq!(off.level(), 0);
+
+        // Cleanup for other tests in the process.
+        axcore::set_runtime_verify_policy(None);
+        health::reset();
+    }
+}

@@ -1,0 +1,75 @@
+//! `axcore-serve` — a deadline-aware serving runtime over the prepared
+//! AxCore GEMM engines and [`axcore_nn`]'s quantized-model generation.
+//!
+//! The reliability layers beneath this crate (verified GEMM with tier
+//! degradation, the replaceable worker pool, typed errors through the
+//! model stack) give a single request well-defined failure behaviour.
+//! This crate adds the *service* half of the robustness story: what
+//! happens when many requests with deadlines arrive faster than the
+//! machine can serve them, or when the execution substrate stops making
+//! progress mid-batch.
+//!
+//! * **Bounded admission** — [`Server::submit`] either admits a request
+//!   into a fixed-depth queue (returning a [`Ticket`]) or rejects it
+//!   immediately with a typed [`SubmitError`]; nothing in the runtime
+//!   grows without bound under overload.
+//! * **Dynamic batching** — a batcher thread coalesces compatible
+//!   requests (same token budget) for a bounded window and decodes them
+//!   in lockstep via `decode_batch`, whose per-sequence forwards make
+//!   every served output **bit-identical** to the same request run
+//!   alone — batching, load shedding, and verification downgrades never
+//!   change answer bits, only latency and failure typing.
+//! * **Overload shedding** — a hysteretic controller walks a
+//!   degradation ladder (verification `Full → Sample → Off`, LUT tiers
+//!   → direct datapath, batch shrink, finally typed admission shedding)
+//!   and walks it back when the queue calms.
+//! * **Watchdog** — a supervisor thread detects batches that stopped
+//!   making progress, cancels them cooperatively, and if that fails
+//!   abandons the batch with [`ServeError::Wedged`], force-restarts the
+//!   worker pool, and hands the queue to a replacement batcher.
+//! * **Observability** — [`Server::report`] snapshots latency
+//!   percentiles, throughput, shed/downgrade/restart counters, and a
+//!   structured [`Incident`] log.
+//!
+//! ```
+//! use axcore_serve::{ServeConfig, Server};
+//! use axcore_nn::{quantize_model, LmConfig, Scheme, TransformerLm};
+//! use axcore_nn::layers::ActKind;
+//! use std::sync::Arc;
+//!
+//! let cfg = LmConfig {
+//!     vocab: 17, d_model: 16, n_layers: 1, n_heads: 2,
+//!     d_ff: 24, max_seq: 32, act: ActKind::Relu,
+//! };
+//! let model = TransformerLm::new(cfg, 7);
+//! let qlm = Arc::new(quantize_model(&model, Scheme::AxCore, 8, None));
+//!
+//! let server = Server::start(qlm, ServeConfig::default());
+//! let ticket = server.submit(&[1, 2, 3], 4, None).expect("admitted");
+//! let completion = ticket.wait().expect("served");
+//! assert_eq!(completion.generated, 4);
+//! let report = server.shutdown();
+//! assert_eq!(report.completed, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
+pub mod config;
+mod controller;
+pub mod report;
+pub mod server;
+
+pub use config::{ServeConfig, ServeFault};
+pub use report::{Incident, ServeReport};
+pub use server::{Completion, ServeError, Server, SubmitError, Ticket};
+
+// The server is handed to submitter threads by reference; this must
+// hold for the whole stack (engines, prepared weights, counters).
+const _: fn() = || {
+    fn assert_sync_send<T: Sync + Send>() {}
+    fn assert_send<T: Send>() {}
+    assert_sync_send::<Server>();
+    assert_send::<Ticket>(); // tickets move to the waiting thread
+};

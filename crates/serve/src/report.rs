@@ -1,0 +1,223 @@
+//! Serving metrics: lock-cheap counters accumulated on the hot path and
+//! the [`ServeReport`] snapshot derived from them.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A structured record of something the watchdog or overload controller
+/// did — the service's incident log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Incident {
+    /// The watchdog found the in-flight batch past its hard deadline and
+    /// requested cooperative cancellation.
+    BatchOverdue {
+        /// Milliseconds the batch had been running when flagged.
+        running_ms: u64,
+        /// Requests in the batch.
+        batch_size: usize,
+    },
+    /// Cancellation didn't converge within the grace period: the pool
+    /// was force-restarted, the batch's tickets failed as `Wedged`, and
+    /// a replacement batcher took over the queue.
+    PoolRestarted {
+        /// Requests whose tickets were failed.
+        abandoned: usize,
+    },
+    /// The overload controller escalated to `level`.
+    Escalated {
+        /// The new (higher) degradation level.
+        level: u8,
+    },
+    /// The overload controller restored to `level` after a calm window.
+    Restored {
+        /// The new (lower) degradation level.
+        level: u8,
+    },
+}
+
+/// Hot-path counters. Everything the batcher touches per request is an
+/// atomic; only completion latencies (needed for percentiles) take a
+/// mutex, once per finished request.
+#[derive(Debug, Default)]
+pub(crate) struct Metrics {
+    pub submitted: AtomicU64,
+    pub shed_queue_full: AtomicU64,
+    pub shed_overload: AtomicU64,
+    pub shed_draining: AtomicU64,
+    pub completed: AtomicU64,
+    pub deadline_missed: AtomicU64,
+    pub wedged: AtomicU64,
+    pub request_errors: AtomicU64,
+    pub batches: AtomicU64,
+    pub batched_requests: AtomicU64,
+    pub max_queue_depth: AtomicUsize,
+    pub escalations: AtomicU64,
+    pub restores: AtomicU64,
+    pub latencies_ms: Mutex<Vec<f64>>,
+    pub incidents: Mutex<Vec<Incident>>,
+}
+
+impl Metrics {
+    pub fn note_queue_depth(&self, depth: usize) {
+        self.max_queue_depth.fetch_max(depth, Relaxed);
+    }
+
+    pub fn note_latency(&self, ms: f64) {
+        if let Ok(mut v) = self.latencies_ms.lock() {
+            v.push(ms);
+        }
+    }
+
+    pub fn note_incident(&self, incident: Incident) {
+        if let Ok(mut v) = self.incidents.lock() {
+            v.push(incident);
+        }
+    }
+}
+
+/// Point-in-time snapshot of the serving runtime's health and
+/// throughput, built on the reliability layer's `ExecReport` aggregates.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Requests offered to `submit` (including rejected ones).
+    pub submitted: u64,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Rejections: admission queue at capacity.
+    pub shed_queue_full: u64,
+    /// Rejections: overload controller at its shedding level.
+    pub shed_overload: u64,
+    /// Rejections: server draining for shutdown.
+    pub shed_draining: u64,
+    /// Requests failed for missing their deadline (queued too long or
+    /// cancelled mid-decode).
+    pub deadline_missed: u64,
+    /// Requests failed because their batch was declared wedged.
+    pub wedged: u64,
+    /// Requests failed with a typed generation error (bad prompt, GEMM
+    /// failure).
+    pub request_errors: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Mean requests per executed batch.
+    pub mean_batch: f64,
+    /// Highest queue depth observed.
+    pub max_queue_depth: usize,
+    /// Queue depth right now.
+    pub queue_depth: usize,
+    /// Median completion latency (submit → response), milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile completion latency, milliseconds.
+    pub p99_ms: f64,
+    /// Worst completion latency, milliseconds.
+    pub max_ms: f64,
+    /// Completed requests per wall-clock second since startup.
+    pub throughput_rps: f64,
+    /// Overload-controller escalation steps taken.
+    pub escalations: u64,
+    /// Overload-controller restore steps taken.
+    pub restores: u64,
+    /// Degradation level right now (0 = nominal).
+    pub level: u8,
+    /// Highest degradation level reached.
+    pub peak_level: u8,
+    /// Worker-pool force-restarts since process start
+    /// (`axcore_parallel::pool_restarts`).
+    pub pool_restarts: u64,
+    /// Tier-downgrade steps recorded by the reliability layer since
+    /// process start (`axcore_parallel::health::downgrades_recorded`).
+    pub tier_downgrades: u64,
+    /// The incident log, oldest first.
+    pub incidents: Vec<Incident>,
+}
+
+impl ServeReport {
+    /// Shed rate over everything offered: rejected / submitted.
+    pub fn shed_rate(&self) -> f64 {
+        let shed = self.shed_queue_full + self.shed_overload + self.shed_draining;
+        if self.submitted == 0 {
+            0.0
+        } else {
+            shed as f64 / self.submitted as f64
+        }
+    }
+}
+
+/// `values` need not be sorted; `q` in [0, 1].
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+pub(crate) fn snapshot(
+    m: &Metrics,
+    queue_depth: usize,
+    level: u8,
+    peak_level: u8,
+    started: Instant,
+) -> ServeReport {
+    let mut lat = m.latencies_ms.lock().map(|v| v.clone()).unwrap_or_default();
+    lat.sort_by(|a, b| a.total_cmp(b));
+    let completed = m.completed.load(Relaxed);
+    let batches = m.batches.load(Relaxed);
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    ServeReport {
+        submitted: m.submitted.load(Relaxed),
+        completed,
+        shed_queue_full: m.shed_queue_full.load(Relaxed),
+        shed_overload: m.shed_overload.load(Relaxed),
+        shed_draining: m.shed_draining.load(Relaxed),
+        deadline_missed: m.deadline_missed.load(Relaxed),
+        wedged: m.wedged.load(Relaxed),
+        request_errors: m.request_errors.load(Relaxed),
+        batches,
+        mean_batch: if batches == 0 {
+            0.0
+        } else {
+            m.batched_requests.load(Relaxed) as f64 / batches as f64
+        },
+        max_queue_depth: m.max_queue_depth.load(Relaxed),
+        queue_depth,
+        p50_ms: percentile(&lat, 0.50),
+        p99_ms: percentile(&lat, 0.99),
+        max_ms: lat.last().copied().unwrap_or(0.0),
+        throughput_rps: completed as f64 / elapsed,
+        escalations: m.escalations.load(Relaxed),
+        restores: m.restores.load(Relaxed),
+        level,
+        peak_level,
+        pool_restarts: axcore_parallel::pool_restarts(),
+        tier_downgrades: axcore_parallel::health::downgrades_recorded(),
+        incidents: m.incidents.lock().map(|v| v.clone()).unwrap_or_default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_handles_edges() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 100.0);
+        let p50 = percentile(&v, 0.5);
+        assert!((49.0..=51.0).contains(&p50));
+    }
+
+    #[test]
+    fn shed_rate_counts_all_rejection_kinds() {
+        let m = Metrics::default();
+        m.submitted.store(10, Relaxed);
+        m.shed_queue_full.store(2, Relaxed);
+        m.shed_overload.store(1, Relaxed);
+        let r = snapshot(&m, 0, 0, 0, Instant::now());
+        assert!((r.shed_rate() - 0.3).abs() < 1e-12);
+    }
+}
