@@ -277,6 +277,15 @@ fn main() {
         "  \"queue\": {{ \"depth\": 32, \"max_observed\": {} }},\n",
         report.max_queue_depth
     ));
+    let threads_env = std::env::var("AXCORE_THREADS")
+        .map(|v| format!("\"{v}\""))
+        .unwrap_or_else(|_| "null".into());
+    json.push_str(&format!(
+        "  \"hardware\": {{ \"available_parallelism\": {}, \"axcore_threads_env\": {}, \"gemm_threads\": {} }},\n",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        threads_env,
+        report.gemm_threads
+    ));
     json.push_str(&format!(
         "  \"totals\": {{ \"submitted\": {}, \"completed\": {}, \"shed_rate\": {:.4}, \"mean_batch\": {:.2}, \"batches\": {}, \"pool_restarts\": {}, \"incidents\": {} }}\n",
         report.submitted,

@@ -655,7 +655,7 @@ impl AxCorePrepared {
             bits: arena::take(k, 0u32),
             terms: arena::take(self.units.len() * k, zero_term),
         };
-        drive(m, k, n, out, mk_scratch, |s: &mut AxScratch, i, col0, cols| {
+        drive(m, k, n, self.block_cols, out, mk_scratch, |s: &mut AxScratch, i, col0, cols| {
             if s.row != i {
                 // Encode the activation row once, then advance each group
                 // slice through the PreAdds of only the units that group's
@@ -753,12 +753,16 @@ impl AxCorePrepared {
                 (true, false) => arena::take(nu * k * cs, 0i32),
             },
         };
-        let build = |t: &mut AxLutTable, i: usize| {
+        let build = |t: &mut AxLutTable, i: usize, col0: usize, ncols: usize| {
             for (kk, &av) in a[i * k..(i + 1) * k].iter().enumerate() {
                 t.bits[kk] = self.act.encode(av as f64);
             }
             for g in 0..groups {
-                let mut mask = self.group_unit_masks[g];
+                // Shard-restricted build: only the units referenced by
+                // the columns this worker will gather. Segments of other
+                // units stay stale in this worker's table slot and are
+                // never read by its gather.
+                let mut mask = self.shard_unit_mask(g, col0, ncols);
                 while mask != 0 {
                     let u = mask.trailing_zeros() as usize;
                     mask &= mask - 1;
@@ -850,7 +854,7 @@ impl AxCorePrepared {
                     });
                 }
             };
-            drive_lut(m, k, n, out, mk_table, build, gather);
+            drive_lut(m, k, n, self.block_cols, out, mk_table, build, gather);
         } else {
             let gather = |t: &AxLutTable, _i: usize, col0: usize, cols: &mut [f32]| {
                 if self.planes.is_packed() {
@@ -863,8 +867,27 @@ impl AxCorePrepared {
                     });
                 }
             };
-            drive_lut(m, k, n, out, mk_table, build, gather);
+            drive_lut(m, k, n, self.block_cols, out, mk_table, build, gather);
         }
+    }
+
+    /// The format units referenced by output columns
+    /// `[col0, col0 + ncols)` in group `g`: the precomputed whole-row
+    /// mask when the range covers every column, otherwise the OR over
+    /// just the range's block columns — what lets a shard build only the
+    /// table segments its own gather will read.
+    fn shard_unit_mask(&self, g: usize, col0: usize, ncols: usize) -> u32 {
+        if col0 == 0 && ncols == self.n {
+            return self.group_unit_masks[g];
+        }
+        let nbc = self.n / self.block_cols;
+        let bc0 = col0 / self.block_cols;
+        let bc1 = (col0 + ncols - 1) / self.block_cols;
+        let mut mask = 0u32;
+        for bc in bc0..=bc1 {
+            mask |= 1 << self.block_unit[g * nbc + bc];
+        }
+        mask
     }
 
     /// Byte-plane gather: fold every group's table segments into `cols`,
@@ -903,10 +926,13 @@ impl AxCorePrepared {
             };
             scaled as f32
         };
+        // This worker's contiguous slice of the code planes: all plane
+        // reads below stay provably inside the shard's columns.
+        let planes = self.planes.shard(col0, cols.len());
         let seg_of = |g: usize, col: usize| {
             let u = self.block_unit[g * nbc + col / self.block_cols] as usize;
             let r = (u * k + g * gs) * cs..(u * k + (g + 1) * gs) * cs;
-            (&t.tbl[r], &self.planes.col(col)[g * gs..(g + 1) * gs])
+            (&t.tbl[r], &planes.plane(col)[g * gs..(g + 1) * gs])
         };
         cols.fill(0.0);
         for g in 0..groups {
@@ -1010,12 +1036,14 @@ impl AxCorePrepared {
             };
             scaled as f32
         };
+        // This worker's contiguous slice of the nibble-packed planes.
+        let planes = self.planes.shard(col0, cols.len());
         // A group's table segment (gs rows of cs entries) and its packed
         // code bytes (gs/2: plane construction guarantees gs is even).
         let seg_of = |g: usize, col: usize| {
             let u = self.block_unit[g * nbc + col / self.block_cols] as usize;
             let r = (u * k + g * gs) * cs..(u * k + (g + 1) * gs) * cs;
-            (&t.tcomb[r], &self.planes.plane(col)[g * gs / 2..(g + 1) * gs / 2])
+            (&t.tcomb[r], &planes.plane(col)[g * gs / 2..(g + 1) * gs / 2])
         };
         // One 4-lane tile of one group: 16 k-steps per u64 code load.
         // Every `try_into().unwrap()` below converts a slice whose length
@@ -1175,20 +1203,32 @@ impl AxCorePrepared {
             };
             scaled as f32
         };
+        // This worker's contiguous slice of the nibble-packed planes:
+        // the vector kernel receives only these bytes, so a lane can
+        // never gather codes from another shard's columns.
+        let planes = self.planes.shard(col0, cols.len());
         cols.fill(0.0);
         let full_tiles = cols.len() / LANES;
         for g in 0..groups {
+            let seg0 = g * gs / 2;
+            let seg_len = gs / 2;
             for tile in 0..full_tiles {
                 let j = tile * LANES;
                 let mut bases = [0i32; LANES];
-                let mut codes: [&[u8]; LANES] = [&[]; LANES];
+                let mut offsets = [0usize; LANES];
                 for (l, base) in bases.iter_mut().enumerate() {
                     let col = col0 + j + l;
                     let u = self.block_unit[g * nbc + col / self.block_cols] as usize;
                     *base = ((u * k + g * gs) * cs) as i32;
-                    codes[l] = &self.planes.plane(col)[g * gs / 2..(g + 1) * gs / 2];
+                    offsets[l] = planes.offset_of(col) + seg0;
                 }
-                let (sig, exp) = axcore_simd::gather_group(&t.tcomb, &bases, &codes);
+                let (sig, exp) = axcore_simd::gather_group_planes(
+                    &t.tcomb,
+                    &bases,
+                    planes.bytes(),
+                    &offsets,
+                    seg_len,
+                );
                 for l in 0..LANES {
                     let acc = PartialAcc::from_parts(exp[l], sig[l] as i64, self.act);
                     cols[j + l] += finish(&acc, g, col0 + j + l);
@@ -1199,7 +1239,7 @@ impl AxCorePrepared {
             for (jj, col) in cols.iter_mut().enumerate().skip(full_tiles * LANES) {
                 let u = self.block_unit[g * nbc + (col0 + jj) / self.block_cols] as usize;
                 let es = &t.tcomb[(u * k + g * gs) * cs..(u * k + (g + 1) * gs) * cs];
-                let cd = &self.planes.plane(col0 + jj)[g * gs / 2..(g + 1) * gs / 2];
+                let cd = &planes.plane(col0 + jj)[g * gs / 2..(g + 1) * gs / 2];
                 let mut pacc = PartialAcc::new(self.act);
                 for (bi, &byte) in cd.iter().enumerate() {
                     let row = 2 * bi * cs;

@@ -160,7 +160,7 @@ impl ExactPrepared {
     fn run(&self, a: &[f32], m: usize, out: &mut [f32]) {
         let (k, n) = (self.k, self.n);
         let mk = || ExactScratch { row: usize::MAX, arow: arena::take(k, 0f64) };
-        drive(m, k, n, out, mk, |s: &mut ExactScratch, i, col0, cols| {
+        drive(m, k, n, 1, out, mk, |s: &mut ExactScratch, i, col0, cols| {
             if s.row != i {
                 // Quantize the activation row to the core's input format,
                 // once per row per worker.

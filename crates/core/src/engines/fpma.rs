@@ -216,7 +216,7 @@ impl FpmaPrepared {
     fn gemm_direct(&self, a: &[f32], m: usize, out: &mut [f32]) {
         let (k, n) = (self.k, self.n);
         let mk = || FpmaScratch { row: usize::MAX, arow: arena::take(k, 0u32) };
-        drive(m, k, n, out, mk, |s: &mut FpmaScratch, i, col0, cols| {
+        drive(m, k, n, 1, out, mk, |s: &mut FpmaScratch, i, col0, cols| {
             if s.row != i {
                 for (kk, &av) in a[i * k..(i + 1) * k].iter().enumerate() {
                     s.arow[kk] = self.act.encode(av as f64);
@@ -249,7 +249,11 @@ impl FpmaPrepared {
         let np = self.palette.len();
         let mk_table =
             || FpmaLutTable { arow: arena::take(k, 0u32), tbl: arena::take(k * np, 0u32) };
-        let build = |t: &mut FpmaLutTable, i: usize| {
+        // The product table is palette-global (one entry per distinct
+        // weight pattern), so a shard cannot build less than all of it;
+        // the column range is ignored and each shard builds the full
+        // table in its own arena slot, in parallel.
+        let build = |t: &mut FpmaLutTable, i: usize, _col0: usize, _ncols: usize| {
             for (kk, &av) in a[i * k..(i + 1) * k].iter().enumerate() {
                 t.arow[kk] = self.act.encode(av as f64);
             }
@@ -273,7 +277,7 @@ impl FpmaPrepared {
                 *o = self.acc_fmt.decode(acc_bits) as f32;
             }
         };
-        drive_lut(m, k, n, out, mk_table, build, gather);
+        drive_lut(m, k, n, 1, out, mk_table, build, gather);
     }
 }
 

@@ -211,7 +211,7 @@ impl IntFpPrepared {
         let gs = self.group_size;
         let groups = k / gs;
         let mk = || IntFpScratch { row: usize::MAX, arow: arena::take(k, 0f64) };
-        drive(m, k, n, out, mk, |s: &mut IntFpScratch, i, col0, cols| {
+        drive(m, k, n, 1, out, mk, |s: &mut IntFpScratch, i, col0, cols| {
             if s.row != i {
                 for (kk, &av) in a[i * k..(i + 1) * k].iter().enumerate() {
                     s.arow[kk] = self.act.quantize(av as f64);
@@ -251,7 +251,11 @@ impl IntFpPrepared {
         let vlo = vmax + 1;
         let mk_table =
             || IntFpLutTable { arow: arena::take(k, 0f64), tbl: arena::take(k * span, 0f64) };
-        let build = |t: &mut IntFpLutTable, i: usize| {
+        // The product table is activation-only (one row of `span` entries
+        // per k element), independent of which columns gather from it, so
+        // the shard's column range is ignored: each shard builds the full
+        // table in its own arena slot, in parallel.
+        let build = |t: &mut IntFpLutTable, i: usize, _col0: usize, _ncols: usize| {
             for (kk, &av) in a[i * k..(i + 1) * k].iter().enumerate() {
                 t.arow[kk] = self.act.quantize(av as f64);
             }
@@ -271,9 +275,11 @@ impl IntFpPrepared {
         // slice, so it cannot fail.
         #[allow(clippy::unwrap_used)]
         let gather = |t: &IntFpLutTable, _i: usize, col0: usize, cols: &mut [f32]| {
+            // This worker's contiguous slice of the offset planes.
+            let planes = self.planes.shard(col0, cols.len());
             for (j, o) in cols.iter_mut().enumerate() {
                 let c = col0 + j;
-                let pl = self.planes.plane(c);
+                let pl = planes.plane(c);
                 let mut acc = 0f32;
                 for g in 0..groups {
                     let es = &t.tbl[g * gs * span..(g + 1) * gs * span];
@@ -308,7 +314,7 @@ impl IntFpPrepared {
                 *o = acc;
             }
         };
-        drive_lut(m, k, n, out, mk_table, build, gather);
+        drive_lut(m, k, n, 1, out, mk_table, build, gather);
     }
 }
 

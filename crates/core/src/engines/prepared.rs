@@ -14,12 +14,19 @@
 //!
 //! # Parallel execution and determinism
 //!
-//! Prepared GEMMs execute their output tiles on the persistent worker
-//! pool (see [`axcore_parallel`]; the legacy per-call scoped spawn
-//! survives as [`axcore_parallel::ExecMode::Scoped`] for A/B runs):
-//! large-`m` calls split over row chunks, decode-shaped calls split each
-//! row over column tiles. Per-worker scratch (activation encodes, LUT
-//! tables) is drawn from the thread-local [`axcore_parallel::arena`], so
+//! Prepared GEMMs execute on the persistent worker pool (see
+//! [`axcore_parallel`]; the legacy per-call scoped spawn survives as
+//! [`axcore_parallel::ExecMode::Scoped`] for A/B runs), partitioned into
+//! **column shards**: every shape — prefill and decode alike — splits
+//! the `n` output columns into one contiguous, cache-line-aligned shard
+//! per worker with stable shard→thread affinity
+//! ([`axcore_parallel::ShardPlan`]), so each worker owns its slice of
+//! the code planes, builds its LUT table in its own arena slot, and
+//! writes disjoint output columns with no barrier and no false sharing.
+//! Prefill additionally blocks each shard into row panels × column
+//! tiles so weight state is re-read from L2, not DRAM. Per-worker
+//! scratch (activation encodes, LUT tables) is drawn from the
+//! thread-local [`axcore_parallel::arena`], so
 //! steady-state decode calls allocate nothing. Every engine in
 //! this crate computes each output element `(i, col)` independently —
 //! including AxCore's stochastic SNC tie bit, which is a deterministic
@@ -125,26 +132,56 @@ pub(crate) fn check_prepared_shapes(
 /// either way.
 const MIN_PARALLEL_MACS: usize = 32 * 1024;
 
-/// Drive a per-element GEMM kernel over the output in parallel.
+/// Rows per activation panel in the sharded prefill loop: 32 rows of a
+/// `k ≤ 4096` activation keep the panel within ~512 KiB, so it stays
+/// cache-resident while a shard's weight tiles stream past it.
+const PANEL_ROWS: usize = 32;
+
+/// Columns per weight tile inside a shard: small enough that one tile's
+/// weight-derived state (lanes / planes over the full depth) stays
+/// L2-resident across a whole row panel, so prefill re-reads weights
+/// from cache instead of DRAM once per panel rather than once per row.
+const TILE_COLS: usize = 64;
+
+/// How many worker shards a GEMM of this size should use: 1 (serial)
+/// below the MAC threshold or when the caller's thread budget is 1,
+/// otherwise a [`ShardPlan`](axcore_parallel::ShardPlan) over the
+/// current thread count.
+fn shard_plan(m: usize, k: usize, n: usize, col_align: usize) -> axcore_parallel::ShardPlan {
+    let threads = if (m * n).saturating_mul(k) < MIN_PARALLEL_MACS {
+        1
+    } else {
+        axcore_parallel::current_threads()
+    };
+    axcore_parallel::ShardPlan::new(n, threads, col_align)
+}
+
+/// Drive a per-element GEMM kernel over the output, sharded by columns.
 ///
 /// `kernel(scratch, row, col0, cols)` fills `cols` with output columns
 /// `col0 .. col0 + cols.len()` of activation row `row`; `mk_scratch`
 /// builds one per-worker scratch (activation-encode buffers) that is
 /// reused across every tile the worker processes.
 ///
-/// Tiling: with enough rows to feed the pool, whole-row chunks are
-/// distributed (each worker encodes each of its rows exactly once);
-/// with fewer rows than threads — the decode shape, `m = 1` — each row
-/// is split over column tiles instead. Both splits place results by
-/// chunk index, so scheduling never affects output bits.
+/// Parallel execution partitions the `n` output columns into contiguous
+/// shards (one per worker, boundaries aligned to `col_align` columns and
+/// a full output cache line — see [`axcore_parallel::ShardPlan`]), with
+/// stable shard→thread affinity and a single barrier-free writeback into
+/// disjoint columns. Inside a shard the loop is L2-blocked: row panels
+/// of [`PANEL_ROWS`] × column tiles of [`TILE_COLS`], rows innermost, so
+/// a tile's weight state is re-read from cache across the whole panel
+/// and the activation panel stays hot across the shard's tiles. Every
+/// output element is computed independently, so the shard/tile walk is
+/// bit-identical to the serial loop at any thread count.
 ///
 /// `k` is the accumulation depth, used only to size the work estimate:
-/// GEMMs too small to amortize thread spawns run serially (bit-identical
-/// either way, so the cutover is purely a scheduling decision).
+/// GEMMs too small to amortize a pool dispatch run serially
+/// (bit-identical either way, so the cutover is purely scheduling).
 pub(crate) fn drive<S, MkS, F>(
     m: usize,
     k: usize,
     n: usize,
+    col_align: usize,
     out: &mut [f32],
     mk_scratch: MkS,
     kernel: F,
@@ -155,54 +192,58 @@ pub(crate) fn drive<S, MkS, F>(
     if m == 0 || n == 0 {
         return;
     }
-    let threads = if (m * n).saturating_mul(k) < MIN_PARALLEL_MACS {
-        1
-    } else {
-        axcore_parallel::current_threads()
-    };
-    if threads <= 1 {
+    let plan = shard_plan(m, k, n, col_align);
+    if plan.num_shards() <= 1 {
         let mut s = mk_scratch();
         for (i, row_out) in out.chunks_mut(n).enumerate() {
             kernel(&mut s, i, 0, row_out);
         }
-    } else if m >= threads {
-        // Row-chunk split: ~4 chunks per worker for load balance.
-        let rows_per = m.div_ceil(threads * 4).max(1);
-        axcore_parallel::par_chunks_mut_with(out, rows_per * n, &mk_scratch, |s, ci, chunk| {
-            let row0 = ci * rows_per;
-            for (r, row_out) in chunk.chunks_mut(n).enumerate() {
-                kernel(s, row0 + r, 0, row_out);
-            }
-        });
-    } else {
-        // Few rows (decode shape): tile each row's columns instead.
-        let col_tile = n.div_ceil(threads * 4).max(1);
-        for (i, row_out) in out.chunks_mut(n).enumerate() {
-            axcore_parallel::par_chunks_mut_with(row_out, col_tile, &mk_scratch, |s, ci, cols| {
-                kernel(s, i, ci * col_tile, cols);
-            });
-        }
+        return;
     }
+    axcore_parallel::par_shards_with(out, m, &plan, &mk_scratch, |s, sh, view| {
+        for row0 in (0..m).step_by(PANEL_ROWS) {
+            let rows = PANEL_ROWS.min(m - row0);
+            let mut c0 = sh.col0;
+            while c0 < sh.col0 + sh.cols {
+                // Cooperative cancellation between tiles (partial output;
+                // only discarded results are ever cancelled).
+                if axcore_parallel::cancel_requested() {
+                    return;
+                }
+                let tc = TILE_COLS.min(sh.col0 + sh.cols - c0);
+                let local = c0 - sh.col0;
+                for r in row0..row0 + rows {
+                    let row_out = view.row(r);
+                    kernel(s, r, c0, &mut row_out[local..local + tc]);
+                }
+                c0 += tc;
+            }
+        }
+    });
 }
 
-/// Drive a LUT-tier GEMM kernel over the output in parallel.
+/// Drive a LUT-tier GEMM kernel over the output, sharded by columns.
 ///
 /// Like [`drive`], but each row's work is split into a table **build**
-/// (`build(table, row)` — the per-activation-element product tables,
-/// amortized over every column of the row) and a column **gather**
-/// (`gather(table, row, col0, cols)` — pure table lookups + accumulate).
+/// (`build(table, row, col0, cols)` — the per-activation-element product
+/// tables, amortized over the columns `col0 .. col0 + cols` the worker
+/// will gather) and a column **gather** (`gather(table, row, col0, cols)`
+/// — pure table lookups + accumulate).
 ///
-/// Tiling mirrors [`drive`], with one twist on the decode shape: with
-/// fewer rows than threads, the row table is built **once on the calling
-/// thread** and shared read-only across the column-tile workers.
-/// Duplicating the build per worker would erase the amortization the tier
-/// exists for (on the decode shape the build is a sizable fraction of one
-/// worker's gather share). With enough rows, each worker owns whole rows
-/// and builds tables in its own scratch, once per row.
+/// Each shard builds the row table **in its own arena slot** restricted
+/// to its column range (engines whose table segments are per-format-unit
+/// build only the units their columns reference; engines with global
+/// tables ignore the range). That moves the build onto the parallel
+/// region — the pre-shard dispatch built one shared table serially on
+/// the submitting thread — and the stable shard→thread affinity keeps
+/// each shard's table in the same thread-local arena call after call, so
+/// steady-state decode still allocates nothing.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn drive_lut<T, MkT, B, G>(
     m: usize,
     k: usize,
     n: usize,
+    col_align: usize,
     out: &mut [f32],
     mk_table: MkT,
     build: B,
@@ -210,45 +251,30 @@ pub(crate) fn drive_lut<T, MkT, B, G>(
 ) where
     T: Send + Sync,
     MkT: Fn() -> T + Sync,
-    B: Fn(&mut T, usize) + Sync,
+    B: Fn(&mut T, usize, usize, usize) + Sync,
     G: Fn(&T, usize, usize, &mut [f32]) + Sync,
 {
     if m == 0 || n == 0 {
         return;
     }
-    let threads = if (m * n).saturating_mul(k) < MIN_PARALLEL_MACS {
-        1
-    } else {
-        axcore_parallel::current_threads()
-    };
-    if threads <= 1 {
+    let plan = shard_plan(m, k, n, col_align);
+    if plan.num_shards() <= 1 {
         let mut table = mk_table();
         for (i, row_out) in out.chunks_mut(n).enumerate() {
-            build(&mut table, i);
+            build(&mut table, i, 0, n);
             gather(&table, i, 0, row_out);
         }
-    } else if m >= threads {
-        // Row-chunk split: per-worker table scratch, built once per row.
-        let rows_per = m.div_ceil(threads * 4).max(1);
-        axcore_parallel::par_chunks_mut_with(out, rows_per * n, &mk_table, |t, ci, chunk| {
-            let row0 = ci * rows_per;
-            for (r, row_out) in chunk.chunks_mut(n).enumerate() {
-                build(t, row0 + r);
-                gather(t, row0 + r, 0, row_out);
-            }
-        });
-    } else {
-        // Decode shape: shared row table, column tiles gather from it.
-        let mut table = mk_table();
-        let col_tile = n.div_ceil(threads * 4).max(1);
-        for (i, row_out) in out.chunks_mut(n).enumerate() {
-            build(&mut table, i);
-            let table_ref = &table;
-            axcore_parallel::par_chunks_mut(row_out, col_tile, |ci, cols| {
-                gather(table_ref, i, ci * col_tile, cols);
-            });
-        }
+        return;
     }
+    axcore_parallel::par_shards_with(out, m, &plan, &mk_table, |t, sh, view| {
+        for i in 0..m {
+            if axcore_parallel::cancel_requested() {
+                return;
+            }
+            build(t, i, sh.col0, sh.cols);
+            gather(t, i, sh.col0, view.row(i));
+        }
+    });
 }
 
 /// Shared verified-execution wrapper for the single-ladder engines

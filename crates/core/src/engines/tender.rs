@@ -207,7 +207,7 @@ impl TenderPrepared {
             acodes: arena::take(k, 0i32),
             ascales: arena::take(self.chunks, 0f64),
         };
-        drive(m, k, n, out, mk, |s: &mut TenderScratch, i, col0, cols| {
+        drive(m, k, n, 1, out, mk, |s: &mut TenderScratch, i, col0, cols| {
             if s.row != i {
                 // Per-token, per-chunk symmetric activation quantization.
                 for ch in 0..self.chunks {

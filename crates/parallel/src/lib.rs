@@ -35,12 +35,14 @@
 pub mod arena;
 pub mod health;
 pub mod pool;
+pub mod shard;
 
 pub use health::{ExecReport, FailReason, Tier};
 pub use pool::{
     cancel_requested, clear_cancel, force_restart as force_restart_pool, request_cancel,
     restarts as pool_restarts, shutdown as shutdown_pool, spawned_workers,
 };
+pub use shard::{Shard, ShardPlan};
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -111,19 +113,18 @@ pub fn with_exec_mode<R>(mode: ExecMode, f: impl FnOnce() -> R) -> R {
     f()
 }
 
-/// Thread counts worth sweeping in benchmarks: powers of two up to and
-/// always including [`max_threads`] (so `1` on a single-core runner and
-/// e.g. `1, 2, 4, 6` on a 6-way machine). Respects the `AXCORE_THREADS`
-/// override, since that caps what [`current_threads`] will ever return.
+/// Thread counts worth sweeping in benchmarks: always `1, 2, 4, 8`
+/// (so every `BENCH_gemm.json` carries a comparable scaling curve, even
+/// from a small runner where the high rows are oversubscribed), plus
+/// [`max_threads`] when the machine exceeds 8. Counts above the hardware
+/// parallelism still execute — `with_threads` is an explicit override —
+/// they just report sub-linear `scaling_efficiency`.
 pub fn thread_sweep() -> Vec<usize> {
+    let mut counts = vec![1, 2, 4, 8];
     let max = max_threads();
-    let mut counts = Vec::new();
-    let mut t = 1;
-    while t < max {
-        counts.push(t);
-        t *= 2;
+    if max > 8 {
+        counts.push(max);
     }
-    counts.push(max);
     counts
 }
 
@@ -356,6 +357,130 @@ where
     });
 }
 
+/// A mutable view of one shard's columns of a row-major `rows × n`
+/// output matrix. [`row`](ShardSlice::row) hands out the shard's slice
+/// of one output row; different shards' views alias no elements (their
+/// column ranges are disjoint by [`ShardPlan`] construction), and shard
+/// boundaries are cache-line aligned, so concurrent writeback needs no
+/// barrier and causes no false sharing.
+pub struct ShardSlice<'a, T> {
+    base: *mut T,
+    rows: usize,
+    row_stride: usize,
+    col0: usize,
+    cols: usize,
+    _borrow: std::marker::PhantomData<&'a mut [T]>,
+}
+
+impl<T> ShardSlice<'_, T> {
+    /// Rows in the underlying matrix.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns owned by this shard.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// This shard's columns of output row `r`.
+    pub fn row(&mut self, r: usize) -> &mut [T] {
+        assert!(r < self.rows, "row {r} out of range ({} rows)", self.rows);
+        // SAFETY: the view was constructed over a live exclusive borrow
+        // of the full matrix (kept alive by `par_shards_with`'s
+        // completion wait); `r < rows` and `col0 + cols <= row_stride`,
+        // so the range is in bounds, and no other shard's view overlaps
+        // these columns.
+        #[allow(unsafe_code)]
+        unsafe {
+            std::slice::from_raw_parts_mut(
+                self.base.add(r * self.row_stride + self.col0),
+                self.cols,
+            )
+        }
+    }
+}
+
+/// Run `f` once per shard of `plan` over the row-major `rows × plan.n()`
+/// matrix `out`, with **stable shard→thread affinity**: shard `s` always
+/// executes on pool slot `s` (slot 0 is the calling thread), i.e. on the
+/// same OS thread call after call, so that thread's scratch arena keeps
+/// the shard's tables warm. Each shard worker builds one `S` via
+/// `mk_scratch` and writes only its own disjoint output columns through
+/// the provided [`ShardSlice`] — a single barrier-free writeback.
+///
+/// With a one-shard plan this degenerates to a plain serial call on the
+/// current thread (the bit-exactness baseline; sharding never changes
+/// results because every output element is computed independently).
+pub fn par_shards_with<T, S, MkS, F>(out: &mut [T], rows: usize, plan: &ShardPlan, mk_scratch: MkS, f: F)
+where
+    T: Send,
+    MkS: Fn() -> S + Sync,
+    F: Fn(&mut S, shard::Shard, &mut ShardSlice<'_, T>) + Sync,
+{
+    let n = plan.n();
+    assert!(out.len() >= rows * n, "output shorter than rows × n");
+    let nshards = plan.num_shards();
+    if nshards <= 1 {
+        let sh = plan.shard(0);
+        let mut view = ShardSlice {
+            base: out.as_mut_ptr(),
+            rows,
+            row_stride: n,
+            col0: sh.col0,
+            cols: sh.cols,
+            _borrow: std::marker::PhantomData,
+        };
+        let mut scratch = mk_scratch();
+        f(&mut scratch, sh, &mut view);
+        return;
+    }
+    /// The matrix base pointer as a shareable handle; every access goes
+    /// through a shard view whose column range is unique to its slot.
+    struct RawMatrix<T> {
+        base: *mut T,
+    }
+    // SAFETY: shared only for the duration of the dispatch below; slots
+    // are executed exactly once per job and their shards' column ranges
+    // are pairwise disjoint, so no element is reachable from two threads.
+    #[allow(unsafe_code)]
+    unsafe impl<T: Send> Sync for RawMatrix<T> {}
+
+    let raw = RawMatrix { base: out.as_mut_ptr() };
+    let raw = &raw;
+    let body = |slot: usize| {
+        let sh = plan.shard(slot);
+        if sh.cols == 0 {
+            return;
+        }
+        let mut view = ShardSlice {
+            base: raw.base,
+            rows,
+            row_stride: n,
+            col0: sh.col0,
+            cols: sh.cols,
+            _borrow: std::marker::PhantomData,
+        };
+        let mut scratch = mk_scratch();
+        f(&mut scratch, sh, &mut view);
+    };
+    match current_exec_mode() {
+        ExecMode::Pooled => pool::run_indexed(nshards - 1, &body),
+        ExecMode::Scoped => {
+            std::thread::scope(|s| {
+                for slot in 1..nshards {
+                    let body = &body;
+                    s.spawn(move || {
+                        IN_WORKER.with(|w| w.set(true));
+                        body(slot);
+                    });
+                }
+                enter_worker(|| body(0));
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -411,11 +536,115 @@ mod tests {
     }
 
     #[test]
-    fn thread_sweep_is_increasing_and_ends_at_max() {
+    fn thread_sweep_is_increasing_and_covers_1_2_4_8() {
         let sweep = thread_sweep();
-        assert_eq!(sweep[0], 1);
-        assert_eq!(*sweep.last().unwrap(), max_threads());
+        assert_eq!(&sweep[..4], &[1, 2, 4, 8]);
         assert!(sweep.windows(2).all(|w| w[0] < w[1]));
+        if max_threads() > 8 {
+            assert_eq!(*sweep.last().unwrap(), max_threads());
+        }
+    }
+
+    #[test]
+    fn shards_cover_every_column_in_both_modes() {
+        for mode in [ExecMode::Pooled, ExecMode::Scoped] {
+            with_exec_mode(mode, || {
+                with_threads(4, || {
+                    let (rows, n) = (3usize, 100usize);
+                    let plan = ShardPlan::new(n, current_threads(), 1);
+                    let mut out = vec![0u32; rows * n];
+                    par_shards_with(&mut out, rows, &plan, || (), |(), sh, view| {
+                        for r in 0..view.rows() {
+                            for (j, v) in view.row(r).iter_mut().enumerate() {
+                                *v = (r * n + sh.col0 + j) as u32 + 1;
+                            }
+                        }
+                    });
+                    for (i, &v) in out.iter().enumerate() {
+                        assert_eq!(v, i as u32 + 1, "{mode:?} elem {i}");
+                    }
+                });
+            });
+        }
+    }
+
+    #[test]
+    fn sharded_and_serial_agree_bitwise() {
+        let work = |_s: &mut (), sh: Shard, view: &mut ShardSlice<'_, f32>| {
+            for r in 0..view.rows() {
+                for (j, v) in view.row(r).iter_mut().enumerate() {
+                    *v = (((r * 31 + sh.col0 + j) as f32) * 0.37).sin();
+                }
+            }
+        };
+        let (rows, n) = (2usize, 230usize);
+        let mut serial = vec![0f32; rows * n];
+        with_threads(1, || {
+            par_shards_with(&mut serial, rows, &ShardPlan::new(n, 1, 4), || (), work);
+        });
+        let mut sharded = vec![0f32; rows * n];
+        with_threads(8, || {
+            par_shards_with(&mut sharded, rows, &ShardPlan::new(n, 8, 4), || (), work);
+        });
+        assert_eq!(
+            serial.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            sharded.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn shard_slots_keep_stable_thread_affinity() {
+        use std::sync::Mutex;
+        use std::thread::ThreadId;
+        with_exec_mode(ExecMode::Pooled, || {
+            with_threads(4, || {
+                let n = 256usize;
+                let plan = ShardPlan::new(n, 4, 1);
+                assert_eq!(plan.num_shards(), 4);
+                let observed: Mutex<Vec<Vec<ThreadId>>> = Mutex::new(vec![Vec::new(); 4]);
+                let mut out = vec![0u8; n];
+                for _ in 0..5 {
+                    par_shards_with(&mut out, 1, &plan, || (), |(), sh, _view| {
+                        observed
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)[sh.index]
+                            .push(std::thread::current().id());
+                    });
+                }
+                let observed = observed.lock().unwrap_or_else(PoisonError::into_inner);
+                for (slot, ids) in observed.iter().enumerate() {
+                    assert_eq!(ids.len(), 5, "slot {slot} ran once per call");
+                    assert!(
+                        ids.iter().all(|id| *id == ids[0]),
+                        "slot {slot} must stay on one OS thread across calls"
+                    );
+                }
+            });
+        });
+    }
+
+    #[test]
+    fn shard_panic_propagates_and_pool_stays_usable() {
+        with_exec_mode(ExecMode::Pooled, || {
+            with_threads(4, || {
+                let n = 256usize;
+                let plan = ShardPlan::new(n, 4, 1);
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let mut out = vec![0u8; n];
+                    par_shards_with(&mut out, 1, &plan, || (), |(), sh, _v| {
+                        if sh.index == 2 {
+                            panic!("shard 2 failed");
+                        }
+                    });
+                }));
+                assert!(result.is_err(), "shard panic must propagate");
+                let mut out = vec![0u8; n];
+                par_shards_with(&mut out, 1, &plan, || (), |(), _sh, view| {
+                    view.row(0).fill(7);
+                });
+                assert!(out.iter().all(|&v| v == 7), "pool reusable after shard panic");
+            });
+        });
     }
 
     #[test]

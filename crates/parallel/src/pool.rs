@@ -4,10 +4,14 @@
 //! then parked on a condvar between jobs, so the steady-state cost of a
 //! parallel call is one mutex/condvar round-trip instead of `threads - 1`
 //! `clone(2)` + `join(2)` pairs per call. A *job* is a type-erased
-//! `&(dyn Fn() + Sync)` body that every participant (the submitting
-//! thread plus `helpers` pool threads) runs concurrently; the body itself
-//! claims work items off a shared atomic counter, so dispatch allocates
-//! nothing.
+//! `&(dyn Fn(usize) + Sync)` body that every participant (the submitting
+//! thread as slot 0, pool worker `idx` as slot `idx + 1`) runs
+//! concurrently with its own stable slot index. Slot-indexed bodies
+//! (shard dispatch) get per-slot thread affinity: worker `idx` always
+//! executes the same slot, so its thread-local scratch arena stays warm
+//! for that shard's working set. Slot-agnostic bodies ([`run`]) instead
+//! claim work items off a shared atomic counter. Either way dispatch
+//! allocates nothing.
 //!
 //! Guarantees:
 //!
@@ -50,9 +54,11 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 
-/// Type-erased job body. The `'static` on the trait object is a lie told
-/// through [`run`]'s transmute; the completion wait makes it safe.
-type Body = *const (dyn Fn() + Sync);
+/// Type-erased job body, called with the participant's stable slot index
+/// (0 = the submitting thread, `idx + 1` for pool worker `idx`). The
+/// `'static` on the trait object is a lie told through [`run_indexed`]'s
+/// transmute; the completion wait makes it safe.
+type Body = *const (dyn Fn(usize) + Sync);
 
 /// Wrapper so the raw body pointer can live inside the state mutex.
 struct Job(Body);
@@ -66,9 +72,15 @@ unsafe impl Send for Job {}
 struct State {
     /// The active job, if any. Present from submission until completion.
     job: Option<Job>,
-    /// Helpers that should still pick up the active job.
-    starts_left: usize,
-    /// Helpers that have not yet finished the active job.
+    /// Monotonic job counter. Each worker remembers the last epoch it
+    /// observed, so every participant runs every job exactly once — and
+    /// worker `idx` always runs slot `idx + 1`, giving shards a stable
+    /// thread (and therefore a stable thread-local scratch arena).
+    epoch: u64,
+    /// Workers `0..participants` take part in the active job; workers
+    /// with higher indices just acknowledge the epoch and keep parking.
+    participants: usize,
+    /// Participants that have not yet finished the active job.
     running: usize,
     /// First panic payload caught from the active job.
     panic: Option<Box<dyn Any + Send>>,
@@ -126,35 +138,44 @@ fn current() -> Arc<Pool> {
     Arc::clone(&lock(registry()))
 }
 
-fn worker_loop(pool: Arc<Pool>) {
+fn worker_loop(pool: Arc<Pool>, idx: usize) {
     // Pool threads are workers for life: nested parallel calls made by
     // engine code running on them must take the serial path.
     crate::mark_worker_thread();
+    // Epochs start at 0 and the first job bumps to 1, so a fresh worker
+    // never mistakes the idle state for a pending job.
+    let mut seen = 0u64;
     let mut st = lock(&pool.state);
     loop {
         if st.shutting_down {
             return;
         }
-        if st.starts_left > 0 {
-            st.starts_left -= 1;
-            // Invariant: `starts_left > 0` only while a submitted job is
-            // installed, so `job` is always `Some` here.
-            #[allow(clippy::expect_used)]
-            let body = st.job.as_ref().expect("job present while starts pending").0;
-            drop(st);
-            // SAFETY: the submitter keeps the body alive until `running`
-            // reaches zero, which cannot happen before this call returns.
-            #[allow(unsafe_code)]
-            let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*body)() }));
-            st = lock(&pool.state);
-            if let Err(payload) = result {
-                if st.panic.is_none() {
-                    st.panic = Some(payload);
+        if st.epoch != seen {
+            seen = st.epoch;
+            if idx < st.participants {
+                // Invariant: a participant that has not yet acknowledged
+                // the epoch still counts in `running`, so the job cannot
+                // have been cleared — `job` is always `Some` here.
+                #[allow(clippy::expect_used)]
+                let body = st.job.as_ref().expect("job present while participants pending").0;
+                drop(st);
+                // SAFETY: the submitter keeps the body alive until
+                // `running` reaches zero, which cannot happen before this
+                // call returns. Slot `idx + 1` is this worker's alone for
+                // the job (slot 0 is the submitter), so indexed bodies
+                // see each slot exactly once.
+                #[allow(unsafe_code)]
+                let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*body)(idx + 1) }));
+                st = lock(&pool.state);
+                if let Err(payload) = result {
+                    if st.panic.is_none() {
+                        st.panic = Some(payload);
+                    }
                 }
-            }
-            st.running -= 1;
-            if st.running == 0 {
-                pool.done_cv.notify_one();
+                st.running -= 1;
+                if st.running == 0 {
+                    pool.done_cv.notify_one();
+                }
             }
         } else {
             st = pool
@@ -177,7 +198,7 @@ fn ensure_workers(pool: &Arc<Pool>, want: usize) {
         #[allow(clippy::expect_used)]
         let handle = std::thread::Builder::new()
             .name(format!("axcore-pool-{idx}"))
-            .spawn(move || worker_loop(worker_pool))
+            .spawn(move || worker_loop(worker_pool, idx))
             .expect("failed to spawn pool worker");
         st.handles.push(handle);
         st.spawned += 1;
@@ -185,10 +206,13 @@ fn ensure_workers(pool: &Arc<Pool>, want: usize) {
 }
 
 /// Run `body` concurrently on this thread plus `helpers` pool workers,
-/// returning once every participant has finished. Panics from any
-/// participant are re-thrown here after all of them are done.
-pub(crate) fn run(helpers: usize, body: &(dyn Fn() + Sync)) {
-    debug_assert!(helpers >= 1, "run() needs at least one helper");
+/// returning once every participant has finished. Each participant is
+/// handed a stable slot index: the submitting thread runs slot 0, pool
+/// worker `idx` runs slot `idx + 1` — the same OS thread (and therefore
+/// the same thread-local scratch arena) for a given slot on every call.
+/// Panics from any participant are re-thrown here after all are done.
+pub(crate) fn run_indexed(helpers: usize, body: &(dyn Fn(usize) + Sync)) {
+    debug_assert!(helpers >= 1, "run_indexed() needs at least one helper");
     let pool = current();
     let submit = lock(&pool.submit);
     ensure_workers(&pool, helpers);
@@ -198,24 +222,25 @@ pub(crate) fn run(helpers: usize, body: &(dyn Fn() + Sync)) {
     CANCEL.store(false, Ordering::Release);
     {
         let mut st = lock(&pool.state);
-        debug_assert!(st.job.is_none() && st.running == 0 && st.starts_left == 0);
+        debug_assert!(st.job.is_none() && st.running == 0);
         // SAFETY (lifetime erasure): `body` lives for the whole of this
         // function, and this function does not return before the
         // completion wait below observes `running == 0` — after which no
         // worker can still dereference the pointer.
         #[allow(unsafe_code)]
         let erased = unsafe {
-            std::mem::transmute::<&(dyn Fn() + Sync), Body>(body)
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), Body>(body)
         };
         st.job = Some(Job(erased));
-        st.starts_left = helpers;
+        st.participants = helpers;
         st.running = helpers;
+        st.epoch = st.epoch.wrapping_add(1);
         pool.work_cv.notify_all();
     }
-    // The submitting thread participates as one worker. Even if the body
+    // The submitting thread participates as slot 0. Even if the body
     // panics here, the completion wait below must still happen before the
     // borrows behind `body` can be invalidated.
-    let caller_result = catch_unwind(AssertUnwindSafe(|| crate::enter_worker(body)));
+    let caller_result = catch_unwind(AssertUnwindSafe(|| crate::enter_worker(|| body(0))));
     let worker_panic = {
         let mut st = lock(&pool.state);
         while st.running > 0 {
@@ -234,6 +259,12 @@ pub(crate) fn run(helpers: usize, body: &(dyn Fn() + Sync)) {
     if let Some(payload) = worker_panic {
         resume_unwind(payload);
     }
+}
+
+/// Slot-agnostic [`run_indexed`]: every participant runs the same body
+/// (the chunk-claim dispatch, where work assignment is dynamic anyway).
+pub(crate) fn run(helpers: usize, body: &(dyn Fn() + Sync)) {
+    run_indexed(helpers, &|_slot| body());
 }
 
 /// Number of pool workers currently spawned (0 before first parallel

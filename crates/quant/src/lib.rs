@@ -37,4 +37,4 @@ pub use formats::QuantFormat;
 pub use group::GroupQuantizer;
 pub use kv::KvQuantConfig;
 pub use matrix::QuantizedMatrix;
-pub use packing::CodePlanes;
+pub use packing::{CodePlanes, PlaneShard};

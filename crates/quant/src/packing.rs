@@ -351,6 +351,86 @@ impl CodePlanes {
     pub fn n(&self) -> usize {
         self.n
     }
+
+    /// A borrowed view of the contiguous column range
+    /// `[col0, col0 + cols)` — the per-shard slice of the plane storage
+    /// used by the sharded GEMM dispatch. Columns are stored
+    /// contiguously, so the view is one slice: a shard worker touching
+    /// only its view provably never reads another shard's planes.
+    #[inline]
+    pub fn shard(&self, col0: usize, cols: usize) -> PlaneShard<'_> {
+        assert!(
+            col0 + cols <= self.n,
+            "shard [{col0}, {}) out of range ({} columns)",
+            col0 + cols,
+            self.n
+        );
+        let stride = self.plane_stride();
+        PlaneShard {
+            bytes: &self.codes[col0 * stride..(col0 + cols) * stride],
+            stride,
+            col0,
+            cols,
+        }
+    }
+}
+
+/// A contiguous column range of a [`CodePlanes`], addressed by the
+/// *absolute* column index so sharded and serial gather code stay
+/// line-for-line identical. See [`CodePlanes::shard`].
+#[derive(Debug, Clone, Copy)]
+pub struct PlaneShard<'a> {
+    bytes: &'a [u8],
+    stride: usize,
+    col0: usize,
+    cols: usize,
+}
+
+impl<'a> PlaneShard<'a> {
+    /// The raw plane bytes of absolute column `col` (must lie inside the
+    /// shard). Same layout as [`CodePlanes::plane`].
+    #[inline]
+    pub fn plane(&self, col: usize) -> &'a [u8] {
+        let off = self.offset_of(col);
+        &self.bytes[off..off + self.stride]
+    }
+
+    /// Byte offset of absolute column `col`'s plane within
+    /// [`bytes`](PlaneShard::bytes).
+    #[inline]
+    pub fn offset_of(&self, col: usize) -> usize {
+        debug_assert!(
+            col >= self.col0 && col < self.col0 + self.cols,
+            "column {col} outside shard [{}, {})",
+            self.col0,
+            self.col0 + self.cols
+        );
+        (col - self.col0) * self.stride
+    }
+
+    /// The shard's full contiguous plane storage (`cols * stride` bytes).
+    #[inline]
+    pub fn bytes(&self) -> &'a [u8] {
+        self.bytes
+    }
+
+    /// Bytes per column plane (same as [`CodePlanes::plane_stride`]).
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// First absolute column in the shard.
+    #[inline]
+    pub fn col0(&self) -> usize {
+        self.col0
+    }
+
+    /// Number of columns in the shard.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
 }
 
 #[cfg(test)]
@@ -491,6 +571,34 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn shard_views_alias_the_same_planes() {
+        for fmt in [QuantFormat::E2M1, QuantFormat::INT8] {
+            let q = sample(fmt);
+            let p = CodePlanes::new(&q);
+            for (col0, cols) in [(0usize, q.n), (0, 3), (2, 4), (q.n - 1, 1)] {
+                let shard = p.shard(col0, cols);
+                assert_eq!(shard.cols(), cols);
+                assert_eq!(shard.col0(), col0);
+                assert_eq!(shard.stride(), p.plane_stride());
+                assert_eq!(shard.bytes().len(), cols * p.plane_stride());
+                for col in col0..col0 + cols {
+                    assert_eq!(shard.plane(col), p.plane(col), "{fmt} col {col}");
+                    let off = shard.offset_of(col);
+                    assert_eq!(&shard.bytes()[off..off + shard.stride()], p.plane(col));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn shard_view_rejects_overrun() {
+        let q = sample(QuantFormat::E2M1);
+        let p = CodePlanes::new(&q);
+        let _ = p.shard(q.n - 1, 2);
     }
 
     #[test]

@@ -128,6 +128,11 @@ pub struct ServeReport {
     /// Tier-downgrade steps recorded by the reliability layer since
     /// process start (`axcore_parallel::health::downgrades_recorded`).
     pub tier_downgrades: u64,
+    /// Worker threads the GEMM pool dispatches across right now
+    /// (`axcore_parallel::current_threads`). Prepared matmuls shard their
+    /// output columns across this many workers unless `AXCORE_SHARDS`
+    /// overrides the shard count.
+    pub gemm_threads: usize,
     /// The incident log, oldest first.
     pub incidents: Vec<Incident>,
 }
@@ -192,6 +197,7 @@ pub(crate) fn snapshot(
         peak_level,
         pool_restarts: axcore_parallel::pool_restarts(),
         tier_downgrades: axcore_parallel::health::downgrades_recorded(),
+        gemm_threads: axcore_parallel::current_threads(),
         incidents: m.incidents.lock().map(|v| v.clone()).unwrap_or_default(),
     }
 }

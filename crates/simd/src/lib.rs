@@ -142,6 +142,31 @@ pub fn gather_group(
     scalar_gather_group(table, bases, codes)
 }
 
+/// Shard-local form of [`gather_group`]: the eight lanes' code slices
+/// are carved out of **one contiguous plane shard** (`planes`, a
+/// `PlaneShard`'s raw bytes) by per-lane byte offsets, instead of being
+/// pre-sliced by the caller. `offsets[l]` is the start of lane `l`'s
+/// group segment within `planes` and `seg_len` its length in packed
+/// bytes (`group_size / 2`). This is the entry point the sharded GEMM
+/// dispatch uses: handing the kernel the shard slice (rather than views
+/// of the whole plane storage) makes "a worker only reads its own
+/// shard's planes" a bounds-checked property, not a convention.
+///
+/// # Panics
+///
+/// Panics if any `offsets[l] + seg_len` reaches past `planes.len()`, in
+/// addition to [`gather_group`]'s own table-bounds checks.
+pub fn gather_group_planes(
+    table: &[i32],
+    bases: &[i32; 8],
+    planes: &[u8],
+    offsets: &[usize; 8],
+    seg_len: usize,
+) -> ([i32; 8], [i32; 8]) {
+    let codes: [&[u8]; 8] = std::array::from_fn(|l| &planes[offsets[l]..offsets[l] + seg_len]);
+    gather_group(table, bases, &codes)
+}
+
 /// Scalar reference for [`gather_group`]: the sequential-branch form of
 /// the fold, one lane at a time. Public so the engine's non-AVX2 tests
 /// and this crate's equivalence tests can call it directly.
@@ -329,6 +354,29 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn sharded_plane_entry_matches_presliced_codes() {
+        let mut rng = Rng(0x1234_5678_9abc_def1);
+        let nb = 16usize; // 32 k-steps per lane
+        let table = random_table(&mut rng, 2 * nb * 32);
+        // One contiguous "shard" of 8 column planes, each `stride` bytes,
+        // with the group segment at a common per-plane offset.
+        let stride = 3 * nb;
+        let seg0 = nb; // segment start within each plane
+        let planes: Vec<u8> = (0..8 * stride).map(|_| rng.next() as u8).collect();
+        let mut bases = [0i32; 8];
+        let mut offsets = [0usize; 8];
+        for l in 0..8 {
+            bases[l] = ((l % 2) * nb * 32) as i32;
+            offsets[l] = l * stride + seg0;
+        }
+        let codes: [&[u8]; 8] =
+            std::array::from_fn(|l| &planes[offsets[l]..offsets[l] + nb]);
+        let direct = gather_group(&table, &bases, &codes);
+        let sharded = gather_group_planes(&table, &bases, &planes, &offsets, nb);
+        assert_eq!(direct, sharded);
     }
 
     #[test]

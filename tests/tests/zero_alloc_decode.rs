@@ -9,11 +9,16 @@
 //! (`LutPolicy::Always`, packed planes + SWAR/AVX2 gather) and on the
 //! direct per-MAC tier (`LutPolicy::Never`).
 //!
-//! Scope: the assertion targets the serial dispatch (`threads = 1`),
-//! which is how decode actually runs on this machine's 1-core config
-//! and below the 32Ki-MAC parallel threshold in general. Multi-worker
-//! dispatch builds a per-call work queue in `par_chunks_mut` and is
-//! deliberately out of scope here.
+//! Two dispatch regimes are covered:
+//!
+//! * **serial** (`threads = 1`) — how decode runs below the 32Ki-MAC
+//!   parallel threshold;
+//! * **sharded** (`threads = 4`, pooled) — the column-shard fan-out.
+//!   The shard plan is pure arithmetic, the indexed pool dispatch
+//!   installs one borrowed job pointer (no per-call queue), and each
+//!   worker's LUT table comes back out of its own thread-local arena
+//!   slot — so once the pool and every participant's arena are warm,
+//!   multi-worker decode must also be allocation-free.
 //!
 //! The whole test binary is one `#[test]` so no other test can race
 //! the global armed flag.
@@ -106,6 +111,31 @@ fn steady_state_decode_allocates_nothing() {
                     );
                 });
             }
+        });
+    });
+
+    // Sharded decode: four pool workers, each owning a column shard with
+    // its own arena-recycled LUT table. Warmup spawns the workers and
+    // fills every participant's arena slot; stable slot→thread affinity
+    // then keeps each worker reusing its own warm table, so the armed
+    // window must see zero allocations from any thread.
+    axcore_parallel::with_threads(4, || {
+        axcore_parallel::with_exec_mode(ExecMode::Pooled, || {
+            with_lut_policy(LutPolicy::Always, || {
+                for _ in 0..3 {
+                    prepared.gemm(&a, 1, &mut out);
+                }
+                let count = allocations_during(|| {
+                    for _ in 0..50 {
+                        prepared.gemm(&a, 1, &mut out);
+                    }
+                });
+                assert_eq!(
+                    count, 0,
+                    "steady-state sharded decode at 4 workers made {count} heap \
+                     allocations across 50 calls; expected zero"
+                );
+            });
         });
     });
 }
