@@ -25,7 +25,12 @@
 //! * `pooled` (decode only) — the LUT tier on the persistent-pool
 //!   runtime: parked workers, arena-recycled tables, nibble-packed SWAR
 //!   code-plane gathers. `pooled / lut` at equal thread count is the
-//!   runtime's win over the previous execution layer.
+//!   runtime's win over the previous execution layer;
+//! * `w4a8` (decode only) — the integer-activation tier on the pooled
+//!   runtime (`ActPolicy::Always`): the activation row Q8-quantized once
+//!   per call, weight blocks folded in as integer dots of 4-bit codes
+//!   against 8-bit activation codes. `pooled / w4a8` at equal thread
+//!   count is the integer tier's win over FP-activation LUT decode.
 //!
 //! A `spawn_overhead_us` entry reports the per-dispatch cost of one
 //! trivial two-chunk fan-out at two workers in each mode — the scoped
@@ -43,16 +48,30 @@
 //! records `available_parallelism` and the effective `AXCORE_THREADS`
 //! setting so a sweep is interpretable away from the machine it ran on.
 //!
+//! A `kernel_us_per_call` block reports where the decode entries spend
+//! their per-call setup time: `lut_build_us` (per-activation LUT builds,
+//! FP tiers) and `act_quant_us` (Q8 activation quantization, W4A8 tier),
+//! measured through `axcore::kmetrics` on a separate instrumented pass.
+//!
+//! A `w4a8_accuracy` block reports the end-to-end cost of the lossy
+//! integer tier: validation perplexity of a trained proxy LM quantized
+//! under `Scheme::AxCore`, evaluated with FP activations
+//! (`ActPolicy::Never`) and with Q8 activations (`ActPolicy::Always`),
+//! plus the relative delta.
+//!
 //! With `AXCORE_BENCH_STRICT=1`, the binary exits non-zero if
-//! `decode_m1x64_lut` or `decode_m1x64_pooled` rows/s regresses more
-//! than 20% against the committed `BENCH_gemm.json` baseline, if the
-//! best prefill configuration's speedup over the seed falls under 3×,
-//! or — on hosts with at least 4 cores — if pooled decode scaling
-//! efficiency at 4 workers falls under 0.7 (the CI regression gates).
+//! `decode_m1x64_lut`, `decode_m1x64_pooled` or `decode_m1x64_w4a8`
+//! rows/s regresses more than 20% against the committed
+//! `BENCH_gemm.json` baseline, if the best prefill configuration's
+//! speedup over the seed falls under 3×, if W4A8 decode is not at least
+//! 1.5× the pooled FP-activation LUT decode at one worker, if the W4A8
+//! perplexity delta exceeds the DESIGN.md §10 bound, or — on hosts with
+//! at least 4 cores — if pooled decode scaling efficiency at 4 workers
+//! falls under 0.7 (the CI regression gates).
 
 use axcore::accum::{NormUnit, PartialAcc};
 use axcore::axscale::AxScale;
-use axcore::engines::{with_lut_policy, AxCoreEngine, GemmEngine, LutPolicy};
+use axcore::engines::{with_act_policy, with_lut_policy, ActPolicy, AxCoreEngine, GemmEngine, LutPolicy};
 use axcore::pe::{Pe, WeightLane};
 use axcore::preadd::PreAdd;
 use axcore_fpma::snc::SncPolicy;
@@ -129,6 +148,10 @@ const K: usize = 512;
 const N: usize = 512;
 const PREFILL_M: usize = 128;
 const DECODE_CALLS: usize = 64;
+
+/// Strict-mode ceiling on the W4A8-vs-FP-activation perplexity delta, in
+/// percent — the accuracy bound documented in DESIGN.md §10.
+const W4A8_PPL_BOUND_PCT: f64 = 5.0;
 
 /// Best-of-reps wall time for `f`, in seconds. The minimum is the
 /// closest observable to the noise-free runtime on a shared machine
@@ -228,6 +251,8 @@ fn main() {
         baseline_text.as_deref().and_then(|t| baseline_rows_per_s(t, "decode_m1x64_lut"));
     let baseline_decode_pooled =
         baseline_text.as_deref().and_then(|t| baseline_rows_per_s(t, "decode_m1x64_pooled"));
+    let baseline_decode_w4a8 =
+        baseline_text.as_deref().and_then(|t| baseline_rows_per_s(t, "decode_m1x64_w4a8"));
 
     let a_prefill: Vec<f32> = (0..PREFILL_M * K)
         .map(|i| ((i as u64 * 31 + 3) * 48271 % 65521) as f32 / 32760.5 - 1.0)
@@ -291,7 +316,7 @@ fn main() {
     // runtime (arena scratch + packed SWAR gathers) on the same shapes.
     let prepared = engine.prepare(&q);
     let prepared_legacy = legacy.prepare(&q);
-    let mut rows: Vec<(usize, Entry, Entry, Entry, Entry, Entry)> = Vec::new();
+    let mut rows: Vec<(usize, Entry, Entry, Entry, Entry, Entry, Entry)> = Vec::new();
     for &t in &sweep {
         axcore_parallel::with_threads(t, || {
             // The configurations are measured in alternating rounds
@@ -299,8 +324,8 @@ fn main() {
             // thermal throttling, a co-tenant waking up — lands on
             // every configuration equally instead of biasing whichever
             // one happens to run later.
-            let (mut pp, mut pl, mut dp, mut dl, mut dpo) =
-                (f64::MAX, f64::MAX, f64::MAX, f64::MAX, f64::MAX);
+            let (mut pp, mut pl, mut dp, mut dl, mut dpo, mut dw) =
+                (f64::MAX, f64::MAX, f64::MAX, f64::MAX, f64::MAX, f64::MAX);
             for _ in 0..5 {
                 pp = pp.min(time_it(1, || {
                     axcore_parallel::with_exec_mode(ExecMode::Scoped, || {
@@ -343,6 +368,15 @@ fn main() {
                         })
                     });
                 }));
+                dw = dw.min(time_it(1, || {
+                    axcore_parallel::with_exec_mode(ExecMode::Pooled, || {
+                        with_act_policy(ActPolicy::Always, || {
+                            for _ in 0..DECODE_CALLS {
+                                engine.gemm_prepared(&*prepared, a_decode, 1, &mut out[..N]);
+                            }
+                        })
+                    });
+                }));
             }
             rows.push((
                 t,
@@ -351,6 +385,7 @@ fn main() {
                 Entry { rows_per_s: decode_rows / dp, seconds: dp, threads: t },
                 Entry { rows_per_s: decode_rows / dl, seconds: dl, threads: t },
                 Entry { rows_per_s: decode_rows / dpo, seconds: dpo, threads: t },
+                Entry { rows_per_s: decode_rows / dw, seconds: dw, threads: t },
             ));
         });
     }
@@ -363,7 +398,8 @@ fn main() {
         .rfind(|r| r.0 <= max_threads)
         .or_else(|| rows.first())
         .expect("thread sweep is never empty");
-    let (_, prefill_parallel, prefill_lut, decode_parallel, decode_lut, decode_pooled) = headline;
+    let (_, prefill_parallel, prefill_lut, decode_parallel, decode_lut, decode_pooled, decode_w4a8) =
+        headline;
     // One-worker row: the scaling-efficiency denominator for every entry.
     let base = rows.first().expect("thread sweep is never empty");
     assert_eq!(base.0, 1, "thread sweep must start at one worker");
@@ -399,6 +435,63 @@ fn main() {
     });
     let verify_overhead_pct = (dv_sample / dv_off - 1.0) * 100.0;
 
+    // Per-call kernel setup breakdown on the decode entries, measured on
+    // a separate instrumented pass so the timed sweep above runs with the
+    // kmetrics counters disabled (one relaxed load per section).
+    let (pooled_lut_timing, w4a8_timing) = axcore_parallel::with_threads(1, || {
+        axcore_parallel::with_exec_mode(ExecMode::Pooled, || {
+            let ((), lut_t) = axcore::kmetrics::with_kernel_timing(|| {
+                with_lut_policy(LutPolicy::Always, || {
+                    for _ in 0..DECODE_CALLS {
+                        engine.gemm_prepared(&*prepared, a_decode, 1, &mut out[..N]);
+                    }
+                })
+            });
+            let ((), w_t) = axcore::kmetrics::with_kernel_timing(|| {
+                with_act_policy(ActPolicy::Always, || {
+                    for _ in 0..DECODE_CALLS {
+                        engine.gemm_prepared(&*prepared, a_decode, 1, &mut out[..N]);
+                    }
+                })
+            });
+            (lut_t, w_t)
+        })
+    });
+    let per_call_us = |ns: u64| ns as f64 / 1e3 / DECODE_CALLS as f64;
+
+    // End-to-end accuracy of the lossy integer tier: a trained proxy LM
+    // quantized under `Scheme::AxCore`, validation perplexity with FP
+    // activations vs Q8 activations through the same prepared weights.
+    // Training is seeded, so the numbers reproduce across runs.
+    let (ppl_fp, ppl_w4a8) = {
+        use axcore_nn::corpus::{Corpus, MarkovSpec};
+        use axcore_nn::model::{LmConfig, TransformerLm};
+        use axcore_nn::train::{train, TrainConfig};
+        let cfg = LmConfig {
+            vocab: 32,
+            d_model: 32,
+            n_layers: 1,
+            n_heads: 2,
+            d_ff: 64,
+            max_seq: 32,
+            act: Default::default(),
+        };
+        let corpus = Corpus::generate(MarkovSpec { vocab: 32, branching: 3, seed: 7 }, 8000, 800);
+        let mut model = TransformerLm::new(cfg, 42);
+        let tc = TrainConfig { steps: 200, batch: 4, seq_len: 24, ..Default::default() };
+        train(&mut model, &corpus, &tc);
+        model.induce_outlier_channels(3, 64.0);
+        let qlm = axcore_nn::quantize_model(&model, axcore_nn::Scheme::AxCore, 32, Some(&corpus.train[..64]));
+        let fp = with_act_policy(ActPolicy::Never, || {
+            axcore_nn::eval_perplexity(&qlm, &corpus.val, 24)
+        });
+        let w48 = with_act_policy(ActPolicy::Always, || {
+            axcore_nn::eval_perplexity(&qlm, &corpus.val, 24)
+        });
+        (fp, w48)
+    };
+    let w4a8_ppl_delta_pct = (ppl_w4a8 / ppl_fp - 1.0) * 100.0;
+
     let available_parallelism =
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let threads_env = std::env::var("AXCORE_THREADS")
@@ -420,13 +513,14 @@ fn main() {
             "  \"{name}\": {{ \"rows_per_s\": {rows_per_s:.1}, \"seconds\": {secs:.6}, \"threads\": 1 }},\n"
         ));
     }
-    let (_, base_pp, base_pl, base_dp, base_dl, base_dpo) = base;
+    let (_, base_pp, base_pl, base_dp, base_dl, base_dpo, base_dw) = base;
     for (name, e, b) in [
         ("prefill_m128_parallel_prepared", prefill_parallel, base_pp),
         ("prefill_m128_lut", prefill_lut, base_pl),
         ("decode_m1x64_parallel_prepared", decode_parallel, base_dp),
         ("decode_m1x64_lut", decode_lut, base_dl),
         ("decode_m1x64_pooled", decode_pooled, base_dpo),
+        ("decode_m1x64_w4a8", decode_w4a8, base_dw),
     ] {
         json.push_str(&format!("  \"{name}\": {},\n", e.json(b)));
     }
@@ -436,15 +530,26 @@ fn main() {
     json.push_str(&format!(
         "  \"verify_overhead_pct\": {{ \"decode_m1x64_sample16_vs_off\": {verify_overhead_pct:.2}, \"threads\": {max_threads} }},\n"
     ));
+    json.push_str(&format!(
+        "  \"kernel_us_per_call\": {{ \"decode_m1x64_pooled\": {{ \"lut_build_us\": {:.2}, \"act_quant_us\": {:.2} }}, \"decode_m1x64_w4a8\": {{ \"lut_build_us\": {:.2}, \"act_quant_us\": {:.2} }} }},\n",
+        per_call_us(pooled_lut_timing.lut_build_ns),
+        per_call_us(pooled_lut_timing.act_quant_ns),
+        per_call_us(w4a8_timing.lut_build_ns),
+        per_call_us(w4a8_timing.act_quant_ns),
+    ));
+    json.push_str(&format!(
+        "  \"w4a8_accuracy\": {{ \"ppl_fp_act\": {ppl_fp:.4}, \"ppl_w4a8\": {ppl_w4a8:.4}, \"delta_pct\": {w4a8_ppl_delta_pct:.3}, \"bound_pct\": {W4A8_PPL_BOUND_PCT} }},\n"
+    ));
     json.push_str("  \"thread_sweep\": [\n");
-    for (i, (t, pp, pl, dp, dl, dpo)) in rows.iter().enumerate() {
+    for (i, (t, pp, pl, dp, dl, dpo, dw)) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{ \"threads\": {t}, \"prefill_m128_parallel_prepared\": {}, \"prefill_m128_lut\": {}, \"decode_m1x64_parallel_prepared\": {}, \"decode_m1x64_lut\": {}, \"decode_m1x64_pooled\": {} }}{}\n",
+            "    {{ \"threads\": {t}, \"prefill_m128_parallel_prepared\": {}, \"prefill_m128_lut\": {}, \"decode_m1x64_parallel_prepared\": {}, \"decode_m1x64_lut\": {}, \"decode_m1x64_pooled\": {}, \"decode_m1x64_w4a8\": {} }}{}\n",
             pp.json(base_pp),
             pl.json(base_pl),
             dp.json(base_dp),
             dl.json(base_dl),
             dpo.json(base_dpo),
+            dw.json(base_dw),
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
@@ -458,21 +563,27 @@ fn main() {
         .flat_map(|(_, pp, pl, ..)| [pp.seconds, pl.seconds])
         .fold(f64::MAX, f64::min);
     let prefill_speedup_vs_seed = prefill_seed / best_prefill_secs;
+    // The integer-tier headline ratio, pinned to the one-worker sweep row
+    // so the strict gate measures the kernels, not the host's scheduler.
+    let w4a8_speedup_1t = base_dpo.seconds / base_dw.seconds;
     json.push_str(&format!(
-        "  \"prefill_speedup_vs_seed\": {:.2},\n  \"decode_speedup_vs_seed\": {:.2},\n  \"decode_lut_speedup_vs_prepared\": {:.2},\n  \"decode_pooled_speedup_vs_lut\": {:.2}\n}}\n",
+        "  \"prefill_speedup_vs_seed\": {:.2},\n  \"decode_speedup_vs_seed\": {:.2},\n  \"decode_lut_speedup_vs_prepared\": {:.2},\n  \"decode_pooled_speedup_vs_lut\": {:.2},\n  \"decode_w4a8_speedup_vs_pooled_lut\": {:.2}\n}}\n",
         prefill_speedup_vs_seed,
         decode_seed / decode_parallel.seconds,
         decode_parallel.seconds / decode_lut.seconds,
         decode_lut.seconds / decode_pooled.seconds,
+        w4a8_speedup_1t,
     ));
     std::fs::write("BENCH_gemm.json", &json).expect("write BENCH_gemm.json");
     print!("{json}");
     println!(
-        "prefill {:.1}x, decode {:.1}x vs the seed per-call gemm; LUT tier {:.1}x over direct prepared decode; pooled runtime {:.2}x over scoped LUT decode ({} threads, {} cores)",
+        "prefill {:.1}x, decode {:.1}x vs the seed per-call gemm; LUT tier {:.1}x over direct prepared decode; pooled runtime {:.2}x over scoped LUT decode; W4A8 tier {:.2}x over pooled LUT decode at 1 worker, ppl delta {:.2}% ({} threads, {} cores)",
         prefill_speedup_vs_seed,
         decode_seed / decode_parallel.seconds,
         decode_parallel.seconds / decode_lut.seconds,
         decode_lut.seconds / decode_pooled.seconds,
+        w4a8_speedup_1t,
+        w4a8_ppl_delta_pct,
         max_threads,
         available_parallelism
     );
@@ -483,6 +594,7 @@ fn main() {
         for (key, base, now) in [
             ("decode_m1x64_lut", baseline_decode_lut, decode_lut.rows_per_s),
             ("decode_m1x64_pooled", baseline_decode_pooled, decode_pooled.rows_per_s),
+            ("decode_m1x64_w4a8", baseline_decode_w4a8, decode_w4a8.rows_per_s),
         ] {
             let Some(base) = base else {
                 println!("strict gate skipped: no committed {key} baseline");
@@ -511,6 +623,27 @@ fn main() {
             std::process::exit(1);
         }
         println!("strict gate ok: prefill speedup vs seed {prefill_speedup_vs_seed:.2}x >= 3.0x");
+
+        // Integer-tier gates: the W4A8 path must earn its accuracy loss
+        // with at least 1.5x over the FP-activation pooled LUT decode at
+        // one worker, and the perplexity delta must stay inside the
+        // DESIGN.md §10 bound.
+        if w4a8_speedup_1t < 1.5 {
+            eprintln!(
+                "FAIL: W4A8 decode speedup {w4a8_speedup_1t:.2}x over pooled LUT at 1 worker under the 1.5x floor"
+            );
+            std::process::exit(1);
+        }
+        println!("strict gate ok: W4A8 decode speedup {w4a8_speedup_1t:.2}x over pooled LUT at 1 worker >= 1.5x");
+        if w4a8_ppl_delta_pct.abs() > W4A8_PPL_BOUND_PCT {
+            eprintln!(
+                "FAIL: W4A8 perplexity delta {w4a8_ppl_delta_pct:.3}% outside the {W4A8_PPL_BOUND_PCT}% bound ({ppl_fp:.4} -> {ppl_w4a8:.4})"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "strict gate ok: W4A8 perplexity delta {w4a8_ppl_delta_pct:.3}% within {W4A8_PPL_BOUND_PCT}% ({ppl_fp:.4} -> {ppl_w4a8:.4})"
+        );
 
         // Multi-core scaling gate: pooled decode must keep at least 0.7
         // efficiency at 4 workers. Only enforceable when the host really

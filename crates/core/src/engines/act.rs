@@ -1,0 +1,115 @@
+//! W4A8 activation-tier dispatch policy.
+//!
+//! The integer-activation tier (see [`super::w4a8`]) is the one
+//! execution tier that is **not bit-exact** with its engine's reference
+//! path: activations are quantized to Q8 before the dot, trading a
+//! bounded accuracy delta for integer arithmetic. It is therefore
+//! strictly **opt-in** — with `AXCORE_ACT` unset every engine behaves
+//! exactly as before — and the policy is resolved once per `gemm` call
+//! on the calling thread, mirroring [`super::lut`]'s discipline: pool
+//! workers never read the override, so the chosen path is reproducible
+//! at any parallelism.
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+/// Per-call choice of the W4A8 integer-activation tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ActPolicy {
+    /// Engage the tier whenever the prepared weights are eligible
+    /// (every 4-bit format decodes onto an integer grid and the group
+    /// size is a multiple of the Q8 block). Today this is the same
+    /// decision [`ActPolicy::Always`] makes — activation quantization
+    /// is `O(m·k)` against `O(m·k·n)` dot work, so there is no shape
+    /// where an eligible call loses — but `Auto` is the variant a
+    /// future cost model may narrow, while `Always` stays a force.
+    Auto,
+    /// Force the tier; calls on ineligible weights (8-bit formats,
+    /// off-grid values) fall back to the engine's FP path rather than
+    /// erroring, since eligibility is a property of the weights fixed
+    /// at `prepare()` time.
+    Always,
+    /// Keep the bit-exact FP-activation paths (the default).
+    #[default]
+    Never,
+}
+
+thread_local! {
+    /// Override installed by [`with_act_policy`] on this thread.
+    static OVERRIDE: Cell<Option<ActPolicy>> = const { Cell::new(None) };
+}
+
+/// Process-wide default from the `AXCORE_ACT` environment variable
+/// (`auto` / `always` / `never`; unset = never, unrecognized = never
+/// with a warning).
+fn env_policy() -> ActPolicy {
+    static ENV: OnceLock<ActPolicy> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        axcore_parallel::env::parse("AXCORE_ACT", "auto|always|never", |s| {
+            match s.to_ascii_lowercase().as_str() {
+                "auto" => Some(ActPolicy::Auto),
+                "always" => Some(ActPolicy::Always),
+                "never" | "" => Some(ActPolicy::Never),
+                _ => None,
+            }
+        })
+        .unwrap_or(ActPolicy::Never)
+    })
+}
+
+/// The W4A8 policy in effect on the current thread.
+pub fn current_act_policy() -> ActPolicy {
+    OVERRIDE.with(|o| o.get()).unwrap_or_else(env_policy)
+}
+
+/// Run `f` with the W4A8 policy pinned on this thread (restored on
+/// exit, including on panic). Engines resolve the policy before fanning
+/// work out to the pool, so pinning the calling thread governs the
+/// whole call.
+pub fn with_act_policy<R>(policy: ActPolicy, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<ActPolicy>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let prev = OVERRIDE.with(|o| o.replace(Some(policy)));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Decide whether this call runs on the W4A8 tier, given whether the
+/// prepared weights are structurally `eligible` for it.
+pub(crate) fn use_w4a8(eligible: bool) -> bool {
+    match current_act_policy() {
+        ActPolicy::Never => false,
+        ActPolicy::Auto | ActPolicy::Always => eligible,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_never() {
+        // AXCORE_ACT is unset in the test environment; the lossy tier
+        // must stay dark unless explicitly requested.
+        assert!(!use_w4a8(true));
+    }
+
+    #[test]
+    fn overrides_pin_and_restore() {
+        let outer = current_act_policy();
+        with_act_policy(ActPolicy::Always, || {
+            assert!(use_w4a8(true));
+            assert!(!use_w4a8(false), "ineligible weights always fall back");
+            with_act_policy(ActPolicy::Never, || {
+                assert!(!use_w4a8(true));
+            });
+            assert_eq!(current_act_policy(), ActPolicy::Always);
+        });
+        assert_eq!(current_act_policy(), outer);
+        with_act_policy(ActPolicy::Auto, || assert!(use_w4a8(true)));
+    }
+}

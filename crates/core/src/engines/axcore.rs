@@ -6,7 +6,7 @@
 use crate::accum::{NormUnit, PartialAcc, PreparedProduct};
 use crate::axscale::AxScale;
 use crate::engines::prepared::{check_prepared_shapes, drive, drive_lut};
-use crate::engines::{check_shapes, lut, GemmEngine, PreparedGemm};
+use crate::engines::{act, check_shapes, lut, GemmEngine, PreparedGemm};
 use crate::error::GemmError;
 use crate::pe::{Pe, WeightLane};
 use crate::preadd::{PreAdd, PreAddTerm};
@@ -337,6 +337,7 @@ impl AxCoreEngine {
             block_cols: w.block_cols,
             lut_sum: 0,
             direct_sum: 0,
+            w4a8: super::w4a8::W4a8Prep::try_new(w),
             verifier: Verifier::new(w, ABFT_REL),
         };
         p.lut_sum = p.lut_region_checksum();
@@ -392,6 +393,10 @@ pub struct AxCorePrepared {
     /// Integrity checksum over the direct tier's prepared state, recorded
     /// at preload (weight lanes + scales).
     direct_sum: u64,
+    /// W4A8 integer-activation planes, present when every block format
+    /// decodes onto the tier's integer grid (see [`super::w4a8`]). Dark
+    /// unless the per-call [`super::act::ActPolicy`] engages the tier.
+    w4a8: Option<super::w4a8::W4a8Prep>,
     verifier: Verifier,
 }
 
@@ -460,8 +465,9 @@ impl PreparedGemm for AxCorePrepared {
 
     /// The graceful-degradation ladder: try the fastest eligible tier,
     /// and on a caught panic or a failed check fall through to the next
-    /// (AVX2-LUT → SWAR-LUT → direct), quarantining tiers whose *state*
-    /// proved corrupt. If every tier fails, re-prepare from the pristine
+    /// (W4A8 when the activation policy engages it → AVX2-LUT →
+    /// SWAR-LUT → direct), quarantining tiers whose *state* proved
+    /// corrupt. If every tier fails, re-prepare from the pristine
     /// quantized matrix and run the direct path serially. Healthy calls
     /// run exactly the old single-dispatch path (the ladder's first rung)
     /// and stay bit-identical and allocation-free.
@@ -473,8 +479,12 @@ impl PreparedGemm for AxCorePrepared {
         let plan = self.verifier.plan();
         // Per-element table width: every unit × its padded code space.
         let use_lut = lut::use_lut(self.n, self.units.len() * self.code_space);
-        let mut ladder = [Tier::Direct; 3];
+        let mut ladder = [Tier::Direct; 4];
         let mut len = 0;
+        if act::use_w4a8(self.w4a8.is_some()) && !health::is_quarantined(Tier::W4a8) {
+            ladder[len] = Tier::W4a8;
+            len += 1;
+        }
         if use_lut {
             if self.planes.is_packed()
                 && self.avx2_gather_eligible()
@@ -628,6 +638,7 @@ impl AxCorePrepared {
     fn integrity_ok(&self, tier: axcore_parallel::Tier) -> bool {
         use axcore_parallel::Tier;
         match tier {
+            Tier::W4a8 => self.w4a8.as_ref().is_some_and(|p| p.checksum_ok()),
             Tier::Avx2Lut | Tier::SwarLut => self.lut_region_checksum() == self.lut_sum,
             Tier::Direct => self.direct_region_checksum() == self.direct_sum,
         }
@@ -637,6 +648,12 @@ impl AxCorePrepared {
     fn run_tier(&self, tier: axcore_parallel::Tier, a: &[f32], m: usize, out: &mut [f32]) {
         use axcore_parallel::Tier;
         match tier {
+            // The ladder only holds W4a8 when the prep exists; a bare
+            // match still degrades sanely (direct) rather than panicking.
+            Tier::W4a8 => match &self.w4a8 {
+                Some(p) => p.gemm(a, m, out),
+                None => self.gemm_direct(a, m, out),
+            },
             Tier::Avx2Lut => self.gemm_lut(a, m, out, true),
             Tier::SwarLut => self.gemm_lut(a, m, out, false),
             Tier::Direct => self.gemm_direct(a, m, out),

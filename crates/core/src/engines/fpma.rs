@@ -8,7 +8,7 @@
 //! compensation.
 
 use crate::engines::prepared::{check_prepared_shapes, drive, drive_lut, verified_single_tier};
-use crate::engines::{check_shapes, lut, GemmEngine, PreparedGemm};
+use crate::engines::{act, check_shapes, lut, GemmEngine, PreparedGemm};
 use crate::error::GemmError;
 use crate::reliability::{self, Verifier};
 use axcore_fpma::uniform::fpma_mul;
@@ -98,6 +98,7 @@ impl FpmaEngine {
             k: w.k,
             n: w.n,
             state_sum,
+            w4a8: super::w4a8::W4a8Prep::try_new(w),
             verifier: Verifier::new(w, ABFT_REL),
         }
     }
@@ -126,6 +127,9 @@ pub struct FpmaPrepared {
     n: usize,
     /// Integrity checksum of `wr` + `palette` + `pidx` at preload.
     state_sum: u64,
+    /// W4A8 integer-activation planes, present when every block format
+    /// decodes onto the tier's integer grid (see [`super::w4a8`]).
+    w4a8: Option<super::w4a8::W4a8Prep>,
     verifier: Verifier,
 }
 
@@ -154,6 +158,28 @@ impl PreparedGemm for FpmaPrepared {
 
     fn try_gemm(&self, a: &[f32], m: usize, out: &mut [f32]) -> Result<(), GemmError> {
         check_prepared_shapes(a, m, self.k, self.n, out)?;
+        // W4A8 integer-activation tier (opt-in, lossy): verified like any
+        // single-tier run, recovering onto the FP direct path — which also
+        // serves as the quarantine fallback.
+        if let Some(w4a8) = self
+            .w4a8
+            .as_ref()
+            .filter(|_| act::use_w4a8(true))
+            .filter(|_| !axcore_parallel::health::is_quarantined(axcore_parallel::Tier::W4a8))
+        {
+            return verified_single_tier(
+                &self.verifier,
+                axcore_parallel::Tier::W4a8,
+                "fpma prepared gemm",
+                a,
+                m,
+                self.n,
+                out,
+                |o| w4a8.gemm(a, m, o),
+                || w4a8.checksum_ok(),
+                |o| self.gemm_direct(a, m, o),
+            );
+        }
         verified_single_tier(
             &self.verifier,
             if lut::use_lut(self.n, self.palette.len()) {

@@ -9,7 +9,7 @@
 //! both share this implementation with different names.
 
 use crate::engines::prepared::{check_prepared_shapes, drive, drive_lut, verified_single_tier};
-use crate::engines::{check_shapes, lut, GemmEngine, PreparedGemm};
+use crate::engines::{act, check_shapes, lut, GemmEngine, PreparedGemm};
 use crate::error::GemmError;
 use crate::reliability::{self, Verifier};
 use axcore_parallel::arena;
@@ -44,6 +44,10 @@ pub struct IntFpPrepared {
     group_size: usize,
     /// Integrity checksum of `dec` + `scales` + `planes` at preload.
     state_sum: u64,
+    /// W4A8 integer-activation planes, present when every block format
+    /// decodes onto the tier's integer grid — INT4, not INT8 (see
+    /// [`super::w4a8`]).
+    w4a8: Option<super::w4a8::W4a8Prep>,
     verifier: Verifier,
 }
 
@@ -108,6 +112,7 @@ fn try_int_fp_preload(act: FpFormat, w: &QuantizedMatrix) -> Result<IntFpPrepare
         n: w.n,
         group_size: w.group_size,
         state_sum,
+        w4a8: super::w4a8::W4a8Prep::try_new(w),
         verifier: Verifier::new(w, ABFT_REL),
     })
 }
@@ -141,6 +146,28 @@ impl PreparedGemm for IntFpPrepared {
 
     fn try_gemm(&self, a: &[f32], m: usize, out: &mut [f32]) -> Result<(), GemmError> {
         check_prepared_shapes(a, m, self.k, self.n, out)?;
+        // W4A8 integer-activation tier (opt-in, lossy): verified like any
+        // single-tier run, recovering onto the FP direct path — which also
+        // serves as the quarantine fallback.
+        if let Some(w4a8) = self
+            .w4a8
+            .as_ref()
+            .filter(|_| act::use_w4a8(true))
+            .filter(|_| !axcore_parallel::health::is_quarantined(axcore_parallel::Tier::W4a8))
+        {
+            return verified_single_tier(
+                &self.verifier,
+                axcore_parallel::Tier::W4a8,
+                "int-fp prepared gemm",
+                a,
+                m,
+                self.n,
+                out,
+                |o| w4a8.gemm(a, m, o),
+                || w4a8.checksum_ok(),
+                |o| self.gemm_direct(a, m, o),
+            );
+        }
         let span = 2 * self.vmax as usize + 2;
         verified_single_tier(
             &self.verifier,

@@ -41,13 +41,20 @@ thread_local! {
 }
 
 /// Process-wide default from the `AXCORE_LUT` environment variable
-/// (`always` / `never` / anything else = auto).
+/// (`always` / `never` / `auto`; unset or unrecognized = auto, the
+/// latter with a warning).
 fn env_policy() -> LutPolicy {
     static ENV: OnceLock<LutPolicy> = OnceLock::new();
-    *ENV.get_or_init(|| match std::env::var("AXCORE_LUT").as_deref() {
-        Ok("always") => LutPolicy::Always,
-        Ok("never") => LutPolicy::Never,
-        _ => LutPolicy::Auto,
+    *ENV.get_or_init(|| {
+        axcore_parallel::env::parse("AXCORE_LUT", "auto|always|never", |s| {
+            match s.to_ascii_lowercase().as_str() {
+                "always" => Some(LutPolicy::Always),
+                "never" => Some(LutPolicy::Never),
+                "auto" | "" => Some(LutPolicy::Auto),
+                _ => None,
+            }
+        })
+        .unwrap_or(LutPolicy::Auto)
     })
 }
 

@@ -11,6 +11,7 @@
 //! | [`FiglutEngine`] | FIGLUT | LUT-based exact INT-FP mpGEMM (numerically = FIGNA) |
 //! | [`TenderEngine`] | Tender | integer-only GEMM with per-token activation quantization |
 
+mod act;
 mod axcore;
 mod exact;
 mod fpma;
@@ -18,7 +19,9 @@ mod int_fp;
 mod lut;
 mod prepared;
 mod tender;
+mod w4a8;
 
+pub use act::{current_act_policy, with_act_policy, ActPolicy};
 pub use axcore::{AxCoreConfig, AxCoreEngine};
 pub use exact::ExactEngine;
 pub use fpma::FpmaEngine;

@@ -261,7 +261,7 @@ pub(crate) fn drive_lut<T, MkT, B, G>(
     if plan.num_shards() <= 1 {
         let mut table = mk_table();
         for (i, row_out) in out.chunks_mut(n).enumerate() {
-            build(&mut table, i, 0, n);
+            crate::kmetrics::record_lut_build(|| build(&mut table, i, 0, n));
             gather(&table, i, 0, row_out);
         }
         return;
@@ -271,7 +271,7 @@ pub(crate) fn drive_lut<T, MkT, B, G>(
             if axcore_parallel::cancel_requested() {
                 return;
             }
-            build(t, i, sh.col0, sh.cols);
+            crate::kmetrics::record_lut_build(|| build(t, i, sh.col0, sh.cols));
             gather(t, i, sh.col0, view.row(i));
         }
     });

@@ -53,6 +53,7 @@ pub mod accum;
 pub mod axscale;
 pub mod engines;
 pub mod error;
+pub mod kmetrics;
 pub mod pe;
 pub mod preadd;
 pub mod reliability;

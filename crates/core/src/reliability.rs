@@ -73,9 +73,7 @@ fn parse_policy(s: &str) -> Option<VerifyPolicy> {
 fn env_policy() -> VerifyPolicy {
     static ENV: OnceLock<VerifyPolicy> = OnceLock::new();
     *ENV.get_or_init(|| {
-        std::env::var("AXCORE_VERIFY")
-            .ok()
-            .and_then(|v| parse_policy(&v))
+        axcore_parallel::env::parse("AXCORE_VERIFY", "off|full|sample|sample:<period>", parse_policy)
             .unwrap_or(VerifyPolicy::Off)
     })
 }
@@ -379,7 +377,11 @@ pub mod faults {
     pub fn arm_from_env() {
         static ONCE: OnceLock<()> = OnceLock::new();
         ONCE.get_or_init(|| {
-            if let Some(plan) = std::env::var("AXCORE_FAULTS").ok().and_then(|v| parse(&v)) {
+            if let Some(plan) = axcore_parallel::env::parse(
+                "AXCORE_FAULTS",
+                "acc:<event>:<bit> | pe:<event>:<bit> | sys:<event>:<bit>",
+                parse,
+            ) {
                 arm(plan);
             }
         });

@@ -25,6 +25,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 /// An execution tier of the prepared-GEMM path, fastest first.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Tier {
+    /// Integer W4A8 path over Q8-quantized activations (per-block scale
+    /// fold-in; opt-in via `AXCORE_ACT` — the only *lossy* tier, so it
+    /// sits above the bit-exact ladder and degrades into it).
+    W4a8,
     /// Packed-plane LUT gather via the AVX2 `vpgatherdd` kernel.
     Avx2Lut,
     /// Packed-plane LUT gather via the scalar SWAR fold.
@@ -40,12 +44,14 @@ impl Tier {
             Tier::Avx2Lut => 0,
             Tier::SwarLut => 1,
             Tier::Direct => 2,
+            Tier::W4a8 => 3,
         }
     }
 
     /// Short lowercase name for logs and JSON reports.
     pub fn name(self) -> &'static str {
         match self {
+            Tier::W4a8 => "w4a8",
             Tier::Avx2Lut => "avx2-lut",
             Tier::SwarLut => "swar-lut",
             Tier::Direct => "direct",
@@ -97,7 +103,7 @@ pub struct ExecReport {
     /// Tier that produced the returned output.
     pub tier: Tier,
     /// Downgrade steps taken, in order (at most the ladder depth).
-    downgrades: [Option<Downgrade>; 3],
+    downgrades: [Option<Downgrade>; 4],
     /// Number of valid entries in `downgrades`.
     n_downgrades: u8,
     /// Whether any verification (ABFT or integrity) ran on this call.
@@ -112,7 +118,7 @@ impl ExecReport {
     pub fn new(tier: Tier) -> Self {
         ExecReport {
             tier,
-            downgrades: [None; 3],
+            downgrades: [None; 4],
             n_downgrades: 0,
             verified: false,
             recovered: false,
@@ -148,7 +154,8 @@ impl Default for ExecReport {
 }
 
 /// Process-global quarantine flags, one per tier.
-static QUARANTINED: [AtomicBool; 3] = [
+static QUARANTINED: [AtomicBool; 4] = [
+    AtomicBool::new(false),
     AtomicBool::new(false),
     AtomicBool::new(false),
     AtomicBool::new(false),

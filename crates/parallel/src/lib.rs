@@ -33,6 +33,7 @@
 #![deny(unsafe_code)] // narrowly allowed in the pool dispatch path only
 
 pub mod arena;
+pub mod env;
 pub mod health;
 pub mod pool;
 pub mod shard;
@@ -72,12 +73,11 @@ pub enum ExecMode {
 pub fn max_threads() -> usize {
     static MAX: OnceLock<usize> = OnceLock::new();
     *MAX.get_or_init(|| {
-        if let Ok(v) = std::env::var("AXCORE_THREADS") {
-            if let Ok(n) = v.trim().parse::<usize>() {
-                return n.max(1);
-            }
-        }
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        env::parse_usize("AXCORE_THREADS")
+            .map(|n| n.max(1))
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            })
     })
 }
 
@@ -85,12 +85,15 @@ pub fn max_threads() -> usize {
 /// the legacy scoped runtime, anything else (or unset) the pool.
 fn default_exec_mode() -> ExecMode {
     static MODE: OnceLock<ExecMode> = OnceLock::new();
-    *MODE.get_or_init(|| match std::env::var("AXCORE_POOL") {
-        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
-            "scoped" | "off" | "0" => ExecMode::Scoped,
-            _ => ExecMode::Pooled,
-        },
-        Err(_) => ExecMode::Pooled,
+    *MODE.get_or_init(|| {
+        env::parse("AXCORE_POOL", "pooled|on|1 or scoped|off|0", |s| {
+            match s.to_ascii_lowercase().as_str() {
+                "scoped" | "off" | "0" => Some(ExecMode::Scoped),
+                "pooled" | "on" | "1" | "" => Some(ExecMode::Pooled),
+                _ => None,
+            }
+        })
+        .unwrap_or(ExecMode::Pooled)
     })
 }
 

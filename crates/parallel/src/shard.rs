@@ -48,9 +48,7 @@ pub struct ShardPlan {
 /// dispatch, or `None` to default to one shard per worker.
 fn shard_override() -> Option<usize> {
     static OVERRIDE: OnceLock<Option<usize>> = OnceLock::new();
-    *OVERRIDE.get_or_init(|| {
-        std::env::var("AXCORE_SHARDS").ok().and_then(|v| v.trim().parse::<usize>().ok())
-    })
+    *OVERRIDE.get_or_init(|| crate::env::parse_usize("AXCORE_SHARDS"))
 }
 
 /// Smallest shard-boundary alignment: a multiple of `col_align` that

@@ -1,0 +1,152 @@
+//! Q8 activation block quantization for the W4A8 integer-activation tier.
+//!
+//! Mirrors llama.cpp's `block_q8_1` layout: the activation row is split
+//! into fixed blocks of [`Q8_BLOCK`] elements, each carrying
+//!
+//! * 8-bit signed codes `qa ∈ [−127, 127]` (symmetric, so the integer dot
+//!   against offset-encoded 4-bit weight codes stays within `i16` pair
+//!   bounds for `maddubs`-style kernels),
+//! * one `f32` scale `d = max|a| / 127` (so `a ≈ qa · d`),
+//! * one `i32` **compensation sum** `Σ qa` — what lets a consumer that
+//!   stores weight codes with a `+64` offset (`wu = wint + 64 ∈ [0, 128]`)
+//!   recover the true dot as `Σ qa·wu − 64·Σ qa` without a signed 8×8
+//!   multiply, playing the role `block_q8_1`'s per-block sum plays for
+//!   `block_q4_1`'s offset term.
+//!
+//! Quantization is round-to-nearest-even on `a / d`, exactly matching the
+//! weight quantizers' integer rounding ([`crate::formats`]), and an
+//! all-zero block yields `d = 0` with all-zero codes so the reconstruction
+//! is exact rather than `0/0`.
+
+/// Elements per Q8 activation block.
+pub const Q8_BLOCK: usize = 32;
+
+/// Quantize one activation row into caller-provided (typically
+/// arena-recycled) buffers: per-element codes, per-block scales, and
+/// per-block code sums.
+///
+/// `a.len()` must be a multiple of [`Q8_BLOCK`]; `codes` must match
+/// `a.len()` and `scales`/`sums` must hold one entry per block. Every
+/// element of all three outputs is overwritten, so stale recycled
+/// contents are harmless.
+///
+/// # Panics
+/// If the slice lengths disagree with the block layout.
+pub fn quantize_row_into(a: &[f32], codes: &mut [i8], scales: &mut [f32], sums: &mut [i32]) {
+    let blocks = a.len() / Q8_BLOCK;
+    assert!(a.len().is_multiple_of(Q8_BLOCK), "row length {} not a multiple of {Q8_BLOCK}", a.len());
+    assert_eq!(codes.len(), a.len(), "codes length");
+    assert_eq!(scales.len(), blocks, "scales length");
+    assert_eq!(sums.len(), blocks, "sums length");
+    for b in 0..blocks {
+        let ab = &a[b * Q8_BLOCK..(b + 1) * Q8_BLOCK];
+        let cb = &mut codes[b * Q8_BLOCK..(b + 1) * Q8_BLOCK];
+        // Non-finite activations saturate through the clamp below (NaN
+        // compares false everywhere, so a NaN max leaves 0.0 → zero
+        // block; a NaN element under a finite max becomes 0 via the
+        // `as` cast's NaN→0 semantics). The engines' FP paths already
+        // tolerate pathological rows; this path must not panic on them.
+        let max_abs = ab.iter().fold(0f32, |m, &v| {
+            let av = v.abs();
+            if av > m { av } else { m }
+        });
+        if max_abs == 0.0 || !max_abs.is_finite() {
+            cb.fill(0);
+            scales[b] = 0.0;
+            sums[b] = 0;
+            continue;
+        }
+        let d = max_abs / 127.0;
+        let inv = 127.0 / max_abs;
+        let mut sum = 0i32;
+        for (slot, &v) in cb.iter_mut().zip(ab) {
+            let q = (v * inv).round_ties_even().clamp(-127.0, 127.0) as i32;
+            sum += q;
+            *slot = q as i8;
+        }
+        scales[b] = d;
+        sums[b] = sum;
+    }
+}
+
+/// One quantized activation row in owned buffers — the convenience form
+/// for tests and offline tooling (the engines quantize into arena
+/// buffers via [`quantize_row_into`]).
+#[derive(Debug, Clone)]
+pub struct Q8Row {
+    /// Per-element signed 8-bit codes.
+    pub codes: Vec<i8>,
+    /// Per-block scales (`a ≈ code · d`).
+    pub scales: Vec<f32>,
+    /// Per-block compensation sums `Σ code`.
+    pub sums: Vec<i32>,
+}
+
+impl Q8Row {
+    /// Quantize `a` (length a multiple of [`Q8_BLOCK`]).
+    pub fn quantize(a: &[f32]) -> Q8Row {
+        let blocks = a.len() / Q8_BLOCK;
+        let mut row = Q8Row {
+            codes: vec![0i8; a.len()],
+            scales: vec![0f32; blocks],
+            sums: vec![0i32; blocks],
+        };
+        quantize_row_into(a, &mut row.codes, &mut row.scales, &mut row.sums);
+        row
+    }
+
+    /// Reconstruct element `i`.
+    pub fn dequant(&self, i: usize) -> f32 {
+        self.codes[i] as f32 * self.scales[i / Q8_BLOCK]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_error_is_bounded_by_half_step() {
+        let a: Vec<f32> = (0..64).map(|i| ((i * 37 % 61) as f32 - 30.0) * 0.11).collect();
+        let q = Q8Row::quantize(&a);
+        for (i, &v) in a.iter().enumerate() {
+            let d = q.scales[i / Q8_BLOCK];
+            assert!((q.dequant(i) - v).abs() <= d * 0.5 + 1e-7, "elem {i}");
+        }
+    }
+
+    #[test]
+    fn sums_match_codes_and_zero_blocks_are_exact() {
+        let mut a = vec![0f32; 96];
+        for (i, v) in a.iter_mut().enumerate().skip(32).take(32) {
+            *v = (i as f32 - 48.0) * 0.25;
+        }
+        let q = Q8Row::quantize(&a);
+        for b in 0..3 {
+            let s: i32 = q.codes[b * 32..(b + 1) * 32].iter().map(|&c| c as i32).sum();
+            assert_eq!(s, q.sums[b], "block {b}");
+        }
+        assert_eq!(q.scales[0], 0.0);
+        assert!(q.codes[..32].iter().all(|&c| c == 0));
+        assert_eq!(q.scales[2], 0.0);
+    }
+
+    #[test]
+    fn block_max_hits_full_scale() {
+        let mut a = vec![0.5f32; 32];
+        a[7] = -2.0;
+        let q = Q8Row::quantize(&a);
+        assert_eq!(q.codes[7], -127);
+        assert_eq!(q.dequant(7), -2.0);
+    }
+
+    #[test]
+    fn nonfinite_blocks_quantize_to_zero_without_panicking() {
+        let mut a = vec![1.0f32; 32];
+        a[3] = f32::NAN;
+        a[9] = f32::INFINITY;
+        let q = Q8Row::quantize(&a);
+        assert_eq!(q.scales[0], 0.0);
+        assert!(q.codes.iter().all(|&c| c == 0));
+    }
+}

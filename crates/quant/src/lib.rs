@@ -14,6 +14,9 @@
 //! * [`fpma_quant`] — FPMA-domain quantization/dequantization (Eqs. 14–15),
 //!   where scaling is integer addition in the log domain and the
 //!   compensation constants cancel by construction.
+//! * [`act`] — Q8 activation block quantization (scale + compensation
+//!   sum per 32-element block, `block_q8_1`-style) feeding the engines'
+//!   W4A8 integer-activation tier.
 //! * [`kv`] — KV-cache quantization (§6.5.2): 4-bit grouped along the
 //!   accumulation dimension with per-cache format choices.
 //! * [`QuantizedMatrix`] — the storage format every GEMM engine in the
@@ -23,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod act;
 pub mod format_select;
 pub mod formats;
 pub mod fpma_quant;
@@ -32,6 +36,7 @@ pub mod matrix;
 pub mod mx;
 pub mod packing;
 
+pub use act::{quantize_row_into, Q8Row, Q8_BLOCK};
 pub use format_select::{CalibrationStats, FormatPolicy};
 pub use formats::QuantFormat;
 pub use group::GroupQuantizer;

@@ -1,6 +1,7 @@
 //! Serving-runtime configuration and its environment-variable knobs.
 
 use axcore_nn::generate::Decoding;
+use axcore_parallel::env;
 use std::time::Duration;
 
 /// Test-only fault hook: makes the runtime misbehave on purpose so the
@@ -79,24 +80,26 @@ impl ServeConfig {
     /// variables keep the default.
     pub fn from_env() -> Self {
         let mut cfg = ServeConfig::default();
-        if let Some(n) = env_usize("AXCORE_QUEUE_DEPTH") {
+        if let Some(n) = env::parse_usize("AXCORE_QUEUE_DEPTH") {
             cfg.queue_depth = n.max(1);
         }
-        if let Some(n) = env_usize("AXCORE_BATCH") {
+        if let Some(n) = env::parse_usize("AXCORE_BATCH") {
             cfg.max_batch = n.max(1);
         }
-        if let Some(ms) = env_usize("AXCORE_DEADLINE_MS") {
+        if let Some(ms) = env::parse_usize("AXCORE_DEADLINE_MS") {
             cfg.default_deadline = Duration::from_millis(ms.max(1) as u64);
         }
-        if let Ok(v) = std::env::var("AXCORE_SHED") {
-            cfg.shed_enabled = !matches!(v.trim().to_ascii_lowercase().as_str(), "off" | "0");
+        if let Some(shed) = env::parse("AXCORE_SHED", "on|1|true | off|0|false", |s| {
+            match s.to_ascii_lowercase().as_str() {
+                "on" | "1" | "true" | "" => Some(true),
+                "off" | "0" | "false" => Some(false),
+                _ => None,
+            }
+        }) {
+            cfg.shed_enabled = shed;
         }
         cfg
     }
-}
-
-fn env_usize(name: &str) -> Option<usize> {
-    std::env::var(name).ok()?.trim().parse().ok()
 }
 
 #[cfg(test)]

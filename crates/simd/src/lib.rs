@@ -1,16 +1,15 @@
-//! The one unsafe corner of the workspace: an AVX2 kernel for the
-//! packed-plane LUT gather (the decode hot loop in
-//! `axcore::engines::AxCoreEngine`'s prepared path).
+//! The one unsafe corner of the workspace: the AVX2 kernels for the
+//! prepared decode hot loops in `axcore::engines` — the packed-plane
+//! LUT gather (`vpgatherdd`) and the W4A8 integer block dot
+//! (`vpmaddubsw`).
 //!
 //! Everything else in the workspace builds under
-//! `#![forbid(unsafe_code)]`; quarantining the vector kernel here keeps
-//! that guarantee intact while still letting the decode path use
-//! `vpgatherdd`. The kernel is semantically tiny — one group × eight
-//! columns of "look up a table entry per 4-bit code and fold it into a
-//! per-column `(exp, sig)` accumulator" — and this crate carries its own
-//! scalar reference implementation plus exhaustive-ish randomized tests
-//! pinning the two bit-equal, so the unsafe surface is auditable in
-//! isolation from the engine it accelerates.
+//! `#![forbid(unsafe_code)]`; quarantining the vector kernels here keeps
+//! that guarantee intact. Each kernel is semantically tiny and this
+//! crate carries its own scalar reference implementation plus
+//! exhaustive-ish randomized tests pinning the paths bit-equal, so the
+//! unsafe surface is auditable in isolation from the engines it
+//! accelerates.
 //!
 //! # Table entry layout
 //!
@@ -290,6 +289,142 @@ unsafe fn avx2_gather_group(
     (so, eo)
 }
 
+/// One-shot self test of the W4A8 vector kernel: dot a deterministic
+/// pattern through both the AVX2 `maddubs` path and the scalar
+/// reference. `true` when they agree bit-for-bit (or when the CPU has
+/// no AVX2). Cached; the W4A8 tier consults it before trusting the
+/// vector rung, mirroring [`self_test`] for the LUT gather.
+pub fn block_dots_self_test() -> bool {
+    use std::sync::OnceLock;
+    static RESULT: OnceLock<bool> = OnceLock::new();
+    *RESULT.get_or_init(|| {
+        if !avx2_available() {
+            return true;
+        }
+        let n = 4 * 32;
+        let w: Vec<u8> = (0..n).map(|i| ((i * 37 + 11) % 129) as u8).collect();
+        let a: Vec<i8> = (0..n)
+            .map(|i| (((i * 2654435761usize) % 255) as i32 - 127) as i8)
+            .collect();
+        let mut want = vec![0i32; 4];
+        let mut got = vec![0i32; 4];
+        block_dots_u8i8_scalar(&w, &a, &mut want);
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: AVX2 confirmed above; slices sized to 4 whole blocks.
+        unsafe {
+            avx2_block_dots_u8i8(&w, &a, &mut got)
+        };
+        want == got
+    })
+}
+
+/// Per-block integer dot products for the W4A8 tier: for each
+/// 32-element block `b`, `dots[b] = Σ_j w[32b+j] · a[32b+j]` with `w`
+/// read as unsigned bytes and `a` as signed bytes, in exact i32
+/// arithmetic.
+///
+/// The engine stores 4-bit weight codes as offset integers
+/// `w = wint + 64 ∈ [0, 128]` and Q8 activation codes `a ∈ [-127, 127]`;
+/// the `+64` offset is folded back out by the caller via the block's
+/// compensation sum. Keeping `w ≤ 128` bounds each adjacent pair at
+/// `2 · 128 · 127 = 32512 < 2^15`, so the AVX2 `vpmaddubsw` path cannot
+/// saturate and all three paths (AVX2, SWAR, scalar) are bit-identical
+/// — the in-crate tests pin this.
+///
+/// # Panics
+///
+/// Panics unless `w.len() == a.len() == dots.len() * 32`. Debug builds
+/// additionally assert the `w ≤ 128` no-saturation bound.
+pub fn block_dots_u8i8(w: &[u8], a: &[i8], dots: &mut [i32]) {
+    assert_eq!(w.len(), a.len(), "weight/activation length mismatch");
+    assert_eq!(w.len(), dots.len() * 32, "inputs must be whole 32-blocks");
+    debug_assert!(
+        w.iter().all(|&x| x <= 128),
+        "offset weight codes must stay ≤ 128 (maddubs saturation bound)"
+    );
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() && block_dots_self_test() {
+        // SAFETY: AVX2 confirmed at runtime; lengths asserted above.
+        return unsafe { avx2_block_dots_u8i8(w, a, dots) };
+    }
+    block_dots_u8i8_swar(w, a, dots);
+}
+
+/// SWAR form of [`block_dots_u8i8`]: eight-byte word loads with in-word
+/// byte extraction, four words per block. Same exact i32 result as the
+/// scalar reference; this is the portable fast rung the dispatch falls
+/// back to without AVX2.
+pub fn block_dots_u8i8_swar(w: &[u8], a: &[i8], dots: &mut [i32]) {
+    assert_eq!(w.len(), a.len(), "weight/activation length mismatch");
+    assert_eq!(w.len(), dots.len() * 32, "inputs must be whole 32-blocks");
+    for (b, d) in dots.iter_mut().enumerate() {
+        let mut acc = 0i32;
+        for word in 0..4 {
+            let o = b * 32 + word * 8;
+            // The slices are exactly 8 bytes, so the conversions cannot
+            // fail.
+            #[allow(clippy::unwrap_used)]
+            let ww = u64::from_le_bytes(w[o..o + 8].try_into().unwrap());
+            #[allow(clippy::unwrap_used)]
+            let aw = u64::from_le_bytes(
+                <[i8; 8]>::try_from(&a[o..o + 8]).unwrap().map(|v| v as u8),
+            );
+            for i in 0..8 {
+                let wb = ((ww >> (8 * i)) & 0xff) as i32;
+                let ab = ((aw >> (8 * i)) & 0xff) as u8 as i8 as i32;
+                acc += wb * ab;
+            }
+        }
+        *d = acc;
+    }
+}
+
+/// Scalar reference for [`block_dots_u8i8`], one element at a time.
+/// Public so the engine's tests and this crate's equivalence tests can
+/// call it directly.
+pub fn block_dots_u8i8_scalar(w: &[u8], a: &[i8], dots: &mut [i32]) {
+    assert_eq!(w.len(), a.len(), "weight/activation length mismatch");
+    assert_eq!(w.len(), dots.len() * 32, "inputs must be whole 32-blocks");
+    for (b, d) in dots.iter_mut().enumerate() {
+        let mut acc = 0i32;
+        for j in 0..32 {
+            acc += w[b * 32 + j] as i32 * a[b * 32 + j] as i32;
+        }
+        *d = acc;
+    }
+}
+
+/// [`block_dots_u8i8`] in AVX2: one 256-bit load per operand per block,
+/// `vpmaddubsw` (u8 × i8 → adjacent-pair i16 sums), `vpmaddwd` against
+/// ones to widen to eight i32 lanes, then a horizontal add.
+///
+/// Exactness: the caller keeps `w ≤ 128`, so each adjacent pair is
+/// bounded by `2 · 128 · 127 = 32512 < 2^15` and `vpmaddubsw` never
+/// saturates; every later step is exact i32 addition.
+///
+/// # Safety
+///
+/// Caller must guarantee AVX2 is available and
+/// `w.len() == a.len() == dots.len() * 32`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn avx2_block_dots_u8i8(w: &[u8], a: &[i8], dots: &mut [i32]) {
+    use std::arch::x86_64::*;
+    let ones = _mm256_set1_epi16(1);
+    for (b, d) in dots.iter_mut().enumerate() {
+        let wv = _mm256_loadu_si256(w.as_ptr().add(b * 32) as *const __m256i);
+        let av = _mm256_loadu_si256(a.as_ptr().add(b * 32) as *const __m256i);
+        let pairs = _mm256_maddubs_epi16(wv, av);
+        let quads = _mm256_madd_epi16(pairs, ones);
+        let lo = _mm256_castsi256_si128(quads);
+        let hi = _mm256_extracti128_si256::<1>(quads);
+        let s4 = _mm_add_epi32(lo, hi);
+        let s2 = _mm_add_epi32(s4, _mm_shuffle_epi32::<0b00_00_11_10>(s4));
+        let s1 = _mm_add_epi32(s2, _mm_shuffle_epi32::<0b00_00_00_01>(s2));
+        *d = _mm_cvtsi128_si32(s1);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -393,6 +528,57 @@ mod tests {
     fn self_test_passes_on_healthy_hardware() {
         assert!(self_test());
         assert!(self_test(), "cached result stays true");
+    }
+
+    #[test]
+    fn block_dot_paths_are_bit_identical() {
+        let mut rng = Rng(0xD1CE_BA5E_0F0F_1234);
+        for trial in 0..200 {
+            let blocks = 1 + (trial % 9);
+            let n = blocks * 32;
+            // w spans the full offset-code range [0, 128] (the maddubs
+            // no-saturation contract); a spans the Q8 range [-127, 127].
+            let w: Vec<u8> = (0..n).map(|_| (rng.next() % 129) as u8).collect();
+            let a: Vec<i8> = (0..n)
+                .map(|_| ((rng.next() % 255) as i32 - 127) as i8)
+                .collect();
+            let mut scalar = vec![0i32; blocks];
+            let mut swar = vec![0i32; blocks];
+            let mut dispatch = vec![0i32; blocks];
+            block_dots_u8i8_scalar(&w, &a, &mut scalar);
+            block_dots_u8i8_swar(&w, &a, &mut swar);
+            block_dots_u8i8(&w, &a, &mut dispatch);
+            assert_eq!(scalar, swar, "swar diverged on trial {trial}");
+            assert_eq!(scalar, dispatch, "dispatch diverged on trial {trial}");
+        }
+    }
+
+    #[test]
+    fn block_dot_extremes_are_exact() {
+        // The worst case of the no-saturation bound: every pair at
+        // ±(128 · 127 · 2). One block of all-max, one of all-min.
+        let mut w = vec![128u8; 64];
+        w[32..].fill(128);
+        let mut a = vec![127i8; 64];
+        a[32..].fill(-127);
+        let mut dots = vec![0i32; 2];
+        block_dots_u8i8(&w, &a, &mut dots);
+        assert_eq!(dots, [32 * 128 * 127, -32 * 128 * 127]);
+    }
+
+    #[test]
+    fn block_dot_self_test_passes_on_healthy_hardware() {
+        assert!(block_dots_self_test());
+        assert!(block_dots_self_test(), "cached result stays true");
+    }
+
+    #[test]
+    #[should_panic(expected = "whole 32-blocks")]
+    fn block_dot_rejects_ragged_lengths() {
+        let w = vec![0u8; 33];
+        let a = vec![0i8; 33];
+        let mut dots = vec![0i32; 1];
+        block_dots_u8i8(&w, &a, &mut dots);
     }
 
     #[test]

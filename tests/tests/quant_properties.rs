@@ -2,7 +2,7 @@
 
 use axcore_quant::mx::MxQuantizer;
 use axcore_quant::packing::{pack, unpack};
-use axcore_quant::{FormatPolicy, GroupQuantizer, QuantFormat};
+use axcore_quant::{FormatPolicy, GroupQuantizer, Q8Row, QuantFormat, Q8_BLOCK};
 use proptest::prelude::*;
 
 fn weight_matrix(seed: u64, k: usize, n: usize, scale: f32) -> Vec<f32> {
@@ -94,6 +94,36 @@ proptest! {
                 // scale ≈ gmax / F_max (within FP16 rounding).
                 prop_assert!((scale * 6.0 - gmax).abs() <= gmax * 0.001 + 1e-9);
             }
+        }
+    }
+
+    #[test]
+    fn q8_round_trip_error_is_bounded_by_half_step(seed in 0u64..500, scale in 1e-4f32..1e4) {
+        // Q8 activation quantization (the W4A8 tier's input side): every
+        // element reconstructs within half a quantization step of its
+        // block (d = max|a|/127), codes stay in the symmetric [-127, 127]
+        // range maddubs-safety depends on, and the compensation sums
+        // match the codes exactly.
+        let blocks = 4usize;
+        let a: Vec<f32> = (0..blocks * Q8_BLOCK)
+            .map(|i| {
+                let x = (i as u64).wrapping_add(seed * 7919).wrapping_mul(2654435761) % 9973;
+                (x as f32 / 4986.5 - 1.0) * scale
+            })
+            .collect();
+        let q = Q8Row::quantize(&a);
+        for (i, &v) in a.iter().enumerate() {
+            let d = q.scales[i / Q8_BLOCK];
+            prop_assert!(q.codes[i] >= -127, "code {} out of symmetric range", q.codes[i]);
+            prop_assert!(
+                (q.dequant(i) - v).abs() <= d * 0.5 + 1e-7,
+                "elem {i}: {} vs {v} (d = {d})",
+                q.dequant(i)
+            );
+        }
+        for b in 0..blocks {
+            let s: i32 = q.codes[b * Q8_BLOCK..(b + 1) * Q8_BLOCK].iter().map(|&c| i32::from(c)).sum();
+            prop_assert_eq!(s, q.sums[b], "compensation sum of block {}", b);
         }
     }
 }

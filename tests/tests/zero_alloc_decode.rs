@@ -5,9 +5,11 @@
 //! AxCore decode engine, runs a few warmup calls so the per-thread
 //! scratch arena and the prepared-LUT cache are populated, then arms
 //! the counter and asserts that repeated `m = 1` decode calls perform
-//! **zero** heap allocations — both on the LUT gather tier
-//! (`LutPolicy::Always`, packed planes + SWAR/AVX2 gather) and on the
-//! direct per-MAC tier (`LutPolicy::Never`).
+//! **zero** heap allocations — on the LUT gather tier
+//! (`LutPolicy::Always`, packed planes + SWAR/AVX2 gather), on the
+//! direct per-MAC tier (`LutPolicy::Never`), and on the W4A8
+//! integer-activation tier (`ActPolicy::Always`, Q8 codes, scales,
+//! compensation sums and block dots all in arena-recycled buffers).
 //!
 //! Two dispatch regimes are covered:
 //!
@@ -26,7 +28,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
-use axcore::engines::{with_lut_policy, AxCoreEngine, GemmEngine, LutPolicy};
+use axcore::engines::{with_act_policy, with_lut_policy, ActPolicy, AxCoreEngine, GemmEngine, LutPolicy};
 use axcore_parallel::ExecMode;
 use axcore_quant::GroupQuantizer;
 use axcore_softfloat::FP16;
@@ -138,4 +140,30 @@ fn steady_state_decode_allocates_nothing() {
             });
         });
     });
+
+    // W4A8 integer-activation tier: the per-call Q8 row quantization and
+    // the per-column block dots all land in arena-recycled buffers, so
+    // once warm the integer tier must be just as allocation-free as the
+    // LUT tiers — serially and across a 4-worker column-shard fan-out.
+    for threads in [1usize, 4] {
+        axcore_parallel::with_threads(threads, || {
+            axcore_parallel::with_exec_mode(ExecMode::Pooled, || {
+                with_act_policy(ActPolicy::Always, || {
+                    for _ in 0..3 {
+                        prepared.gemm(&a, 1, &mut out);
+                    }
+                    let count = allocations_during(|| {
+                        for _ in 0..50 {
+                            prepared.gemm(&a, 1, &mut out);
+                        }
+                    });
+                    assert_eq!(
+                        count, 0,
+                        "steady-state W4A8 decode at {threads} worker(s) made {count} \
+                         heap allocations across 50 calls; expected zero"
+                    );
+                });
+            });
+        });
+    }
 }
