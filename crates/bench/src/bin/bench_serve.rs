@@ -15,14 +15,23 @@
 //! * **recovery** — load stops; the controller must walk the degradation
 //!   ladder back to nominal (hysteretic restore) and a final burst of
 //!   sequential requests must all complete bit-exactly.
+//! * **mixed_budget** — requests with budgets 4–64 interleaved, all in
+//!   flight at once. The continuous batcher decodes them as one ragged
+//!   batch over the paged KV arena; throughput (generated tokens/s) is
+//!   compared against an in-process **lockstep baseline** (`decode_batch`
+//!   per budget class, the pre-continuous architecture). Also reports
+//!   the KV page high-water, which the token-in-flight admission cap —
+//!   not queue depth — must bound.
 //!
 //! Results land in `BENCH_serve.json`. With `AXCORE_BENCH_STRICT=1` the
 //! binary exits non-zero if any phase invariant fails (the CI gate):
 //! nominal sheds nothing and stays under deadline, overload sheds with
-//! types instead of collapsing, recovery restores level 0 and serves.
+//! types instead of collapsing, recovery restores level 0 and serves,
+//! mixed-budget throughput beats lockstep ≥1.5x with zero shed and a
+//! bounded page arena.
 
 use axcore_nn::eval::{quantize_model, QuantizedLm, Scheme};
-use axcore_nn::generate::{try_generate, Decoding};
+use axcore_nn::generate::{decode_batch, try_generate, Decoding};
 use axcore_nn::layers::ActKind;
 use axcore_nn::model::{LmConfig, TransformerLm};
 use axcore_serve::{ServeConfig, ServeError, Server, SubmitError};
@@ -35,6 +44,10 @@ const OVERLOAD_SUBMITTERS: usize = 4;
 const OVERLOAD_PER_THREAD: usize = 48;
 const RECOVERY_REQUESTS: usize = 8;
 const NEW_TOKENS: usize = 4;
+/// Mixed-budget phase: token budgets interleaved round-robin, this many
+/// requests per budget class.
+const MIXED_BUDGETS: [usize; 5] = [4, 8, 16, 32, 64];
+const MIXED_PER_BUDGET: usize = 4;
 
 fn proxy_qlm() -> Arc<QuantizedLm> {
     let cfg = LmConfig {
@@ -43,7 +56,7 @@ fn proxy_qlm() -> Arc<QuantizedLm> {
         n_layers: 2,
         n_heads: 2,
         d_ff: 64,
-        max_seq: 48,
+        max_seq: 80,
         act: ActKind::Relu,
     };
     let model = TransformerLm::new(cfg, 23);
@@ -104,6 +117,8 @@ fn main() {
         ..ServeConfig::default()
     };
     let deadline_ms = cfg.default_deadline.as_secs_f64() * 1e3;
+    let tokens_cap = cfg.max_tokens_in_flight;
+    let max_batch_cfg = cfg.max_batch;
     let server = Arc::new(Server::start(Arc::clone(&qlm), cfg));
 
     // ---- Phase 1: nominal (closed loop, one in flight) ----
@@ -257,6 +272,68 @@ fn main() {
         seconds: recovery_secs,
     };
 
+    // ---- Phase 4: mixed budgets through the continuous batcher ----
+    // Budgets 4..=64 interleaved round-robin, all submitted up front.
+    // The continuous batcher decodes the cohort as one ragged batch over
+    // the paged arena (short sequences retire and free their pages while
+    // long ones keep running; admission refills at token granularity).
+    let mixed_total = MIXED_BUDGETS.len() * MIXED_PER_BUDGET;
+    let mixed_prompt = |round: usize, bi: usize| prompt_for(2000 + round * MIXED_BUDGETS.len() + bi);
+    let t3 = Instant::now();
+    let mut mixed_tickets = Vec::with_capacity(mixed_total);
+    for round in 0..MIXED_PER_BUDGET {
+        for (bi, &budget) in MIXED_BUDGETS.iter().enumerate() {
+            let p = mixed_prompt(round, bi);
+            match server.submit(&p, budget, Some(Duration::from_secs(60))) {
+                Ok(t) => mixed_tickets.push((p, budget, Instant::now(), t)),
+                Err(e) => panic!("mixed-budget submit rejected: {e}"),
+            }
+        }
+    }
+    let mut mixed_lat = Vec::new();
+    let mut mixed_completed = 0u64;
+    let mut mixed_tokens = 0usize;
+    let mut mixed_outputs = Vec::with_capacity(mixed_total);
+    for (p, budget, s, t) in mixed_tickets {
+        match t.wait() {
+            Ok(c) => {
+                mixed_completed += 1;
+                mixed_tokens += c.generated;
+                mixed_lat.push(s.elapsed().as_secs_f64() * 1e3);
+                mixed_outputs.push((p, budget, c.tokens));
+            }
+            Err(e) => panic!("mixed-budget request failed: {e}"),
+        }
+    }
+    let mixed_secs = t3.elapsed().as_secs_f64();
+    // Bit-exactness checks outside the timed region: the serial
+    // references re-forward full prefixes and cost more than the whole
+    // continuously batched cohort.
+    for (p, budget, tokens) in mixed_outputs {
+        let want = try_generate(&qlm, &p, budget, Decoding::Greedy).expect("serial reference");
+        assert_eq!(tokens, want, "mixed-budget output diverged from serial");
+    }
+    mixed_lat.sort_by(|a, b| a.total_cmp(b));
+    let mixed_tokens_per_s = mixed_tokens as f64 / mixed_secs.max(1e-9);
+
+    // Lockstep baseline: the pre-continuous architecture could only
+    // batch uniform budgets and re-forwarded the whole prefix each step,
+    // so the same cohort runs as one `decode_batch` call per budget
+    // class, sequentially — the architecture this PR replaced.
+    let t4 = Instant::now();
+    let mut lockstep_tokens = 0usize;
+    for (bi, &budget) in MIXED_BUDGETS.iter().enumerate() {
+        let prompts: Vec<Vec<usize>> =
+            (0..MIXED_PER_BUDGET).map(|round| mixed_prompt(round, bi)).collect();
+        let refs: Vec<&[usize]> = prompts.iter().map(|p| p.as_slice()).collect();
+        for out in decode_batch(&qlm, &refs, budget, Decoding::Greedy, |_| true) {
+            lockstep_tokens += out.expect("lockstep baseline decodes").generated;
+        }
+    }
+    let lockstep_secs = t4.elapsed().as_secs_f64();
+    let lockstep_tokens_per_s = lockstep_tokens as f64 / lockstep_secs.max(1e-9);
+    let mixed_speedup = mixed_tokens_per_s / lockstep_tokens_per_s.max(1e-9);
+
     let server = Arc::try_unwrap(server).expect("all submitter threads joined");
     let report = server.shutdown();
 
@@ -264,6 +341,22 @@ fn main() {
     for p in [&nominal, &overload, &recovery] {
         json.push_str(&format!("  \"{}\": {},\n", p.name, p.json()));
     }
+    json.push_str(&format!(
+        "  \"mixed_budget\": {{ \"submitted\": {}, \"completed\": {}, \"tokens\": {}, \"seconds\": {:.3}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"tokens_per_s\": {:.1}, \"lockstep_tokens_per_s\": {:.1}, \"speedup\": {:.3}, \"kv_pages_peak\": {}, \"kv_block\": {}, \"tokens_in_flight_peak\": {}, \"evictions\": {} }},\n",
+        mixed_total,
+        mixed_completed,
+        mixed_tokens,
+        mixed_secs,
+        percentile(&mixed_lat, 0.5),
+        percentile(&mixed_lat, 0.99),
+        mixed_tokens_per_s,
+        lockstep_tokens_per_s,
+        mixed_speedup,
+        report.kv_pages_peak,
+        report.kv_block,
+        report.tokens_in_flight_peak,
+        report.evictions
+    ));
     json.push_str(&format!(
         "  \"controller\": {{ \"escalations\": {}, \"restores\": {}, \"peak_level\": {}, \"level_at_overload_end\": {}, \"final_level\": {}, \"restored_level_after_overload\": {} }},\n",
         report.escalations,
@@ -310,6 +403,10 @@ fn main() {
         rec_completed,
         RECOVERY_REQUESTS
     );
+    println!(
+        "mixed budgets 4-64: {mixed_tokens} tokens in {mixed_secs:.2} s ({mixed_tokens_per_s:.0} tok/s) vs lockstep {lockstep_tokens_per_s:.0} tok/s = {mixed_speedup:.2}x; kv pages peak {} x block {} (tokens peak {})",
+        report.kv_pages_peak, report.kv_block, report.tokens_in_flight_peak
+    );
 
     if std::env::var("AXCORE_BENCH_STRICT").as_deref() == Ok("1") {
         let fail = |msg: String| {
@@ -354,6 +451,26 @@ fn main() {
                 "recovery phase failed requests: {rec_completed}/{RECOVERY_REQUESTS}"
             ));
         }
-        println!("strict gate ok: nominal under deadline, overload shed typed, recovery restored");
+        if mixed_completed != mixed_total as u64 {
+            fail(format!(
+                "mixed-budget phase shed or failed requests: {mixed_completed}/{mixed_total}"
+            ));
+        }
+        if mixed_speedup < 1.5 {
+            fail(format!(
+                "mixed-budget continuous batching only {mixed_speedup:.2}x over lockstep (need >= 1.5x)"
+            ));
+        }
+        // The page arena must be bounded by the tokens-in-flight cap,
+        // not queue depth: every live sequence may waste at most one
+        // partially filled block beyond its committed tokens.
+        let page_bound = tokens_cap + max_batch_cfg * report.kv_block;
+        if report.kv_pages_peak * report.kv_block > page_bound {
+            fail(format!(
+                "KV page high-water unbounded: {} pages x {} tokens/block > cap {} + slack",
+                report.kv_pages_peak, report.kv_block, tokens_cap
+            ));
+        }
+        println!("strict gate ok: nominal under deadline, overload shed typed, recovery restored, mixed budgets {mixed_speedup:.2}x over lockstep with a bounded arena");
     }
 }

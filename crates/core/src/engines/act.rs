@@ -16,13 +16,13 @@ use std::sync::OnceLock;
 /// Per-call choice of the W4A8 integer-activation tier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ActPolicy {
-    /// Engage the tier whenever the prepared weights are eligible
-    /// (every 4-bit format decodes onto an integer grid and the group
-    /// size is a multiple of the Q8 block). Today this is the same
-    /// decision [`ActPolicy::Always`] makes — activation quantization
-    /// is `O(m·k)` against `O(m·k·n)` dot work, so there is no shape
-    /// where an eligible call loses — but `Auto` is the variant a
-    /// future cost model may narrow, while `Always` stays a force.
+    /// Engage the tier when the prepared weights are eligible (every
+    /// 4-bit format decodes onto an integer grid and the group size is
+    /// a multiple of the Q8 block) **and** the call shape repays the
+    /// tier's per-call setup. The cost model is calibrated from
+    /// `bench_gemm`'s `kernel_us_per_call` counters (`act_quant_us`,
+    /// `lut_build_us`) — see [`auto_engages`] for the two thresholds.
+    /// [`ActPolicy::Always`] remains the shape-blind force.
     Auto,
     /// Force the tier; calls on ineligible weights (8-bit formats,
     /// off-grid values) fall back to the engine's FP path rather than
@@ -78,12 +78,37 @@ pub fn with_act_policy<R>(policy: ActPolicy, f: impl FnOnce() -> R) -> R {
     f()
 }
 
+/// Below this output width the per-call Q8 activation quantization
+/// (`act_quant_us`, an `O(m·k)` cost amortized across `n` columns) is
+/// not repaid by the integer dot's savings: the tier's win per column
+/// is a few percent of the dot, so at least ~8 columns must share one
+/// quantization pass before it breaks even.
+const AUTO_MIN_N: usize = 8;
+
+/// At or above this activation height the FP LUT tiers win instead:
+/// one per-activation-panel LUT build (`lut_build_us`, ~an order of
+/// magnitude above `act_quant_us`) is amortized across a full
+/// `PANEL_ROWS` panel, and the LUT dot is the fastest path the engines
+/// have for wide prefill panels. `Auto` therefore reserves the W4A8
+/// tier for decode-shaped calls (`m` below one panel).
+const AUTO_MAX_M: usize = 32;
+
+/// The `Auto` cost model: does shape `(m, n)` repay the W4A8 tier's
+/// per-call setup? True for decode-shaped calls (`m <` one LUT panel)
+/// over enough output columns (`n >=` [`AUTO_MIN_N`]) to amortize the
+/// activation quantization.
+pub fn auto_engages(m: usize, n: usize) -> bool {
+    n >= AUTO_MIN_N && m < AUTO_MAX_M
+}
+
 /// Decide whether this call runs on the W4A8 tier, given whether the
-/// prepared weights are structurally `eligible` for it.
-pub(crate) fn use_w4a8(eligible: bool) -> bool {
+/// prepared weights are structurally `eligible` for it and the call
+/// shape (`m` activation rows against `n` output columns).
+pub(crate) fn use_w4a8(eligible: bool, m: usize, n: usize) -> bool {
     match current_act_policy() {
         ActPolicy::Never => false,
-        ActPolicy::Auto | ActPolicy::Always => eligible,
+        ActPolicy::Always => eligible,
+        ActPolicy::Auto => eligible && auto_engages(m, n),
     }
 }
 
@@ -95,21 +120,43 @@ mod tests {
     fn default_is_never() {
         // AXCORE_ACT is unset in the test environment; the lossy tier
         // must stay dark unless explicitly requested.
-        assert!(!use_w4a8(true));
+        assert!(!use_w4a8(true, 1, 64));
     }
 
     #[test]
     fn overrides_pin_and_restore() {
         let outer = current_act_policy();
         with_act_policy(ActPolicy::Always, || {
-            assert!(use_w4a8(true));
-            assert!(!use_w4a8(false), "ineligible weights always fall back");
+            assert!(use_w4a8(true, 1, 64));
+            assert!(!use_w4a8(false, 1, 64), "ineligible weights always fall back");
             with_act_policy(ActPolicy::Never, || {
-                assert!(!use_w4a8(true));
+                assert!(!use_w4a8(true, 1, 64));
             });
             assert_eq!(current_act_policy(), ActPolicy::Always);
         });
         assert_eq!(current_act_policy(), outer);
-        with_act_policy(ActPolicy::Auto, || assert!(use_w4a8(true)));
+        with_act_policy(ActPolicy::Auto, || assert!(use_w4a8(true, 1, 64)));
+    }
+
+    #[test]
+    fn auto_cost_model_pins_both_crossovers() {
+        with_act_policy(ActPolicy::Auto, || {
+            // Decode-shaped over a real weight width: setup repaid.
+            assert!(use_w4a8(true, 1, 64));
+            assert!(use_w4a8(true, 31, 8), "just under both thresholds");
+            // Prefill panels: the amortized FP LUT path wins.
+            assert!(!use_w4a8(true, 32, 64), "m crossover engages at PANEL_ROWS");
+            assert!(!use_w4a8(true, 64, 64));
+            // Too few columns to amortize the Q8 activation pass.
+            assert!(!use_w4a8(true, 1, 4), "n crossover engages below 8 columns");
+            assert!(use_w4a8(true, 1, 8));
+            // Structural eligibility still gates everything.
+            assert!(!use_w4a8(false, 1, 64));
+        });
+        // Always stays shape-blind on both sides of each crossover.
+        with_act_policy(ActPolicy::Always, || {
+            assert!(use_w4a8(true, 64, 4));
+            assert!(use_w4a8(true, 1, 64));
+        });
     }
 }

@@ -481,7 +481,7 @@ impl PreparedGemm for AxCorePrepared {
         let use_lut = lut::use_lut(self.n, self.units.len() * self.code_space);
         let mut ladder = [Tier::Direct; 4];
         let mut len = 0;
-        if act::use_w4a8(self.w4a8.is_some()) && !health::is_quarantined(Tier::W4a8) {
+        if act::use_w4a8(self.w4a8.is_some(), m, self.n) && !health::is_quarantined(Tier::W4a8) {
             ladder[len] = Tier::W4a8;
             len += 1;
         }

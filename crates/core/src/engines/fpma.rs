@@ -164,7 +164,7 @@ impl PreparedGemm for FpmaPrepared {
         if let Some(w4a8) = self
             .w4a8
             .as_ref()
-            .filter(|_| act::use_w4a8(true))
+            .filter(|_| act::use_w4a8(true, m, self.n))
             .filter(|_| !axcore_parallel::health::is_quarantined(axcore_parallel::Tier::W4a8))
         {
             return verified_single_tier(

@@ -21,7 +21,7 @@ mod prepared;
 mod tender;
 mod w4a8;
 
-pub use act::{current_act_policy, with_act_policy, ActPolicy};
+pub use act::{auto_engages, current_act_policy, with_act_policy, ActPolicy};
 pub use axcore::{AxCoreConfig, AxCoreEngine};
 pub use exact::ExactEngine;
 pub use fpma::FpmaEngine;

@@ -210,33 +210,130 @@ pub fn attention_context(
     n_heads: usize,
     dh: usize,
 ) -> Vec<f32> {
+    attention_context_rows(q, k, v, 0, s, d, n_heads, dh)
+}
+
+/// One head's causal attention over the `m` query rows at absolute
+/// positions `start..start + m`, against `start + m` cached K/V rows.
+/// `scores` is an `m × (start + m)` scratch, `hctx` the head's `m × dh`
+/// output. Every FP operation matches [`attention_context`]'s order, so
+/// incremental decode (`m = 1` against cached K/V) is bit-identical to
+/// the full-sequence recompute: a score row with width `start + m` and
+/// entries `0..=p` populated softmaxes to the same bits as row `p` of
+/// the full `s × s` score matrix (trailing `-inf` contributes exactly
+/// `+0.0` through `exp`), and the probability-weighted V accumulation
+/// touches the same terms in the same order.
+#[allow(clippy::too_many_arguments)] // bare geometry of the kernel: q/k/v + 5 dims + 2 scratch
+fn head_context_rows(
+    q: &[f32],
+    k: &[f32],
+    v: &[f32],
+    start: usize,
+    m: usize,
+    d: usize,
+    h: usize,
+    dh: usize,
+    scores: &mut [f32],
+    hctx: &mut [f32],
+) {
+    let s = start + m;
     let scale = 1.0 / (dh as f32).sqrt();
-    let mut ctx = vec![0f32; s * d];
-    let mut scores = vec![0f32; s * s];
-    for h in 0..n_heads {
-        scores.fill(f32::NEG_INFINITY);
-        for i in 0..s {
-            for j in 0..=i {
-                let mut acc = 0f32;
-                for e in 0..dh {
-                    acc += q[i * d + h * dh + e] * k[j * d + h * dh + e];
-                }
-                scores[i * s + j] = acc * scale;
+    scores.fill(f32::NEG_INFINITY);
+    for i in 0..m {
+        for j in 0..=(start + i) {
+            let mut acc = 0f32;
+            for e in 0..dh {
+                acc += q[i * d + h * dh + e] * k[j * d + h * dh + e];
             }
+            scores[i * s + j] = acc * scale;
         }
-        softmax_rows(&mut scores, s, s);
-        for i in 0..s {
-            for j in 0..=i {
-                let p = scores[i * s + j];
-                if p == 0.0 {
-                    continue;
-                }
-                for e in 0..dh {
-                    ctx[i * d + h * dh + e] += p * v[j * d + h * dh + e];
-                }
+    }
+    softmax_rows(scores, m, s);
+    hctx.fill(0.0);
+    for i in 0..m {
+        for j in 0..=(start + i) {
+            let p = scores[i * s + j];
+            if p == 0.0 {
+                continue;
+            }
+            for e in 0..dh {
+                hctx[i * dh + e] += p * v[j * d + h * dh + e];
             }
         }
     }
+}
+
+/// Causal attention for the `m` newest query rows (absolute positions
+/// `start..start + m`) against `start + m` cached K/V rows — the paged
+/// decode path: `q` is `m × d`, `k`/`v` are `(start + m) × d`, and the
+/// returned context is `m × d`. With `start = 0` this is exactly
+/// [`attention_context`].
+#[allow(clippy::too_many_arguments)] // bare geometry of the kernel: q/k/v + 5 dims
+pub fn attention_context_rows(
+    q: &[f32],
+    k: &[f32],
+    v: &[f32],
+    start: usize,
+    m: usize,
+    d: usize,
+    n_heads: usize,
+    dh: usize,
+) -> Vec<f32> {
+    let s = start + m;
+    let mut ctx = vec![0f32; m * d];
+    let mut scores = vec![0f32; m * s];
+    let mut hctx = vec![0f32; m * dh];
+    for h in 0..n_heads {
+        head_context_rows(q, k, v, start, m, d, h, dh, &mut scores, &mut hctx);
+        for i in 0..m {
+            ctx[i * d + h * dh..i * d + (h + 1) * dh].copy_from_slice(&hctx[i * dh..(i + 1) * dh]);
+        }
+    }
+    ctx
+}
+
+/// [`attention_context_rows`] sharded across heads over the worker pool
+/// (the PR 6 `ShardPlan` dispatch): each shard owns whole heads — shard
+/// boundaries align to `dh` — and writes only its own context columns.
+/// Per-head work is fully independent, so the result is bit-identical
+/// to the serial path at every worker count; small calls stay serial.
+#[allow(clippy::too_many_arguments)] // bare geometry of the kernel: q/k/v + 5 dims
+pub fn attention_context_rows_sharded(
+    q: &[f32],
+    k: &[f32],
+    v: &[f32],
+    start: usize,
+    m: usize,
+    d: usize,
+    n_heads: usize,
+    dh: usize,
+) -> Vec<f32> {
+    let s = start + m;
+    // Mirror the GEMM layer's parallelism floor (ops.rs): below it the
+    // dispatch overhead dominates the head loop.
+    const MIN_PARALLEL_MACS: usize = 32 * 1024;
+    let workers = if m * s * d < MIN_PARALLEL_MACS || n_heads < 2 {
+        1
+    } else {
+        axcore_parallel::current_threads().min(n_heads)
+    };
+    let plan = axcore_parallel::ShardPlan::new(d, workers, dh);
+    let mut ctx = vec![0f32; m * d];
+    axcore_parallel::par_shards_with(
+        &mut ctx,
+        m,
+        &plan,
+        || (vec![0f32; m * s], vec![0f32; m * dh]),
+        |(scores, hctx), shard, slice| {
+            for h in (shard.col0 / dh)..((shard.col0 + shard.cols) / dh) {
+                head_context_rows(q, k, v, start, m, d, h, dh, scores, hctx);
+                let off = h * dh - shard.col0;
+                for i in 0..m {
+                    slice.row(i)[off..off + dh].copy_from_slice(&hctx[i * dh..(i + 1) * dh]);
+                }
+            }
+        },
+    );
     ctx
 }
 
@@ -309,6 +406,46 @@ mod tests {
                 "idx {idx}: numeric {num} vs analytic {}",
                 dx[idx]
             );
+        }
+    }
+
+    #[test]
+    fn incremental_rows_match_full_recompute_bit_for_bit() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let (s, d, nh, dh) = (9, 16, 4, 4);
+        let gen = |rng: &mut StdRng| -> Vec<f32> {
+            (0..s * d).map(|_| rng.random_range(-1.0..1.0f32)).collect()
+        };
+        let (q, k, v) = (gen(&mut rng), gen(&mut rng), gen(&mut rng));
+        let full = attention_context(&q, &k, &v, s, d, nh, dh);
+        let bits = |x: &[f32]| x.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        // One token at a time against the growing cache — the decode
+        // shape: row p computed with width p+1 must equal row p of the
+        // full s-wide recompute (trailing -inf softmaxes to +0.0).
+        for p in 0..s {
+            let row = attention_context_rows(
+                &q[p * d..(p + 1) * d],
+                &k[..(p + 1) * d],
+                &v[..(p + 1) * d],
+                p,
+                1,
+                d,
+                nh,
+                dh,
+            );
+            assert_eq!(bits(&row), bits(&full[p * d..(p + 1) * d]), "decode row {p}");
+        }
+        // Every prefill/decode split, serial and sharded at 1/2/4 workers.
+        for start in 0..s {
+            let m = s - start;
+            let rows = attention_context_rows(&q[start * d..], &k, &v, start, m, d, nh, dh);
+            assert_eq!(bits(&rows), bits(&full[start * d..]), "split at {start}");
+            for workers in [1, 2, 4] {
+                let sharded = axcore_parallel::with_threads(workers, || {
+                    attention_context_rows_sharded(&q[start * d..], &k, &v, start, m, d, nh, dh)
+                });
+                assert_eq!(bits(&sharded), bits(&rows), "split {start}, {workers} workers");
+            }
         }
     }
 

@@ -12,6 +12,7 @@
 //! * Tender quantizes activations too (integer-only GEMM).
 
 use crate::attention::causal_softmax;
+use crate::kvcache::{KvArena, KvPageConfig, SeqId};
 use crate::layers::apply_act;
 use crate::model::TransformerLm;
 use crate::ops::softmax_rows;
@@ -522,6 +523,140 @@ impl QuantizedLm {
         self.src.head.try_forward_infer(&h, s)
     }
 
+    /// A paged KV arena sized for this model — the companion cache of
+    /// [`QuantizedLm::try_forward_paged`].
+    pub fn kv_arena(&self, cfg: KvPageConfig) -> KvArena {
+        let c = &self.src.cfg;
+        KvArena::new(c.n_layers, c.d_model, c.n_heads, cfg)
+    }
+
+    /// Forward only the `m` newest tokens of a sequence (absolute
+    /// positions `start..start + m`) against its paged KV cache,
+    /// returning the `m × vocab` logits rows. Appends the new K/V rows
+    /// to `arena` as a **hot FP tail**; the caller commits the advance
+    /// with [`KvArena::commit`] after the pass succeeds (which is when a
+    /// quantized arena seals newly filled pages).
+    ///
+    /// With FP pages this is byte-identical to the matching rows of
+    /// [`QuantizedLm::try_forward`] over the full sequence: every
+    /// stage is row-independent — embeddings, LayerNorm, the prepared
+    /// GEMMs (each output element depends only on its own activation
+    /// row; see `axcore::engines::prepared`), bias adds, residuals —
+    /// and the causal attention over gathered K/V reproduces the
+    /// full-sequence score rows bit-for-bit
+    /// (`crate::attention::attention_context_rows`). The scheme's
+    /// whole-matrix KV re-quantization (`Scheme::AxCoreKv` / Tender) is
+    /// a per-window measurement path and is **not** applied here; paged
+    /// KV quantization is the arena's own page-sealing, selected by
+    /// [`KvPageConfig`].
+    pub fn try_forward_paged(
+        &self,
+        new_tokens: &[usize],
+        start: usize,
+        arena: &mut KvArena,
+        seq: SeqId,
+    ) -> Result<Vec<f32>, GemmError> {
+        let cfg = &self.src.cfg;
+        let d = cfg.d_model;
+        let nh = cfg.n_heads;
+        let dh = d / nh;
+        let m = new_tokens.len();
+        let s = start + m;
+        let pos: Vec<usize> = (start..s).collect();
+        let te = self.src.tok_emb.forward_infer(new_tokens);
+        let pe = self.src.pos_emb.forward_infer(&pos);
+        let mut x: Vec<f32> = te.iter().zip(&pe).map(|(a, b)| a + b).collect();
+        let mut kf = Vec::new();
+        let mut vf = Vec::new();
+        for (li, (b, qb)) in self.src.blocks.iter().zip(&self.blocks).enumerate() {
+            let h = b.ln1.forward_infer(&x, m);
+            let q = self.try_linear(&qb.wq, &h, m)?;
+            let k = self.try_linear(&qb.wk, &h, m)?;
+            let v = self.try_linear(&qb.wv, &h, m)?;
+            arena.append(seq, li, start, &k, &v);
+            arena.gather(seq, li, s, &mut kf, &mut vf);
+            let ctx = crate::attention::attention_context_rows_sharded(
+                &q, &kf, &vf, start, m, d, nh, dh,
+            );
+            let a = self.try_linear(&qb.wo, &ctx, m)?;
+            let x1: Vec<f32> = x.iter().zip(&a).map(|(p, q)| p + q).collect();
+            let h2 = b.ln2.forward_infer(&x1, m);
+            let f = self.try_linear(&qb.fc1, &h2, m)?;
+            let g: Vec<f32> = f.iter().map(|&v| apply_act(cfg.act, v)).collect();
+            let o = self.try_linear(&qb.fc2, &g, m)?;
+            x = x1.iter().zip(&o).map(|(p, q)| p + q).collect();
+        }
+        let h = self.src.ln_f.forward_infer(&x, m);
+        self.src.head.try_forward_infer(&h, m)
+    }
+
+    /// One decode step for many sequences at once: forward one new token
+    /// per sequence (`items[r] = (seq, start, token)` with the token at
+    /// absolute position `start`) against each sequence's paged KV
+    /// cache, returning `items.len() × vocab` logits rows in item order.
+    ///
+    /// This is the steady-state continuous-batching kernel: the dense
+    /// stages (embeddings, LayerNorm, every prepared GEMM, residuals)
+    /// run once over the stacked rows instead of once per sequence,
+    /// amortising per-call dispatch and verification across the whole
+    /// batch; only attention walks each sequence's own block table. Row
+    /// `r` is byte-identical to
+    /// [`QuantizedLm::try_forward_paged`]`(&[token], start, …)` for that
+    /// sequence alone, because every dense stage computes each output
+    /// row from its own activation row only (the same row-independence
+    /// that makes paged decode match the full forward). As there, the
+    /// caller commits each sequence's advance with [`KvArena::commit`]
+    /// after the pass succeeds; on failure the whole stacked pass fails.
+    pub fn try_forward_paged_batch(
+        &self,
+        items: &[(SeqId, usize, usize)],
+        arena: &mut KvArena,
+    ) -> Result<Vec<f32>, GemmError> {
+        let cfg = &self.src.cfg;
+        let d = cfg.d_model;
+        let nh = cfg.n_heads;
+        let dh = d / nh;
+        let m = items.len();
+        let tokens: Vec<usize> = items.iter().map(|&(_, _, t)| t).collect();
+        let pos: Vec<usize> = items.iter().map(|&(_, start, _)| start).collect();
+        let te = self.src.tok_emb.forward_infer(&tokens);
+        let pe = self.src.pos_emb.forward_infer(&pos);
+        let mut x: Vec<f32> = te.iter().zip(&pe).map(|(a, b)| a + b).collect();
+        let mut kf = Vec::new();
+        let mut vf = Vec::new();
+        for (li, (b, qb)) in self.src.blocks.iter().zip(&self.blocks).enumerate() {
+            let h = b.ln1.forward_infer(&x, m);
+            let q = self.try_linear(&qb.wq, &h, m)?;
+            let k = self.try_linear(&qb.wk, &h, m)?;
+            let v = self.try_linear(&qb.wv, &h, m)?;
+            let mut ctx = vec![0f32; m * d];
+            for (r, &(seq, start, _)) in items.iter().enumerate() {
+                arena.append(seq, li, start, &k[r * d..(r + 1) * d], &v[r * d..(r + 1) * d]);
+                arena.gather(seq, li, start + 1, &mut kf, &mut vf);
+                let c = crate::attention::attention_context_rows_sharded(
+                    &q[r * d..(r + 1) * d],
+                    &kf,
+                    &vf,
+                    start,
+                    1,
+                    d,
+                    nh,
+                    dh,
+                );
+                ctx[r * d..(r + 1) * d].copy_from_slice(&c);
+            }
+            let a = self.try_linear(&qb.wo, &ctx, m)?;
+            let x1: Vec<f32> = x.iter().zip(&a).map(|(p, q)| p + q).collect();
+            let h2 = b.ln2.forward_infer(&x1, m);
+            let f = self.try_linear(&qb.fc1, &h2, m)?;
+            let g: Vec<f32> = f.iter().map(|&v| apply_act(cfg.act, v)).collect();
+            let o = self.try_linear(&qb.fc2, &g, m)?;
+            x = x1.iter().zip(&o).map(|(p, q)| p + q).collect();
+        }
+        let h = self.src.ln_f.forward_infer(&x, m);
+        self.src.head.try_forward_infer(&h, m)
+    }
+
     /// Top-1 next-token accuracy over a token stream (Table-3 metric).
     pub fn accuracy(&self, tokens: &[usize], seq_len: usize) -> f64 {
         let v = self.src.cfg.vocab;
@@ -564,6 +699,44 @@ pub fn eval_perplexity(qlm: &QuantizedLm, tokens: &[usize], seq_len: usize) -> f
             total -= (probs[i * v + window[i + 1]].max(1e-12) as f64).ln();
             count += 1;
         }
+        start += seq_len;
+    }
+    (total / count as f64).exp()
+}
+
+/// Perplexity through the **paged** decode path: each non-overlapping
+/// window is fed one token at a time against a paged KV cache, the way a
+/// serving decode runs, so filled pages get sealed (quantized) and later
+/// positions attend to the resident 4-bit KV — the accuracy consequence
+/// [`KvPageConfig::quant`] models. With FP pages this matches
+/// [`eval_perplexity`] bit-for-bit (each incremental logits row equals
+/// the full-window row), making the quantized delta attributable to the
+/// page format alone.
+pub fn eval_perplexity_paged(
+    qlm: &QuantizedLm,
+    tokens: &[usize],
+    seq_len: usize,
+    kv: KvPageConfig,
+) -> f64 {
+    let v = qlm.src.cfg.vocab;
+    let mut arena = qlm.kv_arena(kv);
+    let mut total = 0f64;
+    let mut count = 0usize;
+    let mut start = 0;
+    while start + seq_len < tokens.len() {
+        let window = &tokens[start..start + seq_len + 1];
+        let seq = arena.join();
+        for i in 0..seq_len {
+            let logits = qlm
+                .try_forward_paged(&window[i..i + 1], i, &mut arena, seq)
+                .unwrap_or_else(|e| panic!("{e}"));
+            arena.commit(seq, i + 1);
+            let mut probs = logits;
+            softmax_rows(&mut probs, 1, v);
+            total -= (probs[window[i + 1]].max(1e-12) as f64).ln();
+            count += 1;
+        }
+        arena.leave(seq);
         start += seq_len;
     }
     (total / count as f64).exp()

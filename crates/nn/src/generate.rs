@@ -77,7 +77,7 @@ impl From<GemmError> for GenerateError {
 }
 
 /// Validate one request's prompt against the model's limits.
-fn check_request(
+pub(crate) fn check_request(
     qlm: &QuantizedLm,
     prompt: &[usize],
     new_tokens: usize,
@@ -99,6 +99,23 @@ fn check_request(
     Ok(())
 }
 
+/// Pick the next token from one logits row under `mode` — shared by the
+/// serial [`step`], the lockstep [`decode_batch`], and the continuous
+/// [`crate::scheduler::DecodeScheduler`], so every decode path selects
+/// identically from identical logits.
+pub(crate) fn select_token(last: &[f32], mode: Decoding, rng: Option<&mut StdRng>) -> usize {
+    match mode {
+        Decoding::Greedy => argmax(last),
+        Decoding::Sample { temperature, .. } => {
+            let mut probs: Vec<f32> = last.iter().map(|&l| l / temperature).collect();
+            softmax_rows(&mut probs, 1, last.len());
+            // `rng` is always Some in Sample mode (built from the seed).
+            #[allow(clippy::expect_used)]
+            sample_from(&probs, rng.expect("sampling rng present"))
+        }
+    }
+}
+
 /// Decode one more token for `tokens`, under `mode`.
 fn step(
     qlm: &QuantizedLm,
@@ -109,16 +126,7 @@ fn step(
     let v = qlm.vocab();
     let logits = qlm.try_forward(tokens)?;
     let last = &logits[(tokens.len() - 1) * v..tokens.len() * v];
-    Ok(match mode {
-        Decoding::Greedy => argmax(last),
-        Decoding::Sample { temperature, .. } => {
-            let mut probs: Vec<f32> = last.iter().map(|&l| l / temperature).collect();
-            softmax_rows(&mut probs, 1, v);
-            // `rng` is always Some in Sample mode (built from the seed).
-            #[allow(clippy::expect_used)]
-            sample_from(&probs, rng.expect("sampling rng present"))
-        }
-    })
+    Ok(select_token(last, mode, rng))
 }
 
 /// Generate `new_tokens` continuations of `prompt` under a quantized model.
@@ -127,6 +135,10 @@ fn step(
 ///
 /// Panics if the prompt is empty or the total length exceeds the model's
 /// context (shim over [`try_generate`]).
+#[deprecated(
+    since = "0.1.0",
+    note = "panics on invalid requests; use `try_generate`, which reports a typed `GenerateError`"
+)]
 pub fn generate(qlm: &QuantizedLm, prompt: &[usize], new_tokens: usize, mode: Decoding) -> Vec<usize> {
     try_generate(qlm, prompt, new_tokens, mode).unwrap_or_else(|e| panic!("{e}"))
 }
@@ -327,8 +339,8 @@ mod tests {
         let (model, corpus) = fixture();
         let q = quantize_model(model, Scheme::Fp16, 24, None);
         let p = &corpus.val[..4];
-        let g1 = generate(&q, p, 10, Decoding::Greedy);
-        let g2 = generate(&q, p, 10, Decoding::Greedy);
+        let g1 = try_generate(&q, p, 10, Decoding::Greedy).expect("valid request");
+        let g2 = try_generate(&q, p, 10, Decoding::Greedy).expect("valid request");
         assert_eq!(g1, g2);
         assert_eq!(g1.len(), 14);
         assert_eq!(&g1[..4], p);
@@ -340,10 +352,11 @@ mod tests {
         let q = quantize_model(model, Scheme::Fp16, 24, None);
         let p = &corpus.val[..4];
         let mode = Decoding::Sample { temperature: 1.0, seed: 9 };
-        assert_eq!(generate(&q, p, 10, mode), generate(&q, p, 10, mode));
+        let run = |mode| try_generate(&q, p, 10, mode).expect("valid request");
+        assert_eq!(run(mode), run(mode));
         let other = Decoding::Sample { temperature: 1.0, seed: 10 };
         // Different seeds usually diverge on a 24-token vocabulary.
-        assert_ne!(generate(&q, p, 10, mode), generate(&q, p, 10, other));
+        assert_ne!(run(mode), run(other));
     }
 
     #[test]
@@ -357,9 +370,10 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "empty prompt")]
-    fn rejects_empty_prompt() {
+    fn deprecated_shim_still_panics_on_invalid_requests() {
         let (model, _) = fixture();
         let q = quantize_model(model, Scheme::Fp16, 24, None);
+        #[allow(deprecated)]
         generate(&q, &[], 4, Decoding::Greedy);
     }
 

@@ -1,0 +1,502 @@
+//! Block-paged KV cache for continuous-batching decode.
+//!
+//! A [`KvArena`] owns a slab of fixed-size **pages**; each page stores
+//! `block` consecutive sequence positions of K and V rows for *every*
+//! layer (`n_layers × block × d_model` floats per cache), so one
+//! per-sequence block table covers the whole model. Sequences join and
+//! leave in O(1) (amortized): joining claims a slot, leaving pushes the
+//! sequence's pages onto the arena-internal free list, so memory scales
+//! with **live tokens**, not with max-budget × queue depth. Page buffers
+//! come from the `axcore_parallel::arena` scratch free-list and are
+//! recycled through the arena's own page free list on leave (keeping
+//! page churn out of the depth-bounded per-thread cache).
+//!
+//! # Quantize-on-fill
+//!
+//! With [`KvPageConfig::quant`] set, a page is **sealed** the moment the
+//! sequence's committed length covers it entirely: every head's K block
+//! is quantized with the configured [`KvQuantConfig`] (grouped along the
+//! head dimension, the accumulation axis of `Q·Kᵀ`) and its V block
+//! along the position axis (the accumulation axis of `P·V`), then
+//! dequantized back in place. Resident KV beyond the hot tail is thereby
+//! exactly 4-bit-representable — the accuracy consequence the paper's
+//! §6.5.2 measures — while the gather/attention path stays a single FP
+//! kernel (a hardware port would store the codes and dequantize in the
+//! PE; the value stream is identical). The hot tail (the most recent,
+//! partially filled page) stays FP until it fills.
+//!
+//! With `quant: None` (the default), pages are plain FP32 and paged
+//! decode is **byte-identical** to the serial non-cached forward — the
+//! bit-exactness contract `tests/paged_decode.rs` pins.
+
+use axcore_parallel::arena::{self, ArenaVec};
+use axcore_parallel::env;
+use axcore_quant::KvQuantConfig;
+
+/// Default positions per KV page (`AXCORE_KV_BLOCK` overrides).
+pub const DEFAULT_KV_BLOCK: usize = 16;
+
+/// How the paged KV cache stores resident (filled-page) entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KvPageConfig {
+    /// `None`: FP32 pages (bit-exact vs the serial path). `Some(cfg)`:
+    /// quantize each page's K/V blocks with `cfg` when the page fills.
+    pub quant: Option<KvQuantConfig>,
+    /// Positions per page.
+    pub block: usize,
+}
+
+impl Default for KvPageConfig {
+    fn default() -> Self {
+        KvPageConfig { quant: None, block: DEFAULT_KV_BLOCK }
+    }
+}
+
+impl KvPageConfig {
+    /// Config from the environment: `AXCORE_KV` selects the page format
+    /// (`fp32` — the default — or `q4-opt` / `q4-llama` for the paper's
+    /// per-family 4-bit formats), `AXCORE_KV_BLOCK` the positions per
+    /// page. Unset or unparsable variables keep the defaults.
+    pub fn from_env() -> Self {
+        let mut cfg = KvPageConfig::default();
+        if let Some(quant) = env::parse("AXCORE_KV", "fp32 | q4-opt | q4-llama", |s| {
+            match s.to_ascii_lowercase().as_str() {
+                "fp32" | "fp" | "" => Some(None),
+                "q4-opt" | "opt" => Some(Some(KvQuantConfig::opt())),
+                "q4-llama" | "llama" => Some(Some(KvQuantConfig::llama())),
+                _ => None,
+            }
+        }) {
+            cfg.quant = quant;
+        }
+        if let Some(block) = env::parse_usize("AXCORE_KV_BLOCK") {
+            cfg.block = block.max(1);
+        }
+        cfg
+    }
+}
+
+/// A sequence's handle into a [`KvArena`]. Valid until `leave`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeqId(usize);
+
+/// One page: `block` positions × all layers of K and V rows.
+struct Page {
+    k: ArenaVec<f32>,
+    v: ArenaVec<f32>,
+}
+
+struct Seq {
+    /// Page ids, in position order: position `p` lives in
+    /// `table[p / block]` at in-page offset `p % block`.
+    table: Vec<usize>,
+    /// Committed positions (rows written for every layer).
+    len: usize,
+    /// Pages already quantize-sealed (a prefix of `table`).
+    sealed: usize,
+}
+
+/// A block-paged, optionally quantized KV cache shared by every
+/// sequence in a continuous batch. See the module docs.
+pub struct KvArena {
+    n_layers: usize,
+    d: usize,
+    n_heads: usize,
+    quant: Option<KvQuantConfig>,
+    block: usize,
+    pages: Vec<Page>,
+    free: Vec<usize>,
+    seqs: Vec<Option<Seq>>,
+    free_seqs: Vec<usize>,
+    live_pages: usize,
+    peak_pages: usize,
+}
+
+impl std::fmt::Debug for KvArena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KvArena")
+            .field("block", &self.block)
+            .field("live_pages", &self.live_pages)
+            .field("peak_pages", &self.peak_pages)
+            .field("quant", &self.quant.is_some())
+            .finish()
+    }
+}
+
+impl KvArena {
+    /// An empty arena for a model of `n_layers` layers, width `d`, and
+    /// `n_heads` heads per layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is not divisible by `n_heads` or `cfg.block` is 0.
+    pub fn new(n_layers: usize, d: usize, n_heads: usize, cfg: KvPageConfig) -> KvArena {
+        assert!(d.is_multiple_of(n_heads.max(1)), "d_model must divide into heads");
+        assert!(cfg.block > 0, "KV page block must be positive");
+        KvArena {
+            n_layers,
+            d,
+            n_heads,
+            quant: cfg.quant,
+            block: cfg.block,
+            pages: Vec::new(),
+            free: Vec::new(),
+            seqs: Vec::new(),
+            free_seqs: Vec::new(),
+            live_pages: 0,
+            peak_pages: 0,
+        }
+    }
+
+    /// Positions per page.
+    pub fn block(&self) -> usize {
+        self.block
+    }
+
+    /// Pages currently owned by live sequences.
+    pub fn live_pages(&self) -> usize {
+        self.live_pages
+    }
+
+    /// High-water mark of simultaneously live pages.
+    pub fn peak_pages(&self) -> usize {
+        self.peak_pages
+    }
+
+    /// Whether filled pages are quantized in place.
+    pub fn quantized(&self) -> bool {
+        self.quant.is_some()
+    }
+
+    /// Register a new sequence with no cached positions.
+    pub fn join(&mut self) -> SeqId {
+        let seq = Seq { table: Vec::new(), len: 0, sealed: 0 };
+        match self.free_seqs.pop() {
+            Some(slot) => {
+                self.seqs[slot] = Some(seq);
+                SeqId(slot)
+            }
+            None => {
+                self.seqs.push(Some(seq));
+                SeqId(self.seqs.len() - 1)
+            }
+        }
+    }
+
+    /// Drop a sequence, returning its pages to the free list. Returns
+    /// the number of pages freed.
+    pub fn leave(&mut self, id: SeqId) -> usize {
+        let freed = self.reset(id);
+        if let Some(slot) = self.seqs.get_mut(id.0) {
+            *slot = None;
+            self.free_seqs.push(id.0);
+        }
+        freed
+    }
+
+    /// Free a sequence's pages but keep it registered with length 0 —
+    /// preemption by recomputation: the caller re-prefills the prefix on
+    /// the sequence's next step. Returns the number of pages freed.
+    pub fn reset(&mut self, id: SeqId) -> usize {
+        let Some(Some(seq)) = self.seqs.get_mut(id.0) else { return 0 };
+        let freed = seq.table.len();
+        self.free.append(&mut seq.table);
+        seq.len = 0;
+        seq.sealed = 0;
+        self.live_pages -= freed;
+        freed
+    }
+
+    /// Committed positions of a sequence.
+    pub fn len(&self, id: SeqId) -> usize {
+        match self.seqs.get(id.0) {
+            Some(Some(seq)) => seq.len,
+            _ => 0,
+        }
+    }
+
+    /// Whether the arena has no live sequences.
+    pub fn is_empty(&self) -> bool {
+        self.seqs.iter().all(|s| s.is_none())
+    }
+
+    fn page_floats(&self) -> usize {
+        self.n_layers * self.block * self.d
+    }
+
+    fn alloc_page(&mut self) -> usize {
+        let id = match self.free.pop() {
+            // Reused pages keep stale contents; every position is
+            // written before `gather` reads it.
+            Some(id) => id,
+            None => {
+                let len = self.page_floats();
+                self.pages.push(Page {
+                    k: arena::take(len, 0f32),
+                    v: arena::take(len, 0f32),
+                });
+                self.pages.len() - 1
+            }
+        };
+        self.live_pages += 1;
+        self.peak_pages = self.peak_pages.max(self.live_pages);
+        id
+    }
+
+    /// Write `m` K/V rows (each `d` floats) for `layer` at positions
+    /// `start..start + m` of sequence `id`, allocating pages as needed.
+    /// Every layer of a forward pass appends the same position range;
+    /// [`commit`](KvArena::commit) advances the committed length once
+    /// the pass completes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row slices disagree with `m × d` or the id is dead.
+    pub fn append(&mut self, id: SeqId, layer: usize, start: usize, k_rows: &[f32], v_rows: &[f32]) {
+        let d = self.d;
+        assert_eq!(k_rows.len(), v_rows.len(), "K/V row count mismatch");
+        assert!(k_rows.len().is_multiple_of(d), "rows must be d_model wide");
+        let m = k_rows.len() / d;
+        let need_pages = (start + m).div_ceil(self.block);
+        while self.table_len(id) < need_pages {
+            let page = self.alloc_page();
+            if let Some(Some(seq)) = self.seqs.get_mut(id.0) {
+                seq.table.push(page);
+            }
+        }
+        let block = self.block;
+        let layer_off = layer * block * d;
+        for r in 0..m {
+            let pos = start + r;
+            let page = self.page_of(id, pos / block);
+            let off = layer_off + (pos % block) * d;
+            let pg = &mut self.pages[page];
+            pg.k[off..off + d].copy_from_slice(&k_rows[r * d..(r + 1) * d]);
+            pg.v[off..off + d].copy_from_slice(&v_rows[r * d..(r + 1) * d]);
+        }
+    }
+
+    fn table_len(&self, id: SeqId) -> usize {
+        match self.seqs.get(id.0) {
+            Some(Some(seq)) => seq.table.len(),
+            _ => 0,
+        }
+    }
+
+    fn page_of(&self, id: SeqId, idx: usize) -> usize {
+        match self.seqs.get(id.0) {
+            Some(Some(seq)) => seq.table[idx],
+            _ => panic!("dead KV sequence"),
+        }
+    }
+
+    /// Advance a sequence's committed length to `len` (all layers
+    /// appended), sealing — quantizing in place — any page the commit
+    /// fully covers when the arena is quantized.
+    pub fn commit(&mut self, id: SeqId, len: usize) {
+        let block = self.block;
+        let filled = len / block;
+        let (to_seal, already) = match self.seqs.get_mut(id.0) {
+            Some(Some(seq)) => {
+                seq.len = len;
+                let already = seq.sealed;
+                seq.sealed = filled.min(seq.table.len());
+                (seq.sealed, already)
+            }
+            _ => return,
+        };
+        if self.quant.is_none() {
+            return;
+        }
+        for idx in already..to_seal {
+            let page = self.page_of(id, idx);
+            self.seal_page(page);
+        }
+    }
+
+    /// Quantize-dequantize one filled page in place, per layer per head.
+    fn seal_page(&mut self, page: usize) {
+        let Some(cfg) = self.quant else { return };
+        let (d, nh, block) = (self.d, self.n_heads, self.block);
+        let dh = d / nh;
+        let mut kc = vec![0f32; dh * block];
+        let mut vc = vec![0f32; block * dh];
+        for layer in 0..self.n_layers {
+            let off = layer * block * d;
+            for h in 0..nh {
+                let pg = &mut self.pages[page];
+                for i in 0..block {
+                    for e in 0..dh {
+                        // K transposed to dh × block: grouped along the
+                        // head dimension, the Q·Kᵀ accumulation axis.
+                        kc[e * block + i] = pg.k[off + i * d + h * dh + e];
+                        vc[i * dh + e] = pg.v[off + i * d + h * dh + e];
+                    }
+                }
+                let kd = cfg.quantize_k(&kc, dh, block).dequant_all();
+                let vd = cfg.quantize_v(&vc, block, dh).dequant_all();
+                for i in 0..block {
+                    for e in 0..dh {
+                        pg.k[off + i * d + h * dh + e] = kd[e * block + i];
+                        pg.v[off + i * d + h * dh + e] = vd[i * dh + e];
+                    }
+                }
+            }
+        }
+    }
+
+    /// Copy the first `len` cached K/V rows of `layer` into contiguous
+    /// `len × d` buffers (resized as needed). Positions beyond the
+    /// committed length may be read immediately after
+    /// [`append`](KvArena::append) within the same forward pass (the FP
+    /// hot tail).
+    pub fn gather(&self, id: SeqId, layer: usize, len: usize, k_out: &mut Vec<f32>, v_out: &mut Vec<f32>) {
+        let (d, block) = (self.d, self.block);
+        k_out.resize(len * d, 0.0);
+        v_out.resize(len * d, 0.0);
+        let layer_off = layer * block * d;
+        let mut pos = 0usize;
+        while pos < len {
+            let page = self.page_of(id, pos / block);
+            let in_page = pos % block;
+            let take = (block - in_page).min(len - pos);
+            let src = layer_off + in_page * d;
+            let pg = &self.pages[page];
+            k_out[pos * d..(pos + take) * d].copy_from_slice(&pg.k[src..src + take * d]);
+            v_out[pos * d..(pos + take) * d].copy_from_slice(&pg.v[src..src + take * d]);
+            pos += take;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arena() -> KvArena {
+        KvArena::new(2, 8, 2, KvPageConfig { quant: None, block: 4 })
+    }
+
+    fn rows(m: usize, d: usize, salt: f32) -> Vec<f32> {
+        (0..m * d).map(|i| (i as f32 * 0.37 + salt).sin()).collect()
+    }
+
+    #[test]
+    fn append_commit_gather_round_trips_across_page_boundaries() {
+        let mut a = arena();
+        let s = a.join();
+        let d = 8;
+        // 6 positions span two 4-position pages; two layers.
+        let (k0, v0) = (rows(6, d, 1.0), rows(6, d, 2.0));
+        let (k1, v1) = (rows(6, d, 3.0), rows(6, d, 4.0));
+        a.append(s, 0, 0, &k0, &v0);
+        a.append(s, 1, 0, &k1, &v1);
+        a.commit(s, 6);
+        assert_eq!(a.len(s), 6);
+        assert_eq!(a.live_pages(), 2);
+        let (mut k, mut v) = (Vec::new(), Vec::new());
+        a.gather(s, 0, 6, &mut k, &mut v);
+        assert_eq!(k, k0);
+        assert_eq!(v, v0);
+        a.gather(s, 1, 6, &mut k, &mut v);
+        assert_eq!(k, k1);
+        assert_eq!(v, v1);
+    }
+
+    #[test]
+    fn incremental_appends_match_bulk() {
+        let mut a = arena();
+        let bulk = a.join();
+        let inc = a.join();
+        let d = 8;
+        let (k, v) = (rows(7, d, 5.0), rows(7, d, 6.0));
+        a.append(bulk, 0, 0, &k, &v);
+        a.commit(bulk, 7);
+        for p in 0..7 {
+            a.append(inc, 0, p, &k[p * d..(p + 1) * d], &v[p * d..(p + 1) * d]);
+            a.commit(inc, p + 1);
+        }
+        let (mut kb, mut vb) = (Vec::new(), Vec::new());
+        let (mut ki, mut vi) = (Vec::new(), Vec::new());
+        a.gather(bulk, 0, 7, &mut kb, &mut vb);
+        a.gather(inc, 0, 7, &mut ki, &mut vi);
+        assert_eq!(kb, ki);
+        assert_eq!(vb, vi);
+    }
+
+    #[test]
+    fn leave_recycles_pages_and_peak_tracks_high_water() {
+        let mut a = arena();
+        let d = 8;
+        let s1 = a.join();
+        a.append(s1, 0, 0, &rows(8, d, 0.5), &rows(8, d, 0.6));
+        a.commit(s1, 8);
+        assert_eq!(a.live_pages(), 2);
+        assert_eq!(a.leave(s1), 2);
+        assert_eq!(a.live_pages(), 0);
+        assert_eq!(a.peak_pages(), 2);
+        // A new sequence reuses the freed pages without growing the slab.
+        let s2 = a.join();
+        a.append(s2, 0, 0, &rows(5, d, 0.7), &rows(5, d, 0.8));
+        a.commit(s2, 5);
+        assert_eq!(a.live_pages(), 2);
+        assert_eq!(a.peak_pages(), 2);
+        let (mut k, mut v) = (Vec::new(), Vec::new());
+        a.gather(s2, 0, 5, &mut k, &mut v);
+        assert_eq!(k, rows(5, d, 0.7));
+    }
+
+    #[test]
+    fn reset_frees_pages_but_keeps_the_sequence() {
+        let mut a = arena();
+        let s = a.join();
+        a.append(s, 0, 0, &rows(5, 8, 1.5), &rows(5, 8, 1.6));
+        a.commit(s, 5);
+        assert_eq!(a.reset(s), 2);
+        assert_eq!(a.len(s), 0);
+        // The sequence can re-prefill from scratch.
+        a.append(s, 0, 0, &rows(3, 8, 1.7), &rows(3, 8, 1.8));
+        a.commit(s, 3);
+        assert_eq!(a.len(s), 3);
+    }
+
+    #[test]
+    fn quantized_pages_seal_on_fill_and_spare_the_hot_tail() {
+        let mut a = KvArena::new(1, 8, 2, KvPageConfig {
+            quant: Some(KvQuantConfig::opt()),
+            block: 4,
+        });
+        let s = a.join();
+        let d = 8;
+        let (k, v) = (rows(6, d, 9.0), rows(6, d, 10.0));
+        a.append(s, 0, 0, &k, &v);
+        a.commit(s, 6);
+        let (mut kq, mut vq) = (Vec::new(), Vec::new());
+        a.gather(s, 0, 6, &mut kq, &mut vq);
+        // Page 0 (positions 0..4) sealed: values changed by QDQ but close.
+        let sealed_changed = (0..4 * d).any(|i| kq[i] != k[i]) || (0..4 * d).any(|i| vq[i] != v[i]);
+        assert!(sealed_changed, "sealed page must be quantized in place");
+        for i in 0..4 * d {
+            assert!((kq[i] - k[i]).abs() < 0.5, "K QDQ error bounded at {i}");
+            assert!((vq[i] - v[i]).abs() < 0.5, "V QDQ error bounded at {i}");
+        }
+        // The partial page (positions 4..6) is untouched FP.
+        assert_eq!(&kq[4 * d..], &k[4 * d..], "hot tail stays FP");
+        assert_eq!(&vq[4 * d..], &v[4 * d..], "hot tail stays FP");
+        // Re-committing does not re-seal (idempotent).
+        a.commit(s, 6);
+        let (mut k2, mut v2) = (Vec::new(), Vec::new());
+        a.gather(s, 0, 6, &mut k2, &mut v2);
+        assert_eq!(kq, k2);
+        assert_eq!(vq, v2);
+    }
+
+    #[test]
+    fn env_config_parses_families() {
+        // Only exercises the pure default here; env parsing is covered by
+        // axcore_parallel::env tests.
+        let cfg = KvPageConfig::default();
+        assert_eq!(cfg.block, DEFAULT_KV_BLOCK);
+        assert!(cfg.quant.is_none());
+    }
+}

@@ -25,6 +25,10 @@
 //! * [`corpus`] — seeded synthetic Markov corpora and probe tasks;
 //! * [`eval`] — quantized inference through any [`axcore::GemmEngine`]:
 //!   perplexity and task accuracy per compute scheme;
+//! * [`kvcache`] — block-paged KV arena with optional 4-bit quantized
+//!   pages (`AXCORE_KV`);
+//! * [`scheduler`] — token-granular continuous batching over the paged
+//!   arena;
 //! * [`profile`] — analytic attention-vs-linear op counting for real LLM
 //!   configurations (Fig. 2).
 
@@ -35,14 +39,18 @@ pub mod attention;
 pub mod corpus;
 pub mod eval;
 pub mod generate;
+pub mod kvcache;
 pub mod layers;
 pub mod model;
 pub mod ops;
 pub mod profile;
+pub mod scheduler;
 pub mod serialize;
 pub mod train;
 
 pub use corpus::{Corpus, MarkovSpec};
-pub use eval::{eval_perplexity, quantize_model, QuantizedLm, Scheme};
+pub use eval::{eval_perplexity, eval_perplexity_paged, quantize_model, QuantizedLm, Scheme};
+pub use kvcache::{KvArena, KvPageConfig, SeqId, DEFAULT_KV_BLOCK};
+pub use scheduler::{decode_continuous, DecodeScheduler, SeqHandle, StepEvent};
 pub use model::{LmConfig, TransformerLm};
 pub use train::{train, TrainConfig};

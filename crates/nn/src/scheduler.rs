@@ -1,0 +1,554 @@
+//! Continuous-batching decode: per-token sequence scheduling over a
+//! paged KV cache.
+//!
+//! The lockstep [`decode_batch`](crate::generate::decode_batch) requires
+//! every batchmate to share one token budget and re-forwards each full
+//! sequence per token. The [`DecodeScheduler`] replaces both
+//! constraints: sequences **join and leave the running batch at token
+//! granularity** — a new request admitted mid-flight decodes its first
+//! token on the very next step, a finished, cancelled, or failed
+//! sequence frees its KV pages immediately — and each step forwards only
+//! the tokens that are not yet cached, gathering K/V through the
+//! sequence's block table ([`KvArena`]).
+//!
+//! # Bit-exactness
+//!
+//! With FP pages ([`KvPageConfig::quant`] `= None`) every sequence's
+//! output is byte-identical to the same request run alone through
+//! [`try_generate`](crate::generate::try_generate), independent of
+//! batchmates, admission order, eviction, and worker count — the
+//! invariant `tests/paged_decode.rs` proptests. See
+//! [`QuantizedLm::try_forward_paged`] for why. (The W4A8 activation
+//! tier's `Auto` policy picks its tier by call shape, so byte-identity
+//! is claimed for the default, exact ladder — `ActPolicy::Never` — which
+//! is what the serving runtime runs.)
+//!
+//! # Eviction
+//!
+//! [`DecodeScheduler::evict_longest_idle`] implements preemption by
+//! recomputation (the vLLM recipe): the victim's pages are returned to
+//! the arena and the sequence is paused; on resume its next step
+//! re-prefills the whole prefix in one pass — which, by the same
+//! row-independence argument, leaves its continuation bit-identical.
+
+use crate::eval::QuantizedLm;
+use crate::generate::{check_request, select_token, DecodeOutcome, Decoding, GenerateError};
+use crate::kvcache::{KvArena, KvPageConfig, SeqId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A scheduled sequence's identity, unique for the scheduler's lifetime
+/// (never reused, unlike KV slots).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SeqHandle(u64);
+
+/// What [`DecodeScheduler::step`] reports for a sequence that left the
+/// batch this step.
+#[derive(Debug)]
+pub enum StepEvent {
+    /// The sequence retired: budget met (`outcome.completed`) or stopped
+    /// by the `keep_going` callback (`!outcome.completed`, tokens so
+    /// far).
+    Finished {
+        /// The retired sequence.
+        handle: SeqHandle,
+        /// Prompt plus generated tokens, as [`decode_batch`]'s slots.
+        ///
+        /// [`decode_batch`]: crate::generate::decode_batch
+        outcome: DecodeOutcome,
+    },
+    /// The sequence's forward pass failed; its pages were freed.
+    Failed {
+        /// The failed sequence.
+        handle: SeqHandle,
+        /// The typed failure.
+        error: GenerateError,
+    },
+}
+
+struct SeqState {
+    handle: SeqHandle,
+    kv: SeqId,
+    tokens: Vec<usize>,
+    prompt_len: usize,
+    budget: usize,
+    rng: Option<StdRng>,
+    /// Positions with valid cached KV (0 after admit or eviction; the
+    /// next step forwards `tokens[cached..]` in one pass).
+    cached: usize,
+    paused: bool,
+    /// Step index of the last produced token (eviction recency).
+    last_active: u64,
+}
+
+impl SeqState {
+    fn generated(&self) -> usize {
+        self.tokens.len() - self.prompt_len
+    }
+
+    fn outcome(self, completed: bool) -> DecodeOutcome {
+        DecodeOutcome {
+            generated: self.tokens.len() - self.prompt_len,
+            tokens: self.tokens,
+            completed,
+        }
+    }
+}
+
+/// Token-granular continuous batching over a paged KV arena. See the
+/// module docs.
+pub struct DecodeScheduler<'a> {
+    qlm: &'a QuantizedLm,
+    mode: Decoding,
+    arena: KvArena,
+    seqs: Vec<SeqState>,
+    next_handle: u64,
+    step_no: u64,
+    tokens_peak: usize,
+}
+
+impl std::fmt::Debug for DecodeScheduler<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DecodeScheduler")
+            .field("live", &self.seqs.len())
+            .field("arena", &self.arena)
+            .finish()
+    }
+}
+
+impl<'a> DecodeScheduler<'a> {
+    /// A scheduler decoding under `mode` with `kv`-configured pages.
+    pub fn new(qlm: &'a QuantizedLm, mode: Decoding, kv: KvPageConfig) -> Self {
+        DecodeScheduler {
+            arena: qlm.kv_arena(kv),
+            qlm,
+            mode,
+            seqs: Vec::new(),
+            next_handle: 0,
+            step_no: 0,
+            tokens_peak: 0,
+        }
+    }
+
+    /// Admit a sequence into the running batch; it decodes its first
+    /// token on the next [`step`](DecodeScheduler::step). Validation
+    /// matches [`try_generate`](crate::generate::try_generate).
+    pub fn admit(&mut self, prompt: &[usize], new_tokens: usize) -> Result<SeqHandle, GenerateError> {
+        check_request(self.qlm, prompt, new_tokens)?;
+        let handle = SeqHandle(self.next_handle);
+        self.next_handle += 1;
+        // Seeded exactly as the serial path, so sampling is independent
+        // of batch composition.
+        let rng = match self.mode {
+            Decoding::Sample { seed, .. } => Some(StdRng::seed_from_u64(seed)),
+            Decoding::Greedy => None,
+        };
+        self.seqs.push(SeqState {
+            handle,
+            kv: self.arena.join(),
+            tokens: prompt.to_vec(),
+            prompt_len: prompt.len(),
+            budget: new_tokens,
+            rng,
+            cached: 0,
+            paused: false,
+            last_active: self.step_no,
+        });
+        Ok(handle)
+    }
+
+    /// Remove a sequence immediately, freeing its pages. Returns its
+    /// tokens so far (`completed: false`), or `None` for an unknown or
+    /// already-retired handle.
+    pub fn cancel(&mut self, handle: SeqHandle) -> Option<DecodeOutcome> {
+        let i = self.seqs.iter().position(|s| s.handle == handle)?;
+        let seq = self.seqs.remove(i);
+        self.arena.leave(seq.kv);
+        Some(seq.outcome(false))
+    }
+
+    /// Sequences currently in the batch (including paused ones).
+    pub fn live(&self) -> usize {
+        self.seqs.len()
+    }
+
+    /// Tokens currently held by live sequences (prompt + generated so
+    /// far) — what the KV pages back right now.
+    pub fn tokens_in_flight(&self) -> usize {
+        self.seqs.iter().map(|s| s.tokens.len()).sum()
+    }
+
+    /// High-water mark of [`tokens_in_flight`](Self::tokens_in_flight).
+    pub fn tokens_peak(&self) -> usize {
+        self.tokens_peak
+    }
+
+    /// Tokens live sequences will occupy at completion (prompt + full
+    /// budget) — the admission-bound quantity: admitting while this
+    /// stays under the cap guarantees the page high-water is bounded by
+    /// live tokens, never by max-budget × queue depth.
+    pub fn tokens_committed(&self) -> usize {
+        self.seqs.iter().map(|s| s.prompt_len + s.budget).sum()
+    }
+
+    /// KV pages currently owned by live sequences.
+    pub fn kv_pages_live(&self) -> usize {
+        self.arena.live_pages()
+    }
+
+    /// High-water mark of simultaneously live KV pages.
+    pub fn kv_pages_peak(&self) -> usize {
+        self.arena.peak_pages()
+    }
+
+    /// Positions per KV page.
+    pub fn kv_block(&self) -> usize {
+        self.arena.block()
+    }
+
+    /// Evict the sequence whose last token is oldest (preemption by
+    /// recomputation): its pages return to the arena and it pauses until
+    /// [`resume_one`](Self::resume_one). Returns the victim and the
+    /// pages freed; `None` when no unpaused sequence holds pages.
+    pub fn evict_longest_idle(&mut self) -> Option<(SeqHandle, usize)> {
+        let victim = self
+            .seqs
+            .iter()
+            .filter(|s| !s.paused && s.cached > 0)
+            .min_by_key(|s| (s.last_active, s.handle))?
+            .handle;
+        let seq = self.seqs.iter_mut().find(|s| s.handle == victim)?;
+        seq.paused = true;
+        seq.cached = 0;
+        let freed = self.arena.reset(seq.kv);
+        Some((victim, freed))
+    }
+
+    /// Un-pause the longest-paused sequence, if any; its next step
+    /// re-prefills the whole prefix. Returns the resumed handle.
+    pub fn resume_one(&mut self) -> Option<SeqHandle> {
+        let seq = self.seqs.iter_mut().filter(|s| s.paused).min_by_key(|s| s.handle)?;
+        seq.paused = false;
+        Some(seq.handle)
+    }
+
+    /// Paused (evicted, not yet resumed) sequences.
+    pub fn paused(&self) -> usize {
+        self.seqs.iter().filter(|s| s.paused).count()
+    }
+
+    /// Decode one token for every live, unpaused sequence. `keep_going`
+    /// is consulted per sequence before its forward pass (the
+    /// token-granular cancellation point, as in `decode_batch`) —
+    /// including paused sequences, so deadlines fire while evicted.
+    /// Returns the retirement events of this step, in admission order.
+    ///
+    /// Sequences in steady state (exactly one uncached token) are
+    /// stacked into a single batched forward
+    /// ([`QuantizedLm::try_forward_paged_batch`]) so dense-layer
+    /// dispatch and verification amortise across the batch — the
+    /// continuous-batching throughput win — while sequences mid-prefill
+    /// (fresh admissions, post-eviction re-prefills) forward
+    /// individually. Row-independence keeps both paths bit-identical to
+    /// serial decoding; a failure of the stacked pass fails every
+    /// sequence in it.
+    pub fn step(&mut self, mut keep_going: impl FnMut(SeqHandle) -> bool) -> Vec<StepEvent> {
+        self.step_no += 1;
+        let step_no = self.step_no;
+        let qlm = self.qlm;
+        let mode = self.mode;
+        let v = qlm.vocab();
+        let mut events = Vec::new();
+        // Retirement sweep: budget already met, or stopped by the
+        // caller; paused sequences are swept too so deadlines fire.
+        let mut i = 0usize;
+        while i < self.seqs.len() {
+            let handle = self.seqs[i].handle;
+            let done = self.seqs[i].generated() >= self.seqs[i].budget;
+            if done || !keep_going(handle) {
+                let seq = self.seqs.remove(i);
+                self.arena.leave(seq.kv);
+                events.push(StepEvent::Finished { handle, outcome: seq.outcome(done) });
+                continue;
+            }
+            i += 1;
+        }
+        // Forward passes: one stacked call for the steady-state cohort,
+        // individual calls for multi-token prefills. `rows[idx]` ends up
+        // with sequence idx's last logits row (or its failure).
+        let mut rows: Vec<Option<Result<Vec<f32>, axcore::GemmError>>> =
+            self.seqs.iter().map(|_| None).collect();
+        let single: Vec<usize> = self
+            .seqs
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.paused && s.tokens.len() - s.cached == 1)
+            .map(|(idx, _)| idx)
+            .collect();
+        if single.len() > 1 {
+            let items: Vec<(SeqId, usize, usize)> = single
+                .iter()
+                .map(|&idx| {
+                    let s = &self.seqs[idx];
+                    (s.kv, s.cached, s.tokens[s.cached])
+                })
+                .collect();
+            match qlm.try_forward_paged_batch(&items, &mut self.arena) {
+                Ok(logits) => {
+                    for (r, &idx) in single.iter().enumerate() {
+                        rows[idx] = Some(Ok(logits[r * v..(r + 1) * v].to_vec()));
+                    }
+                }
+                Err(e) => {
+                    for &idx in &single {
+                        rows[idx] = Some(Err(e.clone()));
+                    }
+                }
+            }
+        }
+        for (idx, row) in rows.iter_mut().enumerate() {
+            if self.seqs[idx].paused || row.is_some() {
+                continue;
+            }
+            let start = self.seqs[idx].cached;
+            let kv = self.seqs[idx].kv;
+            let toks = self.seqs[idx].tokens[start..].to_vec();
+            *row = Some(qlm.try_forward_paged(&toks, start, &mut self.arena, kv).map(
+                |logits| {
+                    let m = toks.len();
+                    logits[(m - 1) * v..m * v].to_vec()
+                },
+            ));
+        }
+        // Commit, select, and retire in admission order.
+        let mut kept = Vec::with_capacity(self.seqs.len());
+        for (idx, mut seq) in std::mem::take(&mut self.seqs).into_iter().enumerate() {
+            let handle = seq.handle;
+            match rows[idx].take() {
+                None => kept.push(seq), // paused
+                Some(Ok(last)) => {
+                    self.arena.commit(seq.kv, seq.tokens.len());
+                    seq.cached = seq.tokens.len();
+                    let next = select_token(&last, mode, seq.rng.as_mut());
+                    seq.tokens.push(next);
+                    seq.last_active = step_no;
+                    if seq.generated() >= seq.budget {
+                        self.arena.leave(seq.kv);
+                        events.push(StepEvent::Finished { handle, outcome: seq.outcome(true) });
+                    } else {
+                        kept.push(seq);
+                    }
+                }
+                Some(Err(e)) => {
+                    self.arena.leave(seq.kv);
+                    events.push(StepEvent::Failed { handle, error: GenerateError::Gemm(e) });
+                }
+            }
+        }
+        self.seqs = kept;
+        self.tokens_peak = self.tokens_peak.max(self.tokens_in_flight());
+        events
+    }
+}
+
+/// Decode `prompts` to completion through a [`DecodeScheduler`] —
+/// the continuous-batching counterpart of
+/// [`decode_batch`](crate::generate::decode_batch), with the same
+/// per-slot result contract.
+pub fn decode_continuous(
+    qlm: &QuantizedLm,
+    prompts: &[&[usize]],
+    new_tokens: usize,
+    mode: Decoding,
+    kv: KvPageConfig,
+) -> Vec<Result<DecodeOutcome, GenerateError>> {
+    let mut sched = DecodeScheduler::new(qlm, mode, kv);
+    let mut slot_of = std::collections::HashMap::new();
+    let mut out: Vec<Option<Result<DecodeOutcome, GenerateError>>> =
+        prompts.iter().map(|_| None).collect();
+    for (i, p) in prompts.iter().enumerate() {
+        match sched.admit(p, new_tokens) {
+            Ok(h) => {
+                slot_of.insert(h, i);
+            }
+            Err(e) => out[i] = Some(Err(e)),
+        }
+    }
+    while sched.live() > 0 {
+        for ev in sched.step(|_| true) {
+            match ev {
+                StepEvent::Finished { handle, outcome } => {
+                    if let Some(&i) = slot_of.get(&handle) {
+                        out[i] = Some(Ok(outcome));
+                    }
+                }
+                StepEvent::Failed { handle, error } => {
+                    if let Some(&i) = slot_of.get(&handle) {
+                        out[i] = Some(Err(error));
+                    }
+                }
+            }
+        }
+    }
+    out.into_iter()
+        .map(|o| o.unwrap_or(Err(GenerateError::EmptyPrompt)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{Corpus, MarkovSpec};
+    use crate::eval::{quantize_model, Scheme};
+    use crate::generate::{decode_batch, try_generate};
+    use crate::layers::ActKind;
+    use crate::model::{LmConfig, TransformerLm};
+    use std::sync::OnceLock;
+
+    fn fixture() -> &'static (TransformerLm, Corpus) {
+        static FIX: OnceLock<(TransformerLm, Corpus)> = OnceLock::new();
+        FIX.get_or_init(|| {
+            let cfg = LmConfig {
+                vocab: 24,
+                d_model: 24,
+                n_layers: 2,
+                n_heads: 2,
+                d_ff: 48,
+                max_seq: 40,
+                act: ActKind::Relu,
+            };
+            let corpus = Corpus::generate(MarkovSpec { vocab: 24, branching: 2, seed: 5 }, 6000, 600);
+            let mut model = TransformerLm::new(cfg, 17);
+            crate::train::train(
+                &mut model,
+                &corpus,
+                &crate::train::TrainConfig { steps: 100, seq_len: 24, ..Default::default() },
+            );
+            (model, corpus)
+        })
+    }
+
+    #[test]
+    fn continuous_matches_serial_bit_for_bit() {
+        let (model, corpus) = fixture();
+        let q = quantize_model(model, Scheme::AxCore, 24, None);
+        let prompts: Vec<&[usize]> = vec![&corpus.val[..4], &corpus.val[4..10], &corpus.val[10..13]];
+        for mode in [Decoding::Greedy, Decoding::Sample { temperature: 0.9, seed: 11 }] {
+            let out = decode_continuous(&q, &prompts, 8, mode, KvPageConfig::default());
+            for (p, o) in prompts.iter().zip(&out) {
+                let o = o.as_ref().expect("healthy request");
+                assert!(o.completed);
+                let serial = try_generate(&q, p, 8, mode).expect("serial reference");
+                assert_eq!(o.tokens, serial, "continuous == serial, independent of batchmates");
+            }
+        }
+    }
+
+    #[test]
+    fn mid_flight_admission_and_ragged_budgets_stay_bit_exact() {
+        let (model, corpus) = fixture();
+        let q = quantize_model(model, Scheme::AxCore, 24, None);
+        let mut sched = DecodeScheduler::new(&q, Decoding::Greedy, KvPageConfig::default());
+        let a = sched.admit(&corpus.val[..4], 9).expect("admit a");
+        let b = sched.admit(&corpus.val[4..10], 3).expect("admit b");
+        let mut done = std::collections::HashMap::new();
+        // Two steps in, a third request joins the running batch.
+        let mut c = None;
+        for round in 0..32 {
+            if round == 2 {
+                c = Some(sched.admit(&corpus.val[10..13], 5).expect("admit c"));
+            }
+            for ev in sched.step(|_| true) {
+                if let StepEvent::Finished { handle, outcome } = ev {
+                    done.insert(handle, outcome);
+                }
+            }
+            if sched.live() == 0 {
+                break;
+            }
+        }
+        assert_eq!(sched.kv_pages_live(), 0, "retired sequences freed their pages");
+        for (h, p, n) in [
+            (a, &corpus.val[..4], 9),
+            (b, &corpus.val[4..10], 3),
+            (c.expect("admitted"), &corpus.val[10..13], 5),
+        ] {
+            let o = done.get(&h).expect("finished");
+            assert!(o.completed);
+            assert_eq!(o.generated, n);
+            let serial = try_generate(&q, p, n, Decoding::Greedy).expect("reference");
+            assert_eq!(o.tokens, serial, "ragged continuous == serial");
+        }
+    }
+
+    #[test]
+    fn eviction_recomputes_and_preserves_bits() {
+        let (model, corpus) = fixture();
+        let q = quantize_model(model, Scheme::AxCore, 24, None);
+        let mut sched = DecodeScheduler::new(
+            &q,
+            Decoding::Greedy,
+            KvPageConfig { quant: None, block: 4 },
+        );
+        let h = sched.admit(&corpus.val[..6], 8).expect("admit");
+        sched.step(|_| true);
+        sched.step(|_| true);
+        let (victim, freed) = sched.evict_longest_idle().expect("evictable");
+        assert_eq!(victim, h);
+        assert!(freed > 0);
+        assert_eq!(sched.kv_pages_live(), 0);
+        assert!(sched.evict_longest_idle().is_none(), "paused seq is not re-evicted");
+        assert_eq!(sched.resume_one(), Some(h));
+        let mut outcome = None;
+        while sched.live() > 0 {
+            for ev in sched.step(|_| true) {
+                if let StepEvent::Finished { outcome: o, .. } = ev {
+                    outcome = Some(o);
+                }
+            }
+        }
+        let o = outcome.expect("finished");
+        assert!(o.completed);
+        let serial = try_generate(&q, &corpus.val[..6], 8, Decoding::Greedy).expect("reference");
+        assert_eq!(o.tokens, serial, "evict + re-prefill == serial");
+    }
+
+    #[test]
+    fn matches_lockstep_decode_batch() {
+        let (model, corpus) = fixture();
+        let q = quantize_model(model, Scheme::AxCore, 24, None);
+        let prompts: Vec<&[usize]> = vec![&corpus.val[..4], &corpus.val[4..8]];
+        let lockstep = decode_batch(&q, &prompts, 6, Decoding::Greedy, |_| true);
+        let continuous = decode_continuous(&q, &prompts, 6, Decoding::Greedy, KvPageConfig::default());
+        for (a, b) in lockstep.iter().zip(&continuous) {
+            assert_eq!(
+                a.as_ref().expect("lockstep").tokens,
+                b.as_ref().expect("continuous").tokens
+            );
+        }
+    }
+
+    #[test]
+    fn admission_validates_and_accounting_tracks_live_tokens() {
+        let (model, corpus) = fixture();
+        let q = quantize_model(model, Scheme::Fp16, 24, None);
+        let mut sched = DecodeScheduler::new(&q, Decoding::Greedy, KvPageConfig::default());
+        assert!(matches!(sched.admit(&[], 4), Err(GenerateError::EmptyPrompt)));
+        assert!(matches!(sched.admit(&[9999], 4), Err(GenerateError::TokenOutOfRange { .. })));
+        assert!(matches!(
+            sched.admit(&corpus.val[..4], 1000),
+            Err(GenerateError::ContextOverflow { .. })
+        ));
+        let h = sched.admit(&corpus.val[..4], 3).expect("admit");
+        assert_eq!(sched.tokens_in_flight(), 4);
+        assert_eq!(sched.tokens_committed(), 7);
+        sched.step(|_| true);
+        assert_eq!(sched.tokens_in_flight(), 5);
+        let cut = sched.cancel(h).expect("cancel");
+        assert!(!cut.completed);
+        assert_eq!(cut.generated, 1);
+        assert_eq!(sched.tokens_in_flight(), 0);
+        assert_eq!(sched.kv_pages_live(), 0);
+        assert!(sched.cancel(h).is_none(), "cancel is idempotent");
+    }
+}

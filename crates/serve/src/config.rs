@@ -1,6 +1,7 @@
 //! Serving-runtime configuration and its environment-variable knobs.
 
 use axcore_nn::generate::Decoding;
+use axcore_nn::kvcache::KvPageConfig;
 use axcore_parallel::env;
 use std::time::Duration;
 
@@ -28,10 +29,24 @@ pub struct ServeConfig {
     /// Admission-queue capacity; submits beyond it get
     /// `SubmitError::QueueFull` (`AXCORE_QUEUE_DEPTH`).
     pub queue_depth: usize,
-    /// Most decode requests coalesced into one batch (`AXCORE_BATCH`).
+    /// Most sequences decoding concurrently in the continuous batch
+    /// (`AXCORE_BATCH`).
     pub max_batch: usize,
-    /// How long the batcher waits for more requests to coalesce once it
-    /// has at least one (cut short under deadline pressure).
+    /// Admission bound on **tokens in flight**: a request is only
+    /// admitted into the running batch while the sum of
+    /// `prompt + budget` across live sequences stays at or under this
+    /// (`AXCORE_TOKENS_IN_FLIGHT`). This is what bounds the KV page
+    /// arena — pages track live tokens, not queue depth. A request too
+    /// large to ever fit still runs, alone.
+    pub max_tokens_in_flight: usize,
+    /// KV-cache page configuration for the continuous batcher
+    /// (`AXCORE_KV` selects FP or 4-bit quantized pages,
+    /// `AXCORE_KV_BLOCK` the positions per page).
+    pub kv: KvPageConfig,
+    /// How long an *idle* batcher waits for batchmates to coalesce after
+    /// the first request arrives (cut short under deadline pressure).
+    /// Once sequences are decoding, admission happens at every token
+    /// boundary and this window is not paid again.
     pub batch_window: Duration,
     /// Deadline applied to requests that don't carry their own
     /// (`AXCORE_DEADLINE_MS`).
@@ -61,6 +76,8 @@ impl Default for ServeConfig {
         ServeConfig {
             queue_depth: 64,
             max_batch: 8,
+            max_tokens_in_flight: 512,
+            kv: KvPageConfig::default(),
             batch_window: Duration::from_millis(2),
             default_deadline: Duration::from_millis(1000),
             decoding: Decoding::Greedy,
@@ -75,16 +92,24 @@ impl Default for ServeConfig {
 
 impl ServeConfig {
     /// Defaults overridden by the environment: `AXCORE_QUEUE_DEPTH`,
-    /// `AXCORE_BATCH`, `AXCORE_DEADLINE_MS`, and `AXCORE_SHED`
-    /// (`off`/`0` disables the degradation ladder). Unset or unparsable
-    /// variables keep the default.
+    /// `AXCORE_BATCH`, `AXCORE_TOKENS_IN_FLIGHT`, `AXCORE_DEADLINE_MS`,
+    /// `AXCORE_SHED` (`off`/`0` disables the degradation ladder), plus
+    /// the KV-page knobs `AXCORE_KV` / `AXCORE_KV_BLOCK` (see
+    /// [`KvPageConfig::from_env`]). Unset or unparsable variables keep
+    /// the default.
     pub fn from_env() -> Self {
-        let mut cfg = ServeConfig::default();
+        let mut cfg = ServeConfig {
+            kv: KvPageConfig::from_env(),
+            ..ServeConfig::default()
+        };
         if let Some(n) = env::parse_usize("AXCORE_QUEUE_DEPTH") {
             cfg.queue_depth = n.max(1);
         }
         if let Some(n) = env::parse_usize("AXCORE_BATCH") {
             cfg.max_batch = n.max(1);
+        }
+        if let Some(n) = env::parse_usize("AXCORE_TOKENS_IN_FLIGHT") {
+            cfg.max_tokens_in_flight = n.max(1);
         }
         if let Some(ms) = env::parse_usize("AXCORE_DEADLINE_MS") {
             cfg.default_deadline = Duration::from_millis(ms.max(1) as u64);
@@ -112,5 +137,7 @@ mod tests {
         assert!(c.queue_depth >= 1 && c.max_batch >= 1);
         assert!(c.wedge_grace > c.watchdog_interval / 2);
         assert!(c.shed_enabled && c.fault.is_none());
+        assert!(c.max_tokens_in_flight >= c.max_batch, "room for a full batch of tokens");
+        assert!(c.kv.quant.is_none(), "exact FP pages by default");
     }
 }

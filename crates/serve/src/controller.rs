@@ -11,7 +11,8 @@
 //! | 2 | runtime verify policy → `Off` |
 //! | 3 | quarantine the LUT tiers (forces the direct datapath, whose working set skips the per-call LUT gather bookkeeping and frees the verify budget entirely) |
 //! | 4 | halve the batch ceiling (shorter batches → finer deadline granularity) |
-//! | 5 | shed: new submissions get `SubmitError::Overloaded` |
+//! | 5 | evict the longest-idle sequence's KV prefix pages (raises a request the batcher consumes between decode steps; the victim re-prefills when resumed — memory headroom before any request is refused) |
+//! | 6 | shed: new submissions get `SubmitError::Overloaded` |
 //!
 //! Every tier/policy mutation remembers what it found so restore puts
 //! back the *pre-existing* state — a tier quarantined for an integrity
@@ -27,8 +28,12 @@ use axcore::VerifyPolicy;
 use axcore_parallel::health::{self, Tier};
 use std::sync::atomic::Ordering::Relaxed;
 
+/// Ladder rung that evicts longest-idle KV prefix pages — the last
+/// resort *before* refusing work.
+pub(crate) const EVICT_LEVEL: u8 = 5;
+
 /// Highest ladder rung: admission shedding.
-pub(crate) const SHED_LEVEL: u8 = 5;
+pub(crate) const SHED_LEVEL: u8 = 6;
 
 /// Sampling denominator installed at level 1 (ABFT on one call in 16).
 const SAMPLE_P: u32 = 16;
@@ -125,7 +130,14 @@ impl Controller {
                     }
                 }
             }
-            // 4 (batch halving) and 5 (shedding) are pure controller
+            // The eviction rung raises a request; the batcher (which
+            // owns the scheduler) performs it between decode steps.
+            // There is nothing to undo on restore — an evicted prefix
+            // is simply recomputed when the victim resumes.
+            EVICT_LEVEL => {
+                metrics.pending_evictions.fetch_add(1, Relaxed);
+            }
+            // 4 (batch halving) and 6 (shedding) are pure controller
             // state, read through `effective_max_batch` / `shedding`.
             _ => {}
         }
@@ -197,6 +209,11 @@ mod tests {
         assert_eq!(c.level(), SHED_LEVEL, "ladder is capped");
         assert!(c.shedding());
         assert_eq!(c.effective_max_batch(), 4, "batch halved at level 4+");
+        assert_eq!(
+            metrics.pending_evictions.load(Relaxed),
+            1,
+            "evict rung raised exactly one eviction request before shedding"
+        );
         assert_eq!(
             axcore::runtime_verify_policy(),
             Some(VerifyPolicy::Off),

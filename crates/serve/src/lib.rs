@@ -13,16 +13,24 @@
 //!   into a fixed-depth queue (returning a [`Ticket`]) or rejects it
 //!   immediately with a typed [`SubmitError`]; nothing in the runtime
 //!   grows without bound under overload.
-//! * **Dynamic batching** — a batcher thread coalesces compatible
-//!   requests (same token budget) for a bounded window and decodes them
-//!   in lockstep via `decode_batch`, whose per-sequence forwards make
-//!   every served output **bit-identical** to the same request run
-//!   alone — batching, load shedding, and verification downgrades never
-//!   change answer bits, only latency and failure typing.
+//! * **Continuous batching** — a batcher thread runs an
+//!   `axcore_nn::scheduler::DecodeScheduler` over a block-paged KV
+//!   arena: sequences with ragged prompts, budgets, and deadlines join
+//!   and leave the running batch at **token granularity**, each step
+//!   forwards only uncached tokens (KV gathered through per-sequence
+//!   block tables), and admission is bounded by **tokens in flight**
+//!   ([`ServeConfig::max_tokens_in_flight`]) so the page arena — not
+//!   the queue — is what memory tracks. With the default FP pages every
+//!   served output stays **bit-identical** to the same request run
+//!   alone — batching, admission timing, eviction, load shedding, and
+//!   verification downgrades never change answer bits, only latency and
+//!   failure typing. `AXCORE_KV` switches the arena to 4-bit quantized
+//!   pages (an accuracy-gated tier, no longer bit-exact).
 //! * **Overload shedding** — a hysteretic controller walks a
 //!   degradation ladder (verification `Full → Sample → Off`, LUT tiers
-//!   → direct datapath, batch shrink, finally typed admission shedding)
-//!   and walks it back when the queue calms.
+//!   → direct datapath, batch shrink, longest-idle KV prefix eviction,
+//!   finally typed admission shedding) and walks it back when the queue
+//!   calms.
 //! * **Watchdog** — a supervisor thread detects batches that stopped
 //!   making progress, cancels them cooperatively, and if that fails
 //!   abandons the batch with [`ServeError::Wedged`], force-restarts the

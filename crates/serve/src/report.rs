@@ -34,6 +34,13 @@ pub enum Incident {
         /// The new (lower) degradation level.
         level: u8,
     },
+    /// The eviction rung fired: the longest-idle sequence's KV prefix
+    /// pages were returned to the arena (the sequence re-prefills when
+    /// resumed) to shrink the page working set before shedding.
+    PagesEvicted {
+        /// KV pages freed by the eviction.
+        pages: usize,
+    },
 }
 
 /// Hot-path counters. Everything the batcher touches per request is an
@@ -54,6 +61,14 @@ pub(crate) struct Metrics {
     pub max_queue_depth: AtomicUsize,
     pub escalations: AtomicU64,
     pub restores: AtomicU64,
+    /// Eviction requests raised by the controller's evict rung, consumed
+    /// (decremented to zero via `swap`) by the batcher between steps.
+    pub pending_evictions: AtomicU64,
+    pub evictions: AtomicU64,
+    pub kv_pages_live: AtomicUsize,
+    pub kv_pages_peak: AtomicUsize,
+    pub kv_block: AtomicUsize,
+    pub tokens_in_flight_peak: AtomicUsize,
     pub latencies_ms: Mutex<Vec<f64>>,
     pub incidents: Mutex<Vec<Incident>>,
 }
@@ -98,9 +113,10 @@ pub struct ServeReport {
     /// Requests failed with a typed generation error (bad prompt, GEMM
     /// failure).
     pub request_errors: u64,
-    /// Batches executed.
+    /// Decode steps executed (each step advances every live sequence by
+    /// one token).
     pub batches: u64,
-    /// Mean requests per executed batch.
+    /// Mean sequences decoding concurrently per step.
     pub mean_batch: f64,
     /// Highest queue depth observed.
     pub max_queue_depth: usize,
@@ -133,6 +149,18 @@ pub struct ServeReport {
     /// output columns across this many workers unless `AXCORE_SHARDS`
     /// overrides the shard count.
     pub gemm_threads: usize,
+    /// KV-arena pages owned by live sequences at snapshot time.
+    pub kv_pages_live: usize,
+    /// High-water mark of simultaneously live KV pages — bounded by the
+    /// token-in-flight admission cap, not by queue depth.
+    pub kv_pages_peak: usize,
+    /// Positions per KV page (`AXCORE_KV_BLOCK`).
+    pub kv_block: usize,
+    /// High-water mark of tokens held by live sequences.
+    pub tokens_in_flight_peak: usize,
+    /// Longest-idle prefix-page evictions performed by the overload
+    /// ladder's evict rung.
+    pub evictions: u64,
     /// The incident log, oldest first.
     pub incidents: Vec<Incident>,
 }
@@ -198,6 +226,11 @@ pub(crate) fn snapshot(
         pool_restarts: axcore_parallel::pool_restarts(),
         tier_downgrades: axcore_parallel::health::downgrades_recorded(),
         gemm_threads: axcore_parallel::current_threads(),
+        kv_pages_live: m.kv_pages_live.load(Relaxed),
+        kv_pages_peak: m.kv_pages_peak.load(Relaxed),
+        kv_block: m.kv_block.load(Relaxed),
+        tokens_in_flight_peak: m.tokens_in_flight_peak.load(Relaxed),
+        evictions: m.evictions.load(Relaxed),
         incidents: m.incidents.lock().map(|v| v.clone()).unwrap_or_default(),
     }
 }

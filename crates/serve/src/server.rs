@@ -1,5 +1,6 @@
-//! The serving runtime: bounded admission, a dynamic-batching executor
-//! thread, and a watchdog that recovers from wedged batches.
+//! The serving runtime: bounded admission, a continuous-batching
+//! executor thread over a paged KV arena, and a watchdog that recovers
+//! from wedged batches.
 //!
 //! # Threads and ownership
 //!
@@ -9,28 +10,42 @@
 //!   typed [`SubmitError`] or enqueues the request and hands back a
 //!   [`Ticket`] (the receiving half of a response channel).
 //! * **The batcher** (one live instance, identified by an epoch number)
-//!   gathers compatible requests from the queue, registers the batch as
-//!   *in-flight*, decodes it via
-//!   [`axcore_nn::generate::decode_batch`], and completes the tickets.
+//!   runs a [`DecodeScheduler`]: at every token boundary it admits
+//!   queued requests into the running batch — bounded by the
+//!   controller's batch ceiling and by **tokens in flight**
+//!   ([`crate::ServeConfig::max_tokens_in_flight`]), which is what
+//!   bounds the KV page arena — performs any evictions the overload
+//!   ladder requested, registers the step as *in-flight*, advances every
+//!   live sequence one token (KV-cached: each step forwards only the
+//!   uncached suffix), and completes the tickets of sequences that
+//!   retired. Sequences with different prompts, budgets, and deadlines
+//!   share the batch; one finishing never stalls the others.
 //! * **The watchdog** periodically ticks the overload controller and
-//!   inspects the in-flight slot. A batch past its hard deadline gets a
+//!   inspects the in-flight slot. A step past its hard deadline gets a
 //!   cooperative cancel first; if it still hasn't returned after
 //!   `wedge_grace`, the watchdog *takes* the in-flight record, fails its
 //!   tickets as [`ServeError::Wedged`], force-restarts the worker pool,
-//!   bumps the epoch, and spawns a replacement batcher. The superseded
-//!   batcher discovers the stale epoch when it tries to take the
-//!   in-flight record back and exits without touching anything.
+//!   bumps the epoch, and spawns a replacement batcher (with a fresh
+//!   scheduler and arena). The superseded batcher discovers the stale
+//!   epoch when it tries to take the in-flight record back and exits
+//!   without touching anything.
 //!
 //! The in-flight slot (`Mutex<Option<InFlight>>`) is the ownership
 //! hand-off point: whoever `take()`s the record completes its tickets,
 //! exactly once.
+//!
+//! With the default FP pages, every served completion stays
+//! **bit-identical** to the same request run alone through
+//! `try_generate`, regardless of batchmates, admission timing, or
+//! evictions — see [`axcore_nn::scheduler`] for the invariant.
 
 use crate::config::{ServeConfig, ServeFault};
-use crate::controller::Controller;
+use crate::controller::{Controller, EVICT_LEVEL};
 use crate::report::{snapshot, Incident, Metrics, ServeReport};
 use axcore_nn::eval::QuantizedLm;
-use axcore_nn::generate::{decode_batch, GenerateError};
-use std::collections::VecDeque;
+use axcore_nn::generate::GenerateError;
+use axcore_nn::scheduler::{DecodeScheduler, SeqHandle, StepEvent};
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::mpsc;
@@ -153,25 +168,33 @@ struct Pending {
 }
 
 /// The response-side of one batched request, parked in the in-flight
-/// slot while the batch decodes.
+/// slot while a decode step runs (only ever completed by the watchdog's
+/// wedge path — the healthy path answers through `SeqInfo`).
 struct TicketOut {
     tx: mpsc::Sender<Result<Completion, ServeError>>,
-    submitted: Instant,
 }
 
-/// The batch currently executing. Owned by the in-flight slot; whoever
-/// takes it completes the tickets.
+/// The batcher's per-sequence bookkeeping: the ticket, keyed by the
+/// scheduler handle, plus the request's deadline.
+struct SeqInfo {
+    tx: mpsc::Sender<Result<Completion, ServeError>>,
+    submitted: Instant,
+    deadline: Instant,
+}
+
+/// The decode step currently executing. Owned by the in-flight slot;
+/// whoever takes it completes (or fails) the tickets.
 struct InFlight {
     /// Epoch of the batcher that installed it; a batcher only takes the
     /// record back if the epoch still matches.
     epoch: u64,
     started: Instant,
-    /// Latest per-request deadline in the batch. A healthy decode
-    /// self-limits each sequence at its own deadline, so crossing this
-    /// means the executor is not returning.
+    /// Latest per-request deadline among the step's sequences. A healthy
+    /// step self-limits each sequence at its own deadline, so crossing
+    /// this means the executor is not returning.
     hard_deadline: Instant,
-    /// Cooperative cancel flag polled by the batch's `keep_going`
-    /// callback between tokens.
+    /// Cooperative cancel flag polled by the step's `keep_going`
+    /// callback per sequence.
     cancel: Arc<AtomicBool>,
     /// Whether the watchdog already issued the cooperative cancel.
     flagged: bool,
@@ -379,51 +402,223 @@ fn batcher_loop(shared: &Arc<Shared>, my_epoch: u64) {
     // A replacement batcher starts after a forced pool restart; clear
     // any sticky cooperative-cancel flag so fresh dispatches run.
     axcore_parallel::clear_cancel();
-    while let Some((batch, budget)) = gather(shared, my_epoch) {
-        execute(shared, my_epoch, batch, budget);
+    let mut sched = DecodeScheduler::new(&shared.qlm, shared.cfg.decoding, shared.cfg.kv);
+    let mut parts: HashMap<SeqHandle, SeqInfo> = HashMap::new();
+    loop {
+        if shared.epoch.load(Relaxed) != my_epoch {
+            // Superseded by the watchdog; it already failed our tickets.
+            return;
+        }
+        // Idle: nothing decoding. Park until work arrives or drain ends
+        // the loop; coalesce briefly once it does (the only place the
+        // batch window is paid — mid-decode admission is per token).
+        if sched.live() == 0 && !idle_start(shared, my_epoch) {
+            return;
+        }
+        admit_from_queue(shared, &mut sched, &mut parts);
+        if sched.live() == 0 {
+            continue;
+        }
+        run_evictions(shared, &mut sched);
+        maybe_resume(shared, &mut sched);
+        if !step_once(shared, my_epoch, &mut sched, &mut parts) {
+            return;
+        }
     }
 }
 
-/// Pull the next batch: requests sharing the queue head's token budget
-/// (so one `decode_batch` call serves them all), up to the controller's
-/// current batch ceiling, coalesced for up to `batch_window` unless a
-/// member's deadline is close. Returns `None` when this batcher should
-/// exit (drained, superseded, or a poisoned lock).
-fn gather(shared: &Arc<Shared>, my_epoch: u64) -> Option<(Vec<Pending>, usize)> {
-    let mut q = shared.queue.lock().ok()?;
-    let (mut batch, budget) = loop {
+/// Block until the queue is non-empty (true) or the batcher should exit
+/// (false: drained or superseded). On new work, waits out the coalescing
+/// window unless a deadline is near — the continuous analogue of the
+/// lockstep gather's batching delay.
+fn idle_start(shared: &Arc<Shared>, my_epoch: u64) -> bool {
+    let Ok(mut q) = shared.queue.lock() else {
+        return false;
+    };
+    loop {
         if shared.epoch.load(Relaxed) != my_epoch {
-            return None;
+            return false;
         }
         expire_queued(&mut q, &shared.metrics);
-        if q.front().is_some() {
-            let cap = effective_cap(shared);
-            let budget = q.front().map(|p| p.new_tokens)?;
-            break (pop_matching(&mut q, budget, cap, Vec::new()), budget);
+        if let Some(head) = q.front() {
+            let pressure = head.deadline.saturating_duration_since(Instant::now())
+                < shared.cfg.batch_window * PRESSURE_WINDOWS;
+            drop(q);
+            if !shared.cfg.batch_window.is_zero() && !pressure && !shared.draining.load(Relaxed) {
+                thread::sleep(shared.cfg.batch_window);
+            }
+            return true;
         }
         if shared.draining.load(Relaxed) {
-            return None;
+            return false;
         }
-        let (guard, _) = shared.queue_cv.wait_timeout(q, IDLE_POLL).ok()?;
+        let Ok((guard, _)) = shared.queue_cv.wait_timeout(q, IDLE_POLL) else {
+            return false;
+        };
         q = guard;
-    };
-    drop(q);
+    }
+}
 
+/// Admit queued requests into the running batch, FIFO, while both the
+/// concurrency ceiling and the token-in-flight bound allow. A request
+/// that can never fit the token bound is still admitted when the batch
+/// is empty (progress over strictness); invalid requests fail their
+/// ticket right here, without touching the batch.
+fn admit_from_queue(
+    shared: &Arc<Shared>,
+    sched: &mut DecodeScheduler<'_>,
+    parts: &mut HashMap<SeqHandle, SeqInfo>,
+) {
     let cap = effective_cap(shared);
-    let now = Instant::now();
-    let pressure = batch
-        .iter()
-        .map(|p| p.deadline)
-        .min()
-        .is_some_and(|d| d.saturating_duration_since(now) < shared.cfg.batch_window * PRESSURE_WINDOWS);
-    if batch.len() < cap && !pressure && !shared.cfg.batch_window.is_zero() {
-        thread::sleep(shared.cfg.batch_window);
-        if let Ok(mut q) = shared.queue.lock() {
-            expire_queued(&mut q, &shared.metrics);
-            batch = pop_matching(&mut q, budget, cap, batch);
+    let Ok(mut q) = shared.queue.lock() else {
+        return;
+    };
+    expire_queued(&mut q, &shared.metrics);
+    while sched.live() < cap {
+        let fits = q.front().is_some_and(|p| {
+            sched.live() == 0
+                || sched.tokens_committed() + p.prompt.len() + p.new_tokens
+                    <= shared.cfg.max_tokens_in_flight
+        });
+        if !fits {
+            break;
+        }
+        let Some(p) = q.pop_front() else { break };
+        match sched.admit(&p.prompt, p.new_tokens) {
+            Ok(handle) => {
+                parts.insert(
+                    handle,
+                    SeqInfo { tx: p.tx, submitted: p.submitted, deadline: p.deadline },
+                );
+            }
+            Err(e) => {
+                shared.metrics.request_errors.fetch_add(1, Relaxed);
+                let _ = p.tx.send(Err(ServeError::Invalid(e)));
+            }
         }
     }
-    Some((batch, budget))
+}
+
+/// Perform the evictions the overload ladder requested since the last
+/// step: return the longest-idle sequence's prefix pages to the arena
+/// (the victim re-prefills when resumed).
+fn run_evictions(shared: &Arc<Shared>, sched: &mut DecodeScheduler<'_>) {
+    let requested = shared.metrics.pending_evictions.swap(0, Relaxed);
+    for _ in 0..requested {
+        let Some((_victim, pages)) = sched.evict_longest_idle() else {
+            break;
+        };
+        shared.metrics.evictions.fetch_add(1, Relaxed);
+        shared.metrics.note_incident(Incident::PagesEvicted { pages });
+    }
+}
+
+/// Un-park one evicted sequence when the pressure that evicted it has
+/// passed (ladder below the evict rung, or nothing else to run). Paused
+/// sequences still see their deadlines fire inside `step`.
+fn maybe_resume(shared: &Arc<Shared>, sched: &mut DecodeScheduler<'_>) {
+    if sched.paused() == 0 {
+        return;
+    }
+    let level = shared.controller.lock().map(|c| c.level()).unwrap_or(0);
+    let queue_empty = shared.queue.lock().map(|q| q.is_empty()).unwrap_or(true);
+    if level < EVICT_LEVEL || queue_empty || sched.paused() == sched.live() {
+        sched.resume_one();
+    }
+}
+
+/// One supervised decode step: install the in-flight record, advance
+/// every live sequence a token, take the record back (unless the
+/// watchdog wedged us — then the tickets are already failed and we
+/// exit), and complete retired sequences' tickets. Returns `false` when
+/// this batcher must exit.
+fn step_once(
+    shared: &Arc<Shared>,
+    my_epoch: u64,
+    sched: &mut DecodeScheduler<'_>,
+    parts: &mut HashMap<SeqHandle, SeqInfo>,
+) -> bool {
+    let now = Instant::now();
+    let cancel = Arc::new(AtomicBool::new(false));
+    let hard_deadline = parts.values().map(|p| p.deadline).max().unwrap_or(now);
+    if let Ok(mut slot) = shared.inflight.lock() {
+        *slot = Some(InFlight {
+            epoch: my_epoch,
+            started: now,
+            hard_deadline,
+            cancel: Arc::clone(&cancel),
+            flagged: false,
+            parts: parts.values().map(|p| TicketOut { tx: p.tx.clone() }).collect(),
+        });
+    } else {
+        return false;
+    }
+    shared.metrics.batches.fetch_add(1, Relaxed);
+    shared.metrics.batched_requests.fetch_add(sched.live() as u64, Relaxed);
+
+    // Test-only wedge: stall before decoding, as a stuck kernel would.
+    if let Some(ServeFault::WedgeFirstBatch { hold }) = shared.cfg.fault {
+        if shared.fault_armed.swap(false, Relaxed) {
+            thread::sleep(hold);
+        }
+    }
+
+    let events = sched.step(|h| {
+        !cancel.load(Relaxed)
+            && parts.get(&h).is_some_and(|p| Instant::now() < p.deadline)
+    });
+
+    shared.metrics.kv_pages_live.store(sched.kv_pages_live(), Relaxed);
+    shared.metrics.kv_pages_peak.fetch_max(sched.kv_pages_peak(), Relaxed);
+    shared.metrics.kv_block.store(sched.kv_block(), Relaxed);
+    shared.metrics.tokens_in_flight_peak.fetch_max(sched.tokens_peak(), Relaxed);
+
+    // Take the in-flight record back. `None` or a different epoch means
+    // the watchdog wedged this step and already failed the tickets —
+    // the decoded output is discarded.
+    let taken = match shared.inflight.lock() {
+        Ok(mut slot) => {
+            if slot.as_ref().is_some_and(|f| f.epoch == my_epoch) {
+                slot.take()
+            } else {
+                None
+            }
+        }
+        Err(_) => None,
+    };
+    if taken.is_none() {
+        return false;
+    }
+    for ev in events {
+        match ev {
+            StepEvent::Finished { handle, outcome } => {
+                let Some(info) = parts.remove(&handle) else { continue };
+                if outcome.completed {
+                    shared.metrics.completed.fetch_add(1, Relaxed);
+                    shared
+                        .metrics
+                        .note_latency(info.submitted.elapsed().as_secs_f64() * 1e3);
+                    let _ = info.tx.send(Ok(Completion {
+                        tokens: outcome.tokens,
+                        generated: outcome.generated,
+                    }));
+                } else {
+                    // `keep_going` stopped it: its own deadline passed
+                    // (the cancel flag only trips after every deadline
+                    // in the step has passed — `hard_deadline` is the
+                    // max).
+                    shared.metrics.deadline_missed.fetch_add(1, Relaxed);
+                    let _ = info.tx.send(Err(ServeError::DeadlineExceeded));
+                }
+            }
+            StepEvent::Failed { handle, error } => {
+                let Some(info) = parts.remove(&handle) else { continue };
+                shared.metrics.request_errors.fetch_add(1, Relaxed);
+                let _ = info.tx.send(Err(ServeError::Invalid(error)));
+            }
+        }
+    }
+    true
 }
 
 /// Fail every queued request whose deadline already passed.
@@ -440,122 +635,12 @@ fn expire_queued(q: &mut VecDeque<Pending>, metrics: &Metrics) {
     });
 }
 
-/// Move queue entries with token budget `budget` into `batch` (up to
-/// `cap` total), preserving the relative order of everything left.
-fn pop_matching(
-    q: &mut VecDeque<Pending>,
-    budget: usize,
-    cap: usize,
-    mut batch: Vec<Pending>,
-) -> Vec<Pending> {
-    let mut rest = VecDeque::with_capacity(q.len());
-    while let Some(p) = q.pop_front() {
-        if batch.len() < cap && p.new_tokens == budget {
-            batch.push(p);
-        } else {
-            rest.push_back(p);
-        }
-    }
-    *q = rest;
-    batch
-}
-
 fn effective_cap(shared: &Shared) -> usize {
     shared
         .controller
         .lock()
         .map(|c| c.effective_max_batch())
         .unwrap_or(1)
-}
-
-fn execute(shared: &Arc<Shared>, my_epoch: u64, batch: Vec<Pending>, budget: usize) {
-    if batch.is_empty() {
-        return;
-    }
-    let now = Instant::now();
-    let cancel = Arc::new(AtomicBool::new(false));
-    let hard_deadline = batch.iter().map(|p| p.deadline).max().unwrap_or(now);
-    let deadlines: Vec<Instant> = batch.iter().map(|p| p.deadline).collect();
-    let mut prompts: Vec<Vec<usize>> = Vec::with_capacity(batch.len());
-    let mut parts: Vec<TicketOut> = Vec::with_capacity(batch.len());
-    for p in batch {
-        prompts.push(p.prompt);
-        parts.push(TicketOut {
-            tx: p.tx,
-            submitted: p.submitted,
-        });
-    }
-    let n = parts.len();
-    if let Ok(mut slot) = shared.inflight.lock() {
-        *slot = Some(InFlight {
-            epoch: my_epoch,
-            started: now,
-            hard_deadline,
-            cancel: Arc::clone(&cancel),
-            flagged: false,
-            parts,
-        });
-    } else {
-        return;
-    }
-    shared.metrics.batches.fetch_add(1, Relaxed);
-    shared.metrics.batched_requests.fetch_add(n as u64, Relaxed);
-
-    // Test-only wedge: stall before decoding, as a stuck kernel would.
-    if let Some(ServeFault::WedgeFirstBatch { hold }) = shared.cfg.fault {
-        if shared.fault_armed.swap(false, Relaxed) {
-            thread::sleep(hold);
-        }
-    }
-
-    let prompt_refs: Vec<&[usize]> = prompts.iter().map(|v| v.as_slice()).collect();
-    let results = decode_batch(
-        &shared.qlm,
-        &prompt_refs,
-        budget,
-        shared.cfg.decoding,
-        |i| !cancel.load(Relaxed) && Instant::now() < deadlines[i],
-    );
-
-    // Take the in-flight record back. `None` or a different epoch means
-    // the watchdog wedged this batch and already failed the tickets —
-    // the decoded output is discarded.
-    let taken = match shared.inflight.lock() {
-        Ok(mut slot) => {
-            if slot.as_ref().is_some_and(|f| f.epoch == my_epoch) {
-                slot.take()
-            } else {
-                None
-            }
-        }
-        Err(_) => None,
-    };
-    let Some(inflight) = taken else { return };
-    for (result, part) in results.into_iter().zip(inflight.parts) {
-        match result {
-            Ok(o) if o.completed => {
-                shared.metrics.completed.fetch_add(1, Relaxed);
-                shared
-                    .metrics
-                    .note_latency(part.submitted.elapsed().as_secs_f64() * 1e3);
-                let _ = part.tx.send(Ok(Completion {
-                    tokens: o.tokens,
-                    generated: o.generated,
-                }));
-            }
-            Ok(_) => {
-                // `keep_going` stopped it: its deadline passed (the
-                // cancel flag only trips after every deadline in the
-                // batch has passed — `hard_deadline` is the max).
-                shared.metrics.deadline_missed.fetch_add(1, Relaxed);
-                let _ = part.tx.send(Err(ServeError::DeadlineExceeded));
-            }
-            Err(e) => {
-                shared.metrics.request_errors.fetch_add(1, Relaxed);
-                let _ = part.tx.send(Err(ServeError::Invalid(e)));
-            }
-        }
-    }
 }
 
 fn watchdog_loop(shared: &Arc<Shared>) {
