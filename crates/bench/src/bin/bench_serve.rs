@@ -30,10 +30,13 @@
 //! mixed-budget throughput beats lockstep ≥1.5x with zero shed and a
 //! bounded page arena.
 
+use axcore::reliability::VerifyPolicy;
 use axcore_nn::eval::{quantize_model, QuantizedLm, Scheme};
 use axcore_nn::generate::{decode_batch, try_generate, Decoding};
+use axcore_nn::kvcache::KvPageConfig;
 use axcore_nn::layers::ActKind;
 use axcore_nn::model::{LmConfig, TransformerLm};
+use axcore_nn::scheduler::DecodeScheduler;
 use axcore_serve::{ServeConfig, ServeError, Server, SubmitError};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
@@ -103,6 +106,35 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
     }
     let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
     sorted[idx.min(sorted.len() - 1)]
+}
+
+/// KV checksum-verification overhead: the same continuous-batch decode
+/// cohort runs with arena verification pinned `Off` and `Sample(16)`
+/// (the production sampling cadence), interleaved best-of-3, on the
+/// otherwise idle machine. Returns the sampled-over-off overhead in
+/// percent and the pages verified by one sampled run.
+fn kv_verify_overhead(qlm: &QuantizedLm) -> (f64, u64) {
+    let run = |verify: VerifyPolicy| -> (f64, u64) {
+        let kv = KvPageConfig { verify: Some(verify), ..KvPageConfig::default() };
+        let mut sched = DecodeScheduler::new(qlm, Decoding::Greedy, kv);
+        for i in 0..6 {
+            sched.admit(&prompt_for(3000 + i), 32).expect("kv-verify admit");
+        }
+        let t = Instant::now();
+        while sched.live() > 0 {
+            sched.step(|_| true);
+        }
+        (t.elapsed().as_secs_f64(), sched.kv_pages_verified())
+    };
+    run(VerifyPolicy::Off); // warm caches and the page slab
+    let (mut best_off, mut best_sample, mut verified) = (f64::INFINITY, f64::INFINITY, 0);
+    for _ in 0..3 {
+        best_off = best_off.min(run(VerifyPolicy::Off).0);
+        let (s, v) = run(VerifyPolicy::Sample(16));
+        best_sample = best_sample.min(s);
+        verified = v;
+    }
+    ((best_sample / best_off.max(1e-9) - 1.0) * 100.0, verified)
 }
 
 fn main() {
@@ -337,6 +369,9 @@ fn main() {
     let server = Arc::try_unwrap(server).expect("all submitter threads joined");
     let report = server.shutdown();
 
+    // ---- Phase 5: KV verification overhead, on the now-idle machine ----
+    let (kv_verify_overhead_pct, kv_sample_pages_verified) = kv_verify_overhead(&qlm);
+
     let mut json = String::from("{\n");
     for p in [&nominal, &overload, &recovery] {
         json.push_str(&format!("  \"{}\": {},\n", p.name, p.json()));
@@ -356,6 +391,15 @@ fn main() {
         report.kv_block,
         report.tokens_in_flight_peak,
         report.evictions
+    ));
+    json.push_str(&format!(
+        "  \"kv_integrity\": {{ \"kv_verify_overhead_pct\": {:.2}, \"sample_pages_verified\": {}, \"kv_pages_verified\": {}, \"kv_corruptions_detected\": {}, \"kv_repairs\": {}, \"kv_capacity_stalls\": {} }},\n",
+        kv_verify_overhead_pct,
+        kv_sample_pages_verified,
+        report.kv_pages_verified,
+        report.kv_corruptions_detected,
+        report.kv_repairs,
+        report.kv_capacity_stalls
     ));
     json.push_str(&format!(
         "  \"controller\": {{ \"escalations\": {}, \"restores\": {}, \"peak_level\": {}, \"level_at_overload_end\": {}, \"final_level\": {}, \"restored_level_after_overload\": {} }},\n",
@@ -406,6 +450,9 @@ fn main() {
     println!(
         "mixed budgets 4-64: {mixed_tokens} tokens in {mixed_secs:.2} s ({mixed_tokens_per_s:.0} tok/s) vs lockstep {lockstep_tokens_per_s:.0} tok/s = {mixed_speedup:.2}x; kv pages peak {} x block {} (tokens peak {})",
         report.kv_pages_peak, report.kv_block, report.tokens_in_flight_peak
+    );
+    println!(
+        "kv verification: Sample(16) overhead {kv_verify_overhead_pct:.2}% over Off ({kv_sample_pages_verified} pages verified per sampled run)"
     );
 
     if std::env::var("AXCORE_BENCH_STRICT").as_deref() == Ok("1") {
@@ -471,6 +518,20 @@ fn main() {
                 report.kv_pages_peak, report.kv_block, tokens_cap
             ));
         }
-        println!("strict gate ok: nominal under deadline, overload shed typed, recovery restored, mixed budgets {mixed_speedup:.2}x over lockstep with a bounded arena");
+        if kv_sample_pages_verified == 0 {
+            fail("sampled KV verification verified zero pages — the check never ran".into());
+        }
+        if kv_verify_overhead_pct >= 10.0 {
+            fail(format!(
+                "sampled KV verification overhead {kv_verify_overhead_pct:.2}% >= 10% over Off"
+            ));
+        }
+        if report.kv_corruptions_detected != 0 || report.kv_repairs != 0 {
+            fail(format!(
+                "fault-free serve run reported KV corruption: {} detected, {} repairs",
+                report.kv_corruptions_detected, report.kv_repairs
+            ));
+        }
+        println!("strict gate ok: nominal under deadline, overload shed typed, recovery restored, mixed budgets {mixed_speedup:.2}x over lockstep with a bounded arena, sampled KV verification {kv_verify_overhead_pct:.2}% overhead");
     }
 }

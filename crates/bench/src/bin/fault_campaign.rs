@@ -96,8 +96,10 @@ fn main() -> ExitCode {
 
     print_section("at-rest faults (checksummed regions, VerifyPolicy::Full)", &report.at_rest, false);
     print_section("transient faults (in-flight upsets)", &report.transient, true);
+    print_section("KV at-rest faults (live paged decode, self-healing)", &report.kv, true);
     let ar = report.at_rest_totals();
     let tr = report.transient_totals();
+    let kt = report.kv_totals();
     println!(
         "at-rest:   {} injections, detection rate {:.4}, {} silent",
         ar.injections,
@@ -109,6 +111,13 @@ fn main() -> ExitCode {
         tr.injections,
         tr.detection_rate(),
         tr.silent_corruption
+    );
+    println!(
+        "kv:        {} injections, detection rate {:.4}, {} silent, {} unrepaired",
+        kt.injections,
+        kt.detection_rate(),
+        kt.silent_corruption,
+        kt.detected_uncorrected
     );
 
     match fs::write(&out_path, report.to_json()) {

@@ -21,6 +21,15 @@
 //!   checksums; the ABFT row check catches the large flips and the
 //!   campaign reports the silent-corruption rate of the rest, which is
 //!   the scientific output (an SDC-rate characterization), not a gate.
+//! - **KV at-rest faults**: one bit of a live paged decode's KV state —
+//!   a sealed K/V page word, the committed hot-tail, or a block-table
+//!   entry — is flipped mid-decode through the scheduler's injection
+//!   hooks, with the arena's per-page checksums pinned to
+//!   [`VerifyPolicy::Full`]. The gate ([`CampaignReport::check`]) is the
+//!   self-healing contract: every hit detected, zero silent
+//!   corruptions, and the repaired completion identical to the
+//!   recompute path's fault-free output (for exact FP pages that is the
+//!   undisturbed completion itself).
 //!
 //! Everything is driven by one [`XorShift`] stream seeded from
 //! [`CampaignConfig::seed`], and the engines run serially
@@ -34,8 +43,14 @@ use axcore::engines::{
 use axcore::reliability::faults::{self, FaultPlan, TransientSite};
 use axcore::reliability::{with_verify_policy, VerifyPolicy};
 use axcore::systolic::systolic_gemm;
+use axcore_nn::eval::{quantize_model, QuantizedLm, Scheme};
+use axcore_nn::generate::Decoding;
+use axcore_nn::kvcache::{KvPageConfig, KV_FAULT_SITES};
+use axcore_nn::layers::ActKind;
+use axcore_nn::model::{LmConfig, TransformerLm};
+use axcore_nn::scheduler::{DecodeScheduler, StepEvent};
 use axcore_parallel::health;
-use axcore_quant::{GroupQuantizer, QuantFormat, QuantizedMatrix};
+use axcore_quant::{GroupQuantizer, KvQuantConfig, QuantFormat, QuantizedMatrix};
 use axcore_softfloat::FP16;
 
 /// Small deterministic RNG (xorshift64*): the campaign's only source of
@@ -237,6 +252,9 @@ pub struct CampaignReport {
     pub at_rest: Vec<SiteTally>,
     /// Per-`(engine, site)` tallies for transient (in-flight) faults.
     pub transient: Vec<SiteTally>,
+    /// Per-`(page-mode, site)` tallies for at-rest faults in live paged
+    /// KV-cache state, swept during continuous decode.
+    pub kv: Vec<SiteTally>,
 }
 
 /// Aggregate counts over a tally slice.
@@ -287,6 +305,11 @@ impl CampaignReport {
         Totals::over(&self.transient)
     }
 
+    /// Aggregate over the KV at-rest tallies.
+    pub fn kv_totals(&self) -> Totals {
+        Totals::over(&self.kv)
+    }
+
     /// Gate the at-rest (checksummed-region) results: every injected
     /// flip must be detected-and-corrected or masked, with zero silent
     /// corruptions and ≥ 99% detection under `Full` verification.
@@ -312,6 +335,25 @@ impl CampaignReport {
                 "at-rest detection rate {:.4} below 0.99",
                 t.detection_rate()
             ));
+        }
+        let k = self.kv_totals();
+        if k.injections == 0 {
+            return Err("KV campaign ran zero injections".to_string());
+        }
+        if k.silent_corruption != 0 {
+            return Err(format!(
+                "{} silent corruption(s) in checksummed KV pages",
+                k.silent_corruption
+            ));
+        }
+        if k.detected_uncorrected != 0 {
+            return Err(format!(
+                "{} detected KV fault(s) whose repair was not bit-identical",
+                k.detected_uncorrected
+            ));
+        }
+        if k.detection_rate() < 0.99 {
+            return Err(format!("KV detection rate {:.4} below 0.99", k.detection_rate()));
         }
         Ok(())
     }
@@ -342,18 +384,24 @@ impl CampaignReport {
         let c = &self.config;
         let ar = self.at_rest_totals();
         let tr = self.transient_totals();
+        let kt = self.kv_totals();
         let at_rest: Vec<String> = self.at_rest.iter().map(|t| tally(t, false)).collect();
         let transient: Vec<String> = self.transient.iter().map(|t| tally(t, true)).collect();
+        let kv: Vec<String> = self.kv.iter().map(|t| tally(t, true)).collect();
         format!(
-            "{{\n  \"schema\": \"axcore-fault-campaign-v1\",\n  \"policy\": \"full\",\n  \
+            "{{\n  \"schema\": \"axcore-fault-campaign-v2\",\n  \"policy\": \"full\",\n  \
              \"config\": {{\"seed\": {}, \"m\": {}, \"k\": {}, \"n\": {}, \
              \"samples_per_site\": {}, \"transient_samples\": {}}},\n  \
              \"at_rest\": [\n{}\n  ],\n  \"transient\": [\n{}\n  ],\n  \
+             \"kv\": [\n{}\n  ],\n  \
              \"summary\": {{\n    \"at_rest_injections\": {},\n    \
              \"at_rest_detected_corrected\": {},\n    \"at_rest_masked\": {},\n    \
              \"at_rest_silent_corruption\": {},\n    \"at_rest_detection_rate\": {:.4},\n    \
              \"transient_injections\": {},\n    \"transient_detection_rate\": {:.4},\n    \
-             \"transient_silent_corruption\": {}\n  }}\n}}\n",
+             \"transient_silent_corruption\": {},\n    \
+             \"kv_injections\": {},\n    \"kv_detected_corrected\": {},\n    \
+             \"kv_masked\": {},\n    \"kv_silent_corruption\": {},\n    \
+             \"kv_detection_rate\": {:.4}\n  }}\n}}\n",
             c.seed,
             c.m,
             c.k,
@@ -362,6 +410,7 @@ impl CampaignReport {
             c.transient_samples,
             at_rest.join(",\n"),
             transient.join(",\n"),
+            kv.join(",\n"),
             ar.injections,
             ar.detected_corrected,
             ar.masked,
@@ -370,6 +419,11 @@ impl CampaignReport {
             tr.injections,
             tr.detection_rate(),
             tr.silent_corruption,
+            kt.injections,
+            kt.detected_corrected,
+            kt.masked,
+            kt.silent_corruption,
+            kt.detection_rate(),
         )
     }
 }
@@ -502,6 +556,135 @@ fn sweep_transient(cfg: &CampaignConfig, rng: &mut XorShift, tallies: &mut Vec<S
     health::reset();
 }
 
+/// Drive a single-sequence scheduler to completion (at most `max_steps`
+/// decode steps), calling `at_boundary` before each step with the count
+/// of steps already taken. Returns the finished token sequence, or
+/// `None` if the sequence failed or never finished.
+fn drive(
+    sched: &mut DecodeScheduler<'_>,
+    max_steps: usize,
+    mut at_boundary: impl FnMut(&mut DecodeScheduler<'_>, usize),
+) -> Option<Vec<usize>> {
+    for steps in 0..max_steps {
+        if sched.live() == 0 {
+            return None;
+        }
+        at_boundary(sched, steps);
+        match sched.step(|_| true).into_iter().next() {
+            Some(StepEvent::Finished { outcome, .. }) => return Some(outcome.tokens),
+            Some(StepEvent::Failed { .. }) => return None,
+            None => {}
+        }
+    }
+    None
+}
+
+/// Run the KV at-rest sweep: a tiny transformer decodes through the
+/// paged arena (checksums pinned to [`VerifyPolicy::Full`]); at a random
+/// step boundary one bit of one committed KV fault site is flipped, and
+/// the decode runs to completion through the scheduler's self-healing
+/// path.
+///
+/// Correctness of a repair is judged against the recompute path's own
+/// fault-free output: a clean run that evicts-and-resumes the sequence
+/// at the same boundary re-prefills exactly the state the repair
+/// rebuilds, so the two runs must agree bit-for-bit. With exact FP
+/// pages that reference also equals the undisturbed completion; with
+/// quantized pages re-prefill legitimately reads pre-seal values, so
+/// only the recompute-path reference is exact.
+fn sweep_kv(cfg: &CampaignConfig, rng: &mut XorShift, tallies: &mut Vec<SiteTally>) {
+    let lm_cfg = LmConfig {
+        vocab: 17,
+        d_model: 16,
+        n_layers: 2,
+        n_heads: 2,
+        d_ff: 24,
+        max_seq: 48,
+        act: ActKind::Relu,
+    };
+    let model = TransformerLm::new(lm_cfg, 13);
+    let qlm: QuantizedLm = quantize_model(&model, Scheme::AxCore, 8, None);
+    let prompt: Vec<usize> = vec![1, 2, 3, 4, 5];
+    let budget = 8usize;
+    // One extra step per repair cycle; a single injection needs at most
+    // one repair, so a small slack covers every healthy completion.
+    let cap = budget + 4;
+    let modes: [(&str, KvPageConfig); 2] = [
+        (
+            "fp32",
+            KvPageConfig { block: 4, verify: Some(VerifyPolicy::Full), ..Default::default() },
+        ),
+        (
+            "q4-opt",
+            KvPageConfig {
+                quant: Some(KvQuantConfig::opt()),
+                block: 4,
+                verify: Some(VerifyPolicy::Full),
+                ..Default::default()
+            },
+        ),
+    ];
+    for (mode, kv) in modes {
+        let mut sched = DecodeScheduler::new(&qlm, Decoding::Greedy, kv);
+        sched.admit(&prompt, budget).unwrap_or_else(|e| panic!("{e}"));
+        let clean = drive(&mut sched, cap, |_, _| {})
+            .unwrap_or_else(|| panic!("clean {mode} decode did not finish"));
+        // Evict-and-resume reference completions, keyed by the boundary
+        // step; computed lazily since most samples share boundaries.
+        let mut evict_ref: Vec<Option<Vec<usize>>> = vec![None; budget];
+        for site in KV_FAULT_SITES {
+            let mut tally = SiteTally::new(&format!("KvArena[{mode}]"), site);
+            for _ in 0..cfg.samples_per_site {
+                // Inject after `after` completed steps, with at least one
+                // step left so a verified gather sees the flip.
+                let after = 1 + rng.below(budget as u64 - 1) as usize;
+                let word_draw = rng.next_u64();
+                let bit_draw = rng.next_u64();
+                let mut sched = DecodeScheduler::new(&qlm, Decoding::Greedy, kv);
+                sched.admit(&prompt, budget).unwrap_or_else(|e| panic!("{e}"));
+                let mut injected = false;
+                let tokens = drive(&mut sched, cap, |sch, steps| {
+                    if steps == after {
+                        let surface = sch.kv_fault_surface(site);
+                        if surface > 0 {
+                            let word = (word_draw % surface as u64) as usize;
+                            let bits = if site == "kv-table" { 64 } else { 32 };
+                            let bit = (bit_draw % bits) as u32;
+                            injected = sch.inject_kv_fault(site, word, bit);
+                        }
+                    }
+                });
+                if !injected {
+                    tally.not_hit += 1;
+                    continue;
+                }
+                let detected = sched.kv_corruptions_detected() > 0;
+                let repaired = sched.kv_repairs() > 0;
+                let equal = match &tokens {
+                    None => false,
+                    Some(t) if *t == clean => true,
+                    Some(t) if detected && repaired => {
+                        let r = &mut evict_ref[after];
+                        if r.is_none() {
+                            let mut s2 = DecodeScheduler::new(&qlm, Decoding::Greedy, kv);
+                            s2.admit(&prompt, budget).unwrap_or_else(|e| panic!("{e}"));
+                            *r = drive(&mut s2, cap, |sch, steps| {
+                                if steps == after && sch.evict_longest_idle().is_some() {
+                                    sch.resume_one();
+                                }
+                            });
+                        }
+                        r.as_deref() == Some(t)
+                    }
+                    Some(_) => false,
+                };
+                tally.record(classify(detected, equal));
+            }
+            tallies.push(tally);
+        }
+    }
+}
+
 /// Run the full campaign described by `cfg`. Serial and deterministic:
 /// the same config always produces the same report.
 pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
@@ -515,7 +698,9 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
         }
         let mut transient = Vec::new();
         sweep_transient(cfg, &mut rng, &mut transient);
-        CampaignReport { config: *cfg, at_rest, transient }
+        let mut kv = Vec::new();
+        sweep_kv(cfg, &mut rng, &mut kv);
+        CampaignReport { config: *cfg, at_rest, transient, kv }
     })
 }
 
@@ -550,9 +735,26 @@ mod tests {
         r1.check().unwrap_or_else(|e| panic!("campaign gate failed: {e}"));
         assert!(r1.at_rest_totals().injections > 0);
         assert!(!r1.transient.is_empty());
+        assert!(r1.kv_totals().injections > 0, "KV sweep injected");
         // Same seed ⇒ byte-identical report.
         let r2 = run_campaign(&cfg);
         assert_eq!(r1.to_json(), r2.to_json());
+    }
+
+    #[test]
+    fn kv_sweep_covers_both_page_modes_and_heals_every_hit() {
+        let cfg = CampaignConfig::smoke(23);
+        let r = run_campaign(&cfg);
+        for mode in ["KvArena[fp32]", "KvArena[q4-opt]"] {
+            assert!(
+                r.kv.iter().any(|t| t.engine == mode && t.injections > 0),
+                "no KV injections ran for {mode}"
+            );
+        }
+        let k = r.kv_totals();
+        assert_eq!(k.silent_corruption, 0, "no silent KV corruption");
+        assert_eq!(k.detected_uncorrected, 0, "every detected KV fault repaired bit-identically");
+        assert!(k.detection_rate() >= 0.99, "rate {}", k.detection_rate());
     }
 
     #[test]

@@ -110,7 +110,7 @@ impl MultiHeadAttention {
     ///
     /// Panics if called before `forward`.
     pub fn backward(&mut self, dy: &[f32]) -> Vec<f32> {
-        let cache = self.cache.take().expect("backward before forward");
+        let Some(cache) = self.cache.take() else { panic!("backward before forward") };
         let AttnCache { q, k, v, probs, s } = cache;
         let d = self.d_model;
         let dh = self.head_dim();

@@ -12,7 +12,7 @@
 //! * Tender quantizes activations too (integer-only GEMM).
 
 use crate::attention::causal_softmax;
-use crate::kvcache::{KvArena, KvPageConfig, SeqId};
+use crate::kvcache::{KvArena, KvError, KvPageConfig, SeqId};
 use crate::layers::apply_act;
 use crate::model::TransformerLm;
 use crate::ops::softmax_rows;
@@ -23,6 +23,59 @@ use axcore::engines::{
 use axcore::GemmError;
 use axcore_quant::{CalibrationStats, GroupQuantizer, KvQuantConfig, QuantFormat};
 use axcore_softfloat::FP16;
+
+/// Typed failure of a paged forward pass, split by layer of origin:
+/// dense-stage GEMM failures and KV-arena failures take different
+/// recovery paths in the [`DecodeScheduler`](crate::scheduler) — a
+/// [`GemmError`] fails the request, while a [`KvError`] is backpressure
+/// ([`KvError::CapacityExhausted`]) or triggers repair-by-recomputation
+/// ([`KvError::CorruptPage`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PagedError {
+    /// A dense stage (prepared GEMM / head projection) failed.
+    Gemm(GemmError),
+    /// The paged KV arena refused or failed the cache operation.
+    Kv(KvError),
+}
+
+impl std::fmt::Display for PagedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PagedError::Gemm(e) => write!(f, "{e}"),
+            PagedError::Kv(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PagedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PagedError::Gemm(e) => Some(e),
+            PagedError::Kv(e) => Some(e),
+        }
+    }
+}
+
+impl From<GemmError> for PagedError {
+    fn from(e: GemmError) -> Self {
+        PagedError::Gemm(e)
+    }
+}
+
+impl From<KvError> for PagedError {
+    fn from(e: KvError) -> Self {
+        PagedError::Kv(e)
+    }
+}
+
+impl From<PagedError> for crate::generate::GenerateError {
+    fn from(e: PagedError) -> Self {
+        match e {
+            PagedError::Gemm(g) => crate::generate::GenerateError::Gemm(g),
+            PagedError::Kv(k) => crate::generate::GenerateError::Kv(k),
+        }
+    }
+}
 
 /// A compute scheme from Table 2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -549,13 +602,19 @@ impl QuantizedLm {
     /// a per-window measurement path and is **not** applied here; paged
     /// KV quantization is the arena's own page-sealing, selected by
     /// [`KvPageConfig`].
+    ///
+    /// Failures are typed by layer: a dense-stage failure surfaces as
+    /// [`PagedError::Gemm`], a KV-arena failure — capacity exhaustion or
+    /// a checksum mismatch detected on gather — as [`PagedError::Kv`],
+    /// which the scheduler turns into backpressure or
+    /// repair-by-recomputation rather than a failed request.
     pub fn try_forward_paged(
         &self,
         new_tokens: &[usize],
         start: usize,
         arena: &mut KvArena,
         seq: SeqId,
-    ) -> Result<Vec<f32>, GemmError> {
+    ) -> Result<Vec<f32>, PagedError> {
         let cfg = &self.src.cfg;
         let d = cfg.d_model;
         let nh = cfg.n_heads;
@@ -573,8 +632,8 @@ impl QuantizedLm {
             let q = self.try_linear(&qb.wq, &h, m)?;
             let k = self.try_linear(&qb.wk, &h, m)?;
             let v = self.try_linear(&qb.wv, &h, m)?;
-            arena.append(seq, li, start, &k, &v);
-            arena.gather(seq, li, s, &mut kf, &mut vf);
+            arena.try_append(seq, li, start, &k, &v)?;
+            arena.try_gather(seq, li, s, &mut kf, &mut vf)?;
             let ctx = crate::attention::attention_context_rows_sharded(
                 &q, &kf, &vf, start, m, d, nh, dh,
             );
@@ -587,7 +646,7 @@ impl QuantizedLm {
             x = x1.iter().zip(&o).map(|(p, q)| p + q).collect();
         }
         let h = self.src.ln_f.forward_infer(&x, m);
-        self.src.head.try_forward_infer(&h, m)
+        Ok(self.src.head.try_forward_infer(&h, m)?)
     }
 
     /// One decode step for many sequences at once: forward one new token
@@ -605,13 +664,16 @@ impl QuantizedLm {
     /// sequence alone, because every dense stage computes each output
     /// row from its own activation row only (the same row-independence
     /// that makes paged decode match the full forward). As there, the
-    /// caller commits each sequence's advance with [`KvArena::commit`]
-    /// after the pass succeeds; on failure the whole stacked pass fails.
+    /// caller commits each sequence's advance with
+    /// [`KvArena::try_commit`] after the pass succeeds; on failure the
+    /// whole stacked pass fails (a [`PagedError::Kv`] names the one
+    /// offending sequence so the scheduler can heal it and retry the
+    /// rest individually within the same step).
     pub fn try_forward_paged_batch(
         &self,
         items: &[(SeqId, usize, usize)],
         arena: &mut KvArena,
-    ) -> Result<Vec<f32>, GemmError> {
+    ) -> Result<Vec<f32>, PagedError> {
         let cfg = &self.src.cfg;
         let d = cfg.d_model;
         let nh = cfg.n_heads;
@@ -631,8 +693,8 @@ impl QuantizedLm {
             let v = self.try_linear(&qb.wv, &h, m)?;
             let mut ctx = vec![0f32; m * d];
             for (r, &(seq, start, _)) in items.iter().enumerate() {
-                arena.append(seq, li, start, &k[r * d..(r + 1) * d], &v[r * d..(r + 1) * d]);
-                arena.gather(seq, li, start + 1, &mut kf, &mut vf);
+                arena.try_append(seq, li, start, &k[r * d..(r + 1) * d], &v[r * d..(r + 1) * d])?;
+                arena.try_gather(seq, li, start + 1, &mut kf, &mut vf)?;
                 let c = crate::attention::attention_context_rows_sharded(
                     &q[r * d..(r + 1) * d],
                     &kf,
@@ -654,7 +716,7 @@ impl QuantizedLm {
             x = x1.iter().zip(&o).map(|(p, q)| p + q).collect();
         }
         let h = self.src.ln_f.forward_infer(&x, m);
-        self.src.head.try_forward_infer(&h, m)
+        Ok(self.src.head.try_forward_infer(&h, m)?)
     }
 
     /// Top-1 next-token accuracy over a token stream (Table-3 metric).
@@ -670,8 +732,10 @@ impl QuantizedLm {
                 let argmax = row
                     .iter()
                     .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-                    .unwrap()
+                    .fold(
+                        (0usize, f32::NEG_INFINITY),
+                        |best, (j, &x)| if x > best.1 { (j, x) } else { best },
+                    )
                     .0;
                 hits += (argmax == window[i + 1]) as usize;
                 count += 1;
@@ -725,12 +789,12 @@ pub fn eval_perplexity_paged(
     let mut start = 0;
     while start + seq_len < tokens.len() {
         let window = &tokens[start..start + seq_len + 1];
-        let seq = arena.join();
+        let seq = arena.try_join().unwrap_or_else(|e| panic!("{e}"));
         for i in 0..seq_len {
             let logits = qlm
                 .try_forward_paged(&window[i..i + 1], i, &mut arena, seq)
                 .unwrap_or_else(|e| panic!("{e}"));
-            arena.commit(seq, i + 1);
+            arena.try_commit(seq, i + 1).unwrap_or_else(|e| panic!("{e}"));
             let mut probs = logits;
             softmax_rows(&mut probs, 1, v);
             total -= (probs[window[i + 1]].max(1e-12) as f64).ln();

@@ -44,6 +44,9 @@ pub enum GenerateError {
     },
     /// A forward pass failed in the GEMM layer.
     Gemm(GemmError),
+    /// The paged KV cache failed — admission refused for capacity, or a
+    /// sequence exhausted its corruption-repair budget.
+    Kv(crate::kvcache::KvError),
 }
 
 impl fmt::Display for GenerateError {
@@ -57,6 +60,7 @@ impl fmt::Display for GenerateError {
                 write!(f, "token id {token} out of range (vocab {vocab})")
             }
             GenerateError::Gemm(e) => write!(f, "gemm failure during generation: {e}"),
+            GenerateError::Kv(e) => write!(f, "kv-cache failure during generation: {e}"),
         }
     }
 }
@@ -65,6 +69,7 @@ impl std::error::Error for GenerateError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             GenerateError::Gemm(e) => Some(e),
+            GenerateError::Kv(e) => Some(e),
             _ => None,
         }
     }
@@ -73,6 +78,12 @@ impl std::error::Error for GenerateError {
 impl From<GemmError> for GenerateError {
     fn from(e: GemmError) -> Self {
         GenerateError::Gemm(e)
+    }
+}
+
+impl From<crate::kvcache::KvError> for GenerateError {
+    fn from(e: crate::kvcache::KvError) -> Self {
+        GenerateError::Kv(e)
     }
 }
 
@@ -110,8 +121,8 @@ pub(crate) fn select_token(last: &[f32], mode: Decoding, rng: Option<&mut StdRng
             let mut probs: Vec<f32> = last.iter().map(|&l| l / temperature).collect();
             softmax_rows(&mut probs, 1, last.len());
             // `rng` is always Some in Sample mode (built from the seed).
-            #[allow(clippy::expect_used)]
-            sample_from(&probs, rng.expect("sampling rng present"))
+            let Some(rng) = rng else { panic!("sampling rng present") };
+            sample_from(&probs, rng)
         }
     }
 }
@@ -288,8 +299,7 @@ pub fn greedy_agreement(a: &QuantizedLm, b: &QuantizedLm, stream: &[usize], seq_
 fn argmax(row: &[f32]) -> usize {
     row.iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-        .unwrap()
+        .fold((0usize, f32::NEG_INFINITY), |best, (i, &x)| if x > best.1 { (i, x) } else { best })
         .0
 }
 

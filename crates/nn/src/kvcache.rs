@@ -28,13 +28,132 @@
 //! With `quant: None` (the default), pages are plain FP32 and paged
 //! decode is **byte-identical** to the serial non-cached forward — the
 //! bit-exactness contract `tests/paged_decode.rs` pins.
+//!
+//! # Hardening (DESIGN.md §13)
+//!
+//! The arena is the system's largest piece of mutable at-rest state, so
+//! misuse and memory faults are **typed, recoverable conditions** rather
+//! than panics or silent corruption:
+//!
+//! * **Fallible API** — [`try_join`](KvArena::try_join),
+//!   [`try_append`](KvArena::try_append),
+//!   [`try_commit`](KvArena::try_commit) and
+//!   [`try_gather`](KvArena::try_gather) return [`KvError`] for dead
+//!   handles, shape mismatches, out-of-range positions, capacity
+//!   exhaustion and detected corruption.
+//! * **Capacity bound** — [`KvPageConfig::max_pages`]
+//!   (`AXCORE_KV_PAGES`, default derived from a byte budget) caps the
+//!   page slab. Allocation beyond the cap fails with
+//!   [`KvError::CapacityExhausted`] so the scheduler backs off / evicts
+//!   instead of OOMing.
+//! * **Page integrity** — every committed page region carries a
+//!   [`mix`]-folded checksum bound to its owner `(sequence, table
+//!   index, covered length)`. Sealed (fully covered, possibly
+//!   quantized) pages are checksummed at seal time, the hot FP tail at
+//!   every commit. `try_gather` re-folds and compares under the active
+//!   [`VerifyPolicy`] (`Off`/`Sample(p)`/`Full`); a mismatch — a
+//!   flipped page bit *or* a flipped block-table entry, which the owner
+//!   binding catches — surfaces as [`KvError::CorruptPage`] naming the
+//!   poisoned sequence, and the scheduler heals it by recomputation.
+//!
+//! Positions appended but not yet committed (the in-pass hot window that
+//! `try_gather` may legitimately read before `try_commit`) are not yet
+//! checksummed; they are transient per-pass state, covered from the
+//! first commit onwards.
 
+use axcore::reliability::{mix, VerifyPolicy, CHECKSUM_SEED};
 use axcore_parallel::arena::{self, ArenaVec};
 use axcore_parallel::env;
 use axcore_quant::KvQuantConfig;
 
 /// Default positions per KV page (`AXCORE_KV_BLOCK` overrides).
 pub const DEFAULT_KV_BLOCK: usize = 16;
+
+/// Default byte budget (K + V page payload) from which
+/// [`KvPageConfig::max_pages`] is derived when not set explicitly:
+/// `max_pages = budget / page_bytes`, floored at one page.
+pub const DEFAULT_KV_BUDGET_BYTES: usize = 64 << 20;
+
+/// Typed failure of a [`KvArena`] operation. Every variant is
+/// recoverable by construction: callers reset or retire the offending
+/// sequence (the scheduler's repair/backpressure paths) instead of
+/// unwinding through the serving stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvError {
+    /// The [`SeqId`] does not name a live sequence (never joined, or
+    /// already left).
+    DeadSequence,
+    /// `k_rows` and `v_rows` disagree on the number of rows.
+    RowMismatch {
+        /// K floats supplied.
+        k: usize,
+        /// V floats supplied.
+        v: usize,
+    },
+    /// Row slices are not a whole number of `d_model`-wide rows.
+    NotRowAligned {
+        /// Floats supplied.
+        len: usize,
+        /// Model width the arena was built for.
+        d: usize,
+    },
+    /// A commit or gather addressed positions beyond the sequence's
+    /// allocated pages.
+    OutOfBounds {
+        /// First position that does not exist.
+        pos: usize,
+        /// Positions the sequence's block table can hold.
+        capacity: usize,
+    },
+    /// Allocating another page would exceed [`KvPageConfig::max_pages`].
+    /// Recoverable backpressure: evict/stall and retry, never OOM.
+    CapacityExhausted {
+        /// Pages the operation needed in total.
+        needed: usize,
+        /// Pages currently owned by live sequences.
+        live: usize,
+        /// The configured hard cap.
+        max_pages: usize,
+    },
+    /// `max_pages` was zero at config construction.
+    ZeroCapacity,
+    /// A checksum mismatch (or an out-of-slab block-table entry) was
+    /// detected while gathering: the sequence's cached state can no
+    /// longer be trusted and must be recomputed.
+    CorruptPage {
+        /// The poisoned sequence.
+        seq: SeqId,
+        /// Block-table index of the failing page.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for KvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvError::DeadSequence => write!(f, "dead KV sequence"),
+            KvError::RowMismatch { k, v } => {
+                write!(f, "K/V row count mismatch ({k} vs {v} floats)")
+            }
+            KvError::NotRowAligned { len, d } => {
+                write!(f, "KV rows must be d_model ({d}) wide, got {len} floats")
+            }
+            KvError::OutOfBounds { pos, capacity } => {
+                write!(f, "KV position {pos} beyond allocated capacity {capacity}")
+            }
+            KvError::CapacityExhausted { needed, live, max_pages } => write!(
+                f,
+                "KV arena full: need {needed} pages, {live} live of {max_pages} max"
+            ),
+            KvError::ZeroCapacity => write!(f, "KV page capacity must be positive"),
+            KvError::CorruptPage { seq, index } => {
+                write!(f, "corrupt KV page detected (seq {}, table index {index})", seq.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
 
 /// How the paged KV cache stores resident (filled-page) entries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,11 +163,29 @@ pub struct KvPageConfig {
     pub quant: Option<KvQuantConfig>,
     /// Positions per page.
     pub block: usize,
+    /// Hard cap on simultaneously live pages (`AXCORE_KV_PAGES`).
+    /// `None` derives the cap from [`DEFAULT_KV_BUDGET_BYTES`] and the
+    /// model's page size at arena construction. Use
+    /// [`with_max_pages`](KvPageConfig::with_max_pages) to set it with
+    /// zero rejected as a typed error.
+    pub max_pages: Option<usize>,
+    /// KV-integrity verification override for this arena. `None` (the
+    /// default) follows the ambient
+    /// [`VerifyPolicy`](axcore::reliability::current_verify_policy) —
+    /// the same `AXCORE_VERIFY` / overload-ladder plumbing that drives
+    /// GEMM verification. `Some(p)` pins the arena's own policy, which
+    /// benches use to isolate KV-check overhead.
+    pub verify: Option<VerifyPolicy>,
 }
 
 impl Default for KvPageConfig {
     fn default() -> Self {
-        KvPageConfig { quant: None, block: DEFAULT_KV_BLOCK }
+        KvPageConfig {
+            quant: None,
+            block: DEFAULT_KV_BLOCK,
+            max_pages: None,
+            verify: None,
+        }
     }
 }
 
@@ -56,7 +193,10 @@ impl KvPageConfig {
     /// Config from the environment: `AXCORE_KV` selects the page format
     /// (`fp32` — the default — or `q4-opt` / `q4-llama` for the paper's
     /// per-family 4-bit formats), `AXCORE_KV_BLOCK` the positions per
-    /// page. Unset or unparsable variables keep the defaults.
+    /// page, `AXCORE_KV_PAGES` the hard page-capacity bound (zero is
+    /// rejected loudly; unset derives the bound from
+    /// [`DEFAULT_KV_BUDGET_BYTES`]). Unset or unparsable variables keep
+    /// the defaults.
     pub fn from_env() -> Self {
         let mut cfg = KvPageConfig::default();
         if let Some(quant) = env::parse("AXCORE_KV", "fp32 | q4-opt | q4-llama", |s| {
@@ -72,7 +212,26 @@ impl KvPageConfig {
         if let Some(block) = env::parse_usize("AXCORE_KV_BLOCK") {
             cfg.block = block.max(1);
         }
+        if let Some(pages) = env::parse_usize("AXCORE_KV_PAGES") {
+            match cfg.with_max_pages(pages) {
+                Ok(c) => cfg = c,
+                Err(e) => eprintln!(
+                    "axcore: ignoring AXCORE_KV_PAGES={pages}: {e} \
+                     (keeping the byte-budget default)"
+                ),
+            }
+        }
         cfg
+    }
+
+    /// This config with an explicit page-capacity bound. Zero — an
+    /// arena that could never hold a token — is rejected as
+    /// [`KvError::ZeroCapacity`].
+    pub fn with_max_pages(self, max_pages: usize) -> Result<Self, KvError> {
+        if max_pages == 0 {
+            return Err(KvError::ZeroCapacity);
+        }
+        Ok(KvPageConfig { max_pages: Some(max_pages), ..self })
     }
 }
 
@@ -80,10 +239,30 @@ impl KvPageConfig {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SeqId(usize);
 
-/// One page: `block` positions × all layers of K and V rows.
+/// Fault-injection site names the arena understands (the KV counterpart
+/// of the prepared engines' at-rest regions): sealed — fully covered,
+/// checksummed-at-seal — K and V page regions, the committed hot-FP-tail
+/// K and V regions, and the per-sequence block tables.
+pub const KV_FAULT_SITES: [&str; 5] =
+    ["kv-k-sealed", "kv-v-sealed", "kv-k-tail", "kv-v-tail", "kv-table"];
+
+/// One page: `block` positions × all layers of K and V rows, plus the
+/// integrity state of its committed region.
 struct Page {
     k: ArenaVec<f32>,
     v: ArenaVec<f32>,
+    /// Owning sequence slot, `usize::MAX` when free. Reclamation walks
+    /// this record instead of the owner's block table, so a corrupted
+    /// table entry can never double-free another sequence's page or
+    /// leak the page it displaced.
+    owner: usize,
+    /// Committed positions this page's checksum covers (≤ block).
+    covered: usize,
+    /// [`mix`] fold over `(owner slot, table index, covered, K words,
+    /// V words)` of the covered region. Bound to the owner so a flipped
+    /// block-table entry — which lands the gather on a *self-consistent
+    /// but wrong* page — still mismatches.
+    sum: u64,
 }
 
 struct Seq {
@@ -104,12 +283,20 @@ pub struct KvArena {
     n_heads: usize,
     quant: Option<KvQuantConfig>,
     block: usize,
+    max_pages: usize,
+    verify: Option<VerifyPolicy>,
     pages: Vec<Page>,
     free: Vec<usize>,
     seqs: Vec<Option<Seq>>,
     free_seqs: Vec<usize>,
     live_pages: usize,
     peak_pages: usize,
+    /// `try_gather` calls — the sampling clock for `VerifyPolicy::Sample`.
+    gathers: u64,
+    /// Pages whose checksum was re-folded and compared.
+    pages_verified: u64,
+    /// Checksum mismatches (and out-of-slab table entries) detected.
+    corruptions: u64,
 }
 
 impl std::fmt::Debug for KvArena {
@@ -118,6 +305,7 @@ impl std::fmt::Debug for KvArena {
             .field("block", &self.block)
             .field("live_pages", &self.live_pages)
             .field("peak_pages", &self.peak_pages)
+            .field("max_pages", &self.max_pages)
             .field("quant", &self.quant.is_some())
             .finish()
     }
@@ -129,22 +317,35 @@ impl KvArena {
     ///
     /// # Panics
     ///
-    /// Panics if `d` is not divisible by `n_heads` or `cfg.block` is 0.
+    /// Panics if `d` is not divisible by `n_heads`, `cfg.block` is 0, or
+    /// `cfg.max_pages` is `Some(0)` (construct capacities through
+    /// [`KvPageConfig::with_max_pages`], which rejects zero as a typed
+    /// error).
     pub fn new(n_layers: usize, d: usize, n_heads: usize, cfg: KvPageConfig) -> KvArena {
         assert!(d.is_multiple_of(n_heads.max(1)), "d_model must divide into heads");
         assert!(cfg.block > 0, "KV page block must be positive");
+        assert!(cfg.max_pages != Some(0), "KV page capacity must be positive");
+        let page_bytes = 2 * n_layers.max(1) * cfg.block * d.max(1) * std::mem::size_of::<f32>();
+        let max_pages = cfg
+            .max_pages
+            .unwrap_or_else(|| (DEFAULT_KV_BUDGET_BYTES / page_bytes).max(1));
         KvArena {
             n_layers,
             d,
             n_heads,
             quant: cfg.quant,
             block: cfg.block,
+            max_pages,
+            verify: cfg.verify,
             pages: Vec::new(),
             free: Vec::new(),
             seqs: Vec::new(),
             free_seqs: Vec::new(),
             live_pages: 0,
             peak_pages: 0,
+            gathers: 0,
+            pages_verified: 0,
+            corruptions: 0,
         }
     }
 
@@ -163,15 +364,41 @@ impl KvArena {
         self.peak_pages
     }
 
+    /// The hard cap on simultaneously live pages.
+    pub fn max_pages(&self) -> usize {
+        self.max_pages
+    }
+
     /// Whether filled pages are quantized in place.
     pub fn quantized(&self) -> bool {
         self.quant.is_some()
     }
 
-    /// Register a new sequence with no cached positions.
-    pub fn join(&mut self) -> SeqId {
+    /// Pages whose committed region was checksum-verified on gather.
+    pub fn pages_verified(&self) -> u64 {
+        self.pages_verified
+    }
+
+    /// Checksum mismatches (or out-of-slab block-table entries) detected.
+    pub fn corruptions_detected(&self) -> u64 {
+        self.corruptions
+    }
+
+    /// Register a new sequence with no cached positions. Fails with
+    /// [`KvError::CapacityExhausted`] when as many sequences are live as
+    /// there are pages — beyond that, some sequence could never hold
+    /// even one page and the batch only thrashes.
+    pub fn try_join(&mut self) -> Result<SeqId, KvError> {
+        let live_seqs = self.seqs.iter().filter(|s| s.is_some()).count();
+        if live_seqs >= self.max_pages {
+            return Err(KvError::CapacityExhausted {
+                needed: 1,
+                live: self.live_pages,
+                max_pages: self.max_pages,
+            });
+        }
         let seq = Seq { table: Vec::new(), len: 0, sealed: 0 };
-        match self.free_seqs.pop() {
+        Ok(match self.free_seqs.pop() {
             Some(slot) => {
                 self.seqs[slot] = Some(seq);
                 SeqId(slot)
@@ -180,14 +407,15 @@ impl KvArena {
                 self.seqs.push(Some(seq));
                 SeqId(self.seqs.len() - 1)
             }
-        }
+        })
     }
 
     /// Drop a sequence, returning its pages to the free list. Returns
-    /// the number of pages freed.
+    /// the number of pages freed; a dead or unknown id is a no-op
+    /// returning 0 (so `leave` is idempotent).
     pub fn leave(&mut self, id: SeqId) -> usize {
         let freed = self.reset(id);
-        if let Some(slot) = self.seqs.get_mut(id.0) {
+        if let Some(slot @ Some(_)) = self.seqs.get_mut(id.0) {
             *slot = None;
             self.free_seqs.push(id.0);
         }
@@ -196,13 +424,30 @@ impl KvArena {
 
     /// Free a sequence's pages but keep it registered with length 0 —
     /// preemption by recomputation: the caller re-prefills the prefix on
-    /// the sequence's next step. Returns the number of pages freed.
+    /// the sequence's next step. Returns the number of pages freed; a
+    /// dead id is a no-op returning 0.
+    ///
+    /// Reclamation sweeps the pages' own owner records rather than the
+    /// sequence's block table: after table corruption the table is
+    /// untrustworthy, and following it could double-free a page another
+    /// sequence owns while leaking the one the flipped entry displaced.
     pub fn reset(&mut self, id: SeqId) -> usize {
         let Some(Some(seq)) = self.seqs.get_mut(id.0) else { return 0 };
-        let freed = seq.table.len();
-        self.free.append(&mut seq.table);
+        seq.table.clear();
         seq.len = 0;
         seq.sealed = 0;
+        let mut freed = 0;
+        for (p, pg) in self.pages.iter_mut().enumerate() {
+            if pg.owner == id.0 {
+                // Clear integrity state so a recycled page never carries
+                // a stale owner-bound checksum.
+                pg.owner = usize::MAX;
+                pg.covered = 0;
+                pg.sum = 0;
+                self.free.push(p);
+                freed += 1;
+            }
+        }
         self.live_pages -= freed;
         freed
     }
@@ -220,46 +465,87 @@ impl KvArena {
         self.seqs.iter().all(|s| s.is_none())
     }
 
+    /// Pages currently owned by sequence `id` (0 for a dead id).
+    pub fn seq_pages(&self, id: SeqId) -> usize {
+        match self.seqs.get(id.0) {
+            Some(Some(seq)) => seq.table.len(),
+            _ => 0,
+        }
+    }
+
     fn page_floats(&self) -> usize {
         self.n_layers * self.block * self.d
     }
 
-    fn alloc_page(&mut self) -> usize {
+    /// A free page id claimed for sequence slot `owner`, or `None` when
+    /// the capacity bound is reached.
+    fn alloc_page(&mut self, owner: usize) -> Option<usize> {
+        if self.live_pages >= self.max_pages {
+            return None;
+        }
         let id = match self.free.pop() {
             // Reused pages keep stale contents; every position is
-            // written before `gather` reads it.
+            // written before `gather` reads it, and `covered`/`sum`
+            // were cleared when the page was freed.
             Some(id) => id,
             None => {
                 let len = self.page_floats();
                 self.pages.push(Page {
                     k: arena::take(len, 0f32),
                     v: arena::take(len, 0f32),
+                    owner: usize::MAX,
+                    covered: 0,
+                    sum: 0,
                 });
                 self.pages.len() - 1
             }
         };
+        self.pages[id].owner = owner;
         self.live_pages += 1;
         self.peak_pages = self.peak_pages.max(self.live_pages);
-        id
+        Some(id)
     }
 
     /// Write `m` K/V rows (each `d` floats) for `layer` at positions
     /// `start..start + m` of sequence `id`, allocating pages as needed.
     /// Every layer of a forward pass appends the same position range;
-    /// [`commit`](KvArena::commit) advances the committed length once
-    /// the pass completes.
+    /// [`try_commit`](KvArena::try_commit) advances the committed length
+    /// once the pass completes.
     ///
-    /// # Panics
-    ///
-    /// Panics if the row slices disagree with `m × d` or the id is dead.
-    pub fn append(&mut self, id: SeqId, layer: usize, start: usize, k_rows: &[f32], v_rows: &[f32]) {
+    /// Fails with [`KvError::CapacityExhausted`] when the write needs a
+    /// page past [`KvPageConfig::max_pages`]; pages already claimed stay
+    /// in the table (the caller resets or retires the sequence, both of
+    /// which reclaim them). A block-table entry pointing outside the
+    /// page slab — only possible through corruption of the table — fails
+    /// with [`KvError::CorruptPage`] instead of writing wild.
+    pub fn try_append(
+        &mut self,
+        id: SeqId,
+        layer: usize,
+        start: usize,
+        k_rows: &[f32],
+        v_rows: &[f32],
+    ) -> Result<(), KvError> {
         let d = self.d;
-        assert_eq!(k_rows.len(), v_rows.len(), "K/V row count mismatch");
-        assert!(k_rows.len().is_multiple_of(d), "rows must be d_model wide");
+        if k_rows.len() != v_rows.len() {
+            return Err(KvError::RowMismatch { k: k_rows.len(), v: v_rows.len() });
+        }
+        if !k_rows.len().is_multiple_of(d) {
+            return Err(KvError::NotRowAligned { len: k_rows.len(), d });
+        }
+        if self.seq(id).is_none() {
+            return Err(KvError::DeadSequence);
+        }
         let m = k_rows.len() / d;
         let need_pages = (start + m).div_ceil(self.block);
-        while self.table_len(id) < need_pages {
-            let page = self.alloc_page();
+        while self.seq_pages(id) < need_pages {
+            let Some(page) = self.alloc_page(id.0) else {
+                return Err(KvError::CapacityExhausted {
+                    needed: need_pages,
+                    live: self.live_pages,
+                    max_pages: self.max_pages,
+                });
+            };
             if let Some(Some(seq)) = self.seqs.get_mut(id.0) {
                 seq.table.push(page);
             }
@@ -268,50 +554,121 @@ impl KvArena {
         let layer_off = layer * block * d;
         for r in 0..m {
             let pos = start + r;
-            let page = self.page_of(id, pos / block);
+            let idx = pos / block;
+            let page = match self.page_at(id, idx) {
+                Some(p) if p < self.pages.len() => p,
+                Some(_) => {
+                    self.corruptions += 1;
+                    return Err(KvError::CorruptPage { seq: id, index: idx });
+                }
+                None => {
+                    return Err(KvError::OutOfBounds {
+                        pos,
+                        capacity: self.seq_pages(id) * block,
+                    })
+                }
+            };
             let off = layer_off + (pos % block) * d;
             let pg = &mut self.pages[page];
             pg.k[off..off + d].copy_from_slice(&k_rows[r * d..(r + 1) * d]);
             pg.v[off..off + d].copy_from_slice(&v_rows[r * d..(r + 1) * d]);
         }
+        Ok(())
     }
 
-    fn table_len(&self, id: SeqId) -> usize {
+    fn seq(&self, id: SeqId) -> Option<&Seq> {
         match self.seqs.get(id.0) {
-            Some(Some(seq)) => seq.table.len(),
-            _ => 0,
+            Some(Some(seq)) => Some(seq),
+            _ => None,
         }
     }
 
-    fn page_of(&self, id: SeqId, idx: usize) -> usize {
-        match self.seqs.get(id.0) {
-            Some(Some(seq)) => seq.table[idx],
-            _ => panic!("dead KV sequence"),
-        }
+    /// The page id at table index `idx`, or `None` for a dead sequence
+    /// or an index past its table.
+    fn page_at(&self, id: SeqId, idx: usize) -> Option<usize> {
+        self.seq(id).and_then(|seq| seq.table.get(idx).copied())
     }
 
     /// Advance a sequence's committed length to `len` (all layers
     /// appended), sealing — quantizing in place — any page the commit
-    /// fully covers when the arena is quantized.
-    pub fn commit(&mut self, id: SeqId, len: usize) {
+    /// fully covers when the arena is quantized, then (re)folding the
+    /// integrity checksum of every page region the commit extended: the
+    /// newly sealed pages and the hot FP tail. Commits are monotonic; a
+    /// `len` at or under the current committed length (including a
+    /// zero-length commit on a fresh sequence) is a no-op.
+    pub fn try_commit(&mut self, id: SeqId, len: usize) -> Result<(), KvError> {
         let block = self.block;
         let filled = len / block;
-        let (to_seal, already) = match self.seqs.get_mut(id.0) {
+        let (old_len, to_seal, already) = match self.seqs.get_mut(id.0) {
             Some(Some(seq)) => {
+                if len <= seq.len {
+                    return Ok(());
+                }
+                if len > seq.table.len() * block {
+                    return Err(KvError::OutOfBounds {
+                        pos: len,
+                        capacity: seq.table.len() * block,
+                    });
+                }
+                let old = seq.len;
                 seq.len = len;
                 let already = seq.sealed;
                 seq.sealed = filled.min(seq.table.len());
-                (seq.sealed, already)
+                (old, seq.sealed, already)
             }
-            _ => return,
+            _ => return Err(KvError::DeadSequence),
         };
-        if self.quant.is_none() {
-            return;
+        if self.quant.is_some() {
+            for idx in already..to_seal {
+                match self.page_at(id, idx) {
+                    Some(page) if page < self.pages.len() => self.seal_page(page),
+                    Some(_) => {
+                        self.corruptions += 1;
+                        return Err(KvError::CorruptPage { seq: id, index: idx });
+                    }
+                    None => {}
+                }
+            }
         }
-        for idx in already..to_seal {
-            let page = self.page_of(id, idx);
-            self.seal_page(page);
+        // Checksum every page whose committed coverage grew: from the
+        // page holding the old tail through the page holding the new
+        // one. Runs after sealing so the fold sees the QDQ'd bits.
+        let first = old_len / block;
+        let last = (len - 1) / block;
+        for idx in first..=last {
+            let covered = (len - idx * block).min(block);
+            let Some(page) = self.page_at(id, idx) else { continue };
+            if page >= self.pages.len() {
+                self.corruptions += 1;
+                return Err(KvError::CorruptPage { seq: id, index: idx });
+            }
+            if covered > self.pages[page].covered {
+                self.pages[page].sum = self.page_sum(id.0, idx, page, covered);
+                self.pages[page].covered = covered;
+            }
         }
+        Ok(())
+    }
+
+    /// Fold the owner-bound checksum of a page's committed region: the
+    /// owning sequence slot, the table index, the covered length, and
+    /// the covered K and V words of every layer.
+    fn page_sum(&self, slot: usize, idx: usize, page: usize, covered: usize) -> u64 {
+        let (d, block) = (self.d, self.block);
+        let pg = &self.pages[page];
+        let mut h = mix(CHECKSUM_SEED, slot as u64);
+        h = mix(h, idx as u64);
+        h = mix(h, covered as u64);
+        for layer in 0..self.n_layers {
+            let off = layer * block * d;
+            for w in &pg.k[off..off + covered * d] {
+                h = mix(h, u64::from(w.to_bits()));
+            }
+            for w in &pg.v[off..off + covered * d] {
+                h = mix(h, u64::from(w.to_bits()));
+            }
+        }
+        h
     }
 
     /// Quantize-dequantize one filled page in place, per layer per head.
@@ -345,19 +702,67 @@ impl KvArena {
         }
     }
 
+    /// Whether this gather verifies checksums, per the arena's pinned
+    /// policy or the ambient [`VerifyPolicy`]. Advances the sampling
+    /// clock.
+    fn should_verify(&mut self) -> bool {
+        let policy = self.verify.unwrap_or_else(axcore::reliability::current_verify_policy);
+        self.gathers = self.gathers.wrapping_add(1);
+        match policy {
+            VerifyPolicy::Off => false,
+            VerifyPolicy::Full => true,
+            VerifyPolicy::Sample(p) => self.gathers.is_multiple_of(u64::from(p.max(1))),
+        }
+    }
+
     /// Copy the first `len` cached K/V rows of `layer` into contiguous
     /// `len × d` buffers (resized as needed). Positions beyond the
     /// committed length may be read immediately after
-    /// [`append`](KvArena::append) within the same forward pass (the FP
-    /// hot tail).
-    pub fn gather(&self, id: SeqId, layer: usize, len: usize, k_out: &mut Vec<f32>, v_out: &mut Vec<f32>) {
+    /// [`try_append`](KvArena::try_append) within the same forward pass
+    /// (the FP hot tail).
+    ///
+    /// Under the active [`VerifyPolicy`] (the arena's pinned
+    /// [`KvPageConfig::verify`], else the ambient policy) the committed
+    /// region of every page touched is checksum-verified; a mismatch
+    /// fails with [`KvError::CorruptPage`] naming the poisoned sequence,
+    /// and the output buffers must be considered garbage.
+    pub fn try_gather(
+        &mut self,
+        id: SeqId,
+        layer: usize,
+        len: usize,
+        k_out: &mut Vec<f32>,
+        v_out: &mut Vec<f32>,
+    ) -> Result<(), KvError> {
         let (d, block) = (self.d, self.block);
+        let Some(seq) = self.seq(id) else { return Err(KvError::DeadSequence) };
+        let (committed, capacity) = (seq.len, seq.table.len() * block);
+        if len > capacity {
+            return Err(KvError::OutOfBounds { pos: len, capacity });
+        }
+        let verify = self.should_verify();
         k_out.resize(len * d, 0.0);
         v_out.resize(len * d, 0.0);
         let layer_off = layer * block * d;
         let mut pos = 0usize;
         while pos < len {
-            let page = self.page_of(id, pos / block);
+            let idx = pos / block;
+            let Some(page) = self.page_at(id, idx).filter(|&p| p < self.pages.len()) else {
+                // A block-table entry pointing outside the slab can only
+                // come from corruption of the table itself.
+                self.corruptions += 1;
+                return Err(KvError::CorruptPage { seq: id, index: idx });
+            };
+            if verify {
+                let covered = committed.saturating_sub(idx * block).min(block);
+                if covered > 0 {
+                    self.pages_verified += 1;
+                    if self.page_sum(id.0, idx, page, covered) != self.pages[page].sum {
+                        self.corruptions += 1;
+                        return Err(KvError::CorruptPage { seq: id, index: idx });
+                    }
+                }
+            }
             let in_page = pos % block;
             let take = (block - in_page).min(len - pos);
             let src = layer_off + in_page * d;
@@ -365,6 +770,68 @@ impl KvArena {
             k_out[pos * d..(pos + take) * d].copy_from_slice(&pg.k[src..src + take * d]);
             v_out[pos * d..(pos + take) * d].copy_from_slice(&pg.v[src..src + take * d]);
             pos += take;
+        }
+        Ok(())
+    }
+
+    /// Words (f32 words for page sites, table entries for `kv-table`)
+    /// sequence `id` exposes at fault-injection `site` — the at-rest
+    /// surface `crates/faults` sweeps. Only *committed* regions count:
+    /// sealed pages, the committed hot-tail prefix, and table entries
+    /// backing committed positions. Unknown sites and dead ids have an
+    /// empty surface.
+    pub fn seq_fault_surface(&self, id: SeqId, site: &str) -> usize {
+        let Some(seq) = self.seq(id) else { return 0 };
+        let (block, d, nl) = (self.block, self.d, self.n_layers);
+        let sealed = (seq.len / block).min(seq.table.len());
+        let tail = seq.len - sealed * block;
+        match site {
+            "kv-k-sealed" | "kv-v-sealed" => sealed * nl * block * d,
+            "kv-k-tail" | "kv-v-tail" => nl * tail * d,
+            "kv-table" => seq.len.div_ceil(block).min(seq.table.len()),
+            _ => 0,
+        }
+    }
+
+    /// Flip one bit of sequence `id`'s at-rest state at `site` — word
+    /// `word` of [`seq_fault_surface`](KvArena::seq_fault_surface), bit
+    /// `bit` (< 32 for f32 page words, < 64 for table entries). Returns
+    /// whether a bit was flipped. Checksums are deliberately **not**
+    /// updated: this models an SEU, and the next verified gather must
+    /// detect it.
+    pub fn inject_seq_fault(&mut self, id: SeqId, site: &str, word: usize, bit: u32) -> bool {
+        if word >= self.seq_fault_surface(id, site) {
+            return false;
+        }
+        let (block, d, nl) = (self.block, self.d, self.n_layers);
+        let Some(seq) = self.seq(id) else { return false };
+        let sealed = (seq.len / block).min(seq.table.len());
+        let tail = seq.len - sealed * block;
+        match site {
+            "kv-k-sealed" | "kv-v-sealed" => {
+                let per_page = nl * block * d;
+                let Some(&page) = seq.table.get(word / per_page) else { return false };
+                let off = word % per_page;
+                let pg = &mut self.pages[page];
+                let cell = if site == "kv-k-sealed" { &mut pg.k[off] } else { &mut pg.v[off] };
+                *cell = f32::from_bits(cell.to_bits() ^ (1 << (bit % 32)));
+                true
+            }
+            "kv-k-tail" | "kv-v-tail" => {
+                let Some(&page) = seq.table.get(sealed) else { return false };
+                let per_layer = tail * d;
+                let off = (word / per_layer) * block * d + word % per_layer;
+                let pg = &mut self.pages[page];
+                let cell = if site == "kv-k-tail" { &mut pg.k[off] } else { &mut pg.v[off] };
+                *cell = f32::from_bits(cell.to_bits() ^ (1 << (bit % 32)));
+                true
+            }
+            "kv-table" => {
+                let Some(Some(seq)) = self.seqs.get_mut(id.0) else { return false };
+                seq.table[word] ^= 1 << (bit % 64);
+                true
+            }
+            _ => false,
         }
     }
 }
@@ -374,7 +841,7 @@ mod tests {
     use super::*;
 
     fn arena() -> KvArena {
-        KvArena::new(2, 8, 2, KvPageConfig { quant: None, block: 4 })
+        KvArena::new(2, 8, 2, KvPageConfig { quant: None, block: 4, ..Default::default() })
     }
 
     fn rows(m: usize, d: usize, salt: f32) -> Vec<f32> {
@@ -384,21 +851,21 @@ mod tests {
     #[test]
     fn append_commit_gather_round_trips_across_page_boundaries() {
         let mut a = arena();
-        let s = a.join();
+        let s = a.try_join().expect("join");
         let d = 8;
         // 6 positions span two 4-position pages; two layers.
         let (k0, v0) = (rows(6, d, 1.0), rows(6, d, 2.0));
         let (k1, v1) = (rows(6, d, 3.0), rows(6, d, 4.0));
-        a.append(s, 0, 0, &k0, &v0);
-        a.append(s, 1, 0, &k1, &v1);
-        a.commit(s, 6);
+        a.try_append(s, 0, 0, &k0, &v0).expect("append");
+        a.try_append(s, 1, 0, &k1, &v1).expect("append");
+        a.try_commit(s, 6).expect("commit");
         assert_eq!(a.len(s), 6);
         assert_eq!(a.live_pages(), 2);
         let (mut k, mut v) = (Vec::new(), Vec::new());
-        a.gather(s, 0, 6, &mut k, &mut v);
+        a.try_gather(s, 0, 6, &mut k, &mut v).expect("gather");
         assert_eq!(k, k0);
         assert_eq!(v, v0);
-        a.gather(s, 1, 6, &mut k, &mut v);
+        a.try_gather(s, 1, 6, &mut k, &mut v).expect("gather");
         assert_eq!(k, k1);
         assert_eq!(v, v1);
     }
@@ -406,20 +873,21 @@ mod tests {
     #[test]
     fn incremental_appends_match_bulk() {
         let mut a = arena();
-        let bulk = a.join();
-        let inc = a.join();
+        let bulk = a.try_join().expect("join");
+        let inc = a.try_join().expect("join");
         let d = 8;
         let (k, v) = (rows(7, d, 5.0), rows(7, d, 6.0));
-        a.append(bulk, 0, 0, &k, &v);
-        a.commit(bulk, 7);
+        a.try_append(bulk, 0, 0, &k, &v).expect("append");
+        a.try_commit(bulk, 7).expect("commit");
         for p in 0..7 {
-            a.append(inc, 0, p, &k[p * d..(p + 1) * d], &v[p * d..(p + 1) * d]);
-            a.commit(inc, p + 1);
+            a.try_append(inc, 0, p, &k[p * d..(p + 1) * d], &v[p * d..(p + 1) * d])
+                .expect("append");
+            a.try_commit(inc, p + 1).expect("commit");
         }
         let (mut kb, mut vb) = (Vec::new(), Vec::new());
         let (mut ki, mut vi) = (Vec::new(), Vec::new());
-        a.gather(bulk, 0, 7, &mut kb, &mut vb);
-        a.gather(inc, 0, 7, &mut ki, &mut vi);
+        a.try_gather(bulk, 0, 7, &mut kb, &mut vb).expect("gather");
+        a.try_gather(inc, 0, 7, &mut ki, &mut vi).expect("gather");
         assert_eq!(kb, ki);
         assert_eq!(vb, vi);
     }
@@ -428,51 +896,53 @@ mod tests {
     fn leave_recycles_pages_and_peak_tracks_high_water() {
         let mut a = arena();
         let d = 8;
-        let s1 = a.join();
-        a.append(s1, 0, 0, &rows(8, d, 0.5), &rows(8, d, 0.6));
-        a.commit(s1, 8);
+        let s1 = a.try_join().expect("join");
+        a.try_append(s1, 0, 0, &rows(8, d, 0.5), &rows(8, d, 0.6)).expect("append");
+        a.try_commit(s1, 8).expect("commit");
         assert_eq!(a.live_pages(), 2);
         assert_eq!(a.leave(s1), 2);
         assert_eq!(a.live_pages(), 0);
         assert_eq!(a.peak_pages(), 2);
         // A new sequence reuses the freed pages without growing the slab.
-        let s2 = a.join();
-        a.append(s2, 0, 0, &rows(5, d, 0.7), &rows(5, d, 0.8));
-        a.commit(s2, 5);
+        let s2 = a.try_join().expect("join");
+        a.try_append(s2, 0, 0, &rows(5, d, 0.7), &rows(5, d, 0.8)).expect("append");
+        a.try_commit(s2, 5).expect("commit");
         assert_eq!(a.live_pages(), 2);
         assert_eq!(a.peak_pages(), 2);
         let (mut k, mut v) = (Vec::new(), Vec::new());
-        a.gather(s2, 0, 5, &mut k, &mut v);
+        a.try_gather(s2, 0, 5, &mut k, &mut v).expect("gather");
         assert_eq!(k, rows(5, d, 0.7));
     }
 
     #[test]
     fn reset_frees_pages_but_keeps_the_sequence() {
         let mut a = arena();
-        let s = a.join();
-        a.append(s, 0, 0, &rows(5, 8, 1.5), &rows(5, 8, 1.6));
-        a.commit(s, 5);
+        let s = a.try_join().expect("join");
+        a.try_append(s, 0, 0, &rows(5, 8, 1.5), &rows(5, 8, 1.6)).expect("append");
+        a.try_commit(s, 5).expect("commit");
         assert_eq!(a.reset(s), 2);
         assert_eq!(a.len(s), 0);
         // The sequence can re-prefill from scratch.
-        a.append(s, 0, 0, &rows(3, 8, 1.7), &rows(3, 8, 1.8));
-        a.commit(s, 3);
+        a.try_append(s, 0, 0, &rows(3, 8, 1.7), &rows(3, 8, 1.8)).expect("append");
+        a.try_commit(s, 3).expect("commit");
         assert_eq!(a.len(s), 3);
     }
 
     #[test]
     fn quantized_pages_seal_on_fill_and_spare_the_hot_tail() {
-        let mut a = KvArena::new(1, 8, 2, KvPageConfig {
-            quant: Some(KvQuantConfig::opt()),
-            block: 4,
-        });
-        let s = a.join();
+        let mut a = KvArena::new(
+            1,
+            8,
+            2,
+            KvPageConfig { quant: Some(KvQuantConfig::opt()), block: 4, ..Default::default() },
+        );
+        let s = a.try_join().expect("join");
         let d = 8;
         let (k, v) = (rows(6, d, 9.0), rows(6, d, 10.0));
-        a.append(s, 0, 0, &k, &v);
-        a.commit(s, 6);
+        a.try_append(s, 0, 0, &k, &v).expect("append");
+        a.try_commit(s, 6).expect("commit");
         let (mut kq, mut vq) = (Vec::new(), Vec::new());
-        a.gather(s, 0, 6, &mut kq, &mut vq);
+        a.try_gather(s, 0, 6, &mut kq, &mut vq).expect("gather");
         // Page 0 (positions 0..4) sealed: values changed by QDQ but close.
         let sealed_changed = (0..4 * d).any(|i| kq[i] != k[i]) || (0..4 * d).any(|i| vq[i] != v[i]);
         assert!(sealed_changed, "sealed page must be quantized in place");
@@ -484,9 +954,9 @@ mod tests {
         assert_eq!(&kq[4 * d..], &k[4 * d..], "hot tail stays FP");
         assert_eq!(&vq[4 * d..], &v[4 * d..], "hot tail stays FP");
         // Re-committing does not re-seal (idempotent).
-        a.commit(s, 6);
+        a.try_commit(s, 6).expect("commit");
         let (mut k2, mut v2) = (Vec::new(), Vec::new());
-        a.gather(s, 0, 6, &mut k2, &mut v2);
+        a.try_gather(s, 0, 6, &mut k2, &mut v2).expect("gather");
         assert_eq!(kq, k2);
         assert_eq!(vq, v2);
     }
@@ -498,5 +968,155 @@ mod tests {
         let cfg = KvPageConfig::default();
         assert_eq!(cfg.block, DEFAULT_KV_BLOCK);
         assert!(cfg.quant.is_none());
+        assert!(cfg.max_pages.is_none() && cfg.verify.is_none());
+    }
+
+    #[test]
+    fn zero_capacity_rejected_typed_at_config_construction() {
+        assert_eq!(
+            KvPageConfig::default().with_max_pages(0),
+            Err(KvError::ZeroCapacity)
+        );
+        let cfg = KvPageConfig::default().with_max_pages(3).expect("positive cap");
+        assert_eq!(cfg.max_pages, Some(3));
+    }
+
+    #[test]
+    fn capacity_bound_is_typed_and_recoverable() {
+        let cfg = KvPageConfig { quant: None, block: 4, ..Default::default() }
+            .with_max_pages(2)
+            .expect("cap");
+        let mut a = KvArena::new(2, 8, 2, cfg);
+        let s = a.try_join().expect("join");
+        // 8 positions fit exactly in 2 pages; the 9th needs a 3rd.
+        a.try_append(s, 0, 0, &rows(8, 8, 0.1), &rows(8, 8, 0.2)).expect("append");
+        a.try_commit(s, 8).expect("commit");
+        let err = a.try_append(s, 0, 8, &rows(1, 8, 0.3), &rows(1, 8, 0.4));
+        assert_eq!(
+            err,
+            Err(KvError::CapacityExhausted { needed: 3, live: 2, max_pages: 2 })
+        );
+        assert!(a.live_pages() <= a.max_pages());
+        // Recoverable: reset reclaims the pages and the write fits again.
+        a.reset(s);
+        a.try_append(s, 0, 0, &rows(4, 8, 0.5), &rows(4, 8, 0.6)).expect("append");
+        a.try_commit(s, 4).expect("commit");
+    }
+
+    #[test]
+    fn dead_sequence_and_shape_misuse_are_typed() {
+        let mut a = arena();
+        let s = a.try_join().expect("join");
+        a.leave(s);
+        let (k, v) = (rows(1, 8, 0.0), rows(1, 8, 0.0));
+        assert_eq!(a.try_append(s, 0, 0, &k, &v), Err(KvError::DeadSequence));
+        assert_eq!(a.try_commit(s, 1), Err(KvError::DeadSequence));
+        let (mut ko, mut vo) = (Vec::new(), Vec::new());
+        assert_eq!(a.try_gather(s, 0, 1, &mut ko, &mut vo), Err(KvError::DeadSequence));
+        let s2 = a.try_join().expect("join");
+        assert_eq!(
+            a.try_append(s2, 0, 0, &k, &v[..4]),
+            Err(KvError::RowMismatch { k: 8, v: 4 })
+        );
+        assert_eq!(
+            a.try_append(s2, 0, 0, &k[..5], &v[..5]),
+            Err(KvError::NotRowAligned { len: 5, d: 8 })
+        );
+        assert_eq!(
+            a.try_gather(s2, 0, 3, &mut ko, &mut vo),
+            Err(KvError::OutOfBounds { pos: 3, capacity: 0 })
+        );
+    }
+
+    #[test]
+    fn flipped_page_bits_are_detected_on_verified_gather() {
+        for site in ["kv-k-sealed", "kv-v-sealed", "kv-k-tail", "kv-v-tail"] {
+            let cfg = KvPageConfig {
+                quant: None,
+                block: 4,
+                verify: Some(VerifyPolicy::Full),
+                ..Default::default()
+            };
+            let mut a = KvArena::new(2, 8, 2, cfg);
+            let s = a.try_join().expect("join");
+            for layer in 0..2 {
+                a.try_append(s, layer, 0, &rows(6, 8, 1.0), &rows(6, 8, 2.0)).expect("append");
+            }
+            a.try_commit(s, 6).expect("commit");
+            let (mut k, mut v) = (Vec::new(), Vec::new());
+            a.try_gather(s, 0, 6, &mut k, &mut v).expect("pristine gather verifies");
+            let surface = a.seq_fault_surface(s, site);
+            assert!(surface > 0, "{site} has a committed surface");
+            assert!(a.inject_seq_fault(s, site, surface / 2, 7));
+            let hit = (0..2).any(|layer| {
+                a.try_gather(s, layer, 6, &mut k, &mut v).is_err()
+            });
+            assert!(hit, "{site} flip detected under VerifyPolicy::Full");
+            assert!(a.corruptions_detected() >= 1);
+        }
+    }
+
+    #[test]
+    fn flipped_block_table_entries_are_detected() {
+        let cfg = KvPageConfig {
+            quant: None,
+            block: 4,
+            verify: Some(VerifyPolicy::Full),
+            ..Default::default()
+        };
+        let mut a = KvArena::new(1, 8, 2, cfg);
+        // Two sequences so a flipped entry can land on a *valid* page of
+        // another owner — the self-consistent-but-wrong case the
+        // owner-bound checksum exists for.
+        let s1 = a.try_join().expect("join");
+        let s2 = a.try_join().expect("join");
+        for s in [s1, s2] {
+            a.try_append(s, 0, 0, &rows(8, 8, 3.0), &rows(8, 8, 4.0)).expect("append");
+            a.try_commit(s, 8).expect("commit");
+        }
+        let (mut k, mut v) = (Vec::new(), Vec::new());
+        a.try_gather(s1, 0, 8, &mut k, &mut v).expect("pristine");
+        for bit in [0u32, 1, 17, 63] {
+            let mut b = KvArena::new(1, 8, 2, cfg);
+            let t1 = b.try_join().expect("join");
+            let t2 = b.try_join().expect("join");
+            for s in [t1, t2] {
+                b.try_append(s, 0, 0, &rows(8, 8, 3.0), &rows(8, 8, 4.0)).expect("append");
+                b.try_commit(s, 8).expect("commit");
+            }
+            assert!(b.inject_seq_fault(t1, "kv-table", 1, bit));
+            assert!(
+                b.try_gather(t1, 0, 8, &mut k, &mut v).is_err(),
+                "table flip at bit {bit} detected"
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_verification_advances_and_off_skips() {
+        let cfg = KvPageConfig {
+            quant: None,
+            block: 4,
+            verify: Some(VerifyPolicy::Sample(2)),
+            ..Default::default()
+        };
+        let mut a = KvArena::new(1, 8, 2, cfg);
+        let s = a.try_join().expect("join");
+        a.try_append(s, 0, 0, &rows(4, 8, 5.0), &rows(4, 8, 6.0)).expect("append");
+        a.try_commit(s, 4).expect("commit");
+        let (mut k, mut v) = (Vec::new(), Vec::new());
+        for _ in 0..8 {
+            a.try_gather(s, 0, 4, &mut k, &mut v).expect("gather");
+        }
+        assert_eq!(a.pages_verified(), 4, "every 2nd gather verifies its one page");
+        let off = KvPageConfig { verify: Some(VerifyPolicy::Off), ..cfg };
+        let mut b = KvArena::new(1, 8, 2, off);
+        let s = b.try_join().expect("join");
+        b.try_append(s, 0, 0, &rows(4, 8, 5.0), &rows(4, 8, 6.0)).expect("append");
+        b.try_commit(s, 4).expect("commit");
+        for _ in 0..8 {
+            b.try_gather(s, 0, 4, &mut k, &mut v).expect("gather");
+        }
+        assert_eq!(b.pages_verified(), 0, "Off never folds");
     }
 }

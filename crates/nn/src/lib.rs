@@ -49,8 +49,11 @@ pub mod serialize;
 pub mod train;
 
 pub use corpus::{Corpus, MarkovSpec};
-pub use eval::{eval_perplexity, eval_perplexity_paged, quantize_model, QuantizedLm, Scheme};
-pub use kvcache::{KvArena, KvPageConfig, SeqId, DEFAULT_KV_BLOCK};
+pub use eval::{eval_perplexity, eval_perplexity_paged, quantize_model, PagedError, QuantizedLm, Scheme};
+pub use kvcache::{
+    KvArena, KvError, KvPageConfig, SeqId, DEFAULT_KV_BLOCK, DEFAULT_KV_BUDGET_BYTES,
+    KV_FAULT_SITES,
+};
 pub use scheduler::{decode_continuous, DecodeScheduler, SeqHandle, StepEvent};
 pub use model::{LmConfig, TransformerLm};
 pub use train::{train, TrainConfig};

@@ -30,12 +30,38 @@
 //! the arena and the sequence is paused; on resume its next step
 //! re-prefills the whole prefix in one pass — which, by the same
 //! row-independence argument, leaves its continuation bit-identical.
+//!
+//! # Self-healing (DESIGN.md §13)
+//!
+//! The same recomputation machinery heals two KV-arena failure modes
+//! that PR 8 would have panicked or silently corrupted on:
+//!
+//! * **Detected corruption** ([`KvError::CorruptPage`], from the
+//!   arena's checksum verification on gather): the owning sequence is
+//!   *poisoned* — its pages are dropped and its next step re-prefills
+//!   the whole prefix, which reproduces the cached state (and therefore
+//!   the continuation) bit-identically. A sequence that keeps failing
+//!   verification after repeated repairs retires with a typed
+//!   [`GenerateError::Kv`] instead of looping.
+//! * **Capacity exhaustion** ([`KvError::CapacityExhausted`], from the
+//!   [`KvPageConfig::max_pages`] bound): the sequence *stalls* — its
+//!   pages are reclaimed and it waits, deadline still ticking, until
+//!   enough pages free up; a stall is backpressure, never an OOM and
+//!   never a failed request (admission pre-checks that a request can
+//!   fit the arena alone, so a stalled sequence always eventually
+//!   runs).
 
-use crate::eval::QuantizedLm;
+use crate::eval::{PagedError, QuantizedLm};
 use crate::generate::{check_request, select_token, DecodeOutcome, Decoding, GenerateError};
-use crate::kvcache::{KvArena, KvPageConfig, SeqId};
+use crate::kvcache::{KvArena, KvError, KvPageConfig, SeqId, KV_FAULT_SITES};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Consecutive repair attempts a sequence may consume without
+/// producing a token before it retires with a typed error — the guard
+/// against a persistently faulty page region turning repair into a
+/// livelock.
+const MAX_REPAIR_STRIKES: u8 = 3;
 
 /// A scheduled sequence's identity, unique for the scheduler's lifetime
 /// (never reused, unlike KV slots).
@@ -77,6 +103,11 @@ struct SeqState {
     /// next step forwards `tokens[cached..]` in one pass).
     cached: usize,
     paused: bool,
+    /// Waiting out KV capacity pressure: pages reclaimed, resumed by
+    /// the scheduler itself as soon as the re-prefill fits the arena.
+    stalled: bool,
+    /// Consecutive corruption repairs without a produced token.
+    repair_strikes: u8,
     /// Step index of the last produced token (eviction recency).
     last_active: u64,
 }
@@ -105,6 +136,8 @@ pub struct DecodeScheduler<'a> {
     next_handle: u64,
     step_no: u64,
     tokens_peak: usize,
+    kv_repairs: u64,
+    kv_capacity_stalls: u64,
 }
 
 impl std::fmt::Debug for DecodeScheduler<'_> {
@@ -127,14 +160,30 @@ impl<'a> DecodeScheduler<'a> {
             next_handle: 0,
             step_no: 0,
             tokens_peak: 0,
+            kv_repairs: 0,
+            kv_capacity_stalls: 0,
         }
     }
 
     /// Admit a sequence into the running batch; it decodes its first
     /// token on the next [`step`](DecodeScheduler::step). Validation
-    /// matches [`try_generate`](crate::generate::try_generate).
+    /// matches [`try_generate`](crate::generate::try_generate), plus a
+    /// KV-capacity pre-check: a request whose full extent
+    /// (`prompt + budget`) could never fit the arena even alone is
+    /// refused with a typed [`GenerateError::Kv`] — which is what
+    /// guarantees an admitted-then-stalled sequence always eventually
+    /// runs.
     pub fn admit(&mut self, prompt: &[usize], new_tokens: usize) -> Result<SeqHandle, GenerateError> {
         check_request(self.qlm, prompt, new_tokens)?;
+        let needed = (prompt.len() + new_tokens).div_ceil(self.arena.block());
+        if needed > self.arena.max_pages() {
+            return Err(GenerateError::Kv(KvError::CapacityExhausted {
+                needed,
+                live: self.arena.live_pages(),
+                max_pages: self.arena.max_pages(),
+            }));
+        }
+        let kv = self.arena.try_join()?;
         let handle = SeqHandle(self.next_handle);
         self.next_handle += 1;
         // Seeded exactly as the serial path, so sampling is independent
@@ -145,13 +194,15 @@ impl<'a> DecodeScheduler<'a> {
         };
         self.seqs.push(SeqState {
             handle,
-            kv: self.arena.join(),
+            kv,
             tokens: prompt.to_vec(),
             prompt_len: prompt.len(),
             budget: new_tokens,
             rng,
             cached: 0,
             paused: false,
+            stalled: false,
+            repair_strikes: 0,
             last_active: self.step_no,
         });
         Ok(handle)
@@ -204,6 +255,99 @@ impl<'a> DecodeScheduler<'a> {
     /// Positions per KV page.
     pub fn kv_block(&self) -> usize {
         self.arena.block()
+    }
+
+    /// The arena's hard cap on simultaneously live KV pages.
+    pub fn kv_max_pages(&self) -> usize {
+        self.arena.max_pages()
+    }
+
+    /// Page regions checksum-verified on gather so far.
+    pub fn kv_pages_verified(&self) -> u64 {
+        self.arena.pages_verified()
+    }
+
+    /// KV corruption events (checksum mismatches / out-of-slab table
+    /// entries) detected so far.
+    pub fn kv_corruptions_detected(&self) -> u64 {
+        self.arena.corruptions_detected()
+    }
+
+    /// Sequences healed by recomputation after detected corruption.
+    pub fn kv_repairs(&self) -> u64 {
+        self.kv_repairs
+    }
+
+    /// Steps a sequence spent waiting out KV capacity pressure.
+    pub fn kv_capacity_stalls(&self) -> u64 {
+        self.kv_capacity_stalls
+    }
+
+    /// Sequences currently stalled on KV capacity.
+    pub fn stalled(&self) -> usize {
+        self.seqs.iter().filter(|s| s.stalled).count()
+    }
+
+    /// Total fault-injection surface (see
+    /// [`KvArena::seq_fault_surface`]) over the *running* sequences —
+    /// the ones whose committed pages the next steps will gather.
+    #[doc(hidden)]
+    pub fn kv_fault_surface(&self, site: &str) -> usize {
+        self.seqs
+            .iter()
+            .filter(|s| !s.paused && !s.stalled)
+            .map(|s| self.arena.seq_fault_surface(s.kv, site))
+            .sum()
+    }
+
+    /// Flip one bit of running-sequence KV state at `site` (word
+    /// indexed over [`kv_fault_surface`](Self::kv_fault_surface)).
+    /// Test/fault-campaign hook; checksums are deliberately left stale.
+    #[doc(hidden)]
+    pub fn inject_kv_fault(&mut self, site: &str, mut word: usize, bit: u32) -> bool {
+        let ids: Vec<SeqId> = self
+            .seqs
+            .iter()
+            .filter(|s| !s.paused && !s.stalled)
+            .map(|s| s.kv)
+            .collect();
+        for id in ids {
+            let n = self.arena.seq_fault_surface(id, site);
+            if word < n {
+                return self.arena.inject_seq_fault(id, site, word, bit);
+            }
+            word -= n;
+        }
+        false
+    }
+
+    /// Flip one uniformly chosen bit across every site's surface, seeded
+    /// deterministically — the serve soak's mid-flight corruption hook.
+    /// Returns whether any committed KV state existed to corrupt.
+    #[doc(hidden)]
+    pub fn inject_random_kv_fault(&mut self, seed: u64) -> bool {
+        let mut x = seed | 1;
+        let mut next = move |m: u64| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x % m.max(1)
+        };
+        let surfaces: Vec<(usize, &str)> =
+            KV_FAULT_SITES.iter().map(|&s| (self.kv_fault_surface(s), s)).collect();
+        let total: usize = surfaces.iter().map(|&(n, _)| n).sum();
+        if total == 0 {
+            return false;
+        }
+        let mut w = next(total as u64) as usize;
+        for (n, site) in surfaces {
+            if w < n {
+                let bit = next(if site == "kv-table" { 64 } else { 32 }) as u32;
+                return self.inject_kv_fault(site, w, bit);
+            }
+            w -= n;
+        }
+        false
     }
 
     /// Evict the sequence whose last token is oldest (preemption by
@@ -273,16 +417,29 @@ impl<'a> DecodeScheduler<'a> {
             }
             i += 1;
         }
+        // Un-stall pass: greedily resume capacity-stalled sequences
+        // whose whole re-prefill fits the arena's remaining headroom.
+        // When every live sequence is stalled the arena is empty, so the
+        // first admissible one always resumes — no livelock.
+        let (block, max_pages) = (self.arena.block(), self.arena.max_pages());
+        let mut budgeted = self.arena.live_pages();
+        for seq in self.seqs.iter_mut().filter(|s| s.stalled) {
+            let needed = seq.tokens.len().div_ceil(block);
+            if budgeted + needed <= max_pages {
+                seq.stalled = false;
+                budgeted += needed;
+            }
+        }
         // Forward passes: one stacked call for the steady-state cohort,
         // individual calls for multi-token prefills. `rows[idx]` ends up
         // with sequence idx's last logits row (or its failure).
-        let mut rows: Vec<Option<Result<Vec<f32>, axcore::GemmError>>> =
+        let mut rows: Vec<Option<Result<Vec<f32>, PagedError>>> =
             self.seqs.iter().map(|_| None).collect();
         let single: Vec<usize> = self
             .seqs
             .iter()
             .enumerate()
-            .filter(|(_, s)| !s.paused && s.tokens.len() - s.cached == 1)
+            .filter(|(_, s)| !s.paused && !s.stalled && s.tokens.len() - s.cached == 1)
             .map(|(idx, _)| idx)
             .collect();
         if single.len() > 1 {
@@ -299,6 +456,29 @@ impl<'a> DecodeScheduler<'a> {
                         rows[idx] = Some(Ok(logits[r * v..(r + 1) * v].to_vec()));
                     }
                 }
+                // A detected-corrupt page names one poisoned sequence:
+                // only it takes the error (and heals below); blameless
+                // batchmates stay `None` and retry individually this
+                // same step — their uncommitted appends are idempotent.
+                Err(PagedError::Kv(KvError::CorruptPage { seq, index })) => {
+                    for &idx in &single {
+                        if self.seqs[idx].kv == seq {
+                            rows[idx] =
+                                Some(Err(PagedError::Kv(KvError::CorruptPage { seq, index })));
+                        }
+                    }
+                }
+                // Capacity exhaustion mid-batch: stall the largest
+                // cohort member (frees the most pages); the rest retry
+                // individually and stall one by one only if they must.
+                Err(PagedError::Kv(e @ KvError::CapacityExhausted { .. })) => {
+                    if let Some(&idx) = single
+                        .iter()
+                        .max_by_key(|&&idx| (self.seqs[idx].tokens.len(), self.seqs[idx].handle))
+                    {
+                        rows[idx] = Some(Err(PagedError::Kv(e)));
+                    }
+                }
                 Err(e) => {
                     for &idx in &single {
                         rows[idx] = Some(Err(e.clone()));
@@ -307,7 +487,7 @@ impl<'a> DecodeScheduler<'a> {
             }
         }
         for (idx, row) in rows.iter_mut().enumerate() {
-            if self.seqs[idx].paused || row.is_some() {
+            if self.seqs[idx].paused || self.seqs[idx].stalled || row.is_some() {
                 continue;
             }
             let start = self.seqs[idx].cached;
@@ -325,10 +505,15 @@ impl<'a> DecodeScheduler<'a> {
         for (idx, mut seq) in std::mem::take(&mut self.seqs).into_iter().enumerate() {
             let handle = seq.handle;
             match rows[idx].take() {
-                None => kept.push(seq), // paused
+                None => kept.push(seq), // paused or stalled
                 Some(Ok(last)) => {
-                    self.arena.commit(seq.kv, seq.tokens.len());
+                    if let Err(e) = self.arena.try_commit(seq.kv, seq.tokens.len()) {
+                        self.arena.leave(seq.kv);
+                        events.push(StepEvent::Failed { handle, error: e.into() });
+                        continue;
+                    }
                     seq.cached = seq.tokens.len();
+                    seq.repair_strikes = 0;
                     let next = select_token(&last, mode, seq.rng.as_mut());
                     seq.tokens.push(next);
                     seq.last_active = step_no;
@@ -339,9 +524,32 @@ impl<'a> DecodeScheduler<'a> {
                         kept.push(seq);
                     }
                 }
+                // Self-healing: drop the poisoned pages and re-prefill
+                // next step (bit-identical by the eviction argument) —
+                // unless this sequence has exhausted its repair budget.
+                Some(Err(PagedError::Kv(e @ KvError::CorruptPage { .. }))) => {
+                    self.kv_repairs += 1;
+                    seq.repair_strikes += 1;
+                    if seq.repair_strikes > MAX_REPAIR_STRIKES {
+                        self.arena.leave(seq.kv);
+                        events.push(StepEvent::Failed { handle, error: GenerateError::Kv(e) });
+                    } else {
+                        self.arena.reset(seq.kv);
+                        seq.cached = 0;
+                        kept.push(seq);
+                    }
+                }
+                // Backpressure: reclaim the pages and wait for headroom.
+                Some(Err(PagedError::Kv(KvError::CapacityExhausted { .. }))) => {
+                    self.kv_capacity_stalls += 1;
+                    self.arena.reset(seq.kv);
+                    seq.cached = 0;
+                    seq.stalled = true;
+                    kept.push(seq);
+                }
                 Some(Err(e)) => {
                     self.arena.leave(seq.kv);
-                    events.push(StepEvent::Failed { handle, error: GenerateError::Gemm(e) });
+                    events.push(StepEvent::Failed { handle, error: e.into() });
                 }
             }
         }
@@ -488,7 +696,7 @@ mod tests {
         let mut sched = DecodeScheduler::new(
             &q,
             Decoding::Greedy,
-            KvPageConfig { quant: None, block: 4 },
+            KvPageConfig { block: 4, ..KvPageConfig::default() },
         );
         let h = sched.admit(&corpus.val[..6], 8).expect("admit");
         sched.step(|_| true);

@@ -19,6 +19,17 @@ pub enum ServeFault {
         /// How long the executor thread stalls.
         hold: Duration,
     },
+    /// Every `period`-th decode step flips one random bit in a random
+    /// live KV fault site (sealed page, hot tail, or block-table entry)
+    /// before the step runs — an at-rest memory fault striking
+    /// mid-flight. With arena verification on, every hit must be
+    /// detected and healed by re-prefill; completions stay bit-exact.
+    CorruptKvEvery {
+        /// Decode steps between injections (0 disables).
+        period: u64,
+        /// Deterministic seed for site/word/bit selection.
+        seed: u64,
+    },
 }
 
 /// Tunables of the serving runtime. `Default` is sized for the test

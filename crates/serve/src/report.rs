@@ -41,6 +41,15 @@ pub enum Incident {
         /// KV pages freed by the eviction.
         pages: usize,
     },
+    /// Checksum verification caught corrupted KV state during a decode
+    /// step; the poisoned sequences' pages were dropped and the
+    /// sequences scheduled for repair by recomputation.
+    KvCorruption {
+        /// Corrupt pages detected by this step's gathers.
+        detected: u64,
+        /// Repair-by-recomputation cycles started in response.
+        repaired: u64,
+    },
 }
 
 /// Hot-path counters. Everything the batcher touches per request is an
@@ -68,6 +77,10 @@ pub(crate) struct Metrics {
     pub kv_pages_live: AtomicUsize,
     pub kv_pages_peak: AtomicUsize,
     pub kv_block: AtomicUsize,
+    pub kv_pages_verified: AtomicU64,
+    pub kv_corruptions: AtomicU64,
+    pub kv_repairs: AtomicU64,
+    pub kv_capacity_stalls: AtomicU64,
     pub tokens_in_flight_peak: AtomicUsize,
     pub latencies_ms: Mutex<Vec<f64>>,
     pub incidents: Mutex<Vec<Incident>>,
@@ -156,6 +169,20 @@ pub struct ServeReport {
     pub kv_pages_peak: usize,
     /// Positions per KV page (`AXCORE_KV_BLOCK`).
     pub kv_block: usize,
+    /// KV pages whose checksums were verified by sampled/full gather
+    /// checks (`AXCORE_VERIFY`).
+    pub kv_pages_verified: u64,
+    /// Corrupt KV pages detected by those checks — each one poisoned its
+    /// sequence instead of silently skewing its logits.
+    pub kv_corruptions_detected: u64,
+    /// Repair-by-recomputation cycles: a poisoned sequence's pages were
+    /// dropped and its prefix re-prefilled, bit-identically.
+    pub kv_repairs: u64,
+    /// Decode attempts that hit the arena's page cap (`AXCORE_KV_PAGES`)
+    /// and parked the sequence until headroom returned — typed
+    /// backpressure where an unbounded arena would have grown past its
+    /// budget.
+    pub kv_capacity_stalls: u64,
     /// High-water mark of tokens held by live sequences.
     pub tokens_in_flight_peak: usize,
     /// Longest-idle prefix-page evictions performed by the overload
@@ -229,6 +256,10 @@ pub(crate) fn snapshot(
         kv_pages_live: m.kv_pages_live.load(Relaxed),
         kv_pages_peak: m.kv_pages_peak.load(Relaxed),
         kv_block: m.kv_block.load(Relaxed),
+        kv_pages_verified: m.kv_pages_verified.load(Relaxed),
+        kv_corruptions_detected: m.kv_corruptions.load(Relaxed),
+        kv_repairs: m.kv_repairs.load(Relaxed),
+        kv_capacity_stalls: m.kv_capacity_stalls.load(Relaxed),
         tokens_in_flight_peak: m.tokens_in_flight_peak.load(Relaxed),
         evictions: m.evictions.load(Relaxed),
         incidents: m.incidents.lock().map(|v| v.clone()).unwrap_or_default(),

@@ -174,6 +174,19 @@ struct TicketOut {
     tx: mpsc::Sender<Result<Completion, ServeError>>,
 }
 
+/// Last-seen values of this batcher's scheduler-local KV integrity
+/// counters. The global [`Metrics`] outlive batcher replacements (a
+/// wedge recovery starts a fresh scheduler whose counters restart at
+/// zero), so each batcher accumulates *deltas* into the atomics rather
+/// than storing its counters outright.
+#[derive(Default, Clone, Copy)]
+struct KvSeen {
+    verified: u64,
+    corruptions: u64,
+    repairs: u64,
+    stalls: u64,
+}
+
 /// The batcher's per-sequence bookkeeping: the ticket, keyed by the
 /// scheduler handle, plus the request's deadline.
 struct SeqInfo {
@@ -404,6 +417,7 @@ fn batcher_loop(shared: &Arc<Shared>, my_epoch: u64) {
     axcore_parallel::clear_cancel();
     let mut sched = DecodeScheduler::new(&shared.qlm, shared.cfg.decoding, shared.cfg.kv);
     let mut parts: HashMap<SeqHandle, SeqInfo> = HashMap::new();
+    let mut kv_seen = KvSeen::default();
     loop {
         if shared.epoch.load(Relaxed) != my_epoch {
             // Superseded by the watchdog; it already failed our tickets.
@@ -421,7 +435,7 @@ fn batcher_loop(shared: &Arc<Shared>, my_epoch: u64) {
         }
         run_evictions(shared, &mut sched);
         maybe_resume(shared, &mut sched);
-        if !step_once(shared, my_epoch, &mut sched, &mut parts) {
+        if !step_once(shared, my_epoch, &mut sched, &mut parts, &mut kv_seen) {
             return;
         }
     }
@@ -537,6 +551,7 @@ fn step_once(
     my_epoch: u64,
     sched: &mut DecodeScheduler<'_>,
     parts: &mut HashMap<SeqHandle, SeqInfo>,
+    kv_seen: &mut KvSeen,
 ) -> bool {
     let now = Instant::now();
     let cancel = Arc::new(AtomicBool::new(false));
@@ -553,14 +568,21 @@ fn step_once(
     } else {
         return false;
     }
-    shared.metrics.batches.fetch_add(1, Relaxed);
+    let step_no = shared.metrics.batches.fetch_add(1, Relaxed);
     shared.metrics.batched_requests.fetch_add(sched.live() as u64, Relaxed);
 
-    // Test-only wedge: stall before decoding, as a stuck kernel would.
-    if let Some(ServeFault::WedgeFirstBatch { hold }) = shared.cfg.fault {
-        if shared.fault_armed.swap(false, Relaxed) {
+    // Test-only faults: stall before decoding (as a stuck kernel would),
+    // or flip a bit in live KV state (as an at-rest memory fault would).
+    match shared.cfg.fault {
+        Some(ServeFault::WedgeFirstBatch { hold }) if shared.fault_armed.swap(false, Relaxed) => {
             thread::sleep(hold);
         }
+        Some(ServeFault::CorruptKvEvery { period, seed })
+            if period > 0 && step_no.is_multiple_of(period) =>
+        {
+            sched.inject_random_kv_fault(seed ^ (step_no + 1));
+        }
+        _ => {}
     }
 
     let events = sched.step(|h| {
@@ -572,6 +594,34 @@ fn step_once(
     shared.metrics.kv_pages_peak.fetch_max(sched.kv_pages_peak(), Relaxed);
     shared.metrics.kv_block.store(sched.kv_block(), Relaxed);
     shared.metrics.tokens_in_flight_peak.fetch_max(sched.tokens_peak(), Relaxed);
+    let now_seen = KvSeen {
+        verified: sched.kv_pages_verified(),
+        corruptions: sched.kv_corruptions_detected(),
+        repairs: sched.kv_repairs(),
+        stalls: sched.kv_capacity_stalls(),
+    };
+    shared.metrics.kv_pages_verified.fetch_add(now_seen.verified - kv_seen.verified, Relaxed);
+    shared.metrics.kv_corruptions.fetch_add(now_seen.corruptions - kv_seen.corruptions, Relaxed);
+    shared.metrics.kv_repairs.fetch_add(now_seen.repairs - kv_seen.repairs, Relaxed);
+    shared
+        .metrics
+        .kv_capacity_stalls
+        .fetch_add(now_seen.stalls - kv_seen.stalls, Relaxed);
+    if now_seen.corruptions > kv_seen.corruptions || now_seen.repairs > kv_seen.repairs {
+        shared.metrics.note_incident(Incident::KvCorruption {
+            detected: now_seen.corruptions - kv_seen.corruptions,
+            repaired: now_seen.repairs - kv_seen.repairs,
+        });
+    }
+    if now_seen.stalls > kv_seen.stalls {
+        // Capacity backpressure inside the batch: ask the eviction rung
+        // to free prefix pages so the stalled sequence can resume.
+        shared
+            .metrics
+            .pending_evictions
+            .fetch_add(now_seen.stalls - kv_seen.stalls, Relaxed);
+    }
+    *kv_seen = now_seen;
 
     // Take the in-flight record back. `None` or a different epoch means
     // the watchdog wedged this step and already failed the tickets —

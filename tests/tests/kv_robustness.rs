@@ -1,0 +1,257 @@
+//! Lifecycle and capacity robustness of the paged KV arena and the
+//! continuous scheduler on top of it (DESIGN.md §13).
+//!
+//! The arena's hardening contract is that misuse and pressure are
+//! **typed, recoverable conditions**: `leave` is idempotent, a reset
+//! sequence reads as empty instead of serving stale pages, zero-length
+//! commits are no-ops, the page free list recycles under churn instead
+//! of growing the slab, and a capacity-bounded scheduler under admission
+//! pressure stalls/evicts/resumes without ever exceeding `max_pages` —
+//! and still retires every sequence bit-identical to serial decoding at
+//! every worker count.
+
+use axcore_nn::eval::{quantize_model, QuantizedLm, Scheme};
+use axcore_nn::generate::{try_generate, Decoding, GenerateError};
+use axcore_nn::kvcache::{KvArena, KvError, KvPageConfig};
+use axcore_nn::layers::ActKind;
+use axcore_nn::model::{LmConfig, TransformerLm};
+use axcore_nn::scheduler::{DecodeScheduler, SeqHandle, StepEvent};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+/// Arena geometry used by the direct lifecycle tests: 2 layers, d=8,
+/// 2 heads, 4 positions per page.
+fn arena(max_pages: usize) -> KvArena {
+    let cfg = KvPageConfig { block: 4, ..Default::default() }
+        .with_max_pages(max_pages)
+        .expect("nonzero capacity");
+    KvArena::new(2, 8, 2, cfg)
+}
+
+/// Append `n` positions (both layers) to `id` and commit them.
+fn fill(a: &mut KvArena, id: axcore_nn::kvcache::SeqId, n: usize) {
+    let start = a.len(id);
+    let rows: Vec<f32> = (0..n * 8).map(|x| x as f32 * 0.25 - 1.0).collect();
+    for layer in 0..2 {
+        a.try_append(id, layer, start, &rows, &rows).expect("append in capacity");
+    }
+    a.try_commit(id, start + n).expect("commit appended positions");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `leave` is idempotent for any committed length: the first call
+    /// frees exactly the sequence's pages, the second (and a leave of a
+    /// never-joined slot) frees nothing, and page accounting returns to
+    /// zero.
+    #[test]
+    fn double_leave_is_idempotent(n in 0usize..17) {
+        let mut a = arena(8);
+        let id = a.try_join().expect("capacity for one sequence");
+        if n > 0 {
+            fill(&mut a, id, n.min(8 * 4));
+        }
+        let owned = a.seq_pages(id);
+        prop_assert_eq!(a.live_pages(), owned);
+        prop_assert_eq!(a.leave(id), owned, "first leave frees the sequence's pages");
+        prop_assert_eq!(a.leave(id), 0, "second leave is a no-op");
+        prop_assert_eq!(a.live_pages(), 0);
+        prop_assert_eq!(a.len(id), 0, "a dead id reads as empty");
+        prop_assert!(matches!(
+            a.try_commit(id, 1),
+            Err(KvError::DeadSequence)
+        ), "a dead id stays typed-dead");
+    }
+}
+
+/// After `reset` (preemption by recomputation) the sequence is still
+/// registered but owns nothing: a gather of any prior position is a
+/// typed `OutOfBounds`, never stale pages — and the sequence is
+/// immediately reusable.
+#[test]
+fn gather_after_reset_is_typed_out_of_bounds() {
+    let mut a = arena(8);
+    let id = a.try_join().expect("join");
+    fill(&mut a, id, 10);
+    assert_eq!(a.len(id), 10);
+    let freed = a.reset(id);
+    assert_eq!(freed, 3, "10 positions / block 4 = 3 pages reclaimed");
+    assert_eq!(a.live_pages(), 0);
+    let (mut k, mut v) = (Vec::new(), Vec::new());
+    match a.try_gather(id, 0, 1, &mut k, &mut v) {
+        Err(KvError::OutOfBounds { pos: 1, capacity: 0 }) => {}
+        other => panic!("gather after reset must be OutOfBounds, got {other:?}"),
+    }
+    // Re-prefill path: the slot is live and writable again.
+    fill(&mut a, id, 4);
+    a.try_gather(id, 1, 4, &mut k, &mut v).expect("gather after re-fill");
+    assert_eq!(k.len(), 4 * 8);
+}
+
+/// A zero-length commit on a fresh sequence is a no-op: no pages, no
+/// checksums, no error — and commits stay monotonic afterwards.
+#[test]
+fn zero_length_commit_is_a_noop() {
+    let mut a = arena(8);
+    let id = a.try_join().expect("join");
+    a.try_commit(id, 0).expect("zero-length commit is Ok");
+    assert_eq!(a.len(id), 0);
+    assert_eq!(a.live_pages(), 0);
+    fill(&mut a, id, 5);
+    a.try_commit(id, 3).expect("shrinking commit is a monotonic no-op");
+    assert_eq!(a.len(id), 5, "committed length never goes backwards");
+}
+
+/// Join/leave churn recycles pages through the free list: the slab's
+/// high-water mark is the working set of one round, not the cumulative
+/// total across rounds.
+#[test]
+fn free_list_recycles_pages_under_churn() {
+    let mut a = arena(16);
+    for round in 0..12 {
+        let ids: Vec<_> = (0..3).map(|_| a.try_join().expect("join")).collect();
+        for (j, &id) in ids.iter().enumerate() {
+            fill(&mut a, id, 4 * (j + 1)); // 1, 2, 3 pages
+        }
+        assert_eq!(a.live_pages(), 6);
+        for &id in &ids {
+            a.leave(id);
+        }
+        assert_eq!(a.live_pages(), 0, "round {round} drained");
+    }
+    assert_eq!(
+        a.peak_pages(),
+        6,
+        "12 rounds of churn never grew the slab past one round's working set"
+    );
+}
+
+/// A `max_pages` of zero is rejected at config construction — there is
+/// no way to build an arena that could never hold a token.
+#[test]
+fn zero_page_capacity_is_a_typed_config_error() {
+    assert_eq!(
+        KvPageConfig::default().with_max_pages(0).unwrap_err(),
+        KvError::ZeroCapacity
+    );
+}
+
+// --- scheduler under capacity pressure ------------------------------
+
+const PROMPTS: usize = 5;
+
+fn qlm() -> Arc<QuantizedLm> {
+    static QLM: OnceLock<Arc<QuantizedLm>> = OnceLock::new();
+    Arc::clone(QLM.get_or_init(|| {
+        let cfg = LmConfig {
+            vocab: 19,
+            d_model: 16,
+            n_layers: 2,
+            n_heads: 2,
+            d_ff: 32,
+            max_seq: 32,
+            act: ActKind::Relu,
+        };
+        let model = TransformerLm::new(cfg, 41);
+        Arc::new(quantize_model(&model, Scheme::AxCore, 8, None))
+    }))
+}
+
+fn prompt_for(i: usize) -> Vec<usize> {
+    vec![1 + (i % PROMPTS), 2 + (i % 3), 3]
+}
+
+/// An admission whose full extent could never fit the arena even alone
+/// is refused typed at `admit` — the guarantee that a stalled sequence
+/// always eventually runs.
+#[test]
+fn oversized_admission_is_refused_typed() {
+    let q = qlm();
+    let kv = KvPageConfig { block: 4, ..Default::default() }
+        .with_max_pages(2)
+        .expect("nonzero");
+    let mut sched = DecodeScheduler::new(&q, Decoding::Greedy, kv);
+    // 3 prompt + 9 budget = 12 positions = 3 pages > max 2.
+    match sched.admit(&prompt_for(0), 9) {
+        Err(GenerateError::Kv(KvError::CapacityExhausted { needed: 3, max_pages: 2, .. })) => {}
+        other => panic!("oversized request must be refused typed, got {other:?}"),
+    }
+    // The same prompt with a fitting budget is admitted.
+    sched.admit(&prompt_for(0), 5).expect("fitting request admitted");
+}
+
+/// The capacity tentpole, at 1/2/4 attention workers: a scheduler with a
+/// page cap far under the offered load (plus periodic forced evictions)
+/// must stall/evict/resume its way through every sequence, never exceed
+/// `max_pages` at any step boundary, record the stalls, and retire every
+/// sequence bit-identical to serial `try_generate`.
+#[test]
+fn capacity_pressure_stall_evict_resume_is_bit_exact_at_every_worker_count() {
+    for workers in [1usize, 2, 4] {
+        axcore_parallel::with_threads(workers, || {
+            let q = qlm();
+            // Each request: 3 prompt + 6 budget = 9 positions = 3 pages
+            // (block 4). Cap at 4 pages: only one sequence can ever hold
+            // its full extent, so the rest must stall and take turns.
+            let kv = KvPageConfig { block: 4, ..Default::default() }
+                .with_max_pages(4)
+                .expect("nonzero");
+            let mut sched = DecodeScheduler::new(&q, Decoding::Greedy, kv);
+            // 4 concurrent sequences is also `try_join`'s limit at 4
+            // pages (each live sequence must be able to hold a page).
+            let reqs = 4usize;
+            let mut handles: HashMap<SeqHandle, usize> = HashMap::new();
+            for i in 0..reqs {
+                let h = sched.admit(&prompt_for(i), 6).expect("admissible request");
+                handles.insert(h, i);
+            }
+            let mut finished: HashMap<usize, Vec<usize>> = HashMap::new();
+            let mut rounds = 0usize;
+            while sched.live() > 0 {
+                rounds += 1;
+                assert!(rounds <= 400, "capacity-bounded schedule must drain (livelock?)");
+                if rounds.is_multiple_of(7) {
+                    // Forced eviction on top of capacity stalls: the
+                    // preemption and backpressure paths compose.
+                    sched.evict_longest_idle();
+                    sched.resume_one();
+                }
+                for ev in sched.step(|_| true) {
+                    match ev {
+                        StepEvent::Finished { handle, outcome } => {
+                            let i = handles.remove(&handle).expect("known handle");
+                            assert!(outcome.completed);
+                            finished.insert(i, outcome.tokens);
+                        }
+                        StepEvent::Failed { handle, error } => {
+                            panic!("{handle:?} failed under capacity pressure: {error}");
+                        }
+                    }
+                }
+                assert!(
+                    sched.kv_pages_live() <= sched.kv_max_pages(),
+                    "page cap held at every step boundary ({} > {})",
+                    sched.kv_pages_live(),
+                    sched.kv_max_pages()
+                );
+            }
+            assert_eq!(sched.kv_pages_live(), 0, "all pages freed at drain");
+            assert!(
+                sched.kv_capacity_stalls() > 0,
+                "the cap was actually hit (stalls recorded)"
+            );
+            assert!(sched.kv_pages_peak() <= 4, "high-water respects the cap");
+            for i in 0..reqs {
+                let serial =
+                    try_generate(&q, &prompt_for(i), 6, Decoding::Greedy).expect("serial");
+                assert_eq!(
+                    finished.get(&i),
+                    Some(&serial),
+                    "sequence {i} bit-exact vs serial at {workers} workers"
+                );
+            }
+        });
+    }
+}

@@ -106,7 +106,8 @@ fn gen_schedule(seed: u64, n_reqs: usize) -> Vec<Req> {
 fn check_schedule(reqs: &[Req], mode: Decoding, block: usize, evict_every: Option<usize>) {
     let q = qlm();
     let f = fixture();
-    let mut sched = DecodeScheduler::new(q, mode, KvPageConfig { quant: None, block });
+    let mut sched =
+        DecodeScheduler::new(q, mode, KvPageConfig { quant: None, block, ..Default::default() });
     let mut handles: HashMap<SeqHandle, usize> = HashMap::new();
     let mut was_admitted = vec![false; reqs.len()];
     let mut cancelled: HashMap<usize, Vec<usize>> = HashMap::new();
@@ -243,7 +244,7 @@ fn quantized_kv_pages_hold_the_accuracy_gate() {
             q,
             stream,
             24,
-            KvPageConfig { quant: Some(cfg), block: 16 },
+            KvPageConfig { quant: Some(cfg), block: 16, ..Default::default() },
         );
         let delta = (quant - fp) / fp;
         assert!(

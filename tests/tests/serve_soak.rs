@@ -9,8 +9,10 @@
 //! process-global, so the tests serialize on one mutex and reset health
 //! state on both sides (same discipline as `fault_tolerance.rs`).
 
+use axcore::reliability::VerifyPolicy;
 use axcore_nn::eval::{quantize_model, QuantizedLm, Scheme};
 use axcore_nn::generate::{try_generate, Decoding};
+use axcore_nn::kvcache::KvPageConfig;
 use axcore_nn::layers::ActKind;
 use axcore_nn::model::{LmConfig, TransformerLm};
 use axcore_parallel::{health, Tier};
@@ -254,5 +256,69 @@ fn wedge_under_load_recovers_via_watchdog_pool_restart() {
     assert!(report.incidents.iter().any(|i| matches!(i, Incident::BatchOverdue { .. })));
     assert!(report.incidents.iter().any(|i| matches!(i, Incident::PoolRestarted { .. })));
     assert_eq!(report.completed, 6, "recovery wave fully served");
+    health::reset();
+}
+
+/// KV corruption injected mid-flight (a random committed page/table bit
+/// flipped every few batches) under full verification: every corruption
+/// must be *detected* by the page checksums and *healed* by
+/// recomputation — every ticket still resolves, every completion is
+/// bit-identical to the serial reference (which is the proof there were
+/// zero silent corruptions), and the report carries the detection,
+/// repair, and incident evidence.
+#[test]
+fn kv_corruption_mid_flight_is_detected_healed_and_bit_exact() {
+    let _g = global_guard();
+    let model = qlm();
+    let refs = references(&model);
+    let server = Server::start(Arc::clone(&model), ServeConfig {
+        queue_depth: 64,
+        max_batch: 4,
+        batch_window: Duration::from_millis(1),
+        default_deadline: Duration::from_secs(60),
+        watchdog_interval: Duration::from_millis(10),
+        kv: KvPageConfig { verify: Some(VerifyPolicy::Full), ..KvPageConfig::default() },
+        fault: Some(ServeFault::CorruptKvEvery { period: 3, seed: 0xA5A5_5A5A }),
+        ..ServeConfig::default()
+    });
+
+    // Enough overlapping traffic that injection steps land on batches
+    // with committed KV state to corrupt.
+    let tickets: Vec<_> = (0..24usize)
+        .map(|i| {
+            let b = BUDGETS[i % BUDGETS.len()];
+            (i, b, server.submit(&prompt_for(i), b, None).expect("admitted"))
+        })
+        .collect();
+    for (i, b, t) in tickets {
+        let got = t
+            .wait_for(Duration::from_secs(60))
+            .expect("ticket resolved inside the liveness bound")
+            .expect("request served despite KV corruption (healed, not failed)");
+        assert_eq!(
+            &got.tokens,
+            &refs[&(i % PROMPTS, b)],
+            "completion bit-exact under mid-flight KV corruption \
+             (prompt {i}, budget {b}) — any silent corruption would show here"
+        );
+    }
+
+    let report = server.shutdown();
+    assert_eq!(report.completed, 24, "every request completed");
+    assert!(report.kv_pages_verified > 0, "gathers actually verified checksums");
+    assert!(
+        report.kv_corruptions_detected >= 1,
+        "at least one injected corruption was detected (detected {})",
+        report.kv_corruptions_detected
+    );
+    assert!(
+        report.kv_repairs >= 1,
+        "at least one sequence was healed by recomputation (repairs {})",
+        report.kv_repairs
+    );
+    assert!(
+        report.incidents.iter().any(|i| matches!(i, Incident::KvCorruption { .. })),
+        "KV corruption surfaced in the incident log"
+    );
     health::reset();
 }
