@@ -23,17 +23,24 @@
 //!   the KV page high-water, which the token-in-flight admission cap —
 //!   not queue depth — must bound.
 //!
+//! Two idle-machine micro phases follow: KV checksum-verification
+//! overhead (`Sample(16)` vs `Off`) and KV parity economics — the XOR
+//! parity maintenance overhead on the mixed-budget cohort plus a
+//! repair-latency comparison (in-place page reconstruction vs
+//! reset-and-re-prefill recompute for a 64-token prefix).
+//!
 //! Results land in `BENCH_serve.json`. With `AXCORE_BENCH_STRICT=1` the
 //! binary exits non-zero if any phase invariant fails (the CI gate):
 //! nominal sheds nothing and stays under deadline, overload sheds with
 //! types instead of collapsing, recovery restores level 0 and serves,
 //! mixed-budget throughput beats lockstep ≥1.5x with zero shed and a
-//! bounded page arena.
+//! bounded page arena, parity maintenance stays under 5%, and
+//! reconstruction repairs are faster than recompute repairs.
 
 use axcore::reliability::VerifyPolicy;
 use axcore_nn::eval::{quantize_model, QuantizedLm, Scheme};
 use axcore_nn::generate::{decode_batch, try_generate, Decoding};
-use axcore_nn::kvcache::KvPageConfig;
+use axcore_nn::kvcache::{KvPageConfig, DEFAULT_KV_PARITY};
 use axcore_nn::layers::ActKind;
 use axcore_nn::model::{LmConfig, TransformerLm};
 use axcore_nn::scheduler::DecodeScheduler;
@@ -135,6 +142,89 @@ fn kv_verify_overhead(qlm: &QuantizedLm) -> (f64, u64) {
         verified = v;
     }
     ((best_sample / best_off.max(1e-9) - 1.0) * 100.0, verified)
+}
+
+/// Parity maintenance overhead: a mixed-budget cohort decodes with
+/// parity groups off vs the default group size, with verification `Off`
+/// and the scrubber disabled so the incremental XOR fold at page
+/// seal/free time is the *only* difference between the runs.
+/// Interleaved best-of-3; returns the parity-over-off overhead in
+/// percent.
+fn kv_parity_overhead(qlm: &QuantizedLm) -> f64 {
+    let run = |parity: Option<usize>| -> f64 {
+        let kv = KvPageConfig {
+            verify: Some(VerifyPolicy::Off),
+            parity,
+            scrub: 0,
+            ..KvPageConfig::default()
+        };
+        let mut sched = DecodeScheduler::new(qlm, Decoding::Greedy, kv);
+        for (i, &budget) in MIXED_BUDGETS.iter().enumerate() {
+            sched.admit(&prompt_for(4000 + i), budget).expect("parity admit");
+        }
+        let t = Instant::now();
+        while sched.live() > 0 {
+            sched.step(|_| true);
+        }
+        t.elapsed().as_secs_f64()
+    };
+    run(None); // warm
+    let (mut best_off, mut best_on) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..3 {
+        best_off = best_off.min(run(None));
+        best_on = best_on.min(run(Some(DEFAULT_KV_PARITY)));
+    }
+    (best_on / best_off.max(1e-9) - 1.0) * 100.0
+}
+
+/// Repair-latency microbenchmark: a sequence with a 64-token committed
+/// prefix (block 16 → four sealed pages in one parity group) takes one
+/// sealed-page bit flip, and the decode runs to completion. With parity
+/// on the arena reconstructs the one poisoned page in place; with
+/// parity off the scheduler resets and re-prefills the whole prefix.
+/// Both runs do the same residual decode work, so the wall-clock gap is
+/// the repair cost. Best-of-3 each, interleaved. Returns
+/// `(reconstruct_ms, recompute_ms, reconstructions, recompute_repairs)`.
+fn kv_repair_latency(qlm: &QuantizedLm) -> (f64, f64, u64, u64) {
+    let prompt: Vec<usize> = (0..64).map(|i| 1 + (i * 7) % 31).collect();
+    let run = |parity: Option<usize>| -> (f64, u64, u64) {
+        let kv = KvPageConfig {
+            verify: Some(VerifyPolicy::Full),
+            parity,
+            scrub: 0,
+            block: 16,
+            ..KvPageConfig::default()
+        };
+        let mut sched = DecodeScheduler::new(qlm, Decoding::Greedy, kv);
+        sched.admit(&prompt, 4).expect("repair admit");
+        // First step prefills and commits the prompt: four sealed pages.
+        sched.step(|_| true);
+        assert!(
+            sched.inject_kv_fault("kv-k-sealed", 5, 11),
+            "committed sealed surface exists after prefill"
+        );
+        let t = Instant::now();
+        while sched.live() > 0 {
+            sched.step(|_| true);
+        }
+        (
+            t.elapsed().as_secs_f64(),
+            sched.kv_repairs_reconstructed(),
+            sched.kv_repairs_recomputed(),
+        )
+    };
+    run(Some(DEFAULT_KV_PARITY)); // warm
+    let (mut best_on, mut best_off) = (f64::INFINITY, f64::INFINITY);
+    let (mut reconstructions, mut recompute_repairs) = (0u64, 0u64);
+    for _ in 0..3 {
+        let (s, r, _) = run(Some(DEFAULT_KV_PARITY));
+        best_on = best_on.min(s);
+        reconstructions = r;
+        let (s, _, r) = run(None);
+        best_off = best_off.min(s);
+        recompute_repairs = r;
+    }
+    (best_on * 1e3, best_off * 1e3, reconstructions, recompute_repairs)
 }
 
 fn main() {
@@ -372,6 +462,11 @@ fn main() {
     // ---- Phase 5: KV verification overhead, on the now-idle machine ----
     let (kv_verify_overhead_pct, kv_sample_pages_verified) = kv_verify_overhead(&qlm);
 
+    // ---- Phase 6: parity maintenance overhead + repair latency ----
+    let kv_parity_overhead_pct = kv_parity_overhead(&qlm);
+    let (repair_reconstruct_ms, repair_recompute_ms, repair_reconstructions, repair_recomputes) =
+        kv_repair_latency(&qlm);
+
     let mut json = String::from("{\n");
     for p in [&nominal, &overload, &recovery] {
         json.push_str(&format!("  \"{}\": {},\n", p.name, p.json()));
@@ -393,13 +488,24 @@ fn main() {
         report.evictions
     ));
     json.push_str(&format!(
-        "  \"kv_integrity\": {{ \"kv_verify_overhead_pct\": {:.2}, \"sample_pages_verified\": {}, \"kv_pages_verified\": {}, \"kv_corruptions_detected\": {}, \"kv_repairs\": {}, \"kv_capacity_stalls\": {} }},\n",
+        "  \"kv_integrity\": {{ \"kv_verify_overhead_pct\": {:.2}, \"sample_pages_verified\": {}, \"kv_pages_verified\": {}, \"kv_corruptions_detected\": {}, \"kv_repairs_reconstructed\": {}, \"kv_repairs_recomputed\": {}, \"kv_pages_scrubbed\": {}, \"kv_scrub_repairs\": {}, \"kv_capacity_stalls\": {} }},\n",
         kv_verify_overhead_pct,
         kv_sample_pages_verified,
         report.kv_pages_verified,
         report.kv_corruptions_detected,
-        report.kv_repairs,
+        report.kv_repairs_reconstructed,
+        report.kv_repairs_recomputed,
+        report.kv_pages_scrubbed,
+        report.kv_scrub_repairs,
         report.kv_capacity_stalls
+    ));
+    json.push_str(&format!(
+        "  \"kv_parity\": {{ \"kv_parity_overhead_pct\": {:.2}, \"repair_reconstruct_ms\": {:.3}, \"repair_recompute_ms\": {:.3}, \"repair_reconstructions\": {}, \"repair_recompute_fallbacks\": {} }},\n",
+        kv_parity_overhead_pct,
+        repair_reconstruct_ms,
+        repair_recompute_ms,
+        repair_reconstructions,
+        repair_recomputes
     ));
     json.push_str(&format!(
         "  \"controller\": {{ \"escalations\": {}, \"restores\": {}, \"peak_level\": {}, \"level_at_overload_end\": {}, \"final_level\": {}, \"restored_level_after_overload\": {} }},\n",
@@ -453,6 +559,9 @@ fn main() {
     );
     println!(
         "kv verification: Sample(16) overhead {kv_verify_overhead_pct:.2}% over Off ({kv_sample_pages_verified} pages verified per sampled run)"
+    );
+    println!(
+        "kv parity: maintenance overhead {kv_parity_overhead_pct:.2}% over parity-off; repair latency {repair_reconstruct_ms:.2} ms reconstruct vs {repair_recompute_ms:.2} ms recompute (64-token prefix)"
     );
 
     if std::env::var("AXCORE_BENCH_STRICT").as_deref() == Ok("1") {
@@ -526,12 +635,35 @@ fn main() {
                 "sampled KV verification overhead {kv_verify_overhead_pct:.2}% >= 10% over Off"
             ));
         }
-        if report.kv_corruptions_detected != 0 || report.kv_repairs != 0 {
+        if report.kv_corruptions_detected != 0
+            || report.kv_repairs_reconstructed != 0
+            || report.kv_repairs_recomputed != 0
+            || report.kv_scrub_repairs != 0
+        {
             fail(format!(
-                "fault-free serve run reported KV corruption: {} detected, {} repairs",
-                report.kv_corruptions_detected, report.kv_repairs
+                "fault-free serve run reported KV corruption: {} detected, {} reconstructed, {} recomputed, {} scrub repairs",
+                report.kv_corruptions_detected,
+                report.kv_repairs_reconstructed,
+                report.kv_repairs_recomputed,
+                report.kv_scrub_repairs
             ));
         }
-        println!("strict gate ok: nominal under deadline, overload shed typed, recovery restored, mixed budgets {mixed_speedup:.2}x over lockstep with a bounded arena, sampled KV verification {kv_verify_overhead_pct:.2}% overhead");
+        if kv_parity_overhead_pct >= 5.0 {
+            fail(format!(
+                "parity maintenance overhead {kv_parity_overhead_pct:.2}% >= 5% on the mixed-budget cohort"
+            ));
+        }
+        if repair_reconstructions == 0 {
+            fail("repair-latency micro: parity-on run never reconstructed".into());
+        }
+        if repair_recomputes == 0 {
+            fail("repair-latency micro: parity-off run never took the recompute path".into());
+        }
+        if repair_reconstruct_ms >= repair_recompute_ms {
+            fail(format!(
+                "parity reconstruction ({repair_reconstruct_ms:.2} ms) not faster than recompute ({repair_recompute_ms:.2} ms) for a 64-token prefix"
+            ));
+        }
+        println!("strict gate ok: nominal under deadline, overload shed typed, recovery restored, mixed budgets {mixed_speedup:.2}x over lockstep with a bounded arena, sampled KV verification {kv_verify_overhead_pct:.2}% overhead, parity {kv_parity_overhead_pct:.2}% overhead with reconstruction beating recompute");
     }
 }

@@ -12,7 +12,9 @@
 //! * `--smoke` — the reduced CI sweep (seconds);
 //! * `--check` — exit non-zero unless every at-rest fault in a
 //!   checksummed region was detected-and-corrected or masked, with zero
-//!   silent corruptions and ≥ 99% detection (the acceptance gate);
+//!   silent corruptions and ≥ 99% detection (the acceptance gate). Also
+//!   validates that every required summary field is present in the
+//!   written JSON, failing loudly by name when one is absent;
 //! * `--seed N` — override the injection-stream seed;
 //! * `--out PATH` — where to write the JSON (default
 //!   `RESULTS_faults.json`).
@@ -113,14 +115,18 @@ fn main() -> ExitCode {
         tr.silent_corruption
     );
     println!(
-        "kv:        {} injections, detection rate {:.4}, {} silent, {} unrepaired",
+        "kv:        {} injections, detection rate {:.4}, {} silent, {} unrepaired, \
+         {} reconstructed in place, {} recompute fallbacks",
         kt.injections,
         kt.detection_rate(),
         kt.silent_corruption,
-        kt.detected_uncorrected
+        kt.detected_uncorrected,
+        report.kv_reconstructed,
+        report.kv_recompute_fallbacks
     );
 
-    match fs::write(&out_path, report.to_json()) {
+    let json = report.to_json();
+    match fs::write(&out_path, &json) {
         Ok(()) => println!("wrote {out_path}"),
         Err(e) => {
             eprintln!("failed to write {out_path}: {e}");
@@ -129,6 +135,35 @@ fn main() -> ExitCode {
     }
 
     if check {
+        // The written document must carry every summary field downstream
+        // tooling greps for; a missing one fails loudly by name rather
+        // than silently passing an absent gate.
+        const REQUIRED_SUMMARY_FIELDS: [&str; 15] = [
+            "at_rest_injections",
+            "at_rest_detected_corrected",
+            "at_rest_masked",
+            "at_rest_silent_corruption",
+            "at_rest_detection_rate",
+            "transient_injections",
+            "transient_detection_rate",
+            "transient_silent_corruption",
+            "kv_injections",
+            "kv_detected_corrected",
+            "kv_masked",
+            "kv_silent_corruption",
+            "kv_detection_rate",
+            "kv_reconstructed",
+            "kv_recompute_fallbacks",
+        ];
+        for field in REQUIRED_SUMMARY_FIELDS {
+            if !json.contains(&format!("\"{field}\"")) {
+                eprintln!(
+                    "FAULT CAMPAIGN GATE FAILED: required summary field `{field}` \
+                     is missing from {out_path}"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
         if let Err(e) = report.check() {
             eprintln!("FAULT CAMPAIGN GATE FAILED: {e}");
             return ExitCode::FAILURE;

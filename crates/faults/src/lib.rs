@@ -22,14 +22,20 @@
 //!   campaign reports the silent-corruption rate of the rest, which is
 //!   the scientific output (an SDC-rate characterization), not a gate.
 //! - **KV at-rest faults**: one bit of a live paged decode's KV state —
-//!   a sealed K/V page word, the committed hot-tail, or a block-table
-//!   entry — is flipped mid-decode through the scheduler's injection
+//!   a sealed K/V page word, the committed hot-tail, a block-table
+//!   entry, the uncommitted append→commit hot window, or an XOR parity
+//!   page — is flipped mid-decode through the scheduler's injection
 //!   hooks, with the arena's per-page checksums pinned to
-//!   [`VerifyPolicy::Full`]. The gate ([`CampaignReport::check`]) is the
-//!   self-healing contract: every hit detected, zero silent
-//!   corruptions, and the repaired completion identical to the
-//!   recompute path's fault-free output (for exact FP pages that is the
-//!   undisturbed completion itself).
+//!   [`VerifyPolicy::Full`], parity groups on, and the scrubber given a
+//!   budget covering the whole arena. The gate
+//!   ([`CampaignReport::check`]) is the self-healing contract: every
+//!   hit detected, zero silent corruptions, and the repaired completion
+//!   identical to the recompute path's fault-free output (for exact FP
+//!   pages that is the undisturbed completion itself). Single sealed
+//!   flips in a parity-protected group heal by in-place
+//!   *reconstruction* — bit-identical to the clean run with no
+//!   re-prefill — while a **double fault in one group**
+//!   (`kv-group-double`) pins the typed fallback to recompute.
 //!
 //! Everything is driven by one [`XorShift`] stream seeded from
 //! [`CampaignConfig::seed`], and the engines run serially
@@ -45,7 +51,7 @@ use axcore::reliability::{with_verify_policy, VerifyPolicy};
 use axcore::systolic::systolic_gemm;
 use axcore_nn::eval::{quantize_model, QuantizedLm, Scheme};
 use axcore_nn::generate::Decoding;
-use axcore_nn::kvcache::{KvPageConfig, KV_FAULT_SITES};
+use axcore_nn::kvcache::{KvArena, KvPageConfig, KV_FAULT_SITES};
 use axcore_nn::layers::ActKind;
 use axcore_nn::model::{LmConfig, TransformerLm};
 use axcore_nn::scheduler::{DecodeScheduler, StepEvent};
@@ -255,6 +261,13 @@ pub struct CampaignReport {
     /// Per-`(page-mode, site)` tallies for at-rest faults in live paged
     /// KV-cache state, swept during continuous decode.
     pub kv: Vec<SiteTally>,
+    /// Corrupt KV pages healed **in place** from the group parity page
+    /// plus surviving siblings across the whole KV sweep — the O(one
+    /// page) repair path.
+    pub kv_reconstructed: u64,
+    /// KV repairs that fell back to the reset-and-re-prefill recompute
+    /// path (ungrouped pages, flipped block tables, degraded groups).
+    pub kv_recompute_fallbacks: u64,
 }
 
 /// Aggregate counts over a tally slice.
@@ -314,6 +327,16 @@ impl CampaignReport {
     /// flip must be detected-and-corrected or masked, with zero silent
     /// corruptions and ≥ 99% detection under `Full` verification.
     pub fn check(&self) -> Result<(), String> {
+        // Every section must be present before its totals mean
+        // anything: an empty tally list is a sweep that never ran, not
+        // a clean one.
+        for (name, tallies) in
+            [("at_rest", &self.at_rest), ("transient", &self.transient), ("kv", &self.kv)]
+        {
+            if tallies.is_empty() {
+                return Err(format!("required section `{name}` is missing from the report"));
+            }
+        }
         let t = self.at_rest_totals();
         if t.injections == 0 {
             return Err("at-rest campaign ran zero injections".to_string());
@@ -355,6 +378,32 @@ impl CampaignReport {
         if k.detection_rate() < 0.99 {
             return Err(format!("KV detection rate {:.4} below 0.99", k.detection_rate()));
         }
+        // Site coverage: every KV surface — including the hot window,
+        // the parity pages, and the degraded double-fault case — must
+        // have taken real injections.
+        for site in [
+            "kv-k-sealed",
+            "kv-v-sealed",
+            "kv-k-tail",
+            "kv-v-tail",
+            "kv-table",
+            "kv-hot",
+            "kv-parity",
+            "kv-group-double",
+        ] {
+            if !self.kv.iter().any(|t| t.site == site && t.injections > 0) {
+                return Err(format!("KV sweep ran zero injections at required site `{site}`"));
+            }
+        }
+        // Both repair paths must have been exercised: parity
+        // reconstruction for single losses, recompute for everything
+        // parity cannot arbitrate.
+        if self.kv_reconstructed == 0 {
+            return Err("no KV page was repaired by parity reconstruction".to_string());
+        }
+        if self.kv_recompute_fallbacks == 0 {
+            return Err("no KV fault exercised the recompute fallback".to_string());
+        }
         Ok(())
     }
 
@@ -389,7 +438,7 @@ impl CampaignReport {
         let transient: Vec<String> = self.transient.iter().map(|t| tally(t, true)).collect();
         let kv: Vec<String> = self.kv.iter().map(|t| tally(t, true)).collect();
         format!(
-            "{{\n  \"schema\": \"axcore-fault-campaign-v2\",\n  \"policy\": \"full\",\n  \
+            "{{\n  \"schema\": \"axcore-fault-campaign-v3\",\n  \"policy\": \"full\",\n  \
              \"config\": {{\"seed\": {}, \"m\": {}, \"k\": {}, \"n\": {}, \
              \"samples_per_site\": {}, \"transient_samples\": {}}},\n  \
              \"at_rest\": [\n{}\n  ],\n  \"transient\": [\n{}\n  ],\n  \
@@ -401,7 +450,8 @@ impl CampaignReport {
              \"transient_silent_corruption\": {},\n    \
              \"kv_injections\": {},\n    \"kv_detected_corrected\": {},\n    \
              \"kv_masked\": {},\n    \"kv_silent_corruption\": {},\n    \
-             \"kv_detection_rate\": {:.4}\n  }}\n}}\n",
+             \"kv_detection_rate\": {:.4},\n    \
+             \"kv_reconstructed\": {},\n    \"kv_recompute_fallbacks\": {}\n  }}\n}}\n",
             c.seed,
             c.m,
             c.k,
@@ -424,6 +474,8 @@ impl CampaignReport {
             kt.masked,
             kt.silent_corruption,
             kt.detection_rate(),
+            self.kv_reconstructed,
+            self.kv_recompute_fallbacks,
         )
     }
 }
@@ -579,20 +631,8 @@ fn drive(
     None
 }
 
-/// Run the KV at-rest sweep: a tiny transformer decodes through the
-/// paged arena (checksums pinned to [`VerifyPolicy::Full`]); at a random
-/// step boundary one bit of one committed KV fault site is flipped, and
-/// the decode runs to completion through the scheduler's self-healing
-/// path.
-///
-/// Correctness of a repair is judged against the recompute path's own
-/// fault-free output: a clean run that evicts-and-resumes the sequence
-/// at the same boundary re-prefills exactly the state the repair
-/// rebuilds, so the two runs must agree bit-for-bit. With exact FP
-/// pages that reference also equals the undisturbed completion; with
-/// quantized pages re-prefill legitimately reads pre-seal values, so
-/// only the recompute-path reference is exact.
-fn sweep_kv(cfg: &CampaignConfig, rng: &mut XorShift, tallies: &mut Vec<SiteTally>) {
+/// The campaign's little decode workload, shared by every KV sweep.
+fn kv_workload() -> (TransformerLm, Vec<usize>) {
     let lm_cfg = LmConfig {
         vocab: 17,
         d_model: 16,
@@ -602,17 +642,52 @@ fn sweep_kv(cfg: &CampaignConfig, rng: &mut XorShift, tallies: &mut Vec<SiteTall
         max_seq: 48,
         act: ActKind::Relu,
     };
-    let model = TransformerLm::new(lm_cfg, 13);
+    (TransformerLm::new(lm_cfg, 13), vec![1, 2, 3, 4, 5])
+}
+
+/// Run the KV at-rest sweep: a tiny transformer decodes through the
+/// paged arena (checksums pinned to [`VerifyPolicy::Full`], parity
+/// groups at the default size, scrub budget covering the whole arena);
+/// at a random step boundary one bit of one committed KV fault site is
+/// flipped, and the decode runs to completion through the scheduler's
+/// self-healing path. `kv-hot` is excluded here — the hot window is
+/// empty at step boundaries — and swept by [`sweep_kv_hot`] instead.
+///
+/// Single flips in a sealed, parity-grouped page should heal by
+/// in-place reconstruction, leaving the completion equal to the
+/// undisturbed one. Repairs that fall back to recompute (tail pages,
+/// flipped tables) are judged against the recompute path's own
+/// fault-free output: a clean run that evicts-and-resumes the sequence
+/// at the same boundary re-prefills exactly the state the repair
+/// rebuilds, so the two runs must agree bit-for-bit. With exact FP
+/// pages that reference also equals the undisturbed completion; with
+/// quantized pages re-prefill legitimately reads pre-seal values, so
+/// only the recompute-path reference is exact.
+fn sweep_kv(
+    cfg: &CampaignConfig,
+    rng: &mut XorShift,
+    tallies: &mut Vec<SiteTally>,
+    kv_reconstructed: &mut u64,
+    kv_recompute_fallbacks: &mut u64,
+) {
+    let (model, prompt) = kv_workload();
     let qlm: QuantizedLm = quantize_model(&model, Scheme::AxCore, 8, None);
-    let prompt: Vec<usize> = vec![1, 2, 3, 4, 5];
     let budget = 8usize;
     // One extra step per repair cycle; a single injection needs at most
     // one repair, so a small slack covers every healthy completion.
     let cap = budget + 4;
+    // Scrub budget 16 covers every page and parity group of this tiny
+    // arena each step, so scrub-only surfaces (parity pages) are always
+    // caught before the decode finishes.
     let modes: [(&str, KvPageConfig); 2] = [
         (
             "fp32",
-            KvPageConfig { block: 4, verify: Some(VerifyPolicy::Full), ..Default::default() },
+            KvPageConfig {
+                block: 4,
+                verify: Some(VerifyPolicy::Full),
+                scrub: 16,
+                ..Default::default()
+            },
         ),
         (
             "q4-opt",
@@ -620,6 +695,7 @@ fn sweep_kv(cfg: &CampaignConfig, rng: &mut XorShift, tallies: &mut Vec<SiteTall
                 quant: Some(KvQuantConfig::opt()),
                 block: 4,
                 verify: Some(VerifyPolicy::Full),
+                scrub: 16,
                 ..Default::default()
             },
         ),
@@ -633,6 +709,9 @@ fn sweep_kv(cfg: &CampaignConfig, rng: &mut XorShift, tallies: &mut Vec<SiteTall
         // step; computed lazily since most samples share boundaries.
         let mut evict_ref: Vec<Option<Vec<usize>>> = vec![None; budget];
         for site in KV_FAULT_SITES {
+            if site == "kv-hot" {
+                continue;
+            }
             let mut tally = SiteTally::new(&format!("KvArena[{mode}]"), site);
             for _ in 0..cfg.samples_per_site {
                 // Inject after `after` completed steps, with at least one
@@ -659,11 +738,13 @@ fn sweep_kv(cfg: &CampaignConfig, rng: &mut XorShift, tallies: &mut Vec<SiteTall
                     continue;
                 }
                 let detected = sched.kv_corruptions_detected() > 0;
-                let repaired = sched.kv_repairs() > 0;
+                let recomputed = sched.kv_repairs_recomputed() > 0;
+                *kv_reconstructed += sched.kv_repairs_reconstructed();
+                *kv_recompute_fallbacks += sched.kv_repairs_recomputed();
                 let equal = match &tokens {
                     None => false,
                     Some(t) if *t == clean => true,
-                    Some(t) if detected && repaired => {
+                    Some(t) if detected && recomputed => {
                         let r = &mut evict_ref[after];
                         if r.is_none() {
                             let mut s2 = DecodeScheduler::new(&qlm, Decoding::Greedy, kv);
@@ -685,6 +766,152 @@ fn sweep_kv(cfg: &CampaignConfig, rng: &mut XorShift, tallies: &mut Vec<SiteTall
     }
 }
 
+/// Sweep the append→first-commit hot window at the arena level: append
+/// one more position than gets committed (exactly the mid-pass state a
+/// forward pass sees), flip one bit of the uncommitted FP rows, and
+/// require the next verified gather to trip on the rolling hot-window
+/// checksum. The heal is the scheduler's own retry move — re-appending
+/// the pristine rows over the window — after which the gathered bits
+/// must equal the pre-fault reference exactly.
+fn sweep_kv_hot(cfg: &CampaignConfig, rng: &mut XorShift, tallies: &mut Vec<SiteTally>) {
+    let (nl, d) = (2usize, 16usize);
+    let kvc = KvPageConfig { block: 4, verify: Some(VerifyPolicy::Full), ..Default::default() };
+    let mut tally = SiteTally::new("KvArena[fp32]", "kv-hot");
+    for sample in 0..cfg.samples_per_site {
+        let mut a = KvArena::new(nl, d, 2, kvc);
+        let id = a.try_join().unwrap_or_else(|e| panic!("{e}"));
+        // Six appended positions, five committed: one hot row per layer.
+        let rows = |salt: f32| -> Vec<f32> {
+            (0..6 * d).map(|i| (i as f32 * 0.31 + salt + sample as f32).sin()).collect()
+        };
+        let per_layer: Vec<(Vec<f32>, Vec<f32>)> =
+            (0..nl).map(|l| (rows(l as f32), rows(l as f32 + 0.5))).collect();
+        for (l, (k, v)) in per_layer.iter().enumerate() {
+            a.try_append(id, l, 0, k, v).unwrap_or_else(|e| panic!("{e}"));
+        }
+        a.try_commit(id, 5).unwrap_or_else(|e| panic!("{e}"));
+        let (mut k, mut v) = (Vec::new(), Vec::new());
+        let mut reference: Vec<(Vec<u32>, Vec<u32>)> = Vec::new();
+        for l in 0..nl {
+            a.try_gather(id, l, 6, &mut k, &mut v).unwrap_or_else(|e| panic!("{e}"));
+            reference.push((
+                k.iter().map(|x| x.to_bits()).collect(),
+                v.iter().map(|x| x.to_bits()).collect(),
+            ));
+        }
+        let surface = a.seq_fault_surface(id, "kv-hot");
+        assert_eq!(surface, nl * d * 2, "one uncommitted position per layer");
+        let word = rng.below(surface as u64) as usize;
+        let bit = rng.below(32) as u32;
+        assert!(a.inject_seq_fault(id, "kv-hot", word, bit));
+        let detected = (0..nl).any(|l| a.try_gather(id, l, 6, &mut k, &mut v).is_err());
+        if detected {
+            // The scheduler's repair for a poisoned hot window is to
+            // redo the pass: re-append the pristine uncommitted rows.
+            for (l, (kr, vr)) in per_layer.iter().enumerate() {
+                a.try_append(id, l, 5, &kr[5 * d..], &vr[5 * d..])
+                    .unwrap_or_else(|e| panic!("{e}"));
+            }
+        }
+        let equal = (0..nl).all(|l| {
+            a.try_gather(id, l, 6, &mut k, &mut v).is_ok()
+                && k.iter().map(|x| x.to_bits()).eq(reference[l].0.iter().copied())
+                && v.iter().map(|x| x.to_bits()).eq(reference[l].1.iter().copied())
+        });
+        tally.record(classify(detected, equal));
+    }
+    tallies.push(tally);
+}
+
+/// Double fault inside one parity group: flip one bit in each of two
+/// *distinct* sealed pages of the same group at the same boundary. XOR
+/// parity can rebuild exactly one lost member, so the arena must refuse
+/// in-place reconstruction (degraded group) and the scheduler must take
+/// the typed reset-and-re-prefill recompute fallback — still detected,
+/// still healed, just at prefix cost instead of page cost.
+fn sweep_kv_group(
+    cfg: &CampaignConfig,
+    rng: &mut XorShift,
+    tallies: &mut Vec<SiteTally>,
+    kv_reconstructed: &mut u64,
+    kv_recompute_fallbacks: &mut u64,
+) {
+    let (model, prompt) = kv_workload();
+    let qlm: QuantizedLm = quantize_model(&model, Scheme::AxCore, 8, None);
+    let budget = 8usize;
+    let cap = budget + 4;
+    let kv = KvPageConfig {
+        block: 4,
+        verify: Some(VerifyPolicy::Full),
+        scrub: 16,
+        ..Default::default()
+    };
+    // One page's worth of sealed K words: layers × block × d_model.
+    let per_page = 2 * 4 * 16;
+    let mut sched = DecodeScheduler::new(&qlm, Decoding::Greedy, kv);
+    sched.admit(&prompt, budget).unwrap_or_else(|e| panic!("{e}"));
+    let clean = drive(&mut sched, cap, |_, _| {})
+        .unwrap_or_else(|| panic!("clean decode did not finish"));
+    let mut evict_ref: Vec<Option<Vec<usize>>> = vec![None; budget];
+    let mut tally = SiteTally::new("KvArena[fp32]", "kv-group-double");
+    for _ in 0..cfg.samples_per_site {
+        // From step 3 on the sequence holds ≥ 2 sealed pages (prompt 5
+        // + `after` tokens ≥ 8 positions at block 4), all members of
+        // the same (size-8) parity group.
+        let after = 3 + rng.below(budget as u64 - 3) as usize;
+        let draws: [u64; 4] = [rng.next_u64(), rng.next_u64(), rng.next_u64(), rng.next_u64()];
+        let mut sched = DecodeScheduler::new(&qlm, Decoding::Greedy, kv);
+        sched.admit(&prompt, budget).unwrap_or_else(|e| panic!("{e}"));
+        let mut injected = false;
+        let tokens = drive(&mut sched, cap, |sch, steps| {
+            if steps == after {
+                let sealed = sch.kv_fault_surface("kv-k-sealed") / per_page;
+                if sealed >= 2 {
+                    let pa = (draws[0] % sealed as u64) as usize;
+                    let pb = (pa + 1 + (draws[1] % (sealed as u64 - 1)) as usize) % sealed;
+                    let wa = pa * per_page + (draws[2] % per_page as u64) as usize;
+                    let wb = pb * per_page + (draws[3] % per_page as u64) as usize;
+                    injected = sch.inject_kv_fault("kv-k-sealed", wa, (draws[2] >> 32) as u32 % 32)
+                        && sch.inject_kv_fault("kv-k-sealed", wb, (draws[3] >> 32) as u32 % 32);
+                }
+            }
+        });
+        if !injected {
+            tally.not_hit += 1;
+            continue;
+        }
+        let detected = sched.kv_corruptions_detected() > 0;
+        let recomputed = sched.kv_repairs_recomputed() > 0;
+        assert_eq!(
+            sched.kv_repairs_reconstructed(),
+            0,
+            "a degraded group must never reconstruct"
+        );
+        *kv_reconstructed += sched.kv_repairs_reconstructed();
+        *kv_recompute_fallbacks += sched.kv_repairs_recomputed();
+        let equal = match &tokens {
+            None => false,
+            Some(t) if *t == clean => true,
+            Some(t) if detected && recomputed => {
+                let r = &mut evict_ref[after];
+                if r.is_none() {
+                    let mut s2 = DecodeScheduler::new(&qlm, Decoding::Greedy, kv);
+                    s2.admit(&prompt, budget).unwrap_or_else(|e| panic!("{e}"));
+                    *r = drive(&mut s2, cap, |sch, steps| {
+                        if steps == after && sch.evict_longest_idle().is_some() {
+                            sch.resume_one();
+                        }
+                    });
+                }
+                r.as_deref() == Some(t)
+            }
+            Some(_) => false,
+        };
+        tally.record(classify(detected, equal));
+    }
+    tallies.push(tally);
+}
+
 /// Run the full campaign described by `cfg`. Serial and deterministic:
 /// the same config always produces the same report.
 pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
@@ -699,8 +926,24 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
         let mut transient = Vec::new();
         sweep_transient(cfg, &mut rng, &mut transient);
         let mut kv = Vec::new();
-        sweep_kv(cfg, &mut rng, &mut kv);
-        CampaignReport { config: *cfg, at_rest, transient, kv }
+        let (mut kv_reconstructed, mut kv_recompute_fallbacks) = (0u64, 0u64);
+        sweep_kv(cfg, &mut rng, &mut kv, &mut kv_reconstructed, &mut kv_recompute_fallbacks);
+        sweep_kv_hot(cfg, &mut rng, &mut kv);
+        sweep_kv_group(
+            cfg,
+            &mut rng,
+            &mut kv,
+            &mut kv_reconstructed,
+            &mut kv_recompute_fallbacks,
+        );
+        CampaignReport {
+            config: *cfg,
+            at_rest,
+            transient,
+            kv,
+            kv_reconstructed,
+            kv_recompute_fallbacks,
+        }
     })
 }
 
@@ -755,6 +998,20 @@ mod tests {
         assert_eq!(k.silent_corruption, 0, "no silent KV corruption");
         assert_eq!(k.detected_uncorrected, 0, "every detected KV fault repaired bit-identically");
         assert!(k.detection_rate() >= 0.99, "rate {}", k.detection_rate());
+        // Both repair paths exercised: single sealed losses reconstruct
+        // in place, degraded cases fall back to recompute.
+        assert!(r.kv_reconstructed > 0, "parity reconstruction never ran");
+        assert!(r.kv_recompute_fallbacks > 0, "recompute fallback never ran");
+        for site in ["kv-hot", "kv-parity", "kv-group-double"] {
+            assert!(
+                r.kv.iter().any(|t| t.site == site && t.injections > 0),
+                "no KV injections ran at {site}"
+            );
+        }
+        let dbl = r.kv.iter().find(|t| t.site == "kv-group-double").unwrap();
+        assert_eq!(dbl.silent_corruption, 0);
+        assert_eq!(dbl.detected_uncorrected, 0);
+        assert!(dbl.detected_corrected > 0, "double faults heal via recompute");
     }
 
     #[test]

@@ -55,11 +55,25 @@
 //!   flipped page bit *or* a flipped block-table entry, which the owner
 //!   binding catches — surfaces as [`KvError::CorruptPage`] naming the
 //!   poisoned sequence, and the scheduler heals it by recomputation.
-//!
-//! Positions appended but not yet committed (the in-pass hot window that
-//! `try_gather` may legitimately read before `try_commit`) are not yet
-//! checksummed; they are transient per-pass state, covered from the
-//! first commit onwards.
+//! * **Hot-window integrity** — positions appended but not yet
+//!   committed (the in-pass hot window that `try_gather` may
+//!   legitimately read before `try_commit`) carry a per-layer rolling
+//!   checksum refolded on every [`try_append`](KvArena::try_append) and
+//!   verified by any gather that reads past the committed length, so no
+//!   resident KV bytes are ever unprotected.
+//! * **Erasure coding** (DESIGN.md §14) — with
+//!   [`KvPageConfig::parity`] set (`AXCORE_KV_PARITY`, default group
+//!   size 8), sealed pages join fixed-size **parity groups**, each
+//!   owning one XOR parity page maintained incrementally as members
+//!   seal and free. A detected [`KvError::CorruptPage`] whose page
+//!   binding matches the gather first attempts in-place
+//!   **reconstruction** from parity + surviving siblings — O(one page)
+//!   instead of the O(prefix) recompute — accepting the result only if
+//!   the owner-bound checksum re-verifies. Degraded groups (parity
+//!   page itself corrupt, or ≥ 2 losses) fall back to the recompute
+//!   path. [`scrub`](KvArena::scrub) walks cold pages and parity pages
+//!   under a caller-supplied budget so latent corruption is repaired
+//!   before a gather trips over it.
 
 use axcore::reliability::{mix, VerifyPolicy, CHECKSUM_SEED};
 use axcore_parallel::arena::{self, ArenaVec};
@@ -73,6 +87,15 @@ pub const DEFAULT_KV_BLOCK: usize = 16;
 /// [`KvPageConfig::max_pages`] is derived when not set explicitly:
 /// `max_pages = budget / page_bytes`, floored at one page.
 pub const DEFAULT_KV_BUDGET_BYTES: usize = 64 << 20;
+
+/// Default sealed pages per XOR parity group (`AXCORE_KV_PARITY`
+/// overrides; `off` disables erasure coding).
+pub const DEFAULT_KV_PARITY: usize = 8;
+
+/// Default scrub budget: integrity targets (data or parity pages) the
+/// scheduler verifies per step boundary (`AXCORE_KV_SCRUB` overrides;
+/// 0 disables the scrubber).
+pub const DEFAULT_KV_SCRUB: usize = 1;
 
 /// Typed failure of a [`KvArena`] operation. Every variant is
 /// recoverable by construction: callers reset or retire the offending
@@ -176,6 +199,15 @@ pub struct KvPageConfig {
     /// GEMM verification. `Some(p)` pins the arena's own policy, which
     /// benches use to isolate KV-check overhead.
     pub verify: Option<VerifyPolicy>,
+    /// Sealed pages per XOR parity group (`AXCORE_KV_PARITY`).
+    /// `Some(g)` groups every sealed page with up to `g - 1` siblings
+    /// behind one parity page so a single lost page reconstructs in
+    /// place; `None` disables erasure coding (corruption always heals
+    /// by recomputation).
+    pub parity: Option<usize>,
+    /// Integrity targets the scheduler scrubs per step boundary
+    /// (`AXCORE_KV_SCRUB`; 0 disables proactive scrubbing).
+    pub scrub: usize,
 }
 
 impl Default for KvPageConfig {
@@ -185,6 +217,8 @@ impl Default for KvPageConfig {
             block: DEFAULT_KV_BLOCK,
             max_pages: None,
             verify: None,
+            parity: Some(DEFAULT_KV_PARITY),
+            scrub: DEFAULT_KV_SCRUB,
         }
     }
 }
@@ -221,6 +255,17 @@ impl KvPageConfig {
                 ),
             }
         }
+        if let Some(parity) = env::parse("AXCORE_KV_PARITY", "off | group size", |s| {
+            match s.to_ascii_lowercase().as_str() {
+                "off" | "none" | "0" => Some(None),
+                other => other.parse::<usize>().ok().filter(|&g| g > 0).map(Some),
+            }
+        }) {
+            cfg.parity = parity;
+        }
+        if let Some(scrub) = env::parse_usize("AXCORE_KV_SCRUB") {
+            cfg.scrub = scrub;
+        }
         cfg
     }
 
@@ -242,9 +287,18 @@ pub struct SeqId(usize);
 /// Fault-injection site names the arena understands (the KV counterpart
 /// of the prepared engines' at-rest regions): sealed — fully covered,
 /// checksummed-at-seal — K and V page regions, the committed hot-FP-tail
-/// K and V regions, and the per-sequence block tables.
-pub const KV_FAULT_SITES: [&str; 5] =
-    ["kv-k-sealed", "kv-v-sealed", "kv-k-tail", "kv-v-tail", "kv-table"];
+/// K and V regions, the per-sequence block tables, the uncommitted
+/// append→first-commit hot window, and the XOR parity pages of the
+/// sequence's groups.
+pub const KV_FAULT_SITES: [&str; 7] = [
+    "kv-k-sealed",
+    "kv-v-sealed",
+    "kv-k-tail",
+    "kv-v-tail",
+    "kv-table",
+    "kv-hot",
+    "kv-parity",
+];
 
 /// One page: `block` positions × all layers of K and V rows, plus the
 /// integrity state of its committed region.
@@ -256,12 +310,36 @@ struct Page {
     /// table entry can never double-free another sequence's page or
     /// leak the page it displaced.
     owner: usize,
+    /// The owner's block-table index this page backs — the page-side
+    /// half of the owner binding, which reconstruction and scrubbing
+    /// use to re-derive the expected checksum without trusting the
+    /// (possibly corrupt) block table.
+    index: usize,
     /// Committed positions this page's checksum covers (≤ block).
     covered: usize,
     /// [`mix`] fold over `(owner slot, table index, covered, K words,
     /// V words)` of the covered region. Bound to the owner so a flipped
     /// block-table entry — which lands the gather on a *self-consistent
     /// but wrong* page — still mismatches.
+    sum: u64,
+    /// Parity group this page belongs to, `usize::MAX` when ungrouped
+    /// (parity off, or not yet sealed to full coverage).
+    group: usize,
+}
+
+/// One XOR parity group: the bitwise XOR of every member page's K and V
+/// words, maintained incrementally as members join (on reaching full
+/// coverage) and leave (on free/reset). Any single member reconstructs
+/// as `parity ⊕ (XOR of surviving members)`.
+struct ParityGroup {
+    k: ArenaVec<f32>,
+    v: ArenaVec<f32>,
+    /// Member page ids (≤ the configured group size).
+    members: Vec<usize>,
+    /// [`mix`] fold over the parity words (domain-separated from page
+    /// checksums), so a flipped parity bit is itself detectable —
+    /// reconstruction from a silently corrupt parity page would
+    /// manufacture garbage.
     sum: u64,
 }
 
@@ -273,6 +351,13 @@ struct Seq {
     len: usize,
     /// Pages already quantize-sealed (a prefix of `table`).
     sealed: usize,
+    /// Per-layer rolling checksum over the uncommitted hot window
+    /// `[len, hot_high[layer])`, refolded on every append. 0 when the
+    /// layer's window is empty.
+    hot: Vec<u64>,
+    /// Per-layer high-water mark of appended (not yet committed)
+    /// positions; the window is empty when `hot_high[layer] <= len`.
+    hot_high: Vec<usize>,
 }
 
 /// A block-paged, optionally quantized KV cache shared by every
@@ -285,10 +370,19 @@ pub struct KvArena {
     block: usize,
     max_pages: usize,
     verify: Option<VerifyPolicy>,
+    /// Sealed pages per parity group, `None` when erasure coding is off.
+    parity: Option<usize>,
     pages: Vec<Page>,
     free: Vec<usize>,
     seqs: Vec<Option<Seq>>,
     free_seqs: Vec<usize>,
+    groups: Vec<ParityGroup>,
+    /// Groups still accepting members (len < parity group size).
+    open_groups: Vec<usize>,
+    /// Emptied group slots awaiting reuse.
+    free_groups: Vec<usize>,
+    /// Round-robin position of the scrubber over `pages ++ groups`.
+    scrub_cursor: usize,
     live_pages: usize,
     peak_pages: usize,
     /// `try_gather` calls — the sampling clock for `VerifyPolicy::Sample`.
@@ -297,6 +391,18 @@ pub struct KvArena {
     pages_verified: u64,
     /// Checksum mismatches (and out-of-slab table entries) detected.
     corruptions: u64,
+    /// Corrupt pages healed in place from parity + siblings.
+    reconstructions: u64,
+    /// Reconstruction attempts abandoned (ungrouped page, degraded
+    /// group, or the rebuilt bits failed re-verification).
+    reconstruct_failures: u64,
+    /// Parity pages rebuilt from their members (corrupt parity found by
+    /// the scrubber, or a member freed while itself corrupt).
+    parity_rebuilds: u64,
+    /// Integrity targets (data or parity pages) verified by `scrub`.
+    pages_scrubbed: u64,
+    /// Corruptions the scrubber both found and repaired in place.
+    scrub_repairs: u64,
 }
 
 impl std::fmt::Debug for KvArena {
@@ -337,15 +443,25 @@ impl KvArena {
             block: cfg.block,
             max_pages,
             verify: cfg.verify,
+            parity: cfg.parity.filter(|&g| g > 0),
             pages: Vec::new(),
             free: Vec::new(),
             seqs: Vec::new(),
             free_seqs: Vec::new(),
+            groups: Vec::new(),
+            open_groups: Vec::new(),
+            free_groups: Vec::new(),
+            scrub_cursor: 0,
             live_pages: 0,
             peak_pages: 0,
             gathers: 0,
             pages_verified: 0,
             corruptions: 0,
+            reconstructions: 0,
+            reconstruct_failures: 0,
+            parity_rebuilds: 0,
+            pages_scrubbed: 0,
+            scrub_repairs: 0,
         }
     }
 
@@ -384,6 +500,37 @@ impl KvArena {
         self.corruptions
     }
 
+    /// Corrupt pages healed in place from parity + surviving siblings.
+    pub fn reconstructions(&self) -> u64 {
+        self.reconstructions
+    }
+
+    /// Reconstruction attempts that had to fall back (ungrouped page,
+    /// degraded group, or failed re-verification).
+    pub fn reconstruct_failures(&self) -> u64 {
+        self.reconstruct_failures
+    }
+
+    /// Parity pages rebuilt wholesale from their members.
+    pub fn parity_rebuilds(&self) -> u64 {
+        self.parity_rebuilds
+    }
+
+    /// Integrity targets verified by [`scrub`](KvArena::scrub).
+    pub fn pages_scrubbed(&self) -> u64 {
+        self.pages_scrubbed
+    }
+
+    /// Corruptions the scrubber found and repaired in place.
+    pub fn scrub_repairs(&self) -> u64 {
+        self.scrub_repairs
+    }
+
+    /// Parity groups currently holding at least one member.
+    pub fn parity_groups_live(&self) -> usize {
+        self.groups.iter().filter(|g| !g.members.is_empty()).count()
+    }
+
     /// Register a new sequence with no cached positions. Fails with
     /// [`KvError::CapacityExhausted`] when as many sequences are live as
     /// there are pages — beyond that, some sequence could never hold
@@ -397,7 +544,13 @@ impl KvArena {
                 max_pages: self.max_pages,
             });
         }
-        let seq = Seq { table: Vec::new(), len: 0, sealed: 0 };
+        let seq = Seq {
+            table: Vec::new(),
+            len: 0,
+            sealed: 0,
+            hot: vec![0; self.n_layers],
+            hot_high: vec![0; self.n_layers],
+        };
         Ok(match self.free_seqs.pop() {
             Some(slot) => {
                 self.seqs[slot] = Some(seq);
@@ -436,20 +589,31 @@ impl KvArena {
         seq.table.clear();
         seq.len = 0;
         seq.sealed = 0;
-        let mut freed = 0;
-        for (p, pg) in self.pages.iter_mut().enumerate() {
-            if pg.owner == id.0 {
-                // Clear integrity state so a recycled page never carries
-                // a stale owner-bound checksum.
-                pg.owner = usize::MAX;
-                pg.covered = 0;
-                pg.sum = 0;
-                self.free.push(p);
-                freed += 1;
-            }
+        seq.hot.iter_mut().for_each(|h| *h = 0);
+        seq.hot_high.iter_mut().for_each(|h| *h = 0);
+        let owned: Vec<usize> = self
+            .pages
+            .iter()
+            .enumerate()
+            .filter(|(_, pg)| pg.owner == id.0)
+            .map(|(p, _)| p)
+            .collect();
+        for &p in &owned {
+            // XOR the page back out of its parity group (rebuilding the
+            // parity from the survivors if the page itself is corrupt)
+            // before its bits are recycled.
+            self.group_leave(p);
+            // Clear integrity state so a recycled page never carries
+            // a stale owner-bound checksum.
+            let pg = &mut self.pages[p];
+            pg.owner = usize::MAX;
+            pg.index = 0;
+            pg.covered = 0;
+            pg.sum = 0;
+            self.free.push(p);
         }
-        self.live_pages -= freed;
-        freed
+        self.live_pages -= owned.len();
+        owned.len()
     }
 
     /// Committed positions of a sequence.
@@ -494,8 +658,10 @@ impl KvArena {
                     k: arena::take(len, 0f32),
                     v: arena::take(len, 0f32),
                     owner: usize::MAX,
+                    index: 0,
                     covered: 0,
                     sum: 0,
+                    group: usize::MAX,
                 });
                 self.pages.len() - 1
             }
@@ -546,9 +712,12 @@ impl KvArena {
                     max_pages: self.max_pages,
                 });
             };
+            let mut index = 0;
             if let Some(Some(seq)) = self.seqs.get_mut(id.0) {
                 seq.table.push(page);
+                index = seq.table.len() - 1;
             }
+            self.pages[page].index = index;
         }
         let block = self.block;
         let layer_off = layer * block * d;
@@ -573,7 +742,61 @@ impl KvArena {
             pg.k[off..off + d].copy_from_slice(&k_rows[r * d..(r + 1) * d]);
             pg.v[off..off + d].copy_from_slice(&v_rows[r * d..(r + 1) * d]);
         }
+        // Refold the layer's hot-window checksum over everything
+        // appended past the committed length. A full refold (rather
+        // than an incremental roll) keeps idempotent re-appends of the
+        // same positions — the scheduler's retry path — consistent.
+        if m > 0 {
+            if let Some(Some(seq)) = self.seqs.get_mut(id.0) {
+                if start + m > seq.hot_high[layer] {
+                    seq.hot_high[layer] = start + m;
+                }
+            }
+            let windowed = self
+                .seq(id)
+                .is_some_and(|s| s.hot_high.get(layer).copied().unwrap_or(0) > s.len);
+            if windowed {
+                let sum = self.hot_sum(id, layer);
+                if let Some(Some(seq)) = self.seqs.get_mut(id.0) {
+                    seq.hot[layer] = sum;
+                }
+            }
+        }
         Ok(())
+    }
+
+    /// Fold the hot-window checksum of `layer`: the uncommitted
+    /// positions `[len, hot_high[layer])`, bound to the sequence slot,
+    /// layer and window bounds (domain-separated from page checksums).
+    fn hot_sum(&self, id: SeqId, layer: usize) -> u64 {
+        const HOT_TAG: u64 = 0x686f_7477_696e; // "hotwin"
+        let Some(seq) = self.seq(id) else { return 0 };
+        let (d, block) = (self.d, self.block);
+        let (from, to) = (seq.len, seq.hot_high.get(layer).copied().unwrap_or(0));
+        let mut h = mix(CHECKSUM_SEED ^ HOT_TAG, id.0 as u64);
+        h = mix(h, layer as u64);
+        h = mix(h, from as u64);
+        h = mix(h, to as u64);
+        let mut pos = from;
+        while pos < to {
+            let idx = pos / block;
+            let Some(&page) = seq.table.get(idx) else { break };
+            if page >= self.pages.len() {
+                break;
+            }
+            let in_page = pos % block;
+            let take = (block - in_page).min(to - pos);
+            let off = layer * block * d + in_page * d;
+            let pg = &self.pages[page];
+            for w in &pg.k[off..off + take * d] {
+                h = mix(h, u64::from(w.to_bits()));
+            }
+            for w in &pg.v[off..off + take * d] {
+                h = mix(h, u64::from(w.to_bits()));
+            }
+            pos += take;
+        }
+        h
     }
 
     fn seq(&self, id: SeqId) -> Option<&Seq> {
@@ -643,8 +866,29 @@ impl KvArena {
                 return Err(KvError::CorruptPage { seq: id, index: idx });
             }
             if covered > self.pages[page].covered {
+                self.pages[page].index = idx;
                 self.pages[page].sum = self.page_sum(id.0, idx, page, covered);
                 self.pages[page].covered = covered;
+                // A page reaching full coverage is final (sealed bits
+                // never change until free) — fold it into a parity
+                // group exactly once.
+                if covered == block {
+                    self.group_join(page);
+                }
+            }
+        }
+        // Refold the hot-window checksums for whatever remains
+        // uncommitted past the new length.
+        for layer in 0..self.n_layers {
+            let windowed = self
+                .seq(id)
+                .is_some_and(|s| s.hot_high.get(layer).copied().unwrap_or(0) > s.len);
+            let sum = if windowed { self.hot_sum(id, layer) } else { 0 };
+            if let Some(Some(seq)) = self.seqs.get_mut(id.0) {
+                if seq.hot_high[layer] < seq.len {
+                    seq.hot_high[layer] = seq.len;
+                }
+                seq.hot[layer] = sum;
             }
         }
         Ok(())
@@ -669,6 +913,241 @@ impl KvArena {
             }
         }
         h
+    }
+
+    /// A page's checksum re-derived from its *own* binding record
+    /// (owner, index, covered) — what scrubbing and reconstruction
+    /// compare against the stored sum without consulting any block
+    /// table.
+    fn page_self_sum(&self, page: usize) -> u64 {
+        let pg = &self.pages[page];
+        self.page_sum(pg.owner, pg.index, page, pg.covered)
+    }
+
+    /// Fold the integrity checksum of a parity page, domain-separated
+    /// from page checksums and bound to the group id and member count.
+    fn parity_fold(&self, g: usize) -> u64 {
+        const PARITY_TAG: u64 = 0x7061_7269_7479; // "parity"
+        let grp = &self.groups[g];
+        let mut h = mix(CHECKSUM_SEED ^ PARITY_TAG, g as u64);
+        h = mix(h, grp.members.len() as u64);
+        for w in grp.k.iter() {
+            h = mix(h, u64::from(w.to_bits()));
+        }
+        for w in grp.v.iter() {
+            h = mix(h, u64::from(w.to_bits()));
+        }
+        h
+    }
+
+    /// XOR page `page`'s words into (or back out of — XOR is its own
+    /// inverse) group `g`'s parity page.
+    fn parity_xor(&mut self, g: usize, page: usize) {
+        let (pages, groups) = (&self.pages, &mut self.groups);
+        let pg = &pages[page];
+        let grp = &mut groups[g];
+        for w in 0..pg.k.len() {
+            grp.k[w] = f32::from_bits(grp.k[w].to_bits() ^ pg.k[w].to_bits());
+            grp.v[w] = f32::from_bits(grp.v[w].to_bits() ^ pg.v[w].to_bits());
+        }
+    }
+
+    /// Add a freshly sealed (fully covered, checksummed) page to the
+    /// open parity group, creating or recycling a group as needed.
+    /// No-op with parity off or for a page already grouped.
+    fn group_join(&mut self, page: usize) {
+        let Some(gsize) = self.parity else { return };
+        if self.pages[page].group != usize::MAX {
+            return;
+        }
+        let g = match self.open_groups.last().copied() {
+            Some(g) => g,
+            None => {
+                let g = match self.free_groups.pop() {
+                    Some(g) => {
+                        // Recycled parity buffers carry stale bits;
+                        // the XOR identity needs an all-zero start.
+                        let grp = &mut self.groups[g];
+                        grp.k.iter_mut().for_each(|w| *w = 0.0);
+                        grp.v.iter_mut().for_each(|w| *w = 0.0);
+                        grp.members.clear();
+                        g
+                    }
+                    None => {
+                        let len = self.page_floats();
+                        self.groups.push(ParityGroup {
+                            k: arena::take_filled(len, 0f32),
+                            v: arena::take_filled(len, 0f32),
+                            members: Vec::new(),
+                            sum: 0,
+                        });
+                        self.groups.len() - 1
+                    }
+                };
+                self.open_groups.push(g);
+                g
+            }
+        };
+        self.parity_xor(g, page);
+        self.groups[g].members.push(page);
+        self.pages[page].group = g;
+        if self.groups[g].members.len() >= gsize {
+            self.open_groups.pop();
+        }
+        self.groups[g].sum = self.parity_fold(g);
+    }
+
+    /// Remove a page from its parity group ahead of free/reset. A
+    /// healthy member XORs back out; a member that no longer matches
+    /// its own checksum would poison the parity, so the parity is
+    /// rebuilt from the survivors instead.
+    fn group_leave(&mut self, page: usize) {
+        let g = self.pages[page].group;
+        if g == usize::MAX {
+            return;
+        }
+        self.pages[page].group = usize::MAX;
+        let gsize = self.parity.unwrap_or(usize::MAX);
+        let was_full = self.groups[g].members.len() >= gsize;
+        let healthy = self.page_self_sum(page) == self.pages[page].sum;
+        self.groups[g].members.retain(|&m| m != page);
+        if healthy {
+            self.parity_xor(g, page);
+        } else {
+            self.rebuild_parity(g);
+        }
+        if self.groups[g].members.is_empty() {
+            self.open_groups.retain(|&x| x != g);
+            self.free_groups.push(g);
+            self.groups[g].sum = 0;
+        } else {
+            if was_full {
+                self.open_groups.push(g);
+            }
+            self.groups[g].sum = self.parity_fold(g);
+        }
+    }
+
+    /// Recompute group `g`'s parity page as the XOR of its current
+    /// members, discarding whatever the buffer held.
+    fn rebuild_parity(&mut self, g: usize) {
+        {
+            let grp = &mut self.groups[g];
+            grp.k.iter_mut().for_each(|w| *w = 0.0);
+            grp.v.iter_mut().for_each(|w| *w = 0.0);
+        }
+        let members = self.groups[g].members.clone();
+        for m in members {
+            self.parity_xor(g, m);
+        }
+        self.groups[g].sum = self.parity_fold(g);
+        self.parity_rebuilds += 1;
+    }
+
+    /// Attempt in-place reconstruction of a corrupt page from its
+    /// parity group: candidate bits are `parity ⊕ (XOR of surviving
+    /// siblings)`, accepted only if the result re-verifies against the
+    /// page's stored owner-bound checksum. Returns `false` — leaving
+    /// the recompute fallback to the caller — for ungrouped pages and
+    /// degraded groups (parity page corrupt, or a sibling also failing
+    /// its own checksum, i.e. ≥ 2 losses in the group).
+    fn try_reconstruct(&mut self, victim: usize) -> bool {
+        let g = self.pages[victim].group;
+        if g == usize::MAX || g >= self.groups.len() {
+            self.reconstruct_failures += 1;
+            return false;
+        }
+        if self.parity_fold(g) != self.groups[g].sum {
+            self.reconstruct_failures += 1;
+            return false;
+        }
+        let members = self.groups[g].members.clone();
+        for &m in &members {
+            if m != victim && self.page_self_sum(m) != self.pages[m].sum {
+                self.reconstruct_failures += 1;
+                return false;
+            }
+        }
+        let len = self.page_floats();
+        let mut kbits: Vec<u32> = self.groups[g].k.iter().map(|w| w.to_bits()).collect();
+        let mut vbits: Vec<u32> = self.groups[g].v.iter().map(|w| w.to_bits()).collect();
+        for &m in &members {
+            if m == victim {
+                continue;
+            }
+            let pg = &self.pages[m];
+            for w in 0..len {
+                kbits[w] ^= pg.k[w].to_bits();
+                vbits[w] ^= pg.v[w].to_bits();
+            }
+        }
+        {
+            let pg = &mut self.pages[victim];
+            for w in 0..len {
+                pg.k[w] = f32::from_bits(kbits[w]);
+                pg.v[w] = f32::from_bits(vbits[w]);
+            }
+        }
+        if self.page_self_sum(victim) == self.pages[victim].sum {
+            self.reconstructions += 1;
+            true
+        } else {
+            self.reconstruct_failures += 1;
+            false
+        }
+    }
+
+    /// Verify up to `budget` integrity targets — committed data pages
+    /// and live parity pages — advancing a round-robin cursor across
+    /// calls (one full cycle per call at most). A corrupt data page is
+    /// reconstructed in place when its group allows; otherwise its
+    /// `(owner, table index)` is returned so the caller can heal the
+    /// sequence by recomputation. A corrupt parity page is rebuilt from
+    /// its members. Healthy state is never touched, so scrubbing
+    /// preserves bit-exactness.
+    pub fn scrub(&mut self, budget: usize) -> Vec<(SeqId, usize)> {
+        let mut failed = Vec::new();
+        let total = self.pages.len() + self.groups.len();
+        if budget == 0 || total == 0 {
+            return failed;
+        }
+        let mut visited = 0usize;
+        let mut checked = 0usize;
+        while checked < budget && visited < total {
+            let t = self.scrub_cursor % total;
+            self.scrub_cursor = (self.scrub_cursor + 1) % total;
+            visited += 1;
+            if t < self.pages.len() {
+                if self.pages[t].owner == usize::MAX || self.pages[t].covered == 0 {
+                    continue;
+                }
+                checked += 1;
+                self.pages_scrubbed += 1;
+                if self.page_self_sum(t) == self.pages[t].sum {
+                    continue;
+                }
+                self.corruptions += 1;
+                if self.try_reconstruct(t) {
+                    self.scrub_repairs += 1;
+                } else {
+                    failed.push((SeqId(self.pages[t].owner), self.pages[t].index));
+                }
+            } else {
+                let g = t - self.pages.len();
+                if self.groups[g].members.is_empty() {
+                    continue;
+                }
+                checked += 1;
+                self.pages_scrubbed += 1;
+                if self.parity_fold(g) == self.groups[g].sum {
+                    continue;
+                }
+                self.corruptions += 1;
+                self.rebuild_parity(g);
+                self.scrub_repairs += 1;
+            }
+        }
+        failed
     }
 
     /// Quantize-dequantize one filled page in place, per layer per head.
@@ -741,6 +1220,25 @@ impl KvArena {
             return Err(KvError::OutOfBounds { pos: len, capacity });
         }
         let verify = self.should_verify();
+        // Reading past the committed length enters the hot window;
+        // verify its rolling checksum so the uncommitted tail is as
+        // protected as the pages behind it.
+        if verify && len > committed {
+            let hot_high = match self.seq(id) {
+                Some(s) => s.hot_high.get(layer).copied().unwrap_or(0),
+                None => 0,
+            };
+            if hot_high > committed {
+                let stored = match self.seq(id) {
+                    Some(s) => s.hot.get(layer).copied().unwrap_or(0),
+                    None => 0,
+                };
+                if self.hot_sum(id, layer) != stored {
+                    self.corruptions += 1;
+                    return Err(KvError::CorruptPage { seq: id, index: committed / block });
+                }
+            }
+        }
         k_out.resize(len * d, 0.0);
         v_out.resize(len * d, 0.0);
         let layer_off = layer * block * d;
@@ -759,7 +1257,20 @@ impl KvArena {
                     self.pages_verified += 1;
                     if self.page_sum(id.0, idx, page, covered) != self.pages[page].sum {
                         self.corruptions += 1;
-                        return Err(KvError::CorruptPage { seq: id, index: idx });
+                        // Repair decision tree (DESIGN.md §14): when the
+                        // page's own binding record agrees with what the
+                        // gather expects, the page *content* flipped —
+                        // try the O(one page) parity reconstruction. A
+                        // binding disagreement means the block table (or
+                        // the binding) flipped, which parity cannot
+                        // arbitrate; and a degraded group refuses. Both
+                        // fall through to the recompute path.
+                        let pg = &self.pages[page];
+                        let bound_ok =
+                            pg.owner == id.0 && pg.index == idx && pg.covered == covered;
+                        if !(bound_ok && self.try_reconstruct(page)) {
+                            return Err(KvError::CorruptPage { seq: id, index: idx });
+                        }
                     }
                 }
             }
@@ -776,9 +1287,12 @@ impl KvArena {
 
     /// Words (f32 words for page sites, table entries for `kv-table`)
     /// sequence `id` exposes at fault-injection `site` — the at-rest
-    /// surface `crates/faults` sweeps. Only *committed* regions count:
-    /// sealed pages, the committed hot-tail prefix, and table entries
-    /// backing committed positions. Unknown sites and dead ids have an
+    /// surface `crates/faults` sweeps. Sealed pages, the committed
+    /// hot-tail prefix, and table entries backing committed positions
+    /// count for their sites; `kv-hot` exposes the uncommitted
+    /// append→first-commit window (empty at step boundaries), and
+    /// `kv-parity` the parity pages of every group holding at least one
+    /// of the sequence's pages. Unknown sites and dead ids have an
     /// empty surface.
     pub fn seq_fault_surface(&self, id: SeqId, site: &str) -> usize {
         let Some(seq) = self.seq(id) else { return 0 };
@@ -789,8 +1303,25 @@ impl KvArena {
             "kv-k-sealed" | "kv-v-sealed" => sealed * nl * block * d,
             "kv-k-tail" | "kv-v-tail" => nl * tail * d,
             "kv-table" => seq.len.div_ceil(block).min(seq.table.len()),
+            "kv-hot" => (0..nl)
+                .map(|l| seq.hot_high[l].saturating_sub(seq.len) * d * 2)
+                .sum(),
+            "kv-parity" => self.seq_parity_groups(id.0).len() * 2 * self.page_floats(),
             _ => 0,
         }
+    }
+
+    /// Group ids holding at least one page owned by sequence slot
+    /// `slot`, in group-id order.
+    fn seq_parity_groups(&self, slot: usize) -> Vec<usize> {
+        (0..self.groups.len())
+            .filter(|&g| {
+                self.groups[g]
+                    .members
+                    .iter()
+                    .any(|&m| self.pages[m].owner == slot)
+            })
+            .collect()
     }
 
     /// Flip one bit of sequence `id`'s at-rest state at `site` — word
@@ -829,6 +1360,42 @@ impl KvArena {
             "kv-table" => {
                 let Some(Some(seq)) = self.seqs.get_mut(id.0) else { return false };
                 seq.table[word] ^= 1 << (bit % 64);
+                true
+            }
+            "kv-hot" => {
+                // Resolve (layer, page, offset) immutably first; the
+                // window spans the uncommitted positions of each layer,
+                // K words before V words.
+                let mut target = None;
+                let mut w = word;
+                for l in 0..nl {
+                    let span = seq.hot_high[l].saturating_sub(seq.len) * d;
+                    if w < 2 * span {
+                        let is_k = w < span;
+                        let in_region = w % span.max(1);
+                        let pos = seq.len + in_region / d;
+                        let e = in_region % d;
+                        let Some(&page) = seq.table.get(pos / block) else { return false };
+                        let off = l * block * d + (pos % block) * d + e;
+                        target = Some((page, off, is_k));
+                        break;
+                    }
+                    w -= 2 * span;
+                }
+                let Some((page, off, is_k)) = target else { return false };
+                let pg = &mut self.pages[page];
+                let cell = if is_k { &mut pg.k[off] } else { &mut pg.v[off] };
+                *cell = f32::from_bits(cell.to_bits() ^ (1 << (bit % 32)));
+                true
+            }
+            "kv-parity" => {
+                let pf = self.page_floats();
+                let groups = self.seq_parity_groups(id.0);
+                let Some(&g) = groups.get(word / (2 * pf)) else { return false };
+                let off = word % (2 * pf);
+                let grp = &mut self.groups[g];
+                let cell = if off < pf { &mut grp.k[off] } else { &mut grp.v[off - pf] };
+                *cell = f32::from_bits(cell.to_bits() ^ (1 << (bit % 32)));
                 true
             }
             _ => false,
@@ -1028,21 +1595,32 @@ mod tests {
         );
     }
 
+    /// Build a verified arena with one sequence: 6 positions appended
+    /// and committed (one sealed page + a 2-position tail per layer).
+    fn faulted_fixture(parity: Option<usize>) -> (KvArena, SeqId) {
+        let cfg = KvPageConfig {
+            quant: None,
+            block: 4,
+            verify: Some(VerifyPolicy::Full),
+            parity,
+            ..Default::default()
+        };
+        let mut a = KvArena::new(2, 8, 2, cfg);
+        let s = a.try_join().expect("join");
+        for layer in 0..2 {
+            a.try_append(s, layer, 0, &rows(6, 8, 1.0), &rows(6, 8, 2.0)).expect("append");
+        }
+        a.try_commit(s, 6).expect("commit");
+        (a, s)
+    }
+
     #[test]
     fn flipped_page_bits_are_detected_on_verified_gather() {
+        // Without parity every flip is detected and surfaces as a typed
+        // error; tail flips (partial, ungrouped pages) do so even with
+        // parity on.
         for site in ["kv-k-sealed", "kv-v-sealed", "kv-k-tail", "kv-v-tail"] {
-            let cfg = KvPageConfig {
-                quant: None,
-                block: 4,
-                verify: Some(VerifyPolicy::Full),
-                ..Default::default()
-            };
-            let mut a = KvArena::new(2, 8, 2, cfg);
-            let s = a.try_join().expect("join");
-            for layer in 0..2 {
-                a.try_append(s, layer, 0, &rows(6, 8, 1.0), &rows(6, 8, 2.0)).expect("append");
-            }
-            a.try_commit(s, 6).expect("commit");
+            let (mut a, s) = faulted_fixture(None);
             let (mut k, mut v) = (Vec::new(), Vec::new());
             a.try_gather(s, 0, 6, &mut k, &mut v).expect("pristine gather verifies");
             let surface = a.seq_fault_surface(s, site);
@@ -1053,7 +1631,170 @@ mod tests {
             });
             assert!(hit, "{site} flip detected under VerifyPolicy::Full");
             assert!(a.corruptions_detected() >= 1);
+            assert_eq!(a.reconstructions(), 0, "no parity, no reconstruction");
         }
+        for site in ["kv-k-tail", "kv-v-tail"] {
+            let (mut a, s) = faulted_fixture(Some(DEFAULT_KV_PARITY));
+            let (mut k, mut v) = (Vec::new(), Vec::new());
+            let surface = a.seq_fault_surface(s, site);
+            assert!(a.inject_seq_fault(s, site, surface / 2, 7));
+            let hit = (0..2).any(|layer| {
+                a.try_gather(s, layer, 6, &mut k, &mut v).is_err()
+            });
+            assert!(hit, "{site} flip still errors with parity on");
+        }
+    }
+
+    #[test]
+    fn sealed_flip_reconstructs_in_place_bit_exact() {
+        for site in ["kv-k-sealed", "kv-v-sealed"] {
+            let (mut a, s) = faulted_fixture(Some(DEFAULT_KV_PARITY));
+            let (mut k0, mut v0) = (Vec::new(), Vec::new());
+            let (mut k1, mut v1) = (Vec::new(), Vec::new());
+            a.try_gather(s, 0, 6, &mut k0, &mut v0).expect("pristine");
+            a.try_gather(s, 1, 6, &mut k1, &mut v1).expect("pristine");
+            let surface = a.seq_fault_surface(s, site);
+            // Flip inside the sealed page (first nl·block·d words).
+            assert!(a.inject_seq_fault(s, site, surface / 4, 9));
+            let (mut k, mut v) = (Vec::new(), Vec::new());
+            for (layer, (rk, rv)) in [(&k0, &v0), (&k1, &v1)].into_iter().enumerate() {
+                a.try_gather(s, layer, 6, &mut k, &mut v)
+                    .expect("sealed flip heals in place via parity");
+                assert_eq!(&k, rk, "{site} K bits restored");
+                assert_eq!(&v, rv, "{site} V bits restored");
+            }
+            assert!(a.corruptions_detected() >= 1, "flip counted as a corruption");
+            assert_eq!(a.reconstructions(), 1, "exactly one page reconstructed");
+            assert_eq!(a.reconstruct_failures(), 0);
+        }
+    }
+
+    #[test]
+    fn hot_window_flip_is_detected_and_reappend_heals() {
+        let cfg = KvPageConfig {
+            quant: None,
+            block: 4,
+            verify: Some(VerifyPolicy::Full),
+            ..Default::default()
+        };
+        let mut a = KvArena::new(2, 8, 2, cfg);
+        let s = a.try_join().expect("join");
+        let (k6, v6) = (rows(6, 8, 1.0), rows(6, 8, 2.0));
+        for layer in 0..2 {
+            a.try_append(s, layer, 0, &k6, &v6).expect("append");
+        }
+        // Commit one short of the appended high-water mark: position 5
+        // stays in the FP hot window, exactly the mid-pass state.
+        a.try_commit(s, 5).expect("commit");
+        let (mut k, mut v) = (Vec::new(), Vec::new());
+        for layer in 0..2 {
+            a.try_gather(s, layer, 6, &mut k, &mut v).expect("pristine hot gather");
+        }
+        let surface = a.seq_fault_surface(s, "kv-hot");
+        assert_eq!(surface, 2 * 8 * 2, "one uncommitted position per layer, K and V");
+        assert!(a.inject_seq_fault(s, "kv-hot", 3, 11));
+        let hit = (0..2).any(|layer| {
+            a.try_gather(s, layer, 6, &mut k, &mut v)
+                == Err(KvError::CorruptPage { seq: s, index: 1 })
+        });
+        assert!(hit, "hot-window flip trips the rolling checksum");
+        assert!(a.corruptions_detected() >= 1);
+        // The repair is the caller redoing the pass: re-append the
+        // pristine rows over the window, after which gathers verify and
+        // the bits match.
+        for layer in 0..2 {
+            a.try_append(s, layer, 5, &k6[40..], &v6[40..]).expect("re-append");
+        }
+        for layer in 0..2 {
+            a.try_gather(s, layer, 6, &mut k, &mut v).expect("healed");
+            assert_eq!(k, k6);
+            assert_eq!(v, v6);
+        }
+        // Committing past the window closes it: no hot surface remains.
+        a.try_commit(s, 6).expect("commit");
+        assert_eq!(a.seq_fault_surface(s, "kv-hot"), 0);
+    }
+
+    #[test]
+    fn scrub_repairs_sealed_and_parity_flips_proactively() {
+        let (mut a, s) = faulted_fixture(Some(DEFAULT_KV_PARITY));
+        // Sealed-page flip: the scrubber finds it without any gather and
+        // heals it in place.
+        assert!(a.inject_seq_fault(s, "kv-k-sealed", 3, 5));
+        let failures = a.scrub(64);
+        assert!(failures.is_empty(), "single sealed flip repaired by scrub");
+        assert_eq!(a.reconstructions(), 1);
+        assert_eq!(a.scrub_repairs(), 1);
+        assert!(a.pages_scrubbed() > 0);
+        // Parity-page flip: scrub detects the stale fold and rebuilds
+        // the parity page from its healthy members.
+        assert!(a.inject_seq_fault(s, "kv-parity", 2, 19));
+        assert!(a.scrub(64).is_empty(), "parity flip repaired by rebuild");
+        assert_eq!(a.parity_rebuilds(), 1);
+        assert_eq!(a.scrub_repairs(), 2);
+        // The rebuilt parity still reconstructs a subsequent page loss.
+        assert!(a.inject_seq_fault(s, "kv-v-sealed", 7, 23));
+        assert!(a.scrub(64).is_empty());
+        assert_eq!(a.reconstructions(), 2);
+    }
+
+    #[test]
+    fn double_fault_in_one_group_refuses_reconstruction() {
+        let cfg = KvPageConfig {
+            quant: None,
+            block: 4,
+            verify: Some(VerifyPolicy::Full),
+            ..Default::default()
+        };
+        let mut a = KvArena::new(1, 8, 2, cfg);
+        let s = a.try_join().expect("join");
+        // Two sealed pages, both members of the same size-8 group.
+        a.try_append(s, 0, 0, &rows(8, 8, 1.0), &rows(8, 8, 2.0)).expect("append");
+        a.try_commit(s, 8).expect("commit");
+        assert_eq!(a.parity_groups_live(), 1);
+        let per_page = 4 * 8; // 1 layer × block × d
+        assert!(a.inject_seq_fault(s, "kv-k-sealed", 1, 3));
+        assert!(a.inject_seq_fault(s, "kv-k-sealed", per_page + 1, 3));
+        let (mut k, mut v) = (Vec::new(), Vec::new());
+        assert!(
+            a.try_gather(s, 0, 8, &mut k, &mut v).is_err(),
+            "degraded group falls through to the typed error"
+        );
+        assert_eq!(a.reconstructions(), 0, "no reconstruction from a degraded group");
+        assert!(a.reconstruct_failures() >= 1, "the refusal is counted");
+    }
+
+    #[test]
+    fn freeing_a_corrupt_member_rebuilds_parity_from_survivors() {
+        let cfg = KvPageConfig {
+            quant: None,
+            block: 4,
+            verify: Some(VerifyPolicy::Full),
+            ..Default::default()
+        };
+        let mut a = KvArena::new(1, 8, 2, cfg);
+        // Two sequences sealing one page each into the same open group.
+        let s1 = a.try_join().expect("join");
+        let s2 = a.try_join().expect("join");
+        let (k2, v2) = (rows(4, 8, 3.0), rows(4, 8, 4.0));
+        a.try_append(s1, 0, 0, &rows(4, 8, 1.0), &rows(4, 8, 2.0)).expect("append");
+        a.try_commit(s1, 4).expect("commit");
+        a.try_append(s2, 0, 0, &k2, &v2).expect("append");
+        a.try_commit(s2, 4).expect("commit");
+        assert_eq!(a.parity_groups_live(), 1, "both pages share one group");
+        // Corrupt s1's page, then free it: XOR-ing the corrupt bits out
+        // would poison the parity, so the arena must rebuild from the
+        // surviving healthy member instead.
+        assert!(a.inject_seq_fault(s1, "kv-k-sealed", 5, 13));
+        a.leave(s1);
+        assert!(a.parity_rebuilds() >= 1, "unhealthy leave rebuilds parity");
+        // The rebuilt parity must still reconstruct s2's page exactly.
+        assert!(a.inject_seq_fault(s2, "kv-v-sealed", 9, 21));
+        let (mut k, mut v) = (Vec::new(), Vec::new());
+        a.try_gather(s2, 0, 4, &mut k, &mut v).expect("reconstructs after rebuild");
+        assert_eq!(k, k2);
+        assert_eq!(v, v2);
+        assert_eq!(a.reconstructions(), 1);
     }
 
     #[test]

@@ -31,18 +31,27 @@
 //! re-prefills the whole prefix in one pass — which, by the same
 //! row-independence argument, leaves its continuation bit-identical.
 //!
-//! # Self-healing (DESIGN.md §13)
+//! # Self-healing (DESIGN.md §13–§14)
 //!
 //! The same recomputation machinery heals two KV-arena failure modes
 //! that PR 8 would have panicked or silently corrupted on:
 //!
 //! * **Detected corruption** ([`KvError::CorruptPage`], from the
-//!   arena's checksum verification on gather): the owning sequence is
+//!   arena's checksum verification on gather): with parity groups
+//!   enabled ([`KvPageConfig::parity`]) the arena first reconstructs
+//!   the corrupt page in place from its XOR parity group — invisible
+//!   to the scheduler beyond a counter. Only when reconstruction is
+//!   impossible (ungrouped page, degraded group, flipped block table)
+//!   does the error surface here, and the owning sequence is
 //!   *poisoned* — its pages are dropped and its next step re-prefills
 //!   the whole prefix, which reproduces the cached state (and therefore
 //!   the continuation) bit-identically. A sequence that keeps failing
 //!   verification after repeated repairs retires with a typed
-//!   [`GenerateError::Kv`] instead of looping.
+//!   [`GenerateError::Kv`] instead of looping. A proactive **scrubber**
+//!   ([`KvArena::scrub`], budgeted by [`KvPageConfig::scrub`]) runs at
+//!   every step boundary so latent corruption in cold pages is found
+//!   and reconstructed before a gather trips over it; scrub failures
+//!   take the same recompute path.
 //! * **Capacity exhaustion** ([`KvError::CapacityExhausted`], from the
 //!   [`KvPageConfig::max_pages`] bound): the sequence *stalls* — its
 //!   pages are reclaimed and it waits, deadline still ticking, until
@@ -136,8 +145,12 @@ pub struct DecodeScheduler<'a> {
     next_handle: u64,
     step_no: u64,
     tokens_peak: usize,
-    kv_repairs: u64,
+    /// Corruption repairs that fell back to reset + re-prefill
+    /// (reconstruction-in-place repairs are counted by the arena).
+    kv_repairs_recomputed: u64,
     kv_capacity_stalls: u64,
+    /// Integrity targets the arena scrubs per step boundary.
+    scrub_budget: usize,
 }
 
 impl std::fmt::Debug for DecodeScheduler<'_> {
@@ -160,8 +173,9 @@ impl<'a> DecodeScheduler<'a> {
             next_handle: 0,
             step_no: 0,
             tokens_peak: 0,
-            kv_repairs: 0,
+            kv_repairs_recomputed: 0,
             kv_capacity_stalls: 0,
+            scrub_budget: kv.scrub,
         }
     }
 
@@ -273,9 +287,29 @@ impl<'a> DecodeScheduler<'a> {
         self.arena.corruptions_detected()
     }
 
-    /// Sequences healed by recomputation after detected corruption.
-    pub fn kv_repairs(&self) -> u64 {
-        self.kv_repairs
+    /// Corruption repairs that had to reset + re-prefill the sequence
+    /// (reconstruction impossible: ungrouped page, degraded parity
+    /// group, or a flipped block table).
+    pub fn kv_repairs_recomputed(&self) -> u64 {
+        self.kv_repairs_recomputed
+    }
+
+    /// Corrupt pages the arena healed in place from parity + surviving
+    /// siblings — repairs that cost O(one page), not O(prefix).
+    pub fn kv_repairs_reconstructed(&self) -> u64 {
+        self.arena.reconstructions()
+    }
+
+    /// Integrity targets (data and parity pages) proactively verified
+    /// by the per-step scrubber.
+    pub fn kv_pages_scrubbed(&self) -> u64 {
+        self.arena.pages_scrubbed()
+    }
+
+    /// Corruptions the scrubber found and repaired in place before any
+    /// gather tripped on them.
+    pub fn kv_scrub_repairs(&self) -> u64 {
+        self.arena.scrub_repairs()
     }
 
     /// Steps a sequence spent waiting out KV capacity pressure.
@@ -417,6 +451,35 @@ impl<'a> DecodeScheduler<'a> {
             }
             i += 1;
         }
+        // Proactive scrub: spend the configured budget verifying cold
+        // pages (and parity pages) so latent corruption is
+        // reconstructed before a gather trips on it mid-decode. Pages
+        // the scrubber could not reconstruct poison their owner, which
+        // takes the same strike-bounded recompute path as a
+        // gather-detected corruption.
+        if self.scrub_budget > 0 {
+            let mut poisoned: Vec<SeqId> = Vec::new();
+            for (sid, index) in self.arena.scrub(self.scrub_budget) {
+                if poisoned.contains(&sid) {
+                    continue;
+                }
+                poisoned.push(sid);
+                let Some(pos) = self.seqs.iter().position(|s| s.kv == sid) else { continue };
+                self.kv_repairs_recomputed += 1;
+                self.seqs[pos].repair_strikes += 1;
+                if self.seqs[pos].repair_strikes > MAX_REPAIR_STRIKES {
+                    let seq = self.seqs.remove(pos);
+                    self.arena.leave(seq.kv);
+                    events.push(StepEvent::Failed {
+                        handle: seq.handle,
+                        error: GenerateError::Kv(KvError::CorruptPage { seq: sid, index }),
+                    });
+                } else {
+                    self.arena.reset(sid);
+                    self.seqs[pos].cached = 0;
+                }
+            }
+        }
         // Un-stall pass: greedily resume capacity-stalled sequences
         // whose whole re-prefill fits the arena's remaining headroom.
         // When every live sequence is stalled the arena is empty, so the
@@ -528,7 +591,7 @@ impl<'a> DecodeScheduler<'a> {
                 // next step (bit-identical by the eviction argument) —
                 // unless this sequence has exhausted its repair budget.
                 Some(Err(PagedError::Kv(e @ KvError::CorruptPage { .. }))) => {
-                    self.kv_repairs += 1;
+                    self.kv_repairs_recomputed += 1;
                     seq.repair_strikes += 1;
                     if seq.repair_strikes > MAX_REPAIR_STRIKES {
                         self.arena.leave(seq.kv);

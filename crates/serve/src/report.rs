@@ -42,12 +42,21 @@ pub enum Incident {
         pages: usize,
     },
     /// Checksum verification caught corrupted KV state during a decode
-    /// step; the poisoned sequences' pages were dropped and the
-    /// sequences scheduled for repair by recomputation.
+    /// step. Pages whose parity group allowed it were reconstructed in
+    /// place; the rest poisoned their sequences, whose pages were
+    /// dropped and scheduled for repair by recomputation.
     KvCorruption {
-        /// Corrupt pages detected by this step's gathers.
+        /// Corrupt pages detected by this step's checks.
         detected: u64,
+        /// Pages healed in place from their XOR parity group.
+        reconstructed: u64,
         /// Repair-by-recomputation cycles started in response.
+        recomputed: u64,
+    },
+    /// The per-step KV scrubber found latent corruption in cold pages
+    /// and repaired it in place before any gather tripped on it.
+    KvScrubRepair {
+        /// Pages (data or parity) repaired by the scrubber this step.
         repaired: u64,
     },
 }
@@ -79,7 +88,10 @@ pub(crate) struct Metrics {
     pub kv_block: AtomicUsize,
     pub kv_pages_verified: AtomicU64,
     pub kv_corruptions: AtomicU64,
-    pub kv_repairs: AtomicU64,
+    pub kv_repairs_reconstructed: AtomicU64,
+    pub kv_repairs_recomputed: AtomicU64,
+    pub kv_pages_scrubbed: AtomicU64,
+    pub kv_scrub_repairs: AtomicU64,
     pub kv_capacity_stalls: AtomicU64,
     pub tokens_in_flight_peak: AtomicUsize,
     pub latencies_ms: Mutex<Vec<f64>>,
@@ -172,12 +184,25 @@ pub struct ServeReport {
     /// KV pages whose checksums were verified by sampled/full gather
     /// checks (`AXCORE_VERIFY`).
     pub kv_pages_verified: u64,
-    /// Corrupt KV pages detected by those checks — each one poisoned its
-    /// sequence instead of silently skewing its logits.
+    /// Corrupt KV pages detected by those checks — each one either
+    /// reconstructed in place or poisoned its sequence, never silently
+    /// skewing its logits.
     pub kv_corruptions_detected: u64,
+    /// Corrupt pages healed in place from their XOR parity group
+    /// (`AXCORE_KV_PARITY`) — O(one page) repairs that never touched
+    /// the sequence.
+    pub kv_repairs_reconstructed: u64,
     /// Repair-by-recomputation cycles: a poisoned sequence's pages were
-    /// dropped and its prefix re-prefilled, bit-identically.
-    pub kv_repairs: u64,
+    /// dropped and its prefix re-prefilled, bit-identically — the
+    /// fallback when reconstruction was impossible (ungrouped page,
+    /// degraded group, or flipped block table).
+    pub kv_repairs_recomputed: u64,
+    /// Integrity targets proactively verified by the per-step-boundary
+    /// scrubber (`AXCORE_KV_SCRUB`).
+    pub kv_pages_scrubbed: u64,
+    /// Latent corruptions the scrubber found and repaired in place
+    /// before any gather tripped on them.
+    pub kv_scrub_repairs: u64,
     /// Decode attempts that hit the arena's page cap (`AXCORE_KV_PAGES`)
     /// and parked the sequence until headroom returned — typed
     /// backpressure where an unbounded arena would have grown past its
@@ -258,7 +283,10 @@ pub(crate) fn snapshot(
         kv_block: m.kv_block.load(Relaxed),
         kv_pages_verified: m.kv_pages_verified.load(Relaxed),
         kv_corruptions_detected: m.kv_corruptions.load(Relaxed),
-        kv_repairs: m.kv_repairs.load(Relaxed),
+        kv_repairs_reconstructed: m.kv_repairs_reconstructed.load(Relaxed),
+        kv_repairs_recomputed: m.kv_repairs_recomputed.load(Relaxed),
+        kv_pages_scrubbed: m.kv_pages_scrubbed.load(Relaxed),
+        kv_scrub_repairs: m.kv_scrub_repairs.load(Relaxed),
         kv_capacity_stalls: m.kv_capacity_stalls.load(Relaxed),
         tokens_in_flight_peak: m.tokens_in_flight_peak.load(Relaxed),
         evictions: m.evictions.load(Relaxed),

@@ -183,7 +183,10 @@ struct TicketOut {
 struct KvSeen {
     verified: u64,
     corruptions: u64,
-    repairs: u64,
+    reconstructed: u64,
+    recomputed: u64,
+    scrubbed: u64,
+    scrub_repairs: u64,
     stalls: u64,
 }
 
@@ -597,20 +600,44 @@ fn step_once(
     let now_seen = KvSeen {
         verified: sched.kv_pages_verified(),
         corruptions: sched.kv_corruptions_detected(),
-        repairs: sched.kv_repairs(),
+        reconstructed: sched.kv_repairs_reconstructed(),
+        recomputed: sched.kv_repairs_recomputed(),
+        scrubbed: sched.kv_pages_scrubbed(),
+        scrub_repairs: sched.kv_scrub_repairs(),
         stalls: sched.kv_capacity_stalls(),
     };
     shared.metrics.kv_pages_verified.fetch_add(now_seen.verified - kv_seen.verified, Relaxed);
     shared.metrics.kv_corruptions.fetch_add(now_seen.corruptions - kv_seen.corruptions, Relaxed);
-    shared.metrics.kv_repairs.fetch_add(now_seen.repairs - kv_seen.repairs, Relaxed);
+    shared
+        .metrics
+        .kv_repairs_reconstructed
+        .fetch_add(now_seen.reconstructed - kv_seen.reconstructed, Relaxed);
+    shared
+        .metrics
+        .kv_repairs_recomputed
+        .fetch_add(now_seen.recomputed - kv_seen.recomputed, Relaxed);
+    shared.metrics.kv_pages_scrubbed.fetch_add(now_seen.scrubbed - kv_seen.scrubbed, Relaxed);
+    shared
+        .metrics
+        .kv_scrub_repairs
+        .fetch_add(now_seen.scrub_repairs - kv_seen.scrub_repairs, Relaxed);
     shared
         .metrics
         .kv_capacity_stalls
         .fetch_add(now_seen.stalls - kv_seen.stalls, Relaxed);
-    if now_seen.corruptions > kv_seen.corruptions || now_seen.repairs > kv_seen.repairs {
+    if now_seen.corruptions > kv_seen.corruptions
+        || now_seen.reconstructed > kv_seen.reconstructed
+        || now_seen.recomputed > kv_seen.recomputed
+    {
         shared.metrics.note_incident(Incident::KvCorruption {
             detected: now_seen.corruptions - kv_seen.corruptions,
-            repaired: now_seen.repairs - kv_seen.repairs,
+            reconstructed: now_seen.reconstructed - kv_seen.reconstructed,
+            recomputed: now_seen.recomputed - kv_seen.recomputed,
+        });
+    }
+    if now_seen.scrub_repairs > kv_seen.scrub_repairs {
+        shared.metrics.note_incident(Incident::KvScrubRepair {
+            repaired: now_seen.scrub_repairs - kv_seen.scrub_repairs,
         });
     }
     if now_seen.stalls > kv_seen.stalls {

@@ -312,9 +312,10 @@ fn kv_corruption_mid_flight_is_detected_healed_and_bit_exact() {
         report.kv_corruptions_detected
     );
     assert!(
-        report.kv_repairs >= 1,
-        "at least one sequence was healed by recomputation (repairs {})",
-        report.kv_repairs
+        report.kv_repairs_reconstructed + report.kv_repairs_recomputed >= 1,
+        "at least one corruption was healed (reconstructed {}, recomputed {})",
+        report.kv_repairs_reconstructed,
+        report.kv_repairs_recomputed
     );
     assert!(
         report.incidents.iter().any(|i| matches!(i, Incident::KvCorruption { .. })),
